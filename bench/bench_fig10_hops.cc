@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates paper Figure 10: application runtimes under five
+ * persistency models, normalized to the x86-64 (NVM) baseline.
+ *
+ * Each simulator-suitable application is traced once (including its
+ * DRAM traffic) and the same trace is replayed through the timing
+ * simulator under: x86-64 with durability at the NVM device, x86-64
+ * with a persistent write queue at the MC, HOPS (NVM), HOPS (PWQ),
+ * and the non-crash-consistent ideal.
+ *
+ * Shape to reproduce (paper §6.4): PWQ cuts ~15.5% off the x86
+ * baseline; HOPS (NVM) beats x86 (NVM) by ~24.3% and x86 (PWQ) by
+ * ~10%; a PWQ adds only ~1.4% to HOPS; ideal beats the baseline by
+ * ~40.7%.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    const core::AppConfig config = simConfig();
+    const std::vector<sim::ModelKind> kinds = {
+        sim::ModelKind::X86Nvm, sim::ModelKind::X86Pwq,
+        sim::ModelKind::HopsNvm, sim::ModelKind::HopsPwq,
+        sim::ModelKind::Ideal};
+
+    TextTable table("Figure 10 — normalized runtime (x86-64 NVM = 1.0)");
+    table.header({"Benchmark", "x86-64 (NVM)", "x86-64 (PWQ)",
+                  "HOPS (NVM)", "HOPS (PWQ)", "IDEAL (NON-CC)"});
+
+    std::vector<double> sums(kinds.size(), 0.0);
+    for (const auto &name : simSubset()) {
+        core::RunResult result = runForAnalysis(name, config);
+        const auto results =
+            sim::runModels(result.runtime->traces(), sim::SimParams{},
+                           kinds);
+        const double base = static_cast<double>(results[0].cycles);
+        std::vector<std::string> row = {name};
+        for (std::size_t m = 0; m < results.size(); m++) {
+            const double norm =
+                static_cast<double>(results[m].cycles) / base;
+            sums[m] += norm;
+            row.push_back(TextTable::fixed(norm, 3));
+        }
+        table.row(row);
+    }
+    std::vector<std::string> avg = {"average"};
+    for (const double s : sums) {
+        avg.push_back(TextTable::fixed(
+            s / static_cast<double>(simSubset().size()), 3));
+    }
+    table.row(avg);
+    table.print();
+
+    const double n = static_cast<double>(simSubset().size());
+    const double x86_nvm = sums[0] / n, x86_pwq = sums[1] / n;
+    const double hops_nvm = sums[2] / n, hops_pwq = sums[3] / n;
+    const double ideal = sums[4] / n;
+    std::printf(
+        "\nKey deltas (paper values in parentheses):\n"
+        "  PWQ gain on x86-64:    %5.1f%%  (15.5%%)\n"
+        "  HOPS vs x86-64 (NVM):  %5.1f%%  (24.3%%)\n"
+        "  HOPS (NVM) vs x86 PWQ: %5.1f%%  (10%%)\n"
+        "  PWQ gain on HOPS:      %5.1f%%  (1.4%%)\n"
+        "  ideal vs x86-64 (NVM): %5.1f%%  (40.7%%)\n",
+        100.0 * (x86_nvm - x86_pwq), 100.0 * (x86_nvm - hops_nvm),
+        100.0 * (x86_pwq - hops_nvm) / x86_pwq,
+        100.0 * (hops_nvm - hops_pwq) / hops_nvm,
+        100.0 * (x86_nvm - ideal));
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Regenerates paper Figure 3: the distribution of transaction sizes
+ * (number of epochs / ordering points per durable transaction), with
+ * the paper's reported medians alongside.
+ *
+ * Shape to reproduce: most transactions take 5-50 epochs; Echo and
+ * N-store TPC-C take well over a hundred; filesystem transactions
+ * (one per syscall) are the smallest.
+ */
+
+#include <map>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+namespace
+{
+const std::map<std::string, int> kPaperMedians = {
+    {"echo", 307}, {"ycsb", 42},   {"tpcc", 197}, {"redis", 6},
+    {"ctree", 11}, {"hashmap", 11}, {"vacation", 4},
+    {"memcached", 4}, {"nfs", 2},  {"exim", 5},   {"mysql", 7},
+};
+} // namespace
+
+int
+main()
+{
+    const core::AppConfig config = analysisConfig();
+    TextTable table(
+        "Figure 3 — epochs (ordering points) per transaction");
+    table.header({"Benchmark", "Transactions", "Median", "p10", "p90",
+                  "Paper median"});
+
+    for (const auto &name : suiteOrder()) {
+        core::RunResult result = runForAnalysis(name, config);
+        analysis::EpochBuilder builder(result.runtime->traces());
+        const analysis::EpochSummary sum = analysis::summarizeEpochs(
+            builder, result.runtime->traces());
+        table.row({name,
+                   TextTable::num(sum.totalTransactions),
+                   TextTable::num(sum.epochsPerTx.median()),
+                   TextTable::num(sum.epochsPerTx.quantile(0.10)),
+                   TextTable::num(sum.epochsPerTx.quantile(0.90)),
+                   TextTable::num(kPaperMedians.at(name))});
+    }
+    table.print();
+    std::puts("\nShape check: echo/tpcc are the outliers with >100"
+              " epochs/tx; libraries sit in the 4-50 band.");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Regenerates paper Figure 5: epochs with self- and cross-thread WAW
+ * dependencies within a 50 us window, as a fraction of all epochs.
+ *
+ * Shape to reproduce: self-dependencies are abundant (tens of
+ * percent, highest for the NVML applications), cross-dependencies are
+ * rare (at most a few percent).
+ */
+
+#include <map>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+namespace
+{
+const std::map<std::string, std::pair<double, double>> kPaper = {
+    // {self%, cross%} from the paper's Figure 5.
+    {"echo", {54.5, 0.01}},    {"ycsb", {40.2, 0.003}},
+    {"tpcc", {27.18, 0.03}},   {"redis", {82.5, 0.0}},
+    {"ctree", {79.0, 0.0}},    {"hashmap", {81.0, 0.0}},
+    {"vacation", {40.0, 0.01}}, {"memcached", {63.5, 0.2}},
+    {"nfs", {55.0, 5.0}},      {"exim", {45.27, 1.16}},
+    {"mysql", {17.89, 0.04}},
+};
+} // namespace
+
+int
+main()
+{
+    const core::AppConfig config = analysisConfig();
+    TextTable table("Figure 5 — epoch dependencies within 50 us");
+    table.header({"Benchmark", "self-dep", "cross-dep", "paper self",
+                  "paper cross"});
+
+    double self_sum = 0.0, cross_sum = 0.0;
+    for (const auto &name : suiteOrder()) {
+        core::RunResult result = runForAnalysis(name, config);
+        analysis::EpochBuilder builder(result.runtime->traces());
+        const auto deps = analysis::analyzeDependencies(builder);
+        self_sum += deps.selfFraction();
+        cross_sum += deps.crossFraction();
+        const auto &[pself, pcross] = kPaper.at(name);
+        table.row({name,
+                   TextTable::percent(deps.selfFraction(), 2),
+                   TextTable::percent(deps.crossFraction(), 3),
+                   TextTable::fixed(pself, 2) + "%",
+                   TextTable::fixed(pcross, 3) + "%"});
+    }
+    table.print();
+    std::printf("\nAverages: self %.1f%%, cross %.2f%%. Shape check: "
+                "self-dependencies abundant, cross rare.\n",
+                100.0 * self_sum / suiteOrder().size(),
+                100.0 * cross_sum / suiteOrder().size());
+    return 0;
+}

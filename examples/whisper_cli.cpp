@@ -1,0 +1,186 @@
+/**
+ * @file
+ * whisper_cli — record, analyze and simulate WHISPER traces.
+ *
+ * The command-line face of the library, mirroring the paper's
+ * workflow: instrument a run (their PIN/mmiotrace/ftrace pipeline),
+ * analyze the trace offline (§5), replay it through hardware models
+ * (§6).
+ *
+ *   whisper_cli record  <app> <trace.bin> [ops] [threads]
+ *   whisper_cli analyze <trace.bin>
+ *   whisper_cli simulate <trace.bin> [model...]
+ *   whisper_cli list
+ *
+ * Models: x86-nvm x86-pwq hops-nvm hops-pwq dpo ideal (default: all).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "analysis/access_mix.hh"
+#include "analysis/dependency.hh"
+#include "analysis/epoch_stats.hh"
+#include "common/table.hh"
+#include "core/harness.hh"
+#include "sim/simulator.hh"
+#include "trace/trace_io.hh"
+
+using namespace whisper;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fputs(
+        "usage:\n"
+        "  whisper_cli record  <app> <trace.bin> [ops] [threads]\n"
+        "  whisper_cli analyze <trace.bin>\n"
+        "  whisper_cli simulate <trace.bin> [model...]\n"
+        "  whisper_cli list\n"
+        "models: x86-nvm x86-pwq hops-nvm hops-pwq dpo ideal\n",
+        stderr);
+    return 2;
+}
+
+int
+cmdRecord(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    core::AppConfig config;
+    config.opsPerThread = argc > 4 ? std::atoll(argv[4]) : 200;
+    config.threads = argc > 5 ? std::atoi(argv[5]) : 4;
+    config.poolBytes = 256 << 20;
+    config.recordVolatile = true;
+
+    std::printf("recording %s (%u x %llu ops)...\n", argv[2],
+                config.threads,
+                (unsigned long long)config.opsPerThread);
+    core::RunResult result = core::runApp(argv[2], config);
+    if (!result.verified) {
+        std::fputs("verification failed\n", stderr);
+        return 1;
+    }
+    if (!trace::writeTraceFile(argv[3], result.runtime->traces())) {
+        std::fputs("trace write failed\n", stderr);
+        return 1;
+    }
+    std::printf("wrote %zu events to %s\n",
+                result.runtime->traces().totalEvents(), argv[3]);
+    return 0;
+}
+
+int
+cmdAnalyze(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    trace::TraceSet traces;
+    if (!trace::readTraceFile(argv[2], traces)) {
+        std::fputs("trace read failed\n", stderr);
+        return 1;
+    }
+    analysis::EpochBuilder builder(traces);
+    const auto summary = analysis::summarizeEpochs(builder, traces);
+    const auto deps = analysis::analyzeDependencies(builder);
+    const auto mix = analysis::computeAccessMix(traces);
+    const auto nti = analysis::computeNtiUsage(traces);
+    const auto amp = analysis::computeAmplification(traces);
+
+    TextTable table(std::string("analysis of ") + argv[2]);
+    table.header({"metric", "value"});
+    table.row({"threads", TextTable::num(traces.threadCount())});
+    table.row({"events", TextTable::num(traces.totalEvents())});
+    table.row({"epochs", TextTable::num(summary.totalEpochs)});
+    table.row({"transactions",
+               TextTable::num(summary.totalTransactions)});
+    table.row({"epochs/tx (median)",
+               TextTable::num(summary.epochsPerTx.median())});
+    table.row({"singleton epochs",
+               TextTable::percent(summary.singletonFraction, 1)});
+    table.row({"self-dependent",
+               TextTable::percent(deps.selfFraction(), 2)});
+    table.row({"cross-dependent",
+               TextTable::percent(deps.crossFraction(), 3)});
+    table.row({"PM access share",
+               TextTable::percent(mix.pmFraction(), 2)});
+    table.row({"NTI write share",
+               TextTable::percent(nti.ntiFraction(), 1)});
+    table.row({"write amplification",
+               TextTable::fixed(amp.ratio(), 2) + "x"});
+    table.print();
+    return 0;
+}
+
+int
+cmdSimulate(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    trace::TraceSet traces;
+    if (!trace::readTraceFile(argv[2], traces)) {
+        std::fputs("trace read failed\n", stderr);
+        return 1;
+    }
+
+    const std::map<std::string, sim::ModelKind> by_name = {
+        {"x86-nvm", sim::ModelKind::X86Nvm},
+        {"x86-pwq", sim::ModelKind::X86Pwq},
+        {"hops-nvm", sim::ModelKind::HopsNvm},
+        {"hops-pwq", sim::ModelKind::HopsPwq},
+        {"dpo", sim::ModelKind::Dpo},
+        {"ideal", sim::ModelKind::Ideal},
+    };
+    std::vector<sim::ModelKind> kinds;
+    for (int i = 3; i < argc; i++) {
+        auto it = by_name.find(argv[i]);
+        if (it == by_name.end()) {
+            std::fprintf(stderr, "unknown model '%s'\n", argv[i]);
+            return 2;
+        }
+        kinds.push_back(it->second);
+    }
+    if (kinds.empty()) {
+        for (const auto &[name, kind] : by_name)
+            kinds.push_back(kind);
+    }
+
+    TextTable table(std::string("simulation of ") + argv[2]);
+    table.header({"model", "cycles", "fence stalls", "PB-full",
+                  "L1 hit rate", "drained epochs"});
+    for (const auto &r : sim::runModels(traces, sim::SimParams{},
+                                        kinds)) {
+        table.row({r.model, TextTable::num(r.cycles),
+                   TextTable::num(r.persist.fenceStalls),
+                   TextTable::num(r.persist.pbFullStalls),
+                   TextTable::percent(r.l1Stats.hitRate(), 1),
+                   TextTable::num(r.persist.epochsDrained)});
+    }
+    table.print();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    if (std::strcmp(argv[1], "list") == 0) {
+        for (const auto &name : core::registeredApps())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (std::strcmp(argv[1], "record") == 0)
+        return cmdRecord(argc, argv);
+    if (std::strcmp(argv[1], "analyze") == 0)
+        return cmdAnalyze(argc, argv);
+    if (std::strcmp(argv[1], "simulate") == 0)
+        return cmdSimulate(argc, argv);
+    return usage();
+}

@@ -1,0 +1,103 @@
+#include "alloc/nvml_alloc.hh"
+
+#include "common/logging.hh"
+
+namespace whisper::alloc
+{
+
+using pm::DataClass;
+using pm::FenceKind;
+
+NvmlAllocator::NvmlAllocator(pm::PmContext &ctx, Addr base,
+                             std::size_t size, Addr log_base)
+    : SlabAllocator(ctx, base, size), logBase_(log_base)
+{
+    // Format the redo log: all records invalid.
+    AllocRedoRecord empty{0, 0, 0, 0};
+    for (std::uint64_t slot = 0; slot < kLogSlots; slot++) {
+        ctx.store(recordOff(slot), &empty, sizeof(empty), DataClass::Log);
+    }
+    ctx.flush(logBase_, logBytes());
+    ctx.fence(FenceKind::Durability);
+}
+
+NvmlAllocator::NvmlAllocator(Addr base, std::size_t size, Addr log_base)
+    : SlabAllocator(base, size), logBase_(log_base)
+{
+}
+
+Addr
+NvmlAllocator::recordOff(std::uint64_t slot) const
+{
+    return logBase_ + slot * sizeof(AllocRedoRecord);
+}
+
+void
+NvmlAllocator::persistBitmapWord(pm::PmContext &ctx, Addr word_off,
+                                 std::uint64_t new_val)
+{
+    const std::uint64_t slot = nextSlot_;
+    nextSlot_ = (nextSlot_ + 1) % kLogSlots;
+
+    // (i) Redo record, its own epoch.
+    AllocRedoRecord rec{word_off, new_val, nextSeq_++, 1};
+    ctx.store(recordOff(slot), &rec, sizeof(rec), DataClass::Log);
+    ctx.flush(recordOff(slot), sizeof(rec));
+    ctx.fence(FenceKind::Ordering);
+
+    // (ii) Apply the mutation, its own epoch.
+    ctx.store(word_off, &new_val, 8, DataClass::AllocMeta);
+    ctx.flush(word_off, 8);
+    ctx.fence(FenceKind::Ordering);
+
+    // (iii) Clear the record, its own epoch (NVML clears each log
+    // entry individually — the paper's singleton-epoch source).
+    const std::uint64_t invalid = 0;
+    auto *slot_rec = ctx.pool().at<AllocRedoRecord>(recordOff(slot));
+    ctx.storeField(slot_rec->valid, invalid, DataClass::Log);
+    ctx.flush(ctx.pool().offsetOf(&slot_rec->valid), 8);
+    ctx.fence(FenceKind::Ordering);
+}
+
+void
+NvmlAllocator::recover(pm::PmContext &ctx)
+{
+    // Replay redo records in sequence order, then clear them.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> live; // seq,slot
+    for (std::uint64_t slot = 0; slot < kLogSlots; slot++) {
+        AllocRedoRecord rec{};
+        ctx.load(recordOff(slot), &rec, sizeof(rec));
+        if (rec.valid == 1)
+            live.emplace_back(rec.seq, slot);
+    }
+    std::sort(live.begin(), live.end());
+    for (const auto &[seq, slot] : live) {
+        AllocRedoRecord rec{};
+        ctx.load(recordOff(slot), &rec, sizeof(rec));
+        ctx.store(rec.wordOff, &rec.newVal, 8, DataClass::AllocMeta);
+        ctx.flush(rec.wordOff, 8);
+        ctx.fence(FenceKind::Ordering);
+        const std::uint64_t invalid = 0;
+        auto *slot_rec = ctx.pool().at<AllocRedoRecord>(recordOff(slot));
+        ctx.storeField(slot_rec->valid, invalid, DataClass::Log);
+        ctx.flush(ctx.pool().offsetOf(&slot_rec->valid), 8);
+        ctx.fence(FenceKind::Ordering);
+        if (!live.empty())
+            nextSeq_ = std::max(nextSeq_, seq + 1);
+    }
+    SlabAllocator::recover(ctx);
+}
+
+std::uint64_t
+NvmlAllocator::liveLogRecords(pm::PmContext &ctx)
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t slot = 0; slot < kLogSlots; slot++) {
+        AllocRedoRecord rec{};
+        ctx.load(recordOff(slot), &rec, sizeof(rec));
+        n += rec.valid == 1;
+    }
+    return n;
+}
+
+} // namespace whisper::alloc

@@ -1,0 +1,201 @@
+#include "alloc/slab_alloc.hh"
+
+#include "common/logging.hh"
+
+namespace whisper::alloc
+{
+
+using pm::DataClass;
+using pm::FenceKind;
+
+SlabAllocator::SlabAllocator(pm::PmContext &ctx, Addr base,
+                             std::size_t size)
+{
+    layout(base, size);
+    // Format: zero every bitmap, persistently.
+    for (auto &slab : slabs_) {
+        const std::uint64_t words = (slab.blockCount + 63) / 64;
+        const std::uint64_t zero = 0;
+        for (std::uint64_t w = 0; w < words; w++) {
+            ctx.store(slab.bitmapBase + w * 8, &zero, 8,
+                      DataClass::AllocMeta);
+        }
+        ctx.flush(slab.bitmapBase, words * 8);
+    }
+    ctx.fence(FenceKind::Durability);
+}
+
+SlabAllocator::SlabAllocator(Addr base, std::size_t size)
+{
+    layout(base, size);
+}
+
+void
+SlabAllocator::layout(Addr base, std::size_t size)
+{
+    // Give each class an equal share of the region; within a share,
+    // bitmap first, then blocks.
+    const std::size_t share = size / kClasses.size();
+    Addr cursor = base;
+    for (std::size_t c = 0; c < kClasses.size(); c++) {
+        Slab &slab = slabs_[c];
+        slab.blockSize = kClasses[c];
+        // count * blockSize + count/8 <= share  (bitmap is 1 bit/block)
+        slab.blockCount = (share * 8) / (slab.blockSize * 8 + 1);
+        const std::uint64_t words = (slab.blockCount + 63) / 64;
+        slab.bitmapBase = cursor;
+        // Keep blocks cache-line aligned.
+        slab.blocksBase = lineBase(cursor + words * 8 + kCacheLineSize - 1);
+        slab.cursor = 0;
+        slab.shadow.assign(words, 0);
+        panic_if(slab.blockCount == 0, "slab class %zu has no blocks",
+                 slab.blockSize);
+        cursor += share;
+    }
+}
+
+std::size_t
+SlabAllocator::classFor(std::size_t n) const
+{
+    for (std::size_t c = 0; c < kClasses.size(); c++) {
+        if (n <= kClasses[c])
+            return c;
+    }
+    return kClasses.size();
+}
+
+bool
+SlabAllocator::locate(Addr payload, std::size_t &cls,
+                      std::uint64_t &bit) const
+{
+    for (std::size_t c = 0; c < kClasses.size(); c++) {
+        const Slab &slab = slabs_[c];
+        const Addr end = slab.blocksBase + slab.blockCount * slab.blockSize;
+        if (payload >= slab.blocksBase && payload < end) {
+            cls = c;
+            bit = (payload - slab.blocksBase) / slab.blockSize;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SlabAllocator::persistBitmapWord(pm::PmContext &ctx, Addr word_off,
+                                 std::uint64_t new_val)
+{
+    // Mnemosyne discipline: write the word, flush, fence. One small
+    // epoch per allocator mutation, no logging, may leak on crash.
+    ctx.store(word_off, &new_val, 8, DataClass::AllocMeta);
+    ctx.flush(word_off, 8);
+    ctx.fence(FenceKind::Ordering);
+}
+
+Addr
+SlabAllocator::alloc(pm::PmContext &ctx, std::size_t n)
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    const std::size_t c = classFor(n);
+    if (c == kClasses.size()) {
+        stats_.failedAllocs++;
+        return kNullAddr;
+    }
+    Slab &slab = slabs_[c];
+
+    // Next-fit scan over the volatile shadow bitmap.
+    for (std::uint64_t probe = 0; probe < slab.blockCount; probe++) {
+        const std::uint64_t bit = (slab.cursor + probe) % slab.blockCount;
+        const std::uint64_t word = bit / 64;
+        const std::uint64_t mask = 1ull << (bit % 64);
+        ctx.vLoad(&slab.shadow[word], 8);
+        if (slab.shadow[word] & mask)
+            continue;
+        slab.shadow[word] |= mask;
+        ctx.vStore(&slab.shadow[word], 8);
+        slab.cursor = (bit + 1) % slab.blockCount;
+        persistBitmapWord(ctx, slab.bitmapBase + word * 8,
+                          slab.shadow[word]);
+        stats_.allocs++;
+        stats_.bytesLive += slab.blockSize;
+        return slab.blocksBase + bit * slab.blockSize;
+    }
+    stats_.failedAllocs++;
+    return kNullAddr;
+}
+
+void
+SlabAllocator::free(pm::PmContext &ctx, Addr payload)
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    std::size_t c = 0;
+    std::uint64_t bit = 0;
+    panic_if(!locate(payload, c, bit), "free of non-slab offset %llu",
+             static_cast<unsigned long long>(payload));
+    Slab &slab = slabs_[c];
+    const std::uint64_t word = bit / 64;
+    const std::uint64_t mask = 1ull << (bit % 64);
+    panic_if(!(slab.shadow[word] & mask), "double free at %llu",
+             static_cast<unsigned long long>(payload));
+    slab.shadow[word] &= ~mask;
+    ctx.vStore(&slab.shadow[word], 8);
+    persistBitmapWord(ctx, slab.bitmapBase + word * 8, slab.shadow[word]);
+    stats_.frees++;
+    stats_.bytesLive -= slab.blockSize;
+}
+
+void
+SlabAllocator::recover(pm::PmContext &ctx)
+{
+    stats_.bytesLive = 0;
+    for (auto &slab : slabs_) {
+        const std::uint64_t words = (slab.blockCount + 63) / 64;
+        for (std::uint64_t w = 0; w < words; w++) {
+            std::uint64_t val = 0;
+            ctx.load(slab.bitmapBase + w * 8, &val, 8);
+            slab.shadow[w] = val;
+        }
+        slab.cursor = 0;
+        for (std::uint64_t bit = 0; bit < slab.blockCount; bit++) {
+            if (slab.shadow[bit / 64] & (1ull << (bit % 64)))
+                stats_.bytesLive += slab.blockSize;
+        }
+    }
+}
+
+std::uint64_t
+SlabAllocator::allocatedIn(std::size_t cls) const
+{
+    panic_if(cls >= kClasses.size(), "bad class index");
+    const Slab &slab = slabs_[cls];
+    std::uint64_t n = 0;
+    for (std::uint64_t bit = 0; bit < slab.blockCount; bit++) {
+        if (slab.shadow[bit / 64] & (1ull << (bit % 64)))
+            n++;
+    }
+    return n;
+}
+
+bool
+SlabAllocator::isAllocated(Addr payload) const
+{
+    std::size_t c = 0;
+    std::uint64_t bit = 0;
+    if (!locate(payload, c, bit))
+        return false;
+    const Slab &slab = slabs_[c];
+    return (slab.shadow[bit / 64] & (1ull << (bit % 64))) != 0;
+}
+
+void
+SlabAllocator::forEachAllocated(
+    const std::function<void(Addr, std::size_t)> &fn) const
+{
+    for (const auto &slab : slabs_) {
+        for (std::uint64_t bit = 0; bit < slab.blockCount; bit++) {
+            if (slab.shadow[bit / 64] & (1ull << (bit % 64)))
+                fn(slab.blocksBase + bit * slab.blockSize, slab.blockSize);
+        }
+    }
+}
+
+} // namespace whisper::alloc

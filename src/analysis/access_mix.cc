@@ -1,0 +1,48 @@
+#include "analysis/access_mix.hh"
+
+namespace whisper::analysis
+{
+
+using trace::DataClass;
+
+AccessMix
+computeAccessMix(const trace::TraceSet &traces)
+{
+    const trace::AccessCounters total = traces.totalCounters();
+    AccessMix out;
+    out.pmAccesses = total.pmAccesses();
+    out.dramAccesses = total.dramAccesses();
+    return out;
+}
+
+NtiUsage
+computeNtiUsage(const trace::TraceSet &traces)
+{
+    const trace::AccessCounters total = traces.totalCounters();
+    NtiUsage out;
+    out.cacheableStores = total.pmStores;
+    out.ntStores = total.pmNtStores;
+    out.cacheableBytes = total.pmStoreBytes;
+    out.ntBytes = total.pmNtStoreBytes;
+    return out;
+}
+
+Amplification
+computeAmplification(const trace::TraceSet &traces)
+{
+    const trace::AccessCounters total = traces.totalCounters();
+    Amplification out;
+    out.userBytes =
+        total.pmBytesByClass[static_cast<int>(DataClass::User)];
+    out.logBytes =
+        total.pmBytesByClass[static_cast<int>(DataClass::Log)];
+    out.allocBytes =
+        total.pmBytesByClass[static_cast<int>(DataClass::AllocMeta)];
+    out.txMetaBytes =
+        total.pmBytesByClass[static_cast<int>(DataClass::TxMeta)];
+    out.fsMetaBytes =
+        total.pmBytesByClass[static_cast<int>(DataClass::FsMeta)];
+    return out;
+}
+
+} // namespace whisper::analysis

@@ -1,0 +1,59 @@
+#include "analysis/dependency.hh"
+
+#include <unordered_map>
+
+namespace whisper::analysis
+{
+
+DependencySummary
+analyzeDependencies(const EpochBuilder &builder, Tick window)
+{
+    DependencySummary out;
+
+    // Last write time of each line, per thread. Thread ids are dense
+    // and small in this suite; a flat array per line keeps the scan
+    // cache-friendly.
+    ThreadId max_tid = 0;
+    for (const Epoch &ep : builder.epochs())
+        max_tid = std::max(max_tid, ep.tid);
+    const std::size_t nthreads = static_cast<std::size_t>(max_tid) + 1;
+
+    std::unordered_map<LineAddr, std::vector<Tick>> last_write;
+    last_write.reserve(1 << 16);
+
+    for (const Epoch &ep : builder.epochs()) {
+        out.totalEpochs++;
+        bool self_dep = false;
+        bool cross_dep = false;
+        const Tick horizon = ep.endTs > window ? ep.endTs - window : 0;
+        for (const LineAddr line : ep.lines) {
+            auto it = last_write.find(line);
+            if (it != last_write.end()) {
+                const auto &times = it->second;
+                for (std::size_t t = 0; t < nthreads; t++) {
+                    if (times[t] == 0 || times[t] < horizon)
+                        continue;
+                    // times[t] <= ep.endTs holds because epochs are
+                    // processed in end-timestamp order.
+                    if (t == ep.tid)
+                        self_dep = true;
+                    else
+                        cross_dep = true;
+                }
+            }
+        }
+        // Update after classification so an epoch does not depend on
+        // itself.
+        for (const LineAddr line : ep.lines) {
+            auto &times = last_write[line];
+            if (times.empty())
+                times.assign(nthreads, 0);
+            times[ep.tid] = ep.endTs;
+        }
+        out.selfDependent += self_dep;
+        out.crossDependent += cross_dep;
+    }
+    return out;
+}
+
+} // namespace whisper::analysis

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Epoch dependency analysis (the paper's Figure 5).
+ *
+ * Write-after-write dependencies between epochs are classified as
+ *
+ *  - self-dependency:  E^m_k  ~>_c  E^m'_k — two epochs of the *same*
+ *    thread store to a common cache line c, and
+ *  - cross-dependency: E^m_i (x)_c E^n_j — epochs of *different*
+ *    threads store to a common line,
+ *
+ * counted only when the earlier epoch ended within a 50 us window of
+ * the later epoch (the paper's bound on how long a flushed line can
+ * stay buffered before becoming persistent).
+ */
+
+#ifndef WHISPER_ANALYSIS_DEPENDENCY_HH
+#define WHISPER_ANALYSIS_DEPENDENCY_HH
+
+#include "analysis/epoch.hh"
+
+namespace whisper::analysis
+{
+
+/** Result of the dependency scan. */
+struct DependencySummary
+{
+    std::uint64_t totalEpochs = 0;
+    std::uint64_t selfDependent = 0;   //!< epochs with >=1 self-dep
+    std::uint64_t crossDependent = 0;  //!< epochs with >=1 cross-dep
+
+    double
+    selfFraction() const
+    {
+        return totalEpochs
+                   ? static_cast<double>(selfDependent) /
+                         static_cast<double>(totalEpochs)
+                   : 0.0;
+    }
+
+    double
+    crossFraction() const
+    {
+        return totalEpochs
+                   ? static_cast<double>(crossDependent) /
+                         static_cast<double>(totalEpochs)
+                   : 0.0;
+    }
+};
+
+/**
+ * Scan epochs (must be globally ordered by end timestamp, as
+ * EpochBuilder produces) for WAW dependencies within @p window ticks.
+ */
+DependencySummary analyzeDependencies(const EpochBuilder &builder,
+                                      Tick window = kDependencyWindow);
+
+} // namespace whisper::analysis
+
+#endif // WHISPER_ANALYSIS_DEPENDENCY_HH

@@ -1,0 +1,126 @@
+#include "analysis/epoch.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace whisper::analysis
+{
+
+using trace::DataClass;
+using trace::EventKind;
+using trace::TraceEvent;
+
+EpochBuilder::EpochBuilder(const trace::TraceSet &traces)
+{
+    for (const auto &buf : traces.buffers())
+        buildThread(*buf);
+    // Keep a deterministic global order: by end timestamp, then tid.
+    std::stable_sort(epochs_.begin(), epochs_.end(),
+                     [](const Epoch &a, const Epoch &b) {
+                         if (a.endTs != b.endTs)
+                             return a.endTs < b.endTs;
+                         return a.tid < b.tid;
+                     });
+}
+
+void
+EpochBuilder::buildThread(const trace::TraceBuffer &buf)
+{
+    const ThreadId tid = buf.tid();
+    std::uint64_t next_index = 0;
+
+    Epoch cur;
+    std::unordered_set<LineAddr> cur_lines;
+    bool open = false;
+    TxId cur_tx = 0;
+    std::unordered_map<TxId, std::size_t> tx_index;
+
+    auto tx_info = [&](TxId tx) -> TxInfo & {
+        auto it = tx_index.find(tx);
+        if (it == tx_index.end()) {
+            it = tx_index.emplace(tx, txs_.size()).first;
+            txs_.push_back({tx, tid, 0, 0, 0, false});
+        }
+        return txs_[it->second];
+    };
+
+    for (const TraceEvent &ev : buf.events()) {
+        switch (ev.kind) {
+          case EventKind::PmStore:
+          case EventKind::PmNtStore: {
+            if (!open) {
+                cur = Epoch{};
+                cur.tid = tid;
+                cur.index = next_index;
+                cur.startTs = ev.ts;
+                cur.tx = cur_tx;
+                cur_lines.clear();
+                open = true;
+            }
+            const LineAddr first = lineOf(ev.addr);
+            const LineAddr last =
+                lineOf(ev.addr + (ev.size ? ev.size - 1 : 0));
+            for (LineAddr line = first; line <= last; line++)
+                cur_lines.insert(line);
+            cur.storeCount++;
+            cur.storeBytes += ev.size;
+            if (ev.kind == EventKind::PmNtStore)
+                cur.ntStoreCount++;
+            if (cur_tx != 0) {
+                TxInfo &info = tx_info(cur_tx);
+                if (ev.cls == DataClass::User)
+                    info.userBytes += ev.size;
+                else
+                    info.metaBytes += ev.size;
+            }
+            break;
+          }
+          case EventKind::Fence:
+            if (open) {
+                cur.endTs = ev.ts;
+                cur.endKind = ev.fenceKind();
+                cur.lines.assign(cur_lines.begin(), cur_lines.end());
+                std::sort(cur.lines.begin(), cur.lines.end());
+                if (cur.tx != 0)
+                    tx_info(cur.tx).epochs++;
+                epochs_.push_back(std::move(cur));
+                next_index++;
+                open = false;
+            }
+            break;
+          case EventKind::TxBegin:
+            cur_tx = ev.addr;
+            tx_info(cur_tx);
+            break;
+          case EventKind::TxEnd:
+            cur_tx = 0;
+            break;
+          case EventKind::TxAbort:
+            tx_info(ev.addr).aborted = true;
+            cur_tx = 0;
+            break;
+          default:
+            break;
+        }
+    }
+    // A trailing open epoch (stores never fenced) is not counted: it
+    // was never ordered, matching the paper's definition.
+}
+
+std::vector<const Epoch *>
+EpochBuilder::epochsOf(ThreadId tid) const
+{
+    std::vector<const Epoch *> out;
+    for (const auto &ep : epochs_) {
+        if (ep.tid == tid)
+            out.push_back(&ep);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Epoch *a, const Epoch *b) {
+                  return a->index < b->index;
+              });
+    return out;
+}
+
+} // namespace whisper::analysis

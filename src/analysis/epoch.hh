@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Epoch reconstruction from traces.
+ *
+ * An epoch is the set of PM stores (cacheable or non-temporal) a
+ * thread performs between two sfence instructions; flush operations
+ * are ignored, exactly as in the paper's §5.1 methodology. Epochs are
+ * attributed to the durable transaction that was open when the
+ * epoch's first store executed.
+ */
+
+#ifndef WHISPER_ANALYSIS_EPOCH_HH
+#define WHISPER_ANALYSIS_EPOCH_HH
+
+#include <vector>
+
+#include "trace/trace_set.hh"
+
+namespace whisper::analysis
+{
+
+/** One reconstructed epoch. */
+struct Epoch
+{
+    ThreadId tid = 0;
+    std::uint64_t index = 0;       //!< per-thread sequence number
+    Tick startTs = 0;              //!< first store
+    Tick endTs = 0;                //!< closing fence
+    TxId tx = 0;                   //!< 0 when outside any transaction
+    trace::FenceKind endKind =
+        trace::FenceKind::Ordering; //!< ordering vs durability fence
+    std::vector<LineAddr> lines;   //!< unique 64B lines, sorted
+    std::uint64_t storeCount = 0;
+    std::uint64_t storeBytes = 0;
+    std::uint64_t ntStoreCount = 0;
+
+    /** Epoch size as defined by the paper: unique lines stored. */
+    std::uint64_t size() const { return lines.size(); }
+
+    bool isSingleton() const { return lines.size() == 1; }
+};
+
+/** Per-transaction footprint reconstructed alongside epochs. */
+struct TxInfo
+{
+    TxId tx;
+    ThreadId tid;
+    std::uint64_t epochs = 0;      //!< ordering points in the tx
+    std::uint64_t userBytes = 0;   //!< DataClass::User stores
+    std::uint64_t metaBytes = 0;   //!< everything else
+    bool aborted = false;
+};
+
+/**
+ * Rebuilds epochs and transaction footprints from a TraceSet.
+ */
+class EpochBuilder
+{
+  public:
+    /** Reconstruct all threads' epochs (per-thread program order). */
+    explicit EpochBuilder(const trace::TraceSet &traces);
+
+    const std::vector<Epoch> &epochs() const { return epochs_; }
+    const std::vector<TxInfo> &transactions() const { return txs_; }
+
+    /** Epochs of one thread, in order. */
+    std::vector<const Epoch *> epochsOf(ThreadId tid) const;
+
+    std::uint64_t epochCount() const { return epochs_.size(); }
+
+  private:
+    void buildThread(const trace::TraceBuffer &buf);
+
+    std::vector<Epoch> epochs_;
+    std::vector<TxInfo> txs_;
+};
+
+} // namespace whisper::analysis
+
+#endif // WHISPER_ANALYSIS_EPOCH_HH

@@ -1,0 +1,54 @@
+#include "analysis/epoch_stats.hh"
+
+namespace whisper::analysis
+{
+
+EpochSummary
+summarizeEpochs(const EpochBuilder &builder,
+                const trace::TraceSet &traces)
+{
+    EpochSummary out;
+    std::uint64_t singletons = 0;
+    std::uint64_t singleton_small = 0;
+    std::uint64_t durability = 0;
+
+    for (const Epoch &ep : builder.epochs()) {
+        out.totalEpochs++;
+        out.epochSizes.add(ep.size());
+        if (ep.isSingleton()) {
+            singletons++;
+            out.singletonBytes.add(ep.storeBytes);
+            if (ep.storeBytes < 10)
+                singleton_small++;
+        }
+        if (ep.endKind == trace::FenceKind::Durability)
+            durability++;
+    }
+    for (const TxInfo &tx : builder.transactions()) {
+        if (tx.epochs == 0)
+            continue;
+        out.totalTransactions++;
+        out.epochsPerTx.add(tx.epochs);
+    }
+
+    const Tick span = traces.lastTick() - traces.firstTick();
+    if (span > 0) {
+        out.epochsPerSecond = static_cast<double>(out.totalEpochs) /
+                              (static_cast<double>(span) * 1e-9);
+    }
+    if (out.totalEpochs > 0) {
+        out.singletonFraction =
+            static_cast<double>(singletons) /
+            static_cast<double>(out.totalEpochs);
+        out.durabilityFenceFraction =
+            static_cast<double>(durability) /
+            static_cast<double>(out.totalEpochs);
+    }
+    if (singletons > 0) {
+        out.singletonUnder10B = static_cast<double>(singleton_small) /
+                                static_cast<double>(singletons);
+    }
+    return out;
+}
+
+} // namespace whisper::analysis

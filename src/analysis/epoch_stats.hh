@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Distribution statistics over reconstructed epochs.
+ *
+ * Produces the numbers behind the paper's Table 1 (epochs/second),
+ * Figure 3 (epochs per transaction), Figure 4 (epoch sizes) and the
+ * singleton byte-size observation ("60% of singletons updated fewer
+ * than 10 bytes").
+ */
+
+#ifndef WHISPER_ANALYSIS_EPOCH_STATS_HH
+#define WHISPER_ANALYSIS_EPOCH_STATS_HH
+
+#include "analysis/epoch.hh"
+#include "common/histogram.hh"
+
+namespace whisper::analysis
+{
+
+/** Summary of one application run's epoch behaviour. */
+struct EpochSummary
+{
+    std::uint64_t totalEpochs = 0;
+    std::uint64_t totalTransactions = 0;
+    double epochsPerSecond = 0.0;
+    Histogram epochSizes;         //!< unique lines per epoch
+    Histogram epochsPerTx;        //!< ordering points per transaction
+    Histogram singletonBytes;     //!< bytes stored by singleton epochs
+    double singletonFraction = 0.0;
+    double singletonUnder10B = 0.0; //!< of singletons, stores < 10 bytes
+    double durabilityFenceFraction = 0.0;
+};
+
+/** Compute the summary for a run. @p traces supplies the wall span. */
+EpochSummary summarizeEpochs(const EpochBuilder &builder,
+                             const trace::TraceSet &traces);
+
+} // namespace whisper::analysis
+
+#endif // WHISPER_ANALYSIS_EPOCH_STATS_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Factories for the ten WHISPER applications.
+ *
+ * Table 1 of the paper maps each application to its access layer and
+ * driving workload; registerSuiteApps() (register.cc) wires these
+ * factories into the core registry under the paper's names:
+ *
+ *   echo, ycsb, tpcc          — native
+ *   redis, ctree, hashmap     — Library/NVML
+ *   vacation, memcached       — Library/Mnemosyne
+ *   nfs, exim, mysql          — FS/PMFS
+ */
+
+#ifndef WHISPER_APPS_APPS_HH
+#define WHISPER_APPS_APPS_HH
+
+#include <memory>
+
+#include "core/app.hh"
+
+namespace whisper::apps
+{
+
+std::unique_ptr<core::WhisperApp> makeEchoApp(const core::AppConfig &);
+std::unique_ptr<core::WhisperApp> makeYcsbApp(const core::AppConfig &);
+std::unique_ptr<core::WhisperApp> makeTpccApp(const core::AppConfig &);
+std::unique_ptr<core::WhisperApp> makeRedisApp(const core::AppConfig &);
+std::unique_ptr<core::WhisperApp> makeCtreeApp(const core::AppConfig &);
+std::unique_ptr<core::WhisperApp> makeHashmapApp(const core::AppConfig &);
+std::unique_ptr<core::WhisperApp>
+makeVacationApp(const core::AppConfig &);
+std::unique_ptr<core::WhisperApp>
+makeMemcachedApp(const core::AppConfig &);
+std::unique_ptr<core::WhisperApp> makeNfsApp(const core::AppConfig &);
+std::unique_ptr<core::WhisperApp> makeEximApp(const core::AppConfig &);
+std::unique_ptr<core::WhisperApp> makeMysqlApp(const core::AppConfig &);
+
+} // namespace whisper::apps
+
+#endif // WHISPER_APPS_APPS_HH

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * C-tree: the NVML crit-bit tree micro-benchmark.
+ *
+ * A crit-bit (PATRICIA) tree over 64-bit keys, as shipped in NVML's
+ * examples: internal nodes hold the critical bit position and two
+ * children; leaves hold key and value. Inserts allocate one leaf and
+ * (except for the first insert) one internal node per operation and
+ * splice the internal node into the path — a pointer update inside an
+ * undo-logged transaction. Four client threads perform INSERT
+ * transactions (paper Table 1).
+ */
+
+#include <mutex>
+
+#include "apps/apps.hh"
+#include "common/logging.hh"
+#include "txlib/nvml.hh"
+
+namespace whisper::apps
+{
+
+using namespace core;
+using pm::DataClass;
+using pm::FenceKind;
+
+namespace
+{
+
+/** Tagged pointer: low bit set == internal node. */
+constexpr Addr kInternalTag = 1;
+
+struct CtLeaf
+{
+    std::uint64_t key;
+    std::uint64_t value;
+    std::uint64_t checksum; //!< key ^ value ^ kSalt
+    static constexpr std::uint64_t kSalt = 0xC17B17ull;
+};
+
+struct CtInternal
+{
+    std::uint32_t bit;      //!< critical bit index (63..0)
+    std::uint32_t pad;
+    Addr child[2];
+};
+
+struct CtRoot
+{
+    std::uint64_t magic;
+    Addr top;               //!< tagged pointer or kNullAddr
+    std::uint64_t count;    //!< committed inserts
+
+    static constexpr std::uint64_t kMagic = 0xC7EEC7EEull;
+};
+
+bool
+isInternal(Addr tagged)
+{
+    return tagged != kNullAddr && (tagged & kInternalTag);
+}
+
+Addr
+untag(Addr tagged)
+{
+    return tagged & ~kInternalTag;
+}
+
+class CtreeApp : public WhisperApp
+{
+  public:
+    explicit CtreeApp(const AppConfig &config) : WhisperApp(config) {}
+
+    std::string name() const override { return "ctree"; }
+    AccessLayer layer() const override { return AccessLayer::LibNvml; }
+
+    void
+    setup(Runtime &rt) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        rootOff_ = 0;
+        const Addr pool_base = lineBase(sizeof(CtRoot) + kCacheLineSize);
+        pool_ = std::make_unique<nvml::NvmlPool>(
+            ctx, pool_base, config_.poolBytes - pool_base,
+            config_.threads);
+        CtRoot root{CtRoot::kMagic, kNullAddr, 0};
+        ctx.store(rootOff_, &root, sizeof(root), DataClass::User);
+        ctx.flush(rootOff_, sizeof(root));
+        ctx.fence(FenceKind::Durability);
+    }
+
+    void
+    run(Runtime &rt, pm::PmContext &ctx, ThreadId tid) override
+    {
+        (void)rt;
+        Rng rng(config_.seed * 73 + tid);
+        for (std::uint64_t op = 0; op < config_.opsPerThread; op++) {
+            // Unique keys per thread (clients insert disjoint ranges).
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(tid) << 48) | rng() >> 16;
+            // Client-side key generation and buffers (paper Fig. 6:
+            // ctree is ~3.3% PM accesses).
+            ctx.vBurst(&rng, 1 << 14, 520, 220);
+            ctx.compute(11000);
+            insert(ctx, key, rng());
+            // Occasional lookups between inserts.
+            if (op % 4 == 0)
+                lookup(ctx, key);
+        }
+    }
+
+    bool verify(Runtime &rt) override { return checkTree(rt, nullptr); }
+
+    void
+    recover(Runtime &rt) override
+    {
+        pool_->recover(rt.ctx(0));
+    }
+
+    bool
+    verifyRecovered(Runtime &rt) override
+    {
+        std::string why;
+        const bool ok = checkTree(rt, &why);
+        if (!ok)
+            warn("ctree recovery check failed: %s", why.c_str());
+        return ok;
+    }
+
+  private:
+    CtRoot *root(pm::PmContext &ctx) { return ctx.pool().at<CtRoot>(
+        rootOff_); }
+
+    bool
+    lookup(pm::PmContext &ctx, std::uint64_t key)
+    {
+        std::lock_guard<std::mutex> guard(treeLock_);
+        Addr cur = root(ctx)->top;
+        while (isInternal(cur)) {
+            const CtInternal *node =
+                ctx.pool().at<CtInternal>(untag(cur));
+            CtInternal probe{};
+            ctx.load(untag(cur), &probe, sizeof(probe));
+            cur = node->child[(key >> node->bit) & 1];
+        }
+        if (cur == kNullAddr)
+            return false;
+        CtLeaf leaf{};
+        ctx.load(cur, &leaf, sizeof(leaf));
+        return leaf.key == key;
+    }
+
+    void
+    insert(pm::PmContext &ctx, std::uint64_t key, std::uint64_t value)
+    {
+        std::lock_guard<std::mutex> guard(treeLock_);
+        CtRoot *r = root(ctx);
+
+        if (r->top == kNullAddr) {
+            nvml::TxContext tx(*pool_, ctx);
+            const Addr leaf_off = tx.txAlloc(sizeof(CtLeaf));
+            if (leaf_off == kNullAddr) {
+                tx.abort();
+                return;
+            }
+            CtLeaf leaf{key, value, key ^ value ^ CtLeaf::kSalt};
+            tx.directStore(leaf_off, &leaf, sizeof(leaf),
+                           DataClass::User);
+            tx.set(r->top, leaf_off, DataClass::User);
+            const std::uint64_t n = r->count + 1;
+            tx.set(r->count, n, DataClass::User);
+            tx.commit();
+            return;
+        }
+
+        // Find the existing leaf this key diverges from.
+        Addr cur = r->top;
+        while (isInternal(cur)) {
+            const CtInternal *node =
+                ctx.pool().at<CtInternal>(untag(cur));
+            cur = node->child[(key >> node->bit) & 1];
+        }
+        const CtLeaf *other = ctx.pool().at<CtLeaf>(cur);
+        const std::uint64_t diff = other->key ^ key;
+        if (diff == 0) {
+            // Key exists: update the value in place (logged).
+            nvml::TxContext tx(*pool_, ctx);
+            tx.set(ctx.pool().at<CtLeaf>(cur)->value, value,
+                   DataClass::User);
+            const std::uint64_t sum = key ^ value ^ CtLeaf::kSalt;
+            tx.set(ctx.pool().at<CtLeaf>(cur)->checksum, sum,
+                   DataClass::User);
+            tx.commit();
+            return;
+        }
+        const std::uint32_t crit =
+            63 - static_cast<std::uint32_t>(__builtin_clzll(diff));
+
+        nvml::TxContext tx(*pool_, ctx);
+        const Addr leaf_off = tx.txAlloc(sizeof(CtLeaf));
+        if (leaf_off == kNullAddr) {
+            tx.abort();
+            return;
+        }
+        CtLeaf leaf{key, value, key ^ value ^ CtLeaf::kSalt};
+        tx.directStore(leaf_off, &leaf, sizeof(leaf), DataClass::User);
+
+        // Build the new internal node (fresh: direct stores).
+        const Addr inode_off = tx.txAlloc(sizeof(CtInternal));
+        if (inode_off == kNullAddr) {
+            tx.abort();
+            return;
+        }
+
+        // Walk again to the splice point: the first link whose
+        // subtree's critical bit is below ours.
+        Addr *link = &r->top;
+        Addr link_holder = rootOff_ + offsetof(CtRoot, top);
+        while (isInternal(*link)) {
+            CtInternal *node = ctx.pool().at<CtInternal>(untag(*link));
+            if (node->bit < crit)
+                break;
+            const unsigned dir = (key >> node->bit) & 1;
+            link_holder = untag(*link) + offsetof(CtInternal, child) +
+                          dir * sizeof(Addr);
+            link = &node->child[dir];
+        }
+
+        CtInternal inode{};
+        inode.bit = crit;
+        inode.child[(key >> crit) & 1] = leaf_off;
+        inode.child[((key >> crit) & 1) ^ 1] = *link;
+        tx.directStore(inode_off, &inode, sizeof(inode),
+                       DataClass::User);
+
+        // Splice: one logged pointer update.
+        tx.addRange(link_holder, 8);
+        const Addr tagged = inode_off | kInternalTag;
+        ctx.store(link_holder, &tagged, 8, DataClass::User);
+
+        const std::uint64_t n = r->count + 1;
+        tx.set(r->count, n, DataClass::User);
+        tx.commit();
+    }
+
+    bool
+    checkTree(Runtime &rt, std::string *why)
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        CtRoot *r = root(ctx);
+        if (r->magic != CtRoot::kMagic) {
+            if (why)
+                *why = "bad root magic";
+            return false;
+        }
+        std::uint64_t leaves = 0;
+        bool ok = true;
+        std::string err;
+        // Iterative DFS validating structure and checksums.
+        std::vector<std::pair<Addr, std::uint32_t>> stack; // node,max bit
+        if (r->top != kNullAddr)
+            stack.push_back({r->top, 64});
+        std::uint64_t guard = 0;
+        while (!stack.empty() && ok) {
+            if (++guard > 50'000'000) {
+                ok = false;
+                err = "tree cycle";
+                break;
+            }
+            auto [cur, maxbit] = stack.back();
+            stack.pop_back();
+            if (isInternal(cur)) {
+                const CtInternal *node =
+                    ctx.pool().at<CtInternal>(untag(cur));
+                if (node->bit >= maxbit) {
+                    ok = false;
+                    err = "crit-bit order violated";
+                    break;
+                }
+                stack.push_back({node->child[0], node->bit});
+                stack.push_back({node->child[1], node->bit});
+            } else {
+                const CtLeaf *leaf = ctx.pool().at<CtLeaf>(cur);
+                if (leaf->checksum !=
+                    (leaf->key ^ leaf->value ^ CtLeaf::kSalt)) {
+                    ok = false;
+                    err = "leaf checksum mismatch";
+                    break;
+                }
+                leaves++;
+            }
+        }
+        if (ok && leaves < r->count) {
+            ok = false;
+            err = "fewer leaves than committed count";
+        }
+        if (!ok && why)
+            *why = err;
+        return ok;
+    }
+
+    std::unique_ptr<nvml::NvmlPool> pool_;
+    Addr rootOff_ = 0;
+    std::mutex treeLock_;
+};
+
+} // namespace
+
+std::unique_ptr<core::WhisperApp>
+makeCtreeApp(const core::AppConfig &config)
+{
+    return std::make_unique<CtreeApp>(config);
+}
+
+} // namespace whisper::apps

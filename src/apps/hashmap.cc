@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Hashmap: the NVML persistent-hashmap micro-benchmark.
+ *
+ * Open-chained hashmap over 64-bit keys as in NVML's hashmap_tx
+ * example: a persistent bucket array object plus chained entries,
+ * every INSERT running in an undo-logged transaction. Four client
+ * threads perform INSERT (and some REMOVE) transactions (Table 1).
+ */
+
+#include <mutex>
+
+#include "apps/apps.hh"
+#include "common/logging.hh"
+#include "txlib/nvml.hh"
+
+namespace whisper::apps
+{
+
+using namespace core;
+using pm::DataClass;
+using pm::FenceKind;
+
+namespace
+{
+
+constexpr std::uint64_t kBuckets = 16384;
+
+struct MapEntry
+{
+    std::uint64_t key;
+    std::uint64_t value;
+    std::uint64_t checksum; //!< key ^ value ^ kSalt
+    Addr next;
+    static constexpr std::uint64_t kSalt = 0x4A5471ull;
+};
+
+struct MapRoot
+{
+    std::uint64_t magic;
+    std::uint64_t count;
+    Addr buckets[kBuckets];
+
+    static constexpr std::uint64_t kMagic = 0x4A5244AAull;
+};
+
+std::uint64_t
+hashKey(std::uint64_t key)
+{
+    key ^= key >> 33;
+    key *= 0xc4ceb9fe1a85ec53ull;
+    key ^= key >> 33;
+    return key;
+}
+
+class HashmapApp : public WhisperApp
+{
+  public:
+    explicit HashmapApp(const AppConfig &config) : WhisperApp(config) {}
+
+    std::string name() const override { return "hashmap"; }
+    AccessLayer layer() const override { return AccessLayer::LibNvml; }
+
+    void
+    setup(Runtime &rt) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        rootOff_ = 0;
+        const Addr pool_base =
+            lineBase(sizeof(MapRoot) + kCacheLineSize);
+        pool_ = std::make_unique<nvml::NvmlPool>(
+            ctx, pool_base, config_.poolBytes - pool_base,
+            config_.threads);
+        MapRoot root{};
+        root.magic = MapRoot::kMagic;
+        for (auto &b : root.buckets)
+            b = kNullAddr;
+        ctx.store(rootOff_, &root, sizeof(root), DataClass::User);
+        ctx.flush(rootOff_, sizeof(root));
+        ctx.fence(FenceKind::Durability);
+    }
+
+    void
+    run(Runtime &rt, pm::PmContext &ctx, ThreadId tid) override
+    {
+        (void)rt;
+        Rng rng(config_.seed * 271 + tid);
+        const std::uint64_t keyspace = config_.opsPerThread * 4 + 64;
+        std::vector<std::uint64_t> inserted;
+        inserted.reserve(config_.opsPerThread);
+
+        for (std::uint64_t op = 0; op < config_.opsPerThread; op++) {
+            // Paper Fig. 6: hashmap is ~2.6% PM accesses.
+            ctx.vBurst(inserted.data(), 1 << 14, 560, 240);
+            ctx.compute(6500);
+            if (!inserted.empty() && rng.chance(0.1)) {
+                // REMOVE a previously inserted key.
+                const std::size_t idx = rng.next(inserted.size());
+                remove(ctx, inserted[idx]);
+                inserted[idx] = inserted.back();
+                inserted.pop_back();
+                ctx.vStore(inserted.data() + idx, 8);
+            } else {
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(tid) << 48) |
+                    rng.next(keyspace);
+                if (insert(ctx, key, rng())) {
+                    inserted.push_back(key);
+                    ctx.vStore(&inserted.back(), 8);
+                }
+            }
+        }
+    }
+
+    bool verify(Runtime &rt) override { return checkMap(rt, nullptr); }
+
+    void recover(Runtime &rt) override { pool_->recover(rt.ctx(0)); }
+
+    bool
+    verifyRecovered(Runtime &rt) override
+    {
+        std::string why;
+        const bool ok = checkMap(rt, &why);
+        if (!ok)
+            warn("hashmap recovery check failed: %s", why.c_str());
+        return ok;
+    }
+
+  private:
+    MapRoot *root(pm::PmContext &ctx) { return ctx.pool().at<MapRoot>(
+        rootOff_); }
+
+    bool
+    insert(pm::PmContext &ctx, std::uint64_t key, std::uint64_t value)
+    {
+        std::lock_guard<std::mutex> guard(mapLock_);
+        MapRoot *r = root(ctx);
+        Addr &bucket = r->buckets[hashKey(key) % kBuckets];
+
+        // Existing key: transactional value overwrite.
+        for (Addr cur = bucket; cur != kNullAddr;) {
+            MapEntry probe{};
+            ctx.load(cur, &probe, sizeof(probe));
+            if (probe.key == key) {
+                nvml::TxContext tx(*pool_, ctx);
+                MapEntry *e = ctx.pool().at<MapEntry>(cur);
+                tx.set(e->value, value, DataClass::User);
+                const std::uint64_t sum =
+                    key ^ value ^ MapEntry::kSalt;
+                tx.set(e->checksum, sum, DataClass::User);
+                tx.commit();
+                return false;
+            }
+            cur = probe.next;
+        }
+
+        nvml::TxContext tx(*pool_, ctx);
+        const Addr off = tx.txAlloc(sizeof(MapEntry));
+        if (off == kNullAddr) {
+            tx.abort();
+            return false;
+        }
+        MapEntry e{key, value, key ^ value ^ MapEntry::kSalt, bucket};
+        tx.directStore(off, &e, sizeof(e), DataClass::User);
+        tx.set(bucket, off, DataClass::User);
+        const std::uint64_t n = r->count + 1;
+        tx.set(r->count, n, DataClass::User);
+        tx.commit();
+        return true;
+    }
+
+    void
+    remove(pm::PmContext &ctx, std::uint64_t key)
+    {
+        std::lock_guard<std::mutex> guard(mapLock_);
+        MapRoot *r = root(ctx);
+        Addr holder =
+            rootOff_ + offsetof(MapRoot, buckets) +
+            (hashKey(key) % kBuckets) * sizeof(Addr);
+        Addr cur = *ctx.pool().at<Addr>(holder);
+        while (cur != kNullAddr) {
+            MapEntry probe{};
+            ctx.load(cur, &probe, sizeof(probe));
+            if (probe.key == key) {
+                nvml::TxContext tx(*pool_, ctx);
+                tx.addRange(holder, 8);
+                ctx.store(holder, &probe.next, 8, DataClass::User);
+                tx.txFree(cur);
+                const std::uint64_t n = r->count - 1;
+                tx.set(r->count, n, DataClass::User);
+                tx.commit();
+                return;
+            }
+            holder = cur + offsetof(MapEntry, next);
+            cur = probe.next;
+        }
+    }
+
+    bool
+    checkMap(Runtime &rt, std::string *why)
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        MapRoot *r = root(ctx);
+        if (r->magic != MapRoot::kMagic) {
+            if (why)
+                *why = "bad root magic";
+            return false;
+        }
+        std::uint64_t seen = 0;
+        for (std::uint64_t b = 0; b < kBuckets; b++) {
+            Addr cur = r->buckets[b];
+            std::uint64_t guard = 0;
+            while (cur != kNullAddr) {
+                if (++guard > 10'000'000) {
+                    if (why)
+                        *why = "bucket cycle";
+                    return false;
+                }
+                const MapEntry *e = ctx.pool().at<MapEntry>(cur);
+                if (e->checksum !=
+                    (e->key ^ e->value ^ MapEntry::kSalt)) {
+                    if (why)
+                        *why = "entry checksum mismatch";
+                    return false;
+                }
+                if (hashKey(e->key) % kBuckets != b) {
+                    if (why)
+                        *why = "entry in wrong bucket";
+                    return false;
+                }
+                seen++;
+                cur = e->next;
+            }
+        }
+        if (seen != r->count) {
+            if (why)
+                *why = "count does not match reachable entries";
+            return false;
+        }
+        return true;
+    }
+
+    std::unique_ptr<nvml::NvmlPool> pool_;
+    Addr rootOff_ = 0;
+    std::mutex mapLock_;
+};
+
+} // namespace
+
+std::unique_ptr<core::WhisperApp>
+makeHashmapApp(const core::AppConfig &config)
+{
+    return std::make_unique<HashmapApp>(config);
+}
+
+} // namespace whisper::apps

@@ -1,0 +1,634 @@
+/**
+ * @file
+ * N-store: a persistent-memory RDBMS (native access layer), with the
+ * OPTWAL engine and YCSB-like / TPC-C-like drivers.
+ *
+ * Faithful behavioural details (paper §3.2.1):
+ *  - the database is partitioned; each client thread owns one
+ *    partition and executes transactions on it independently;
+ *  - OPTWAL keeps tables and indexes in PM segments from a global
+ *    allocator and uses a per-thread *undo log*: the old tuple image
+ *    is logged (store + flush + fence) before each in-place update,
+ *    updates are cacheable stores flushed at commit, and the log
+ *    entries are cleared one per epoch;
+ *  - the single-heap BuddyAllocator supplies tuples; N-store tags
+ *    every block FREE / VOLATILE / PERSISTENT, writing the state
+ *    variable up to three times per transaction (the paper's
+ *    allocator self-dependency example);
+ *  - every tuple carries a checksum over its payload, updated in the
+ *    same transaction — after any crash + rollback, every reachable
+ *    tuple's checksum must validate.
+ *
+ * The YCSB-like driver issues zipfian single-partition transactions
+ * of four operations at 80% writes; the TPC-C-like driver issues
+ * new-order (insert order + 5..15 order lines + stock updates),
+ * payment, and order-status transactions at 40% writes overall.
+ */
+
+#include <unordered_map>
+
+#include "alloc/buddy_alloc.hh"
+#include "apps/apps.hh"
+#include "common/logging.hh"
+#include "txlib/mnemosyne.hh" // foldChecksum
+
+namespace whisper::apps
+{
+
+using namespace core;
+using pm::DataClass;
+using pm::FenceKind;
+using mne::foldChecksum;
+
+namespace
+{
+
+constexpr std::size_t kTupleValueBytes = 96;
+constexpr std::uint64_t kIndexBuckets = 8192;
+constexpr std::size_t kUndoLogBytes = 512 << 10;
+constexpr unsigned kUndoSegments = 32;
+constexpr std::size_t kUndoSegmentBytes = kUndoLogBytes / kUndoSegments;
+
+/** One table row. */
+struct Tuple
+{
+    std::uint64_t key;
+    std::uint64_t seq;        //!< bumped each committed update
+    std::uint32_t checksum;   //!< folds key, seq and value
+    std::uint32_t pad;
+    std::uint8_t value[kTupleValueBytes];
+    Addr next;                //!< index bucket chain
+};
+
+/** Per-partition persistent header. */
+struct Partition
+{
+    std::uint64_t magic;
+    std::uint64_t tupleCount;
+    /**
+     * Offset of the undo-log segment of the in-flight transaction
+     * (kNullAddr when none) and its sequence number. OPTWAL is an
+     * *optimized* WAL: instead of clearing every record, commit
+     * retires the whole log with this single pointer write — one of
+     * the reasons the native engines outrun the libraries in Table 1.
+     */
+    Addr activeLog;
+    std::uint64_t activeSeq;
+    Addr index[kIndexBuckets];
+
+    static constexpr std::uint64_t kMagic = 0x4E53544Full; // "NSTO"
+};
+
+/**
+ * Per-partition undo-log record, cache-line aligned. OPTWAL never
+ * clears records; instead every record carries the transaction's
+ * sequence number and recovery only honours records whose sequence
+ * matches the published one — stale records from the segment's
+ * previous use fail the check.
+ */
+struct UndoRec
+{
+    std::uint32_t magic;
+    std::uint32_t size;
+    Addr addr;
+    std::uint32_t checksum;
+    std::uint32_t pad;
+    std::uint64_t seq;
+
+    static constexpr std::uint32_t kMagic = 0x4F505457u; // "OPTW"
+};
+
+std::uint64_t
+hashKey(std::uint64_t key)
+{
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ull;
+    key ^= key >> 27;
+    return key;
+}
+
+std::uint32_t
+tupleChecksum(const Tuple &t)
+{
+    return foldChecksum(&t.value, sizeof(t.value)) ^
+           static_cast<std::uint32_t>(t.key) ^
+           static_cast<std::uint32_t>(t.seq);
+}
+
+/** Which driver shapes the transactions. */
+enum class NstoreWorkload { Ycsb, Tpcc };
+
+class NstoreApp : public WhisperApp
+{
+  public:
+    NstoreApp(const AppConfig &config, NstoreWorkload workload)
+        : WhisperApp(config), workload_(workload)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return workload_ == NstoreWorkload::Ycsb ? "ycsb" : "tpcc";
+    }
+
+    AccessLayer layer() const override { return AccessLayer::Native; }
+
+    void
+    setup(Runtime &rt) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        // Layout: [partition headers][undo logs][global buddy heap].
+        const std::size_t part_bytes =
+            lineBase(sizeof(Partition) + kCacheLineSize);
+        partitionBytes_ = part_bytes;
+        partitionsOff_ = 0;
+        undoOff_ = partitionsOff_ +
+                   static_cast<Addr>(config_.threads) * part_bytes;
+        const Addr heap_off = lineBase(
+            undoOff_ + static_cast<Addr>(config_.threads) *
+                           kUndoLogBytes + kCacheLineSize);
+        heap_ = std::make_unique<alloc::BuddyAllocator>(
+            ctx, heap_off, config_.poolBytes - heap_off);
+
+        for (unsigned p = 0; p < config_.threads; p++) {
+            Partition hdr{};
+            hdr.magic = Partition::kMagic;
+            hdr.activeLog = kNullAddr;
+            for (auto &slot : hdr.index)
+                slot = kNullAddr;
+            ctx.store(partOff(p), &hdr, sizeof(hdr), DataClass::User);
+            ctx.flush(partOff(p), sizeof(hdr));
+            UndoRec end{UndoRec::kMagic, 0, 0, 0, 0, 0};
+            ctx.store(undoLogOff(p), &end, sizeof(end),
+                      DataClass::Log);
+            ctx.flush(undoLogOff(p), sizeof(end));
+        }
+        segCursor_.assign(config_.threads, 0);
+        txSeq_.assign(config_.threads, 1);
+        ctx.fence(FenceKind::Durability);
+
+        // Load phase: each partition gets its initial tuples.
+        const std::uint64_t rows = initialRows();
+        for (unsigned p = 0; p < config_.threads; p++) {
+            pm::PmContext &pctx = rt.ctx(0);
+            Rng rng(config_.seed + p);
+            for (std::uint64_t k = 0; k < rows; k++)
+                insertTuple(pctx, p, k, rng, nullptr);
+        }
+    }
+
+    void
+    run(Runtime &rt, pm::PmContext &ctx, ThreadId tid) override
+    {
+        (void)rt;
+        Rng rng(config_.seed * 31 + tid);
+        const std::uint64_t rows = initialRows();
+        ZipfianGenerator zipf(rows);
+
+        for (std::uint64_t op = 0; op < config_.opsPerThread; op++) {
+            // Query parsing, plan caching, client buffers: N-store
+            // YCSB is ~8.7% PM accesses in the paper's Figure 6.
+            ctx.vBurst(&zipf, 1 << 16, 1000, 420);
+            ctx.compute(2500);
+            if (workload_ == NstoreWorkload::Ycsb)
+                ycsbTx(ctx, tid, rng, zipf);
+            else
+                tpccTx(ctx, tid, rng, zipf, op);
+        }
+    }
+
+    bool verify(Runtime &rt) override { return checkAll(rt, nullptr); }
+
+    void
+    recover(Runtime &rt) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        // Roll back every partition's in-flight transaction, then
+        // prune half-inserted (VOLATILE) tuples, then let the heap
+        // reclaim.
+        for (unsigned p = 0; p < config_.threads; p++)
+            rollbackUndo(ctx, p);
+        for (unsigned p = 0; p < config_.threads; p++) {
+            Partition *part = partition(ctx, p);
+            for (auto &slot : part->index) {
+                while (slot != kNullAddr &&
+                       heap_->state(ctx, slot) !=
+                           alloc::BlockState::Persistent) {
+                    const Tuple *t = ctx.pool().at<Tuple>(slot);
+                    ctx.storeField(slot, t->next, DataClass::User);
+                    ctx.flush(ctx.pool().offsetOf(&slot), 8);
+                    ctx.fence(FenceKind::Ordering);
+                }
+            }
+        }
+        heap_->recover(ctx);
+    }
+
+    bool
+    verifyRecovered(Runtime &rt) override
+    {
+        std::string why;
+        const bool ok = checkAll(rt, &why);
+        if (!ok)
+            warn("nstore recovery check failed: %s", why.c_str());
+        return ok;
+    }
+
+  private:
+    std::uint64_t
+    initialRows() const
+    {
+        return std::max<std::uint64_t>(
+            512, std::min<std::uint64_t>(config_.opsPerThread, 16384));
+    }
+
+    Addr
+    partOff(unsigned p) const
+    {
+        return partitionsOff_ + static_cast<Addr>(p) * partitionBytes_;
+    }
+
+    Addr
+    undoLogOff(unsigned p) const
+    {
+        return undoOff_ + static_cast<Addr>(p) * kUndoLogBytes;
+    }
+
+    /** Rotating log segment for this partition's next transaction. */
+    Addr
+    acquireUndoSegment(unsigned p)
+    {
+        const unsigned seg = segCursor_[p]++ % kUndoSegments;
+        return undoLogOff(p) + static_cast<Addr>(seg) *
+                                   kUndoSegmentBytes;
+    }
+
+    Partition *
+    partition(pm::PmContext &ctx, unsigned p)
+    {
+        return ctx.pool().at<Partition>(partOff(p));
+    }
+
+    /** @{ \name OPTWAL undo logging (per partition) */
+
+    void
+    undoAppend(pm::PmContext &ctx, unsigned p, Addr &head, Addr addr,
+               std::uint32_t size, std::uint64_t seq)
+    {
+        const Addr seg_base =
+            undoLogOff(p) +
+            (head - undoLogOff(p)) / kUndoSegmentBytes *
+                kUndoSegmentBytes;
+        panic_if(head + sizeof(UndoRec) + size >
+                         seg_base + kUndoSegmentBytes,
+                 "OPTWAL undo log overflow");
+        std::vector<std::uint8_t> old(size);
+        ctx.load(addr, old.data(), size);
+        UndoRec rec{UndoRec::kMagic, size, addr,
+                    foldChecksum(old.data(), size), 0, seq};
+        ctx.store(head, &rec, sizeof(rec), DataClass::Log);
+        ctx.store(head + sizeof(rec), old.data(), size, DataClass::Log);
+        ctx.flush(head, sizeof(rec) + size);
+        // Records are cache-line aligned (as PMFS-era logs are), so
+        // consecutive appends never share a line.
+        head = lineBase(head + sizeof(rec) + size + kCacheLineSize - 1);
+        ctx.fence(FenceKind::Ordering);
+    }
+
+    /** Publish the in-flight transaction's log segment + sequence. */
+    std::uint64_t
+    undoActivate(pm::PmContext &ctx, unsigned p, Addr seg_base)
+    {
+        Partition *part = partition(ctx, p);
+        const std::uint64_t seq = txSeq_[p]++;
+        const struct { Addr log; std::uint64_t seq; } cell{seg_base,
+                                                           seq};
+        ctx.store(ctx.pool().offsetOf(&part->activeLog), &cell,
+                  sizeof(cell), DataClass::TxMeta);
+        ctx.flush(ctx.pool().offsetOf(&part->activeLog), sizeof(cell));
+        ctx.fence(FenceKind::Ordering);
+        return seq;
+    }
+
+    /** Retire the whole log with one pointer write (OPTWAL). */
+    void
+    undoRetire(pm::PmContext &ctx, unsigned p)
+    {
+        Partition *part = partition(ctx, p);
+        const Addr none = kNullAddr;
+        ctx.storeField(part->activeLog, none, DataClass::TxMeta);
+        ctx.flush(ctx.pool().offsetOf(&part->activeLog), 8);
+        ctx.fence(FenceKind::Ordering);
+    }
+
+    void
+    rollbackUndo(pm::PmContext &ctx, unsigned p)
+    {
+        // Only the published segment (if any) is live, and only
+        // records tagged with the published sequence belong to it.
+        Partition *part = partition(ctx, p);
+        const Addr seg_base = part->activeLog;
+        const std::uint64_t seq = part->activeSeq;
+        if (seg_base == kNullAddr)
+            return;
+        struct Rec { Addr addr; std::uint32_t size; Addr payload; };
+        std::vector<Rec> recs;
+        {
+        Addr cursor = seg_base;
+        const Addr limit = seg_base + kUndoSegmentBytes;
+        while (cursor + sizeof(UndoRec) <= limit) {
+            UndoRec rec{};
+            ctx.load(cursor, &rec, sizeof(rec));
+            if (rec.magic != UndoRec::kMagic || rec.size == 0 ||
+                rec.seq != seq) {
+                break; // stale record from a previous use
+            }
+            const Addr payload = cursor + sizeof(UndoRec);
+            if (payload + rec.size > limit ||
+                foldChecksum(ctx.pool().at<std::uint8_t>(payload),
+                             rec.size) != rec.checksum) {
+                break; // torn tail; its target was never modified
+            }
+            recs.push_back({rec.addr, rec.size, payload});
+            cursor = lineBase(payload + rec.size + kCacheLineSize - 1);
+        }
+        }
+        for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+            std::vector<std::uint8_t> old(it->size);
+            ctx.load(it->payload, old.data(), it->size);
+            ctx.store(it->addr, old.data(), it->size, DataClass::User);
+            ctx.flush(it->addr, it->size);
+            ctx.fence(FenceKind::Ordering);
+        }
+        undoRetire(ctx, p);
+        ctx.fence(FenceKind::Durability);
+    }
+
+    /** @} */
+
+    Addr
+    findTuple(pm::PmContext &ctx, unsigned p, std::uint64_t key)
+    {
+        Partition *part = partition(ctx, p);
+        Addr cur = part->index[hashKey(key) % kIndexBuckets];
+        while (cur != kNullAddr) {
+            std::uint64_t probe_key = 0;
+            ctx.load(cur + offsetof(Tuple, key), &probe_key, 8);
+            if (probe_key == key)
+                return cur;
+            cur = ctx.pool().at<Tuple>(cur)->next;
+        }
+        return kNullAddr;
+    }
+
+    /**
+     * Insert a fresh tuple. When @p undo_head is non-null the insert
+     * runs inside a transaction (index link journaled); during the
+     * load phase it is null and only the allocator's protocol runs.
+     */
+    Addr
+    insertTuple(pm::PmContext &ctx, unsigned p, std::uint64_t key,
+                Rng &rng, Addr *undo_head, std::uint64_t seq = 0)
+    {
+        const Addr off = heap_->alloc(ctx, sizeof(Tuple));
+        panic_if(off == kNullAddr, "nstore heap exhausted");
+        Partition *part = partition(ctx, p);
+        Addr &slot = part->index[hashKey(key) % kIndexBuckets];
+
+        Tuple t{};
+        t.key = key;
+        t.seq = 0;
+        for (auto &b : t.value)
+            b = static_cast<std::uint8_t>(rng());
+        t.checksum = tupleChecksum(t);
+        t.next = ctx.loadField(slot);
+        ctx.store(off, &t, sizeof(t), DataClass::User);
+        ctx.flush(off, sizeof(t));
+        ctx.fence(FenceKind::Ordering);
+
+        if (undo_head) {
+            undoAppend(ctx, p, *undo_head,
+                       ctx.pool().offsetOf(&slot), 8, seq);
+        }
+        ctx.storeField(slot, off, DataClass::User);
+        ctx.flush(ctx.pool().offsetOf(&slot), 8);
+        ctx.fence(FenceKind::Ordering);
+        heap_->setState(ctx, off, alloc::BlockState::Persistent);
+
+        const std::uint64_t n = ctx.loadField(part->tupleCount) + 1;
+        if (undo_head) {
+            undoAppend(ctx, p, *undo_head,
+                       ctx.pool().offsetOf(&part->tupleCount), 8,
+                       seq);
+        }
+        ctx.storeField(part->tupleCount, n, DataClass::User);
+        ctx.flush(ctx.pool().offsetOf(&part->tupleCount), 8);
+        return off;
+    }
+
+    /**
+     * In-place update of @p cols columns under the undo log. N-store
+     * logs each attribute mutation separately (set_varchar in the
+     * paper's Figure 2 is per-column), so an update of several
+     * columns fragments into that many undo/data epoch pairs — the
+     * alternating-epoch pattern the paper attributes to undo logging.
+     */
+    void
+    updateTuple(pm::PmContext &ctx, unsigned p, Addr off, Rng &rng,
+                Addr &undo_head, std::uint64_t seq, unsigned cols,
+                std::vector<std::pair<Addr, std::uint32_t>> &dirty)
+    {
+        Tuple *t = ctx.pool().at<Tuple>(off);
+        for (unsigned c = 0; c < cols; c++) {
+            const std::uint64_t field =
+                rng.next(kTupleValueBytes / 10);
+            const Addr field_off =
+                off + offsetof(Tuple, value) + field * 10;
+            undoAppend(ctx, p, undo_head, field_off, 10, seq);
+            std::uint8_t bytes[10];
+            for (auto &b : bytes)
+                b = static_cast<std::uint8_t>(rng());
+            ctx.store(field_off, bytes, sizeof(bytes),
+                      DataClass::User);
+            dirty.emplace_back(field_off, 10);
+        }
+        // Header (seq + checksum) under one more record.
+        undoAppend(ctx, p, undo_head, off + offsetof(Tuple, seq), 16,
+                   seq);
+        const std::uint64_t tuple_seq = t->seq + 1;
+        ctx.storeField(t->seq, tuple_seq, DataClass::User);
+        const std::uint32_t sum = tupleChecksum(*t);
+        ctx.storeField(t->checksum, sum, DataClass::User);
+        dirty.emplace_back(off + offsetof(Tuple, seq), 16);
+    }
+
+    void
+    ycsbTx(pm::PmContext &ctx, unsigned p, Rng &rng,
+           const ZipfianGenerator &zipf)
+    {
+        const TxId tx = ctx.txBegin();
+        const Addr undo_seg = acquireUndoSegment(p);
+        const std::uint64_t undo_seq = undoActivate(ctx, p, undo_seg);
+        Addr undo_head = undo_seg;
+        std::vector<std::pair<Addr, std::uint32_t>> dirty;
+
+        // Four YCSB operations per transaction, 80% writes.
+        for (int op = 0; op < 4; op++) {
+            const std::uint64_t key = zipf.next(rng);
+            const Addr off = findTuple(ctx, p, key);
+            if (off == kNullAddr)
+                continue;
+            if (rng.chance(0.8)) {
+                // A YCSB update rewrites the whole 10-field value.
+                updateTuple(ctx, p, off, rng, undo_head, undo_seq, 9,
+                            dirty);
+            } else {
+                Tuple t{};
+                ctx.load(off, &t, sizeof(t));
+                ctx.compute(40);
+            }
+        }
+
+        // Commit: flush updated tuples, fence once, clear the log.
+        for (const auto &[off, n] : dirty)
+            ctx.flush(off, n);
+        ctx.fence(FenceKind::Durability);
+        undoRetire(ctx, p);
+        ctx.txEnd(tx);
+    }
+
+    void
+    tpccTx(pm::PmContext &ctx, unsigned p, Rng &rng,
+           const ZipfianGenerator &zipf, std::uint64_t op)
+    {
+        const double pick = rng.nextDouble();
+        if (pick < 0.6) {
+            // New-order: insert an order tuple plus 5..15 order
+            // lines, update 5..15 stock rows.
+            const TxId tx = ctx.txBegin();
+            const Addr undo_seg = acquireUndoSegment(p);
+            const std::uint64_t undo_seq =
+                undoActivate(ctx, p, undo_seg);
+            Addr undo_head = undo_seg;
+            std::vector<std::pair<Addr, std::uint32_t>> dirty;
+
+            const std::uint64_t lines = rng.range(5, 15);
+            insertTuple(ctx, p, 1'000'000 + op * 16, rng, &undo_head,
+                        undo_seq);
+            for (std::uint64_t l = 0; l < lines; l++) {
+                insertTuple(ctx, p, 1'000'000 + op * 16 + 1 + l, rng,
+                            &undo_head, undo_seq);
+                const Addr stock = findTuple(ctx, p, zipf.next(rng));
+                if (stock != kNullAddr) {
+                    updateTuple(ctx, p, stock, rng, undo_head,
+                                undo_seq, 8, dirty);
+                }
+            }
+            for (const auto &[off, n] : dirty)
+                ctx.flush(off, n);
+            ctx.fence(FenceKind::Durability);
+            undoRetire(ctx, p);
+            ctx.txEnd(tx);
+        } else if (pick < 0.85) {
+            // Payment: update three hot rows.
+            const TxId tx = ctx.txBegin();
+            const Addr undo_seg = acquireUndoSegment(p);
+            const std::uint64_t undo_seq =
+                undoActivate(ctx, p, undo_seg);
+            Addr undo_head = undo_seg;
+            std::vector<std::pair<Addr, std::uint32_t>> dirty;
+            for (int i = 0; i < 3; i++) {
+                const Addr off = findTuple(ctx, p, zipf.next(rng));
+                if (off != kNullAddr)
+                    updateTuple(ctx, p, off, rng, undo_head, undo_seq, 6,
+                                dirty);
+            }
+            for (const auto &[off, n] : dirty)
+                ctx.flush(off, n);
+            ctx.fence(FenceKind::Durability);
+            undoRetire(ctx, p);
+            ctx.txEnd(tx);
+        } else {
+            // Order-status: read-only.
+            for (int i = 0; i < 8; i++) {
+                const Addr off = findTuple(ctx, p, zipf.next(rng));
+                if (off != kNullAddr) {
+                    Tuple t{};
+                    ctx.load(off, &t, sizeof(t));
+                }
+            }
+            ctx.compute(200);
+        }
+    }
+
+    bool
+    checkAll(Runtime &rt, std::string *why)
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        for (unsigned p = 0; p < config_.threads; p++) {
+            Partition *part = partition(ctx, p);
+            if (part->magic != Partition::kMagic) {
+                if (why)
+                    *why = "bad partition magic";
+                return false;
+            }
+            std::uint64_t seen = 0;
+            for (std::uint64_t b = 0; b < kIndexBuckets; b++) {
+                Addr cur = part->index[b];
+                std::uint64_t guard = 0;
+                while (cur != kNullAddr) {
+                    if (++guard > 10'000'000) {
+                        if (why)
+                            *why = "index chain cycle";
+                        return false;
+                    }
+                    const Tuple *t = ctx.pool().at<Tuple>(cur);
+                    if (t->checksum != tupleChecksum(*t)) {
+                        if (why)
+                            *why = "tuple checksum mismatch (torn "
+                                   "update survived recovery)";
+                        return false;
+                    }
+                    if (hashKey(t->key) % kIndexBuckets != b) {
+                        if (why)
+                            *why = "tuple in wrong bucket";
+                        return false;
+                    }
+                    seen++;
+                    cur = t->next;
+                }
+            }
+            if (seen > part->tupleCount + 1) {
+                if (why)
+                    *why = "tupleCount below reachable tuples";
+                return false;
+            }
+        }
+        return true;
+    }
+
+    NstoreWorkload workload_;
+    Addr partitionsOff_ = 0;
+    std::size_t partitionBytes_ = 0;
+    Addr undoOff_ = 0;
+    std::vector<std::uint32_t> segCursor_;
+    std::vector<std::uint64_t> txSeq_;
+    std::unique_ptr<alloc::BuddyAllocator> heap_;
+};
+
+} // namespace
+
+std::unique_ptr<core::WhisperApp>
+makeYcsbApp(const core::AppConfig &config)
+{
+    return std::make_unique<NstoreApp>(config, NstoreWorkload::Ycsb);
+}
+
+std::unique_ptr<core::WhisperApp>
+makeTpccApp(const core::AppConfig &config)
+{
+    return std::make_unique<NstoreApp>(config, NstoreWorkload::Tpcc);
+}
+
+} // namespace whisper::apps

@@ -1,0 +1,27 @@
+#include "apps/apps.hh"
+
+namespace whisper::core
+{
+
+void
+registerSuiteApps()
+{
+    static const bool once = [] {
+        using namespace whisper::apps;
+        registerApp("echo", makeEchoApp);
+        registerApp("ycsb", makeYcsbApp);
+        registerApp("tpcc", makeTpccApp);
+        registerApp("redis", makeRedisApp);
+        registerApp("ctree", makeCtreeApp);
+        registerApp("hashmap", makeHashmapApp);
+        registerApp("vacation", makeVacationApp);
+        registerApp("memcached", makeMemcachedApp);
+        registerApp("nfs", makeNfsApp);
+        registerApp("exim", makeEximApp);
+        registerApp("mysql", makeMysqlApp);
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace whisper::core

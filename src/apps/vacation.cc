@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Vacation: the STAMP travel-reservation OLTP system, persisted with
+ * Mnemosyne (paper §3.2.2).
+ *
+ * Three item tables (cars, flights, rooms) implemented as persistent
+ * binary search trees, a customer table with per-customer reservation
+ * lists, and — exactly as the paper calls out — *global counters* of
+ * reservations that every client transaction updates, the suite's
+ * main source of cross-thread epoch dependencies.
+ *
+ * Each reservation/cancellation is a Mnemosyne durable transaction:
+ * updates are redo-logged with NTI+fence, applied at commit with
+ * cacheable stores + flushes, and the log is truncated entry by
+ * entry. Reservation nodes come from pmalloc inside the transaction;
+ * on a crash Mnemosyne may leak them (the documented trade-off), but
+ * the tables stay consistent.
+ */
+
+#include <bit>
+#include <mutex>
+
+#include "apps/apps.hh"
+#include "common/logging.hh"
+#include "txlib/mnemosyne.hh"
+
+namespace whisper::apps
+{
+
+using namespace core;
+using pm::DataClass;
+using pm::FenceKind;
+
+namespace
+{
+
+constexpr std::uint64_t kItemSalt = 0x57AC4710ull;
+
+enum ItemType : std::uint32_t { kCar = 0, kFlight = 1, kRoom = 2 };
+
+/** BST node for one reservable item. */
+struct Item
+{
+    std::uint64_t id;
+    std::uint32_t numFree;
+    std::uint32_t numTotal;
+    std::uint64_t price;
+    std::uint64_t checksum;
+    Addr left;
+    Addr right;
+};
+
+std::uint64_t
+itemChecksum(const Item &it)
+{
+    return it.id ^ it.numFree ^
+           (static_cast<std::uint64_t>(it.numTotal) << 32) ^ it.price ^
+           kItemSalt;
+}
+
+/** One reservation held by a customer. */
+struct Reservation
+{
+    std::uint32_t type;
+    std::uint32_t pad;
+    std::uint64_t itemId;
+    std::uint64_t price;
+    Addr next;
+};
+
+/** Customer record (fixed array, pre-created). */
+struct Customer
+{
+    std::uint64_t id;
+    Addr reservations;
+};
+
+/** Persistent root. */
+struct VacationRoot
+{
+    std::uint64_t magic;
+    Addr itemTrees[3];
+    std::uint64_t totalReserved[3]; //!< the shared global counters
+    Addr customersOff;
+    std::uint64_t customerCount;
+
+    static constexpr std::uint64_t kMagic = 0x57AC57ACull;
+};
+
+class VacationApp : public WhisperApp
+{
+  public:
+    explicit VacationApp(const AppConfig &config) : WhisperApp(config)
+    {
+    }
+
+    std::string name() const override { return "vacation"; }
+    AccessLayer
+    layer() const override
+    {
+        return AccessLayer::LibMnemosyne;
+    }
+
+    void
+    setup(Runtime &rt) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        rootOff_ = 0;
+        const Addr heap_base =
+            lineBase(sizeof(VacationRoot) + kCacheLineSize);
+        heap_ = std::make_unique<mne::MnemosyneHeap>(
+            ctx, heap_base, config_.poolBytes - heap_base,
+            config_.threads);
+
+        // Power of two so the scrambled load order is a bijection
+        // (no duplicate item ids).
+        itemCount_ = std::bit_floor(std::max<std::uint64_t>(
+            256, std::min<std::uint64_t>(config_.opsPerThread * 2,
+                                         16384)));
+        customerCount_ = std::max<std::uint64_t>(64, itemCount_ / 4);
+
+        VacationRoot root{};
+        root.magic = VacationRoot::kMagic;
+        for (auto &t : root.itemTrees)
+            t = kNullAddr;
+        root.customerCount = customerCount_;
+        ctx.store(rootOff_, &root, sizeof(root), DataClass::User);
+        ctx.flush(rootOff_, sizeof(root));
+        ctx.fence(FenceKind::Durability);
+
+        // Customer table: a contiguous persistent array.
+        const Addr cust_off =
+            heap_->pmalloc(ctx, customerCount_ * sizeof(Customer));
+        panic_if(cust_off == kNullAddr, "vacation: customer table");
+        for (std::uint64_t c = 0; c < customerCount_; c++) {
+            Customer cust{c, kNullAddr};
+            ctx.store(cust_off + c * sizeof(Customer), &cust,
+                      sizeof(cust), DataClass::User);
+        }
+        ctx.flush(cust_off, customerCount_ * sizeof(Customer));
+        VacationRoot *r = this->root(ctx);
+        ctx.storeField(r->customersOff, cust_off, DataClass::User);
+        ctx.flush(rootOff_ + offsetof(VacationRoot, customersOff), 8);
+        ctx.fence(FenceKind::Durability);
+
+        // Populate the three item trees (setup phase; plain persists).
+        Rng rng(config_.seed);
+        for (int t = 0; t < 3; t++) {
+            ScrambledSequence order(itemCount_, rng);
+            for (std::uint64_t i = 0; i < itemCount_; i++) {
+                insertItemSetup(ctx, static_cast<ItemType>(t),
+                                order.at(i), 4 + rng.next(4),
+                                50 + rng.next(450));
+            }
+        }
+    }
+
+    void
+    run(Runtime &rt, pm::PmContext &ctx, ThreadId tid) override
+    {
+        (void)rt;
+        Rng rng(config_.seed * 17 + tid);
+        for (std::uint64_t op = 0; op < config_.opsPerThread; op++) {
+            const auto type = static_cast<ItemType>(rng.next(3));
+            const std::uint64_t item_id = rng.next(itemCount_);
+            const std::uint64_t cust_id = rng.next(customerCount_);
+            // Client-side query planning and STAMP's volatile
+            // manager tables (paper Fig. 6: vacation is the most
+            // DRAM-heavy app at ~0.4% PM accesses).
+            ctx.vBurst(&item_id, 1 << 15, 2100, 900);
+            ctx.compute(9000);
+            if (rng.chance(0.8))
+                makeReservation(ctx, type, item_id, cust_id);
+            else
+                cancelReservation(ctx, type, cust_id);
+        }
+    }
+
+    bool verify(Runtime &rt) override { return checkAll(rt, nullptr); }
+
+    void
+    recover(Runtime &rt) override
+    {
+        heap_->recover(rt.ctx(0));
+    }
+
+    bool
+    verifyRecovered(Runtime &rt) override
+    {
+        std::string why;
+        const bool ok = checkAll(rt, &why);
+        if (!ok)
+            warn("vacation recovery check failed: %s", why.c_str());
+        return ok;
+    }
+
+  private:
+    VacationRoot *root(pm::PmContext &ctx) { return ctx.pool()
+        .at<VacationRoot>(rootOff_); }
+
+    /** Setup-phase BST insert (persist as we go, no transactions). */
+    void
+    insertItemSetup(pm::PmContext &ctx, ItemType type,
+                    std::uint64_t id, std::uint32_t total,
+                    std::uint64_t price)
+    {
+        const Addr off = heap_->pmalloc(ctx, sizeof(Item));
+        panic_if(off == kNullAddr, "vacation heap exhausted");
+        Item it{};
+        it.id = id;
+        it.numFree = total;
+        it.numTotal = total;
+        it.price = price;
+        it.left = it.right = kNullAddr;
+        it.checksum = itemChecksum(it);
+        ctx.store(off, &it, sizeof(it), DataClass::User);
+        ctx.flush(off, sizeof(it));
+        ctx.fence(FenceKind::Ordering);
+
+        VacationRoot *r = root(ctx);
+        Addr *link = &r->itemTrees[type];
+        Addr link_off = rootOff_ + offsetof(VacationRoot, itemTrees) +
+                        type * sizeof(Addr);
+        while (*link != kNullAddr) {
+            Item *node = ctx.pool().at<Item>(*link);
+            if (id < node->id) {
+                link_off = *link + offsetof(Item, left);
+                link = &node->left;
+            } else {
+                link_off = *link + offsetof(Item, right);
+                link = &node->right;
+            }
+        }
+        ctx.store(link_off, &off, 8, DataClass::User);
+        ctx.flush(link_off, 8);
+        ctx.fence(FenceKind::Ordering);
+    }
+
+    Addr
+    findItem(pm::PmContext &ctx, ItemType type, std::uint64_t id)
+    {
+        Addr cur = root(ctx)->itemTrees[type];
+        while (cur != kNullAddr) {
+            Item probe{};
+            ctx.load(cur, &probe, sizeof(probe));
+            if (probe.id == id)
+                return cur;
+            cur = id < probe.id ? probe.left : probe.right;
+        }
+        return kNullAddr;
+    }
+
+    Customer *
+    customer(pm::PmContext &ctx, std::uint64_t cust_id)
+    {
+        const Addr base = root(ctx)->customersOff;
+        return ctx.pool().at<Customer>(base +
+                                       cust_id * sizeof(Customer));
+    }
+
+    void
+    makeReservation(pm::PmContext &ctx, ItemType type,
+                    std::uint64_t item_id, std::uint64_t cust_id)
+    {
+        std::lock_guard<std::mutex> guard(tableLock_);
+        const Addr item_off = findItem(ctx, type, item_id);
+        if (item_off == kNullAddr)
+            return;
+
+        mne::Transaction tx(*heap_, ctx);
+        const std::uint32_t num_free =
+            tx.get(ctx.pool().at<Item>(item_off)->numFree);
+        if (num_free == 0) {
+            tx.abort();
+            return;
+        }
+
+        // Reserve: decrement availability + fix the checksum, one
+        // logged update covering the contiguous fields.
+        Item staged{};
+        tx.read(item_off, &staged, sizeof(staged));
+        staged.numFree = num_free - 1;
+        staged.checksum = itemChecksum(staged);
+        tx.update(item_off + offsetof(Item, numFree),
+                  reinterpret_cast<const std::uint8_t *>(&staged) +
+                      offsetof(Item, numFree),
+                  offsetof(Item, left) - offsetof(Item, numFree),
+                  DataClass::User);
+
+        // Record the reservation on the customer.
+        const Addr res_off = tx.pmalloc(sizeof(Reservation));
+        if (res_off == kNullAddr) {
+            tx.abort();
+            return;
+        }
+        Customer *cust = customer(ctx, cust_id);
+        Reservation res{static_cast<std::uint32_t>(type), 0, item_id,
+                        staged.price, tx.get(cust->reservations)};
+        tx.update(res_off, &res, sizeof(res), DataClass::User);
+        tx.set(cust->reservations, res_off, DataClass::User);
+
+        // The global counter: every thread's transactions write this
+        // one cache line (the paper's cross-dependency source).
+        VacationRoot *r = root(ctx);
+        const std::uint64_t count = tx.get(r->totalReserved[type]) + 1;
+        tx.set(r->totalReserved[type], count, DataClass::User);
+
+        tx.commit();
+    }
+
+    void
+    cancelReservation(pm::PmContext &ctx, ItemType type,
+                      std::uint64_t cust_id)
+    {
+        std::lock_guard<std::mutex> guard(tableLock_);
+        Customer *cust = customer(ctx, cust_id);
+        // Find the first reservation of this type.
+        Addr holder = ctx.pool().offsetOf(&cust->reservations);
+        Addr cur = cust->reservations;
+        while (cur != kNullAddr) {
+            Reservation probe{};
+            ctx.load(cur, &probe, sizeof(probe));
+            if (probe.type == static_cast<std::uint32_t>(type))
+                break;
+            holder = cur + offsetof(Reservation, next);
+            cur = probe.next;
+        }
+        if (cur == kNullAddr)
+            return;
+        const Reservation *res = ctx.pool().at<Reservation>(cur);
+        const Addr item_off = findItem(ctx, type, res->itemId);
+        if (item_off == kNullAddr)
+            return;
+
+        mne::Transaction tx(*heap_, ctx);
+        Item staged{};
+        tx.read(item_off, &staged, sizeof(staged));
+        staged.numFree++;
+        staged.checksum = itemChecksum(staged);
+        tx.update(item_off + offsetof(Item, numFree),
+                  reinterpret_cast<const std::uint8_t *>(&staged) +
+                      offsetof(Item, numFree),
+                  offsetof(Item, left) - offsetof(Item, numFree),
+                  DataClass::User);
+
+        // Unlink + release the node.
+        tx.update(holder, &res->next, 8, DataClass::User);
+        tx.pfree(cur);
+
+        VacationRoot *r = root(ctx);
+        const std::uint64_t count = tx.get(r->totalReserved[type]) - 1;
+        tx.set(r->totalReserved[type], count, DataClass::User);
+
+        tx.commit();
+    }
+
+    bool
+    checkAll(Runtime &rt, std::string *why)
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        VacationRoot *r = root(ctx);
+        if (r->magic != VacationRoot::kMagic) {
+            if (why)
+                *why = "bad root magic";
+            return false;
+        }
+
+        // 1. Item trees: BST order + checksums + per-item capacity.
+        std::uint64_t reserved_by_items[3] = {0, 0, 0};
+        for (int t = 0; t < 3; t++) {
+            std::vector<std::pair<Addr, std::pair<std::uint64_t,
+                                                  std::uint64_t>>>
+                stack;
+            if (r->itemTrees[t] != kNullAddr) {
+                stack.push_back({r->itemTrees[t],
+                                 {0, ~std::uint64_t(0)}});
+            }
+            while (!stack.empty()) {
+                auto [off, range] = stack.back();
+                stack.pop_back();
+                const Item *it = ctx.pool().at<Item>(off);
+                if (it->checksum != itemChecksum(*it)) {
+                    if (why)
+                        *why = "item checksum mismatch";
+                    return false;
+                }
+                if (it->id < range.first || it->id > range.second) {
+                    if (why)
+                        *why = "BST order violated";
+                    return false;
+                }
+                if (it->numFree > it->numTotal) {
+                    if (why)
+                        *why = "numFree above capacity";
+                    return false;
+                }
+                reserved_by_items[t] += it->numTotal - it->numFree;
+                if (it->left != kNullAddr) {
+                    stack.push_back(
+                        {it->left, {range.first, it->id - 1}});
+                }
+                if (it->right != kNullAddr) {
+                    stack.push_back(
+                        {it->right, {it->id + 1, range.second}});
+                }
+            }
+        }
+
+        // 2. Customer reservation lists vs the counters and items.
+        std::uint64_t reserved_by_lists[3] = {0, 0, 0};
+        for (std::uint64_t c = 0; c < customerCount_; c++) {
+            Addr cur = customer(ctx, c)->reservations;
+            std::uint64_t guard = 0;
+            while (cur != kNullAddr) {
+                if (++guard > 10'000'000) {
+                    if (why)
+                        *why = "reservation list cycle";
+                    return false;
+                }
+                const Reservation *res =
+                    ctx.pool().at<Reservation>(cur);
+                if (res->type > 2) {
+                    if (why)
+                        *why = "reservation with bad type";
+                    return false;
+                }
+                reserved_by_lists[res->type]++;
+                cur = res->next;
+            }
+        }
+        for (int t = 0; t < 3; t++) {
+            if (reserved_by_lists[t] != r->totalReserved[t] ||
+                reserved_by_items[t] != r->totalReserved[t]) {
+                if (why)
+                    *why = "reservation counters out of sync";
+                return false;
+            }
+        }
+        return true;
+    }
+
+    std::unique_ptr<mne::MnemosyneHeap> heap_;
+    Addr rootOff_ = 0;
+    std::uint64_t itemCount_ = 0;
+    std::uint64_t customerCount_ = 0;
+    std::mutex tableLock_;
+};
+
+} // namespace
+
+std::unique_ptr<core::WhisperApp>
+makeVacationApp(const core::AppConfig &config)
+{
+    return std::make_unique<VacationApp>(config);
+}
+
+} // namespace whisper::apps

@@ -1,0 +1,115 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace whisper
+{
+
+void
+Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    values_[value] += weight;
+    count_ += weight;
+    sum_ += value * weight;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (const auto &[value, weight] : other.values_)
+        values_[value] += weight;
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double
+Histogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::quantile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (const auto &[value, weight] : values_) {
+        seen += weight;
+        if (seen > target)
+            return value;
+    }
+    return values_.rbegin()->first;
+}
+
+std::uint64_t
+Histogram::minValue() const
+{
+    return values_.empty() ? 0 : values_.begin()->first;
+}
+
+std::uint64_t
+Histogram::maxValue() const
+{
+    return values_.empty() ? 0 : values_.rbegin()->first;
+}
+
+double
+Histogram::fractionAt(std::uint64_t value) const
+{
+    if (count_ == 0)
+        return 0.0;
+    auto it = values_.find(value);
+    if (it == values_.end())
+        return 0.0;
+    return static_cast<double>(it->second) / static_cast<double>(count_);
+}
+
+double
+Histogram::fractionIn(std::uint64_t lo, std::uint64_t hi) const
+{
+    if (count_ == 0)
+        return 0.0;
+    std::uint64_t in = 0;
+    for (auto it = values_.lower_bound(lo);
+         it != values_.end() && it->first <= hi; ++it) {
+        in += it->second;
+    }
+    return static_cast<double>(in) / static_cast<double>(count_);
+}
+
+BucketedDistribution::BucketedDistribution(std::vector<Bucket> buckets)
+    : buckets_(std::move(buckets))
+{
+    panic_if(buckets_.empty(), "BucketedDistribution with no buckets");
+}
+
+BucketedDistribution
+BucketedDistribution::epochSizeBuckets()
+{
+    const auto top = std::numeric_limits<std::uint64_t>::max();
+    return BucketedDistribution({
+        {"1", 1, 1}, {"2", 2, 2}, {"3", 3, 3}, {"4", 4, 4},
+        {"5", 5, 5}, {"6-63", 6, 63}, {">=64", 64, top},
+    });
+}
+
+std::vector<double>
+BucketedDistribution::fractions(const Histogram &hist) const
+{
+    std::vector<double> out;
+    out.reserve(buckets_.size());
+    for (const auto &bucket : buckets_)
+        out.push_back(hist.fractionIn(bucket.lo, bucket.hi));
+    return out;
+}
+
+} // namespace whisper

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Histograms and distribution summaries used by the trace analysis.
+ *
+ * The paper reports epoch-size and transaction-size results either as
+ * fixed buckets (Figure 4: 1, 2, 3, 4, 5, 6-63, >=64) or as medians
+ * (Figure 3), so both exact-value accumulation and custom bucketing
+ * are supported.
+ */
+
+#ifndef WHISPER_COMMON_HISTOGRAM_HH
+#define WHISPER_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace whisper
+{
+
+/**
+ * Exact-valued histogram over non-negative integers.
+ *
+ * Keeps a map of value -> count; fine for the value ranges in this
+ * suite (epoch sizes, epochs per transaction).
+ */
+class Histogram
+{
+  public:
+    /** Record one sample. */
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Merge another histogram into this one. */
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** p-quantile in [0,1] by cumulative counts; 0 when empty. */
+    std::uint64_t quantile(double p) const;
+
+    /** Median, i.e. quantile(0.5). */
+    std::uint64_t median() const { return quantile(0.5); }
+
+    std::uint64_t minValue() const;
+    std::uint64_t maxValue() const;
+
+    /** Fraction of samples with exactly @p value. */
+    double fractionAt(std::uint64_t value) const;
+
+    /** Fraction of samples within [lo, hi] inclusive. */
+    double fractionIn(std::uint64_t lo, std::uint64_t hi) const;
+
+    const std::map<std::uint64_t, std::uint64_t> &values() const
+    {
+        return values_;
+    }
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> values_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * One labelled bucket of a BucketedDistribution.
+ */
+struct Bucket
+{
+    std::string label;  //!< e.g. "6-63"
+    std::uint64_t lo;   //!< inclusive
+    std::uint64_t hi;   //!< inclusive
+};
+
+/**
+ * Histogram folded into the paper's fixed Figure-4 buckets.
+ */
+class BucketedDistribution
+{
+  public:
+    explicit BucketedDistribution(std::vector<Bucket> buckets);
+
+    /** The Figure 4 bucketing: 1, 2, 3, 4, 5, 6-63, >=64. */
+    static BucketedDistribution epochSizeBuckets();
+
+    /** Fold @p hist into the buckets; returns per-bucket fractions. */
+    std::vector<double> fractions(const Histogram &hist) const;
+
+    const std::vector<Bucket> &buckets() const { return buckets_; }
+
+  private:
+    std::vector<Bucket> buckets_;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_COMMON_HISTOGRAM_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Global logical clock stamping every trace event.
+ *
+ * The paper timestamps PM operations with ftrace's global clock and
+ * defines epoch dependencies over a 50 us window. We use a process-wide
+ * monotonic atomic counter where one tick nominally equals one
+ * nanosecond; instrumented operations advance it by small costs so
+ * that inter-thread windows and rates (Table 1 epochs/second) are
+ * meaningful and fully deterministic.
+ */
+
+#ifndef WHISPER_COMMON_LOGICAL_CLOCK_HH
+#define WHISPER_COMMON_LOGICAL_CLOCK_HH
+
+#include <atomic>
+
+#include "common/types.hh"
+
+namespace whisper
+{
+
+/**
+ * Monotonic, process-wide tick source.
+ *
+ * advance() models the cost of an instrumented operation; all threads
+ * share the counter, so cross-thread timestamp comparisons are valid.
+ */
+class LogicalClock
+{
+  public:
+    /** Current time without advancing. */
+    Tick now() const { return ticks.load(std::memory_order_relaxed); }
+
+    /** Advance by @p cost ticks and return the *new* time. */
+    Tick
+    advance(Tick cost)
+    {
+        return ticks.fetch_add(cost, std::memory_order_relaxed) + cost;
+    }
+
+    /** Reset to zero (only between experiments). */
+    void reset() { ticks.store(0, std::memory_order_relaxed); }
+
+    /** Nominal per-operation costs, in ticks (1 tick == 1 ns). */
+    static constexpr Tick kStoreCost = 2;
+    static constexpr Tick kLoadCost = 2;
+    static constexpr Tick kFlushCost = 40;
+    static constexpr Tick kFenceCost = 100;
+    static constexpr Tick kNtStoreCost = 10;
+
+  private:
+    std::atomic<Tick> ticks{0};
+};
+
+} // namespace whisper
+
+#endif // WHISPER_COMMON_LOGICAL_CLOCK_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses.
+ *
+ * Every bench binary prints the rows of one paper table or figure;
+ * this formatter keeps their output aligned and diffable.
+ */
+
+#ifndef WHISPER_COMMON_TABLE_HH
+#define WHISPER_COMMON_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace whisper
+{
+
+/**
+ * Column-aligned text table with a title, header row and data rows.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title);
+
+    /** Set the header row; defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row (must match the header width). */
+    void row(std::vector<std::string> cells);
+
+    /** Render with padding, separators and the title banner. */
+    std::string render() const;
+
+    /** Render straight to stdout. */
+    void print() const;
+
+    /** Helpers for common cell types. */
+    static std::string num(std::uint64_t v);
+    static std::string fixed(double v, int decimals = 2);
+    static std::string percent(double fraction, int decimals = 1);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_COMMON_TABLE_HH

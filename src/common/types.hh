@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fundamental types shared across the WHISPER reproduction.
+ *
+ * Addresses inside the persistent pool are plain 64-bit offsets from
+ * the pool base (never raw pointers), so that persistent links remain
+ * valid across simulated crashes and re-mounts.
+ */
+
+#ifndef WHISPER_COMMON_TYPES_HH
+#define WHISPER_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace whisper
+{
+
+/** Byte offset into a persistent pool. */
+using Addr = std::uint64_t;
+
+/** Cache-line index (Addr >> 6). */
+using LineAddr = std::uint64_t;
+
+/** Logical timestamp in ticks; 1 tick == 1 ns of simulated time. */
+using Tick = std::uint64_t;
+
+/** Hardware-thread identifier. */
+using ThreadId = std::uint32_t;
+
+/** Transaction identifier, unique per thread trace. */
+using TxId = std::uint64_t;
+
+/** Cache-line size assumed throughout the suite (x86-64). */
+constexpr std::size_t kCacheLineSize = 64;
+
+/** log2 of the cache-line size. */
+constexpr unsigned kCacheLineBits = 6;
+
+/** Ticks per microsecond under the 1 tick == 1 ns convention. */
+constexpr Tick kTicksPerUs = 1000;
+
+/** Dependency window used by the paper's epoch analysis (50 us). */
+constexpr Tick kDependencyWindow = 50 * kTicksPerUs;
+
+/** Invalid/sentinel offset inside a persistent pool. */
+constexpr Addr kNullAddr = ~static_cast<Addr>(0);
+
+/** Map a byte offset to the cache line that contains it. */
+constexpr LineAddr
+lineOf(Addr addr)
+{
+    return addr >> kCacheLineBits;
+}
+
+/** First byte offset of the line containing @p addr. */
+constexpr Addr
+lineBase(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kCacheLineSize - 1);
+}
+
+/** Number of distinct cache lines touched by [addr, addr+size). */
+constexpr std::uint64_t
+linesSpanned(Addr addr, std::size_t size)
+{
+    if (size == 0)
+        return 0;
+    return lineOf(addr + size - 1) - lineOf(addr) + 1;
+}
+
+} // namespace whisper
+
+#endif // WHISPER_COMMON_TYPES_HH

@@ -1,0 +1,58 @@
+#include "core/app.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace whisper::core
+{
+
+const char *
+accessLayerName(AccessLayer layer)
+{
+    switch (layer) {
+      case AccessLayer::Native:       return "Native";
+      case AccessLayer::LibNvml:      return "Library/NVML";
+      case AccessLayer::LibMnemosyne: return "Library/Mnemosyne";
+      case AccessLayer::Filesystem:   return "FS/PMFS";
+    }
+    return "?";
+}
+
+namespace
+{
+std::map<std::string, AppFactory> &
+registry()
+{
+    static std::map<std::string, AppFactory> apps;
+    return apps;
+}
+} // namespace
+
+void
+registerApp(const std::string &name, AppFactory factory)
+{
+    registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<WhisperApp>
+createApp(const std::string &name, const AppConfig &config)
+{
+    registerSuiteApps();
+    auto it = registry().find(name);
+    if (it == registry().end())
+        fatal("unknown WHISPER application '%s'", name.c_str());
+    return it->second(config);
+}
+
+std::vector<std::string>
+registeredApps()
+{
+    registerSuiteApps();
+    std::vector<std::string> names;
+    for (const auto &[name, factory] : registry())
+        names.push_back(name);
+    return names;
+}
+
+} // namespace whisper::core

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * WHISPER application interface and registry.
+ *
+ * Each of the ten suite applications implements WhisperApp. The
+ * harness (harness.hh) drives the common life cycle:
+ *
+ *   setup(runtime)            — format pool structures, load data
+ *   [traces cleared]          — analysis covers steady state only
+ *   run(ctx, tid) x threads   — the measured workload
+ *   verify(runtime)           — application-level invariants
+ *
+ * and, for crash testing:
+ *
+ *   crash -> recover(runtime) -> verifyRecovered(runtime)
+ */
+
+#ifndef WHISPER_CORE_APP_HH
+#define WHISPER_CORE_APP_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hh"
+
+namespace whisper::core
+{
+
+/** Knobs common to every application. */
+struct AppConfig
+{
+    unsigned threads = 4;          //!< worker/client threads
+    std::uint64_t opsPerThread = 10000;
+    std::uint64_t seed = 42;
+    std::size_t poolBytes = 256 << 20;
+    bool recordVolatile = false;
+
+    /** Scale every op count by @p f (benches use small smoke runs). */
+    AppConfig
+    scaled(double f) const
+    {
+        AppConfig c = *this;
+        c.opsPerThread =
+            std::max<std::uint64_t>(1,
+                static_cast<std::uint64_t>(
+                    static_cast<double>(opsPerThread) * f));
+        return c;
+    }
+};
+
+/** Paper access-layer taxonomy (Table 1 "Access Layer" column). */
+enum class AccessLayer
+{
+    Native,
+    LibNvml,
+    LibMnemosyne,
+    Filesystem,
+};
+
+const char *accessLayerName(AccessLayer layer);
+
+/**
+ * One WHISPER application.
+ */
+class WhisperApp
+{
+  public:
+    explicit WhisperApp(AppConfig config) : config_(config) {}
+    virtual ~WhisperApp() = default;
+
+    virtual std::string name() const = 0;
+    virtual AccessLayer layer() const = 0;
+
+    /** Format persistent structures and load initial data. */
+    virtual void setup(Runtime &rt) = 0;
+
+    /** Per-thread measured workload body. */
+    virtual void run(Runtime &rt, pm::PmContext &ctx, ThreadId tid) = 0;
+
+    /** Invariants after a clean run. Returns false on violation. */
+    virtual bool verify(Runtime &rt) = 0;
+
+    /** Re-mount and recover after a crash. */
+    virtual void recover(Runtime &rt) = 0;
+
+    /**
+     * Invariants that must hold after crash + recover: structural
+     * consistency, no torn committed data. (Uncommitted work may be
+     * absent — that is the contract.)
+     */
+    virtual bool verifyRecovered(Runtime &rt) = 0;
+
+    const AppConfig &config() const { return config_; }
+
+  protected:
+    AppConfig config_;
+};
+
+/** Factory signature for the registry. */
+using AppFactory =
+    std::function<std::unique_ptr<WhisperApp>(const AppConfig &)>;
+
+/** Register an application under @p name (called once per app). */
+void registerApp(const std::string &name, AppFactory factory);
+
+/** Instantiate a registered application; fatal() on unknown name. */
+std::unique_ptr<WhisperApp> createApp(const std::string &name,
+                                      const AppConfig &config);
+
+/** All registered names, sorted. */
+std::vector<std::string> registeredApps();
+
+/** Force-register the ten suite applications (idempotent). */
+void registerSuiteApps();
+
+} // namespace whisper::core
+
+#endif // WHISPER_CORE_APP_HH

@@ -1,0 +1,44 @@
+#include "core/harness.hh"
+
+#include "common/logging.hh"
+
+namespace whisper::core
+{
+
+RunResult
+runApp(const std::string &name, const AppConfig &config)
+{
+    RunResult result;
+    result.appName = name;
+    result.runtime = std::make_shared<Runtime>(
+        config.poolBytes, config.threads, config.recordVolatile);
+    result.app = createApp(name, config);
+    result.layer = result.app->layer();
+
+    Runtime &rt = *result.runtime;
+    result.app->setup(rt);
+    rt.clearTraces();
+
+    rt.runThreads(config.threads,
+                  [&](pm::PmContext &ctx, ThreadId tid) {
+                      result.app->run(rt, ctx, tid);
+                  });
+
+    result.verified = result.app->verify(rt);
+    result.firstTick = rt.traces().firstTick();
+    result.lastTick = rt.traces().lastTick();
+    result.totalOps =
+        static_cast<std::uint64_t>(config.threads) * config.opsPerThread;
+    return result;
+}
+
+bool
+crashAndVerify(RunResult &result, std::uint64_t seed, double survival)
+{
+    Runtime &rt = *result.runtime;
+    rt.crash(seed, survival);
+    result.app->recover(rt);
+    return result.app->verifyRecovered(rt);
+}
+
+} // namespace whisper::core

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Application life-cycle harness used by tests and every bench.
+ */
+
+#ifndef WHISPER_CORE_HARNESS_HH
+#define WHISPER_CORE_HARNESS_HH
+
+#include <memory>
+#include <string>
+
+#include "core/app.hh"
+
+namespace whisper::core
+{
+
+/** Outcome of one harnessed run. */
+struct RunResult
+{
+    std::string appName;
+    AccessLayer layer{};
+    bool verified = false;
+    Tick firstTick = 0;
+    Tick lastTick = 0;
+    std::uint64_t totalOps = 0;
+
+    /** Keeps the world alive so callers can analyze the traces. */
+    std::shared_ptr<Runtime> runtime;
+    std::unique_ptr<WhisperApp> app;
+};
+
+/**
+ * Run one application: setup, clear traces, run threads, verify.
+ * The returned RunResult owns the runtime (and thus the traces).
+ */
+RunResult runApp(const std::string &name, const AppConfig &config);
+
+/**
+ * Crash-and-recover cycle on an already-run app: injects a crash with
+ * @p seed and @p survival, re-mounts via app.recover() and returns
+ * app.verifyRecovered(). Used by the property tests.
+ */
+bool crashAndVerify(RunResult &result, std::uint64_t seed,
+                    double survival = 0.5);
+
+} // namespace whisper::core
+
+#endif // WHISPER_CORE_HARNESS_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The HOPS programming model (the paper's Figure 1e).
+ *
+ * HOPS applications never issue clwb: every PM store is tracked by
+ * hardware persist buffers, `ofence` ends an epoch (ordering only —
+ * a cheap, purely local timestamp bump), and `dfence` additionally
+ * stalls until everything this thread buffered is durable.
+ *
+ * HopsContext gives that model on top of the software PmPool so that
+ * applications written for HOPS run with correct crash semantics:
+ * stores are tracked per thread, `ofence` emits an ordering fence
+ * event (no flush traffic), and `dfence` drains the tracked ranges
+ * into the durable image. Traces recorded through this context contain
+ * stores and fences but no PmFlush events — exactly the instruction
+ * stream a HOPS machine would see; the timing simulator's x86 models
+ * synthesize the clwbs such code would otherwise have needed.
+ */
+
+#ifndef WHISPER_CORE_HOPS_HH
+#define WHISPER_CORE_HOPS_HH
+
+#include <vector>
+
+#include "pm/pm_context.hh"
+
+namespace whisper::core
+{
+
+/**
+ * Per-thread HOPS front end: a software stand-in for the persist
+ * buffer that tracks which lines the thread has stored since its last
+ * durability point.
+ */
+class HopsContext
+{
+  public:
+    explicit HopsContext(pm::PmContext &ctx) : ctx_(ctx) {}
+
+    pm::PmContext &raw() { return ctx_; }
+
+    /** PM store; tracked, not flushed. */
+    void
+    store(Addr off, const void *src, std::size_t n,
+          pm::DataClass cls = pm::DataClass::User)
+    {
+        ctx_.store(off, src, n, cls);
+        tracked_.emplace_back(off, static_cast<std::uint32_t>(n));
+    }
+
+    template <typename T>
+    void
+    set(T &field_in_pool, const T &value,
+        pm::DataClass cls = pm::DataClass::User)
+    {
+        store(ctx_.pool().offsetOf(&field_in_pool), &value, sizeof(T),
+              cls);
+    }
+
+    template <typename T>
+    T
+    get(const T &field_in_pool)
+    {
+        return ctx_.loadField(field_in_pool);
+    }
+
+    /**
+     * Ordering fence: ends the current epoch. On HOPS hardware this
+     * is a thread-local timestamp increment; no data moves.
+     */
+    void
+    ofence()
+    {
+        ctx_.fence(pm::FenceKind::Ordering);
+    }
+
+    /**
+     * Durability fence: everything stored by this thread since the
+     * previous dfence is durable when this returns.
+     */
+    void
+    dfence()
+    {
+        for (const auto &[off, n] : tracked_)
+            ctx_.pool().persistRange(off, n);
+        tracked_.clear();
+        ctx_.fence(pm::FenceKind::Durability);
+    }
+
+    /** Outstanding (not yet durable) tracked ranges — test helper. */
+    std::size_t pendingRanges() const { return tracked_.size(); }
+
+  private:
+    pm::PmContext &ctx_;
+    std::vector<std::pair<Addr, std::uint32_t>> tracked_;
+};
+
+} // namespace whisper::core
+
+#endif // WHISPER_CORE_HOPS_HH

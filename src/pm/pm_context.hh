@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Per-thread instrumented access path to a PmPool.
+ *
+ * PmContext is the C++ equivalent of the paper's PM_* macros
+ * (their Figure 2): every store, non-temporal store, flush and fence
+ * goes through here, is applied to the pool with correct persistency
+ * semantics, advances the global logical clock, and is appended to the
+ * thread's trace buffer. Durable-transaction boundaries and volatile
+ * (DRAM) accesses are traced through the same object so that one trace
+ * carries everything the analyses and the timing simulator need.
+ *
+ * Persistency semantics implemented (x86-TSO):
+ *  - a cacheable store only dirties the line; it becomes durable when
+ *    some fence drains a flush of that line (or the "cache" evicts it
+ *    at crash time);
+ *  - flush() (clwb) enqueues lines on this thread's pending set;
+ *  - ntStore() bypasses the cache: the data sits in a write-combining
+ *    buffer until the next fence;
+ *  - fence() (sfence) drains this thread's pending flushes and WC
+ *    buffer into the durable image.
+ */
+
+#ifndef WHISPER_PM_PM_CONTEXT_HH
+#define WHISPER_PM_PM_CONTEXT_HH
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logical_clock.hh"
+#include "pm/poff.hh"
+#include "pm/pm_pool.hh"
+#include "trace/trace_buffer.hh"
+
+namespace whisper::pm
+{
+
+using trace::DataClass;
+using trace::EventKind;
+using trace::FenceKind;
+
+/**
+ * One thread's view of the persistent memory system.
+ */
+class PmContext
+{
+  public:
+    PmContext(PmPool &pool, LogicalClock &clock, ThreadId tid,
+              trace::TraceBuffer *tb = nullptr);
+
+    PmPool &pool() { return pool_; }
+    ThreadId tid() const { return tid_; }
+    trace::TraceBuffer *traceBuffer() { return tb_; }
+
+    /** @{ \name Persistent stores */
+
+    /** Cacheable store of @p n bytes at pool offset @p off. */
+    void store(Addr off, const void *src, std::size_t n,
+               DataClass cls = DataClass::User);
+
+    /** Cacheable store of a value into a field living in the pool. */
+    template <typename T>
+    void
+    storeField(T &dst_in_pool, const T &value,
+               DataClass cls = DataClass::User)
+    {
+        store(pool_.offsetOf(&dst_in_pool), &value, sizeof(T), cls);
+    }
+
+    /** Non-temporal store (paper: PM_MOVNTI / memcpy_nt). */
+    void ntStore(Addr off, const void *src, std::size_t n,
+                 DataClass cls = DataClass::User);
+
+    /** PM_STRCPY: store a NUL-terminated string. */
+    void strcpyPm(Addr off, const char *s,
+                  DataClass cls = DataClass::User);
+
+    /** @} */
+    /** @{ \name Flush and fence */
+
+    /** clwb every line overlapping [off, off+n). */
+    void flush(Addr off, std::size_t n);
+
+    /** sfence; drains this thread's flushes and WC buffer. */
+    void fence(FenceKind kind = FenceKind::Ordering);
+
+    /** Convenience: flush + durability fence (native-style persist). */
+    void persist(Addr off, std::size_t n);
+
+    /** @} */
+    /** @{ \name Loads */
+
+    void load(Addr off, void *dst, std::size_t n);
+
+    template <typename T>
+    T
+    loadField(const T &src_in_pool)
+    {
+        T out;
+        load(pool_.offsetOf(&src_in_pool), &out, sizeof(T));
+        return out;
+    }
+
+    /** @} */
+    /** @{ \name Transactions and volatile instrumentation */
+
+    /** Mark a durable-transaction begin; returns its id. */
+    TxId txBegin();
+
+    /** Mark commit of @p tx. Does not itself fence. */
+    void txEnd(TxId tx);
+
+    /** Mark abort of @p tx. */
+    void txAbort(TxId tx);
+
+    /** Record a volatile load of @p n bytes at host pointer @p p. */
+    void vLoad(const void *p, std::size_t n);
+
+    /** Record a volatile store of @p n bytes at host pointer @p p. */
+    void vStore(const void *p, std::size_t n);
+
+    /**
+     * Model a burst of volatile work: @p loads loads and @p stores
+     * stores over the region at @p base spanning @p span bytes.
+     * When the trace records volatile events, individual 8-byte
+     * accesses with a scrambled stride are emitted (so the timing
+     * simulator sees realistic DRAM traffic); otherwise only the
+     * counters advance — either way the logical clock moves by the
+     * full cost. PM-aware applications spend >96% of their accesses
+     * in DRAM (paper Figure 6); this is how our reimplementations
+     * model that work without megabytes of hand-written filler code.
+     */
+    void vBurst(const void *base, std::size_t span, unsigned loads,
+                unsigned stores);
+
+    /** Model @p ns nanoseconds of pure computation. */
+    void compute(Tick ns);
+
+    /** Current logical time (does not advance the clock). */
+    Tick now() const { return clock_.now(); }
+
+    /** @} */
+
+    /** Pending (unfenced) flushed lines — exposed for tests. */
+    const std::vector<LineAddr> &pendingFlushes() const
+    {
+        return pendingFlush_;
+    }
+
+    /** Drop pending state without persisting (used after crash()). */
+    void resetPendingState();
+
+  private:
+    void emit(EventKind kind, Addr addr, std::uint32_t size,
+              DataClass cls, std::uint8_t aux, Tick cost);
+
+    PmPool &pool_;
+    LogicalClock &clock_;
+    ThreadId tid_;
+    trace::TraceBuffer *tb_;
+
+    std::vector<LineAddr> pendingFlush_;
+    /** WC buffer contents: byte ranges written by NT stores. */
+    std::vector<std::pair<Addr, std::uint32_t>> pendingNt_;
+    TxId nextTx_;
+};
+
+} // namespace whisper::pm
+
+#endif // WHISPER_PM_PM_CONTEXT_HH

@@ -1,0 +1,136 @@
+#include "pm/pm_pool.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace whisper::pm
+{
+
+PmPool::PmPool(std::size_t size)
+    : size_(size),
+      arch_(size, 0),
+      durable_(size, 0),
+      lineStates_((size + kCacheLineSize - 1) / kCacheLineSize)
+{
+    panic_if(size == 0, "empty PmPool");
+    for (auto &st : lineStates_)
+        st.store(0, std::memory_order_relaxed);
+}
+
+void
+PmPool::boundsCheck(Addr off, std::size_t n) const
+{
+    panic_if(off > size_ || n > size_ - off,
+             "PM access [%llu, +%zu) outside pool of %zu bytes",
+             static_cast<unsigned long long>(off), n, size_);
+}
+
+Addr
+PmPool::offsetOf(const void *p) const
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(p);
+    panic_if(!contains(p), "pointer does not point into the pool");
+    return static_cast<Addr>(bytes - arch_.data());
+}
+
+bool
+PmPool::contains(const void *p) const
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(p);
+    return bytes >= arch_.data() && bytes < arch_.data() + size_;
+}
+
+void
+PmPool::applyStore(Addr off, const void *src, std::size_t n)
+{
+    boundsCheck(off, n);
+    std::memcpy(arch_.data() + off, src, n);
+    const LineAddr first = lineOf(off);
+    const LineAddr last = lineOf(off + (n ? n - 1 : 0));
+    for (LineAddr line = first; line <= last; line++)
+        lineStates_[line].store(1, std::memory_order_relaxed);
+}
+
+void
+PmPool::persistLine(LineAddr line)
+{
+    panic_if(line >= lineStates_.size(), "persist of line %llu beyond pool",
+             static_cast<unsigned long long>(line));
+    const Addr base = line << kCacheLineBits;
+    const std::size_t n = std::min(kCacheLineSize, size_ - base);
+    std::memcpy(durable_.data() + base, arch_.data() + base, n);
+    lineStates_[line].store(0, std::memory_order_relaxed);
+    stats_.linesPersisted++;
+}
+
+void
+PmPool::persistRange(Addr off, std::size_t n)
+{
+    if (n == 0)
+        return;
+    boundsCheck(off, n);
+    const LineAddr first = lineOf(off);
+    const LineAddr last = lineOf(off + n - 1);
+    for (LineAddr line = first; line <= last; line++)
+        persistLine(line);
+}
+
+bool
+PmPool::lineDirty(LineAddr line) const
+{
+    panic_if(line >= lineStates_.size(), "line %llu beyond pool",
+             static_cast<unsigned long long>(line));
+    return lineStates_[line].load(std::memory_order_relaxed) != 0;
+}
+
+std::uint64_t
+PmPool::dirtyLineCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &st : lineStates_)
+        n += st.load(std::memory_order_relaxed) != 0;
+    return n;
+}
+
+void
+PmPool::crash(Rng &rng, double survival)
+{
+    for (LineAddr line = 0; line < lineStates_.size(); line++) {
+        if (lineStates_[line].load(std::memory_order_relaxed) &&
+            rng.chance(survival)) {
+            persistLine(line);
+            stats_.linesEvicted++;
+        }
+    }
+    finishCrash();
+}
+
+void
+PmPool::crashHard()
+{
+    finishCrash();
+}
+
+void
+PmPool::finishCrash()
+{
+    arch_ = durable_;
+    for (auto &st : lineStates_)
+        st.store(0, std::memory_order_relaxed);
+    stats_.crashes++;
+}
+
+void
+PmPool::evictRandomLines(Rng &rng, std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; i++) {
+        const LineAddr line = rng.next(lineStates_.size());
+        if (lineStates_[line].load(std::memory_order_relaxed)) {
+            persistLine(line);
+            stats_.linesEvicted++;
+        }
+    }
+}
+
+} // namespace whisper::pm

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Software persistent-memory device.
+ *
+ * A PmPool holds two byte images of the same pool:
+ *
+ *  - the *architectural* image — what loads observe; updated by every
+ *    store immediately (it plays the role of the cache hierarchy plus
+ *    the memory), and
+ *  - the *durable* image — what survives a simulated power failure;
+ *    updated only when lines are persisted (flush + fence, NT store +
+ *    fence, or explicit eviction).
+ *
+ * This split implements exactly the x86-64 persistency contract the
+ * paper's applications program against: data is durable only once a
+ * clwb/NT store has been fenced; anything merely dirty may or may not
+ * survive a crash (write-back caches can evict at any time). The
+ * crash() entry point resolves each such "may" with a seeded RNG, so
+ * property tests can sweep adversarial crash outcomes.
+ *
+ * Persistent data structures store POff<T> offsets, never pointers;
+ * offsets remain valid across crash()/recover().
+ */
+
+#ifndef WHISPER_PM_PM_POOL_HH
+#define WHISPER_PM_PM_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace whisper::pm
+{
+
+/** Statistics a pool keeps about persist traffic. */
+struct PoolStats
+{
+    std::uint64_t linesPersisted = 0;   //!< flush/NT drains to durable
+    std::uint64_t linesEvicted = 0;     //!< random evictions
+    std::uint64_t crashes = 0;          //!< crash() invocations
+};
+
+/**
+ * The simulated PM device (one pool == one DAX mapping).
+ */
+class PmPool
+{
+  public:
+    /** Create a pool of @p size bytes, zero-filled and clean. */
+    explicit PmPool(std::size_t size);
+
+    std::size_t size() const { return size_; }
+    std::size_t lineCount() const { return lineStates_.size(); }
+
+    /** @{ Raw image access (bounds-checked in at()/durableAt()). */
+    std::uint8_t *archBase() { return arch_.data(); }
+    const std::uint8_t *archBase() const { return arch_.data(); }
+    const std::uint8_t *durableBase() const { return durable_.data(); }
+    /** @} */
+
+    /**
+     * Typed pointer into the architectural image.
+     * Valid until the next crash()/recover().
+     */
+    template <typename T>
+    T *
+    at(Addr off)
+    {
+        boundsCheck(off, sizeof(T));
+        return reinterpret_cast<T *>(arch_.data() + off);
+    }
+
+    template <typename T>
+    const T *
+    at(Addr off) const
+    {
+        boundsCheck(off, sizeof(T));
+        return reinterpret_cast<const T *>(arch_.data() + off);
+    }
+
+    /** Typed pointer into the durable image (post-mortem inspection). */
+    template <typename T>
+    const T *
+    durableAt(Addr off) const
+    {
+        boundsCheck(off, sizeof(T));
+        return reinterpret_cast<const T *>(durable_.data() + off);
+    }
+
+    /** Offset of a pointer that is known to point into the arch image. */
+    Addr offsetOf(const void *p) const;
+
+    /** True if @p p points inside the architectural image. */
+    bool contains(const void *p) const;
+
+    /** @{ Device-level operations used by PmContext. */
+
+    /** Apply a store to the architectural image; marks lines dirty. */
+    void applyStore(Addr off, const void *src, std::size_t n);
+
+    /** Copy one line arch -> durable and mark it clean. */
+    void persistLine(LineAddr line);
+
+    /** Persist every line overlapping [off, off+n). */
+    void persistRange(Addr off, std::size_t n);
+
+    /** @} */
+
+    /** True if the line differs (dirty) from the durable image. */
+    bool lineDirty(LineAddr line) const;
+
+    /** Number of currently dirty lines (linear scan; test helper). */
+    std::uint64_t dirtyLineCount() const;
+
+    /**
+     * Simulate a power failure.
+     *
+     * Every dirty line independently persists with probability
+     * @p survival (a write-back cache may have evicted it at any
+     * point); everything else keeps its last durable value. The
+     * architectural image is then reloaded from the durable image,
+     * exactly as a re-mount after power-up would see it.
+     */
+    void crash(Rng &rng, double survival = 0.5);
+
+    /**
+     * Like crash() but nothing un-persisted survives: the strictest
+     * legal outcome (also the most common in tests, since it makes
+     * failures deterministic).
+     */
+    void crashHard();
+
+    /** Randomly evict (persist) up to @p n dirty lines, like a cache. */
+    void evictRandomLines(Rng &rng, std::uint64_t n);
+
+    const PoolStats &stats() const { return stats_; }
+
+  private:
+    void boundsCheck(Addr off, std::size_t n) const;
+    void finishCrash();
+
+    std::size_t size_;
+    std::vector<std::uint8_t> arch_;
+    std::vector<std::uint8_t> durable_;
+    /** 1 == dirty. Atomic so concurrent app threads may mark freely. */
+    std::vector<std::atomic<std::uint8_t>> lineStates_;
+    PoolStats stats_;
+};
+
+} // namespace whisper::pm
+
+#endif // WHISPER_PM_PM_POOL_HH

@@ -1,0 +1,321 @@
+#include "pmfs/block_tree.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace whisper::pmfs
+{
+
+using pm::DataClass;
+
+BlockTree::BlockTree(MetaJournal &journal, BtNodeAllocator &nodes)
+    : journal_(journal), nodes_(nodes)
+{
+}
+
+namespace
+{
+
+/** Descend index inside an inner node: first child whose separator
+ *  exceeds @p key. */
+std::uint32_t
+descendIndex(const BtNode *node, std::uint64_t key)
+{
+    std::uint32_t i = 0;
+    while (i < node->count && key >= node->keys[i])
+        i++;
+    return i;
+}
+
+/** Position of @p key in a leaf (first index with keys[i] >= key). */
+std::uint32_t
+leafPos(const BtNode *node, std::uint64_t key)
+{
+    std::uint32_t i = 0;
+    while (i < node->count && node->keys[i] < key)
+        i++;
+    return i;
+}
+
+} // namespace
+
+Addr
+BlockTree::lookup(pm::PmContext &ctx, const BtRoot &root,
+                  std::uint64_t key) const
+{
+    if (root.height == 0)
+        return kNullAddr;
+    Addr off = root.root;
+    for (std::uint32_t level = root.height; level > 1; level--) {
+        const BtNode *node = ctx.pool().at<BtNode>(off);
+        std::uint64_t hdr_touch = 0;
+        ctx.load(off, &hdr_touch, 8); // PM read of the node header
+        off = node->vals[descendIndex(node, key)];
+    }
+    const BtNode *leaf = ctx.pool().at<BtNode>(off);
+    const std::uint32_t pos = leafPos(leaf, key);
+    if (pos < leaf->count && leaf->keys[pos] == key)
+        return leaf->vals[pos];
+    return kNullAddr;
+}
+
+Addr
+BlockTree::makeLeaf(pm::PmContext &ctx, std::uint64_t key, Addr val)
+{
+    const Addr off = nodes_.allocNode(ctx);
+    panic_if(off == kNullAddr, "filesystem out of blocks (btree leaf)");
+    // Fresh node: unreachable until the parent/root update commits
+    // and NTI-zeroed by the allocator, so partial plain stores
+    // suffice (no undo record, no full-node write).
+    const std::uint32_t one = 1;
+    ctx.store(off + offsetof(BtNode, isLeaf), &one, 4, DataClass::FsMeta);
+    ctx.store(off + offsetof(BtNode, count), &one, 4, DataClass::FsMeta);
+    ctx.store(off + offsetof(BtNode, keys), &key, 8, DataClass::FsMeta);
+    ctx.store(off + offsetof(BtNode, vals), &val, 8, DataClass::FsMeta);
+    ctx.flush(off, 16);
+    ctx.flush(off + offsetof(BtNode, keys), 8);
+    ctx.flush(off + offsetof(BtNode, vals), 8);
+    return off;
+}
+
+BtRoot
+BlockTree::insert(pm::PmContext &ctx, BtRoot root, std::uint64_t key,
+                  Addr val)
+{
+    panic_if(!journal_.inTx(), "BlockTree::insert outside a journal tx");
+    if (root.height == 0) {
+        root.root = makeLeaf(ctx, key, val);
+        root.height = 1;
+        return root;
+    }
+    SplitResult res = insertRec(ctx, root.root, root.height, key, val);
+    if (res.split) {
+        const Addr new_root = nodes_.allocNode(ctx);
+        panic_if(new_root == kNullAddr,
+                 "filesystem out of blocks (btree root)");
+        const std::uint32_t one = 1;
+        ctx.store(new_root + offsetof(BtNode, count), &one, 4,
+                  DataClass::FsMeta);
+        ctx.store(new_root + offsetof(BtNode, keys), &res.sepKey, 8,
+                  DataClass::FsMeta);
+        ctx.store(new_root + offsetof(BtNode, vals), &root.root, 8,
+                  DataClass::FsMeta);
+        ctx.store(new_root + offsetof(BtNode, vals) + 8, &res.newNode,
+                  8, DataClass::FsMeta);
+        ctx.flush(new_root, 16);
+        ctx.flush(new_root + offsetof(BtNode, keys), 8);
+        ctx.flush(new_root + offsetof(BtNode, vals), 16);
+        root.root = new_root;
+        root.height++;
+    }
+    return root;
+}
+
+BlockTree::SplitResult
+BlockTree::insertRec(pm::PmContext &ctx, Addr node_off,
+                     std::uint32_t level, std::uint64_t key, Addr val)
+{
+    BtNode *node = ctx.pool().at<BtNode>(node_off);
+    const Addr keys_off = node_off + offsetof(BtNode, keys);
+    const Addr vals_off = node_off + offsetof(BtNode, vals);
+    const Addr count_off = node_off + offsetof(BtNode, count);
+
+    if (level > 1) {
+        // Inner node: descend, then absorb a child split if any.
+        const std::uint32_t idx = descendIndex(node, key);
+        SplitResult child = insertRec(ctx, node->vals[idx], level - 1,
+                                      key, val);
+        if (!child.split)
+            return {};
+
+        if (node->count < BtNode::kMaxKeys) {
+            // Shift separators/children right of idx by one.
+            const std::uint32_t n = node->count;
+            journal_.logOld(ctx, keys_off + idx * 8, (n - idx + 1) * 8);
+            journal_.logOld(ctx, vals_off + (idx + 1) * 8,
+                            (n - idx + 1) * 8);
+            journal_.logOld(ctx, count_off, 4);
+            for (std::uint32_t j = n; j > idx; j--) {
+                const std::uint64_t k = node->keys[j - 1];
+                const Addr v = node->vals[j];
+                ctx.store(keys_off + j * 8, &k, 8, DataClass::FsMeta);
+                ctx.store(vals_off + (j + 1) * 8, &v, 8,
+                          DataClass::FsMeta);
+            }
+            ctx.store(keys_off + idx * 8, &child.sepKey, 8,
+                      DataClass::FsMeta);
+            ctx.store(vals_off + (idx + 1) * 8, &child.newNode, 8,
+                      DataClass::FsMeta);
+            const std::uint32_t nc = n + 1;
+            ctx.store(count_off, &nc, 4, DataClass::FsMeta);
+            return {};
+        }
+
+        // Inner split: push the middle separator up.
+        const Addr right_off = nodes_.allocNode(ctx);
+        panic_if(right_off == kNullAddr,
+                 "filesystem out of blocks (btree inner)");
+        const std::uint32_t mid = node->count / 2;
+        const std::uint32_t right_count = node->count - mid - 1;
+        const std::uint64_t up_key = node->keys[mid];
+        ctx.store(right_off + offsetof(BtNode, count), &right_count, 4,
+                  DataClass::FsMeta);
+        ctx.store(right_off + offsetof(BtNode, keys),
+                  node->keys + mid + 1, right_count * 8,
+                  DataClass::FsMeta);
+        ctx.store(right_off + offsetof(BtNode, vals),
+                  node->vals + mid + 1, (right_count + 1) * 8,
+                  DataClass::FsMeta);
+        ctx.flush(right_off, 16);
+        ctx.flush(right_off + offsetof(BtNode, keys), right_count * 8);
+        ctx.flush(right_off + offsetof(BtNode, vals),
+                  (right_count + 1) * 8);
+        journal_.logOld(ctx, count_off, 4);
+        ctx.store(count_off, &mid, 4, DataClass::FsMeta);
+
+        // Re-run the absorbed insert on the proper half.
+        BtNode *target;
+        Addr target_off;
+        (void)right_count;
+        if (child.sepKey >= up_key) {
+            target_off = right_off;
+        } else {
+            target_off = node_off;
+        }
+        target = ctx.pool().at<BtNode>(target_off);
+        const Addr t_keys = target_off + offsetof(BtNode, keys);
+        const Addr t_vals = target_off + offsetof(BtNode, vals);
+        const Addr t_count = target_off + offsetof(BtNode, count);
+        const std::uint32_t ins = descendIndex(target, child.sepKey);
+        const std::uint32_t n = target->count;
+        journal_.logOld(ctx, t_keys + ins * 8, (n - ins + 1) * 8);
+        journal_.logOld(ctx, t_vals + (ins + 1) * 8, (n - ins + 1) * 8);
+        journal_.logOld(ctx, t_count, 4);
+        for (std::uint32_t j = n; j > ins; j--) {
+            const std::uint64_t k = target->keys[j - 1];
+            const Addr v = target->vals[j];
+            ctx.store(t_keys + j * 8, &k, 8, DataClass::FsMeta);
+            ctx.store(t_vals + (j + 1) * 8, &v, 8, DataClass::FsMeta);
+        }
+        ctx.store(t_keys + ins * 8, &child.sepKey, 8, DataClass::FsMeta);
+        ctx.store(t_vals + (ins + 1) * 8, &child.newNode, 8,
+                  DataClass::FsMeta);
+        const std::uint32_t nc = n + 1;
+        ctx.store(t_count, &nc, 4, DataClass::FsMeta);
+
+        return {true, up_key, right_off};
+    }
+
+    // Leaf.
+    const std::uint32_t pos = leafPos(node, key);
+    if (pos < node->count && node->keys[pos] == key) {
+        journal_.logOld(ctx, vals_off + pos * 8, 8);
+        ctx.store(vals_off + pos * 8, &val, 8, DataClass::FsMeta);
+        return {};
+    }
+
+    if (node->count < BtNode::kMaxKeys) {
+        const std::uint32_t n = node->count;
+        if (pos < n) {
+            journal_.logOld(ctx, keys_off + pos * 8, (n - pos) * 8);
+            journal_.logOld(ctx, vals_off + pos * 8, (n - pos) * 8);
+        }
+        journal_.logOld(ctx, keys_off + n * 8, 8);
+        journal_.logOld(ctx, vals_off + n * 8, 8);
+        journal_.logOld(ctx, count_off, 4);
+        for (std::uint32_t j = n; j > pos; j--) {
+            const std::uint64_t k = node->keys[j - 1];
+            const Addr v = node->vals[j - 1];
+            ctx.store(keys_off + j * 8, &k, 8, DataClass::FsMeta);
+            ctx.store(vals_off + j * 8, &v, 8, DataClass::FsMeta);
+        }
+        ctx.store(keys_off + pos * 8, &key, 8, DataClass::FsMeta);
+        ctx.store(vals_off + pos * 8, &val, 8, DataClass::FsMeta);
+        const std::uint32_t nc = n + 1;
+        ctx.store(count_off, &nc, 4, DataClass::FsMeta);
+        return {};
+    }
+
+    // Leaf split: right node takes the upper half; separator is the
+    // right node's first key.
+    const Addr right_off = nodes_.allocNode(ctx);
+    panic_if(right_off == kNullAddr,
+             "filesystem out of blocks (btree leaf split)");
+    const std::uint32_t mid = node->count / 2;
+    const std::uint32_t one_leaf = 1;
+    const std::uint32_t right_count = node->count - mid;
+    ctx.store(right_off + offsetof(BtNode, isLeaf), &one_leaf, 4,
+              DataClass::FsMeta);
+    ctx.store(right_off + offsetof(BtNode, count), &right_count, 4,
+              DataClass::FsMeta);
+    ctx.store(right_off + offsetof(BtNode, keys), node->keys + mid,
+              right_count * 8, DataClass::FsMeta);
+    ctx.store(right_off + offsetof(BtNode, vals), node->vals + mid,
+              right_count * 8, DataClass::FsMeta);
+    ctx.flush(right_off, 16);
+    ctx.flush(right_off + offsetof(BtNode, keys), right_count * 8);
+    ctx.flush(right_off + offsetof(BtNode, vals), right_count * 8);
+    journal_.logOld(ctx, count_off, 4);
+    ctx.store(count_off, &mid, 4, DataClass::FsMeta);
+
+    const std::uint64_t sep = node->keys[mid];
+    if (key >= sep)
+        insertRec(ctx, right_off, 1, key, val);
+    else
+        insertRec(ctx, node_off, 1, key, val);
+    return {true, sep, right_off};
+}
+
+void
+BlockTree::forEach(pm::PmContext &ctx, const BtRoot &root,
+                   const std::function<void(std::uint64_t, Addr)> &fn)
+    const
+{
+    if (root.height == 0)
+        return;
+    struct Frame { Addr off; std::uint32_t level; };
+    std::vector<Frame> stack{{root.root, root.height}};
+    while (!stack.empty()) {
+        const Frame fr = stack.back();
+        stack.pop_back();
+        const BtNode *node = ctx.pool().at<BtNode>(fr.off);
+        if (fr.level == 1) {
+            for (std::uint32_t i = 0; i < node->count; i++)
+                fn(node->keys[i], node->vals[i]);
+        } else {
+            // Push children in reverse so traversal stays in order.
+            for (std::uint32_t i = node->count + 1; i > 0; i--)
+                stack.push_back({node->vals[i - 1], fr.level - 1});
+        }
+    }
+}
+
+void
+BlockTree::freeAll(pm::PmContext &ctx, const BtRoot &root)
+{
+    if (root.height == 0)
+        return;
+    freeRec(ctx, root.root, root.height);
+}
+
+void
+BlockTree::freeRec(pm::PmContext &ctx, Addr node_off, std::uint32_t level)
+{
+    if (level > 1) {
+        const BtNode *node = ctx.pool().at<BtNode>(node_off);
+        for (std::uint32_t i = 0; i <= node->count; i++)
+            freeRec(ctx, node->vals[i], level - 1);
+    }
+    nodes_.freeNode(ctx, node_off);
+}
+
+std::uint64_t
+BlockTree::count(pm::PmContext &ctx, const BtRoot &root) const
+{
+    std::uint64_t n = 0;
+    forEach(ctx, root, [&](std::uint64_t, Addr) { n++; });
+    return n;
+}
+
+} // namespace whisper::pmfs

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Persistent B-tree mapping file block indices to data blocks.
+ *
+ * PMFS keeps its metadata "in persistent B-trees"; this is the
+ * per-inode block map. Nodes are whole 4 KB blocks. Mutations of
+ * reachable nodes are undo-journaled at byte granularity (only the
+ * fields actually changing), which keeps metadata amplification near
+ * the ~10% the paper measures for 4 KB appends. Freshly allocated
+ * nodes are unreachable until the (journaled) parent update, so their
+ * initialization needs no journaling.
+ */
+
+#ifndef WHISPER_PMFS_BLOCK_TREE_HH
+#define WHISPER_PMFS_BLOCK_TREE_HH
+
+#include <functional>
+
+#include "pmfs/journal.hh"
+#include "pmfs/layout.hh"
+
+namespace whisper::pmfs
+{
+
+/** Node allocation service the filesystem provides to the tree. */
+class BtNodeAllocator
+{
+  public:
+    virtual ~BtNodeAllocator() = default;
+    /** A zeroed 4 KB block, or kNullAddr when full. */
+    virtual Addr allocNode(pm::PmContext &ctx) = 0;
+    virtual void freeNode(pm::PmContext &ctx, Addr node) = 0;
+};
+
+/** Root reference stored in an inode (root offset + height). */
+struct BtRoot
+{
+    Addr root = kNullAddr;
+    std::uint32_t height = 0;
+};
+
+/**
+ * Block-map operations. Stateless: all persistent state lives in the
+ * nodes and the caller-held BtRoot.
+ */
+class BlockTree
+{
+  public:
+    BlockTree(MetaJournal &journal, BtNodeAllocator &nodes);
+
+    /** Value for @p key, or kNullAddr. Read-only, never journals. */
+    Addr lookup(pm::PmContext &ctx, const BtRoot &root,
+                std::uint64_t key) const;
+
+    /**
+     * Insert or overwrite @p key -> @p val. Must run inside a journal
+     * transaction. Returns the (possibly new) root.
+     */
+    BtRoot insert(pm::PmContext &ctx, BtRoot root, std::uint64_t key,
+                  Addr val);
+
+    /** Visit every mapping in key order. */
+    void forEach(pm::PmContext &ctx, const BtRoot &root,
+                 const std::function<void(std::uint64_t, Addr)> &fn)
+        const;
+
+    /** Free every node (values are freed by the caller via forEach). */
+    void freeAll(pm::PmContext &ctx, const BtRoot &root);
+
+    /** Number of mappings (test helper). */
+    std::uint64_t count(pm::PmContext &ctx, const BtRoot &root) const;
+
+  private:
+    struct SplitResult
+    {
+        bool split = false;
+        std::uint64_t sepKey = 0;
+        Addr newNode = kNullAddr;
+    };
+
+    SplitResult insertRec(pm::PmContext &ctx, Addr node_off,
+                          std::uint32_t level, std::uint64_t key,
+                          Addr val);
+    Addr makeLeaf(pm::PmContext &ctx, std::uint64_t key, Addr val);
+    void freeRec(pm::PmContext &ctx, Addr node_off, std::uint32_t level);
+
+    MetaJournal &journal_;
+    BtNodeAllocator &nodes_;
+};
+
+} // namespace whisper::pmfs
+
+#endif // WHISPER_PMFS_BLOCK_TREE_HH

@@ -1,0 +1,169 @@
+#include "pmfs/journal.hh"
+
+#include "common/logging.hh"
+#include "txlib/mnemosyne.hh" // foldChecksum
+
+namespace whisper::pmfs
+{
+
+using pm::DataClass;
+using pm::FenceKind;
+using mne::foldChecksum;
+
+MetaJournal::MetaJournal(pm::PmContext &ctx, Addr base)
+    : base_(base)
+{
+    const auto free_state = static_cast<std::uint64_t>(JournalState::Free);
+    ctx.store(stateOff(), &free_state, 8, DataClass::TxMeta);
+    ctx.flush(stateOff(), 8);
+    for (unsigned seg = 0; seg < kSegments; seg++) {
+        JournalRecord end{JournalRecord::kMagic, 0, 0, 0, 0};
+        ctx.store(segBase(seg), &end, sizeof(end), DataClass::Log);
+        ctx.flush(segBase(seg), sizeof(end));
+    }
+    ctx.fence(FenceKind::Durability);
+}
+
+MetaJournal::MetaJournal(Addr base)
+    : base_(base)
+{
+}
+
+void
+MetaJournal::setState(pm::PmContext &ctx, JournalState st,
+                      bool fence_now)
+{
+    const auto val = static_cast<std::uint64_t>(st);
+    ctx.store(stateOff(), &val, 8, DataClass::TxMeta);
+    ctx.flush(stateOff(), 8);
+    if (fence_now)
+        ctx.fence(FenceKind::Ordering);
+}
+
+void
+MetaJournal::begin(pm::PmContext &ctx)
+{
+    panic_if(inTx_, "nested journal transaction");
+    curSeg_ = segBase(segCursor_++ % kSegments);
+    head_ = curSeg_;
+    touched_.clear();
+    // UNCOMMITTED must be durable before the first metadata mutation;
+    // the first logOld()'s fence provides that ordering, so no fence
+    // here (descriptor writes piggyback — keeps small syscalls at the
+    // few-epoch counts the paper measures for PMFS).
+    setState(ctx, JournalState::Uncommitted, false);
+    inTx_ = true;
+}
+
+void
+MetaJournal::logOld(pm::PmContext &ctx, Addr off, std::size_t n)
+{
+    panic_if(!inTx_, "logOld outside a journal transaction");
+    panic_if(head_ + 2 * sizeof(JournalRecord) + n >
+                     curSeg_ + segmentBytes(),
+             "PMFS journal overflow");
+    std::vector<std::uint8_t> old(n);
+    ctx.load(off, old.data(), n);
+    JournalRecord rec{JournalRecord::kMagic,
+                      static_cast<std::uint32_t>(n), off,
+                      foldChecksum(old.data(), n), 0};
+    ctx.store(head_, &rec, sizeof(rec), DataClass::Log);
+    ctx.store(head_ + sizeof(rec), old.data(), n, DataClass::Log);
+    ctx.flush(head_, sizeof(rec) + n);
+    // Line-aligned records (PMFS logs at cache-line granularity);
+    // the per-record clears at commit keep retired segments
+    // terminated, so no tail sentinel is written here.
+    head_ = lineBase(head_ + sizeof(rec) + n + kCacheLineSize - 1);
+    ctx.fence(FenceKind::Ordering);
+    touched_.emplace_back(off, static_cast<std::uint32_t>(n));
+}
+
+void
+MetaJournal::commit(pm::PmContext &ctx)
+{
+    panic_if(!inTx_, "commit outside a journal transaction");
+
+    // Flush the new metadata contents, one ordering point.
+    for (const auto &[off, n] : touched_)
+        ctx.flush(off, n);
+    ctx.fence(FenceKind::Ordering);
+
+    // UNCOMMITTED -> COMMITTED: after this fence, a crash no longer
+    // rolls back.
+    setState(ctx, JournalState::Committed, true);
+
+    // Process each journal entry in its own epoch (the paper's
+    // singleton-epoch source in PMFS).
+    Addr cursor = curSeg_;
+    while (cursor < head_) {
+        JournalRecord rec{};
+        ctx.load(cursor, &rec, sizeof(rec));
+        JournalRecord cleared{JournalRecord::kMagic, 0, 0, 0, 0};
+        ctx.store(cursor, &cleared, sizeof(cleared), DataClass::Log);
+        ctx.flush(cursor, sizeof(cleared));
+        ctx.fence(FenceKind::Ordering);
+        cursor = lineBase(cursor + sizeof(rec) + rec.size +
+                          kCacheLineSize - 1);
+    }
+    head_ = curSeg_;
+    // No FREE transition: a COMMITTED descriptor with cleared entries
+    // is clean; the next begin() overwrites it with UNCOMMITTED. The
+    // paper names exactly the UNCOMMITTED -> COMMITTED write as
+    // PMFS's descriptor self-dependency.
+    inTx_ = false;
+}
+
+void
+MetaJournal::recover(pm::PmContext &ctx)
+{
+    std::uint64_t st = 0;
+    ctx.load(stateOff(), &st, 8);
+
+    if (st == static_cast<std::uint64_t>(JournalState::Uncommitted)) {
+        // Collect valid records from every segment (only the crashed
+        // transaction's segment yields any), restore newest-first.
+        struct Rec { Addr addr; std::uint32_t size; Addr payload; };
+        std::vector<Rec> recs;
+        for (unsigned seg = 0; seg < kSegments; seg++) {
+        Addr cursor = segBase(seg);
+        const Addr limit = segBase(seg) + segmentBytes();
+        while (cursor + sizeof(JournalRecord) <= limit) {
+            JournalRecord rec{};
+            ctx.load(cursor, &rec, sizeof(rec));
+            if (rec.magic != JournalRecord::kMagic || rec.size == 0)
+                break;
+            const Addr payload = cursor + sizeof(rec);
+            if (payload + rec.size > limit ||
+                foldChecksum(ctx.pool().at<std::uint8_t>(payload),
+                             rec.size) != rec.checksum) {
+                break; // torn tail: its range was never mutated
+            }
+            recs.push_back({rec.addr, rec.size, payload});
+            cursor = lineBase(payload + rec.size + kCacheLineSize - 1);
+        }
+        }
+        for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+            std::vector<std::uint8_t> old(it->size);
+            ctx.load(it->payload, old.data(), it->size);
+            ctx.store(it->addr, old.data(), it->size, DataClass::FsMeta);
+            ctx.flush(it->addr, it->size);
+            ctx.fence(FenceKind::Ordering);
+        }
+    }
+
+    // Reset the journal (COMMITTED transactions already have durable
+    // metadata; their leftover entries are garbage).
+    for (unsigned seg = 0; seg < kSegments; seg++) {
+        JournalRecord end{JournalRecord::kMagic, 0, 0, 0, 0};
+        ctx.store(segBase(seg), &end, sizeof(end), DataClass::Log);
+        ctx.flush(segBase(seg), sizeof(end));
+    }
+    const auto free_state = static_cast<std::uint64_t>(JournalState::Free);
+    ctx.store(stateOff(), &free_state, 8, DataClass::TxMeta);
+    ctx.flush(stateOff(), 8);
+    ctx.fence(FenceKind::Durability);
+    head_ = entriesOff();
+    inTx_ = false;
+}
+
+} // namespace whisper::pmfs

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * PMFS metadata undo journal.
+ *
+ * Every metadata-mutating filesystem operation runs inside a journal
+ * transaction: the old contents of each about-to-change range are
+ * journaled (store + flush + fence — the undo record must be durable
+ * before the metadata changes), the mutation is applied in place, and
+ * commit flushes the mutated ranges, flips the descriptor from
+ * UNCOMMITTED to COMMITTED (the self-dependency the paper calls out),
+ * then clears each journal entry in its own epoch.
+ *
+ * User data is *not* journaled — PMFS "does not guarantee consistency
+ * of user data" — it is written with NTIs and fenced at the end of
+ * the syscall.
+ */
+
+#ifndef WHISPER_PMFS_JOURNAL_HH
+#define WHISPER_PMFS_JOURNAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pm/pm_context.hh"
+
+namespace whisper::pmfs
+{
+
+/** Journal descriptor states (paper terminology). */
+enum class JournalState : std::uint64_t
+{
+    Free = 0,
+    Uncommitted = 1,
+    Committed = 2,
+};
+
+/** One undo record header. */
+struct JournalRecord
+{
+    std::uint32_t magic;
+    std::uint32_t size;      //!< payload bytes; 0 terminates the walk
+    Addr addr;               //!< metadata range start
+    std::uint32_t checksum;
+    std::uint32_t pad;
+
+    static constexpr std::uint32_t kMagic = 0x4A524E4Cu; // "JRNL"
+};
+
+/**
+ * The journal. One instance per mounted filesystem; callers serialize
+ * operations (the FS holds a lock across each syscall).
+ */
+class MetaJournal
+{
+  public:
+    /** Bytes of pool space a journal occupies. */
+    static constexpr std::size_t kJournalBytes = 1 << 20;
+
+    /** Rotating entry segments (a real journal appends as a ring). */
+    static constexpr unsigned kSegments = 16;
+
+    static constexpr std::size_t
+    segmentBytes()
+    {
+        return (kJournalBytes - kCacheLineSize) / kSegments;
+    }
+
+    /** Format a journal at [base, base+kJournalBytes). */
+    MetaJournal(pm::PmContext &ctx, Addr base);
+
+    /** Attach to an existing journal (mount path). */
+    explicit MetaJournal(Addr base);
+
+    /** Roll back an UNCOMMITTED transaction left by a crash. */
+    void recover(pm::PmContext &ctx);
+
+    /** Open a transaction (descriptor -> UNCOMMITTED). */
+    void begin(pm::PmContext &ctx);
+
+    /**
+     * Journal the current contents of [off, off+n) and remember the
+     * range so commit() can flush the new contents. Call before
+     * mutating the range.
+     */
+    void logOld(pm::PmContext &ctx, Addr off, std::size_t n);
+
+    /** Commit: flush mutations, COMMITTED, clear entries, FREE. */
+    void commit(pm::PmContext &ctx);
+
+    bool inTx() const { return inTx_; }
+
+  private:
+    void setState(pm::PmContext &ctx, JournalState st, bool fence_now);
+    Addr stateOff() const { return base_; }
+    Addr entriesOff() const { return base_ + kCacheLineSize; }
+
+    Addr segBase(unsigned seg) const
+    {
+        return entriesOff() + static_cast<Addr>(seg) * segmentBytes();
+    }
+
+    Addr base_;
+    Addr head_ = 0;
+    Addr curSeg_ = 0;
+    std::uint32_t segCursor_ = 0;
+    bool inTx_ = false;
+    std::vector<std::pair<Addr, std::uint32_t>> touched_;
+};
+
+} // namespace whisper::pmfs
+
+#endif // WHISPER_PMFS_JOURNAL_HH

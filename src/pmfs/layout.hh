@@ -1,0 +1,103 @@
+/**
+ * @file
+ * On-"disk" structures of the PMFS-like filesystem.
+ *
+ * Mirrors the design the paper describes for PMFS: user data lives in
+ * 4 KB blocks written with non-temporal stores; metadata (superblock,
+ * inodes, allocation bitmaps, per-file block-map B-trees) is updated
+ * in place with cacheable stores under an undo journal whose
+ * descriptor moves UNCOMMITTED -> COMMITTED -> FREE.
+ *
+ * All references are pool offsets (Addr); a remount after a crash
+ * revalidates everything from the superblock.
+ */
+
+#ifndef WHISPER_PMFS_LAYOUT_HH
+#define WHISPER_PMFS_LAYOUT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace whisper::pmfs
+{
+
+/** Filesystem block size (and B-tree node size). */
+constexpr std::size_t kBlockSize = 4096;
+
+/** Inode numbers are indices into the inode table; 0 is invalid. */
+using Ino = std::uint32_t;
+
+constexpr Ino kInvalidIno = 0;
+constexpr Ino kRootIno = 1;
+
+/** Inode type. */
+enum class FileType : std::uint32_t
+{
+    Free = 0,
+    Regular = 1,
+    Directory = 2,
+};
+
+/** Persistent inode (128 bytes). */
+struct Inode
+{
+    std::uint32_t type;      //!< FileType
+    std::uint32_t links;
+    std::uint64_t size;      //!< bytes (files) / dirent bytes (dirs)
+    Addr btreeRoot;          //!< block-map B-tree root, kNullAddr if none
+    std::uint32_t btreeHeight; //!< 0 = empty file
+    std::uint32_t pad0;
+    std::uint64_t ctime;     //!< logical ticks at creation
+    std::uint64_t mtime;
+    std::uint64_t atime;     //!< updated synchronously on reads
+    std::uint8_t pad[72];
+};
+static_assert(sizeof(Inode) == 128, "Inode layout drifted");
+
+/** Packed directory entry (64 bytes, one cache line). */
+struct Dirent
+{
+    Ino ino;                 //!< kInvalidIno when the slot is free
+    std::uint16_t nameLen;
+    std::uint16_t pad;
+    char name[56];
+};
+static_assert(sizeof(Dirent) == 64, "Dirent layout drifted");
+
+/** Maximum path component length. */
+constexpr std::size_t kNameMax = 55;
+
+/** Superblock at the base of the FS region. */
+struct Superblock
+{
+    std::uint64_t magic;
+    std::uint64_t fsSize;          //!< bytes managed
+    std::uint64_t inodeCount;
+    std::uint64_t blockCount;      //!< data blocks
+    Addr journalOff;
+    Addr inodeTableOff;
+    Addr inodeBitmapOff;
+    Addr blockBitmapOff;
+    Addr dataOff;
+
+    static constexpr std::uint64_t kMagic = 0x504D465331000000ull;
+};
+
+/** B-tree node stored in one 4 KB block. */
+struct BtNode
+{
+    std::uint32_t isLeaf;
+    std::uint32_t count;
+    std::uint64_t pad;
+    /** Leaf: key[i] -> val[i] (file block -> data block offset).
+     *  Inner: child[i] covers keys >= key[i] (key[0] is the lowest). */
+    static constexpr std::uint32_t kMaxKeys = 254;
+    std::uint64_t keys[kMaxKeys];
+    Addr vals[kMaxKeys + 1];
+};
+static_assert(sizeof(BtNode) <= kBlockSize, "BtNode exceeds a block");
+
+} // namespace whisper::pmfs
+
+#endif // WHISPER_PMFS_LAYOUT_HH

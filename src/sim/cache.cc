@@ -1,0 +1,73 @@
+#include "sim/cache.hh"
+
+#include "common/logging.hh"
+
+namespace whisper::sim
+{
+
+Cache::Cache(std::uint32_t sets, std::uint32_t ways)
+    : sets_(sets), ways_(ways), entries_(sets * ways)
+{
+    panic_if(sets == 0 || ways == 0, "degenerate cache geometry");
+}
+
+CacheResult
+Cache::access(LineAddr line, bool is_write)
+{
+    CacheResult result;
+    Way *ways = set(line);
+    Way *victim = &ways[0];
+    for (std::uint32_t w = 0; w < ways_; w++) {
+        Way &way = ways[w];
+        if (way.valid && way.line == line) {
+            way.lastUse = ++useClock_;
+            way.dirty |= is_write;
+            stats_.hits++;
+            result.hit = true;
+            return result;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    stats_.misses++;
+    if (victim->valid) {
+        stats_.evictions++;
+        result.evictedDirty = victim->dirty;
+        result.evictedLine = victim->line;
+    }
+    victim->valid = true;
+    victim->line = line;
+    victim->dirty = is_write;
+    victim->lastUse = ++useClock_;
+    return result;
+}
+
+bool
+Cache::contains(LineAddr line) const
+{
+    const Way *ways = set(line);
+    for (std::uint32_t w = 0; w < ways_; w++) {
+        if (ways[w].valid && ways[w].line == line)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::invalidate(LineAddr line)
+{
+    Way *ways = set(line);
+    for (std::uint32_t w = 0; w < ways_; w++) {
+        Way &way = ways[w];
+        if (way.valid && way.line == line) {
+            way.valid = false;
+            return way.dirty;
+        }
+    }
+    return false;
+}
+
+} // namespace whisper::sim

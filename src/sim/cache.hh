@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Tracks presence and dirtiness only — data values live in the
+ * functional layer (PmPool / host memory); the simulator needs
+ * hit/miss behaviour and evictions.
+ */
+
+#ifndef WHISPER_SIM_CACHE_HH
+#define WHISPER_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace whisper::sim
+{
+
+/** Result of one cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    bool evictedDirty = false;
+    LineAddr evictedLine = 0;
+};
+
+/** Basic statistics. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * One cache level.
+ */
+class Cache
+{
+  public:
+    Cache(std::uint32_t sets, std::uint32_t ways);
+
+    /**
+     * Look up @p line; on a miss, fill it (evicting LRU if needed).
+     * @p is_write marks the line dirty.
+     */
+    CacheResult access(LineAddr line, bool is_write);
+
+    /** Whether @p line is currently present. */
+    bool contains(LineAddr line) const;
+
+    /** Drop @p line (invalidation); returns true if it was dirty. */
+    bool invalidate(LineAddr line);
+
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    struct Way
+    {
+        LineAddr line = ~LineAddr(0);
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Way> entries_;
+    CacheStats stats_;
+
+    Way *set(LineAddr line) { return &entries_[(line % sets_) * ways_]; }
+    const Way *
+    set(LineAddr line) const
+    {
+        return &entries_[(line % sets_) * ways_];
+    }
+};
+
+} // namespace whisper::sim
+
+#endif // WHISPER_SIM_CACHE_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Simulation parameters (paper Table 3).
+ *
+ * Four cores, private 64 KB L1D caches, a shared last-level cache,
+ * two memory controllers, DRAM at 40 cycles and PM at 160 cycles.
+ * The trace-driven core model is in-order (one memory event at a
+ * time per core); this under-states MLP for every persistency model
+ * equally, so the relative results — which is what Figure 10 reports
+ * — are preserved.
+ */
+
+#ifndef WHISPER_SIM_PARAMS_HH
+#define WHISPER_SIM_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace whisper::sim
+{
+
+/** Cycle counts and structure sizes of the simulated machine. */
+struct SimParams
+{
+    unsigned cores = 4;
+
+    /** @{ \name Cache geometry (64 B lines) */
+    std::uint32_t l1Sets = 128;   //!< 128 x 8 x 64B = 64 KB
+    std::uint32_t l1Ways = 8;
+    std::uint32_t llcSets = 8192; //!< 8192 x 16 x 64B = 8 MB shared
+    std::uint32_t llcWays = 16;
+    /** @} */
+
+    /** @{ \name Latencies (cycles) */
+    std::uint32_t l1HitLat = 1;
+    std::uint32_t llcHitLat = 20;
+    std::uint32_t dramLat = 40;   //!< Table 3
+    std::uint32_t pmLat = 160;    //!< Table 3
+    std::uint32_t coherenceLat = 30; //!< cross-core transfer
+    /** @} */
+
+    /** @{ \name Memory controllers */
+    unsigned memControllers = 2;
+    /** PWQ accept cost: request queueing, the issuing core's
+     *  store-buffer drain at the sfence, and the clwb round trip
+     *  through the cache hierarchy to the MC. */
+    std::uint32_t mcQueueLat = 80;
+    std::uint32_t mcServiceGap = 20; //!< back-to-back service gap
+    /** @} */
+
+    /** @{ \name HOPS persist buffers (§6.4: 32 entries, drain at 16) */
+    std::uint32_t pbEntries = 32;
+    std::uint32_t pbDrainThreshold = 16;
+
+    /**
+     * Epoch coalescing in the PB back ends — the optimization the
+     * paper explicitly leaves for future work (§6.3). Adjacent
+     * epochs of one thread with no cross-thread dependencies merge
+     * before draining, deduplicating repeated lines.
+     */
+    bool pbCoalesce = false;
+
+    /**
+     * DPO/BSP mode (related work §7): Buffered Strict Persistency
+     * serializes the flushing of updates within an epoch under
+     * x86-TSO and broadcasts every PB write-back, instead of HOPS's
+     * concurrent per-epoch issue. Used by ModelKind::Dpo.
+     */
+    bool dpoMode = false;
+    /** @} */
+
+    /**
+     * Durability point: false = at the NVM device (a persist costs
+     * pmLat), true = a persistent write queue at the MC (a persist
+     * costs mcQueueLat). The paper evaluates both for x86 and HOPS.
+     */
+    bool persistentWriteQueue = false;
+};
+
+} // namespace whisper::sim
+
+#endif // WHISPER_SIM_PARAMS_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Trace-driven timing simulator.
+ *
+ * Replays a WHISPER trace (PM stores/loads/flushes/fences plus DRAM
+ * accesses) through a 4-core memory hierarchy — private L1Ds, a
+ * shared LLC with write-ownership tracking, two memory controllers
+ * with DRAM/PM latencies — under a pluggable persistency model.
+ * This is the stand-in for the paper's gem5 full-system setup; see
+ * DESIGN.md for the substitution argument (relative runtimes across
+ * persistency models are the quantity of interest).
+ *
+ * Event costs accrue to per-core cycle counters; events are processed
+ * in global trace order so coherence interactions (and HOPS's
+ * dependency gleaning) see a consistent interleaving. The run's
+ * simulated time is the maximum core cycle count.
+ */
+
+#ifndef WHISPER_SIM_SIMULATOR_HH
+#define WHISPER_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/persist_model.hh"
+#include "trace/trace_set.hh"
+
+namespace whisper::sim
+{
+
+/** Which persistency model to instantiate. */
+enum class ModelKind
+{
+    X86Nvm,
+    X86Pwq,
+    HopsNvm,
+    HopsPwq,
+    Dpo,      //!< Delegated Persist Ordering under BSP (related work)
+    Ideal,
+};
+
+const char *modelKindName(ModelKind kind);
+
+/** Everything a simulation run reports. */
+struct SimResult
+{
+    std::string model;
+    std::uint64_t cycles = 0;            //!< max over cores
+    std::vector<std::uint64_t> coreCycles;
+    std::uint64_t pmAccesses = 0;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t coherenceTransfers = 0;
+    CacheStats l1Stats;                  //!< aggregated over cores
+    CacheStats llcStats;
+    PersistStats persist;
+};
+
+/**
+ * One simulation: a trace replayed under one model.
+ */
+class Simulator
+{
+  public:
+    Simulator(const SimParams &params, ModelKind kind);
+
+    /** Replay @p traces to completion and return the result. */
+    SimResult run(const trace::TraceSet &traces);
+
+  private:
+    std::uint64_t memAccess(unsigned core, Addr addr,
+                            std::uint32_t size, bool is_write,
+                            bool is_pm, bool bypass_cache);
+
+    SimParams params_;
+    ModelKind kind_;
+    std::unique_ptr<PersistModel> model_;
+    std::vector<Cache> l1_;
+    std::unique_ptr<Cache> llc_;
+    /** Last core to write each line (write-ownership tracking). */
+    std::unordered_map<LineAddr, unsigned> lastWriter_;
+    std::uint64_t coherenceTransfers_ = 0;
+};
+
+/** Convenience: run one trace under every model of @p kinds. */
+std::vector<SimResult> runModels(const trace::TraceSet &traces,
+                                 const SimParams &base_params,
+                                 const std::vector<ModelKind> &kinds);
+
+} // namespace whisper::sim
+
+#endif // WHISPER_SIM_SIMULATOR_HH

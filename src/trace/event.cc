@@ -1,0 +1,38 @@
+#include "trace/event.hh"
+
+namespace whisper::trace
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::PmStore:   return "pm_store";
+      case EventKind::PmNtStore: return "pm_nt_store";
+      case EventKind::PmLoad:    return "pm_load";
+      case EventKind::PmFlush:   return "pm_flush";
+      case EventKind::Fence:     return "fence";
+      case EventKind::TxBegin:   return "tx_begin";
+      case EventKind::TxEnd:     return "tx_end";
+      case EventKind::TxAbort:   return "tx_abort";
+      case EventKind::DramLoad:  return "dram_load";
+      case EventKind::DramStore: return "dram_store";
+    }
+    return "?";
+}
+
+const char *
+dataClassName(DataClass cls)
+{
+    switch (cls) {
+      case DataClass::User:      return "user";
+      case DataClass::Log:       return "log";
+      case DataClass::AllocMeta: return "alloc";
+      case DataClass::TxMeta:    return "txmeta";
+      case DataClass::FsMeta:    return "fsmeta";
+      case DataClass::None:      return "none";
+    }
+    return "?";
+}
+
+} // namespace whisper::trace

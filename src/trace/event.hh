@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Trace-event model for the WHISPER instrumentation framework.
+ *
+ * The paper's PM_* macros emit a record for every PM update, flush,
+ * fence and transaction boundary (their Figure 2); this header defines
+ * the equivalent in-memory record. Volatile (DRAM) accesses are also
+ * representable so that the PM/DRAM access mix (their Figure 6) and
+ * the timing simulation (their Figure 10) work from the same traces.
+ */
+
+#ifndef WHISPER_TRACE_EVENT_HH
+#define WHISPER_TRACE_EVENT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace whisper::trace
+{
+
+/** What happened. */
+enum class EventKind : std::uint8_t
+{
+    PmStore,    //!< cacheable store to PM
+    PmNtStore,  //!< non-temporal (cache-bypassing) store to PM
+    PmLoad,     //!< load from PM
+    PmFlush,    //!< clwb/clflushopt of one PM line
+    Fence,      //!< sfence (aux = FenceKind)
+    TxBegin,    //!< durable-transaction begin (addr = tx id)
+    TxEnd,      //!< durable-transaction commit (addr = tx id)
+    TxAbort,    //!< durable-transaction abort (addr = tx id)
+    DramLoad,   //!< load from volatile memory
+    DramStore,  //!< store to volatile memory
+};
+
+/**
+ * Why the bytes were written. The paper's write-amplification and
+ * small-epoch analyses attribute writes to user data vs recovery
+ * metadata (logs, allocator state, transaction descriptors).
+ */
+enum class DataClass : std::uint8_t
+{
+    User,       //!< application payload
+    Log,        //!< undo/redo log entries and log descriptors
+    AllocMeta,  //!< persistent allocator state
+    TxMeta,     //!< transaction/journal descriptors
+    FsMeta,     //!< filesystem metadata (inodes, B-tree nodes)
+    None,       //!< not a write (loads, fences)
+};
+
+/** Flavour of an sfence, as classified by the instrumentation. */
+enum class FenceKind : std::uint8_t
+{
+    Ordering,    //!< intra-transaction ordering point (HOPS ofence)
+    Durability,  //!< commit/durability point (HOPS dfence)
+};
+
+/**
+ * One instrumented operation. 24 bytes, trivially copyable; the owning
+ * thread is implied by the buffer the event sits in.
+ */
+struct TraceEvent
+{
+    Tick ts;            //!< global logical timestamp
+    Addr addr;          //!< pool offset, or tx id for Tx* events
+    std::uint32_t size; //!< bytes touched (0 for fences)
+    EventKind kind;
+    DataClass cls;
+    std::uint8_t aux;   //!< FenceKind for Fence events
+    std::uint8_t pad = 0;
+
+    bool
+    isPmWrite() const
+    {
+        return kind == EventKind::PmStore || kind == EventKind::PmNtStore;
+    }
+
+    bool
+    isFence() const
+    {
+        return kind == EventKind::Fence;
+    }
+
+    FenceKind
+    fenceKind() const
+    {
+        return static_cast<FenceKind>(aux);
+    }
+};
+
+static_assert(sizeof(TraceEvent) == 24, "TraceEvent layout drifted");
+
+/** Human-readable name of an event kind (debugging, dumps). */
+const char *eventKindName(EventKind kind);
+
+/** Human-readable name of a data class. */
+const char *dataClassName(DataClass cls);
+
+} // namespace whisper::trace
+
+#endif // WHISPER_TRACE_EVENT_HH

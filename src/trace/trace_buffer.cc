@@ -1,0 +1,74 @@
+#include "trace/trace_buffer.hh"
+
+namespace whisper::trace
+{
+
+void
+AccessCounters::merge(const AccessCounters &other)
+{
+    pmStores += other.pmStores;
+    pmNtStores += other.pmNtStores;
+    pmLoads += other.pmLoads;
+    pmFlushes += other.pmFlushes;
+    fences += other.fences;
+    dramLoads += other.dramLoads;
+    dramStores += other.dramStores;
+    pmStoreBytes += other.pmStoreBytes;
+    pmNtStoreBytes += other.pmNtStoreBytes;
+    for (std::size_t i = 0; i < 6; i++)
+        pmBytesByClass[i] += other.pmBytesByClass[i];
+}
+
+TraceBuffer::TraceBuffer(ThreadId tid, bool record_volatile)
+    : tid_(tid), recordVolatile_(record_volatile)
+{
+    events_.reserve(1024);
+}
+
+void
+TraceBuffer::push(const TraceEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::PmStore:
+        counters_.pmStores++;
+        counters_.pmStoreBytes += ev.size;
+        counters_.pmBytesByClass[static_cast<int>(ev.cls)] += ev.size;
+        break;
+      case EventKind::PmNtStore:
+        counters_.pmNtStores++;
+        counters_.pmNtStoreBytes += ev.size;
+        counters_.pmBytesByClass[static_cast<int>(ev.cls)] += ev.size;
+        break;
+      case EventKind::PmLoad:
+        counters_.pmLoads++;
+        break;
+      case EventKind::PmFlush:
+        counters_.pmFlushes++;
+        break;
+      case EventKind::Fence:
+        counters_.fences++;
+        break;
+      case EventKind::DramLoad:
+        counters_.dramLoads++;
+        if (!recordVolatile_)
+            return;
+        break;
+      case EventKind::DramStore:
+        counters_.dramStores++;
+        if (!recordVolatile_)
+            return;
+        break;
+      default:
+        break;
+    }
+    events_.push_back(ev);
+}
+
+void
+TraceBuffer::clear()
+{
+    events_.clear();
+    counters_ = AccessCounters{};
+}
+
+} // namespace whisper::trace

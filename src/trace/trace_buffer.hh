@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-thread, append-only event buffer.
+ *
+ * Each application thread owns one buffer, so recording is lock-free.
+ * Volatile accesses can optionally be recorded as counters only, which
+ * keeps epoch-analysis traces small while still supporting Figure 6's
+ * access-mix measurement.
+ */
+
+#ifndef WHISPER_TRACE_TRACE_BUFFER_HH
+#define WHISPER_TRACE_TRACE_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace whisper::trace
+{
+
+/** Aggregate counters kept even when events are not being recorded. */
+struct AccessCounters
+{
+    std::uint64_t pmStores = 0;
+    std::uint64_t pmNtStores = 0;
+    std::uint64_t pmLoads = 0;
+    std::uint64_t pmFlushes = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t dramLoads = 0;
+    std::uint64_t dramStores = 0;
+    std::uint64_t pmStoreBytes = 0;   //!< cacheable PM store bytes
+    std::uint64_t pmNtStoreBytes = 0; //!< non-temporal PM store bytes
+    std::uint64_t pmBytesByClass[6] = {0, 0, 0, 0, 0, 0};
+
+    std::uint64_t
+    pmWrites() const
+    {
+        return pmStores + pmNtStores;
+    }
+
+    std::uint64_t
+    pmAccesses() const
+    {
+        return pmStores + pmNtStores + pmLoads;
+    }
+
+    std::uint64_t
+    dramAccesses() const
+    {
+        return dramLoads + dramStores;
+    }
+
+    void merge(const AccessCounters &other);
+};
+
+/**
+ * Event sink for one thread.
+ */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(ThreadId tid, bool record_volatile = false);
+
+    ThreadId tid() const { return tid_; }
+
+    /** Append one event (also updates the counters). */
+    void push(const TraceEvent &ev);
+
+    /**
+     * Account a burst of volatile accesses without materializing
+     * events (used when only counters are recorded; the instrumented
+     * applications model large amounts of DRAM work this way).
+     */
+    void
+    addVolatileBulk(std::uint64_t loads, std::uint64_t stores)
+    {
+        counters_.dramLoads += loads;
+        counters_.dramStores += stores;
+    }
+
+    /** Whether DramLoad/DramStore events are stored, not just counted. */
+    bool recordsVolatile() const { return recordVolatile_; }
+    void setRecordVolatile(bool on) { recordVolatile_ = on; }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    const AccessCounters &counters() const { return counters_; }
+
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /** Drop all recorded events and counters. */
+    void clear();
+
+  private:
+    ThreadId tid_;
+    bool recordVolatile_;
+    std::vector<TraceEvent> events_;
+    AccessCounters counters_;
+};
+
+} // namespace whisper::trace
+
+#endif // WHISPER_TRACE_TRACE_BUFFER_HH

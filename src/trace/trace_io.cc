@@ -1,0 +1,110 @@
+#include "trace/trace_io.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace whisper::trace
+{
+
+namespace
+{
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+struct TraceHeader
+{
+    std::uint64_t magic;
+    std::uint32_t version;
+    std::uint32_t threadCount;
+};
+
+struct SectionHeader
+{
+    std::uint32_t tid;
+    std::uint32_t pad;
+    std::uint64_t eventCount;
+};
+
+template <typename T>
+bool
+writePod(std::FILE *f, const T &value)
+{
+    return std::fwrite(&value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool
+readPod(std::FILE *f, T &value)
+{
+    return std::fread(&value, sizeof(T), 1, f) == 1;
+}
+
+} // namespace
+
+bool
+writeTraceFile(const std::string &path, const TraceSet &traces)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f) {
+        warn("cannot open trace file %s for writing", path.c_str());
+        return false;
+    }
+    TraceHeader hdr{kTraceMagic, 1,
+                    static_cast<std::uint32_t>(traces.threadCount())};
+    if (!writePod(f.get(), hdr))
+        return false;
+    for (const auto &buf : traces.buffers()) {
+        SectionHeader sec{buf->tid(), 0,
+                          static_cast<std::uint64_t>(buf->size())};
+        if (!writePod(f.get(), sec))
+            return false;
+        const auto &events = buf->events();
+        if (!events.empty() &&
+            std::fwrite(events.data(), sizeof(TraceEvent), events.size(),
+                        f.get()) != events.size()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+readTraceFile(const std::string &path, TraceSet &traces)
+{
+    panic_if(traces.threadCount() != 0,
+             "readTraceFile into a non-empty TraceSet");
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f) {
+        warn("cannot open trace file %s for reading", path.c_str());
+        return false;
+    }
+    TraceHeader hdr{};
+    if (!readPod(f.get(), hdr) || hdr.magic != kTraceMagic ||
+        hdr.version != 1) {
+        warn("bad trace header in %s", path.c_str());
+        return false;
+    }
+    for (std::uint32_t i = 0; i < hdr.threadCount; i++) {
+        SectionHeader sec{};
+        if (!readPod(f.get(), sec))
+            return false;
+        TraceBuffer *buf = traces.createBuffer(sec.tid);
+        buf->setRecordVolatile(true);
+        for (std::uint64_t j = 0; j < sec.eventCount; j++) {
+            TraceEvent ev{};
+            if (!readPod(f.get(), ev))
+                return false;
+            buf->push(ev);
+        }
+    }
+    return true;
+}
+
+} // namespace whisper::trace

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Binary serialization of trace sets.
+ *
+ * The on-disk format is a fixed header followed by one section per
+ * thread: {tid, event count, raw TraceEvent array}. Traces written by
+ * an application run can be re-analysed or replayed through the timing
+ * simulator without re-running the application.
+ */
+
+#ifndef WHISPER_TRACE_TRACE_IO_HH
+#define WHISPER_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/trace_set.hh"
+
+namespace whisper::trace
+{
+
+/** Magic bytes at the front of a trace file. */
+constexpr std::uint64_t kTraceMagic = 0x5748495350455231ull; // "WHISPER1"
+
+/** Serialize @p traces to @p path. Returns false on I/O failure. */
+bool writeTraceFile(const std::string &path, const TraceSet &traces);
+
+/**
+ * Load a trace file into @p traces (which must be empty).
+ * Returns false on I/O failure or format mismatch.
+ */
+bool readTraceFile(const std::string &path, TraceSet &traces);
+
+} // namespace whisper::trace
+
+#endif // WHISPER_TRACE_TRACE_IO_HH

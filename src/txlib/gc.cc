@@ -1,0 +1,55 @@
+#include "txlib/gc.hh"
+
+#include <unordered_set>
+
+namespace whisper::mne
+{
+
+GcStats
+collectGarbage(MnemosyneHeap &heap, pm::PmContext &ctx,
+               const std::vector<Addr> &roots,
+               const TraceRefsFn &trace_refs)
+{
+    // Mark: BFS over the reference graph, clamped to live allocations
+    // (a stale pointer into freed space must not resurrect it).
+    std::unordered_set<Addr> reachable;
+    std::vector<Addr> work;
+    for (const Addr root : roots) {
+        if (root != kNullAddr && heap.allocator().isAllocated(root) &&
+            reachable.insert(root).second) {
+            work.push_back(root);
+        }
+    }
+    std::vector<Addr> refs;
+    while (!work.empty()) {
+        const Addr obj = work.back();
+        work.pop_back();
+        refs.clear();
+        trace_refs(ctx, obj, refs);
+        for (const Addr ref : refs) {
+            if (ref != kNullAddr &&
+                heap.allocator().isAllocated(ref) &&
+                reachable.insert(ref).second) {
+                work.push_back(ref);
+            }
+        }
+    }
+
+    // Sweep: free every allocated payload the mark never reached.
+    GcStats stats;
+    stats.reachable = reachable.size();
+    std::vector<std::pair<Addr, std::size_t>> dead;
+    heap.allocator().forEachAllocated(
+        [&](Addr payload, std::size_t size) {
+            if (!reachable.count(payload))
+                dead.emplace_back(payload, size);
+        });
+    for (const auto &[payload, size] : dead) {
+        heap.pfree(ctx, payload);
+        stats.freed++;
+        stats.bytesFreed += size;
+    }
+    return stats;
+}
+
+} // namespace whisper::mne

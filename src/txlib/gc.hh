@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Garbage collection for leak-tolerant persistent heaps.
+ *
+ * Mnemosyne's allocator may leak blocks when a crash lands between
+ * the bitmap update and the application linking the object; the paper
+ * suggests exactly this remedy: "language and runtime support, such
+ * as garbage collection of unreachable objects after a restart, could
+ * similarly help reduce ordering points" (Consequence 8 discussion).
+ *
+ * collectGarbage() is a stop-the-world mark-and-sweep to be run after
+ * recovery, before new mutators start: the application supplies its
+ * persistent roots and a tracer that enumerates the payload offsets
+ * an object references; everything allocated but unreached is freed.
+ */
+
+#ifndef WHISPER_TXLIB_GC_HH
+#define WHISPER_TXLIB_GC_HH
+
+#include <functional>
+#include <vector>
+
+#include "txlib/mnemosyne.hh"
+
+namespace whisper::mne
+{
+
+/**
+ * Enumerates the payload offsets directly referenced by the object at
+ * @p payload, appending them to @p out. Offsets that are kNullAddr or
+ * outside the heap are ignored by the collector.
+ */
+using TraceRefsFn =
+    std::function<void(pm::PmContext &ctx, Addr payload,
+                       std::vector<Addr> &out)>;
+
+/** Result of one collection. */
+struct GcStats
+{
+    std::uint64_t reachable = 0;
+    std::uint64_t freed = 0;
+    std::uint64_t bytesFreed = 0;
+};
+
+/**
+ * Mark from @p roots via @p trace_refs, sweep the heap's allocator.
+ * Must run single-threaded (post-recovery, pre-mutators).
+ */
+GcStats collectGarbage(MnemosyneHeap &heap, pm::PmContext &ctx,
+                       const std::vector<Addr> &roots,
+                       const TraceRefsFn &trace_refs);
+
+} // namespace whisper::mne
+
+#endif // WHISPER_TXLIB_GC_HH

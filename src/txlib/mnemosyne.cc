@@ -1,0 +1,319 @@
+#include "txlib/mnemosyne.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace whisper::mne
+{
+
+using pm::DataClass;
+using pm::FenceKind;
+
+std::uint32_t
+foldChecksum(const void *data, std::size_t n)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::uint32_t acc = 0x9e3779b9u;
+    for (std::size_t i = 0; i < n; i++)
+        acc = (acc << 5 | acc >> 27) ^ bytes[i];
+    return acc;
+}
+
+MnemosyneHeap::MnemosyneHeap(pm::PmContext &ctx, Addr base,
+                             std::size_t size, unsigned max_threads)
+    : MnemosyneHeap(base, size, max_threads)
+{
+    // Format: null every active-segment cell (the per-record
+    // sequence tags make segment contents self-describing).
+    for (unsigned slot = 0; slot < maxThreads_; slot++) {
+        const Addr none = kNullAddr;
+        ctx.store(activeCellOff(slot), &none, 8, DataClass::TxMeta);
+        ctx.flush(activeCellOff(slot), 8);
+    }
+    // Null root pointer.
+    const Addr null_root = kNullAddr;
+    ctx.store(rootOff_, &null_root, sizeof(null_root), DataClass::TxMeta);
+    ctx.flush(rootOff_, sizeof(null_root));
+    ctx.fence(FenceKind::Durability);
+    alloc_ = std::make_unique<alloc::SlabAllocator>(ctx, heapBase_,
+                                                    base_ + size_ -
+                                                        heapBase_);
+}
+
+MnemosyneHeap::MnemosyneHeap(Addr base, std::size_t size,
+                             unsigned max_threads)
+    : base_(base), size_(size), maxThreads_(max_threads)
+{
+    panic_if(max_threads == 0, "heap needs at least one log slot");
+    segCursor_.assign(maxThreads_, 0);
+    // Layout: [active cells][per-thread logs][root][slab heap].
+    const std::size_t cells_area = kCacheLineSize * maxThreads_;
+    const std::size_t log_area = kLogBytes * maxThreads_;
+    panic_if(size_ < cells_area + log_area + (1 << 16),
+             "Mnemosyne heap region too small");
+    rootOff_ = base_ + cells_area + log_area;
+    heapBase_ = rootOff_ + kCacheLineSize;
+    if (!alloc_) {
+        alloc_ = std::make_unique<alloc::SlabAllocator>(
+            heapBase_, base_ + size_ - heapBase_);
+    }
+}
+
+Addr
+MnemosyneHeap::activeCellOff(unsigned slot) const
+{
+    panic_if(slot >= maxThreads_, "cell slot out of range");
+    return base_ + static_cast<Addr>(slot) * kCacheLineSize;
+}
+
+Addr
+MnemosyneHeap::logBase(unsigned slot) const
+{
+    panic_if(slot >= maxThreads_, "log slot out of range");
+    return base_ + kCacheLineSize * maxThreads_ +
+           static_cast<Addr>(slot) * kLogBytes;
+}
+
+std::pair<Addr, std::uint64_t>
+MnemosyneHeap::acquireLogSegment(unsigned slot)
+{
+    panic_if(slot >= maxThreads_, "log slot out of range");
+    const std::uint64_t seq = ++segCursor_[slot];
+    const Addr base = logBase(slot) +
+                      static_cast<Addr>(seq % kLogSegments) *
+                          segmentBytes();
+    return {base, seq};
+}
+
+void
+MnemosyneHeap::recover(pm::PmContext &ctx)
+{
+    for (unsigned slot = 0; slot < maxThreads_; slot++) {
+        // Only a published (active) segment can hold an in-flight
+        // transaction; everything else was retired by its commit's
+        // cell write.
+        struct { Addr base; std::uint64_t seq; } cell{};
+        ctx.load(activeCellOff(slot), &cell, sizeof(cell));
+        const Addr seg_base = cell.base;
+        if (seg_base == kNullAddr)
+            continue;
+        Addr cursor = seg_base;
+        const Addr limit = seg_base + segmentBytes();
+        bool committed = false;
+        std::vector<std::pair<Addr, std::uint32_t>> updates; // hdr offs
+        while (cursor + sizeof(RedoHeader) <= limit) {
+            RedoHeader hdr{};
+            ctx.load(cursor, &hdr, sizeof(hdr));
+            if (hdr.magic != RedoHeader::kMagic ||
+                hdr.kind == RedoKind::End || hdr.seq != cell.seq) {
+                break; // stale record from the segment's previous use
+            }
+            if (hdr.kind == RedoKind::Commit) {
+                committed = true;
+                break;
+            }
+            // Validate the payload against the checksum; a torn tail
+            // record means the transaction never committed.
+            const Addr payload = cursor + sizeof(RedoHeader);
+            if (payload + hdr.size > limit ||
+                foldChecksum(ctx.pool().at<std::uint8_t>(payload),
+                             hdr.size) != hdr.checksum) {
+                break;
+            }
+            updates.emplace_back(cursor, hdr.size);
+            cursor = lineBase(payload + hdr.size + kCacheLineSize - 1);
+        }
+
+        if (committed) {
+            // Replay: the crash may have interrupted the in-place
+            // application of the write set.
+            for (const auto &[hdr_off, size] : updates) {
+                RedoHeader hdr{};
+                ctx.load(hdr_off, &hdr, sizeof(hdr));
+                std::vector<std::uint8_t> data(size);
+                ctx.load(hdr_off + sizeof(RedoHeader), data.data(), size);
+                ctx.store(hdr.addr, data.data(), size, DataClass::User);
+                ctx.flush(hdr.addr, size);
+                ctx.fence(FenceKind::Ordering);
+            }
+        }
+        // Retire the segment either way: clear the cell.
+        const Addr none = kNullAddr;
+        ctx.store(activeCellOff(slot), &none, 8, DataClass::TxMeta);
+        ctx.flush(activeCellOff(slot), 8);
+        ctx.fence(FenceKind::Durability);
+    }
+    alloc_->recover(ctx);
+}
+
+Addr
+MnemosyneHeap::pmalloc(pm::PmContext &ctx, std::size_t n)
+{
+    return alloc_->alloc(ctx, n);
+}
+
+void
+MnemosyneHeap::pfree(pm::PmContext &ctx, Addr payload)
+{
+    alloc_->free(ctx, payload);
+}
+
+Transaction::Transaction(MnemosyneHeap &heap, pm::PmContext &ctx)
+    : heap_(heap), ctx_(ctx), state_(State::Active)
+{
+    id_ = ctx_.txBegin();
+    const unsigned slot = ctx_.tid() % heap_.maxThreads();
+    std::tie(logStart_, seq_) = heap_.acquireLogSegment(slot);
+    logHead_ = logStart_;
+    // Publish {segment, sequence}. One small transaction-metadata
+    // epoch — the same cell every transaction, one of the paper's
+    // self-dependency sources ("transaction metadata"). The sequence
+    // makes stale records in the reused segment unambiguous, so no
+    // re-termination is needed.
+    const struct { Addr base; std::uint64_t seq; } cell{logStart_,
+                                                        seq_};
+    ctx_.store(heap_.activeCellOff(slot), &cell, sizeof(cell),
+               DataClass::TxMeta);
+    ctx_.flush(heap_.activeCellOff(slot), sizeof(cell));
+    ctx_.fence(FenceKind::Ordering);
+}
+
+Transaction::~Transaction()
+{
+    panic_if(state_ == State::Active,
+             "Transaction destroyed without commit/abort");
+}
+
+void
+Transaction::appendRedo(RedoKind kind, Addr addr, const void *payload,
+                        std::uint32_t size)
+{
+    const Addr limit = logStart_ + MnemosyneHeap::segmentBytes();
+    panic_if(logHead_ + sizeof(RedoHeader) + size +
+                     sizeof(RedoHeader) > limit,
+             "Mnemosyne redo log overflow");
+    RedoHeader hdr{RedoHeader::kMagic, kind, addr, size,
+                   foldChecksum(payload, size), seq_};
+    // Log writes bypass the cache (log data is only read on recovery)
+    // and each record is an epoch of its own: NTI ... sfence. This is
+    // the dominant source of Mnemosyne's 5-50 epochs per transaction.
+    ctx_.ntStore(logHead_, &hdr, sizeof(hdr), DataClass::Log);
+    if (size) {
+        ctx_.ntStore(logHead_ + sizeof(RedoHeader), payload, size,
+                     DataClass::Log);
+    }
+    // Records are cache-line aligned so consecutive appends never
+    // share a line.
+    logHead_ = lineBase(logHead_ + sizeof(RedoHeader) + size +
+                        kCacheLineSize - 1);
+    ctx_.fence(FenceKind::Ordering);
+}
+
+void
+Transaction::update(Addr off, const void *src, std::size_t n,
+                    pm::DataClass cls)
+{
+    panic_if(state_ != State::Active, "update on a finished transaction");
+    appendRedo(RedoKind::Update, off, src, static_cast<std::uint32_t>(n));
+    StagedWrite w;
+    w.off = off;
+    w.bytes.assign(static_cast<const std::uint8_t *>(src),
+                   static_cast<const std::uint8_t *>(src) + n);
+    w.cls = cls;
+    ctx_.vStore(w.bytes.data(), n); // staging buffer lives in DRAM
+    writes_.push_back(std::move(w));
+}
+
+void
+Transaction::read(Addr off, void *dst, std::size_t n)
+{
+    ctx_.load(off, dst, n);
+    // Overlay staged writes, oldest first so the newest wins.
+    for (const auto &w : writes_) {
+        const Addr w_end = w.off + w.bytes.size();
+        const Addr r_end = off + n;
+        if (w.off >= r_end || w_end <= off)
+            continue;
+        const Addr lo = std::max(w.off, off);
+        const Addr hi = std::min(w_end, r_end);
+        std::memcpy(static_cast<std::uint8_t *>(dst) + (lo - off),
+                    w.bytes.data() + (lo - w.off), hi - lo);
+    }
+}
+
+Addr
+Transaction::pmalloc(std::size_t n)
+{
+    const Addr payload = heap_.pmalloc(ctx_, n);
+    if (payload != kNullAddr)
+        allocs_.push_back(payload);
+    return payload;
+}
+
+void
+Transaction::pfree(Addr payload)
+{
+    deferredFrees_.push_back(payload);
+}
+
+void
+Transaction::commit()
+{
+    panic_if(state_ != State::Active, "double commit");
+
+    // Commit record makes the transaction durable: after this fence a
+    // crash replays the log.
+    appendRedo(RedoKind::Commit, 0, nullptr, 0);
+
+    // Apply the write set in place with cacheable stores. Each log
+    // entry is processed in its own epoch (the paper's observation
+    // about Mnemosyne's log processing), with the final fence as the
+    // transaction's durability point.
+    for (std::size_t i = 0; i < writes_.size(); i++) {
+        const StagedWrite &w = writes_[i];
+        ctx_.store(w.off, w.bytes.data(), w.bytes.size(), w.cls);
+        ctx_.flush(w.off, w.bytes.size());
+        ctx_.fence(i + 1 < writes_.size() ? pm::FenceKind::Ordering
+                                          : pm::FenceKind::Durability);
+    }
+    if (writes_.empty())
+        ctx_.fence(pm::FenceKind::Durability);
+
+    truncateLog();
+
+    for (const Addr payload : deferredFrees_)
+        heap_.pfree(ctx_, payload);
+
+    state_ = State::Committed;
+    ctx_.txEnd(id_);
+}
+
+void
+Transaction::abort()
+{
+    panic_if(state_ != State::Active, "abort on a finished transaction");
+    truncateLog();
+    // Free transactional allocations; Mnemosyne can leak these on a
+    // crash, but a clean abort returns them.
+    for (const Addr payload : allocs_)
+        heap_.pfree(ctx_, payload);
+    state_ = State::Aborted;
+    ctx_.txAbort(id_);
+}
+
+void
+Transaction::truncateLog()
+{
+    // Retire the whole segment with one cell write (Mnemosyne
+    // advances its log head rather than rewriting entries).
+    const unsigned slot = ctx_.tid() % heap_.maxThreads();
+    const Addr none = kNullAddr;
+    ctx_.storeField(*ctx_.pool().at<Addr>(heap_.activeCellOff(slot)),
+                    none, DataClass::TxMeta);
+    ctx_.flush(heap_.activeCellOff(slot), 8);
+    ctx_.fence(FenceKind::Ordering);
+    logHead_ = logStart_;
+}
+
+} // namespace whisper::mne

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Mnemosyne-style durable transactions (redo logging).
+ *
+ * Reproduces the discipline the paper describes for Mnemosyne:
+ *
+ *  - each transactional update appends a redo record to a per-thread
+ *    log using non-temporal stores ordered by an sfence (one epoch per
+ *    record — the paper's Figure 2 shows exactly this PM_MOVNTI +
+ *    PM_FENCE pair), while the new data is kept in a volatile write
+ *    set ("saves modified data to a temporary location");
+ *  - commit writes a commit record (NTI + fence), then applies the
+ *    write set to the real data structures with cacheable stores,
+ *    flushes the modified lines and fences;
+ *  - the log is then truncated by clearing each record in its own
+ *    epoch — the behaviour the paper identifies as a major source of
+ *    singleton epochs;
+ *  - allocation comes from a SlabAllocator (pmalloc/pfree), which may
+ *    leak on a crash but adds only one small epoch per object.
+ *
+ * Recovery: logs with a durable commit record are replayed (the crash
+ * may have hit mid-flush of the real data); logs without one are
+ * discarded — uncommitted transactions never touched live data.
+ */
+
+#ifndef WHISPER_TXLIB_MNEMOSYNE_HH
+#define WHISPER_TXLIB_MNEMOSYNE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc/slab_alloc.hh"
+#include "pm/pm_context.hh"
+
+namespace whisper::mne
+{
+
+/** Record kinds inside a redo log. */
+enum class RedoKind : std::uint32_t
+{
+    End = 0,       //!< sentinel: no record here
+    Update = 1,    //!< redo data for [addr, addr+size)
+    Commit = 2,    //!< transaction committed
+};
+
+/**
+ * Fixed header preceding every redo record. Each record carries its
+ * transaction's sequence number; recovery only honours records whose
+ * sequence matches the one published in the active-log cell, so a
+ * stale record (e.g. an old commit marker) left in a reused segment
+ * can never be mistaken for the current transaction's.
+ */
+struct RedoHeader
+{
+    std::uint32_t magic;     //!< kMagic
+    RedoKind kind;
+    Addr addr;               //!< target offset (Update only)
+    std::uint32_t size;      //!< payload bytes (Update only)
+    std::uint32_t checksum;  //!< XOR fold of the payload
+    std::uint64_t seq;       //!< owning transaction's sequence
+
+    static constexpr std::uint32_t kMagic = 0x4D4E4531u; // "MNE1"
+};
+
+/**
+ * A persistent heap with per-thread redo logs — one Mnemosyne
+ * "segment" plus its logging machinery.
+ */
+class MnemosyneHeap
+{
+  public:
+    /** Per-thread redo log area size. */
+    static constexpr std::size_t kLogBytes = 1 << 20;
+
+    /**
+     * The log area behaves as a ring: consecutive transactions append
+     * into rotating segments, so (as with the real library's
+     * continuously appended logs) back-to-back transactions do not
+     * rewrite the same cache lines. Recovery scans every segment;
+     * cleared segments terminate immediately.
+     */
+    static constexpr unsigned kLogSegments = 16;
+
+    static constexpr std::size_t
+    segmentBytes()
+    {
+        return kLogBytes / kLogSegments;
+    }
+
+    /**
+     * Format a heap over [base, base+size) supporting up to
+     * @p max_threads concurrent transaction streams. The log areas
+     * are carved from the front of the region.
+     */
+    MnemosyneHeap(pm::PmContext &ctx, Addr base, std::size_t size,
+                  unsigned max_threads);
+
+    /** Attach to an existing heap; call recover() next. */
+    MnemosyneHeap(Addr base, std::size_t size, unsigned max_threads);
+
+    /**
+     * Replay or discard every per-thread log, then rebuild the
+     * allocator index. Call once after a crash, single-threaded.
+     */
+    void recover(pm::PmContext &ctx);
+
+    /** Non-transactional persistent allocation (pmalloc). */
+    Addr pmalloc(pm::PmContext &ctx, std::size_t n);
+
+    /** Non-transactional persistent free (pfree). */
+    void pfree(pm::PmContext &ctx, Addr payload);
+
+    alloc::SlabAllocator &allocator() { return *alloc_; }
+
+    /** Offset of the root-pointer slot applications may use. */
+    Addr rootOff() const { return rootOff_; }
+
+    Addr logBase(unsigned slot) const;
+
+    /** Segment base + sequence for this slot's next transaction. */
+    std::pair<Addr, std::uint64_t> acquireLogSegment(unsigned slot);
+
+    /** Per-slot cell naming the in-flight tx's segment (or null). */
+    Addr activeCellOff(unsigned slot) const;
+
+    unsigned maxThreads() const { return maxThreads_; }
+
+  private:
+    friend class Transaction;
+
+    Addr base_;
+    std::size_t size_;
+    unsigned maxThreads_;
+    Addr rootOff_;
+    Addr heapBase_;
+    std::vector<std::uint64_t> segCursor_;
+    std::unique_ptr<alloc::SlabAllocator> alloc_;
+};
+
+/**
+ * One durable transaction. Not copyable; commit() or abort() must be
+ * called exactly once.
+ */
+class Transaction
+{
+  public:
+    /**
+     * Begin a transaction on @p ctx's thread. The log slot is
+     * ctx.tid() % maxThreads, mirroring per-thread logs.
+     */
+    Transaction(MnemosyneHeap &heap, pm::PmContext &ctx);
+    ~Transaction();
+
+    Transaction(const Transaction &) = delete;
+    Transaction &operator=(const Transaction &) = delete;
+
+    /** Transactional update of [off, off+n): logs redo + stages data. */
+    void update(Addr off, const void *src, std::size_t n,
+                pm::DataClass cls = pm::DataClass::User);
+
+    /** Typed field update (field must live in the pool). */
+    template <typename T>
+    void
+    set(T &field_in_pool, const T &value,
+        pm::DataClass cls = pm::DataClass::User)
+    {
+        update(ctx_.pool().offsetOf(&field_in_pool), &value, sizeof(T),
+               cls);
+    }
+
+    /**
+     * Transactional read of [off, off+n): pool data overlaid with this
+     * transaction's own staged writes (read-own-writes).
+     */
+    void read(Addr off, void *dst, std::size_t n);
+
+    template <typename T>
+    T
+    get(const T &field_in_pool)
+    {
+        T out;
+        read(ctx_.pool().offsetOf(&field_in_pool), &out, sizeof(T));
+        return out;
+    }
+
+    /** Allocate inside the transaction (freed again on abort). */
+    Addr pmalloc(std::size_t n);
+
+    /** Free inside the transaction (deferred to commit). */
+    void pfree(Addr payload);
+
+    /** Make every staged update durable, atomically. */
+    void commit();
+
+    /** Discard staged updates; frees transactional allocations. */
+    void abort();
+
+    bool active() const { return state_ == State::Active; }
+
+  private:
+    enum class State { Active, Committed, Aborted };
+
+    struct StagedWrite
+    {
+        Addr off;
+        std::vector<std::uint8_t> bytes;
+        pm::DataClass cls;
+    };
+
+    void appendRedo(RedoKind kind, Addr addr, const void *payload,
+                    std::uint32_t size);
+    void truncateLog();
+
+    MnemosyneHeap &heap_;
+    pm::PmContext &ctx_;
+    TxId id_;
+    State state_;
+    std::uint64_t seq_ = 0;
+    Addr logHead_;   //!< next free byte in this thread's log area
+    Addr logStart_;
+    std::vector<StagedWrite> writes_;
+    std::vector<Addr> allocs_;
+    std::vector<Addr> deferredFrees_;
+};
+
+/** XOR fold used by the redo/undo record checksums. */
+std::uint32_t foldChecksum(const void *data, std::size_t n);
+
+} // namespace whisper::mne
+
+#endif // WHISPER_TXLIB_MNEMOSYNE_HH

@@ -1,0 +1,334 @@
+#include "txlib/nvml.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "txlib/mnemosyne.hh" // foldChecksum
+
+namespace whisper::nvml
+{
+
+using pm::DataClass;
+using pm::FenceKind;
+using mne::foldChecksum;
+
+NvmlPool::NvmlPool(pm::PmContext &ctx, Addr base, std::size_t size,
+                   unsigned max_threads)
+    : NvmlPool(base, size, max_threads)
+{
+    // Format: every tx descriptor NONE, every log terminated, null
+    // root, then a fresh allocator (which formats its own redo log).
+    for (unsigned slot = 0; slot < maxThreads_; slot++) {
+        const auto none = static_cast<std::uint64_t>(TxState::None);
+        ctx.store(stateOff(slot), &none, 8, DataClass::TxMeta);
+        ctx.flush(stateOff(slot), 8);
+        for (unsigned seg = 0; seg < kLogSegments; seg++) {
+            const Addr seg_base =
+                logBase(slot) + seg * segmentBytes();
+            UndoHeader end{UndoHeader::kMagic, UndoKind::End, 0, 0, 0};
+            ctx.store(seg_base, &end, sizeof(end), DataClass::Log);
+            ctx.flush(seg_base, sizeof(end));
+        }
+    }
+    const Addr null_root = kNullAddr;
+    ctx.store(rootOff_, &null_root, 8, DataClass::TxMeta);
+    ctx.flush(rootOff_, 8);
+    ctx.fence(FenceKind::Durability);
+
+    const Addr alloc_log = heapBase_;
+    const Addr slab_base = heapBase_ + alloc::NvmlAllocator::logBytes();
+    alloc_ = std::make_unique<alloc::NvmlAllocator>(
+        ctx, slab_base, base_ + size_ - slab_base, alloc_log);
+}
+
+NvmlPool::NvmlPool(Addr base, std::size_t size, unsigned max_threads)
+    : base_(base), size_(size), maxThreads_(max_threads)
+{
+    panic_if(max_threads == 0, "pool needs at least one log slot");
+    segCursor_.assign(maxThreads_, 0);
+    // Layout: [tx states][per-thread logs][root][allocator log][slabs]
+    const std::size_t state_area = kCacheLineSize * maxThreads_;
+    const std::size_t log_area = kLogBytes * maxThreads_;
+    panic_if(size_ < state_area + log_area + (1 << 16),
+             "NVML pool region too small");
+    rootOff_ = base_ + state_area + log_area;
+    heapBase_ = rootOff_ + kCacheLineSize;
+    if (!alloc_) {
+        const Addr alloc_log = heapBase_;
+        const Addr slab_base = heapBase_ +
+                               alloc::NvmlAllocator::logBytes();
+        alloc_ = std::make_unique<alloc::NvmlAllocator>(
+            slab_base, base_ + size_ - slab_base, alloc_log);
+    }
+}
+
+Addr
+NvmlPool::stateOff(unsigned slot) const
+{
+    panic_if(slot >= maxThreads_, "tx slot out of range");
+    return base_ + static_cast<Addr>(slot) * kCacheLineSize;
+}
+
+Addr
+NvmlPool::logBase(unsigned slot) const
+{
+    panic_if(slot >= maxThreads_, "log slot out of range");
+    return base_ + kCacheLineSize * maxThreads_ +
+           static_cast<Addr>(slot) * kLogBytes;
+}
+
+Addr
+NvmlPool::acquireLogSegment(unsigned slot)
+{
+    panic_if(slot >= maxThreads_, "log slot out of range");
+    const unsigned seg = segCursor_[slot]++ % kLogSegments;
+    return logBase(slot) + static_cast<Addr>(seg) * segmentBytes();
+}
+
+void
+NvmlPool::recover(pm::PmContext &ctx)
+{
+    // The allocator first: its redo log may carry bitmap mutations the
+    // undo rollback below relies on (freeing needs a valid bitmap).
+    alloc_->recover(ctx);
+
+    for (unsigned slot = 0; slot < maxThreads_; slot++) {
+        std::uint64_t st = 0;
+        ctx.load(stateOff(slot), &st, 8);
+
+        // Walk every log segment, validating records. Only the
+        // segment of the crashed transaction yields any (cleared
+        // segments terminate at their first record).
+        struct Rec { UndoKind kind; Addr addr; std::uint32_t size;
+                     Addr payloadOff; };
+        std::vector<Rec> recs;
+        for (unsigned seg = 0; seg < kLogSegments; seg++) {
+        const Addr seg_base = logBase(slot) + seg * segmentBytes();
+        Addr cursor = seg_base;
+        const Addr limit = seg_base + segmentBytes();
+        while (cursor + sizeof(UndoHeader) <= limit) {
+            UndoHeader hdr{};
+            ctx.load(cursor, &hdr, sizeof(hdr));
+            if (hdr.magic != UndoHeader::kMagic ||
+                hdr.kind == UndoKind::End) {
+                break;
+            }
+            const Addr payload = cursor + sizeof(UndoHeader);
+            if (payload + hdr.size > limit ||
+                foldChecksum(ctx.pool().at<std::uint8_t>(payload),
+                             hdr.size) != hdr.checksum) {
+                // Torn tail record: its data range was never modified
+                // (records are fenced before data writes), so skip.
+                break;
+            }
+            recs.push_back({hdr.kind, hdr.addr, hdr.size, payload});
+            cursor = lineBase(payload + hdr.size + kCacheLineSize - 1);
+        }
+        }
+
+        if (st == static_cast<std::uint64_t>(TxState::Active)) {
+            // Roll back: restore snapshots newest-first, release
+            // transactional allocations.
+            for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+                if (it->kind == UndoKind::Snapshot) {
+                    std::vector<std::uint8_t> old(it->size);
+                    ctx.load(it->payloadOff, old.data(), it->size);
+                    ctx.store(it->addr, old.data(), it->size,
+                              DataClass::User);
+                    ctx.flush(it->addr, it->size);
+                    ctx.fence(FenceKind::Ordering);
+                } else if (it->kind == UndoKind::Alloc &&
+                           alloc_->isAllocated(it->addr)) {
+                    // The bitmap check makes rollback idempotent if a
+                    // previous recovery attempt itself crashed.
+                    alloc_->free(ctx, it->addr);
+                }
+            }
+        }
+
+        // Clear the logs and descriptor either way.
+        for (unsigned seg = 0; seg < kLogSegments; seg++) {
+            const Addr seg_base = logBase(slot) + seg * segmentBytes();
+            UndoHeader end{UndoHeader::kMagic, UndoKind::End, 0, 0, 0};
+            ctx.store(seg_base, &end, sizeof(end), DataClass::Log);
+            ctx.flush(seg_base, sizeof(end));
+        }
+        const auto none = static_cast<std::uint64_t>(TxState::None);
+        ctx.store(stateOff(slot), &none, 8, DataClass::TxMeta);
+        ctx.flush(stateOff(slot), 8);
+        ctx.fence(FenceKind::Durability);
+    }
+}
+
+TxContext::TxContext(NvmlPool &pool, pm::PmContext &ctx)
+    : pool_(pool), ctx_(ctx), state_(State::Active)
+{
+    id_ = ctx_.txBegin();
+    slot_ = ctx_.tid() % pool_.maxThreads();
+    logStart_ = pool_.acquireLogSegment(slot_);
+    logHead_ = logStart_;
+    setTxState(TxState::Active);
+}
+
+TxContext::~TxContext()
+{
+    panic_if(state_ == State::Active,
+             "TxContext destroyed without commit/abort");
+}
+
+void
+TxContext::setTxState(TxState st)
+{
+    const auto val = static_cast<std::uint64_t>(st);
+    ctx_.store(pool_.stateOff(slot_), &val, 8, DataClass::TxMeta);
+    ctx_.flush(pool_.stateOff(slot_), 8);
+    ctx_.fence(FenceKind::Ordering);
+}
+
+void
+TxContext::appendUndo(UndoKind kind, Addr addr, const void *payload,
+                      std::uint32_t size)
+{
+    const Addr limit = logStart_ + NvmlPool::segmentBytes();
+    panic_if(logHead_ + 2 * sizeof(UndoHeader) + size > limit,
+             "NVML undo log overflow");
+    UndoHeader hdr{UndoHeader::kMagic, kind, addr, size,
+                   foldChecksum(payload, size)};
+    // Undo records use cacheable stores + flush (NVML executes "all
+    // log and data updates" with cacheable stores), and must be
+    // durable before the data range may change: fence now. These
+    // alternating record/data epochs are NVML's signature behaviour.
+    ctx_.store(logHead_, &hdr, sizeof(hdr), DataClass::Log);
+    if (size) {
+        ctx_.store(logHead_ + sizeof(UndoHeader), payload, size,
+                   DataClass::Log);
+    }
+    ctx_.flush(logHead_, sizeof(hdr) + size);
+    // Line-aligned records; the per-record clears at commit keep
+    // every retired segment terminated, so no tail sentinel is
+    // needed (a mid-record stale tail fails magic/checksum checks).
+    logHead_ = lineBase(logHead_ + sizeof(hdr) + size +
+                        kCacheLineSize - 1);
+    ctx_.fence(FenceKind::Ordering);
+}
+
+void
+TxContext::addRange(Addr off, std::size_t n)
+{
+    panic_if(state_ != State::Active, "addRange on finished tx");
+    std::vector<std::uint8_t> old(n);
+    ctx_.load(off, old.data(), n);
+    appendUndo(UndoKind::Snapshot, off, old.data(),
+               static_cast<std::uint32_t>(n));
+    noteModified(off, n);
+}
+
+void
+TxContext::directStore(Addr off, const void *src, std::size_t n,
+                       pm::DataClass cls)
+{
+    panic_if(state_ != State::Active, "directStore on finished tx");
+    ctx_.store(off, src, n, cls);
+    noteModified(off, n);
+}
+
+void
+TxContext::noteModified(Addr off, std::size_t n)
+{
+    modified_.emplace_back(off, static_cast<std::uint32_t>(n));
+}
+
+Addr
+TxContext::txAlloc(std::size_t n)
+{
+    panic_if(state_ != State::Active, "txAlloc on finished tx");
+    const Addr payload = pool_.alloc_->alloc(ctx_, n);
+    if (payload == kNullAddr)
+        return payload;
+    appendUndo(UndoKind::Alloc, payload, nullptr, 0);
+    allocs_.push_back(payload);
+    return payload;
+}
+
+void
+TxContext::txFree(Addr payload)
+{
+    panic_if(state_ != State::Active, "txFree on finished tx");
+    deferredFrees_.push_back(payload);
+}
+
+void
+TxContext::commit()
+{
+    panic_if(state_ != State::Active, "double commit");
+
+    // Flush every modified range, one durability point for the tx.
+    for (const auto &[off, n] : modified_)
+        ctx_.flush(off, n);
+    ctx_.fence(FenceKind::Durability);
+
+    setTxState(TxState::Committed);
+    clearLog();
+
+    for (const Addr payload : deferredFrees_)
+        pool_.alloc_->free(ctx_, payload);
+
+    setTxState(TxState::None);
+    state_ = State::Committed;
+    ctx_.txEnd(id_);
+}
+
+void
+TxContext::abort()
+{
+    panic_if(state_ != State::Active, "abort on finished tx");
+
+    // Restore snapshots newest-first, then free tx allocations.
+    Addr cursor = logStart_;
+    std::vector<std::pair<Addr, UndoHeader>> recs;
+    while (cursor < logHead_) {
+        UndoHeader hdr{};
+        ctx_.load(cursor, &hdr, sizeof(hdr));
+        recs.emplace_back(cursor + sizeof(UndoHeader), hdr);
+        cursor = lineBase(cursor + sizeof(UndoHeader) + hdr.size +
+                          kCacheLineSize - 1);
+    }
+    for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+        const auto &[payload_off, hdr] = *it;
+        if (hdr.kind == UndoKind::Snapshot) {
+            std::vector<std::uint8_t> old(hdr.size);
+            ctx_.load(payload_off, old.data(), hdr.size);
+            ctx_.store(hdr.addr, old.data(), hdr.size, DataClass::User);
+            ctx_.flush(hdr.addr, hdr.size);
+            ctx_.fence(FenceKind::Ordering);
+        } else if (hdr.kind == UndoKind::Alloc) {
+            pool_.alloc_->free(ctx_, hdr.addr);
+        }
+    }
+    clearLog();
+    setTxState(TxState::None);
+    state_ = State::Aborted;
+    ctx_.txAbort(id_);
+}
+
+void
+TxContext::clearLog()
+{
+    // NVML "sets and clears its log entries" one at a time; each clear
+    // is a singleton epoch.
+    Addr cursor = logStart_;
+    while (cursor < logHead_) {
+        UndoHeader hdr{};
+        ctx_.load(cursor, &hdr, sizeof(hdr));
+        UndoHeader end{UndoHeader::kMagic, UndoKind::End, 0, 0, 0};
+        ctx_.store(cursor, &end, sizeof(end), DataClass::Log);
+        ctx_.flush(cursor, sizeof(end));
+        ctx_.fence(FenceKind::Ordering);
+        cursor = lineBase(cursor + sizeof(UndoHeader) + hdr.size +
+                          kCacheLineSize - 1);
+    }
+    logHead_ = logStart_;
+}
+
+} // namespace whisper::nvml

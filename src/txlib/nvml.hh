@@ -1,0 +1,187 @@
+/**
+ * @file
+ * NVML-style durable transactions (undo logging, pmemobj-like API).
+ *
+ * Reproduces the discipline the paper describes for NVML v1.0:
+ *
+ *  - before an object range is modified, its *old* contents are
+ *    written to a per-thread undo log with cacheable stores, flushed
+ *    and fenced (the undo record must be durable before the data may
+ *    change) — this is why undo logging "fragments a transaction into
+ *    a series of alternating epochs";
+ *  - data updates then happen in place, unflushed; the fence after the
+ *    next undo record sweeps them into that epoch, and the remaining
+ *    flushes happen at commit (the paper observed exactly this
+ *    modify-in-one-epoch / flush-in-another pattern for NVML);
+ *  - commit flushes every modified range, fences, durably marks the
+ *    transaction COMMITTED, then clears each log entry in its own
+ *    epoch and finally resets the state to NONE;
+ *  - allocation goes through the redo-logged NvmlAllocator and is
+ *    additionally recorded in the undo log so that an abort (or crash)
+ *    frees it — NVML never leaks, at the price of extra epochs.
+ *
+ * Recovery: ACTIVE logs are rolled back from the durable image
+ * (restore old data, free transactional allocations); COMMITTED logs
+ * are discarded; NONE means nothing was in flight.
+ */
+
+#ifndef WHISPER_TXLIB_NVML_HH
+#define WHISPER_TXLIB_NVML_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc/nvml_alloc.hh"
+#include "pm/pm_context.hh"
+
+namespace whisper::nvml
+{
+
+/** Undo-record kinds. */
+enum class UndoKind : std::uint32_t
+{
+    End = 0,       //!< sentinel
+    Snapshot = 1,  //!< old contents of [addr, addr+size)
+    Alloc = 2,     //!< payload allocated in this transaction
+};
+
+/** Fixed header preceding every undo record. */
+struct UndoHeader
+{
+    std::uint32_t magic;    //!< kMagic
+    UndoKind kind;
+    Addr addr;
+    std::uint32_t size;
+    std::uint32_t checksum;
+
+    static constexpr std::uint32_t kMagic = 0x4E564D4Cu; // "NVML"
+};
+
+/** Per-thread transaction descriptor states. */
+enum class TxState : std::uint64_t
+{
+    None = 0,
+    Active = 1,
+    Committed = 2,
+};
+
+/**
+ * A pmemobj-like pool: allocator + per-thread undo logs + a root slot.
+ */
+class NvmlPool
+{
+  public:
+    static constexpr std::size_t kLogBytes = 1 << 20;
+
+    /** Rotating log segments (see MnemosyneHeap::kLogSegments). */
+    static constexpr unsigned kLogSegments = 16;
+
+    static constexpr std::size_t
+    segmentBytes()
+    {
+        return kLogBytes / kLogSegments;
+    }
+
+    /** Format a pool over [base, base+size). */
+    NvmlPool(pm::PmContext &ctx, Addr base, std::size_t size,
+             unsigned max_threads);
+
+    /** Attach after a crash; call recover() next. */
+    NvmlPool(Addr base, std::size_t size, unsigned max_threads);
+
+    /** Roll back/complete in-flight transactions; rebuild allocator. */
+    void recover(pm::PmContext &ctx);
+
+    alloc::NvmlAllocator &allocator() { return *alloc_; }
+
+    /** Root-object slot (pmemobj_root). */
+    Addr rootOff() const { return rootOff_; }
+
+    Addr logBase(unsigned slot) const;
+    Addr acquireLogSegment(unsigned slot);
+    Addr stateOff(unsigned slot) const;
+    unsigned maxThreads() const { return maxThreads_; }
+
+  private:
+    friend class TxContext;
+
+    Addr base_;
+    std::size_t size_;
+    unsigned maxThreads_;
+    Addr rootOff_;
+    Addr heapBase_;
+    std::vector<std::uint32_t> segCursor_;
+    std::unique_ptr<alloc::NvmlAllocator> alloc_;
+};
+
+/**
+ * One undo-logged durable transaction (pmemobj_tx_*).
+ */
+class TxContext
+{
+  public:
+    TxContext(NvmlPool &pool, pm::PmContext &ctx);
+    ~TxContext();
+
+    TxContext(const TxContext &) = delete;
+    TxContext &operator=(const TxContext &) = delete;
+
+    /**
+     * pmemobj_tx_add_range: snapshot [off, off+n) into the undo log.
+     * Must be called before modifying the range (unless the object
+     * was allocated in this transaction).
+     */
+    void addRange(Addr off, std::size_t n);
+
+    /** Snapshot + in-place store of a field. */
+    template <typename T>
+    void
+    set(T &field_in_pool, const T &value,
+        pm::DataClass cls = pm::DataClass::User)
+    {
+        const Addr off = ctx_.pool().offsetOf(&field_in_pool);
+        addRange(off, sizeof(T));
+        ctx_.store(off, &value, sizeof(T), cls);
+        noteModified(off, sizeof(T));
+    }
+
+    /** In-place store without snapshot (new objects only). */
+    void directStore(Addr off, const void *src, std::size_t n,
+                     pm::DataClass cls = pm::DataClass::User);
+
+    /** pmemobj_tx_alloc: logged allocation, freed on abort. */
+    Addr txAlloc(std::size_t n);
+
+    /** pmemobj_tx_free: deferred to commit. */
+    void txFree(Addr payload);
+
+    void commit();
+    void abort();
+
+    bool active() const { return state_ == State::Active; }
+
+  private:
+    enum class State { Active, Committed, Aborted };
+
+    void appendUndo(UndoKind kind, Addr addr, const void *payload,
+                    std::uint32_t size);
+    void clearLog();
+    void setTxState(TxState st);
+    void noteModified(Addr off, std::size_t n);
+
+    NvmlPool &pool_;
+    pm::PmContext &ctx_;
+    TxId id_;
+    State state_;
+    unsigned slot_;
+    Addr logStart_;
+    Addr logHead_;
+    std::vector<std::pair<Addr, std::uint32_t>> modified_;
+    std::vector<Addr> allocs_;
+    std::vector<Addr> deferredFrees_;
+};
+
+} // namespace whisper::nvml
+
+#endif // WHISPER_TXLIB_NVML_HH

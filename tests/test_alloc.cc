@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Unit and property tests for the three persistent allocators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alloc/buddy_alloc.hh"
+#include "alloc/nvml_alloc.hh"
+#include "alloc/slab_alloc.hh"
+#include "common/logical_clock.hh"
+
+namespace whisper::alloc
+{
+namespace
+{
+
+struct AllocWorld
+{
+    pm::PmPool pool{32 << 20};
+    LogicalClock clock;
+    trace::TraceBuffer tb{0};
+    pm::PmContext ctx{pool, clock, 0, &tb};
+};
+
+// ---------------------------------------------------------------- buddy
+
+TEST(Buddy, AllocFreeRoundTrip)
+{
+    AllocWorld w;
+    BuddyAllocator heap(w.ctx, 0, 1 << 20);
+    const Addr a = heap.alloc(w.ctx, 100);
+    ASSERT_NE(a, kNullAddr);
+    EXPECT_EQ(heap.state(w.ctx, a), BlockState::Volatile);
+    heap.setState(w.ctx, a, BlockState::Persistent);
+    EXPECT_EQ(heap.state(w.ctx, a), BlockState::Persistent);
+    heap.free(w.ctx, a);
+    EXPECT_EQ(heap.stats().allocs, 1u);
+    EXPECT_EQ(heap.stats().frees, 1u);
+}
+
+TEST(Buddy, DistinctPayloads)
+{
+    AllocWorld w;
+    BuddyAllocator heap(w.ctx, 0, 1 << 20);
+    std::set<Addr> seen;
+    for (int i = 0; i < 200; i++) {
+        const Addr a = heap.alloc(w.ctx, 48);
+        ASSERT_NE(a, kNullAddr);
+        EXPECT_TRUE(seen.insert(a).second);
+    }
+}
+
+TEST(Buddy, CoalescingRestoresBigBlocks)
+{
+    AllocWorld w;
+    BuddyAllocator heap(w.ctx, 0, 1 << 16);
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 64; i++) {
+        const Addr a = heap.alloc(w.ctx, 48);
+        ASSERT_NE(a, kNullAddr);
+        blocks.push_back(a);
+    }
+    for (const Addr a : blocks)
+        heap.free(w.ctx, a);
+    EXPECT_GT(heap.stats().coalesces, 0u);
+    // After everything is freed, a max-size alloc must succeed again.
+    const Addr big = heap.alloc(w.ctx, (1 << 16) - 64);
+    EXPECT_NE(big, kNullAddr);
+}
+
+TEST(Buddy, ExhaustionReturnsNull)
+{
+    AllocWorld w;
+    BuddyAllocator heap(w.ctx, 0, 4096);
+    std::uint64_t got = 0;
+    while (heap.alloc(w.ctx, 48) != kNullAddr)
+        got++;
+    EXPECT_GT(got, 0u);
+    EXPECT_EQ(heap.alloc(w.ctx, 48), kNullAddr);
+    EXPECT_GT(heap.stats().failedAllocs, 0u);
+}
+
+TEST(Buddy, RecoveryReclaimsVolatileBlocks)
+{
+    AllocWorld w;
+    BuddyAllocator heap(w.ctx, 0, 1 << 18);
+    const Addr committed = heap.alloc(w.ctx, 64);
+    heap.setState(w.ctx, committed, BlockState::Persistent);
+    const Addr in_flight = heap.alloc(w.ctx, 64);
+    ASSERT_NE(in_flight, kNullAddr);
+
+    w.pool.crashHard();
+    w.ctx.resetPendingState();
+    BuddyAllocator recovered(0, 1 << 18);
+    recovered.recover(w.ctx);
+
+    // The committed block survived; the in-flight one was reclaimed.
+    EXPECT_EQ(recovered.state(w.ctx, committed),
+              BlockState::Persistent);
+    EXPECT_EQ(recovered.state(w.ctx, in_flight), BlockState::Free);
+}
+
+TEST(Buddy, RecoveryPreservesFreeSpaceAccounting)
+{
+    AllocWorld w;
+    BuddyAllocator heap(w.ctx, 0, 1 << 18);
+    std::vector<Addr> keep;
+    for (int i = 0; i < 32; i++) {
+        const Addr a = heap.alloc(w.ctx, 100);
+        heap.setState(w.ctx, a, BlockState::Persistent);
+        keep.push_back(a);
+    }
+    w.pool.crashHard();
+    w.ctx.resetPendingState();
+    BuddyAllocator recovered(0, 1 << 18);
+    recovered.recover(w.ctx);
+    EXPECT_EQ(recovered.stats().bytesLive, 32u * 128);
+    // New allocations never overlap the kept blocks.
+    std::set<Addr> kept(keep.begin(), keep.end());
+    for (int i = 0; i < 32; i++) {
+        const Addr a = recovered.alloc(w.ctx, 100);
+        ASSERT_NE(a, kNullAddr);
+        EXPECT_EQ(kept.count(a), 0u);
+    }
+}
+
+TEST(Buddy, HeaderWritesAreAllocMetaEpochs)
+{
+    AllocWorld w;
+    BuddyAllocator heap(w.ctx, 0, 1 << 18);
+    const auto before = w.tb.counters().fences;
+    heap.alloc(w.ctx, 64);
+    // Splitting from the top order generates one header epoch per
+    // split plus the final VOLATILE header write.
+    EXPECT_GT(w.tb.counters().fences, before);
+    EXPECT_GT(w.tb.counters()
+                  .pmBytesByClass[static_cast<int>(
+                      trace::DataClass::AllocMeta)],
+              0u);
+}
+
+// ----------------------------------------------------------------- slab
+
+TEST(Slab, ClassSelection)
+{
+    AllocWorld w;
+    SlabAllocator slab(w.ctx, 0, 8 << 20);
+    const Addr small = slab.alloc(w.ctx, 10);
+    const Addr large = slab.alloc(w.ctx, 3000);
+    ASSERT_NE(small, kNullAddr);
+    ASSERT_NE(large, kNullAddr);
+    EXPECT_EQ(slab.allocatedIn(0), 1u); // 64B class
+    EXPECT_EQ(slab.allocatedIn(6), 1u); // 4096B class
+}
+
+TEST(Slab, TooLargeFails)
+{
+    AllocWorld w;
+    SlabAllocator slab(w.ctx, 0, 8 << 20);
+    EXPECT_EQ(slab.alloc(w.ctx, 8192), kNullAddr);
+}
+
+TEST(Slab, FreeAndReuse)
+{
+    AllocWorld w;
+    SlabAllocator slab(w.ctx, 0, 8 << 20);
+    const Addr a = slab.alloc(w.ctx, 64);
+    slab.free(w.ctx, a);
+    EXPECT_FALSE(slab.isAllocated(a));
+    // Next-fit cursor moves on, but the bit is reusable.
+    std::set<Addr> seen;
+    bool reused = false;
+    for (int i = 0; i < 100000 && !reused; i++) {
+        const Addr b = slab.alloc(w.ctx, 64);
+        if (b == kNullAddr)
+            break;
+        reused = b == a;
+    }
+    EXPECT_TRUE(reused);
+}
+
+TEST(Slab, RecoveryRebuildsFromBitmap)
+{
+    AllocWorld w;
+    SlabAllocator slab(w.ctx, 0, 8 << 20);
+    const Addr a = slab.alloc(w.ctx, 64);
+    const Addr b = slab.alloc(w.ctx, 200);
+    (void)b;
+    slab.free(w.ctx, a);
+
+    w.pool.crashHard();
+    w.ctx.resetPendingState();
+    SlabAllocator recovered(0, 8 << 20);
+    recovered.recover(w.ctx);
+    EXPECT_FALSE(recovered.isAllocated(a));
+    EXPECT_TRUE(recovered.isAllocated(b));
+    EXPECT_EQ(recovered.stats().bytesLive, 256u);
+}
+
+TEST(Slab, LeaksOnCrashBeforeLinking)
+{
+    // The documented Mnemosyne trade-off: a block allocated (bitmap
+    // durable) but never linked by the crashed application stays
+    // allocated after recovery — a leak, not an inconsistency.
+    AllocWorld w;
+    SlabAllocator slab(w.ctx, 0, 8 << 20);
+    const Addr leaked = slab.alloc(w.ctx, 64);
+    w.pool.crashHard();
+    w.ctx.resetPendingState();
+    SlabAllocator recovered(0, 8 << 20);
+    recovered.recover(w.ctx);
+    EXPECT_TRUE(recovered.isAllocated(leaked));
+}
+
+TEST(Slab, ForEachAllocatedVisitsAll)
+{
+    AllocWorld w;
+    SlabAllocator slab(w.ctx, 0, 8 << 20);
+    std::set<Addr> expect;
+    for (int i = 0; i < 10; i++)
+        expect.insert(slab.alloc(w.ctx, 64));
+    std::set<Addr> got;
+    slab.forEachAllocated([&](Addr a, std::size_t) { got.insert(a); });
+    EXPECT_EQ(got, expect);
+}
+
+// ----------------------------------------------------------------- nvml
+
+TEST(NvmlAlloc, AllocFreeNoLiveRecords)
+{
+    AllocWorld w;
+    const Addr log = 0;
+    const Addr base = NvmlAllocator::logBytes();
+    NvmlAllocator heap(w.ctx, base, 8 << 20, log);
+    const Addr a = heap.alloc(w.ctx, 64);
+    ASSERT_NE(a, kNullAddr);
+    EXPECT_EQ(heap.liveLogRecords(w.ctx), 0u);
+    heap.free(w.ctx, a);
+    EXPECT_EQ(heap.liveLogRecords(w.ctx), 0u);
+}
+
+TEST(NvmlAlloc, MoreEpochsThanSlab)
+{
+    // The redo-logged allocator costs three epochs per mutation where
+    // the Mnemosyne slab costs one (paper §5.2 amplification).
+    AllocWorld w;
+    SlabAllocator slab(w.ctx, 0, 4 << 20);
+    const auto slab_fences_before = w.tb.counters().fences;
+    slab.alloc(w.ctx, 64);
+    const auto slab_fences =
+        w.tb.counters().fences - slab_fences_before;
+
+    const Addr log = 8 << 20;
+    NvmlAllocator nheap(w.ctx, (8 << 20) + NvmlAllocator::logBytes(),
+                        4 << 20, log);
+    const auto nvml_fences_before = w.tb.counters().fences;
+    nheap.alloc(w.ctx, 64);
+    const auto nvml_fences =
+        w.tb.counters().fences - nvml_fences_before;
+
+    EXPECT_EQ(slab_fences, 1u);
+    EXPECT_EQ(nvml_fences, 3u);
+}
+
+TEST(NvmlAlloc, RecoveryReplaysTornMutation)
+{
+    AllocWorld w;
+    const Addr log = 0;
+    const Addr base = NvmlAllocator::logBytes();
+    NvmlAllocator heap(w.ctx, base, 8 << 20, log);
+    const Addr a = heap.alloc(w.ctx, 64);
+    ASSERT_NE(a, kNullAddr);
+
+    // Simulate the torn window: redo record durable, bitmap mutation
+    // lost. Manually rewrite the record as valid again and wipe the
+    // bitmap word's durable copy by crashing right after a fresh
+    // (unfenced) clearing store.
+    // Simplest equivalent: write a live record directly.
+    AllocRedoRecord rec{};
+    w.ctx.load(log, &rec, sizeof(rec));
+    rec.valid = 1;
+    w.ctx.store(log, &rec, sizeof(rec), pm::DataClass::Log);
+    w.ctx.flush(log, sizeof(rec));
+    w.ctx.fence();
+    // Zero the bitmap word durably to "lose" the mutation.
+    const std::uint64_t zero = 0;
+    w.ctx.store(rec.wordOff, &zero, 8, pm::DataClass::AllocMeta);
+    w.ctx.flush(rec.wordOff, 8);
+    w.ctx.fence();
+    w.pool.crashHard();
+    w.ctx.resetPendingState();
+
+    NvmlAllocator recovered(base, 8 << 20, log);
+    recovered.recover(w.ctx);
+    EXPECT_TRUE(recovered.isAllocated(a));
+    EXPECT_EQ(recovered.liveLogRecords(w.ctx), 0u);
+}
+
+// --------------------------------------------------- property sweeps
+
+class AllocCrashSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AllocCrashSweep, BuddyRecoveryAlwaysConsistent)
+{
+    const std::uint64_t seed = GetParam();
+    AllocWorld w;
+    BuddyAllocator heap(w.ctx, 0, 1 << 18);
+    Rng rng(seed);
+    std::vector<Addr> live;
+    for (int i = 0; i < 120; i++) {
+        if (!live.empty() && rng.chance(0.4)) {
+            const std::size_t idx = rng.next(live.size());
+            heap.free(w.ctx, live[idx]);
+            live[idx] = live.back();
+            live.pop_back();
+        } else {
+            const Addr a = heap.alloc(w.ctx, 32 + rng.next(400));
+            if (a == kNullAddr)
+                continue;
+            if (rng.chance(0.8)) {
+                heap.setState(w.ctx, a, BlockState::Persistent);
+                live.push_back(a);
+            }
+            // else: leave VOLATILE (simulates crash mid-transaction)
+        }
+    }
+    w.pool.crash(rng, 0.5);
+    w.ctx.resetPendingState();
+    BuddyAllocator recovered(0, 1 << 18);
+    recovered.recover(w.ctx);
+    // Allocations after recovery never overlap surviving blocks.
+    std::set<Addr> occupied;
+    for (const Addr a : live) {
+        if (recovered.state(w.ctx, a) == BlockState::Persistent)
+            occupied.insert(a);
+    }
+    for (int i = 0; i < 50; i++) {
+        const Addr a = recovered.alloc(w.ctx, 64);
+        if (a == kNullAddr)
+            break;
+        EXPECT_EQ(occupied.count(a), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocCrashSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace whisper::alloc

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the trace analysis: epoch reconstruction, size and
+ * transaction distributions, dependency classification, access mixes
+ * and write amplification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/access_mix.hh"
+#include "analysis/dependency.hh"
+#include "analysis/epoch_stats.hh"
+
+namespace whisper::analysis
+{
+namespace
+{
+
+using trace::DataClass;
+using trace::EventKind;
+using trace::FenceKind;
+using trace::TraceEvent;
+using trace::TraceSet;
+
+TraceEvent
+ev(Tick ts, EventKind kind, Addr addr = 0, std::uint32_t size = 8,
+   DataClass cls = DataClass::User, std::uint8_t aux = 0)
+{
+    return TraceEvent{ts, addr, size, kind, cls, aux, 0};
+}
+
+TEST(EpochBuilder, SplitsAtFences)
+{
+    TraceSet set;
+    auto *b = set.createBuffer(0);
+    b->push(ev(1, EventKind::PmStore, 0));
+    b->push(ev(2, EventKind::PmStore, 64));
+    b->push(ev(3, EventKind::Fence));
+    b->push(ev(4, EventKind::PmStore, 128));
+    b->push(ev(5, EventKind::Fence));
+
+    EpochBuilder builder(set);
+    ASSERT_EQ(builder.epochCount(), 2u);
+    EXPECT_EQ(builder.epochs()[0].size(), 2u);
+    EXPECT_EQ(builder.epochs()[1].size(), 1u);
+    EXPECT_TRUE(builder.epochs()[1].isSingleton());
+}
+
+TEST(EpochBuilder, UniqueLinesNotStores)
+{
+    TraceSet set;
+    auto *b = set.createBuffer(0);
+    // Three stores, two of them to the same line.
+    b->push(ev(1, EventKind::PmStore, 0));
+    b->push(ev(2, EventKind::PmStore, 8));
+    b->push(ev(3, EventKind::PmStore, 200));
+    b->push(ev(4, EventKind::Fence));
+    EpochBuilder builder(set);
+    ASSERT_EQ(builder.epochCount(), 1u);
+    EXPECT_EQ(builder.epochs()[0].size(), 2u);
+    EXPECT_EQ(builder.epochs()[0].storeCount, 3u);
+}
+
+TEST(EpochBuilder, MultiLineStoreSpans)
+{
+    TraceSet set;
+    auto *b = set.createBuffer(0);
+    b->push(ev(1, EventKind::PmNtStore, 0, 4096)); // a PMFS block
+    b->push(ev(2, EventKind::Fence));
+    EpochBuilder builder(set);
+    ASSERT_EQ(builder.epochCount(), 1u);
+    EXPECT_EQ(builder.epochs()[0].size(), 64u);
+    EXPECT_EQ(builder.epochs()[0].ntStoreCount, 1u);
+}
+
+TEST(EpochBuilder, EmptyFencesDoNotCreateEpochs)
+{
+    TraceSet set;
+    auto *b = set.createBuffer(0);
+    b->push(ev(1, EventKind::Fence));
+    b->push(ev(2, EventKind::Fence));
+    b->push(ev(3, EventKind::PmStore, 0));
+    // No closing fence: the trailing open epoch is not counted.
+    EpochBuilder builder(set);
+    EXPECT_EQ(builder.epochCount(), 0u);
+}
+
+TEST(EpochBuilder, AttributesEpochsToTransactions)
+{
+    TraceSet set;
+    auto *b = set.createBuffer(0);
+    b->push(ev(1, EventKind::TxBegin, 77));
+    b->push(ev(2, EventKind::PmStore, 0));
+    b->push(ev(3, EventKind::Fence));
+    b->push(ev(4, EventKind::PmStore, 64));
+    b->push(ev(5, EventKind::Fence, 0, 0, DataClass::None,
+               static_cast<std::uint8_t>(FenceKind::Durability)));
+    b->push(ev(6, EventKind::TxEnd, 77));
+    b->push(ev(7, EventKind::PmStore, 128)); // outside any tx
+    b->push(ev(8, EventKind::Fence));
+
+    EpochBuilder builder(set);
+    ASSERT_EQ(builder.epochCount(), 3u);
+    ASSERT_EQ(builder.transactions().size(), 1u);
+    EXPECT_EQ(builder.transactions()[0].epochs, 2u);
+    EXPECT_EQ(builder.epochs()[2].tx, 0u);
+}
+
+TEST(EpochStats, SummaryNumbers)
+{
+    TraceSet set;
+    auto *b = set.createBuffer(0);
+    // Singleton of 4 bytes (small), then a 2-line epoch.
+    b->push(ev(100, EventKind::PmStore, 0, 4));
+    b->push(ev(200, EventKind::Fence));
+    b->push(ev(300, EventKind::PmStore, 0, 64));
+    b->push(ev(400, EventKind::PmStore, 64, 64));
+    b->push(ev(500, EventKind::Fence, 0, 0, DataClass::None,
+               static_cast<std::uint8_t>(FenceKind::Durability)));
+
+    EpochBuilder builder(set);
+    const EpochSummary sum = summarizeEpochs(builder, set);
+    EXPECT_EQ(sum.totalEpochs, 2u);
+    EXPECT_DOUBLE_EQ(sum.singletonFraction, 0.5);
+    EXPECT_DOUBLE_EQ(sum.singletonUnder10B, 1.0);
+    EXPECT_DOUBLE_EQ(sum.durabilityFenceFraction, 0.5);
+    EXPECT_GT(sum.epochsPerSecond, 0.0);
+}
+
+TEST(Dependency, SelfDependencyWithinWindow)
+{
+    TraceSet set;
+    auto *b = set.createBuffer(0);
+    b->push(ev(1000, EventKind::PmStore, 0));
+    b->push(ev(1100, EventKind::Fence));
+    b->push(ev(1200, EventKind::PmStore, 0)); // same line, same thread
+    b->push(ev(1300, EventKind::Fence));
+    EpochBuilder builder(set);
+    const auto deps = analyzeDependencies(builder);
+    EXPECT_EQ(deps.totalEpochs, 2u);
+    EXPECT_EQ(deps.selfDependent, 1u);
+    EXPECT_EQ(deps.crossDependent, 0u);
+}
+
+TEST(Dependency, CrossDependencyAcrossThreads)
+{
+    TraceSet set;
+    auto *b0 = set.createBuffer(0);
+    auto *b1 = set.createBuffer(1);
+    b0->push(ev(1000, EventKind::PmStore, 64));
+    b0->push(ev(1100, EventKind::Fence));
+    b1->push(ev(1200, EventKind::PmStore, 64));
+    b1->push(ev(1300, EventKind::Fence));
+    EpochBuilder builder(set);
+    const auto deps = analyzeDependencies(builder);
+    EXPECT_EQ(deps.crossDependent, 1u);
+    EXPECT_EQ(deps.selfDependent, 0u);
+}
+
+TEST(Dependency, OutsideWindowIgnored)
+{
+    TraceSet set;
+    auto *b = set.createBuffer(0);
+    b->push(ev(1000, EventKind::PmStore, 0));
+    b->push(ev(1100, EventKind::Fence));
+    // 60 us later: outside the 50 us window.
+    b->push(ev(1100 + 60 * kTicksPerUs, EventKind::PmStore, 0));
+    b->push(ev(1200 + 60 * kTicksPerUs, EventKind::Fence));
+    EpochBuilder builder(set);
+    const auto deps = analyzeDependencies(builder);
+    EXPECT_EQ(deps.selfDependent, 0u);
+}
+
+TEST(Dependency, DisjointLinesNoDependency)
+{
+    TraceSet set;
+    auto *b = set.createBuffer(0);
+    b->push(ev(1000, EventKind::PmStore, 0));
+    b->push(ev(1100, EventKind::Fence));
+    b->push(ev(1200, EventKind::PmStore, 640));
+    b->push(ev(1300, EventKind::Fence));
+    EpochBuilder builder(set);
+    const auto deps = analyzeDependencies(builder);
+    EXPECT_EQ(deps.selfDependent, 0u);
+    EXPECT_EQ(deps.crossDependent, 0u);
+}
+
+TEST(AccessMix, Fractions)
+{
+    TraceSet set;
+    auto *b = set.createBuffer(0);
+    b->push(ev(1, EventKind::PmStore));
+    b->push(ev(2, EventKind::DramLoad));
+    b->push(ev(3, EventKind::DramStore));
+    b->push(ev(4, EventKind::DramLoad));
+    const AccessMix mix = computeAccessMix(set);
+    EXPECT_EQ(mix.pmAccesses, 1u);
+    EXPECT_EQ(mix.dramAccesses, 3u);
+    EXPECT_DOUBLE_EQ(mix.pmFraction(), 0.25);
+}
+
+TEST(NtiUsage, Fraction)
+{
+    TraceSet set;
+    auto *b = set.createBuffer(0);
+    b->push(ev(1, EventKind::PmStore));
+    b->push(ev(2, EventKind::PmNtStore));
+    b->push(ev(3, EventKind::PmNtStore));
+    const NtiUsage nti = computeNtiUsage(set);
+    EXPECT_DOUBLE_EQ(nti.ntiFraction(), 2.0 / 3.0);
+}
+
+TEST(Amplification, RatioByClass)
+{
+    TraceSet set;
+    auto *b = set.createBuffer(0);
+    b->push(ev(1, EventKind::PmStore, 0, 100, DataClass::User));
+    b->push(ev(2, EventKind::PmStore, 0, 30, DataClass::Log));
+    b->push(ev(3, EventKind::PmStore, 0, 50, DataClass::AllocMeta));
+    b->push(ev(4, EventKind::PmStore, 0, 20, DataClass::TxMeta));
+    const Amplification amp = computeAmplification(set);
+    EXPECT_EQ(amp.userBytes, 100u);
+    EXPECT_EQ(amp.metaBytes(), 100u);
+    EXPECT_DOUBLE_EQ(amp.ratio(), 1.0);
+}
+
+} // namespace
+} // namespace whisper::analysis

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for src/common: RNG, histograms, tables, logical clock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/histogram.hh"
+#include "common/logical_clock.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace whisper
+{
+namespace
+{
+
+TEST(Types, LineHelpers)
+{
+    EXPECT_EQ(lineOf(0), 0u);
+    EXPECT_EQ(lineOf(63), 0u);
+    EXPECT_EQ(lineOf(64), 1u);
+    EXPECT_EQ(lineBase(100), 64u);
+    EXPECT_EQ(linesSpanned(0, 64), 1u);
+    EXPECT_EQ(linesSpanned(63, 2), 2u);
+    EXPECT_EQ(linesSpanned(0, 0), 0u);
+    EXPECT_EQ(linesSpanned(10, 128), 3u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += a() == b();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundedNext)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(rng.next(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; i++)
+        seen.insert(rng.range(5, 8));
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_EQ(*seen.begin(), 5u);
+    EXPECT_EQ(*seen.rbegin(), 8u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; i++) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, StringLengthAndCharset)
+{
+    Rng rng(13);
+    const std::string s = rng.nextString(64);
+    EXPECT_EQ(s.size(), 64u);
+    for (char c : s)
+        EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(Zipfian, SkewTowardHotKeys)
+{
+    Rng rng(17);
+    ZipfianGenerator zipf(1000);
+    std::uint64_t hot = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++) {
+        if (zipf.next(rng) < 10)
+            hot++;
+    }
+    // The 1% hottest keys should draw far more than 1% of accesses.
+    EXPECT_GT(hot, static_cast<std::uint64_t>(n) / 10);
+}
+
+TEST(Zipfian, InBounds)
+{
+    Rng rng(19);
+    ZipfianGenerator zipf(37);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(zipf.next(rng), 37u);
+}
+
+TEST(ScrambledSequence, CoversWithoutEarlyRepeat)
+{
+    Rng rng(23);
+    ScrambledSequence seq(1024, rng);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1024; i++) {
+        const std::uint64_t v = seq.at(i);
+        EXPECT_LT(v, 1024u);
+        seen.insert(v);
+    }
+    // An odd multiplier mod a power of two is a bijection.
+    EXPECT_EQ(seen.size(), 1024u);
+}
+
+TEST(Histogram, BasicStats)
+{
+    Histogram h;
+    for (std::uint64_t v : {1, 1, 2, 3, 10})
+        h.add(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 17u);
+    EXPECT_DOUBLE_EQ(h.mean(), 17.0 / 5.0);
+    EXPECT_EQ(h.median(), 2u);
+    EXPECT_EQ(h.minValue(), 1u);
+    EXPECT_EQ(h.maxValue(), 10u);
+    EXPECT_DOUBLE_EQ(h.fractionAt(1), 0.4);
+    EXPECT_DOUBLE_EQ(h.fractionIn(1, 3), 0.8);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h;
+    EXPECT_EQ(h.median(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAt(5), 0.0);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a, b;
+    a.add(1, 3);
+    b.add(1, 2);
+    b.add(7);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 6u);
+    EXPECT_DOUBLE_EQ(a.fractionAt(1), 5.0 / 6.0);
+}
+
+TEST(Histogram, QuantileMonotone)
+{
+    Histogram h;
+    for (std::uint64_t v = 0; v < 100; v++)
+        h.add(v);
+    EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(1.0), 99u);
+}
+
+TEST(BucketedDistribution, PaperEpochBuckets)
+{
+    Histogram h;
+    h.add(1, 75);
+    h.add(2, 10);
+    h.add(30, 10);
+    h.add(64, 5);
+    const auto dist = BucketedDistribution::epochSizeBuckets();
+    const auto frac = dist.fractions(h);
+    ASSERT_EQ(frac.size(), 7u);
+    EXPECT_DOUBLE_EQ(frac[0], 0.75);  // "1"
+    EXPECT_DOUBLE_EQ(frac[1], 0.10);  // "2"
+    EXPECT_DOUBLE_EQ(frac[5], 0.10);  // "6-63"
+    EXPECT_DOUBLE_EQ(frac[6], 0.05);  // ">=64"
+}
+
+TEST(TextTable, RendersAligned)
+{
+    TextTable t("demo");
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"bbbb", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("bbbb"), std::string::npos);
+    EXPECT_EQ(TextTable::percent(0.123, 1), "12.3%");
+    EXPECT_EQ(TextTable::fixed(1.5, 2), "1.50");
+}
+
+TEST(LogicalClock, AdvancesMonotonically)
+{
+    LogicalClock clock;
+    EXPECT_EQ(clock.now(), 0u);
+    EXPECT_EQ(clock.advance(5), 5u);
+    EXPECT_EQ(clock.advance(3), 8u);
+    EXPECT_EQ(clock.now(), 8u);
+    clock.reset();
+    EXPECT_EQ(clock.now(), 0u);
+}
+
+} // namespace
+} // namespace whisper

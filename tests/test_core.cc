@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the core runtime, the HOPS programming API and the
+ * harness life cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/harness.hh"
+#include "core/hops.hh"
+
+namespace whisper::core
+{
+namespace
+{
+
+TEST(Runtime, ContextsAreIndependentThreads)
+{
+    Runtime rt(1 << 20, 4);
+    EXPECT_EQ(rt.maxThreads(), 4u);
+    EXPECT_EQ(rt.ctx(0).tid(), 0u);
+    EXPECT_EQ(rt.ctx(3).tid(), 3u);
+}
+
+TEST(Runtime, RunThreadsExecutesAll)
+{
+    Runtime rt(1 << 20, 4);
+    std::atomic<unsigned> ran{0};
+    std::atomic<std::uint32_t> tid_mask{0};
+    rt.runThreads(4, [&](pm::PmContext &ctx, ThreadId tid) {
+        (void)ctx;
+        ran++;
+        tid_mask |= 1u << tid;
+    });
+    EXPECT_EQ(ran.load(), 4u);
+    EXPECT_EQ(tid_mask.load(), 0xFu);
+}
+
+TEST(Runtime, ThreadsShareTheClock)
+{
+    Runtime rt(1 << 20, 2);
+    rt.ctx(0).compute(100);
+    const Tick t0 = rt.ctx(1).now();
+    EXPECT_GE(t0, 100u);
+}
+
+TEST(Runtime, CrashClearsPendingState)
+{
+    Runtime rt(1 << 20, 1);
+    pm::PmContext &ctx = rt.ctx(0);
+    const std::uint64_t v = 5;
+    ctx.store(0, &v, 8);
+    ctx.flush(0, 8);
+    rt.crashHard();
+    EXPECT_TRUE(ctx.pendingFlushes().empty());
+    EXPECT_EQ(*rt.pool().at<std::uint64_t>(0), 0u);
+}
+
+TEST(Hops, DfenceMakesTrackedStoresDurable)
+{
+    Runtime rt(1 << 20, 1);
+    HopsContext hops(rt.ctx(0));
+    const std::uint64_t v = 77;
+    hops.store(0, &v, 8);
+    hops.ofence();
+    EXPECT_EQ(*rt.pool().durableAt<std::uint64_t>(0), 0u);
+    hops.dfence();
+    EXPECT_EQ(*rt.pool().durableAt<std::uint64_t>(0), 77u);
+    EXPECT_EQ(hops.pendingRanges(), 0u);
+}
+
+TEST(Hops, BufferedEpochsLostOnCrashBeforeDfence)
+{
+    Runtime rt(1 << 20, 1);
+    HopsContext hops(rt.ctx(0));
+    const std::uint64_t v = 1;
+    hops.store(0, &v, 8);
+    hops.ofence();
+    hops.store(64, &v, 8);
+    rt.crashHard();
+    EXPECT_EQ(*rt.pool().at<std::uint64_t>(0), 0u);
+    EXPECT_EQ(*rt.pool().at<std::uint64_t>(64), 0u);
+}
+
+TEST(Hops, NoFlushEventsInTrace)
+{
+    // The Figure 1(e) programming model: no clwb anywhere.
+    Runtime rt(1 << 20, 1);
+    HopsContext hops(rt.ctx(0));
+    const std::uint64_t v = 9;
+    hops.store(0, &v, 8);
+    hops.ofence();
+    hops.store(64, &v, 8);
+    hops.dfence();
+    const auto counters = rt.traces().totalCounters();
+    EXPECT_EQ(counters.pmFlushes, 0u);
+    EXPECT_EQ(counters.fences, 2u);
+}
+
+TEST(Hops, Figure1eExample)
+{
+    // The paper's running example: update pt = {x, y}, then set the
+    // flag; x/y may reorder with each other but must precede flag.
+    Runtime rt(1 << 20, 1);
+    HopsContext hops(rt.ctx(0));
+    struct Pt { std::uint64_t x; std::uint64_t y; };
+    auto *pt = rt.pool().at<Pt>(0);
+    auto *flag = rt.pool().at<std::uint64_t>(256);
+
+    hops.set(pt->x, std::uint64_t{10});
+    hops.set(pt->y, std::uint64_t{20});
+    hops.ofence();                       // order pt before flag
+    hops.set(*flag, std::uint64_t{1});
+    hops.dfence();                       // durability point
+
+    EXPECT_EQ(*rt.pool().durableAt<std::uint64_t>(0), 10u);
+    EXPECT_EQ(*rt.pool().durableAt<std::uint64_t>(8), 20u);
+    EXPECT_EQ(*rt.pool().durableAt<std::uint64_t>(256), 1u);
+}
+
+TEST(Harness, RunAppProducesTraces)
+{
+    AppConfig config;
+    config.threads = 2;
+    config.opsPerThread = 30;
+    config.poolBytes = 96 << 20;
+    RunResult result = runApp("hashmap", config);
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.appName, "hashmap");
+    EXPECT_EQ(result.layer, AccessLayer::LibNvml);
+    EXPECT_GT(result.lastTick, result.firstTick);
+    EXPECT_EQ(result.totalOps, 60u);
+}
+
+TEST(Harness, CrashAndVerifyCycle)
+{
+    AppConfig config;
+    config.threads = 2;
+    config.opsPerThread = 30;
+    config.poolBytes = 96 << 20;
+    RunResult result = runApp("ctree", config);
+    ASSERT_TRUE(result.verified);
+    EXPECT_TRUE(crashAndVerify(result, 99, 0.3));
+}
+
+TEST(Harness, UnknownAppIsFatal)
+{
+    AppConfig config;
+    EXPECT_DEATH(
+        {
+            auto app = createApp("definitely-not-an-app", config);
+            (void)app;
+        },
+        "unknown WHISPER application");
+}
+
+TEST(AppConfigTest, ScaledRounding)
+{
+    AppConfig config;
+    config.opsPerThread = 1000;
+    EXPECT_EQ(config.scaled(0.5).opsPerThread, 500u);
+    EXPECT_EQ(config.scaled(0.0001).opsPerThread, 1u);
+}
+
+TEST(AccessLayerNames, AllDistinct)
+{
+    EXPECT_STREQ(accessLayerName(AccessLayer::Native), "Native");
+    EXPECT_STREQ(accessLayerName(AccessLayer::LibNvml),
+                 "Library/NVML");
+    EXPECT_STREQ(accessLayerName(AccessLayer::LibMnemosyne),
+                 "Library/Mnemosyne");
+    EXPECT_STREQ(accessLayerName(AccessLayer::Filesystem), "FS/PMFS");
+}
+
+} // namespace
+} // namespace whisper::core

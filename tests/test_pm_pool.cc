@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the PM device model: durability of flush+fence and
+ * NTI+fence, volatility of unfenced stores, crash injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logical_clock.hh"
+#include "pm/pm_context.hh"
+#include "pm/pm_pool.hh"
+#include "pm/poff.hh"
+
+namespace whisper
+{
+namespace
+{
+
+struct PoolWorld
+{
+    pm::PmPool pool{1 << 20};
+    LogicalClock clock;
+    trace::TraceBuffer tb{0};
+    pm::PmContext ctx{pool, clock, 0, &tb};
+};
+
+TEST(PmPool, StoreIsVisibleButNotDurable)
+{
+    PoolWorld w;
+    const std::uint64_t v = 0xDEADBEEF;
+    w.ctx.store(128, &v, 8);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(128), v);
+    EXPECT_EQ(*w.pool.durableAt<std::uint64_t>(128), 0u);
+    EXPECT_TRUE(w.pool.lineDirty(lineOf(128)));
+}
+
+TEST(PmPool, FlushAloneIsNotDurable)
+{
+    PoolWorld w;
+    const std::uint64_t v = 7;
+    w.ctx.store(0, &v, 8);
+    w.ctx.flush(0, 8);
+    EXPECT_EQ(*w.pool.durableAt<std::uint64_t>(0), 0u);
+}
+
+TEST(PmPool, FlushPlusFenceIsDurable)
+{
+    PoolWorld w;
+    const std::uint64_t v = 7;
+    w.ctx.store(0, &v, 8);
+    w.ctx.flush(0, 8);
+    w.ctx.fence();
+    EXPECT_EQ(*w.pool.durableAt<std::uint64_t>(0), 7u);
+    EXPECT_FALSE(w.pool.lineDirty(0));
+}
+
+TEST(PmPool, FenceOnlyDrainsOwnThreadsFlushes)
+{
+    pm::PmPool pool(1 << 20);
+    LogicalClock clock;
+    trace::TraceBuffer tb0(0), tb1(1);
+    pm::PmContext c0(pool, clock, 0, &tb0);
+    pm::PmContext c1(pool, clock, 1, &tb1);
+    const std::uint64_t v = 9;
+    c0.store(0, &v, 8);
+    c0.flush(0, 8);
+    c1.fence(); // thread 1's fence must not drain thread 0's clwb
+    EXPECT_EQ(*pool.durableAt<std::uint64_t>(0), 0u);
+    c0.fence();
+    EXPECT_EQ(*pool.durableAt<std::uint64_t>(0), 9u);
+}
+
+TEST(PmPool, NtStoreDurableAfterFence)
+{
+    PoolWorld w;
+    const std::uint64_t v = 11;
+    w.ctx.ntStore(256, &v, 8);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(256), 11u);
+    EXPECT_EQ(*w.pool.durableAt<std::uint64_t>(256), 0u);
+    w.ctx.fence();
+    EXPECT_EQ(*w.pool.durableAt<std::uint64_t>(256), 11u);
+}
+
+TEST(PmPool, CrashHardLosesUnfenced)
+{
+    PoolWorld w;
+    const std::uint64_t a = 1, b = 2;
+    w.ctx.store(0, &a, 8);
+    w.ctx.flush(0, 8);
+    w.ctx.fence();
+    w.ctx.store(64, &b, 8); // never flushed/fenced
+    w.pool.crashHard();
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(0), 1u);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(64), 0u);
+    EXPECT_EQ(w.pool.dirtyLineCount(), 0u);
+}
+
+TEST(PmPool, CrashWithFullSurvivalKeepsDirtyLines)
+{
+    PoolWorld w;
+    const std::uint64_t b = 2;
+    w.ctx.store(64, &b, 8);
+    Rng rng(1);
+    w.pool.crash(rng, 1.0); // every dirty line "was evicted in time"
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(64), 2u);
+}
+
+TEST(PmPool, CrashWithZeroSurvivalDropsDirtyLines)
+{
+    PoolWorld w;
+    const std::uint64_t b = 2;
+    w.ctx.store(64, &b, 8);
+    Rng rng(1);
+    w.pool.crash(rng, 0.0);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(64), 0u);
+}
+
+TEST(PmPool, CrashOutcomeIsPerLine)
+{
+    // With survival 0.5 and many lines, some persist and some do not.
+    PoolWorld w;
+    for (Addr off = 0; off < 64 * 256; off += 64) {
+        const std::uint64_t v = off + 1;
+        w.ctx.store(off, &v, 8);
+    }
+    Rng rng(99);
+    w.pool.crash(rng, 0.5);
+    int kept = 0, lost = 0;
+    for (Addr off = 0; off < 64 * 256; off += 64) {
+        if (*w.pool.at<std::uint64_t>(off) == off + 1)
+            kept++;
+        else
+            lost++;
+    }
+    EXPECT_GT(kept, 32);
+    EXPECT_GT(lost, 32);
+}
+
+TEST(PmPool, PersistRangeSpansLines)
+{
+    PoolWorld w;
+    std::uint8_t buf[200];
+    std::fill(buf, buf + sizeof(buf), 0xAB);
+    w.ctx.store(60, buf, sizeof(buf)); // spans 4+ lines
+    w.pool.persistRange(60, sizeof(buf));
+    for (std::size_t i = 0; i < sizeof(buf); i++)
+        EXPECT_EQ(w.pool.durableBase()[60 + i], 0xAB);
+}
+
+TEST(PmPool, OffsetOfRoundTrips)
+{
+    PoolWorld w;
+    auto *p = w.pool.at<std::uint32_t>(4096);
+    EXPECT_EQ(w.pool.offsetOf(p), 4096u);
+    EXPECT_TRUE(w.pool.contains(p));
+    int local = 0;
+    EXPECT_FALSE(w.pool.contains(&local));
+}
+
+TEST(PmPool, EvictRandomLinesPersistsSome)
+{
+    PoolWorld w;
+    const std::uint64_t v = 3;
+    for (Addr off = 0; off < 64 * 64; off += 64)
+        w.ctx.store(off, &v, 8);
+    Rng rng(5);
+    w.pool.evictRandomLines(rng, 5000);
+    EXPECT_LT(w.pool.dirtyLineCount(), 64u);
+}
+
+TEST(PmContext, PersistHelper)
+{
+    PoolWorld w;
+    const std::uint64_t v = 21;
+    w.ctx.store(512, &v, 8);
+    w.ctx.persist(512, 8);
+    EXPECT_EQ(*w.pool.durableAt<std::uint64_t>(512), 21u);
+}
+
+TEST(PmContext, StoreFieldAndLoadField)
+{
+    PoolWorld w;
+    struct Rec { std::uint64_t a; std::uint64_t b; };
+    auto *rec = w.pool.at<Rec>(1024);
+    w.ctx.storeField(rec->b, std::uint64_t{77});
+    EXPECT_EQ(w.ctx.loadField(rec->b), 77u);
+    EXPECT_EQ(w.ctx.loadField(rec->a), 0u);
+}
+
+TEST(PmContext, TraceEventsEmitted)
+{
+    PoolWorld w;
+    const std::uint64_t v = 1;
+    w.ctx.store(0, &v, 8);
+    w.ctx.flush(0, 8);
+    w.ctx.fence(pm::FenceKind::Durability);
+    const auto &events = w.tb.events();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].kind, trace::EventKind::PmStore);
+    EXPECT_EQ(events[1].kind, trace::EventKind::PmFlush);
+    EXPECT_EQ(events[2].kind, trace::EventKind::Fence);
+    EXPECT_EQ(events[2].fenceKind(), trace::FenceKind::Durability);
+    EXPECT_LT(events[0].ts, events[1].ts);
+    EXPECT_LT(events[1].ts, events[2].ts);
+}
+
+TEST(POff, NullAndDeref)
+{
+    PoolWorld w;
+    pm::POff<std::uint64_t> p;
+    EXPECT_TRUE(p.isNull());
+    p = pm::POff<std::uint64_t>(64);
+    EXPECT_FALSE(p.isNull());
+    *p.get(w.pool) = 5;
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(64), 5u);
+    // Zero-filled PM is not a valid pointer.
+    EXPECT_NE(pm::POff<std::uint64_t>(0), pm::POff<std::uint64_t>());
+}
+
+TEST(PmPool, BoundsViolationPanics)
+{
+    pm::PmPool pool(4096);
+    EXPECT_DEATH(pool.at<std::uint64_t>(4095), "outside pool");
+}
+
+} // namespace
+} // namespace whisper

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Unit, integration and crash-property tests for the PMFS-like
+ * filesystem (journal, B-tree block maps, syscall surface, fsck).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logical_clock.hh"
+#include "pmfs/pmfs.hh"
+
+namespace whisper::pmfs
+{
+namespace
+{
+
+struct FsWorld
+{
+    pm::PmPool pool{64 << 20};
+    LogicalClock clock;
+    trace::TraceBuffer tb{0};
+    pm::PmContext ctx{pool, clock, 0, &tb};
+};
+
+TEST(Pmfs, MkfsProducesCleanFs)
+{
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 32 << 20);
+    std::string why;
+    EXPECT_TRUE(fs.fsck(w.ctx, &why)) << why;
+    EXPECT_TRUE(fs.readdir(w.ctx, "/").empty());
+}
+
+TEST(Pmfs, CreateLookupUnlink)
+{
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 32 << 20);
+    const Ino ino = fs.create(w.ctx, "/hello");
+    ASSERT_NE(ino, kInvalidIno);
+    EXPECT_EQ(fs.lookup(w.ctx, "/hello"), ino);
+    EXPECT_EQ(fs.lookup(w.ctx, "/nope"), kInvalidIno);
+    EXPECT_TRUE(fs.unlink(w.ctx, "/hello"));
+    EXPECT_EQ(fs.lookup(w.ctx, "/hello"), kInvalidIno);
+    std::string why;
+    EXPECT_TRUE(fs.fsck(w.ctx, &why)) << why;
+}
+
+TEST(Pmfs, DuplicateCreateFails)
+{
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 32 << 20);
+    ASSERT_NE(fs.create(w.ctx, "/a"), kInvalidIno);
+    EXPECT_EQ(fs.create(w.ctx, "/a"), kInvalidIno);
+}
+
+TEST(Pmfs, WriteReadRoundTrip)
+{
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 32 << 20);
+    const Ino ino = fs.create(w.ctx, "/data");
+    Rng rng(4);
+    std::vector<std::uint8_t> buf(10000);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(fs.write(w.ctx, ino, 0, buf.data(), buf.size()),
+              static_cast<long>(buf.size()));
+    EXPECT_EQ(fs.fileSize(w.ctx, ino), buf.size());
+    std::vector<std::uint8_t> out(buf.size());
+    EXPECT_EQ(fs.read(w.ctx, ino, 0, out.data(), out.size()),
+              static_cast<long>(out.size()));
+    EXPECT_EQ(out, buf);
+}
+
+TEST(Pmfs, UnalignedOverwrite)
+{
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 32 << 20);
+    const Ino ino = fs.create(w.ctx, "/f");
+    std::vector<std::uint8_t> base(8192, 0x11);
+    fs.write(w.ctx, ino, 0, base.data(), base.size());
+    std::vector<std::uint8_t> patch(100, 0x22);
+    fs.write(w.ctx, ino, 4000, patch.data(), patch.size());
+    std::vector<std::uint8_t> out(8192);
+    fs.read(w.ctx, ino, 0, out.data(), out.size());
+    EXPECT_EQ(out[3999], 0x11);
+    EXPECT_EQ(out[4000], 0x22);
+    EXPECT_EQ(out[4099], 0x22);
+    EXPECT_EQ(out[4100], 0x11);
+    EXPECT_EQ(fs.fileSize(w.ctx, ino), 8192u);
+}
+
+TEST(Pmfs, AppendGrowsFile)
+{
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 32 << 20);
+    const Ino ino = fs.create(w.ctx, "/log");
+    for (int i = 0; i < 50; i++) {
+        char line[32];
+        const int n = std::snprintf(line, sizeof(line), "entry %d\n", i);
+        EXPECT_EQ(fs.append(w.ctx, ino, line, n), n);
+    }
+    EXPECT_GT(fs.fileSize(w.ctx, ino), 400u);
+    std::string why;
+    EXPECT_TRUE(fs.fsck(w.ctx, &why)) << why;
+}
+
+TEST(Pmfs, LargeFileSplitsBtree)
+{
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 48 << 20);
+    const Ino ino = fs.create(w.ctx, "/big");
+    // > 254 blocks forces a leaf split and an inner root.
+    std::vector<std::uint8_t> chunk(kBlockSize, 0x5A);
+    for (int b = 0; b < 300; b++) {
+        chunk[0] = static_cast<std::uint8_t>(b);
+        ASSERT_EQ(fs.write(w.ctx, ino, b * kBlockSize, chunk.data(),
+                           chunk.size()),
+                  static_cast<long>(kBlockSize));
+    }
+    EXPECT_EQ(fs.fileSize(w.ctx, ino), 300u * kBlockSize);
+    for (int b = 0; b < 300; b += 37) {
+        std::uint8_t first = 0;
+        fs.read(w.ctx, ino, b * kBlockSize, &first, 1);
+        EXPECT_EQ(first, static_cast<std::uint8_t>(b));
+    }
+    std::string why;
+    EXPECT_TRUE(fs.fsck(w.ctx, &why)) << why;
+}
+
+TEST(Pmfs, DirectoriesNestAndList)
+{
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 32 << 20);
+    ASSERT_NE(fs.mkdir(w.ctx, "/a"), kInvalidIno);
+    ASSERT_NE(fs.mkdir(w.ctx, "/a/b"), kInvalidIno);
+    ASSERT_NE(fs.create(w.ctx, "/a/b/c"), kInvalidIno);
+    ASSERT_NE(fs.create(w.ctx, "/a/d"), kInvalidIno);
+    const auto names = fs.readdir(w.ctx, "/a");
+    EXPECT_EQ(names.size(), 2u);
+    EXPECT_NE(fs.lookup(w.ctx, "/a/b/c"), kInvalidIno);
+    // Non-empty directories cannot be unlinked.
+    EXPECT_FALSE(fs.unlink(w.ctx, "/a/b"));
+    EXPECT_TRUE(fs.unlink(w.ctx, "/a/b/c"));
+    EXPECT_TRUE(fs.unlink(w.ctx, "/a/b"));
+    std::string why;
+    EXPECT_TRUE(fs.fsck(w.ctx, &why)) << why;
+}
+
+TEST(Pmfs, ManyFilesInOneDirectory)
+{
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 48 << 20);
+    for (int i = 0; i < 300; i++) {
+        ASSERT_NE(fs.create(w.ctx, "/f" + std::to_string(i)),
+                  kInvalidIno)
+            << i;
+    }
+    EXPECT_EQ(fs.readdir(w.ctx, "/").size(), 300u);
+    for (int i = 0; i < 300; i += 2)
+        EXPECT_TRUE(fs.unlink(w.ctx, "/f" + std::to_string(i)));
+    EXPECT_EQ(fs.readdir(w.ctx, "/").size(), 150u);
+    std::string why;
+    EXPECT_TRUE(fs.fsck(w.ctx, &why)) << why;
+}
+
+TEST(Pmfs, UnlinkReleasesBlocks)
+{
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 32 << 20);
+    const Ino ino = fs.create(w.ctx, "/fat");
+    // The create may have grown the root directory by one block;
+    // measure from here so unlink must release exactly the file's
+    // data and B-tree blocks.
+    const std::uint64_t free_before = fs.freeBlockCount();
+    std::vector<std::uint8_t> buf(64 * kBlockSize, 1);
+    fs.write(w.ctx, ino, 0, buf.data(), buf.size());
+    EXPECT_LT(fs.freeBlockCount(), free_before - 60);
+    fs.unlink(w.ctx, "/fat");
+    EXPECT_EQ(fs.freeBlockCount(), free_before);
+}
+
+TEST(Pmfs, UserDataIsNti)
+{
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 32 << 20);
+    const Ino ino = fs.create(w.ctx, "/f");
+    const auto before = w.tb.counters();
+    std::vector<std::uint8_t> buf(kBlockSize, 7);
+    fs.write(w.ctx, ino, 0, buf.data(), buf.size());
+    const auto after = w.tb.counters();
+    // The 4 KB payload went through non-temporal stores; metadata
+    // through cacheable stores — the paper's ~96% NTI observation.
+    EXPECT_GT(after.pmNtStores, before.pmNtStores);
+    const std::uint64_t user =
+        after.pmBytesByClass[static_cast<int>(trace::DataClass::User)] -
+        before.pmBytesByClass[static_cast<int>(trace::DataClass::User)];
+    EXPECT_GE(user, kBlockSize);
+}
+
+TEST(Pmfs, MetadataAmplificationNearPaper)
+{
+    // ~400 extra bytes per 4096-byte append (10%), per paper §5.2.
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 32 << 20);
+    const Ino ino = fs.create(w.ctx, "/f");
+    std::vector<std::uint8_t> buf(kBlockSize, 7);
+    // Warm up the btree (first block allocates the leaf node).
+    fs.write(w.ctx, ino, 0, buf.data(), buf.size());
+    const auto before = w.tb.counters();
+    for (int i = 1; i <= 16; i++)
+        fs.write(w.ctx, ino, i * kBlockSize, buf.data(), buf.size());
+    const auto after = w.tb.counters();
+    const double user = static_cast<double>(
+        after.pmBytesByClass[static_cast<int>(trace::DataClass::User)] -
+        before
+            .pmBytesByClass[static_cast<int>(trace::DataClass::User)]);
+    double meta = 0;
+    for (int c : {1, 2, 3, 4}) { // Log, AllocMeta, TxMeta, FsMeta
+        meta += static_cast<double>(after.pmBytesByClass[c] -
+                                    before.pmBytesByClass[c]);
+    }
+    EXPECT_GT(meta / user, 0.02);
+    EXPECT_LT(meta / user, 0.6);
+}
+
+TEST(Pmfs, MountAfterCleanRunKeepsEverything)
+{
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 32 << 20);
+    const Ino ino = fs.create(w.ctx, "/keep");
+    std::vector<std::uint8_t> buf(5000, 0x3C);
+    fs.write(w.ctx, ino, 0, buf.data(), buf.size());
+
+    w.pool.crashHard();
+    w.ctx.resetPendingState();
+
+    Pmfs fs2(0, 32 << 20);
+    fs2.mount(w.ctx);
+    std::string why;
+    EXPECT_TRUE(fs2.fsck(w.ctx, &why)) << why;
+    const Ino found = fs2.lookup(w.ctx, "/keep");
+    ASSERT_NE(found, kInvalidIno);
+    EXPECT_EQ(fs2.fileSize(w.ctx, found), 5000u);
+    std::vector<std::uint8_t> out(5000);
+    fs2.read(w.ctx, found, 0, out.data(), out.size());
+    EXPECT_EQ(out, buf);
+}
+
+TEST(MetaJournal, RollsBackUncommittedMutations)
+{
+    FsWorld w;
+    MetaJournal journal(w.ctx, 0);
+    const Addr target = 4 << 20;
+    const std::uint64_t old_val = 111;
+    w.ctx.store(target, &old_val, 8);
+    w.ctx.persist(target, 8);
+
+    journal.begin(w.ctx);
+    journal.logOld(w.ctx, target, 8);
+    const std::uint64_t new_val = 222;
+    w.ctx.store(target, &new_val, 8);
+    w.ctx.flush(target, 8);
+    w.ctx.fence(); // the mutation even became durable...
+    w.pool.crashHard();
+    w.ctx.resetPendingState();
+
+    MetaJournal again(0);
+    again.recover(w.ctx); // ...but the tx never committed: roll back
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(target), 111u);
+}
+
+TEST(MetaJournal, CommittedMutationsSurvive)
+{
+    FsWorld w;
+    MetaJournal journal(w.ctx, 0);
+    const Addr target = 4 << 20;
+    journal.begin(w.ctx);
+    journal.logOld(w.ctx, target, 8);
+    const std::uint64_t new_val = 333;
+    w.ctx.store(target, &new_val, 8);
+    journal.commit(w.ctx);
+    w.pool.crashHard();
+    w.ctx.resetPendingState();
+
+    MetaJournal again(0);
+    again.recover(w.ctx);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(target), 333u);
+}
+
+TEST(MetaJournal, TornTailRecordIsIgnored)
+{
+    // A record whose payload checksum does not validate marks the
+    // point the crash interrupted logging; nothing after it was
+    // mutated, so recovery must stop there (and roll back the rest).
+    FsWorld w;
+    MetaJournal journal(w.ctx, 0);
+    const Addr t1 = 4 << 20, t2 = (4 << 20) + 64;
+    const std::uint64_t v1 = 1, v2 = 2;
+    w.ctx.store(t1, &v1, 8);
+    w.ctx.store(t2, &v2, 8);
+    w.ctx.persist(t1, 8);
+    w.ctx.persist(t2, 8);
+
+    journal.begin(w.ctx);
+    journal.logOld(w.ctx, t1, 8);
+    const std::uint64_t nv = 100;
+    w.ctx.store(t1, &nv, 8);
+    w.ctx.flush(t1, 8);
+    w.ctx.fence();
+    journal.logOld(w.ctx, t2, 8);
+    // Corrupt the second record's payload in the durable image by
+    // storing+persisting garbage over it (simulating a torn line).
+    const Addr second_rec = kCacheLineSize +
+                            sizeof(JournalRecord) + 8; // after rec 1
+    const std::uint64_t garbage = 0xBAD;
+    w.ctx.store(second_rec + sizeof(JournalRecord), &garbage, 8,
+                pm::DataClass::Log);
+    w.ctx.persist(second_rec + sizeof(JournalRecord), 8);
+    w.pool.crashHard();
+    w.ctx.resetPendingState();
+
+    MetaJournal again(0);
+    again.recover(w.ctx);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(t1), 1u);  // rolled back
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(t2), 2u);  // untouched
+}
+
+class PmfsCrashSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PmfsCrashSweep, FsckHoldsAfterAdversarialCrash)
+{
+    const std::uint64_t seed = GetParam();
+    FsWorld w;
+    Pmfs fs(w.ctx, 0, 32 << 20);
+    Rng rng(seed);
+    std::vector<std::string> files;
+    std::vector<std::uint8_t> buf(3 * kBlockSize);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng());
+
+    for (int op = 0; op < 60; op++) {
+        const double pick = rng.nextDouble();
+        if (pick < 0.4 || files.empty()) {
+            const std::string path =
+                "/f" + std::to_string(seed) + "_" + std::to_string(op);
+            const Ino ino = fs.create(w.ctx, path);
+            if (ino != kInvalidIno) {
+                files.push_back(path);
+                fs.write(w.ctx, ino, 0, buf.data(),
+                         64 + rng.next(buf.size() - 64));
+            }
+        } else if (pick < 0.7) {
+            const Ino ino =
+                fs.lookup(w.ctx, files[rng.next(files.size())]);
+            if (ino != kInvalidIno)
+                fs.append(w.ctx, ino, buf.data(), 1 + rng.next(6000));
+        } else {
+            const std::size_t idx = rng.next(files.size());
+            if (fs.unlink(w.ctx, files[idx])) {
+                files[idx] = files.back();
+                files.pop_back();
+            }
+        }
+    }
+
+    // Adversarial power failure, then remount: metadata must be
+    // perfectly consistent, whatever subset of dirty lines survived.
+    w.pool.crash(rng, 0.5);
+    w.ctx.resetPendingState();
+    Pmfs fs2(0, 32 << 20);
+    fs2.mount(w.ctx);
+    std::string why;
+    EXPECT_TRUE(fs2.fsck(w.ctx, &why)) << "seed " << seed << ": " << why;
+    // All surviving files are readable to their full size.
+    for (const auto &path : files) {
+        const Ino ino = fs2.lookup(w.ctx, path);
+        ASSERT_NE(ino, kInvalidIno) << path;
+        std::vector<std::uint8_t> out(fs2.fileSize(w.ctx, ino));
+        if (!out.empty()) {
+            EXPECT_EQ(fs2.read(w.ctx, ino, 0, out.data(), out.size()),
+                      static_cast<long>(out.size()));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PmfsCrashSweep,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+} // namespace
+} // namespace whisper::pmfs

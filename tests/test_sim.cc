@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit tests for the timing simulator: cache behaviour, Bloom filter,
+ * persistency-model cost ordering, coherence gleaning, and the
+ * Figure 10 shape on synthetic traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/bloom.hh"
+#include "sim/simulator.hh"
+
+namespace whisper::sim
+{
+namespace
+{
+
+using trace::DataClass;
+using trace::EventKind;
+using trace::FenceKind;
+using trace::TraceEvent;
+using trace::TraceSet;
+
+TraceEvent
+ev(Tick ts, EventKind kind, Addr addr = 0, std::uint32_t size = 8,
+   std::uint8_t aux = 0)
+{
+    return TraceEvent{ts, addr, size, kind, DataClass::User, aux, 0};
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(SimCache, HitAfterFill)
+{
+    Cache cache(16, 2);
+    EXPECT_FALSE(cache.access(5, false).hit);
+    EXPECT_TRUE(cache.access(5, false).hit);
+    EXPECT_TRUE(cache.contains(5));
+}
+
+TEST(SimCache, LruEviction)
+{
+    Cache cache(1, 2); // one set, two ways
+    cache.access(0, false);
+    cache.access(1, false);
+    cache.access(0, false); // refresh 0
+    const CacheResult r = cache.access(2, false); // evicts 1 (LRU)
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.evictedLine, 1u);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(SimCache, DirtyEvictionReported)
+{
+    Cache cache(1, 1);
+    cache.access(0, true);
+    const CacheResult r = cache.access(1, false);
+    EXPECT_TRUE(r.evictedDirty);
+    EXPECT_EQ(r.evictedLine, 0u);
+}
+
+TEST(SimCache, InvalidateReturnsDirtiness)
+{
+    Cache cache(4, 2);
+    cache.access(3, true);
+    EXPECT_TRUE(cache.invalidate(3));
+    EXPECT_FALSE(cache.contains(3));
+    EXPECT_FALSE(cache.invalidate(3));
+}
+
+// ---------------------------------------------------------------- bloom
+
+TEST(Bloom, NoFalseNegatives)
+{
+    CountingBloom bloom(256);
+    for (LineAddr l = 0; l < 64; l++)
+        bloom.insert(l * 7);
+    for (LineAddr l = 0; l < 64; l++)
+        EXPECT_TRUE(bloom.mightContain(l * 7));
+}
+
+TEST(Bloom, RemoveClearsEventually)
+{
+    CountingBloom bloom(256);
+    bloom.insert(42);
+    EXPECT_TRUE(bloom.mightContain(42));
+    bloom.remove(42);
+    EXPECT_FALSE(bloom.mightContain(42));
+}
+
+TEST(Bloom, MostlySelective)
+{
+    CountingBloom bloom(4096);
+    for (LineAddr l = 0; l < 32; l++)
+        bloom.insert(l);
+    int false_pos = 0;
+    for (LineAddr l = 1000; l < 2000; l++)
+        false_pos += bloom.mightContain(l);
+    EXPECT_LT(false_pos, 100);
+}
+
+// ----------------------------------------------------- model behaviour
+
+/** A trace shaped like one persistent transaction per iteration. */
+TraceSet
+makeTxTrace(unsigned iterations, unsigned epochs_per_tx)
+{
+    TraceSet set(true);
+    auto *b = set.createBuffer(0);
+    Tick ts = 1;
+    Addr addr = 0;
+    for (unsigned i = 0; i < iterations; i++) {
+        b->push(ev(ts++, EventKind::TxBegin, i));
+        for (unsigned e = 0; e < epochs_per_tx; e++) {
+            b->push(ev(ts++, EventKind::PmStore, addr));
+            b->push(ev(ts++, EventKind::PmFlush, addr));
+            addr += 64;
+            const bool last = e + 1 == epochs_per_tx;
+            b->push(ev(ts++, EventKind::Fence, 0, 0,
+                       static_cast<std::uint8_t>(
+                           last ? FenceKind::Durability
+                                : FenceKind::Ordering)));
+        }
+        // Some DRAM work between transactions.
+        for (int d = 0; d < 100; d++)
+            b->push(ev(ts++, EventKind::DramLoad, 4096 + d * 64));
+        b->push(ev(ts++, EventKind::TxEnd, i));
+    }
+    return set;
+}
+
+TEST(SimModels, Figure10Ordering)
+{
+    const TraceSet traces = makeTxTrace(200, 8);
+    SimParams params;
+    const auto results = runModels(
+        traces, params,
+        {ModelKind::X86Nvm, ModelKind::X86Pwq, ModelKind::HopsNvm,
+         ModelKind::HopsPwq, ModelKind::Ideal});
+
+    const std::uint64_t x86_nvm = results[0].cycles;
+    const std::uint64_t x86_pwq = results[1].cycles;
+    const std::uint64_t hops_nvm = results[2].cycles;
+    const std::uint64_t hops_pwq = results[3].cycles;
+    const std::uint64_t ideal = results[4].cycles;
+
+    // The paper's Figure 10 ordering.
+    EXPECT_LT(x86_pwq, x86_nvm);   // PWQ helps the baseline (~15%)
+    EXPECT_LT(hops_nvm, x86_nvm);  // HOPS beats x86 (~24%)
+    EXPECT_LT(hops_nvm, x86_pwq);  // ...even with a PWQ (~10%)
+    EXPECT_LT(ideal, hops_nvm);    // ideal is the lower bound
+    // PWQ matters far less for HOPS than for x86 (1.4% vs 15.5% in
+    // the paper). This synthetic trace is persistence-heavier than
+    // the real applications, so bound it loosely here; the Figure 10
+    // bench measures the real margins on application traces.
+    EXPECT_LT(static_cast<double>(hops_nvm - hops_pwq),
+              0.35 * static_cast<double>(hops_nvm));
+    EXPECT_LT(hops_nvm - hops_pwq, x86_nvm - x86_pwq);
+}
+
+TEST(SimModels, HopsElidesFlushes)
+{
+    const TraceSet traces = makeTxTrace(50, 4);
+    SimParams params;
+    Simulator hops(params, ModelKind::HopsNvm);
+    const SimResult r = hops.run(traces);
+    EXPECT_EQ(r.persist.flushesIssued, 0u);
+    EXPECT_GT(r.persist.flushesElided, 0u);
+}
+
+TEST(SimModels, X86FenceStallsDominatedByPmLatency)
+{
+    TraceSet traces(true);
+    auto *b = traces.createBuffer(0);
+    b->push(ev(1, EventKind::PmStore, 0));
+    b->push(ev(2, EventKind::PmFlush, 0));
+    b->push(ev(3, EventKind::Fence, 0, 0,
+               static_cast<std::uint8_t>(FenceKind::Durability)));
+    SimParams params;
+    Simulator nvm(params, ModelKind::X86Nvm);
+    Simulator pwq(params, ModelKind::X86Pwq);
+    const auto r_nvm = nvm.run(traces);
+    const auto r_pwq = pwq.run(traces);
+    EXPECT_GE(r_nvm.persist.fenceStalls, params.pmLat);
+    EXPECT_LT(r_pwq.persist.fenceStalls, params.pmLat);
+}
+
+TEST(SimModels, CrossThreadDependencyGleaned)
+{
+    // Thread 0 writes a line and keeps it buffered; thread 1 then
+    // writes the same line: HOPS must record a cross dependency.
+    TraceSet traces(true);
+    auto *b0 = traces.createBuffer(0);
+    auto *b1 = traces.createBuffer(1);
+    b0->push(ev(1, EventKind::PmStore, 0));
+    b0->push(ev(2, EventKind::Fence, 0, 0,
+                static_cast<std::uint8_t>(FenceKind::Ordering)));
+    b1->push(ev(3, EventKind::PmStore, 0));
+    b1->push(ev(4, EventKind::Fence, 0, 0,
+                static_cast<std::uint8_t>(FenceKind::Durability)));
+    SimParams params;
+    Simulator hops(params, ModelKind::HopsNvm);
+    const SimResult r = hops.run(traces);
+    EXPECT_GT(r.persist.crossDepWaits, 0u);
+    EXPECT_GT(r.coherenceTransfers, 0u);
+}
+
+TEST(SimModels, IdealIgnoresEverything)
+{
+    const TraceSet traces = makeTxTrace(20, 4);
+    SimParams params;
+    Simulator ideal(params, ModelKind::Ideal);
+    const SimResult r = ideal.run(traces);
+    EXPECT_EQ(r.persist.fenceStalls, 0u);
+    EXPECT_EQ(r.persist.pbFullStalls, 0u);
+}
+
+TEST(SimModels, PbFullStallsWhenBufferTiny)
+{
+    SimParams params;
+    params.pbEntries = 2;
+    params.pbDrainThreshold = 1;
+    TraceSet traces(true);
+    auto *b = traces.createBuffer(0);
+    Tick ts = 1;
+    for (int i = 0; i < 64; i++)
+        b->push(ev(ts++, EventKind::PmStore, i * 64));
+    b->push(ev(ts++, EventKind::Fence, 0, 0,
+               static_cast<std::uint8_t>(FenceKind::Durability)));
+    Simulator hops(params, ModelKind::HopsNvm);
+    const SimResult r = hops.run(traces);
+    EXPECT_GT(r.persist.pbFullStalls, 0u);
+}
+
+TEST(SimModels, DramTrafficTimesTheSameAcrossModels)
+{
+    // A DRAM-only trace must cost the same under every model
+    // (Consequence 11: no overhead on volatile accesses).
+    TraceSet traces(true);
+    auto *b = traces.createBuffer(0);
+    Tick ts = 1;
+    for (int i = 0; i < 500; i++)
+        b->push(ev(ts++, i % 2 ? EventKind::DramLoad
+                               : EventKind::DramStore,
+                   (i % 61) * 64));
+    SimParams params;
+    const auto results = runModels(traces, params,
+                                   {ModelKind::X86Nvm,
+                                    ModelKind::HopsNvm,
+                                    ModelKind::Ideal});
+    EXPECT_EQ(results[0].cycles, results[1].cycles);
+    EXPECT_EQ(results[1].cycles, results[2].cycles);
+}
+
+TEST(SimModels, RepeatedRunsDeterministic)
+{
+    const TraceSet traces = makeTxTrace(50, 6);
+    SimParams params;
+    Simulator a(params, ModelKind::HopsNvm);
+    Simulator b(params, ModelKind::HopsNvm);
+    EXPECT_EQ(a.run(traces).cycles, b.run(traces).cycles);
+}
+
+TEST(SimModels, L1CapturesLocality)
+{
+    TraceSet traces(true);
+    auto *b = traces.createBuffer(0);
+    Tick ts = 1;
+    for (int i = 0; i < 1000; i++)
+        b->push(ev(ts++, EventKind::DramLoad, 0)); // same line
+    SimParams params;
+    Simulator sim(params, ModelKind::Ideal);
+    const SimResult r = sim.run(traces);
+    EXPECT_GT(r.l1Stats.hitRate(), 0.99);
+}
+
+} // namespace
+} // namespace whisper::sim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the trace framework: buffers, counters, merge order,
+ * binary I/O round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/trace_io.hh"
+#include "trace/trace_set.hh"
+
+namespace whisper::trace
+{
+namespace
+{
+
+TraceEvent
+ev(Tick ts, EventKind kind, Addr addr = 0, std::uint32_t size = 8,
+   DataClass cls = DataClass::User, std::uint8_t aux = 0)
+{
+    return TraceEvent{ts, addr, size, kind, cls, aux, 0};
+}
+
+TEST(TraceBuffer, CountsByKind)
+{
+    TraceBuffer buf(0);
+    buf.push(ev(1, EventKind::PmStore, 0, 16));
+    buf.push(ev(2, EventKind::PmNtStore, 64, 8, DataClass::Log));
+    buf.push(ev(3, EventKind::PmFlush));
+    buf.push(ev(4, EventKind::Fence));
+    buf.push(ev(5, EventKind::PmLoad));
+    const auto &c = buf.counters();
+    EXPECT_EQ(c.pmStores, 1u);
+    EXPECT_EQ(c.pmNtStores, 1u);
+    EXPECT_EQ(c.pmFlushes, 1u);
+    EXPECT_EQ(c.fences, 1u);
+    EXPECT_EQ(c.pmLoads, 1u);
+    EXPECT_EQ(c.pmWrites(), 2u);
+    EXPECT_EQ(c.pmBytesByClass[static_cast<int>(DataClass::User)], 16u);
+    EXPECT_EQ(c.pmBytesByClass[static_cast<int>(DataClass::Log)], 8u);
+}
+
+TEST(TraceBuffer, VolatileCountedNotStoredByDefault)
+{
+    TraceBuffer buf(0, false);
+    buf.push(ev(1, EventKind::DramLoad));
+    buf.push(ev(2, EventKind::DramStore));
+    EXPECT_EQ(buf.counters().dramLoads, 1u);
+    EXPECT_EQ(buf.counters().dramStores, 1u);
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(TraceBuffer, VolatileStoredWhenEnabled)
+{
+    TraceBuffer buf(0, true);
+    buf.push(ev(1, EventKind::DramLoad));
+    EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(TraceBuffer, ClearResetsEverything)
+{
+    TraceBuffer buf(0);
+    buf.push(ev(1, EventKind::PmStore));
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.counters().pmStores, 0u);
+}
+
+TEST(TraceSet, MergeSortsByTimestamp)
+{
+    TraceSet set;
+    TraceBuffer *b0 = set.createBuffer(0);
+    TraceBuffer *b1 = set.createBuffer(1);
+    b0->push(ev(10, EventKind::PmStore));
+    b0->push(ev(30, EventKind::Fence));
+    b1->push(ev(20, EventKind::PmStore));
+    const auto merged = set.merged();
+    ASSERT_EQ(merged.size(), 3u);
+    EXPECT_EQ(merged[0].ev.ts, 10u);
+    EXPECT_EQ(merged[0].tid, 0u);
+    EXPECT_EQ(merged[1].ev.ts, 20u);
+    EXPECT_EQ(merged[1].tid, 1u);
+    EXPECT_EQ(merged[2].ev.ts, 30u);
+}
+
+TEST(TraceSet, FirstAndLastTick)
+{
+    TraceSet set;
+    TraceBuffer *b0 = set.createBuffer(0);
+    TraceBuffer *b1 = set.createBuffer(1);
+    EXPECT_EQ(set.firstTick(), 0u);
+    b0->push(ev(15, EventKind::PmStore));
+    b1->push(ev(5, EventKind::PmStore));
+    b1->push(ev(40, EventKind::Fence));
+    EXPECT_EQ(set.firstTick(), 5u);
+    EXPECT_EQ(set.lastTick(), 40u);
+}
+
+TEST(TraceSet, TotalCountersAggregate)
+{
+    TraceSet set;
+    set.createBuffer(0)->push(ev(1, EventKind::PmStore));
+    set.createBuffer(1)->push(ev(2, EventKind::PmStore));
+    EXPECT_EQ(set.totalCounters().pmStores, 2u);
+    EXPECT_EQ(set.totalEvents(), 2u);
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    TraceSet set;
+    TraceBuffer *b0 = set.createBuffer(0);
+    TraceBuffer *b1 = set.createBuffer(3);
+    b0->push(ev(1, EventKind::PmStore, 100, 8));
+    b0->push(ev(2, EventKind::Fence, 0, 0, DataClass::None, 1));
+    b1->push(ev(5, EventKind::PmNtStore, 4096, 64, DataClass::Log));
+
+    const std::string path = "/tmp/whisper_trace_test.bin";
+    ASSERT_TRUE(writeTraceFile(path, set));
+
+    TraceSet loaded;
+    ASSERT_TRUE(readTraceFile(path, loaded));
+    std::remove(path.c_str());
+
+    ASSERT_EQ(loaded.threadCount(), 2u);
+    const TraceBuffer *l0 = loaded.buffer(0);
+    const TraceBuffer *l1 = loaded.buffer(3);
+    ASSERT_NE(l0, nullptr);
+    ASSERT_NE(l1, nullptr);
+    ASSERT_EQ(l0->size(), 2u);
+    ASSERT_EQ(l1->size(), 1u);
+    EXPECT_EQ(l0->events()[1].fenceKind(), FenceKind::Durability);
+    EXPECT_EQ(l1->events()[0].addr, 4096u);
+    EXPECT_EQ(l1->events()[0].cls, DataClass::Log);
+}
+
+TEST(TraceIo, RejectsMissingFile)
+{
+    TraceSet set;
+    EXPECT_FALSE(readTraceFile("/tmp/definitely_missing_whisper", set));
+}
+
+TEST(TraceIo, RejectsGarbage)
+{
+    const std::string path = "/tmp/whisper_garbage.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a trace", f);
+    std::fclose(f);
+    TraceSet set;
+    EXPECT_FALSE(readTraceFile(path, set));
+    std::remove(path.c_str());
+}
+
+TEST(Event, Names)
+{
+    EXPECT_STREQ(eventKindName(EventKind::PmStore), "pm_store");
+    EXPECT_STREQ(eventKindName(EventKind::DramLoad), "dram_load");
+    EXPECT_STREQ(dataClassName(DataClass::AllocMeta), "alloc");
+}
+
+} // namespace
+} // namespace whisper::trace

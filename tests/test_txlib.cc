@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Unit and crash-property tests for the Mnemosyne (redo) and NVML
+ * (undo) transaction libraries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logical_clock.hh"
+#include "txlib/mnemosyne.hh"
+#include "txlib/nvml.hh"
+
+namespace whisper
+{
+namespace
+{
+
+struct TxWorld
+{
+    pm::PmPool pool{64 << 20};
+    LogicalClock clock;
+    trace::TraceBuffer tb{0};
+    pm::PmContext ctx{pool, clock, 0, &tb};
+};
+
+// ------------------------------------------------------------ Mnemosyne
+
+TEST(Mnemosyne, CommitMakesUpdatesDurable)
+{
+    TxWorld w;
+    mne::MnemosyneHeap heap(w.ctx, 0, 16 << 20, 2);
+    const Addr obj = heap.pmalloc(w.ctx, 64);
+    ASSERT_NE(obj, kNullAddr);
+
+    mne::Transaction tx(heap, w.ctx);
+    const std::uint64_t v = 42;
+    tx.update(obj, &v, 8);
+    tx.commit();
+
+    w.pool.crashHard();
+    w.ctx.resetPendingState();
+    mne::MnemosyneHeap again(0, 16 << 20, 2);
+    again.recover(w.ctx);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(obj), 42u);
+}
+
+TEST(Mnemosyne, UncommittedNeverTouchesData)
+{
+    TxWorld w;
+    mne::MnemosyneHeap heap(w.ctx, 0, 16 << 20, 2);
+    const Addr obj = heap.pmalloc(w.ctx, 64);
+    const std::uint64_t init = 7;
+    w.ctx.store(obj, &init, 8);
+    w.ctx.persist(obj, 8);
+
+    {
+        mne::Transaction tx(heap, w.ctx);
+        const std::uint64_t v = 99;
+        tx.update(obj, &v, 8);
+        // Data stays untouched until commit (kept in the write set).
+        EXPECT_EQ(*w.pool.at<std::uint64_t>(obj), 7u);
+        EXPECT_EQ(tx.get(*w.pool.at<std::uint64_t>(obj)), 99u);
+        tx.abort();
+    }
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(obj), 7u);
+}
+
+TEST(Mnemosyne, CrashMidTxDiscardsLog)
+{
+    TxWorld w;
+    mne::MnemosyneHeap heap(w.ctx, 0, 16 << 20, 2);
+    const Addr obj = heap.pmalloc(w.ctx, 64);
+    const std::uint64_t init = 7;
+    w.ctx.store(obj, &init, 8);
+    w.ctx.persist(obj, 8);
+
+    {
+        // Leaked deliberately: the crash "kills the process" while
+        // the transaction is open, so no destructor runs.
+        auto *tx = new mne::Transaction(heap, w.ctx);
+        const std::uint64_t v = 99;
+        tx->update(obj, &v, 8);
+        // Crash before commit: redo entries are durable (NTI+fence)
+        // but there is no commit record.
+        w.pool.crashHard();
+        w.ctx.resetPendingState();
+    }
+
+    mne::MnemosyneHeap again(0, 16 << 20, 2);
+    again.recover(w.ctx);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(obj), 7u);
+}
+
+TEST(Mnemosyne, CrashDuringApplyReplays)
+{
+    // A committed transaction whose in-place application was cut off
+    // must be replayed from the redo log at recovery.
+    TxWorld w;
+    mne::MnemosyneHeap heap(w.ctx, 0, 16 << 20, 2);
+    const Addr obj = heap.pmalloc(w.ctx, 64);
+
+    mne::Transaction tx(heap, w.ctx);
+    const std::uint64_t v = 1234;
+    tx.update(obj, &v, 8);
+    tx.commit();
+
+    // "Un-persist" the data while keeping the log: rewrite the data
+    // line in the durable image with zeros, as if the cacheable store
+    // had not reached PM before the crash. The log retains the commit
+    // record because commit() did not truncate... it did. So instead:
+    // crash *without* the truncation taking effect is not directly
+    // constructible through the public API; this test asserts the
+    // replay path via recover() on a hand-built log.
+    mne::MnemosyneHeap fresh(w.ctx, 16 << 20, 16 << 20, 1);
+    const Addr target = fresh.pmalloc(w.ctx, 64);
+    // Hand-write: [Update target=77][Commit], publish {segment, seq}
+    // in the active-log cell, then recover. Records must carry the
+    // published sequence or recovery treats them as stale.
+    const Addr log = fresh.logBase(0);
+    const std::uint64_t seq = 41;
+    const struct { Addr base; std::uint64_t s; } cell{log, seq};
+    w.ctx.store(fresh.activeCellOff(0), &cell, sizeof(cell),
+                pm::DataClass::TxMeta);
+    w.ctx.flush(fresh.activeCellOff(0), sizeof(cell));
+    const std::uint64_t newv = 77;
+    mne::RedoHeader upd{mne::RedoHeader::kMagic, mne::RedoKind::Update,
+                        target, 8, mne::foldChecksum(&newv, 8), seq};
+    w.ctx.ntStore(log, &upd, sizeof(upd), pm::DataClass::Log);
+    w.ctx.ntStore(log + sizeof(upd), &newv, 8, pm::DataClass::Log);
+    mne::RedoHeader commit{mne::RedoHeader::kMagic,
+                           mne::RedoKind::Commit, 0, 0,
+                           mne::foldChecksum(nullptr, 0), seq};
+    // Records are cache-line aligned: the commit record starts on
+    // the next line boundary after the update record.
+    w.ctx.ntStore(lineBase(log + sizeof(upd) + 8 + kCacheLineSize - 1),
+                  &commit, sizeof(commit), pm::DataClass::Log);
+    w.ctx.fence();
+    w.pool.crashHard();
+    w.ctx.resetPendingState();
+
+    mne::MnemosyneHeap again(16 << 20, 16 << 20, 1);
+    again.recover(w.ctx);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(target), 77u);
+}
+
+TEST(Mnemosyne, ReadOwnWritesOverlays)
+{
+    TxWorld w;
+    mne::MnemosyneHeap heap(w.ctx, 0, 16 << 20, 2);
+    const Addr obj = heap.pmalloc(w.ctx, 64);
+    mne::Transaction tx(heap, w.ctx);
+    const std::uint64_t a = 5, b = 6;
+    tx.update(obj, &a, 8);
+    tx.update(obj + 8, &b, 8);
+    std::uint64_t two[2];
+    tx.read(obj, two, 16);
+    EXPECT_EQ(two[0], 5u);
+    EXPECT_EQ(two[1], 6u);
+    const std::uint64_t a2 = 50;
+    tx.update(obj, &a2, 8);
+    tx.read(obj, two, 16);
+    EXPECT_EQ(two[0], 50u); // newest staged write wins
+    tx.commit();
+}
+
+TEST(Mnemosyne, AbortFreesTxAllocations)
+{
+    TxWorld w;
+    mne::MnemosyneHeap heap(w.ctx, 0, 16 << 20, 2);
+    mne::Transaction tx(heap, w.ctx);
+    const Addr a = tx.pmalloc(64);
+    ASSERT_NE(a, kNullAddr);
+    tx.abort();
+    EXPECT_TRUE(heap.allocator().stats().frees >= 1);
+}
+
+TEST(Mnemosyne, LogWritesAreNtis)
+{
+    TxWorld w;
+    mne::MnemosyneHeap heap(w.ctx, 0, 16 << 20, 2);
+    const Addr obj = heap.pmalloc(w.ctx, 64);
+    const auto nt_before = w.tb.counters().pmNtStores;
+    mne::Transaction tx(heap, w.ctx);
+    const std::uint64_t v = 1;
+    tx.update(obj, &v, 8);
+    tx.commit();
+    EXPECT_GT(w.tb.counters().pmNtStores, nt_before);
+}
+
+// ----------------------------------------------------------------- NVML
+
+TEST(Nvml, CommitKeepsSnapshotCleared)
+{
+    TxWorld w;
+    nvml::NvmlPool pool(w.ctx, 0, 32 << 20, 2);
+    nvml::TxContext tx(pool, w.ctx);
+    const Addr obj = tx.txAlloc(64);
+    ASSERT_NE(obj, kNullAddr);
+    const std::uint64_t v = 10;
+    tx.directStore(obj, &v, 8);
+    tx.commit();
+
+    // Value durable, allocator consistent after a crash.
+    w.pool.crashHard();
+    w.ctx.resetPendingState();
+    nvml::NvmlPool again(0, 32 << 20, 2);
+    again.recover(w.ctx);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(obj), 10u);
+    EXPECT_TRUE(again.allocator().isAllocated(obj));
+}
+
+TEST(Nvml, AbortRollsBackInPlaceUpdates)
+{
+    TxWorld w;
+    nvml::NvmlPool pool(w.ctx, 0, 32 << 20, 2);
+    Addr obj;
+    {
+        nvml::TxContext tx(pool, w.ctx);
+        obj = tx.txAlloc(64);
+        const std::uint64_t v = 10;
+        tx.directStore(obj, &v, 8);
+        tx.commit();
+    }
+    {
+        nvml::TxContext tx(pool, w.ctx);
+        auto *cell = w.pool.at<std::uint64_t>(obj);
+        tx.set(*cell, std::uint64_t{999});
+        EXPECT_EQ(*cell, 999u); // in place
+        tx.abort();
+        EXPECT_EQ(*cell, 10u); // restored
+    }
+}
+
+TEST(Nvml, AbortFreesTxAllocations)
+{
+    TxWorld w;
+    nvml::NvmlPool pool(w.ctx, 0, 32 << 20, 2);
+    nvml::TxContext tx(pool, w.ctx);
+    const Addr obj = tx.txAlloc(64);
+    tx.abort();
+    EXPECT_FALSE(pool.allocator().isAllocated(obj));
+}
+
+TEST(Nvml, CrashMidTxRollsBackAndFrees)
+{
+    TxWorld w;
+    nvml::NvmlPool pool(w.ctx, 0, 32 << 20, 2);
+    Addr obj;
+    {
+        nvml::TxContext tx(pool, w.ctx);
+        obj = tx.txAlloc(64);
+        const std::uint64_t v = 10;
+        tx.directStore(obj, &v, 8);
+        tx.commit();
+    }
+    Addr leak_candidate = kNullAddr;
+    {
+        // Leaked deliberately: the crash happens with the tx ACTIVE.
+        auto *tx = new nvml::TxContext(pool, w.ctx);
+        auto *cell = w.pool.at<std::uint64_t>(obj);
+        tx->set(*cell, std::uint64_t{555});
+        leak_candidate = tx->txAlloc(128);
+        // Everything fenced so far: the undo records, the tx state,
+        // the allocator mutations.
+        w.pool.crashHard();
+        w.ctx.resetPendingState();
+    }
+    nvml::NvmlPool again(0, 32 << 20, 2);
+    again.recover(w.ctx);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(obj), 10u);
+    EXPECT_FALSE(again.allocator().isAllocated(leak_candidate));
+    EXPECT_TRUE(again.allocator().isAllocated(obj));
+}
+
+TEST(Nvml, UndoUsesCacheableStores)
+{
+    TxWorld w;
+    nvml::NvmlPool pool(w.ctx, 0, 32 << 20, 1);
+    nvml::TxContext tx(pool, w.ctx);
+    const Addr obj = tx.txAlloc(64);
+    const auto nt_before = w.tb.counters().pmNtStores;
+    auto *cell = w.pool.at<std::uint64_t>(obj);
+    tx.set(*cell, std::uint64_t{5});
+    // NVML uses cacheable stores for log and data; no NTIs here.
+    EXPECT_EQ(w.tb.counters().pmNtStores, nt_before);
+    tx.commit();
+}
+
+// ------------------------------------------- adversarial crash sweeps
+
+class TxCrashSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TxCrashSweep, MnemosyneCountersNeverTear)
+{
+    // Two counters updated in one transaction must never disagree
+    // after any crash outcome.
+    const std::uint64_t seed = GetParam();
+    TxWorld w;
+    mne::MnemosyneHeap heap(w.ctx, 0, 16 << 20, 1);
+    const Addr obj = heap.pmalloc(w.ctx, 64);
+    const std::uint64_t zero = 0;
+    w.ctx.store(obj, &zero, 8);
+    w.ctx.store(obj + 8, &zero, 8);
+    w.ctx.persist(obj, 16);
+
+    Rng rng(seed);
+    const int txs = 1 + static_cast<int>(rng.next(8));
+    for (int i = 0; i < txs; i++) {
+        mne::Transaction tx(heap, w.ctx);
+        const std::uint64_t v = i + 1;
+        tx.update(obj, &v, 8);
+        tx.update(obj + 8, &v, 8);
+        tx.commit();
+    }
+    w.pool.crash(rng, 0.5);
+    w.ctx.resetPendingState();
+    mne::MnemosyneHeap again(0, 16 << 20, 1);
+    again.recover(w.ctx);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(obj),
+              *w.pool.at<std::uint64_t>(obj + 8));
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(obj),
+              static_cast<std::uint64_t>(txs));
+}
+
+TEST_P(TxCrashSweep, NvmlPairNeverTears)
+{
+    const std::uint64_t seed = GetParam();
+    TxWorld w;
+    nvml::NvmlPool pool(w.ctx, 0, 32 << 20, 1);
+    Addr obj;
+    {
+        nvml::TxContext tx(pool, w.ctx);
+        obj = tx.txAlloc(64);
+        const std::uint64_t zero = 0;
+        tx.directStore(obj, &zero, 8);
+        tx.directStore(obj + 8, &zero, 8);
+        tx.commit();
+    }
+    Rng rng(seed);
+    const int txs = 1 + static_cast<int>(rng.next(8));
+    for (int i = 0; i < txs; i++) {
+        nvml::TxContext tx(pool, w.ctx);
+        auto *a = w.pool.at<std::uint64_t>(obj);
+        auto *b = w.pool.at<std::uint64_t>(obj + 8);
+        tx.set(*a, static_cast<std::uint64_t>(i + 1));
+        tx.set(*b, static_cast<std::uint64_t>(i + 1));
+        tx.commit();
+    }
+    w.pool.crash(rng, 0.5);
+    w.ctx.resetPendingState();
+    nvml::NvmlPool again(0, 32 << 20, 1);
+    again.recover(w.ctx);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(obj),
+              *w.pool.at<std::uint64_t>(obj + 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxCrashSweep,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+} // namespace
+} // namespace whisper
