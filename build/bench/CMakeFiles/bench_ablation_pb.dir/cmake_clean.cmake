@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pb.dir/bench_ablation_pb.cc.o"
+  "CMakeFiles/bench_ablation_pb.dir/bench_ablation_pb.cc.o.d"
+  "bench_ablation_pb"
+  "bench_ablation_pb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_amplification.dir/bench_amplification.cc.o"
+  "CMakeFiles/bench_amplification.dir/bench_amplification.cc.o.d"
+  "bench_amplification"
+  "bench_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_hops.dir/bench_fig10_hops.cc.o"
+  "CMakeFiles/bench_fig10_hops.dir/bench_fig10_hops.cc.o.d"
+  "bench_fig10_hops"
+  "bench_fig10_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_tx_sizes.cc" "bench/CMakeFiles/bench_fig3_tx_sizes.dir/bench_fig3_tx_sizes.cc.o" "gcc" "bench/CMakeFiles/bench_fig3_tx_sizes.dir/bench_fig3_tx_sizes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/whisper_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/whisper_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/whisper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/whisper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmfs/CMakeFiles/whisper_pmfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/txlib/CMakeFiles/whisper_txlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/whisper_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/whisper_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/whisper_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/whisper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

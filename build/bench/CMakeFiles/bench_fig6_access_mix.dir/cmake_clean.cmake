@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_access_mix.dir/bench_fig6_access_mix.cc.o"
+  "CMakeFiles/bench_fig6_access_mix.dir/bench_fig6_access_mix.cc.o.d"
+  "bench_fig6_access_mix"
+  "bench_fig6_access_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_access_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hops_vs_dpo.dir/bench_hops_vs_dpo.cc.o"
+  "CMakeFiles/bench_hops_vs_dpo.dir/bench_hops_vs_dpo.cc.o.d"
+  "bench_hops_vs_dpo"
+  "bench_hops_vs_dpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hops_vs_dpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_hops_vs_dpo.
+# This may be replaced when dependencies are built.

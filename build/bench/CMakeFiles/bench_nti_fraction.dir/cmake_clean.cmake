@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nti_fraction.dir/bench_nti_fraction.cc.o"
+  "CMakeFiles/bench_nti_fraction.dir/bench_nti_fraction.cc.o.d"
+  "bench_nti_fraction"
+  "bench_nti_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nti_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table1_epoch_rates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_analysis.dir/suite_analysis.cpp.o"
+  "CMakeFiles/suite_analysis.dir/suite_analysis.cpp.o.d"
+  "suite_analysis"
+  "suite_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/buddy_alloc.cc" "src/alloc/CMakeFiles/whisper_alloc.dir/buddy_alloc.cc.o" "gcc" "src/alloc/CMakeFiles/whisper_alloc.dir/buddy_alloc.cc.o.d"
+  "/root/repo/src/alloc/nvml_alloc.cc" "src/alloc/CMakeFiles/whisper_alloc.dir/nvml_alloc.cc.o" "gcc" "src/alloc/CMakeFiles/whisper_alloc.dir/nvml_alloc.cc.o.d"
+  "/root/repo/src/alloc/slab_alloc.cc" "src/alloc/CMakeFiles/whisper_alloc.dir/slab_alloc.cc.o" "gcc" "src/alloc/CMakeFiles/whisper_alloc.dir/slab_alloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pm/CMakeFiles/whisper_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/whisper_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/whisper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

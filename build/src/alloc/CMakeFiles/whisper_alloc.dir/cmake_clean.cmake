@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_alloc.dir/buddy_alloc.cc.o"
+  "CMakeFiles/whisper_alloc.dir/buddy_alloc.cc.o.d"
+  "CMakeFiles/whisper_alloc.dir/nvml_alloc.cc.o"
+  "CMakeFiles/whisper_alloc.dir/nvml_alloc.cc.o.d"
+  "CMakeFiles/whisper_alloc.dir/slab_alloc.cc.o"
+  "CMakeFiles/whisper_alloc.dir/slab_alloc.cc.o.d"
+  "libwhisper_alloc.a"
+  "libwhisper_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

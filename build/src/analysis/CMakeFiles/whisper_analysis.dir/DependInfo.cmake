@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/access_mix.cc" "src/analysis/CMakeFiles/whisper_analysis.dir/access_mix.cc.o" "gcc" "src/analysis/CMakeFiles/whisper_analysis.dir/access_mix.cc.o.d"
+  "/root/repo/src/analysis/dependency.cc" "src/analysis/CMakeFiles/whisper_analysis.dir/dependency.cc.o" "gcc" "src/analysis/CMakeFiles/whisper_analysis.dir/dependency.cc.o.d"
+  "/root/repo/src/analysis/epoch.cc" "src/analysis/CMakeFiles/whisper_analysis.dir/epoch.cc.o" "gcc" "src/analysis/CMakeFiles/whisper_analysis.dir/epoch.cc.o.d"
+  "/root/repo/src/analysis/epoch_stats.cc" "src/analysis/CMakeFiles/whisper_analysis.dir/epoch_stats.cc.o" "gcc" "src/analysis/CMakeFiles/whisper_analysis.dir/epoch_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/whisper_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/whisper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

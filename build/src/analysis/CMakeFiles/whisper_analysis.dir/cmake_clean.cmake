@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_analysis.dir/access_mix.cc.o"
+  "CMakeFiles/whisper_analysis.dir/access_mix.cc.o.d"
+  "CMakeFiles/whisper_analysis.dir/dependency.cc.o"
+  "CMakeFiles/whisper_analysis.dir/dependency.cc.o.d"
+  "CMakeFiles/whisper_analysis.dir/epoch.cc.o"
+  "CMakeFiles/whisper_analysis.dir/epoch.cc.o.d"
+  "CMakeFiles/whisper_analysis.dir/epoch_stats.cc.o"
+  "CMakeFiles/whisper_analysis.dir/epoch_stats.cc.o.d"
+  "libwhisper_analysis.a"
+  "libwhisper_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

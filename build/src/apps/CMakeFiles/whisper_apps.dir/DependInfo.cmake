@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/ctree.cc" "src/apps/CMakeFiles/whisper_apps.dir/ctree.cc.o" "gcc" "src/apps/CMakeFiles/whisper_apps.dir/ctree.cc.o.d"
+  "/root/repo/src/apps/echo.cc" "src/apps/CMakeFiles/whisper_apps.dir/echo.cc.o" "gcc" "src/apps/CMakeFiles/whisper_apps.dir/echo.cc.o.d"
+  "/root/repo/src/apps/exim.cc" "src/apps/CMakeFiles/whisper_apps.dir/exim.cc.o" "gcc" "src/apps/CMakeFiles/whisper_apps.dir/exim.cc.o.d"
+  "/root/repo/src/apps/hashmap.cc" "src/apps/CMakeFiles/whisper_apps.dir/hashmap.cc.o" "gcc" "src/apps/CMakeFiles/whisper_apps.dir/hashmap.cc.o.d"
+  "/root/repo/src/apps/memcached.cc" "src/apps/CMakeFiles/whisper_apps.dir/memcached.cc.o" "gcc" "src/apps/CMakeFiles/whisper_apps.dir/memcached.cc.o.d"
+  "/root/repo/src/apps/mysql.cc" "src/apps/CMakeFiles/whisper_apps.dir/mysql.cc.o" "gcc" "src/apps/CMakeFiles/whisper_apps.dir/mysql.cc.o.d"
+  "/root/repo/src/apps/nfs.cc" "src/apps/CMakeFiles/whisper_apps.dir/nfs.cc.o" "gcc" "src/apps/CMakeFiles/whisper_apps.dir/nfs.cc.o.d"
+  "/root/repo/src/apps/nstore.cc" "src/apps/CMakeFiles/whisper_apps.dir/nstore.cc.o" "gcc" "src/apps/CMakeFiles/whisper_apps.dir/nstore.cc.o.d"
+  "/root/repo/src/apps/redis.cc" "src/apps/CMakeFiles/whisper_apps.dir/redis.cc.o" "gcc" "src/apps/CMakeFiles/whisper_apps.dir/redis.cc.o.d"
+  "/root/repo/src/apps/register.cc" "src/apps/CMakeFiles/whisper_apps.dir/register.cc.o" "gcc" "src/apps/CMakeFiles/whisper_apps.dir/register.cc.o.d"
+  "/root/repo/src/apps/vacation.cc" "src/apps/CMakeFiles/whisper_apps.dir/vacation.cc.o" "gcc" "src/apps/CMakeFiles/whisper_apps.dir/vacation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/whisper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txlib/CMakeFiles/whisper_txlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmfs/CMakeFiles/whisper_pmfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/whisper_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/whisper_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/whisper_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/whisper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

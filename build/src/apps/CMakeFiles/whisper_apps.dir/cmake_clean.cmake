@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_apps.dir/ctree.cc.o"
+  "CMakeFiles/whisper_apps.dir/ctree.cc.o.d"
+  "CMakeFiles/whisper_apps.dir/echo.cc.o"
+  "CMakeFiles/whisper_apps.dir/echo.cc.o.d"
+  "CMakeFiles/whisper_apps.dir/exim.cc.o"
+  "CMakeFiles/whisper_apps.dir/exim.cc.o.d"
+  "CMakeFiles/whisper_apps.dir/hashmap.cc.o"
+  "CMakeFiles/whisper_apps.dir/hashmap.cc.o.d"
+  "CMakeFiles/whisper_apps.dir/memcached.cc.o"
+  "CMakeFiles/whisper_apps.dir/memcached.cc.o.d"
+  "CMakeFiles/whisper_apps.dir/mysql.cc.o"
+  "CMakeFiles/whisper_apps.dir/mysql.cc.o.d"
+  "CMakeFiles/whisper_apps.dir/nfs.cc.o"
+  "CMakeFiles/whisper_apps.dir/nfs.cc.o.d"
+  "CMakeFiles/whisper_apps.dir/nstore.cc.o"
+  "CMakeFiles/whisper_apps.dir/nstore.cc.o.d"
+  "CMakeFiles/whisper_apps.dir/redis.cc.o"
+  "CMakeFiles/whisper_apps.dir/redis.cc.o.d"
+  "CMakeFiles/whisper_apps.dir/register.cc.o"
+  "CMakeFiles/whisper_apps.dir/register.cc.o.d"
+  "CMakeFiles/whisper_apps.dir/vacation.cc.o"
+  "CMakeFiles/whisper_apps.dir/vacation.cc.o.d"
+  "libwhisper_apps.a"
+  "libwhisper_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

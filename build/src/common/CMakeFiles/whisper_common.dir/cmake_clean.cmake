@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_common.dir/histogram.cc.o"
+  "CMakeFiles/whisper_common.dir/histogram.cc.o.d"
+  "CMakeFiles/whisper_common.dir/logging.cc.o"
+  "CMakeFiles/whisper_common.dir/logging.cc.o.d"
+  "CMakeFiles/whisper_common.dir/rng.cc.o"
+  "CMakeFiles/whisper_common.dir/rng.cc.o.d"
+  "CMakeFiles/whisper_common.dir/table.cc.o"
+  "CMakeFiles/whisper_common.dir/table.cc.o.d"
+  "libwhisper_common.a"
+  "libwhisper_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

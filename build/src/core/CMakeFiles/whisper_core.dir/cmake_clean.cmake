@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_core.dir/app.cc.o"
+  "CMakeFiles/whisper_core.dir/app.cc.o.d"
+  "CMakeFiles/whisper_core.dir/harness.cc.o"
+  "CMakeFiles/whisper_core.dir/harness.cc.o.d"
+  "CMakeFiles/whisper_core.dir/runtime.cc.o"
+  "CMakeFiles/whisper_core.dir/runtime.cc.o.d"
+  "libwhisper_core.a"
+  "libwhisper_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

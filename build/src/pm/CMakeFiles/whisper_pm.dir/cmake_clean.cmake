@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_pm.dir/pm_context.cc.o"
+  "CMakeFiles/whisper_pm.dir/pm_context.cc.o.d"
+  "CMakeFiles/whisper_pm.dir/pm_pool.cc.o"
+  "CMakeFiles/whisper_pm.dir/pm_pool.cc.o.d"
+  "libwhisper_pm.a"
+  "libwhisper_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmfs/block_tree.cc" "src/pmfs/CMakeFiles/whisper_pmfs.dir/block_tree.cc.o" "gcc" "src/pmfs/CMakeFiles/whisper_pmfs.dir/block_tree.cc.o.d"
+  "/root/repo/src/pmfs/journal.cc" "src/pmfs/CMakeFiles/whisper_pmfs.dir/journal.cc.o" "gcc" "src/pmfs/CMakeFiles/whisper_pmfs.dir/journal.cc.o.d"
+  "/root/repo/src/pmfs/pmfs.cc" "src/pmfs/CMakeFiles/whisper_pmfs.dir/pmfs.cc.o" "gcc" "src/pmfs/CMakeFiles/whisper_pmfs.dir/pmfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txlib/CMakeFiles/whisper_txlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/whisper_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/whisper_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/whisper_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/whisper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

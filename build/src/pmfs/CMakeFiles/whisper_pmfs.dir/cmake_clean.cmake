@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_pmfs.dir/block_tree.cc.o"
+  "CMakeFiles/whisper_pmfs.dir/block_tree.cc.o.d"
+  "CMakeFiles/whisper_pmfs.dir/journal.cc.o"
+  "CMakeFiles/whisper_pmfs.dir/journal.cc.o.d"
+  "CMakeFiles/whisper_pmfs.dir/pmfs.cc.o"
+  "CMakeFiles/whisper_pmfs.dir/pmfs.cc.o.d"
+  "libwhisper_pmfs.a"
+  "libwhisper_pmfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_pmfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/whisper_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/whisper_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/hops_model.cc" "src/sim/CMakeFiles/whisper_sim.dir/hops_model.cc.o" "gcc" "src/sim/CMakeFiles/whisper_sim.dir/hops_model.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/whisper_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/whisper_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/x86_model.cc" "src/sim/CMakeFiles/whisper_sim.dir/x86_model.cc.o" "gcc" "src/sim/CMakeFiles/whisper_sim.dir/x86_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/whisper_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/whisper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

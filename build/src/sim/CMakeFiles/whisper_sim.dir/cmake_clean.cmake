@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_sim.dir/cache.cc.o"
+  "CMakeFiles/whisper_sim.dir/cache.cc.o.d"
+  "CMakeFiles/whisper_sim.dir/hops_model.cc.o"
+  "CMakeFiles/whisper_sim.dir/hops_model.cc.o.d"
+  "CMakeFiles/whisper_sim.dir/simulator.cc.o"
+  "CMakeFiles/whisper_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/whisper_sim.dir/x86_model.cc.o"
+  "CMakeFiles/whisper_sim.dir/x86_model.cc.o.d"
+  "libwhisper_sim.a"
+  "libwhisper_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

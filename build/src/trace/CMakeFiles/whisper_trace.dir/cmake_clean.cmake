@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_trace.dir/event.cc.o"
+  "CMakeFiles/whisper_trace.dir/event.cc.o.d"
+  "CMakeFiles/whisper_trace.dir/trace_buffer.cc.o"
+  "CMakeFiles/whisper_trace.dir/trace_buffer.cc.o.d"
+  "CMakeFiles/whisper_trace.dir/trace_io.cc.o"
+  "CMakeFiles/whisper_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/whisper_trace.dir/trace_set.cc.o"
+  "CMakeFiles/whisper_trace.dir/trace_set.cc.o.d"
+  "libwhisper_trace.a"
+  "libwhisper_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_txlib.dir/gc.cc.o"
+  "CMakeFiles/whisper_txlib.dir/gc.cc.o.d"
+  "CMakeFiles/whisper_txlib.dir/mnemosyne.cc.o"
+  "CMakeFiles/whisper_txlib.dir/mnemosyne.cc.o.d"
+  "CMakeFiles/whisper_txlib.dir/nvml.cc.o"
+  "CMakeFiles/whisper_txlib.dir/nvml.cc.o.d"
+  "libwhisper_txlib.a"
+  "libwhisper_txlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_txlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

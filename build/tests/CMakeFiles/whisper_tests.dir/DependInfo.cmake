@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alloc.cc" "tests/CMakeFiles/whisper_tests.dir/test_alloc.cc.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_alloc.cc.o.d"
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/whisper_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/whisper_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/whisper_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/whisper_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_differential.cc" "tests/CMakeFiles/whisper_tests.dir/test_differential.cc.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_differential.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/whisper_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_pm_pool.cc" "tests/CMakeFiles/whisper_tests.dir/test_pm_pool.cc.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_pm_pool.cc.o.d"
+  "/root/repo/tests/test_pmfs.cc" "tests/CMakeFiles/whisper_tests.dir/test_pmfs.cc.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_pmfs.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/whisper_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/whisper_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/whisper_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_txlib.cc" "tests/CMakeFiles/whisper_tests.dir/test_txlib.cc.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_txlib.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/whisper_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/whisper_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/whisper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/whisper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmfs/CMakeFiles/whisper_pmfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/txlib/CMakeFiles/whisper_txlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/whisper_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/whisper_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/whisper_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/whisper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

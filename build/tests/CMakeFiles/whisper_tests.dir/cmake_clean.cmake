@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_tests.dir/test_alloc.cc.o"
+  "CMakeFiles/whisper_tests.dir/test_alloc.cc.o.d"
+  "CMakeFiles/whisper_tests.dir/test_analysis.cc.o"
+  "CMakeFiles/whisper_tests.dir/test_analysis.cc.o.d"
+  "CMakeFiles/whisper_tests.dir/test_apps.cc.o"
+  "CMakeFiles/whisper_tests.dir/test_apps.cc.o.d"
+  "CMakeFiles/whisper_tests.dir/test_common.cc.o"
+  "CMakeFiles/whisper_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/whisper_tests.dir/test_core.cc.o"
+  "CMakeFiles/whisper_tests.dir/test_core.cc.o.d"
+  "CMakeFiles/whisper_tests.dir/test_differential.cc.o"
+  "CMakeFiles/whisper_tests.dir/test_differential.cc.o.d"
+  "CMakeFiles/whisper_tests.dir/test_extensions.cc.o"
+  "CMakeFiles/whisper_tests.dir/test_extensions.cc.o.d"
+  "CMakeFiles/whisper_tests.dir/test_pm_pool.cc.o"
+  "CMakeFiles/whisper_tests.dir/test_pm_pool.cc.o.d"
+  "CMakeFiles/whisper_tests.dir/test_pmfs.cc.o"
+  "CMakeFiles/whisper_tests.dir/test_pmfs.cc.o.d"
+  "CMakeFiles/whisper_tests.dir/test_sim.cc.o"
+  "CMakeFiles/whisper_tests.dir/test_sim.cc.o.d"
+  "CMakeFiles/whisper_tests.dir/test_stress.cc.o"
+  "CMakeFiles/whisper_tests.dir/test_stress.cc.o.d"
+  "CMakeFiles/whisper_tests.dir/test_trace.cc.o"
+  "CMakeFiles/whisper_tests.dir/test_trace.cc.o.d"
+  "CMakeFiles/whisper_tests.dir/test_txlib.cc.o"
+  "CMakeFiles/whisper_tests.dir/test_txlib.cc.o.d"
+  "whisper_tests"
+  "whisper_tests.pdb"
+  "whisper_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
