@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Throughput of the §5 analysis pipeline: events/second, sequential
+ * vs sharded across cores.
+ *
+ * Records a handful of representative workloads in memory, then runs
+ * the full analysis (epochs, dependencies, access mix) at --jobs 1
+ * and at higher job counts, reporting events/sec and the speedup.
+ * Also asserts that every parallel result is bit-identical to the
+ * sequential one — the pipeline's core guarantee.
+ *
+ * Scale run sizes with WHISPER_OPS; pick job counts with
+ * WHISPER_JOBS (comma list, default "2,4").
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "analysis/pipeline.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+
+using namespace whisper;
+
+namespace
+{
+
+double
+timedAnalysis(const trace::TraceSet &traces, unsigned jobs,
+              analysis::AnalysisResult &out)
+{
+    analysis::AnalysisOptions options;
+    options.jobs = jobs;
+    const auto start = std::chrono::steady_clock::now();
+    out = analysis::analyzeTraces(traces, options);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+bool
+identical(const analysis::AnalysisResult &a,
+          const analysis::AnalysisResult &b)
+{
+    return a.epochs.totalEpochs == b.epochs.totalEpochs &&
+           a.epochs.totalTransactions == b.epochs.totalTransactions &&
+           a.epochs.epochsPerSecond == b.epochs.epochsPerSecond &&
+           a.epochs.singletonFraction == b.epochs.singletonFraction &&
+           a.epochs.epochSizes.values() ==
+               b.epochs.epochSizes.values() &&
+           a.epochs.epochsPerTx.values() ==
+               b.epochs.epochsPerTx.values() &&
+           a.dependencies.selfDependent ==
+               b.dependencies.selfDependent &&
+           a.dependencies.crossDependent ==
+               b.dependencies.crossDependent &&
+           a.mix.pmAccesses == b.mix.pmAccesses &&
+           a.mix.dramAccesses == b.mix.dramAccesses &&
+           a.nti.ntBytes == b.nti.ntBytes &&
+           a.amplification.userBytes == b.amplification.userBytes &&
+           a.amplification.metaBytes() == b.amplification.metaBytes();
+}
+
+std::vector<unsigned>
+jobList()
+{
+    std::vector<unsigned> jobs;
+    const char *env = std::getenv("WHISPER_JOBS");
+    std::string spec = env ? env : "2,4";
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string tok =
+            spec.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        if (!tok.empty())
+            jobs.push_back(
+                static_cast<unsigned>(std::atoi(tok.c_str())));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (jobs.empty())
+        jobs.push_back(2);
+    return jobs;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Epoch- and dependency-heavy representatives of each layer.
+    const std::vector<std::string> apps = {"hashmap", "ycsb",
+                                           "tpcc", "redis"};
+    const std::vector<unsigned> jobs = jobList();
+
+    core::AppConfig config = bench::analysisConfig();
+    config.opsPerThread *= 4; // analysis, not recording, is timed
+
+    TextTable table("analysis throughput (events/sec), sequential "
+                    "vs sharded");
+    std::vector<std::string> header = {"app", "events", "seq Mev/s"};
+    for (const unsigned j : jobs)
+        header.push_back("jobs=" + std::to_string(j) + " Mev/s");
+    header.push_back("best speedup");
+    header.push_back("identical");
+    table.header(header);
+
+    for (const auto &app : apps) {
+        core::RunResult run = bench::runForAnalysis(app, config);
+        const trace::TraceSet &traces = run.runtime->traces();
+        const double events =
+            static_cast<double>(traces.totalEvents());
+
+        analysis::AnalysisResult seq;
+        const double seqSecs = timedAnalysis(traces, 1, seq);
+
+        std::vector<std::string> row = {
+            app, TextTable::num(traces.totalEvents()),
+            TextTable::fixed(events / seqSecs / 1e6, 2)};
+        double best = 1.0;
+        bool allIdentical = true;
+        for (const unsigned j : jobs) {
+            analysis::AnalysisResult par;
+            const double parSecs = timedAnalysis(traces, j, par);
+            row.push_back(
+                TextTable::fixed(events / parSecs / 1e6, 2));
+            best = std::max(best, seqSecs / parSecs);
+            allIdentical = allIdentical && identical(seq, par);
+        }
+        row.push_back(TextTable::fixed(best, 2) + "x");
+        row.push_back(allIdentical ? "yes" : "NO");
+        table.row(row);
+        if (!allIdentical) {
+            std::fprintf(stderr,
+                         "FATAL: %s parallel result diverged\n",
+                         app.c_str());
+            return 1;
+        }
+    }
+    table.print();
+    std::printf("\nworkers available: %u\n",
+                ThreadPool::defaultWorkers());
+    return 0;
+}

@@ -1,18 +1,20 @@
 /**
  * @file
  * Run any WHISPER application and print its full behavioural profile:
- * the per-application slice of every analysis in the paper's §5.
+ * the per-application slice of every analysis in the paper's §5,
+ * computed by the parallel analysis pipeline.
  *
  * Usage:  ./examples/suite_analysis [app] [ops_per_thread] [threads]
- *         app defaults to "hashmap"; list with "--list".
+ *                                   [jobs]
+ *         app defaults to "hashmap"; list with "--list"; jobs is the
+ *         analysis worker count (default 1; 0 = all cores) and does
+ *         not change the printed numbers, only how fast they arrive.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
-#include "analysis/access_mix.hh"
-#include "analysis/dependency.hh"
-#include "analysis/epoch_stats.hh"
 #include "common/table.hh"
 #include "core/harness.hh"
 
@@ -32,6 +34,8 @@ main(int argc, char **argv)
     config.opsPerThread = argc > 2 ? std::atoll(argv[2]) : 400;
     config.poolBytes = 256 << 20;
     const std::string app = argc > 1 ? argv[1] : "hashmap";
+    const unsigned jobs =
+        argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 1;
 
     std::printf("running %s: %u threads x %llu ops...\n", app.c_str(),
                 config.threads,
@@ -42,13 +46,9 @@ main(int argc, char **argv)
         return 1;
     }
 
-    const trace::TraceSet &traces = result.runtime->traces();
-    analysis::EpochBuilder builder(traces);
-    const auto summary = analysis::summarizeEpochs(builder, traces);
-    const auto deps = analysis::analyzeDependencies(builder);
-    const auto mix = analysis::computeAccessMix(traces);
-    const auto nti = analysis::computeNtiUsage(traces);
-    const auto amp = analysis::computeAmplification(traces);
+    const analysis::AnalysisResult profile =
+        core::analyzeRun(result, jobs);
+    const analysis::EpochSummary &summary = profile.epochs;
 
     TextTable table("behavioural profile: " + app + " (" +
                     core::accessLayerName(result.layer) + ")");
@@ -66,15 +66,18 @@ main(int argc, char **argv)
     table.row({"singletons < 10 B",
                TextTable::percent(summary.singletonUnder10B, 1)});
     table.row({"self-dependent epochs",
-               TextTable::percent(deps.selfFraction(), 2)});
+               TextTable::percent(
+                   profile.dependencies.selfFraction(), 2)});
     table.row({"cross-dependent epochs",
-               TextTable::percent(deps.crossFraction(), 3)});
+               TextTable::percent(
+                   profile.dependencies.crossFraction(), 3)});
     table.row({"PM share of accesses",
-               TextTable::percent(mix.pmFraction(), 2)});
+               TextTable::percent(profile.mix.pmFraction(), 2)});
     table.row({"NTI share of PM writes",
-               TextTable::percent(nti.ntiFraction(), 1)});
+               TextTable::percent(profile.nti.ntiFraction(), 1)});
     table.row({"write amplification",
-               TextTable::fixed(amp.ratio(), 2) + "x"});
+               TextTable::fixed(profile.amplification.ratio(), 2) +
+                   "x"});
     table.print();
 
     const auto buckets = BucketedDistribution::epochSizeBuckets();

@@ -8,20 +8,20 @@
  * (§6).
  *
  *   whisper_cli record  <app> <trace.bin> [ops] [threads]
- *   whisper_cli analyze <trace.bin>
+ *   whisper_cli analyze <trace.bin> [--jobs N]
  *   whisper_cli simulate <trace.bin> [model...]
  *   whisper_cli list
  *
  * Models: x86-nvm x86-pwq hops-nvm hops-pwq dpo ideal (default: all).
+ * All subcommands are documented in docs/CLI.md.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 
-#include "analysis/access_mix.hh"
-#include "analysis/dependency.hh"
-#include "analysis/epoch_stats.hh"
+#include "analysis/pipeline.hh"
 #include "common/table.hh"
 #include "core/harness.hh"
 #include "sim/simulator.hh"
@@ -38,7 +38,7 @@ usage()
     std::fputs(
         "usage:\n"
         "  whisper_cli record  <app> <trace.bin> [ops] [threads]\n"
-        "  whisper_cli analyze <trace.bin>\n"
+        "  whisper_cli analyze <trace.bin> [--jobs N]\n"
         "  whisper_cli simulate <trace.bin> [model...]\n"
         "  whisper_cli list\n"
         "models: x86-nvm x86-pwq hops-nvm hops-pwq dpo ideal\n",
@@ -79,39 +79,59 @@ cmdAnalyze(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
-    trace::TraceSet traces;
-    if (!trace::readTraceFile(argv[2], traces)) {
+    analysis::AnalysisOptions options;
+    const char *path = nullptr;
+    for (int i = 2; i < argc; i++) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            char *end = nullptr;
+            unsigned long jobs = std::strtoul(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr, "bad --jobs value: %s\n", argv[i]);
+                return usage();
+            }
+            options.jobs = static_cast<unsigned>(jobs);
+        } else if (!path) {
+            path = argv[i];
+        } else {
+            return usage();
+        }
+    }
+    if (!path)
+        return usage();
+
+    // Streams the file's per-thread sections across --jobs workers;
+    // the printed table is byte-identical at any job count.
+    analysis::AnalysisResult result;
+    if (!analysis::analyzeTraceFile(path, result, options)) {
         std::fputs("trace read failed\n", stderr);
         return 1;
     }
-    analysis::EpochBuilder builder(traces);
-    const auto summary = analysis::summarizeEpochs(builder, traces);
-    const auto deps = analysis::analyzeDependencies(builder);
-    const auto mix = analysis::computeAccessMix(traces);
-    const auto nti = analysis::computeNtiUsage(traces);
-    const auto amp = analysis::computeAmplification(traces);
 
-    TextTable table(std::string("analysis of ") + argv[2]);
+    TextTable table(std::string("analysis of ") + path);
     table.header({"metric", "value"});
-    table.row({"threads", TextTable::num(traces.threadCount())});
-    table.row({"events", TextTable::num(traces.totalEvents())});
-    table.row({"epochs", TextTable::num(summary.totalEpochs)});
+    table.row({"threads", TextTable::num(result.threadCount)});
+    table.row({"events", TextTable::num(result.totalEvents)});
+    table.row({"epochs", TextTable::num(result.epochs.totalEpochs)});
     table.row({"transactions",
-               TextTable::num(summary.totalTransactions)});
+               TextTable::num(result.epochs.totalTransactions)});
     table.row({"epochs/tx (median)",
-               TextTable::num(summary.epochsPerTx.median())});
+               TextTable::num(result.epochs.epochsPerTx.median())});
     table.row({"singleton epochs",
-               TextTable::percent(summary.singletonFraction, 1)});
+               TextTable::percent(result.epochs.singletonFraction,
+                                  1)});
     table.row({"self-dependent",
-               TextTable::percent(deps.selfFraction(), 2)});
+               TextTable::percent(result.dependencies.selfFraction(),
+                                  2)});
     table.row({"cross-dependent",
-               TextTable::percent(deps.crossFraction(), 3)});
+               TextTable::percent(
+                   result.dependencies.crossFraction(), 3)});
     table.row({"PM access share",
-               TextTable::percent(mix.pmFraction(), 2)});
+               TextTable::percent(result.mix.pmFraction(), 2)});
     table.row({"NTI write share",
-               TextTable::percent(nti.ntiFraction(), 1)});
+               TextTable::percent(result.nti.ntiFraction(), 1)});
     table.row({"write amplification",
-               TextTable::fixed(amp.ratio(), 2) + "x"});
+               TextTable::fixed(result.amplification.ratio(), 2) +
+                   "x"});
     table.print();
     return 0;
 }

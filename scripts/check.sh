@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus documentation checks, in one command.
+#
+#   scripts/check.sh            # build + ctest + docs checks
+#   scripts/check.sh --docs-only
+#
+# Docs checks: (1) doxygen builds warning-clean over src/ and
+# examples/ (skipped with a notice when doxygen is not installed),
+# and (2) every relative markdown link in the repo's *.md files
+# resolves to an existing file.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+failures=0
+
+docs_only=0
+if [[ "${1:-}" == "--docs-only" ]]; then
+    docs_only=1
+fi
+
+# ---------------------------------------------------------------
+# Tier-1: configure, build, run the test suite.
+# ---------------------------------------------------------------
+if [[ "$docs_only" == 0 ]]; then
+    echo "== tier-1: build + tests =="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --
+    (cd build && ctest --output-on-failure -j "$(nproc)")
+fi
+
+# ---------------------------------------------------------------
+# Docs check 1: doxygen must run warning-clean.
+# ---------------------------------------------------------------
+echo "== docs: doxygen =="
+if command -v doxygen >/dev/null 2>&1; then
+    rm -f doxygen_warnings.log
+    doxygen Doxyfile
+    if [[ -s doxygen_warnings.log ]]; then
+        echo "FAIL: doxygen produced warnings:"
+        cat doxygen_warnings.log
+        failures=$((failures + 1))
+    else
+        echo "ok: doxygen build warning-clean"
+    fi
+else
+    echo "skip: doxygen not installed"
+fi
+
+# ---------------------------------------------------------------
+# Docs check 2: no dead relative links in the markdown files.
+# Matches [text](target) where target is not an URL or anchor, and
+# verifies the target (sans #fragment) exists relative to the file.
+# ---------------------------------------------------------------
+echo "== docs: markdown links =="
+dead=0
+while IFS= read -r md; do
+    dir=$(dirname "$md")
+    while IFS= read -r target; do
+        [[ -z "$target" ]] && continue
+        path="${target%%#*}"
+        [[ -z "$path" ]] && continue # pure #anchor
+        if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+            echo "FAIL: dead link in $md -> $target"
+            dead=$((dead + 1))
+        fi
+    done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$md" |
+             sed -E 's/^\[[^]]*\]\(([^)]+)\)$/\1/' |
+             grep -vE '^(https?|mailto):' || true)
+done < <(find . -name '*.md' -not -path './build*' -not -path './docs/html/*')
+
+if [[ "$dead" == 0 ]]; then
+    echo "ok: all relative markdown links resolve"
+else
+    failures=$((failures + 1))
+fi
+
+if [[ "$failures" != 0 ]]; then
+    echo "check.sh: FAILED ($failures check(s))"
+    exit 1
+fi
+echo "check.sh: all checks passed"

@@ -6,9 +6,8 @@ namespace whisper::analysis
 using trace::DataClass;
 
 AccessMix
-computeAccessMix(const trace::TraceSet &traces)
+computeAccessMix(const trace::AccessCounters &total)
 {
-    const trace::AccessCounters total = traces.totalCounters();
     AccessMix out;
     out.pmAccesses = total.pmAccesses();
     out.dramAccesses = total.dramAccesses();
@@ -16,9 +15,8 @@ computeAccessMix(const trace::TraceSet &traces)
 }
 
 NtiUsage
-computeNtiUsage(const trace::TraceSet &traces)
+computeNtiUsage(const trace::AccessCounters &total)
 {
-    const trace::AccessCounters total = traces.totalCounters();
     NtiUsage out;
     out.cacheableStores = total.pmStores;
     out.ntStores = total.pmNtStores;
@@ -28,9 +26,8 @@ computeNtiUsage(const trace::TraceSet &traces)
 }
 
 Amplification
-computeAmplification(const trace::TraceSet &traces)
+computeAmplification(const trace::AccessCounters &total)
 {
-    const trace::AccessCounters total = traces.totalCounters();
     Amplification out;
     out.userBytes =
         total.pmBytesByClass[static_cast<int>(DataClass::User)];
@@ -43,6 +40,24 @@ computeAmplification(const trace::TraceSet &traces)
     out.fsMetaBytes =
         total.pmBytesByClass[static_cast<int>(DataClass::FsMeta)];
     return out;
+}
+
+AccessMix
+computeAccessMix(const trace::TraceSet &traces)
+{
+    return computeAccessMix(traces.totalCounters());
+}
+
+NtiUsage
+computeNtiUsage(const trace::TraceSet &traces)
+{
+    return computeNtiUsage(traces.totalCounters());
+}
+
+Amplification
+computeAmplification(const trace::TraceSet &traces)
+{
+    return computeAmplification(traces.totalCounters());
 }
 
 } // namespace whisper::analysis

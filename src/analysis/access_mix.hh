@@ -94,6 +94,16 @@ AccessMix computeAccessMix(const trace::TraceSet &traces);
 NtiUsage computeNtiUsage(const trace::TraceSet &traces);
 Amplification computeAmplification(const trace::TraceSet &traces);
 
+/**
+ * Counter-based forms used by the streaming pipeline: per-shard
+ * AccessCounters (built with AccessCounters::add while events stream
+ * by) merge associatively, and these overloads turn the merged total
+ * into the same figures as the TraceSet overloads.
+ */
+AccessMix computeAccessMix(const trace::AccessCounters &total);
+NtiUsage computeNtiUsage(const trace::AccessCounters &total);
+Amplification computeAmplification(const trace::AccessCounters &total);
+
 } // namespace whisper::analysis
 
 #endif // WHISPER_ANALYSIS_ACCESS_MIX_HH

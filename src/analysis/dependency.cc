@@ -1,32 +1,39 @@
 #include "analysis/dependency.hh"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace whisper::analysis
 {
 
-DependencySummary
-analyzeDependencies(const EpochBuilder &builder, Tick window)
+void
+DependencyShard::scan(const std::vector<Epoch> &epochs, Tick window,
+                      std::size_t shardIndex, std::size_t shardCount)
 {
-    DependencySummary out;
+    selfFlags_.assign(epochs.size(), 0);
+    crossFlags_.assign(epochs.size(), 0);
+    if (shardCount == 0)
+        shardCount = 1;
 
-    // Last write time of each line, per thread. Thread ids are dense
-    // and small in this suite; a flat array per line keeps the scan
-    // cache-friendly.
+    // Last write time of each owned line, per thread. Thread ids are
+    // dense and small in this suite; a flat array per line keeps the
+    // scan cache-friendly.
     ThreadId max_tid = 0;
-    for (const Epoch &ep : builder.epochs())
+    for (const Epoch &ep : epochs)
         max_tid = std::max(max_tid, ep.tid);
     const std::size_t nthreads = static_cast<std::size_t>(max_tid) + 1;
 
     std::unordered_map<LineAddr, std::vector<Tick>> last_write;
     last_write.reserve(1 << 16);
 
-    for (const Epoch &ep : builder.epochs()) {
-        out.totalEpochs++;
+    for (std::size_t i = 0; i < epochs.size(); i++) {
+        const Epoch &ep = epochs[i];
         bool self_dep = false;
         bool cross_dep = false;
         const Tick horizon = ep.endTs > window ? ep.endTs - window : 0;
         for (const LineAddr line : ep.lines) {
+            if (line % shardCount != shardIndex)
+                continue;
             auto it = last_write.find(line);
             if (it != last_write.end()) {
                 const auto &times = it->second;
@@ -45,15 +52,49 @@ analyzeDependencies(const EpochBuilder &builder, Tick window)
         // Update after classification so an epoch does not depend on
         // itself.
         for (const LineAddr line : ep.lines) {
+            if (line % shardCount != shardIndex)
+                continue;
             auto &times = last_write[line];
             if (times.empty())
                 times.assign(nthreads, 0);
             times[ep.tid] = ep.endTs;
         }
-        out.selfDependent += self_dep;
-        out.crossDependent += cross_dep;
+        selfFlags_[i] = self_dep;
+        crossFlags_[i] = cross_dep;
+    }
+}
+
+void
+DependencyShard::merge(const DependencyShard &other)
+{
+    if (selfFlags_.size() < other.selfFlags_.size()) {
+        selfFlags_.resize(other.selfFlags_.size(), 0);
+        crossFlags_.resize(other.crossFlags_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.selfFlags_.size(); i++) {
+        selfFlags_[i] |= other.selfFlags_[i];
+        crossFlags_[i] |= other.crossFlags_[i];
+    }
+}
+
+DependencySummary
+DependencyShard::summarize() const
+{
+    DependencySummary out;
+    out.totalEpochs = selfFlags_.size();
+    for (std::size_t i = 0; i < selfFlags_.size(); i++) {
+        out.selfDependent += selfFlags_[i] != 0;
+        out.crossDependent += crossFlags_[i] != 0;
     }
     return out;
+}
+
+DependencySummary
+analyzeDependencies(const EpochBuilder &builder, Tick window)
+{
+    DependencyShard shard;
+    shard.scan(builder.epochs(), window, 0, 1);
+    return shard.summarize();
 }
 
 } // namespace whisper::analysis

@@ -12,6 +12,14 @@
  * counted only when the earlier epoch ended within a 50 us window of
  * the later epoch (the paper's bound on how long a flushed line can
  * stay buffered before becoming persistent).
+ *
+ * The scan parallelizes by sharding the *line address space*, not the
+ * epoch list: whether epoch E depends on an earlier epoch through
+ * line c involves only the write history of c, so a shard that owns a
+ * subset of lines computes exact per-epoch dependency flags for its
+ * lines, and OR-merging the shards' flags reproduces the sequential
+ * classification bit for bit — including exact cross-thread counts —
+ * at any shard count.
  */
 
 #ifndef WHISPER_ANALYSIS_DEPENDENCY_HH
@@ -46,6 +54,46 @@ struct DependencySummary
                          static_cast<double>(totalEpochs)
                    : 0.0;
     }
+};
+
+/**
+ * Per-epoch dependency flags for one shard of the line space.
+ *
+ * scan() walks the globally ordered epoch list once, but classifies
+ * and records write history only for lines owned by this shard
+ * (line % shardCount == shardIndex). merge() ORs another shard's
+ * flags in; summarize() counts flagged epochs. One shard covering
+ * the whole line space is exactly the sequential algorithm.
+ */
+class DependencyShard
+{
+  public:
+    /**
+     * Classify @p epochs (globally ordered by end timestamp, as
+     * EpochBuilder produces) against the lines owned by shard
+     * @p shardIndex of @p shardCount, within @p window ticks.
+     */
+    void scan(const std::vector<Epoch> &epochs, Tick window,
+              std::size_t shardIndex, std::size_t shardCount);
+
+    /** OR @p other's per-epoch flags into this shard's. */
+    void merge(const DependencyShard &other);
+
+    /** Count flagged epochs. */
+    DependencySummary summarize() const;
+
+    const std::vector<std::uint8_t> &selfFlags() const
+    {
+        return selfFlags_;
+    }
+    const std::vector<std::uint8_t> &crossFlags() const
+    {
+        return crossFlags_;
+    }
+
+  private:
+    std::vector<std::uint8_t> selfFlags_;
+    std::vector<std::uint8_t> crossFlags_;
 };
 
 /**

@@ -1,8 +1,8 @@
 #include "analysis/epoch.hh"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <iterator>
+#include <utility>
 
 namespace whisper::analysis
 {
@@ -11,10 +11,108 @@ using trace::DataClass;
 using trace::EventKind;
 using trace::TraceEvent;
 
+ThreadEpochAccumulator::ThreadEpochAccumulator(ThreadId tid)
+    : tid_(tid)
+{
+}
+
+TxInfo &
+ThreadEpochAccumulator::txInfo(TxId tx)
+{
+    auto it = txIndex_.find(tx);
+    if (it == txIndex_.end()) {
+        it = txIndex_.emplace(tx, txs_.size()).first;
+        txs_.push_back({tx, tid_, 0, 0, 0, false});
+    }
+    return txs_[it->second];
+}
+
+void
+ThreadEpochAccumulator::add(const TraceEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::PmStore:
+      case EventKind::PmNtStore: {
+        if (!open_) {
+            cur_ = Epoch{};
+            cur_.tid = tid_;
+            cur_.index = nextIndex_;
+            cur_.startTs = ev.ts;
+            cur_.tx = curTx_;
+            curLines_.clear();
+            open_ = true;
+        }
+        const LineAddr first = lineOf(ev.addr);
+        const LineAddr last =
+            lineOf(ev.addr + (ev.size ? ev.size - 1 : 0));
+        for (LineAddr line = first; line <= last; line++)
+            curLines_.insert(line);
+        cur_.storeCount++;
+        cur_.storeBytes += ev.size;
+        if (ev.kind == EventKind::PmNtStore)
+            cur_.ntStoreCount++;
+        if (curTx_ != 0) {
+            TxInfo &info = txInfo(curTx_);
+            if (ev.cls == DataClass::User)
+                info.userBytes += ev.size;
+            else
+                info.metaBytes += ev.size;
+        }
+        break;
+      }
+      case EventKind::Fence:
+        if (open_) {
+            cur_.endTs = ev.ts;
+            cur_.endKind = ev.fenceKind();
+            cur_.lines.assign(curLines_.begin(), curLines_.end());
+            std::sort(cur_.lines.begin(), cur_.lines.end());
+            if (cur_.tx != 0)
+                txInfo(cur_.tx).epochs++;
+            epochs_.push_back(std::move(cur_));
+            nextIndex_++;
+            open_ = false;
+        }
+        break;
+      case EventKind::TxBegin:
+        curTx_ = ev.addr;
+        txInfo(curTx_);
+        break;
+      case EventKind::TxEnd:
+        curTx_ = 0;
+        break;
+      case EventKind::TxAbort:
+        txInfo(ev.addr).aborted = true;
+        curTx_ = 0;
+        break;
+      default:
+        break;
+    }
+}
+
 EpochBuilder::EpochBuilder(const trace::TraceSet &traces)
 {
-    for (const auto &buf : traces.buffers())
-        buildThread(*buf);
+    for (const auto &buf : traces.buffers()) {
+        ThreadEpochAccumulator acc(buf->tid());
+        acc.addChunk(buf->events().data(), buf->events().size());
+        std::move(acc.epochs().begin(), acc.epochs().end(),
+                  std::back_inserter(epochs_));
+        std::move(acc.transactions().begin(),
+                  acc.transactions().end(),
+                  std::back_inserter(txs_));
+    }
+    sortEpochs();
+}
+
+EpochBuilder::EpochBuilder(std::vector<Epoch> epochs,
+                           std::vector<TxInfo> txs)
+    : epochs_(std::move(epochs)), txs_(std::move(txs))
+{
+    sortEpochs();
+}
+
+void
+EpochBuilder::sortEpochs()
+{
     // Keep a deterministic global order: by end timestamp, then tid.
     std::stable_sort(epochs_.begin(), epochs_.end(),
                      [](const Epoch &a, const Epoch &b) {
@@ -22,90 +120,6 @@ EpochBuilder::EpochBuilder(const trace::TraceSet &traces)
                              return a.endTs < b.endTs;
                          return a.tid < b.tid;
                      });
-}
-
-void
-EpochBuilder::buildThread(const trace::TraceBuffer &buf)
-{
-    const ThreadId tid = buf.tid();
-    std::uint64_t next_index = 0;
-
-    Epoch cur;
-    std::unordered_set<LineAddr> cur_lines;
-    bool open = false;
-    TxId cur_tx = 0;
-    std::unordered_map<TxId, std::size_t> tx_index;
-
-    auto tx_info = [&](TxId tx) -> TxInfo & {
-        auto it = tx_index.find(tx);
-        if (it == tx_index.end()) {
-            it = tx_index.emplace(tx, txs_.size()).first;
-            txs_.push_back({tx, tid, 0, 0, 0, false});
-        }
-        return txs_[it->second];
-    };
-
-    for (const TraceEvent &ev : buf.events()) {
-        switch (ev.kind) {
-          case EventKind::PmStore:
-          case EventKind::PmNtStore: {
-            if (!open) {
-                cur = Epoch{};
-                cur.tid = tid;
-                cur.index = next_index;
-                cur.startTs = ev.ts;
-                cur.tx = cur_tx;
-                cur_lines.clear();
-                open = true;
-            }
-            const LineAddr first = lineOf(ev.addr);
-            const LineAddr last =
-                lineOf(ev.addr + (ev.size ? ev.size - 1 : 0));
-            for (LineAddr line = first; line <= last; line++)
-                cur_lines.insert(line);
-            cur.storeCount++;
-            cur.storeBytes += ev.size;
-            if (ev.kind == EventKind::PmNtStore)
-                cur.ntStoreCount++;
-            if (cur_tx != 0) {
-                TxInfo &info = tx_info(cur_tx);
-                if (ev.cls == DataClass::User)
-                    info.userBytes += ev.size;
-                else
-                    info.metaBytes += ev.size;
-            }
-            break;
-          }
-          case EventKind::Fence:
-            if (open) {
-                cur.endTs = ev.ts;
-                cur.endKind = ev.fenceKind();
-                cur.lines.assign(cur_lines.begin(), cur_lines.end());
-                std::sort(cur.lines.begin(), cur.lines.end());
-                if (cur.tx != 0)
-                    tx_info(cur.tx).epochs++;
-                epochs_.push_back(std::move(cur));
-                next_index++;
-                open = false;
-            }
-            break;
-          case EventKind::TxBegin:
-            cur_tx = ev.addr;
-            tx_info(cur_tx);
-            break;
-          case EventKind::TxEnd:
-            cur_tx = 0;
-            break;
-          case EventKind::TxAbort:
-            tx_info(ev.addr).aborted = true;
-            cur_tx = 0;
-            break;
-          default:
-            break;
-        }
-    }
-    // A trailing open epoch (stores never fenced) is not counted: it
-    // was never ordered, matching the paper's definition.
 }
 
 std::vector<const Epoch *>

@@ -7,11 +7,20 @@
  * are ignored, exactly as in the paper's §5.1 methodology. Epochs are
  * attributed to the durable transaction that was open when the
  * epoch's first store executed.
+ *
+ * Reconstruction is a per-thread streaming computation:
+ * ThreadEpochAccumulator consumes one thread's events in program
+ * order — from an in-memory TraceBuffer or chunk-by-chunk from a
+ * trace file — and different threads' accumulators are independent,
+ * which is what lets the parallel pipeline (pipeline.hh) fan them out
+ * across cores and still join into the exact sequential result.
  */
 
 #ifndef WHISPER_ANALYSIS_EPOCH_HH
 #define WHISPER_ANALYSIS_EPOCH_HH
 
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "trace/trace_set.hh"
@@ -52,13 +61,74 @@ struct TxInfo
 };
 
 /**
- * Rebuilds epochs and transaction footprints from a TraceSet.
+ * Streaming epoch reconstruction for ONE thread.
+ *
+ * Feed the thread's events in program order via add()/addChunk();
+ * epochs() and transactions() are valid once the stream ends (a
+ * trailing open epoch — stores never fenced — is not counted, it was
+ * never ordered). The result is a pure function of the event
+ * sequence, so accumulators for different threads can run on
+ * different cores.
+ */
+class ThreadEpochAccumulator
+{
+  public:
+    explicit ThreadEpochAccumulator(ThreadId tid);
+
+    /** Consume the next event of this thread, in program order. */
+    void add(const trace::TraceEvent &ev);
+
+    /** Consume a contiguous chunk of events, in program order. */
+    void
+    addChunk(const trace::TraceEvent *events, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; i++)
+            add(events[i]);
+    }
+
+    ThreadId tid() const { return tid_; }
+
+    /** Closed epochs so far, in per-thread program order. */
+    std::vector<Epoch> &epochs() { return epochs_; }
+    const std::vector<Epoch> &epochs() const { return epochs_; }
+
+    /** Transactions seen so far, in first-touch order. */
+    std::vector<TxInfo> &transactions() { return txs_; }
+    const std::vector<TxInfo> &transactions() const { return txs_; }
+
+  private:
+    TxInfo &txInfo(TxId tx);
+
+    ThreadId tid_;
+    std::uint64_t nextIndex_ = 0;
+    Epoch cur_;
+    std::unordered_set<LineAddr> curLines_;
+    bool open_ = false;
+    TxId curTx_ = 0;
+    std::unordered_map<TxId, std::size_t> txIndex_;
+    std::vector<Epoch> epochs_;
+    std::vector<TxInfo> txs_;
+};
+
+/**
+ * Rebuilds epochs and transaction footprints from a TraceSet, or
+ * assembles them from per-thread accumulator results. Either way the
+ * final epoch list is globally ordered by end timestamp (ties broken
+ * by tid), which the dependency analysis relies on.
  */
 class EpochBuilder
 {
   public:
     /** Reconstruct all threads' epochs (per-thread program order). */
     explicit EpochBuilder(const trace::TraceSet &traces);
+
+    /**
+     * Assemble from already-reconstructed per-thread results,
+     * concatenated in recording order. Produces a state bit-identical
+     * to the TraceSet constructor when the inputs come from
+     * ThreadEpochAccumulators fed the same per-thread streams.
+     */
+    EpochBuilder(std::vector<Epoch> epochs, std::vector<TxInfo> txs);
 
     const std::vector<Epoch> &epochs() const { return epochs_; }
     const std::vector<TxInfo> &transactions() const { return txs_; }
@@ -69,7 +139,7 @@ class EpochBuilder
     std::uint64_t epochCount() const { return epochs_.size(); }
 
   private:
-    void buildThread(const trace::TraceBuffer &buf);
+    void sortEpochs();
 
     std::vector<Epoch> epochs_;
     std::vector<TxInfo> txs_;

@@ -3,52 +3,84 @@
 namespace whisper::analysis
 {
 
+void
+EpochStatsAccumulator::addEpoch(const Epoch &ep)
+{
+    totalEpochs_++;
+    epochSizes_.add(ep.size());
+    if (ep.isSingleton()) {
+        singletons_++;
+        singletonBytes_.add(ep.storeBytes);
+        if (ep.storeBytes < 10)
+            singletonSmall_++;
+    }
+    if (ep.endKind == trace::FenceKind::Durability)
+        durabilityFences_++;
+}
+
+void
+EpochStatsAccumulator::addTransaction(const TxInfo &tx)
+{
+    if (tx.epochs == 0)
+        return;
+    totalTransactions_++;
+    epochsPerTx_.add(tx.epochs);
+}
+
+void
+EpochStatsAccumulator::merge(const EpochStatsAccumulator &other)
+{
+    totalEpochs_ += other.totalEpochs_;
+    totalTransactions_ += other.totalTransactions_;
+    singletons_ += other.singletons_;
+    singletonSmall_ += other.singletonSmall_;
+    durabilityFences_ += other.durabilityFences_;
+    epochSizes_.merge(other.epochSizes_);
+    epochsPerTx_.merge(other.epochsPerTx_);
+    singletonBytes_.merge(other.singletonBytes_);
+}
+
 EpochSummary
-summarizeEpochs(const EpochBuilder &builder,
-                const trace::TraceSet &traces)
+EpochStatsAccumulator::finalize(Tick firstTick, Tick lastTick) const
 {
     EpochSummary out;
-    std::uint64_t singletons = 0;
-    std::uint64_t singleton_small = 0;
-    std::uint64_t durability = 0;
+    out.totalEpochs = totalEpochs_;
+    out.totalTransactions = totalTransactions_;
+    out.epochSizes = epochSizes_;
+    out.epochsPerTx = epochsPerTx_;
+    out.singletonBytes = singletonBytes_;
 
-    for (const Epoch &ep : builder.epochs()) {
-        out.totalEpochs++;
-        out.epochSizes.add(ep.size());
-        if (ep.isSingleton()) {
-            singletons++;
-            out.singletonBytes.add(ep.storeBytes);
-            if (ep.storeBytes < 10)
-                singleton_small++;
-        }
-        if (ep.endKind == trace::FenceKind::Durability)
-            durability++;
-    }
-    for (const TxInfo &tx : builder.transactions()) {
-        if (tx.epochs == 0)
-            continue;
-        out.totalTransactions++;
-        out.epochsPerTx.add(tx.epochs);
-    }
-
-    const Tick span = traces.lastTick() - traces.firstTick();
+    const Tick span = lastTick - firstTick;
     if (span > 0) {
         out.epochsPerSecond = static_cast<double>(out.totalEpochs) /
                               (static_cast<double>(span) * 1e-9);
     }
     if (out.totalEpochs > 0) {
         out.singletonFraction =
-            static_cast<double>(singletons) /
+            static_cast<double>(singletons_) /
             static_cast<double>(out.totalEpochs);
         out.durabilityFenceFraction =
-            static_cast<double>(durability) /
+            static_cast<double>(durabilityFences_) /
             static_cast<double>(out.totalEpochs);
     }
-    if (singletons > 0) {
-        out.singletonUnder10B = static_cast<double>(singleton_small) /
-                                static_cast<double>(singletons);
+    if (singletons_ > 0) {
+        out.singletonUnder10B =
+            static_cast<double>(singletonSmall_) /
+            static_cast<double>(singletons_);
     }
     return out;
+}
+
+EpochSummary
+summarizeEpochs(const EpochBuilder &builder,
+                const trace::TraceSet &traces)
+{
+    EpochStatsAccumulator acc;
+    for (const Epoch &ep : builder.epochs())
+        acc.addEpoch(ep);
+    for (const TxInfo &tx : builder.transactions())
+        acc.addTransaction(tx);
+    return acc.finalize(traces.firstTick(), traces.lastTick());
 }
 
 } // namespace whisper::analysis

@@ -1,0 +1,152 @@
+#include "common/thread_pool.hh"
+
+#include <exception>
+#include <memory>
+
+namespace whisper
+{
+
+std::vector<ShardRange>
+shardRanges(std::size_t total, std::size_t shards)
+{
+    std::vector<ShardRange> out;
+    if (total == 0 || shards == 0)
+        return out;
+    if (shards > total)
+        shards = total;
+    const std::size_t base = total / shards;
+    const std::size_t extra = total % shards;
+    std::size_t begin = 0;
+    for (std::size_t s = 0; s < shards; s++) {
+        const std::size_t len = base + (s < extra ? 1 : 0);
+        out.push_back({begin, begin + len});
+        begin += len;
+    }
+    return out;
+}
+
+/**
+ * One parallelFor invocation: shared index cursor plus join
+ * bookkeeping. Heap-held via shared_ptr so a worker that drains the
+ * cursor after the joiner already left cannot touch freed memory.
+ */
+struct ThreadPool::Batch
+{
+    std::size_t count = 0;
+    const std::function<void(std::size_t)> *body = nullptr;
+    std::atomic<std::size_t> next{0};    //!< index hand-out cursor
+    std::atomic<std::size_t> pending{0}; //!< indices not yet finished
+    std::exception_ptr error;            //!< first failure, if any
+    std::mutex errorMutex;
+};
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+    : workers_(workers > 0 ? workers : defaultWorkers())
+{
+    // The calling thread always participates in parallelFor, so only
+    // workers_-1 helpers are needed.
+    for (unsigned i = 1; i < workers_; i++)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::runBatch(Batch &batch)
+{
+    for (;;) {
+        const std::size_t i =
+            batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.count)
+            return;
+        try {
+            (*batch.body)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(batch.errorMutex);
+            if (!batch.error)
+                batch.error = std::current_exception();
+        }
+        if (batch.pending.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+            // Last index retired: wake the joiner.
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stopping_ || generation_ != seen;
+            });
+            if (stopping_)
+                return;
+            seen = generation_;
+            batch = batch_;
+        }
+        if (batch)
+            runBatch(*batch);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (workers_ <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; i++)
+            body(i);
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->count = count;
+    batch->body = &body;
+    batch->pending.store(count, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_ = batch;
+        generation_++;
+    }
+    wake_.notify_all();
+
+    runBatch(*batch);
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] {
+            return batch->pending.load(std::memory_order_acquire) ==
+                   0;
+        });
+        batch_.reset();
+    }
+    if (batch->error)
+        std::rethrow_exception(batch->error);
+}
+
+} // namespace whisper

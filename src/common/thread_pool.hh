@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Small fork/join thread pool for sharded trace analysis.
+ *
+ * The pool exists to fan *deterministic* work out across cores: a
+ * caller splits a pass into independently computable shards, the pool
+ * runs shard bodies on its workers, and every shard writes only into
+ * its own slot of a results vector. Reduction then happens on the
+ * calling thread, in shard-index order, so the merged result is
+ * bit-identical at any worker count — the property the parallel
+ * analysis pipeline (analysis/pipeline.hh) relies on.
+ */
+
+#ifndef WHISPER_COMMON_THREAD_POOL_HH
+#define WHISPER_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace whisper
+{
+
+/** One contiguous [begin, end) slice of a sharded index space. */
+struct ShardRange
+{
+    std::size_t begin;
+    std::size_t end;
+
+    std::size_t size() const { return end - begin; }
+};
+
+/**
+ * Split @p total items into at most @p shards near-equal contiguous
+ * ranges (never empty; fewer ranges than @p shards when total is
+ * small). The split depends only on (total, shards), never on timing.
+ */
+std::vector<ShardRange> shardRanges(std::size_t total,
+                                    std::size_t shards);
+
+/**
+ * Fixed-size worker pool with a fork/join parallelFor.
+ *
+ * Workers are started once and reused across calls; parallelFor hands
+ * out indices through an atomic counter, so shards are load-balanced
+ * dynamically while results stay deterministic (each index owns its
+ * output slot). A pool of <= 1 worker runs everything inline on the
+ * calling thread — the jobs=1 path is genuinely sequential.
+ */
+class ThreadPool
+{
+  public:
+    /** @p workers threads; 0 picks the hardware concurrency. */
+    explicit ThreadPool(unsigned workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (>= 1; 1 means inline execution). */
+    unsigned workerCount() const { return workers_; }
+
+    /**
+     * Run @p body(i) for every i in [0, count), distributing indices
+     * across the workers, and return once all calls finished. The
+     * calling thread participates, so a 1-worker pool (or count <= 1)
+     * degenerates to a plain sequential loop. Exceptions thrown by
+     * @p body are rethrown on the calling thread after the join.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Deterministic map: run @p fn over [0, count) and collect the
+     * per-index results in index order, whatever the execution
+     * interleaving was. The canonical shard-then-join helper: callers
+     * fold the returned vector front to back.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t count, Fn &&fn)
+        -> std::vector<decltype(fn(std::size_t{0}))>
+    {
+        std::vector<decltype(fn(std::size_t{0}))> out(count);
+        parallelFor(count,
+                    [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** Reasonable default worker count for this machine (>= 1). */
+    static unsigned defaultWorkers();
+
+  private:
+    struct Batch;
+
+    void workerLoop();
+    void runBatch(Batch &batch);
+
+    unsigned workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::shared_ptr<Batch> batch_;  //!< current fork, null when idle
+    std::uint64_t generation_ = 0;  //!< bumped per fork to wake workers
+    bool stopping_ = false;
+};
+
+} // namespace whisper
+
+#endif // WHISPER_COMMON_THREAD_POOL_HH

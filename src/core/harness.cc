@@ -41,4 +41,12 @@ crashAndVerify(RunResult &result, std::uint64_t seed, double survival)
     return result.app->verifyRecovered(rt);
 }
 
+analysis::AnalysisResult
+analyzeRun(const RunResult &result, unsigned jobs)
+{
+    analysis::AnalysisOptions options;
+    options.jobs = jobs;
+    return analysis::analyzeTraces(result.runtime->traces(), options);
+}
+
 } // namespace whisper::core

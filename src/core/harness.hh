@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/pipeline.hh"
 #include "core/app.hh"
 
 namespace whisper::core
@@ -42,6 +43,15 @@ RunResult runApp(const std::string &name, const AppConfig &config);
  */
 bool crashAndVerify(RunResult &result, std::uint64_t seed,
                     double survival = 0.5);
+
+/**
+ * Run the full §5 analysis pipeline over a finished run's traces.
+ * @p jobs fans the per-thread and per-line shards across cores
+ * (1 = sequential, 0 = hardware concurrency); the result is
+ * bit-identical at any job count.
+ */
+analysis::AnalysisResult analyzeRun(const RunResult &result,
+                                    unsigned jobs = 1);
 
 } // namespace whisper::core
 

@@ -26,40 +26,46 @@ TraceBuffer::TraceBuffer(ThreadId tid, bool record_volatile)
 }
 
 void
-TraceBuffer::push(const TraceEvent &ev)
+AccessCounters::add(const TraceEvent &ev)
 {
     switch (ev.kind) {
       case EventKind::PmStore:
-        counters_.pmStores++;
-        counters_.pmStoreBytes += ev.size;
-        counters_.pmBytesByClass[static_cast<int>(ev.cls)] += ev.size;
+        pmStores++;
+        pmStoreBytes += ev.size;
+        pmBytesByClass[static_cast<int>(ev.cls)] += ev.size;
         break;
       case EventKind::PmNtStore:
-        counters_.pmNtStores++;
-        counters_.pmNtStoreBytes += ev.size;
-        counters_.pmBytesByClass[static_cast<int>(ev.cls)] += ev.size;
+        pmNtStores++;
+        pmNtStoreBytes += ev.size;
+        pmBytesByClass[static_cast<int>(ev.cls)] += ev.size;
         break;
       case EventKind::PmLoad:
-        counters_.pmLoads++;
+        pmLoads++;
         break;
       case EventKind::PmFlush:
-        counters_.pmFlushes++;
+        pmFlushes++;
         break;
       case EventKind::Fence:
-        counters_.fences++;
+        fences++;
         break;
       case EventKind::DramLoad:
-        counters_.dramLoads++;
-        if (!recordVolatile_)
-            return;
+        dramLoads++;
         break;
       case EventKind::DramStore:
-        counters_.dramStores++;
-        if (!recordVolatile_)
-            return;
+        dramStores++;
         break;
       default:
         break;
+    }
+}
+
+void
+TraceBuffer::push(const TraceEvent &ev)
+{
+    counters_.add(ev);
+    if (!recordVolatile_ && (ev.kind == EventKind::DramLoad ||
+                             ev.kind == EventKind::DramStore)) {
+        return;
     }
     events_.push_back(ev);
 }

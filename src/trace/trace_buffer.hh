@@ -51,6 +51,13 @@ struct AccessCounters
         return dramLoads + dramStores;
     }
 
+    /**
+     * Fold the counter effect of one event in. This is the exact
+     * update TraceBuffer::push applies, exposed so streaming readers
+     * can rebuild counters from raw event chunks without a buffer.
+     */
+    void add(const TraceEvent &ev);
+
     void merge(const AccessCounters &other);
 };
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "trace/trace_reader.hh"
 
 namespace whisper::trace
 {
@@ -18,32 +19,11 @@ struct FileCloser
 
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-struct TraceHeader
-{
-    std::uint64_t magic;
-    std::uint32_t version;
-    std::uint32_t threadCount;
-};
-
-struct SectionHeader
-{
-    std::uint32_t tid;
-    std::uint32_t pad;
-    std::uint64_t eventCount;
-};
-
 template <typename T>
 bool
 writePod(std::FILE *f, const T &value)
 {
     return std::fwrite(&value, sizeof(T), 1, f) == 1;
-}
-
-template <typename T>
-bool
-readPod(std::FILE *f, T &value)
-{
-    return std::fread(&value, sizeof(T), 1, f) == 1;
 }
 
 } // namespace
@@ -56,13 +36,15 @@ writeTraceFile(const std::string &path, const TraceSet &traces)
         warn("cannot open trace file %s for writing", path.c_str());
         return false;
     }
-    TraceHeader hdr{kTraceMagic, 1,
-                    static_cast<std::uint32_t>(traces.threadCount())};
+    TraceFileHeader hdr{kTraceMagic, kTraceVersion,
+                        static_cast<std::uint32_t>(
+                            traces.threadCount())};
     if (!writePod(f.get(), hdr))
         return false;
     for (const auto &buf : traces.buffers()) {
-        SectionHeader sec{buf->tid(), 0,
-                          static_cast<std::uint64_t>(buf->size())};
+        TraceSectionHeader sec{buf->tid(), 0,
+                               static_cast<std::uint64_t>(
+                                   buf->size())};
         if (!writePod(f.get(), sec))
             return false;
         const auto &events = buf->events();
@@ -80,29 +62,20 @@ readTraceFile(const std::string &path, TraceSet &traces)
 {
     panic_if(traces.threadCount() != 0,
              "readTraceFile into a non-empty TraceSet");
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f) {
-        warn("cannot open trace file %s for reading", path.c_str());
+    TraceFileReader reader;
+    if (!reader.open(path))
         return false;
-    }
-    TraceHeader hdr{};
-    if (!readPod(f.get(), hdr) || hdr.magic != kTraceMagic ||
-        hdr.version != 1) {
-        warn("bad trace header in %s", path.c_str());
-        return false;
-    }
-    for (std::uint32_t i = 0; i < hdr.threadCount; i++) {
-        SectionHeader sec{};
-        if (!readPod(f.get(), sec))
-            return false;
-        TraceBuffer *buf = traces.createBuffer(sec.tid);
+    for (std::size_t i = 0; i < reader.sections().size(); i++) {
+        TraceBuffer *buf =
+            traces.createBuffer(reader.sections()[i].tid);
         buf->setRecordVolatile(true);
-        for (std::uint64_t j = 0; j < sec.eventCount; j++) {
-            TraceEvent ev{};
-            if (!readPod(f.get(), ev))
-                return false;
-            buf->push(ev);
-        }
+        const bool ok = reader.streamSection(
+            i, [&](const TraceEvent *events, std::size_t count) {
+                for (std::size_t j = 0; j < count; j++)
+                    buf->push(events[j]);
+            });
+        if (!ok)
+            return false;
     }
     return true;
 }

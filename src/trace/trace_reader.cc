@@ -1,0 +1,114 @@
+#include "trace/trace_reader.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.hh"
+#include "trace/trace_io.hh"
+
+namespace whisper::trace
+{
+
+namespace
+{
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+std::uint64_t
+TraceFileReader::totalEvents() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sec : sections_)
+        n += sec.eventCount;
+    return n;
+}
+
+bool
+TraceFileReader::open(const std::string &path)
+{
+    path_.clear();
+    sections_.clear();
+
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f) {
+        warn("cannot open trace file %s for reading", path.c_str());
+        return false;
+    }
+    TraceFileHeader hdr{};
+    if (std::fread(&hdr, sizeof(hdr), 1, f.get()) != 1 ||
+        hdr.magic != kTraceMagic || hdr.version != kTraceVersion) {
+        warn("bad trace header in %s", path.c_str());
+        return false;
+    }
+    for (std::uint32_t i = 0; i < hdr.threadCount; i++) {
+        TraceSectionHeader sec{};
+        if (std::fread(&sec, sizeof(sec), 1, f.get()) != 1) {
+            warn("truncated section header in %s", path.c_str());
+            return false;
+        }
+        const long offset = std::ftell(f.get());
+        if (offset < 0)
+            return false;
+        sections_.push_back({sec.tid, sec.eventCount,
+                             static_cast<std::uint64_t>(offset)});
+        // Seek over the payload; only the headers are read here.
+        if (std::fseek(f.get(),
+                       static_cast<long>(sec.eventCount *
+                                         sizeof(TraceEvent)),
+                       SEEK_CUR) != 0) {
+            warn("truncated section payload in %s", path.c_str());
+            return false;
+        }
+    }
+    path_ = path;
+    return true;
+}
+
+bool
+TraceFileReader::streamSection(std::size_t index,
+                               const EventChunkSink &sink,
+                               std::size_t chunkEvents) const
+{
+    if (index >= sections_.size() || chunkEvents == 0)
+        return false;
+    const TraceSectionInfo &sec = sections_[index];
+
+    // A private handle per stream keeps concurrent shards independent.
+    FilePtr f(std::fopen(path_.c_str(), "rb"));
+    if (!f) {
+        warn("cannot reopen trace file %s", path_.c_str());
+        return false;
+    }
+    if (std::fseek(f.get(), static_cast<long>(sec.fileOffset),
+                   SEEK_SET) != 0) {
+        return false;
+    }
+
+    std::vector<TraceEvent> chunk(
+        std::min<std::size_t>(chunkEvents, sec.eventCount ?
+                                               sec.eventCount : 1));
+    std::uint64_t remaining = sec.eventCount;
+    while (remaining > 0) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, chunk.size()));
+        if (std::fread(chunk.data(), sizeof(TraceEvent), want,
+                       f.get()) != want) {
+            warn("short read in section %zu of %s", index,
+                 path_.c_str());
+            return false;
+        }
+        sink(chunk.data(), want);
+        remaining -= want;
+    }
+    return true;
+}
+
+} // namespace whisper::trace

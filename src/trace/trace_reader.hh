@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Chunked, seekable readers over on-disk trace files.
+ *
+ * readTraceFile() materializes a whole TraceSet in memory; these
+ * readers instead expose the file as independently streamable
+ * per-thread sections, so the analysis pipeline can fan sections out
+ * across cores and iterate events in fixed-size chunks without ever
+ * holding more than one chunk per shard in memory. The format itself
+ * is specified in docs/TRACE_FORMAT.md.
+ */
+
+#ifndef WHISPER_TRACE_TRACE_READER_HH
+#define WHISPER_TRACE_TRACE_READER_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace whisper::trace
+{
+
+/** Location and size of one per-thread section inside a trace file. */
+struct TraceSectionInfo
+{
+    ThreadId tid = 0;
+    std::uint64_t eventCount = 0;
+    std::uint64_t fileOffset = 0; //!< byte offset of the event array
+};
+
+/** Callback receiving one chunk of events in program order. */
+using EventChunkSink =
+    std::function<void(const TraceEvent *events, std::size_t count)>;
+
+/**
+ * Index of a trace file's sections, built from the headers alone.
+ *
+ * open() reads the file header and each section header, seeking over
+ * the event payloads, so indexing a multi-gigabyte trace costs a few
+ * reads. Sections can then be streamed independently — each
+ * streamSection() call opens its own file handle, so concurrent
+ * shards never share a seek position.
+ */
+class TraceFileReader
+{
+  public:
+    /** Events per chunk handed to the sink (1 MiB of events). */
+    static constexpr std::size_t kDefaultChunkEvents =
+        (1u << 20) / sizeof(TraceEvent);
+
+    /**
+     * Index @p path. Returns false (and leaves the reader empty) on
+     * I/O failure, bad magic, or an unsupported version.
+     */
+    bool open(const std::string &path);
+
+    const std::string &path() const { return path_; }
+
+    /** Per-thread sections in file order (== recording tid order). */
+    const std::vector<TraceSectionInfo> &sections() const
+    {
+        return sections_;
+    }
+
+    std::size_t threadCount() const { return sections_.size(); }
+
+    /** Sum of all sections' event counts. */
+    std::uint64_t totalEvents() const;
+
+    /**
+     * Stream section @p index through @p sink in program order,
+     * @p chunkEvents events at a time. Thread-safe against concurrent
+     * streamSection() calls on the same reader. Returns false on I/O
+     * failure (a short read mid-section aborts the stream).
+     */
+    bool streamSection(std::size_t index, const EventChunkSink &sink,
+                       std::size_t chunkEvents =
+                           kDefaultChunkEvents) const;
+
+  private:
+    std::string path_;
+    std::vector<TraceSectionInfo> sections_;
+};
+
+} // namespace whisper::trace
+
+#endif // WHISPER_TRACE_TRACE_READER_HH

@@ -7,9 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+
 #include "analysis/access_mix.hh"
 #include "analysis/dependency.hh"
 #include "analysis/epoch_stats.hh"
+#include "analysis/pipeline.hh"
+#include "common/thread_pool.hh"
+#include "core/harness.hh"
+#include "trace/trace_io.hh"
 
 namespace whisper::analysis
 {
@@ -222,6 +229,226 @@ TEST(Amplification, RatioByClass)
     EXPECT_EQ(amp.userBytes, 100u);
     EXPECT_EQ(amp.metaBytes(), 100u);
     EXPECT_DOUBLE_EQ(amp.ratio(), 1.0);
+}
+
+// ---------------------------------------------------------------
+// Mergeable accumulators and the parallel pipeline. The contract
+// under test everywhere below: sharded accumulation + deterministic
+// merge is BIT-identical to the sequential scan, at any shard count.
+// ---------------------------------------------------------------
+
+void
+expectSummariesIdentical(const EpochSummary &a, const EpochSummary &b)
+{
+    EXPECT_EQ(a.totalEpochs, b.totalEpochs);
+    EXPECT_EQ(a.totalTransactions, b.totalTransactions);
+    // Bit-identical doubles, not just approximately equal: the
+    // ratios must be derived from identical integer totals.
+    EXPECT_EQ(a.epochsPerSecond, b.epochsPerSecond);
+    EXPECT_EQ(a.singletonFraction, b.singletonFraction);
+    EXPECT_EQ(a.singletonUnder10B, b.singletonUnder10B);
+    EXPECT_EQ(a.durabilityFenceFraction, b.durabilityFenceFraction);
+    EXPECT_EQ(a.epochSizes.values(), b.epochSizes.values());
+    EXPECT_EQ(a.epochsPerTx.values(), b.epochsPerTx.values());
+    EXPECT_EQ(a.singletonBytes.values(), b.singletonBytes.values());
+}
+
+void
+expectResultsIdentical(const AnalysisResult &a, const AnalysisResult &b)
+{
+    EXPECT_EQ(a.threadCount, b.threadCount);
+    EXPECT_EQ(a.totalEvents, b.totalEvents);
+    EXPECT_EQ(a.firstTick, b.firstTick);
+    EXPECT_EQ(a.lastTick, b.lastTick);
+    expectSummariesIdentical(a.epochs, b.epochs);
+    EXPECT_EQ(a.dependencies.totalEpochs, b.dependencies.totalEpochs);
+    EXPECT_EQ(a.dependencies.selfDependent,
+              b.dependencies.selfDependent);
+    EXPECT_EQ(a.dependencies.crossDependent,
+              b.dependencies.crossDependent);
+    EXPECT_EQ(a.mix.pmAccesses, b.mix.pmAccesses);
+    EXPECT_EQ(a.mix.dramAccesses, b.mix.dramAccesses);
+    EXPECT_EQ(a.nti.cacheableStores, b.nti.cacheableStores);
+    EXPECT_EQ(a.nti.ntStores, b.nti.ntStores);
+    EXPECT_EQ(a.nti.cacheableBytes, b.nti.cacheableBytes);
+    EXPECT_EQ(a.nti.ntBytes, b.nti.ntBytes);
+    EXPECT_EQ(a.amplification.userBytes, b.amplification.userBytes);
+    EXPECT_EQ(a.amplification.logBytes, b.amplification.logBytes);
+    EXPECT_EQ(a.amplification.allocBytes,
+              b.amplification.allocBytes);
+    EXPECT_EQ(a.amplification.txMetaBytes,
+              b.amplification.txMetaBytes);
+    EXPECT_EQ(a.amplification.fsMetaBytes,
+              b.amplification.fsMetaBytes);
+}
+
+core::RunResult
+recordedApp(const std::string &name, std::uint64_t ops = 120)
+{
+    core::AppConfig config;
+    config.threads = 4;
+    config.opsPerThread = ops;
+    config.poolBytes = 192 << 20;
+    core::RunResult result = core::runApp(name, config);
+    EXPECT_TRUE(result.verified);
+    return result;
+}
+
+TEST(ThreadEpochAccumulator, ChunkedFeedMatchesOneShot)
+{
+    // Chunk boundaries must not affect reconstruction: feed the same
+    // stream in 3-event chunks and in one shot.
+    std::vector<TraceEvent> events;
+    for (Tick t = 0; t < 40; t++) {
+        if (t % 5 == 4)
+            events.push_back(ev(100 + t, EventKind::Fence));
+        else
+            events.push_back(
+                ev(100 + t, EventKind::PmStore, (t % 7) * 64));
+    }
+
+    ThreadEpochAccumulator one(3);
+    one.addChunk(events.data(), events.size());
+
+    ThreadEpochAccumulator chunked(3);
+    for (std::size_t i = 0; i < events.size(); i += 3) {
+        chunked.addChunk(events.data() + i,
+                         std::min<std::size_t>(3, events.size() - i));
+    }
+
+    ASSERT_EQ(one.epochs().size(), chunked.epochs().size());
+    for (std::size_t i = 0; i < one.epochs().size(); i++) {
+        EXPECT_EQ(one.epochs()[i].lines, chunked.epochs()[i].lines);
+        EXPECT_EQ(one.epochs()[i].startTs, chunked.epochs()[i].startTs);
+        EXPECT_EQ(one.epochs()[i].endTs, chunked.epochs()[i].endTs);
+        EXPECT_EQ(one.epochs()[i].storeBytes,
+                  chunked.epochs()[i].storeBytes);
+    }
+}
+
+TEST(EpochStatsAccumulator, ShardedMergeMatchesSequential)
+{
+    core::RunResult run = recordedApp("hashmap");
+    const trace::TraceSet &traces = run.runtime->traces();
+    EpochBuilder builder(traces);
+    const EpochSummary sequential = summarizeEpochs(builder, traces);
+
+    for (const std::size_t shards : {2u, 4u, 8u}) {
+        const auto ranges =
+            shardRanges(builder.epochs().size(), shards);
+        EpochStatsAccumulator merged;
+        for (const auto &range : ranges) {
+            EpochStatsAccumulator part;
+            for (std::size_t i = range.begin; i < range.end; i++)
+                part.addEpoch(builder.epochs()[i]);
+            merged.merge(part);
+        }
+        for (const TxInfo &tx : builder.transactions())
+            merged.addTransaction(tx);
+        expectSummariesIdentical(
+            merged.finalize(traces.firstTick(), traces.lastTick()),
+            sequential);
+    }
+}
+
+TEST(DependencyShard, LineShardedJoinMatchesSequential)
+{
+    // Two threads hammering overlapping lines produce both self and
+    // cross dependencies; the line-sharded scan must reproduce the
+    // sequential flags exactly at any shard count.
+    core::RunResult run = recordedApp("ctree");
+    EpochBuilder builder(run.runtime->traces());
+    const DependencySummary sequential =
+        analyzeDependencies(builder);
+    ASSERT_GT(sequential.totalEpochs, 0u);
+
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+        DependencyShard merged;
+        for (std::size_t s = 0; s < shards; s++) {
+            DependencyShard part;
+            part.scan(builder.epochs(), kDependencyWindow, s,
+                      shards);
+            merged.merge(part);
+        }
+        const DependencySummary joined = merged.summarize();
+        EXPECT_EQ(joined.totalEpochs, sequential.totalEpochs);
+        EXPECT_EQ(joined.selfDependent, sequential.selfDependent);
+        EXPECT_EQ(joined.crossDependent, sequential.crossDependent);
+    }
+}
+
+TEST(Pipeline, ParallelBitIdenticalToSequentialOnAppTraces)
+{
+    // The headline guarantee: for real recorded app traces spanning
+    // all three access layers, analyze with 2/4/8 jobs == 1 job.
+    for (const char *app : {"hashmap", "vacation", "nfs"}) {
+        core::RunResult run = recordedApp(app, 80);
+        const trace::TraceSet &traces = run.runtime->traces();
+
+        const AnalysisResult sequential = analyzeTraces(traces);
+        EXPECT_GT(sequential.epochs.totalEpochs, 0u);
+        for (const unsigned jobs : {2u, 4u, 8u}) {
+            AnalysisOptions options;
+            options.jobs = jobs;
+            expectResultsIdentical(analyzeTraces(traces, options),
+                                   sequential);
+        }
+    }
+}
+
+TEST(Pipeline, MatchesLegacySequentialAnalyses)
+{
+    core::RunResult run = recordedApp("redis");
+    const trace::TraceSet &traces = run.runtime->traces();
+
+    EpochBuilder builder(traces);
+    const EpochSummary summary = summarizeEpochs(builder, traces);
+    const DependencySummary deps = analyzeDependencies(builder);
+    const AccessMix mix = computeAccessMix(traces);
+
+    AnalysisOptions options;
+    options.jobs = 4;
+    const AnalysisResult result = analyzeTraces(traces, options);
+    expectSummariesIdentical(result.epochs, summary);
+    EXPECT_EQ(result.dependencies.selfDependent, deps.selfDependent);
+    EXPECT_EQ(result.dependencies.crossDependent,
+              deps.crossDependent);
+    EXPECT_EQ(result.mix.pmAccesses, mix.pmAccesses);
+    EXPECT_EQ(result.mix.dramAccesses, mix.dramAccesses);
+}
+
+TEST(Pipeline, FileStreamingMatchesInMemory)
+{
+    core::RunResult run = recordedApp("echo", 60);
+    const trace::TraceSet &traces = run.runtime->traces();
+    const std::string path = "/tmp/whisper_pipeline_stream.bin";
+    ASSERT_TRUE(trace::writeTraceFile(path, traces));
+
+    // Reference: load the file whole, analyze in memory.
+    trace::TraceSet loaded;
+    ASSERT_TRUE(trace::readTraceFile(path, loaded));
+    const AnalysisResult inMemory = analyzeTraces(loaded);
+
+    for (const unsigned jobs : {1u, 4u}) {
+        AnalysisOptions options;
+        options.jobs = jobs;
+        AnalysisResult streamed;
+        ASSERT_TRUE(analyzeTraceFile(path, streamed, options));
+        expectResultsIdentical(streamed, inMemory);
+    }
+    std::remove(path.c_str());
+
+    AnalysisResult missing;
+    EXPECT_FALSE(analyzeTraceFile("/tmp/definitely_missing_whisper",
+                                  missing));
+}
+
+TEST(Pipeline, HarnessAnalyzeRunMatchesDirectCall)
+{
+    core::RunResult run = recordedApp("hashmap", 60);
+    const AnalysisResult direct =
+        analyzeTraces(run.runtime->traces());
+    expectResultsIdentical(core::analyzeRun(run, 4), direct);
 }
 
 } // namespace

@@ -5,12 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
+#include <stdexcept>
 
 #include "common/histogram.hh"
 #include "common/logical_clock.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "common/types.hh"
 
 namespace whisper
@@ -190,6 +194,87 @@ TEST(TextTable, RendersAligned)
     EXPECT_NE(out.find("bbbb"), std::string::npos);
     EXPECT_EQ(TextTable::percent(0.123, 1), "12.3%");
     EXPECT_EQ(TextTable::fixed(1.5, 2), "1.50");
+}
+
+TEST(ShardRanges, CoverAndBalance)
+{
+    const auto ranges = shardRanges(10, 4);
+    ASSERT_EQ(ranges.size(), 4u);
+    std::size_t covered = 0;
+    std::size_t expect_begin = 0;
+    for (const auto &r : ranges) {
+        EXPECT_EQ(r.begin, expect_begin);
+        EXPECT_GE(r.size(), 2u);
+        EXPECT_LE(r.size(), 3u);
+        covered += r.size();
+        expect_begin = r.end;
+    }
+    EXPECT_EQ(covered, 10u);
+
+    // More shards than items: one range per item, never empty.
+    const auto tiny = shardRanges(2, 8);
+    ASSERT_EQ(tiny.size(), 2u);
+    EXPECT_EQ(tiny[0].size(), 1u);
+
+    EXPECT_TRUE(shardRanges(0, 4).empty());
+}
+
+TEST(ThreadPool, CoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { hits[i]++; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, MapKeepsIndexOrder)
+{
+    ThreadPool pool(4);
+    const auto out =
+        pool.map(257, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); i++)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline)
+{
+    ThreadPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    pool.parallelFor(5, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 20; round++) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallelFor(round + 1,
+                         [&](std::size_t i) { sum += i; });
+        const std::size_t n = round + 1;
+        EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+    }
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(16,
+                                  [](std::size_t i) {
+                                      if (i == 7)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+    // The pool must remain usable after a failed batch.
+    std::atomic<int> ran{0};
+    pool.parallelFor(4, [&](std::size_t) { ran++; });
+    EXPECT_EQ(ran.load(), 4);
 }
 
 TEST(LogicalClock, AdvancesMonotonically)

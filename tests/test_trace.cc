@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "trace/trace_io.hh"
+#include "trace/trace_reader.hh"
 #include "trace/trace_set.hh"
 
 namespace whisper::trace
@@ -150,6 +152,115 @@ TEST(TraceIo, RejectsGarbage)
     TraceSet set;
     EXPECT_FALSE(readTraceFile(path, set));
     std::remove(path.c_str());
+}
+
+TEST(TraceReader, IndexesSectionsWithoutLoading)
+{
+    TraceSet set;
+    TraceBuffer *b0 = set.createBuffer(0);
+    TraceBuffer *b2 = set.createBuffer(2);
+    for (Tick t = 1; t <= 10; t++)
+        b0->push(ev(t, EventKind::PmStore, t * 64));
+    b2->push(ev(3, EventKind::Fence, 0, 0, DataClass::None, 1));
+
+    const std::string path = "/tmp/whisper_reader_index.bin";
+    ASSERT_TRUE(writeTraceFile(path, set));
+
+    TraceFileReader reader;
+    ASSERT_TRUE(reader.open(path));
+    std::remove(path.c_str());
+
+    ASSERT_EQ(reader.threadCount(), 2u);
+    EXPECT_EQ(reader.sections()[0].tid, 0u);
+    EXPECT_EQ(reader.sections()[0].eventCount, 10u);
+    EXPECT_EQ(reader.sections()[1].tid, 2u);
+    EXPECT_EQ(reader.sections()[1].eventCount, 1u);
+    EXPECT_EQ(reader.totalEvents(), 11u);
+    // Section payloads start right after the two fixed headers.
+    EXPECT_EQ(reader.sections()[0].fileOffset,
+              sizeof(TraceFileHeader) + sizeof(TraceSectionHeader));
+}
+
+TEST(TraceReader, StreamsChunksInProgramOrder)
+{
+    TraceSet set;
+    TraceBuffer *b = set.createBuffer(7);
+    for (Tick t = 1; t <= 100; t++)
+        b->push(ev(t, EventKind::PmStore, t * 8, 8));
+
+    const std::string path = "/tmp/whisper_reader_chunks.bin";
+    ASSERT_TRUE(writeTraceFile(path, set));
+
+    TraceFileReader reader;
+    ASSERT_TRUE(reader.open(path));
+
+    // A 7-event chunk size forces many partial chunks.
+    std::vector<TraceEvent> streamed;
+    std::size_t chunks = 0;
+    ASSERT_TRUE(reader.streamSection(
+        0,
+        [&](const TraceEvent *events, std::size_t count) {
+            chunks++;
+            EXPECT_LE(count, 7u);
+            streamed.insert(streamed.end(), events, events + count);
+        },
+        7));
+    std::remove(path.c_str());
+
+    ASSERT_EQ(streamed.size(), b->events().size());
+    EXPECT_EQ(chunks, (100 + 6) / 7u);
+    for (std::size_t i = 0; i < streamed.size(); i++) {
+        EXPECT_EQ(streamed[i].ts, b->events()[i].ts);
+        EXPECT_EQ(streamed[i].addr, b->events()[i].addr);
+    }
+}
+
+TEST(TraceReader, RejectsGarbageAndMissing)
+{
+    TraceFileReader reader;
+    EXPECT_FALSE(reader.open("/tmp/definitely_missing_whisper"));
+
+    const std::string path = "/tmp/whisper_reader_garbage.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a trace", f);
+    std::fclose(f);
+    EXPECT_FALSE(reader.open(path));
+    EXPECT_EQ(reader.threadCount(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(AccessCounters, AddMatchesBufferPush)
+{
+    // AccessCounters::add must be the exact counter effect of push,
+    // so streaming readers can rebuild counters without a buffer.
+    TraceBuffer buf(0, /*record_volatile=*/true);
+    AccessCounters direct;
+    const std::vector<TraceEvent> events = {
+        ev(1, EventKind::PmStore, 0, 16),
+        ev(2, EventKind::PmNtStore, 64, 8, DataClass::Log),
+        ev(3, EventKind::PmLoad, 0),
+        ev(4, EventKind::PmFlush, 0),
+        ev(5, EventKind::Fence, 0, 0, DataClass::None),
+        ev(6, EventKind::DramLoad, 0),
+        ev(7, EventKind::DramStore, 0),
+        ev(8, EventKind::TxBegin, 42),
+    };
+    for (const auto &e : events) {
+        buf.push(e);
+        direct.add(e);
+    }
+    EXPECT_EQ(direct.pmStores, buf.counters().pmStores);
+    EXPECT_EQ(direct.pmNtStores, buf.counters().pmNtStores);
+    EXPECT_EQ(direct.pmLoads, buf.counters().pmLoads);
+    EXPECT_EQ(direct.pmFlushes, buf.counters().pmFlushes);
+    EXPECT_EQ(direct.fences, buf.counters().fences);
+    EXPECT_EQ(direct.dramLoads, buf.counters().dramLoads);
+    EXPECT_EQ(direct.dramStores, buf.counters().dramStores);
+    EXPECT_EQ(direct.pmStoreBytes, buf.counters().pmStoreBytes);
+    EXPECT_EQ(direct.pmNtStoreBytes, buf.counters().pmNtStoreBytes);
+    for (int c = 0; c < 6; c++)
+        EXPECT_EQ(direct.pmBytesByClass[c],
+                  buf.counters().pmBytesByClass[c]);
 }
 
 TEST(Event, Names)
