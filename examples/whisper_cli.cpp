@@ -10,6 +10,8 @@
  *   whisper_cli record  <app> <trace.bin> [ops] [threads]
  *   whisper_cli analyze <trace.bin> [--jobs N]
  *   whisper_cli simulate <trace.bin> [model...]
+ *   whisper_cli crashfuzz [--cases N] [--jobs N] [--apps a,b] ...
+ *   whisper_cli crashfuzz --replay <app>:<caseId> [--at K] ...
  *   whisper_cli list
  *
  * Models: x86-nvm x86-pwq hops-nvm hops-pwq dpo ideal (default: all).
@@ -24,6 +26,7 @@
 #include "analysis/pipeline.hh"
 #include "common/table.hh"
 #include "core/harness.hh"
+#include "fuzz/crash_fuzz.hh"
 #include "sim/simulator.hh"
 #include "trace/trace_io.hh"
 
@@ -40,6 +43,11 @@ usage()
         "  whisper_cli record  <app> <trace.bin> [ops] [threads]\n"
         "  whisper_cli analyze <trace.bin> [--jobs N]\n"
         "  whisper_cli simulate <trace.bin> [model...]\n"
+        "  whisper_cli crashfuzz [--cases N] [--jobs N] "
+        "[--apps a,b] [--ops N] [--seed S] [--pool-mb M] "
+        "[--no-shrink]\n"
+        "  whisper_cli crashfuzz --replay <app>:<caseId> [--at K] "
+        "[--survivors csv|none] [--ops N] [--seed S] [--pool-mb M]\n"
         "  whisper_cli list\n"
         "models: x86-nvm x86-pwq hops-nvm hops-pwq dpo ideal\n",
         stderr);
@@ -184,6 +192,150 @@ cmdSimulate(int argc, char **argv)
     return 0;
 }
 
+bool
+parseU64(const char *s, std::uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(s, &end, 0);
+    return end != s && *end == '\0';
+}
+
+int
+cmdCrashfuzz(int argc, char **argv)
+{
+    // The suite list is captured before the demo app registers, so a
+    // default sweep covers exactly the ten WHISPER applications while
+    // `--apps faulty` still resolves.
+    const std::vector<std::string> suite = core::registeredApps();
+    fuzz::registerFaultyApp();
+
+    fuzz::SweepOptions options;
+    std::string replay;
+    std::uint64_t at = ~std::uint64_t(0);
+    bool have_survivors = false;
+    std::vector<whisper::LineAddr> survivors;
+
+    for (int i = 2; i < argc; i++) {
+        const char *arg = argv[i];
+        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
+        std::uint64_t n = 0;
+        if (std::strcmp(arg, "--no-shrink") == 0) {
+            options.shrinkViolations = false;
+        } else if (!val) {
+            return usage();
+        } else if (std::strcmp(arg, "--cases") == 0 &&
+                   parseU64(val, n)) {
+            options.cases = n;
+            i++;
+        } else if (std::strcmp(arg, "--jobs") == 0 &&
+                   parseU64(val, n)) {
+            options.jobs = static_cast<unsigned>(n);
+            i++;
+        } else if (std::strcmp(arg, "--ops") == 0 &&
+                   parseU64(val, n)) {
+            options.config.opsPerThread = n;
+            i++;
+        } else if (std::strcmp(arg, "--seed") == 0 &&
+                   parseU64(val, n)) {
+            options.config.sweepSeed = n;
+            i++;
+        } else if (std::strcmp(arg, "--pool-mb") == 0 &&
+                   parseU64(val, n)) {
+            options.config.poolBytes =
+                static_cast<std::size_t>(n) << 20;
+            i++;
+        } else if (std::strcmp(arg, "--apps") == 0) {
+            for (const char *p = val; *p;) {
+                const char *comma = std::strchr(p, ',');
+                options.apps.emplace_back(
+                    p, comma ? comma - p : std::strlen(p));
+                p = comma ? comma + 1 : p + std::strlen(p);
+            }
+            i++;
+        } else if (std::strcmp(arg, "--replay") == 0) {
+            replay = val;
+            i++;
+        } else if (std::strcmp(arg, "--at") == 0 &&
+                   parseU64(val, n)) {
+            at = n;
+            i++;
+        } else if (std::strcmp(arg, "--survivors") == 0) {
+            have_survivors = true;
+            if (std::strcmp(val, "none") != 0) {
+                for (const char *p = val; *p;) {
+                    char *end = nullptr;
+                    survivors.push_back(std::strtoull(p, &end, 0));
+                    if (end == p)
+                        return usage();
+                    p = *end == ',' ? end + 1 : end;
+                }
+            }
+            i++;
+        } else {
+            return usage();
+        }
+    }
+
+    if (!replay.empty()) {
+        const std::size_t colon = replay.rfind(':');
+        std::uint64_t case_id = 0;
+        if (colon == std::string::npos ||
+            !parseU64(replay.c_str() + colon + 1, case_id))
+            return usage();
+        const std::string app = replay.substr(0, colon);
+
+        const std::uint64_t total =
+            fuzz::profilePmOps(app, options.config);
+        fuzz::FuzzCase c =
+            fuzz::deriveCase(app, case_id, total, options.config);
+        if (at != ~std::uint64_t(0))
+            c.crashAt = at;
+        const fuzz::CaseOutcome out = fuzz::runCase(
+            c, options.config,
+            have_survivors ? &survivors : nullptr);
+        std::printf("case %s:%llu crashAt=%llu fired=%d "
+                    "survivors=%zu digest=%016llx\n",
+                    app.c_str(), (unsigned long long)case_id,
+                    (unsigned long long)c.crashAt, out.fired ? 1 : 0,
+                    out.survivors.size(),
+                    (unsigned long long)out.digest);
+        if (!out.ok) {
+            std::printf("VIOLATION reproduced: %s\n",
+                        out.why.c_str());
+            return 1;
+        }
+        std::printf("recovery invariants held\n");
+        return 0;
+    }
+
+    if (options.apps.empty())
+        options.apps = suite;
+    const auto reports = fuzz::sweep(options);
+
+    TextTable table("crash-recovery fuzz sweep");
+    table.header({"app", "pm ops", "cases", "fired", "violations",
+                  "digest"});
+    std::uint64_t violations = 0;
+    for (const auto &r : reports) {
+        char digest[24];
+        std::snprintf(digest, sizeof(digest), "%016llx",
+                      (unsigned long long)r.digest);
+        table.row({r.app, TextTable::num(r.totalPmOps),
+                   TextTable::num(r.casesRun),
+                   TextTable::num(r.casesFired),
+                   TextTable::num(r.violations), digest});
+        violations += r.violations;
+    }
+    table.print();
+    for (const auto &r : reports) {
+        for (const auto &rep : r.reproducers) {
+            std::printf("reproducer (%s): %s\n", rep.why.c_str(),
+                        rep.command.c_str());
+        }
+    }
+    return violations ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -202,5 +354,7 @@ main(int argc, char **argv)
         return cmdAnalyze(argc, argv);
     if (std::strcmp(argv[1], "simulate") == 0)
         return cmdSimulate(argc, argv);
+    if (std::strcmp(argv[1], "crashfuzz") == 0)
+        return cmdCrashfuzz(argc, argv);
     return usage();
 }

@@ -14,9 +14,13 @@ cd "$(dirname "$0")/.."
 failures=0
 
 docs_only=0
-if [[ "${1:-}" == "--docs-only" ]]; then
-    docs_only=1
-fi
+skip_asan=0
+for arg in "$@"; do
+    case "$arg" in
+        --docs-only) docs_only=1 ;;
+        --no-asan) skip_asan=1 ;;
+    esac
+done
 
 # ---------------------------------------------------------------
 # Tier-1: configure, build, run the test suite.
@@ -26,6 +30,20 @@ if [[ "$docs_only" == 0 ]]; then
     cmake -B build -S . >/dev/null
     cmake --build build -j "$(nproc)" --
     (cd build && ctest --output-on-failure -j "$(nproc)")
+fi
+
+# ---------------------------------------------------------------
+# ASan+UBSan: rebuild the test binary with sanitizers and run the
+# memory-sensitive suites (PM device, txlibs, crash fuzzer — the
+# code that unwinds exceptions through transaction destructors).
+# Skip with --no-asan when iterating on docs.
+# ---------------------------------------------------------------
+if [[ "$docs_only" == 0 && "$skip_asan" == 0 ]]; then
+    echo "== asan+ubsan: fuzz/pm/txlib tests =="
+    cmake -B build-asan -S . -DWHISPER_SANITIZE=ON >/dev/null
+    cmake --build build-asan -j "$(nproc)" --target whisper_tests
+    build-asan/tests/whisper_tests \
+        --gtest_filter='CrashFuzz.*:PmPool.*:PmContext.*:Bloom.*:Mnemosyne*:Nvml*'
 fi
 
 # ---------------------------------------------------------------

@@ -127,6 +127,12 @@ class CtreeApp : public WhisperApp
         return ok;
     }
 
+    bool
+    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    {
+        return pool_->logsQuiescent(rt.ctx(0), why);
+    }
+
   private:
     CtRoot *root(pm::PmContext &ctx) { return ctx.pool().at<CtRoot>(
         rootOff_); }

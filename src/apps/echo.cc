@@ -275,6 +275,39 @@ class EchoApp : public WhisperApp
         return ok;
     }
 
+    bool
+    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    {
+        // Descriptor/state protocol: after recovery every reachable
+        // entry and version must have finished INPROGRESS -> CREATED
+        // and VOLATILE -> PERSISTENT; recover() prunes stragglers.
+        pm::PmContext &ctx = rt.ctx(0);
+        EchoRoot *r = root(ctx);
+        for (std::uint64_t b = 0; b < kBuckets; b++) {
+            for (Addr cur = r->buckets[b].head; cur != kNullAddr;) {
+                const Entry *ent = ctx.pool().at<Entry>(cur);
+                if (ent->status != kCreated ||
+                    heap_->state(ctx, cur) !=
+                        alloc::BlockState::Persistent) {
+                    if (why)
+                        *why = "echo entry with unsettled descriptor";
+                    return false;
+                }
+                for (Addr v = ent->versions; v != kNullAddr;) {
+                    if (heap_->state(ctx, v) !=
+                        alloc::BlockState::Persistent) {
+                        if (why)
+                            *why = "echo version still VOLATILE";
+                        return false;
+                    }
+                    v = ctx.pool().at<Version>(v)->next;
+                }
+                cur = ent->next;
+            }
+        }
+        return true;
+    }
+
   private:
     Addr
     logOff(unsigned client, std::uint64_t slot) const

@@ -82,9 +82,12 @@ class EximApp : public WhisperApp
                 continue;
             fs_->write(ctx, sino, 0, msg.data(), bytes);
 
-            // 2. Deliver: append to the recipient's mailbox.
-            fs_->append(ctx, mailboxIno_[mbox], msg.data(), bytes);
+            // 2. Deliver: append to the recipient's mailbox. The
+            // counter is charged first so that a crash point inside
+            // the append can only lose the delivery, never leave the
+            // mailbox ahead of the counter (verifyRecovered's bound).
             delivered_[mbox].fetch_add(bytes);
+            fs_->append(ctx, mailboxIno_[mbox], msg.data(), bytes);
 
             // 3. Log the delivery.
             char line[96];
@@ -122,6 +125,13 @@ class EximApp : public WhisperApp
     }
 
     void recover(Runtime &rt) override { fs_->mount(rt.ctx(0)); }
+
+    bool
+    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        return fs_->journalQuiescent(ctx, why) && fs_->fsck(ctx, why);
+    }
 
     bool
     verifyRecovered(Runtime &rt) override

@@ -126,6 +126,12 @@ class HashmapApp : public WhisperApp
         return ok;
     }
 
+    bool
+    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    {
+        return pool_->logsQuiescent(rt.ctx(0), why);
+    }
+
   private:
     MapRoot *root(pm::PmContext &ctx) { return ctx.pool().at<MapRoot>(
         rootOff_); }

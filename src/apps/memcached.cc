@@ -149,6 +149,12 @@ class MemcachedApp : public WhisperApp
         return ok;
     }
 
+    bool
+    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    {
+        return heap_->logsQuiescent(rt.ctx(0), why);
+    }
+
   private:
     std::uint64_t
     keySpace() const

@@ -142,6 +142,13 @@ class NfsApp : public WhisperApp
 
     bool verifyRecovered(Runtime &rt) override { return verify(rt); }
 
+    bool
+    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        return fs_->journalQuiescent(ctx, why) && fs_->fsck(ctx, why);
+    }
+
   private:
     static constexpr unsigned kDirs = 8;
     static constexpr unsigned kInitialFilesPerDir = 8;

@@ -235,6 +235,26 @@ class NstoreApp : public WhisperApp
         return ok;
     }
 
+    bool
+    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    {
+        // OPTWAL descriptor state: recovery must retire every
+        // partition's active undo log (the single pointer write that
+        // commits or rolls back the in-flight transaction).
+        pm::PmContext &ctx = rt.ctx(0);
+        for (unsigned p = 0; p < config_.threads; p++) {
+            const Partition *part = partition(ctx, p);
+            if (part->activeLog != kNullAddr) {
+                if (why) {
+                    *why = "nstore partition " + std::to_string(p) +
+                           " still publishes an active undo log";
+                }
+                return false;
+            }
+        }
+        return true;
+    }
+
   private:
     std::uint64_t
     initialRows() const

@@ -176,6 +176,12 @@ class RedisApp : public WhisperApp
         return ok;
     }
 
+    bool
+    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    {
+        return pool_->logsQuiescent(rt.ctx(0), why);
+    }
+
   private:
     DictRoot *dict(pm::PmContext &ctx) { return ctx.pool().at<DictRoot>(
         dictOff_); }

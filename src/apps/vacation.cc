@@ -194,6 +194,12 @@ class VacationApp : public WhisperApp
         return ok;
     }
 
+    bool
+    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    {
+        return heap_->logsQuiescent(rt.ctx(0), why);
+    }
+
   private:
     VacationRoot *root(pm::PmContext &ctx) { return ctx.pool()
         .at<VacationRoot>(rootOff_); }

@@ -93,6 +93,22 @@ class WhisperApp
      */
     virtual bool verifyRecovered(Runtime &rt) = 0;
 
+    /**
+     * Access-layer recovery invariants, checked by the crash fuzzer
+     * after recover() in addition to verifyRecovered(): redo logs
+     * fully replayed and retired (Mnemosyne), undo logs rolled back
+     * and descriptors NONE (NVML), journal FREE and fsck-clean (PMFS),
+     * descriptor/status protocols settled (native). Fills @p why on
+     * violation. Default: no layer-specific state to check.
+     */
+    virtual bool
+    checkRecoveryInvariants(Runtime &rt, std::string *why)
+    {
+        (void)rt;
+        (void)why;
+        return true;
+    }
+
     const AppConfig &config() const { return config_; }
 
   protected:

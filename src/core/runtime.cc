@@ -62,4 +62,46 @@ Runtime::crashHard()
         ctx->resetPendingState();
 }
 
+void
+Runtime::crashWithSurvivors(const std::vector<LineAddr> &survivors)
+{
+    pool_->crashWithSurvivors(survivors);
+    for (auto &ctx : contexts_)
+        ctx->resetPendingState();
+}
+
+pm::CrashPlan &
+Runtime::installCrashPlan()
+{
+    crashPlan_ = std::make_unique<pm::CrashPlan>();
+    for (auto &ctx : contexts_)
+        ctx->setCrashPlan(crashPlan_.get());
+    return *crashPlan_;
+}
+
+void
+Runtime::armCrashPoint(std::uint64_t op_index)
+{
+    pm::CrashPlan &plan =
+        crashPlan_ ? *crashPlan_ : installCrashPlan();
+    plan.opsSeen.store(0, std::memory_order_relaxed);
+    plan.fired.store(false, std::memory_order_relaxed);
+    plan.crashAt = op_index;
+}
+
+bool
+Runtime::crashPointFired() const
+{
+    return crashPlan_ &&
+           crashPlan_->fired.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Runtime::pmOpsSeen() const
+{
+    return crashPlan_
+               ? crashPlan_->opsSeen.load(std::memory_order_relaxed)
+               : 0;
+}
+
 } // namespace whisper::core

@@ -62,6 +62,23 @@ class Runtime
     /** Crash where nothing un-persisted survives. */
     void crashHard();
 
+    /** Crash where exactly @p survivors persist (crash fuzzer). */
+    void crashWithSurvivors(const std::vector<LineAddr> &survivors);
+
+    /** @{ \name Crash-point injection (crash fuzzer)
+     *
+     * installCrashPlan() attaches a fresh op-counting CrashPlan to
+     * every context (uninstalled runtimes pay no per-op overhead);
+     * armCrashPoint() schedules a CrashPointReached throw immediately
+     * before the PM op with global index @p op_index, counted from
+     * the install/arm point.
+     */
+    pm::CrashPlan &installCrashPlan();
+    void armCrashPoint(std::uint64_t op_index);
+    bool crashPointFired() const;
+    std::uint64_t pmOpsSeen() const;
+    /** @} */
+
     /** Drop recorded trace events (e.g. after a setup phase). */
     void clearTraces() { traces_.clear(); }
 
@@ -70,6 +87,7 @@ class Runtime
     std::unique_ptr<pm::PmPool> pool_;
     trace::TraceSet traces_;
     std::vector<std::unique_ptr<pm::PmContext>> contexts_;
+    std::unique_ptr<pm::CrashPlan> crashPlan_;
 };
 
 } // namespace whisper::core

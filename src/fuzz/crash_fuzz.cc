@@ -1,0 +1,330 @@
+#include "fuzz/crash_fuzz.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "core/app.hh"
+#include "core/runtime.hh"
+
+namespace whisper::fuzz
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: the case-derivation and digest mixer. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+fold(std::uint64_t h, std::uint64_t v)
+{
+    return mix64(h + v);
+}
+
+/** FNV-1a so the app name perturbs the case stream. */
+std::uint64_t
+hashName(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char ch : s)
+        h = (h ^ static_cast<std::uint8_t>(ch)) * 0x100000001b3ull;
+    return h;
+}
+
+core::AppConfig
+caseAppConfig(const FuzzConfig &config)
+{
+    core::AppConfig cfg;
+    cfg.threads = 1; // deterministic PM-op order
+    cfg.opsPerThread = config.opsPerThread;
+    cfg.seed = config.appSeed;
+    cfg.poolBytes = config.poolBytes;
+    cfg.recordVolatile = false;
+    return cfg;
+}
+
+/** Survival-rate classes a case draws from (index 0 = crashHard). */
+constexpr double kSurvivalClasses[] = {0.0, 0.1, 0.25, 0.5,
+                                       0.75, 0.9, 0.99};
+constexpr std::size_t kSurvivalClassCount =
+    sizeof(kSurvivalClasses) / sizeof(kSurvivalClasses[0]);
+
+} // namespace
+
+std::uint64_t
+profilePmOps(const std::string &app, const FuzzConfig &config)
+{
+    const core::AppConfig cfg = caseAppConfig(config);
+    core::Runtime rt(cfg.poolBytes, 1, false);
+    std::unique_ptr<core::WhisperApp> a = core::createApp(app, cfg);
+    a->setup(rt);
+    rt.clearTraces();
+    rt.installCrashPlan(); // counts; crashAt stays at "never"
+    a->run(rt, rt.ctx(0), 0);
+    return rt.pmOpsSeen();
+}
+
+FuzzCase
+deriveCase(const std::string &app, std::uint64_t case_id,
+           std::uint64_t total_pm_ops, const FuzzConfig &config)
+{
+    FuzzCase c;
+    c.app = app;
+    c.caseId = case_id;
+    std::uint64_t h =
+        mix64(config.sweepSeed ^ hashName(app)) + case_id;
+    const std::uint64_t h1 = mix64(h);
+    const std::uint64_t h2 = mix64(h1);
+    const std::uint64_t h3 = mix64(h2);
+    c.crashAt = total_pm_ops ? h1 % total_pm_ops : 0;
+    c.crashSeed = h2;
+    const std::size_t cls = h3 % kSurvivalClassCount;
+    c.hard = cls == 0;
+    c.survival = kSurvivalClasses[cls];
+    return c;
+}
+
+CaseOutcome
+runCase(const FuzzCase &c, const FuzzConfig &config,
+        const std::vector<LineAddr> *survivor_override,
+        std::uint64_t crash_at_override)
+{
+    const core::AppConfig cfg = caseAppConfig(config);
+    core::Runtime rt(cfg.poolBytes, 1, false);
+    std::unique_ptr<core::WhisperApp> app =
+        core::createApp(c.app, cfg);
+    app->setup(rt);
+    rt.clearTraces();
+
+    const std::uint64_t crash_at =
+        crash_at_override != ~std::uint64_t(0) ? crash_at_override
+                                               : c.crashAt;
+    rt.installCrashPlan();
+    rt.armCrashPoint(crash_at);
+
+    CaseOutcome out;
+    try {
+        app->run(rt, rt.ctx(0), 0);
+        out.fired = false;
+        out.opIndex = rt.pmOpsSeen();
+    } catch (const pm::CrashPointReached &cut) {
+        out.fired = true;
+        out.opIndex = cut.opIndex;
+    }
+
+    // Resolve the power cut. The survivor set is either dictated (the
+    // shrinker), seeded (the sweep), or empty (crashHard class).
+    if (survivor_override) {
+        out.survivors = *survivor_override;
+    } else if (!c.hard) {
+        Rng rng(c.crashSeed);
+        out.survivors = rt.pool().pickSurvivors(rng, c.survival);
+    }
+    rt.crashWithSurvivors(out.survivors);
+
+    // The machine is back on: recovery runs un-counted and un-poisoned.
+    for (ThreadId tid = 0; tid < rt.maxThreads(); tid++)
+        rt.ctx(tid).setCrashPlan(nullptr);
+
+    app->recover(rt);
+
+    std::string why;
+    const bool invariants_ok = app->checkRecoveryInvariants(rt, &why);
+    const bool recovered_ok =
+        invariants_ok ? app->verifyRecovered(rt) : false;
+    out.ok = invariants_ok && recovered_ok;
+    if (!invariants_ok)
+        out.why = why.empty() ? "layer recovery invariant violated"
+                              : why;
+    else if (!recovered_ok)
+        out.why = "verifyRecovered failed";
+
+    std::uint64_t h = fold(hashName(c.app), c.caseId);
+    h = fold(h, crash_at);
+    h = fold(h, out.fired ? 1 : 0);
+    h = fold(h, out.opIndex);
+    h = fold(h, out.survivors.size());
+    for (const LineAddr line : out.survivors)
+        h = fold(h, line);
+    h = fold(h, rt.pool().stats().linesSurvivedCrash);
+    h = fold(h, rt.pool().dirtyLineCount());
+    h = fold(h, out.ok ? 1 : 0);
+    h = fold(h, hashName(out.why));
+    out.digest = h;
+    return out;
+}
+
+std::string
+replayCommand(const FuzzCase &c,
+              const std::vector<LineAddr> &survivors,
+              const FuzzConfig &config)
+{
+    std::string cmd = "whisper_cli crashfuzz --replay " + c.app + ":" +
+                      std::to_string(c.caseId);
+    cmd += " --at " + std::to_string(c.crashAt);
+    if (survivors.empty()) {
+        cmd += " --survivors none";
+    } else {
+        cmd += " --survivors ";
+        for (std::size_t i = 0; i < survivors.size(); i++) {
+            if (i)
+                cmd += ",";
+            cmd += std::to_string(survivors[i]);
+        }
+    }
+    char tail[96];
+    std::snprintf(tail, sizeof(tail),
+                  " --ops %" PRIu64 " --seed 0x%" PRIx64
+                  " --pool-mb %zu",
+                  config.opsPerThread, config.sweepSeed,
+                  config.poolBytes >> 20);
+    return cmd + tail;
+}
+
+Reproducer
+shrink(const FuzzCase &c, const CaseOutcome &outcome,
+       const FuzzConfig &config)
+{
+    panic_if(outcome.ok, "shrink() needs a failing case");
+
+    // Phase 1: latest failing crash point inside a bounded window
+    // after the found one — the closest power cut to the bug.
+    constexpr std::uint64_t kProbeWindow = 24;
+    FuzzCase best = c;
+    for (std::uint64_t k = c.crashAt + kProbeWindow; k > c.crashAt;
+         k--) {
+        if (!runCase(c, config, nullptr, k).ok) {
+            best.crashAt = k;
+            break;
+        }
+    }
+    CaseOutcome best_out =
+        best.crashAt == c.crashAt ? outcome
+                                  : runCase(best, config);
+    if (best_out.ok) { // window probe not reproducible; keep original
+        best.crashAt = c.crashAt;
+        best_out = outcome;
+    }
+
+    // Phase 2: ddmin-lite over the surviving lines. Removing a chunk
+    // keeps the failure => the chunk was irrelevant; granularity
+    // doubles when no chunk can be removed.
+    std::vector<LineAddr> s = best_out.survivors;
+    std::string why = best_out.why;
+    unsigned trials = 0;
+    constexpr unsigned kTrialBudget = 48;
+    std::size_t chunks = 2;
+    while (s.size() >= 2 && chunks <= s.size() &&
+           trials < kTrialBudget) {
+        bool removed = false;
+        const std::size_t chunk_len =
+            (s.size() + chunks - 1) / chunks;
+        for (std::size_t i = 0;
+             i < chunks && trials < kTrialBudget; i++) {
+            const std::size_t lo =
+                std::min(i * chunk_len, s.size());
+            const std::size_t hi =
+                std::min(lo + chunk_len, s.size());
+            if (lo == hi)
+                continue;
+            std::vector<LineAddr> candidate;
+            candidate.reserve(s.size() - (hi - lo));
+            candidate.insert(candidate.end(), s.begin(),
+                             s.begin() + lo);
+            candidate.insert(candidate.end(), s.begin() + hi,
+                             s.end());
+            trials++;
+            const CaseOutcome probe =
+                runCase(best, config, &candidate);
+            if (!probe.ok) {
+                s = candidate;
+                why = probe.why;
+                chunks = std::max<std::size_t>(2, chunks - 1);
+                removed = true;
+                break;
+            }
+        }
+        if (!removed) {
+            if (chunks >= s.size())
+                break;
+            chunks = std::min(s.size(), chunks * 2);
+        }
+    }
+    // The empty set is the global minimum — take it when it fails.
+    if (!s.empty() && trials < kTrialBudget + 8) {
+        const std::vector<LineAddr> none;
+        const CaseOutcome probe = runCase(best, config, &none);
+        if (!probe.ok) {
+            s = none;
+            why = probe.why;
+        }
+    }
+
+    Reproducer r;
+    r.c = best;
+    r.survivors = s;
+    r.why = why;
+    r.command = replayCommand(best, s, config);
+    return r;
+}
+
+std::vector<AppSweepReport>
+sweep(const SweepOptions &options)
+{
+    std::vector<std::string> apps = options.apps;
+    if (apps.empty())
+        apps = core::registeredApps();
+
+    ThreadPool pool(options.jobs);
+    std::vector<AppSweepReport> reports;
+    reports.reserve(apps.size());
+
+    for (const std::string &app : apps) {
+        AppSweepReport report;
+        report.app = app;
+        report.totalPmOps = profilePmOps(app, options.config);
+
+        const std::vector<CaseOutcome> outcomes = pool.map(
+            options.cases, [&](std::size_t i) {
+                const FuzzCase c =
+                    deriveCase(app, i, report.totalPmOps,
+                               options.config);
+                return runCase(c, options.config);
+            });
+
+        std::uint64_t digest = 0x77157e5ull;
+        for (std::uint64_t i = 0; i < outcomes.size(); i++) {
+            const CaseOutcome &out = outcomes[i];
+            report.casesRun++;
+            report.casesFired += out.fired ? 1 : 0;
+            digest = fold(digest, out.digest);
+            if (out.ok)
+                continue;
+            report.violations++;
+            if (options.shrinkViolations &&
+                report.reproducers.size() <
+                    options.maxReproducers) {
+                const FuzzCase c = deriveCase(
+                    app, i, report.totalPmOps, options.config);
+                report.reproducers.push_back(
+                    shrink(c, out, options.config));
+            }
+        }
+        report.digest = digest;
+        reports.push_back(std::move(report));
+    }
+    return reports;
+}
+
+} // namespace whisper::fuzz

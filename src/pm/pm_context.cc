@@ -27,6 +27,8 @@ PmContext::emit(EventKind kind, Addr addr, std::uint32_t size,
 void
 PmContext::store(Addr off, const void *src, std::size_t n, DataClass cls)
 {
+    if (!admitPmOp())
+        return;
     pool_.applyStore(off, src, n);
     emit(EventKind::PmStore, off, static_cast<std::uint32_t>(n), cls, 0,
          LogicalClock::kStoreCost);
@@ -35,6 +37,8 @@ PmContext::store(Addr off, const void *src, std::size_t n, DataClass cls)
 void
 PmContext::ntStore(Addr off, const void *src, std::size_t n, DataClass cls)
 {
+    if (!admitPmOp())
+        return;
     pool_.applyStore(off, src, n);
     pendingNt_.emplace_back(off, static_cast<std::uint32_t>(n));
     emit(EventKind::PmNtStore, off, static_cast<std::uint32_t>(n), cls, 0,
@@ -50,7 +54,7 @@ PmContext::strcpyPm(Addr off, const char *s, DataClass cls)
 void
 PmContext::flush(Addr off, std::size_t n)
 {
-    if (n == 0)
+    if (n == 0 || !admitPmOp())
         return;
     const LineAddr first = lineOf(off);
     const LineAddr last = lineOf(off + n - 1);
@@ -64,6 +68,8 @@ PmContext::flush(Addr off, std::size_t n)
 void
 PmContext::fence(FenceKind kind)
 {
+    if (!admitPmOp())
+        return;
     // sfence semantics: all of this thread's outstanding clwbs and
     // write-combining traffic reach the durable image before the fence
     // retires.

@@ -24,6 +24,7 @@
 #ifndef WHISPER_PM_PM_CONTEXT_HH
 #define WHISPER_PM_PM_CONTEXT_HH
 
+#include <atomic>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -39,6 +40,42 @@ namespace whisper::pm
 using trace::DataClass;
 using trace::EventKind;
 using trace::FenceKind;
+
+/**
+ * Crash-point schedule shared by every PmContext of a runtime.
+ *
+ * The crash fuzzer counts the persistent-memory operations (store,
+ * NT store, flush, fence) a run issues and injects a simulated power
+ * cut immediately *before* the operation whose global index equals
+ * @ref crashAt: the context throws CrashPointReached and ignores all
+ * further persistent mutations, exactly as if the machine lost power
+ * at that instant. With crashAt left at its default the plan only
+ * counts (the fuzzer's profiling pass).
+ *
+ * Deterministic op indices require a deterministic op order, so fuzz
+ * cases run their workload single-threaded.
+ */
+struct CrashPlan
+{
+    /** Index of the PM op the power cut precedes (default: never). */
+    std::uint64_t crashAt = ~std::uint64_t(0);
+    /** Global count of PM ops attempted so far. */
+    std::atomic<std::uint64_t> opsSeen{0};
+    /** Set once the crash point was hit; poisons later PM mutations. */
+    std::atomic<bool> fired{false};
+};
+
+/**
+ * Thrown by PmContext when an armed crash point is reached. The fuzz
+ * harness catches it at the run boundary and resolves the crash; it
+ * unwinds through application code the way a power cut "unwinds" a
+ * process — destructors must not touch persistent state (PmContext
+ * drops such writes while the plan is fired).
+ */
+struct CrashPointReached
+{
+    std::uint64_t opIndex = 0; //!< index of the op that was cut short
+};
 
 /**
  * One thread's view of the persistent memory system.
@@ -151,14 +188,57 @@ class PmContext
     /** Drop pending state without persisting (used after crash()). */
     void resetPendingState();
 
+    /** @{ \name Crash-point injection (crash fuzzer) */
+
+    /** Attach @p plan (nullptr detaches; no overhead when detached). */
+    void setCrashPlan(CrashPlan *plan) { plan_ = plan; }
+
+    CrashPlan *crashPlan() { return plan_; }
+
+    /**
+     * True once the attached plan fired: the simulated machine is off,
+     * so persistent mutations are dropped and transaction objects
+     * unwinding through the crash must not complain about (or act on)
+     * their un-finished state.
+     */
+    bool
+    crashInjected() const
+    {
+        return plan_ && plan_->fired.load(std::memory_order_relaxed);
+    }
+
+    /** @} */
+
   private:
     void emit(EventKind kind, Addr addr, std::uint32_t size,
               DataClass cls, std::uint8_t aux, Tick cost);
+
+    /**
+     * Count one PM op against the crash plan; throws CrashPointReached
+     * when the armed crash point is hit. Returns false when the op
+     * must be dropped (plan already fired).
+     */
+    bool
+    admitPmOp()
+    {
+        if (!plan_)
+            return true;
+        if (plan_->fired.load(std::memory_order_relaxed))
+            return false;
+        const std::uint64_t idx =
+            plan_->opsSeen.fetch_add(1, std::memory_order_relaxed);
+        if (idx >= plan_->crashAt) {
+            plan_->fired.store(true, std::memory_order_relaxed);
+            throw CrashPointReached{idx};
+        }
+        return true;
+    }
 
     PmPool &pool_;
     LogicalClock &clock_;
     ThreadId tid_;
     trace::TraceBuffer *tb_;
+    CrashPlan *plan_ = nullptr;
 
     std::vector<LineAddr> pendingFlush_;
     /** WC buffer contents: byte ranges written by NT stores. */

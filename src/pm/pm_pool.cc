@@ -93,15 +93,47 @@ PmPool::dirtyLineCount() const
     return n;
 }
 
-void
-PmPool::crash(Rng &rng, double survival)
+std::vector<LineAddr>
+PmPool::dirtyLines() const
 {
+    std::vector<LineAddr> lines;
+    for (LineAddr line = 0; line < lineStates_.size(); line++) {
+        if (lineStates_[line].load(std::memory_order_relaxed))
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+std::vector<LineAddr>
+PmPool::pickSurvivors(Rng &rng, double survival) const
+{
+    std::vector<LineAddr> survivors;
     for (LineAddr line = 0; line < lineStates_.size(); line++) {
         if (lineStates_[line].load(std::memory_order_relaxed) &&
             rng.chance(survival)) {
-            persistLine(line);
-            stats_.linesEvicted++;
+            survivors.push_back(line);
         }
+    }
+    return survivors;
+}
+
+void
+PmPool::crash(Rng &rng, double survival)
+{
+    crashWithSurvivors(pickSurvivors(rng, survival));
+}
+
+void
+PmPool::crashWithSurvivors(const std::vector<LineAddr> &survivors)
+{
+    for (const LineAddr line : survivors) {
+        if (!lineDirty(line))
+            continue;
+        persistLine(line);
+        // Crash survivals are a separate phenomenon from cache
+        // evictions; conflating them skewed every eviction-rate
+        // report.
+        stats_.linesSurvivedCrash++;
     }
     finishCrash();
 }

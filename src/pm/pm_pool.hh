@@ -38,9 +38,10 @@ namespace whisper::pm
 /** Statistics a pool keeps about persist traffic. */
 struct PoolStats
 {
-    std::uint64_t linesPersisted = 0;   //!< flush/NT drains to durable
-    std::uint64_t linesEvicted = 0;     //!< random evictions
-    std::uint64_t crashes = 0;          //!< crash() invocations
+    std::uint64_t linesPersisted = 0;     //!< flush/NT drains to durable
+    std::uint64_t linesEvicted = 0;       //!< random evictions
+    std::uint64_t linesSurvivedCrash = 0; //!< dirty lines a crash kept
+    std::uint64_t crashes = 0;            //!< crash() invocations
 };
 
 /**
@@ -115,6 +116,18 @@ class PmPool
     /** Number of currently dirty lines (linear scan; test helper). */
     std::uint64_t dirtyLineCount() const;
 
+    /** All currently dirty lines, ascending (crash-fuzz helper). */
+    std::vector<LineAddr> dirtyLines() const;
+
+    /**
+     * Resolve a crash's "may survive" set without crashing: each
+     * currently dirty line is kept with probability @p survival.
+     * Depends only on (@p rng state, dirty set), so a fuzz case can
+     * reproduce — or override — the exact survivor set.
+     */
+    std::vector<LineAddr> pickSurvivors(Rng &rng,
+                                        double survival) const;
+
     /**
      * Simulate a power failure.
      *
@@ -132,6 +145,14 @@ class PmPool
      * failures deterministic).
      */
     void crashHard();
+
+    /**
+     * Crash with an explicit survivor set: exactly the dirty lines in
+     * @p survivors persist, everything else keeps its durable value.
+     * The crash-fuzz shrinker uses this to search for the smallest
+     * surviving-line set that still breaks recovery.
+     */
+    void crashWithSurvivors(const std::vector<LineAddr> &survivors);
 
     /** Randomly evict (persist) up to @p n dirty lines, like a cache. */
     void evictRandomLines(Rng &rng, std::uint64_t n);

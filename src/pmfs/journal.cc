@@ -166,4 +166,30 @@ MetaJournal::recover(pm::PmContext &ctx)
     inTx_ = false;
 }
 
+bool
+MetaJournal::quiescent(pm::PmContext &ctx, std::string *why) const
+{
+    std::uint64_t st = 0;
+    ctx.load(stateOff(), &st, 8);
+    if (st != static_cast<std::uint64_t>(JournalState::Free)) {
+        if (why) {
+            *why = "journal descriptor is " + std::to_string(st) +
+                   " (want FREE)";
+        }
+        return false;
+    }
+    for (unsigned seg = 0; seg < kSegments; seg++) {
+        JournalRecord rec{};
+        ctx.load(segBase(seg), &rec, sizeof(rec));
+        if (rec.magic == JournalRecord::kMagic && rec.size != 0) {
+            if (why) {
+                *why = "journal segment " + std::to_string(seg) +
+                       " still holds a live undo record";
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace whisper::pmfs

@@ -89,6 +89,13 @@ class MetaJournal
 
     bool inTx() const { return inTx_; }
 
+    /**
+     * Recovery invariant: the descriptor must be FREE and every
+     * segment cleared once mount-time recovery ran. Fills @p why on
+     * violation.
+     */
+    bool quiescent(pm::PmContext &ctx, std::string *why) const;
+
   private:
     void setState(pm::PmContext &ctx, JournalState st, bool fence_now);
     Addr stateOff() const { return base_; }

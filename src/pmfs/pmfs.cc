@@ -739,6 +739,12 @@ Pmfs::freeBlockCount() const
 }
 
 bool
+Pmfs::journalQuiescent(pm::PmContext &ctx, std::string *why) const
+{
+    return journal_->quiescent(ctx, why);
+}
+
+bool
 Pmfs::fsck(pm::PmContext &ctx, std::string *why)
 {
     std::lock_guard<std::mutex> guard(fsLock_);

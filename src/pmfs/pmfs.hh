@@ -124,6 +124,10 @@ class Pmfs : public BtNodeAllocator
      */
     bool fsck(pm::PmContext &ctx, std::string *why = nullptr);
 
+    /** Post-mount recovery invariant: journal FREE and cleared. */
+    bool journalQuiescent(pm::PmContext &ctx,
+                          std::string *why = nullptr) const;
+
     const FsStats &stats() const { return stats_; }
     std::uint64_t freeBlockCount() const;
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace whisper::sim
@@ -34,8 +35,13 @@ class CountingBloom
     void
     insert(LineAddr line)
     {
-        for (int h = 0; h < kHashes; h++)
-            counts_[slot(line, h)]++;
+        // Saturate instead of wrapping: a wrapped counter would read 0
+        // and produce the false negative the class contract forbids.
+        for (int h = 0; h < kHashes; h++) {
+            auto &c = counts_[slot(line, h)];
+            if (c < kSaturated)
+                c++;
+        }
     }
 
     void
@@ -43,7 +49,14 @@ class CountingBloom
     {
         for (int h = 0; h < kHashes; h++) {
             auto &c = counts_[slot(line, h)];
-            if (c > 0)
+            panic_if(c == 0,
+                     "CountingBloom: remove of line %llu underflows a "
+                     "counter (remove without matching insert)",
+                     static_cast<unsigned long long>(line));
+            // A saturated counter has lost its exact count; it must
+            // stay pinned or a later remove could drop a live entry
+            // to zero.
+            if (c < kSaturated)
                 c--;
         }
     }
@@ -61,6 +74,7 @@ class CountingBloom
 
   private:
     static constexpr int kHashes = 2;
+    static constexpr std::uint16_t kSaturated = 0xFFFF;
 
     std::size_t
     slot(LineAddr line, int h) const

@@ -147,6 +147,23 @@ MnemosyneHeap::recover(pm::PmContext &ctx)
     alloc_->recover(ctx);
 }
 
+bool
+MnemosyneHeap::logsQuiescent(pm::PmContext &ctx, std::string *why) const
+{
+    for (unsigned slot = 0; slot < maxThreads_; slot++) {
+        struct { Addr base; std::uint64_t seq; } cell{};
+        ctx.load(activeCellOff(slot), &cell, sizeof(cell));
+        if (cell.base != kNullAddr) {
+            if (why) {
+                *why = "Mnemosyne slot " + std::to_string(slot) +
+                       " still publishes an active redo segment";
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
 Addr
 MnemosyneHeap::pmalloc(pm::PmContext &ctx, std::size_t n)
 {
@@ -181,6 +198,11 @@ Transaction::Transaction(MnemosyneHeap &heap, pm::PmContext &ctx)
 
 Transaction::~Transaction()
 {
+    // A crash point unwinds through active transactions the way a
+    // power cut kills a process mid-transaction: the destructor never
+    // really runs, and recovery owns the published log segment.
+    if (state_ == State::Active && ctx_.crashInjected())
+        return;
     panic_if(state_ == State::Active,
              "Transaction destroyed without commit/abort");
 }

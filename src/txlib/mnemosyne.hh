@@ -124,6 +124,14 @@ class MnemosyneHeap
     /** Per-slot cell naming the in-flight tx's segment (or null). */
     Addr activeCellOff(unsigned slot) const;
 
+    /**
+     * Recovery invariant: no slot may still publish an active redo
+     * segment once recover() ran — a published cell means a committed
+     * transaction was replayed but not retired, or recovery never
+     * scanned the slot. Fills @p why on violation.
+     */
+    bool logsQuiescent(pm::PmContext &ctx, std::string *why) const;
+
     unsigned maxThreads() const { return maxThreads_; }
 
   private:

@@ -161,6 +161,38 @@ NvmlPool::recover(pm::PmContext &ctx)
     }
 }
 
+bool
+NvmlPool::logsQuiescent(pm::PmContext &ctx, std::string *why) const
+{
+    for (unsigned slot = 0; slot < maxThreads_; slot++) {
+        std::uint64_t st = 0;
+        ctx.load(stateOff(slot), &st, 8);
+        if (st != static_cast<std::uint64_t>(TxState::None)) {
+            if (why) {
+                *why = "NVML slot " + std::to_string(slot) +
+                       " descriptor is " + std::to_string(st) +
+                       " (want NONE)";
+            }
+            return false;
+        }
+        for (unsigned seg = 0; seg < kLogSegments; seg++) {
+            UndoHeader hdr{};
+            ctx.load(logBase(slot) + seg * segmentBytes(), &hdr,
+                     sizeof(hdr));
+            if (hdr.magic == UndoHeader::kMagic &&
+                hdr.kind != UndoKind::End) {
+                if (why) {
+                    *why = "NVML slot " + std::to_string(slot) +
+                           " segment " + std::to_string(seg) +
+                           " still holds a live undo record";
+                }
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
 TxContext::TxContext(NvmlPool &pool, pm::PmContext &ctx)
     : pool_(pool), ctx_(ctx), state_(State::Active)
 {
@@ -173,6 +205,10 @@ TxContext::TxContext(NvmlPool &pool, pm::PmContext &ctx)
 
 TxContext::~TxContext()
 {
+    // See Transaction::~Transaction: a crash point "kills the
+    // process" mid-transaction; recovery rolls the log back.
+    if (state_ == State::Active && ctx_.crashInjected())
+        return;
     panic_if(state_ == State::Active,
              "TxContext destroyed without commit/abort");
 }

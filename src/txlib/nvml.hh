@@ -103,6 +103,15 @@ class NvmlPool
     Addr stateOff(unsigned slot) const;
     unsigned maxThreads() const { return maxThreads_; }
 
+    /**
+     * Recovery invariant: every per-thread descriptor must be NONE
+     * and every log segment must terminate at its first record —
+     * an ACTIVE descriptor means a rollback was skipped, a COMMITTED
+     * one that commit cleanup never finished and recovery did not
+     * complete it. Fills @p why on violation.
+     */
+    bool logsQuiescent(pm::PmContext &ctx, std::string *why) const;
+
   private:
     friend class TxContext;
 

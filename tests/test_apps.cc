@@ -62,6 +62,10 @@ TEST_P(AppRun, SurvivesHardCrash)
     ASSERT_TRUE(result.verified);
     result.runtime->crashHard();
     result.app->recover(*result.runtime);
+    std::string why;
+    EXPECT_TRUE(
+        result.app->checkRecoveryInvariants(*result.runtime, &why))
+        << GetParam() << ": " << why;
     EXPECT_TRUE(result.app->verifyRecovered(*result.runtime))
         << GetParam();
 }
@@ -92,6 +96,12 @@ TEST_P(AppCrashSweep, AdversarialCrashRecovery)
     ASSERT_TRUE(result.verified);
     EXPECT_TRUE(core::crashAndVerify(result, cc.seed * 1337 + 1, 0.5))
         << cc.app << " seed " << cc.seed;
+    // After recovery the access layer must be quiescent again: logs
+    // retired, journal FREE, descriptor protocols settled.
+    std::string why;
+    EXPECT_TRUE(
+        result.app->checkRecoveryInvariants(*result.runtime, &why))
+        << cc.app << " seed " << cc.seed << ": " << why;
 }
 
 std::vector<CrashCase>

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Crash-recovery fuzzer tests: deterministic case derivation and
+ * digests at any job count, the bounded per-layer smoke sweep that
+ * rides every ctest run, and the end-to-end proof that a deliberate
+ * ordering bug is found, shrunk and rendered replayable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/crash_fuzz.hh"
+
+namespace whisper
+{
+namespace
+{
+
+fuzz::FuzzConfig
+tinyConfig()
+{
+    fuzz::FuzzConfig config;
+    config.opsPerThread = 10;
+    config.poolBytes = 24 << 20;
+    return config;
+}
+
+TEST(CrashFuzz, CaseDerivationIsPure)
+{
+    const fuzz::FuzzConfig config = tinyConfig();
+    const fuzz::FuzzCase a = fuzz::deriveCase("hashmap", 11, 452,
+                                              config);
+    const fuzz::FuzzCase b = fuzz::deriveCase("hashmap", 11, 452,
+                                              config);
+    EXPECT_EQ(a.crashAt, b.crashAt);
+    EXPECT_EQ(a.crashSeed, b.crashSeed);
+    EXPECT_EQ(a.survival, b.survival);
+    EXPECT_EQ(a.hard, b.hard);
+    EXPECT_LT(a.crashAt, 452u);
+    // A different id perturbs the parameters.
+    const fuzz::FuzzCase c = fuzz::deriveCase("hashmap", 12, 452,
+                                              config);
+    EXPECT_NE(a.crashSeed, c.crashSeed);
+}
+
+TEST(CrashFuzz, CaseReplayIsBitIdentical)
+{
+    const fuzz::FuzzConfig config = tinyConfig();
+    const std::uint64_t total = fuzz::profilePmOps("hashmap", config);
+    ASSERT_GT(total, 0u);
+    const fuzz::FuzzCase c = fuzz::deriveCase("hashmap", 5, total,
+                                              config);
+    const fuzz::CaseOutcome first = fuzz::runCase(c, config);
+    const fuzz::CaseOutcome second = fuzz::runCase(c, config);
+    EXPECT_EQ(first.digest, second.digest);
+    EXPECT_EQ(first.fired, second.fired);
+    EXPECT_EQ(first.opIndex, second.opIndex);
+    EXPECT_EQ(first.survivors, second.survivors);
+}
+
+TEST(CrashFuzz, SweepDigestIdenticalAtAnyJobs)
+{
+    fuzz::SweepOptions options;
+    options.apps = {"hashmap", "echo"};
+    options.cases = 12;
+    options.config = tinyConfig();
+    options.shrinkViolations = false;
+
+    options.jobs = 1;
+    const auto sequential = fuzz::sweep(options);
+    options.jobs = 4;
+    const auto parallel = fuzz::sweep(options);
+
+    ASSERT_EQ(sequential.size(), parallel.size());
+    for (std::size_t i = 0; i < sequential.size(); i++) {
+        EXPECT_EQ(sequential[i].digest, parallel[i].digest)
+            << sequential[i].app;
+        EXPECT_EQ(sequential[i].violations, parallel[i].violations);
+        EXPECT_EQ(sequential[i].casesFired, parallel[i].casesFired);
+    }
+}
+
+TEST(CrashFuzz, SmokeSweepEachLayerHoldsInvariants)
+{
+    // The bounded smoke sweep the issue wires into ctest: one
+    // application per access layer (native, NVML, Mnemosyne, PMFS),
+    // a few hundred crash points x seeds x survival rates each.
+    fuzz::SweepOptions options;
+    options.apps = {"echo", "hashmap", "vacation", "nfs"};
+    options.cases = 200;
+    options.config = tinyConfig();
+    options.maxReproducers = 1;
+
+    for (const auto &report : fuzz::sweep(options)) {
+        EXPECT_EQ(report.violations, 0u)
+            << report.app << ": "
+            << (report.reproducers.empty()
+                    ? "(no reproducer)"
+                    : report.reproducers[0].why + " => " +
+                          report.reproducers[0].command);
+        EXPECT_EQ(report.casesRun, options.cases);
+        EXPECT_GT(report.casesFired, 0u);
+        EXPECT_GT(report.totalPmOps, 0u);
+    }
+}
+
+TEST(CrashFuzz, FindsAndShrinksDeliberateViolation)
+{
+    fuzz::registerFaultyApp();
+    fuzz::SweepOptions options;
+    options.apps = {"faulty"};
+    options.cases = 32;
+    options.config.opsPerThread = 8;
+    options.config.poolBytes = 1 << 20;
+    options.maxReproducers = 1;
+
+    const auto reports = fuzz::sweep(options);
+    ASSERT_EQ(reports.size(), 1u);
+    const auto &report = reports[0];
+    EXPECT_GT(report.violations, 0u);
+    ASSERT_FALSE(report.reproducers.empty());
+
+    const auto &rep = report.reproducers[0];
+    // The shrinker may only move the crash point later, closer to
+    // the bug, and for this bug the empty survivor set suffices.
+    EXPECT_TRUE(rep.survivors.empty());
+    EXPECT_NE(rep.command.find("--replay faulty:"),
+              std::string::npos);
+    EXPECT_NE(rep.command.find("--survivors none"),
+              std::string::npos);
+
+    // The reproducer replays: the shrunk case still violates.
+    const fuzz::CaseOutcome replay =
+        fuzz::runCase(rep.c, options.config, &rep.survivors);
+    EXPECT_FALSE(replay.ok);
+    EXPECT_EQ(replay.why, rep.why);
+}
+
+} // namespace
+} // namespace whisper

@@ -136,6 +136,66 @@ TEST(PmPool, CrashOutcomeIsPerLine)
     EXPECT_GT(lost, 32);
 }
 
+TEST(PmPool, CrashStatsCountSurvivorsSeparatelyFromEvictions)
+{
+    // Regression: crash() used to book surviving lines as
+    // linesEvicted, conflating cache-pressure evictions with crash
+    // luck and skewing any eviction-rate analysis.
+    PoolWorld w;
+    for (Addr off = 0; off < 64 * 8; off += 64) {
+        const std::uint64_t v = off + 1;
+        w.ctx.store(off, &v, 8);
+    }
+    const std::uint64_t evicted_before = w.pool.stats().linesEvicted;
+    Rng rng(1);
+    w.pool.crash(rng, 1.0); // all 8 dirty lines survive
+    EXPECT_EQ(w.pool.stats().linesSurvivedCrash, 8u);
+    EXPECT_EQ(w.pool.stats().linesEvicted, evicted_before);
+    EXPECT_EQ(w.pool.stats().crashes, 1u);
+}
+
+TEST(PmPool, CrashHardSurvivesNothingAndBooksNothing)
+{
+    PoolWorld w;
+    const std::uint64_t v = 7;
+    w.ctx.store(0, &v, 8);
+    w.pool.crashHard();
+    EXPECT_EQ(w.pool.stats().linesSurvivedCrash, 0u);
+    EXPECT_EQ(w.pool.stats().linesEvicted, 0u);
+}
+
+TEST(PmPool, CrashWithSurvivorsKeepsExactlyThatSet)
+{
+    PoolWorld w;
+    for (Addr off = 0; off < 64 * 4; off += 64) {
+        const std::uint64_t v = off + 1;
+        w.ctx.store(off, &v, 8);
+    }
+    // Keep lines 0 and 2; line addresses are byte offsets / 64.
+    w.pool.crashWithSurvivors({0, 2});
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(0), 1u);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(64), 0u);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(128), 129u);
+    EXPECT_EQ(*w.pool.at<std::uint64_t>(192), 0u);
+    EXPECT_EQ(w.pool.stats().linesSurvivedCrash, 2u);
+    EXPECT_EQ(w.pool.dirtyLineCount(), 0u);
+}
+
+TEST(PmPool, PickSurvivorsIsSeedDeterministic)
+{
+    PoolWorld w;
+    for (Addr off = 0; off < 64 * 64; off += 64) {
+        const std::uint64_t v = off + 1;
+        w.ctx.store(off, &v, 8);
+    }
+    Rng rng_a(42), rng_b(42);
+    const auto a = w.pool.pickSurvivors(rng_a, 0.5);
+    const auto b = w.pool.pickSurvivors(rng_b, 0.5);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a.size(), 0u);
+    EXPECT_LT(a.size(), 64u);
+}
+
 TEST(PmPool, PersistRangeSpansLines)
 {
     PoolWorld w;

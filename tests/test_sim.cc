@@ -89,6 +89,28 @@ TEST(Bloom, RemoveClearsEventually)
     EXPECT_FALSE(bloom.mightContain(42));
 }
 
+TEST(Bloom, SaturatedCounterNeverGoesFalseNegative)
+{
+    // Regression: insert used to wrap the 16-bit counters, so 65536
+    // inserts read as "absent" — a false negative the HOPS back end
+    // would turn into a missed stall. Saturated counters must pin.
+    CountingBloom bloom(64);
+    for (int i = 0; i < 0x10000 + 8; i++)
+        bloom.insert(9);
+    EXPECT_TRUE(bloom.mightContain(9));
+    // Once saturated the exact count is lost: removes must not drain
+    // the counter back to zero either.
+    for (int i = 0; i < 0x10000 + 8; i++)
+        bloom.remove(9);
+    EXPECT_TRUE(bloom.mightContain(9));
+}
+
+TEST(Bloom, RemoveWithoutInsertPanics)
+{
+    CountingBloom bloom(64);
+    EXPECT_DEATH(bloom.remove(123), "underflow");
+}
+
 TEST(Bloom, MostlySelective)
 {
     CountingBloom bloom(4096);

@@ -75,16 +75,21 @@ TEST(Mnemosyne, CrashMidTxDiscardsLog)
     w.ctx.persist(obj, 8);
 
     {
-        // Leaked deliberately: the crash "kills the process" while
-        // the transaction is open, so no destructor runs.
-        auto *tx = new mne::Transaction(heap, w.ctx);
+        // The crash "kills the process" while the transaction is
+        // open: a fired crash plan makes the destructor release host
+        // memory without touching the (powered-off) pool.
+        mne::Transaction tx(heap, w.ctx);
         const std::uint64_t v = 99;
-        tx->update(obj, &v, 8);
+        tx.update(obj, &v, 8);
         // Crash before commit: redo entries are durable (NTI+fence)
         // but there is no commit record.
         w.pool.crashHard();
         w.ctx.resetPendingState();
+        pm::CrashPlan dead;
+        dead.fired.store(true);
+        w.ctx.setCrashPlan(&dead);
     }
+    w.ctx.setCrashPlan(nullptr);
 
     mne::MnemosyneHeap again(0, 16 << 20, 2);
     again.recover(w.ctx);
@@ -255,16 +260,21 @@ TEST(Nvml, CrashMidTxRollsBackAndFrees)
     }
     Addr leak_candidate = kNullAddr;
     {
-        // Leaked deliberately: the crash happens with the tx ACTIVE.
-        auto *tx = new nvml::TxContext(pool, w.ctx);
+        // The crash happens with the tx ACTIVE: a fired crash plan
+        // keeps the destructor off the pool (no abort rollback).
+        nvml::TxContext tx(pool, w.ctx);
         auto *cell = w.pool.at<std::uint64_t>(obj);
-        tx->set(*cell, std::uint64_t{555});
-        leak_candidate = tx->txAlloc(128);
+        tx.set(*cell, std::uint64_t{555});
+        leak_candidate = tx.txAlloc(128);
         // Everything fenced so far: the undo records, the tx state,
         // the allocator mutations.
         w.pool.crashHard();
         w.ctx.resetPendingState();
+        pm::CrashPlan dead;
+        dead.fired.store(true);
+        w.ctx.setCrashPlan(&dead);
     }
+    w.ctx.setCrashPlan(nullptr);
     nvml::NvmlPool again(0, 32 << 20, 2);
     again.recover(w.ctx);
     EXPECT_EQ(*w.pool.at<std::uint64_t>(obj), 10u);
