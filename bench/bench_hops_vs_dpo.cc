@@ -27,7 +27,9 @@ main()
                   "HOPS+coalesce", "PM write-backs", "with coalesce",
                   "saved"});
 
-    for (const auto &name : simSubset()) {
+    std::vector<std::string> names = simSubset();
+    names.insert(names.end(), modOrder().begin(), modOrder().end());
+    for (const auto &name : names) {
         core::RunResult result = runForAnalysis(name, config);
         const trace::TraceSet &traces = result.runtime->traces();
 

@@ -32,6 +32,20 @@ suiteOrder()
     return order;
 }
 
+/**
+ * The post-paper MOD workloads (src/mod). Kept out of suiteOrder() so
+ * the paper-figure benches keep their Table 1 rows and paper-value
+ * lookups intact; benches that can show the MOD layer next to the
+ * logging layers append this list explicitly.
+ */
+inline const std::vector<std::string> &
+modOrder()
+{
+    static const std::vector<std::string> order = {"mod-hashmap",
+                                                   "mod-vector"};
+    return order;
+}
+
 /** The subset that runs under the timing simulator (Figures 6/10). */
 inline const std::vector<std::string> &
 simSubset()

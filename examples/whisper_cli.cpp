@@ -10,6 +10,7 @@
  *   whisper_cli record  <app> <trace.bin> [ops] [threads]
  *   whisper_cli analyze <trace.bin> [--jobs N]
  *   whisper_cli simulate <trace.bin> [model...]
+ *   whisper_cli apps [--ops N] [--threads N]
  *   whisper_cli crashfuzz [--cases N] [--jobs N] [--apps a,b] ...
  *   whisper_cli crashfuzz --replay <app>:<caseId> [--at K] ...
  *   whisper_cli list
@@ -43,6 +44,7 @@ usage()
         "  whisper_cli record  <app> <trace.bin> [ops] [threads]\n"
         "  whisper_cli analyze <trace.bin> [--jobs N]\n"
         "  whisper_cli simulate <trace.bin> [model...]\n"
+        "  whisper_cli apps [--ops N] [--threads N]\n"
         "  whisper_cli crashfuzz [--cases N] [--jobs N] "
         "[--apps a,b] [--ops N] [--seed S] [--pool-mb M] "
         "[--no-shrink]\n"
@@ -187,6 +189,92 @@ cmdSimulate(int argc, char **argv)
                    TextTable::num(r.persist.pbFullStalls),
                    TextTable::percent(r.l1Stats.hitRate(), 1),
                    TextTable::num(r.persist.epochsDrained)});
+    }
+    table.print();
+    return 0;
+}
+
+/**
+ * Run every registered application at a small scale and print the §5
+ * headline metrics grouped by access layer, with one aggregate row
+ * per layer — the quickest way to see the MOD layer's epochs/tx and
+ * write amplification next to the logging libraries'.
+ */
+int
+cmdApps(int argc, char **argv)
+{
+    core::AppConfig config;
+    config.opsPerThread = 200;
+    config.threads = 4;
+    config.poolBytes = 256 << 20;
+    for (int i = 2; i < argc; i++) {
+        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (std::strcmp(argv[i], "--ops") == 0 && val) {
+            config.opsPerThread = std::strtoull(val, nullptr, 0);
+            i++;
+        } else if (std::strcmp(argv[i], "--threads") == 0 && val) {
+            config.threads =
+                static_cast<unsigned>(std::strtoul(val, nullptr, 0));
+            i++;
+        } else {
+            return usage();
+        }
+    }
+
+    struct Row
+    {
+        std::string app;
+        std::uint64_t txs = 0;
+        std::uint64_t epochsPerTx = 0;
+        std::uint64_t userBytes = 0;
+        std::uint64_t metaBytes = 0;
+        double ratio = 0.0;
+    };
+    std::map<core::AccessLayer, std::vector<Row>> by_layer;
+
+    for (const auto &name : core::registeredApps()) {
+        core::RunResult result = core::runApp(name, config);
+        if (!result.verified) {
+            std::fprintf(stderr, "%s failed verification\n",
+                         name.c_str());
+            return 1;
+        }
+        const analysis::AnalysisResult a = core::analyzeRun(result);
+        Row row;
+        row.app = name;
+        row.txs = a.epochs.totalTransactions;
+        row.epochsPerTx = a.epochs.epochsPerTx.median();
+        row.userBytes = a.amplification.userBytes;
+        row.metaBytes = a.amplification.logBytes +
+                        a.amplification.allocBytes +
+                        a.amplification.txMetaBytes +
+                        a.amplification.fsMetaBytes;
+        row.ratio = a.amplification.ratio();
+        by_layer[result.layer].push_back(row);
+    }
+
+    TextTable table("per-layer application aggregates");
+    table.header({"layer", "app", "tx", "epochs/tx", "user B",
+                  "meta B", "amplification"});
+    for (const auto &[layer, rows] : by_layer) {
+        std::uint64_t user = 0, meta = 0;
+        for (const Row &row : rows) {
+            table.row({core::accessLayerName(layer), row.app,
+                       TextTable::num(row.txs),
+                       TextTable::num(row.epochsPerTx),
+                       TextTable::num(row.userBytes),
+                       TextTable::num(row.metaBytes),
+                       TextTable::fixed(row.ratio, 2) + "x"});
+            user += row.userBytes;
+            meta += row.metaBytes;
+        }
+        const double ratio =
+            user ? static_cast<double>(meta) /
+                       static_cast<double>(user)
+                 : 0.0;
+        table.row({core::accessLayerName(layer), "= layer total", "",
+                   "", TextTable::num(user), TextTable::num(meta),
+                   TextTable::fixed(ratio, 2) + "x"});
     }
     table.print();
     return 0;
@@ -354,6 +442,8 @@ main(int argc, char **argv)
         return cmdAnalyze(argc, argv);
     if (std::strcmp(argv[1], "simulate") == 0)
         return cmdSimulate(argc, argv);
+    if (std::strcmp(argv[1], "apps") == 0)
+        return cmdApps(argc, argv);
     if (std::strcmp(argv[1], "crashfuzz") == 0)
         return cmdCrashfuzz(argc, argv);
     return usage();

@@ -43,7 +43,19 @@ if [[ "$docs_only" == 0 && "$skip_asan" == 0 ]]; then
     cmake -B build-asan -S . -DWHISPER_SANITIZE=ON >/dev/null
     cmake --build build-asan -j "$(nproc)" --target whisper_tests
     build-asan/tests/whisper_tests \
-        --gtest_filter='CrashFuzz.*:PmPool.*:PmContext.*:Bloom.*:Mnemosyne*:Nvml*'
+        --gtest_filter='CrashFuzz.*:PmPool.*:PmContext.*:Bloom.*:Mnemosyne*:Nvml*:Mod*'
+fi
+
+# ---------------------------------------------------------------
+# MOD recovery contract: a bounded crashfuzz sweep over the two MOD
+# applications (>=128 cases each) must report zero violations — the
+# root swap always commits a fully-persisted structure and the
+# garbage lanes never reclaim a reachable node.
+# ---------------------------------------------------------------
+if [[ "$docs_only" == 0 ]]; then
+    echo "== crashfuzz: MOD recovery sweep =="
+    build/examples/whisper_cli crashfuzz --cases 128 \
+        --jobs "$(nproc)" --apps mod-hashmap,mod-vector
 fi
 
 # ---------------------------------------------------------------

@@ -10,6 +10,7 @@
  *   redis, ctree, hashmap     — Library/NVML
  *   vacation, memcached       — Library/Mnemosyne
  *   nfs, exim, mysql          — FS/PMFS
+ *   mod-hashmap, mod-vector   — Library/MOD (post-paper layer)
  */
 
 #ifndef WHISPER_APPS_APPS_HH
@@ -35,6 +36,10 @@ makeMemcachedApp(const core::AppConfig &);
 std::unique_ptr<core::WhisperApp> makeNfsApp(const core::AppConfig &);
 std::unique_ptr<core::WhisperApp> makeEximApp(const core::AppConfig &);
 std::unique_ptr<core::WhisperApp> makeMysqlApp(const core::AppConfig &);
+std::unique_ptr<core::WhisperApp>
+makeModHashmapApp(const core::AppConfig &);
+std::unique_ptr<core::WhisperApp>
+makeModVectorApp(const core::AppConfig &);
 
 } // namespace whisper::apps
 

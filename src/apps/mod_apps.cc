@@ -1,0 +1,325 @@
+/**
+ * @file
+ * The two MOD applications: mod-hashmap and mod-vector.
+ *
+ * Both run the suite's standard micro-benchmark shape (a DRAM-heavy
+ * op loop in the paper's Figure 6 proportions) against the MOD access
+ * layer (src/mod): every update shadow-copies the affected nodes,
+ * orders them with a single ofence, and commits with an 8-byte root
+ * swap; a dfence is issued only at durability points, every
+ * kDurabilityInterval operations. They are the counterpart of
+ * `hashmap` (NVML undo logging) and the array workloads of the
+ * log-based layers, built so the analyses can put MOD's epochs/tx and
+ * write amplification next to Mnemosyne's and NVML's on like-for-like
+ * workloads.
+ *
+ * Thread discipline: the key space (top 16 bits = tid) and the vector
+ * spine (a contiguous slot region per tid) are partitioned so each
+ * thread only ever supersedes its own nodes — the per-thread garbage
+ * lanes then reclaim strictly behind the owning thread's dfence, and
+ * per-thread byte counts are independent of interleaving.
+ */
+
+#include "apps/apps.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "mod/mod_hashmap.hh"
+#include "mod/mod_vector.hh"
+
+namespace whisper::apps
+{
+
+using namespace core;
+using pm::DataClass;
+using pm::FenceKind;
+
+namespace
+{
+
+/** Ops between durability points (dfence + garbage reclaim). */
+constexpr std::uint64_t kDurabilityInterval = 16;
+
+/** Chain buckets per thread partition (load factor well under 1). */
+constexpr std::uint64_t kBucketsPerPartition = 16384;
+
+/** Vector spine slots per thread region. */
+constexpr std::uint64_t kSlotsPerThread = 256;
+
+/** Table at pool offset 0; the MOD heap fills the rest of the pool. */
+constexpr Addr kTableOff = 0;
+
+Addr
+heapBase(std::size_t table_bytes)
+{
+    return lineBase(table_bytes + 2 * kCacheLineSize);
+}
+
+class ModHashmapApp : public WhisperApp
+{
+  public:
+    explicit ModHashmapApp(const AppConfig &config) : WhisperApp(config)
+    {
+        buckets_ = kBucketsPerPartition * config_.threads;
+        heapBase_ = heapBase(mod::ModHashmap::tableBytes(buckets_));
+        panic_if(heapBase_ >= config_.poolBytes,
+                 "mod-hashmap: pool too small for bucket table");
+    }
+
+    std::string name() const override { return "mod-hashmap"; }
+    AccessLayer layer() const override { return AccessLayer::LibMod; }
+
+    void
+    setup(Runtime &rt) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        heap_ = std::make_unique<mod::ModHeap>(
+            ctx, heapBase_, config_.poolBytes - heapBase_,
+            config_.threads);
+        map_ = std::make_unique<mod::ModHashmap>(
+            ctx, *heap_, kTableOff, buckets_, config_.threads);
+    }
+
+    void
+    run(Runtime &rt, pm::PmContext &ctx, ThreadId tid) override
+    {
+        (void)rt;
+        Rng rng(config_.seed * 353 + tid);
+        // Small enough that keys repeat: a healthy share of the puts
+        // are updates, i.e. real shadow path copies.
+        const std::uint64_t keyspace = config_.opsPerThread + 64;
+        std::vector<std::uint64_t> inserted;
+        inserted.reserve(config_.opsPerThread);
+
+        for (std::uint64_t op = 0; op < config_.opsPerThread; op++) {
+            // Paper Fig. 6 proportions: the op is mostly DRAM work.
+            ctx.vBurst(inserted.data(), 1 << 14, 560, 240);
+            ctx.compute(6500);
+
+            if (!inserted.empty() && rng.chance(0.1)) {
+                const std::size_t idx = rng.next(inserted.size());
+                map_->remove(ctx, tid, inserted[idx]);
+                inserted[idx] = inserted.back();
+                inserted.pop_back();
+                ctx.vStore(inserted.data() + idx, 8);
+            } else {
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(tid) << 48) |
+                    rng.next(keyspace);
+                std::uint64_t vals[mod::ModHashmap::kValWords] = {
+                    rng(), rng(), rng()};
+                bool was_insert = false;
+                if (map_->put(ctx, tid, key, vals, was_insert) &&
+                    was_insert) {
+                    inserted.push_back(key);
+                    ctx.vStore(&inserted.back(), 8);
+                }
+            }
+            if ((op + 1) % kDurabilityInterval == 0)
+                heap_->durabilityPoint(ctx, tid);
+        }
+        heap_->durabilityPoint(ctx, tid);
+    }
+
+    bool
+    verify(Runtime &rt) override
+    {
+        std::string why;
+        const bool ok = heap_->magicIntact(rt.ctx(0)) &&
+                        map_->check(rt.ctx(0), &why);
+        if (!ok)
+            warn("mod-hashmap verify failed: %s", why.c_str());
+        return ok;
+    }
+
+    void
+    recover(Runtime &rt) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        heap_ = std::make_unique<mod::ModHeap>(
+            heapBase_, config_.poolBytes - heapBase_, config_.threads);
+        map_ = std::make_unique<mod::ModHashmap>(
+            *heap_, kTableOff, buckets_, config_.threads);
+        // Mark from the bucket table, then sweep: allocator occupancy
+        // becomes exactly the reachable node set and the garbage lanes
+        // are cleared (nothing on them can be reachable).
+        std::vector<Addr> live;
+        map_->reachable(ctx, live);
+        heap_->recover(ctx, live);
+    }
+
+    bool
+    verifyRecovered(Runtime &rt) override
+    {
+        std::string why;
+        const bool ok = map_->check(rt.ctx(0), &why);
+        if (!ok)
+            warn("mod-hashmap recovery check failed: %s", why.c_str());
+        return ok;
+    }
+
+    bool
+    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        if (!heap_->magicIntact(ctx)) {
+            if (why)
+                *why = "mod heap magic lost";
+            return false;
+        }
+        if (!heap_->gcQuiescent(ctx, why))
+            return false;
+        // The MOD commit contract: every root (bucket head) names a
+        // fully-persisted, still-allocated node — GC must never have
+        // reclaimed anything a durable root can reach.
+        std::vector<Addr> live;
+        map_->reachable(ctx, live);
+        for (const Addr node : live) {
+            if (!heap_->isLiveNode(node)) {
+                if (why)
+                    *why = "reachable mod node not allocated";
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::unique_ptr<mod::ModHeap> heap_;
+    std::unique_ptr<mod::ModHashmap> map_;
+    std::uint64_t buckets_ = 0;
+    Addr heapBase_ = 0;
+};
+
+class ModVectorApp : public WhisperApp
+{
+  public:
+    explicit ModVectorApp(const AppConfig &config) : WhisperApp(config)
+    {
+        slots_ = kSlotsPerThread * config_.threads;
+        heapBase_ = heapBase(mod::ModVector::tableBytes(slots_));
+        panic_if(heapBase_ >= config_.poolBytes,
+                 "mod-vector: pool too small for spine table");
+    }
+
+    std::string name() const override { return "mod-vector"; }
+    AccessLayer layer() const override { return AccessLayer::LibMod; }
+
+    void
+    setup(Runtime &rt) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        heap_ = std::make_unique<mod::ModHeap>(
+            ctx, heapBase_, config_.poolBytes - heapBase_,
+            config_.threads);
+        vec_ = std::make_unique<mod::ModVector>(
+            ctx, *heap_, kTableOff, slots_);
+    }
+
+    void
+    run(Runtime &rt, pm::PmContext &ctx, ThreadId tid) override
+    {
+        (void)rt;
+        Rng rng(config_.seed * 419 + tid);
+        std::vector<std::uint64_t> scratch(2048);
+
+        for (std::uint64_t op = 0; op < config_.opsPerThread; op++) {
+            ctx.vBurst(scratch.data(), 1 << 14, 560, 240);
+            ctx.compute(6500);
+
+            // One MOD update in the thread's spine region: five fresh
+            // elements at a random offset, the rest carried over by
+            // the shadow copy.
+            const std::uint64_t slot =
+                tid * kSlotsPerThread + rng.next(kSlotsPerThread);
+            const std::uint64_t first = rng.next(4);
+            std::uint64_t vals[5] = {rng(), rng(), rng(), rng(),
+                                     rng()};
+            vec_->write(ctx, tid, slot, first, vals, 5,
+                        mod::ModVector::kElems);
+            ctx.vStore(scratch.data() + (slot % scratch.size()), 8);
+
+            if ((op + 1) % kDurabilityInterval == 0)
+                heap_->durabilityPoint(ctx, tid);
+        }
+        heap_->durabilityPoint(ctx, tid);
+    }
+
+    bool
+    verify(Runtime &rt) override
+    {
+        std::string why;
+        const bool ok = heap_->magicIntact(rt.ctx(0)) &&
+                        vec_->check(rt.ctx(0), &why);
+        if (!ok)
+            warn("mod-vector verify failed: %s", why.c_str());
+        return ok;
+    }
+
+    void
+    recover(Runtime &rt) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        heap_ = std::make_unique<mod::ModHeap>(
+            heapBase_, config_.poolBytes - heapBase_, config_.threads);
+        vec_ = std::make_unique<mod::ModVector>(*heap_, kTableOff,
+                                                slots_);
+        std::vector<Addr> live;
+        vec_->reachable(ctx, live);
+        heap_->recover(ctx, live);
+    }
+
+    bool
+    verifyRecovered(Runtime &rt) override
+    {
+        std::string why;
+        const bool ok = vec_->check(rt.ctx(0), &why);
+        if (!ok)
+            warn("mod-vector recovery check failed: %s", why.c_str());
+        return ok;
+    }
+
+    bool
+    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        if (!heap_->magicIntact(ctx)) {
+            if (why)
+                *why = "mod heap magic lost";
+            return false;
+        }
+        if (!heap_->gcQuiescent(ctx, why))
+            return false;
+        std::vector<Addr> live;
+        vec_->reachable(ctx, live);
+        for (const Addr node : live) {
+            if (!heap_->isLiveNode(node)) {
+                if (why)
+                    *why = "reachable mod chunk not allocated";
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::unique_ptr<mod::ModHeap> heap_;
+    std::unique_ptr<mod::ModVector> vec_;
+    std::uint64_t slots_ = 0;
+    Addr heapBase_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<core::WhisperApp>
+makeModHashmapApp(const core::AppConfig &config)
+{
+    return std::make_unique<ModHashmapApp>(config);
+}
+
+std::unique_ptr<core::WhisperApp>
+makeModVectorApp(const core::AppConfig &config)
+{
+    return std::make_unique<ModVectorApp>(config);
+}
+
+} // namespace whisper::apps

@@ -19,6 +19,8 @@ registerSuiteApps()
         registerApp("nfs", makeNfsApp);
         registerApp("exim", makeEximApp);
         registerApp("mysql", makeMysqlApp);
+        registerApp("mod-hashmap", makeModHashmapApp);
+        registerApp("mod-vector", makeModVectorApp);
         return true;
     }();
     (void)once;

@@ -15,6 +15,7 @@ accessLayerName(AccessLayer layer)
       case AccessLayer::LibNvml:      return "Library/NVML";
       case AccessLayer::LibMnemosyne: return "Library/Mnemosyne";
       case AccessLayer::Filesystem:   return "FS/PMFS";
+      case AccessLayer::LibMod:       return "Library/MOD";
     }
     return "?";
 }

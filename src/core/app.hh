@@ -51,13 +51,18 @@ struct AppConfig
     }
 };
 
-/** Paper access-layer taxonomy (Table 1 "Access Layer" column). */
+/**
+ * Paper access-layer taxonomy (Table 1 "Access Layer" column), plus
+ * the post-paper MOD layer (minimally ordered durable datastructures)
+ * the suite grows to quantify the paper's Consequence 3/8 fixes.
+ */
 enum class AccessLayer
 {
     Native,
     LibNvml,
     LibMnemosyne,
     Filesystem,
+    LibMod,
 };
 
 const char *accessLayerName(AccessLayer layer);

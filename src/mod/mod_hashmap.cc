@@ -1,0 +1,343 @@
+#include "mod/mod_hashmap.hh"
+
+#include <cstddef>
+
+#include "common/logging.hh"
+
+namespace whisper::mod
+{
+
+using pm::DataClass;
+using pm::FenceKind;
+
+namespace
+{
+
+/** Safety cap on chain walks; a longer chain means a cycle. */
+constexpr std::uint64_t kMaxChain = 1u << 20;
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+std::uint64_t
+ModHashmap::entryChecksum(std::uint64_t key, const std::uint64_t *vals)
+{
+    // Position-sensitive fold over key and payload. The next pointer
+    // is deliberately excluded: a shadow path-copy rewrites next but
+    // must not have to re-derive payload checksums.
+    std::uint64_t h = 0x4D4150u ^ mix64(key);
+    for (std::uint64_t i = 0; i < kValWords; i++)
+        h = mix64(h ^ (vals[i] + i + 1));
+    return h;
+}
+
+ModHashmap::ModHashmap(pm::PmContext &ctx, ModHeap &heap,
+                       Addr table_off, std::uint64_t bucket_count,
+                       unsigned partitions)
+    : heap_(heap), tableOff_(table_off), bucketCount_(bucket_count),
+      partitions_(partitions)
+{
+    panic_if(partitions_ == 0 || bucketCount_ % partitions_ != 0,
+             "mod hashmap: buckets must split evenly over partitions");
+    ctx.store(tableOff_, &kMagic, 8, DataClass::TxMeta);
+    ctx.store(tableOff_ + 8, &bucketCount_, 8, DataClass::TxMeta);
+    for (std::uint64_t b = 0; b < bucketCount_; b++)
+        ctx.store(bucketOff(b), &kNullAddr, 8, DataClass::TxMeta);
+    ctx.flush(tableOff_, tableBytes(bucketCount_));
+    ctx.fence(FenceKind::Durability);
+}
+
+ModHashmap::ModHashmap(ModHeap &heap, Addr table_off,
+                       std::uint64_t bucket_count, unsigned partitions)
+    : heap_(heap), tableOff_(table_off), bucketCount_(bucket_count),
+      partitions_(partitions)
+{
+    panic_if(partitions_ == 0 || bucketCount_ % partitions_ != 0,
+             "mod hashmap: buckets must split evenly over partitions");
+}
+
+std::uint64_t
+ModHashmap::bucketOf(std::uint64_t key) const
+{
+    const std::uint64_t per = bucketCount_ / partitions_;
+    const std::uint64_t part = (key >> 48) % partitions_;
+    return part * per + mix64(key) % per;
+}
+
+Addr
+ModHashmap::bucketOff(std::uint64_t bucket) const
+{
+    panic_if(bucket >= bucketCount_,
+             "mod hashmap: bucket out of range");
+    return tableOff_ + 16 + bucket * 8;
+}
+
+Addr
+ModHashmap::loadBucket(pm::PmContext &ctx, std::uint64_t bucket)
+{
+    Addr off = kNullAddr;
+    ctx.load(bucketOff(bucket), &off, 8);
+    return off;
+}
+
+void
+ModHashmap::storeNode(pm::PmContext &ctx, Addr node,
+                      const MapEntry &entry, bool fresh_payload)
+{
+    const DataClass payload =
+        fresh_payload ? DataClass::User : DataClass::Log;
+    ctx.store(node + offsetof(MapEntry, checksum), &entry.checksum, 8,
+              DataClass::TxMeta);
+    ctx.store(node + offsetof(MapEntry, key), &entry.key, 8, payload);
+    ctx.store(node + offsetof(MapEntry, next), &entry.next, 8,
+              DataClass::TxMeta);
+    for (std::uint64_t i = 0; i < kValWords; i++)
+        ctx.store(node + offsetof(MapEntry, vals) + i * 8,
+                  &entry.vals[i], 8, payload);
+    ctx.flush(node, sizeof(MapEntry));
+}
+
+bool
+ModHashmap::put(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                const std::uint64_t *vals, bool &inserted)
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    const std::uint64_t bucket = bucketOf(key);
+    const Addr head = loadBucket(ctx, bucket);
+
+    // Find the key; remember the chain prefix that must be
+    // shadow-copied when this turns out to be an update.
+    std::vector<Addr> path;
+    std::vector<MapEntry> nodes;
+    Addr cur = head;
+    bool found = false;
+    while (cur != kNullAddr) {
+        panic_if(path.size() > kMaxChain, "mod hashmap: chain cycle");
+        MapEntry e{};
+        ctx.load(cur, &e, sizeof(e));
+        path.push_back(cur);
+        nodes.push_back(e);
+        if (e.key == key) {
+            found = true;
+            break;
+        }
+        cur = e.next;
+    }
+    inserted = !found;
+
+    const std::size_t fresh_count = found ? path.size() : 1;
+    const TxId tx = ctx.txBegin();
+    std::vector<Addr> shadows(fresh_count, kNullAddr);
+    for (std::size_t i = 0; i < fresh_count; i++) {
+        shadows[i] = heap_.alloc(ctx, sizeof(MapEntry));
+        if (shadows[i] == kNullAddr) {
+            // Exhausted: the nodes already carved out are unreachable,
+            // so parking them on the garbage lane reclaims them at the
+            // next durability point.
+            for (std::size_t j = 0; j < i; j++)
+                heap_.retire(ctx, tid, shadows[j]);
+            ctx.txAbort(tx);
+            return false;
+        }
+    }
+
+    if (!found) {
+        // Insert at head: one fresh node in front of the old chain.
+        MapEntry e{};
+        e.key = key;
+        e.next = head;
+        for (std::uint64_t i = 0; i < kValWords; i++)
+            e.vals[i] = vals[i];
+        e.checksum = entryChecksum(e.key, e.vals);
+        storeNode(ctx, shadows[0], e, /*fresh_payload=*/true);
+    } else {
+        // Update: functional path copy. Build back-to-front so each
+        // shadow can point at the next one; the replaced node's copy
+        // carries the fresh payload and shares the untouched suffix.
+        Addr below = nodes.back().next;
+        for (std::size_t i = fresh_count; i-- > 0;) {
+            MapEntry e = nodes[i];
+            e.next = below;
+            const bool fresh = i + 1 == fresh_count;
+            if (fresh) {
+                for (std::uint64_t v = 0; v < kValWords; v++)
+                    e.vals[v] = vals[v];
+                e.checksum = entryChecksum(e.key, e.vals);
+            }
+            storeNode(ctx, shadows[i], e, fresh);
+            below = shadows[i];
+        }
+    }
+
+    // The one ordering point: every shadow node (and the bitmap words
+    // their allocations dirtied) durable before the commit swap.
+    ctx.fence(FenceKind::Ordering);
+
+    ctx.store(bucketOff(bucket), &shadows[0], 8, DataClass::TxMeta);
+    ctx.flush(bucketOff(bucket), 8);
+    if (found)
+        for (std::size_t i = 0; i < fresh_count; i++)
+            heap_.retire(ctx, tid, path[i]);
+    ctx.txEnd(tx);
+    return true;
+}
+
+bool
+ModHashmap::remove(pm::PmContext &ctx, ThreadId tid, std::uint64_t key)
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    const std::uint64_t bucket = bucketOf(key);
+    const Addr head = loadBucket(ctx, bucket);
+
+    std::vector<Addr> path;
+    std::vector<MapEntry> nodes;
+    Addr cur = head;
+    bool found = false;
+    while (cur != kNullAddr) {
+        panic_if(path.size() > kMaxChain, "mod hashmap: chain cycle");
+        MapEntry e{};
+        ctx.load(cur, &e, sizeof(e));
+        path.push_back(cur);
+        nodes.push_back(e);
+        if (e.key == key) {
+            found = true;
+            break;
+        }
+        cur = e.next;
+    }
+    if (!found)
+        return false;
+
+    // Shadow-copy the predecessors (the removed node's copy is the
+    // splice itself, so one fewer node than the path).
+    const std::size_t copies = path.size() - 1;
+    const TxId tx = ctx.txBegin();
+    std::vector<Addr> shadows(copies, kNullAddr);
+    for (std::size_t i = 0; i < copies; i++) {
+        shadows[i] = heap_.alloc(ctx, sizeof(MapEntry));
+        if (shadows[i] == kNullAddr) {
+            for (std::size_t j = 0; j < i; j++)
+                heap_.retire(ctx, tid, shadows[j]);
+            ctx.txAbort(tx);
+            return false;
+        }
+    }
+
+    Addr below = nodes.back().next; // suffix past the removed node
+    for (std::size_t i = copies; i-- > 0;) {
+        MapEntry e = nodes[i];
+        e.next = below;
+        storeNode(ctx, shadows[i], e, /*fresh_payload=*/false);
+        below = shadows[i];
+    }
+
+    ctx.fence(FenceKind::Ordering);
+
+    const Addr new_head = copies ? shadows[0] : nodes.back().next;
+    ctx.store(bucketOff(bucket), &new_head, 8, DataClass::TxMeta);
+    ctx.flush(bucketOff(bucket), 8);
+    for (Addr old : path)
+        heap_.retire(ctx, tid, old);
+    ctx.txEnd(tx);
+    return true;
+}
+
+bool
+ModHashmap::lookup(pm::PmContext &ctx, std::uint64_t key,
+                   std::uint64_t *vals)
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    Addr cur = loadBucket(ctx, bucketOf(key));
+    std::uint64_t steps = 0;
+    while (cur != kNullAddr) {
+        panic_if(++steps > kMaxChain, "mod hashmap: chain cycle");
+        MapEntry e{};
+        ctx.load(cur, &e, sizeof(e));
+        if (e.key == key) {
+            for (std::uint64_t i = 0; i < kValWords; i++)
+                vals[i] = e.vals[i];
+            return true;
+        }
+        cur = e.next;
+    }
+    return false;
+}
+
+bool
+ModHashmap::check(pm::PmContext &ctx, std::string *why)
+{
+    std::uint64_t magic = 0;
+    ctx.load(tableOff_, &magic, 8);
+    if (magic != kMagic) {
+        if (why)
+            *why = "mod hashmap: bad table magic";
+        return false;
+    }
+    for (std::uint64_t b = 0; b < bucketCount_; b++) {
+        Addr cur = loadBucket(ctx, b);
+        std::uint64_t steps = 0;
+        while (cur != kNullAddr) {
+            if (++steps > kMaxChain) {
+                if (why)
+                    *why = "mod hashmap: chain cycle";
+                return false;
+            }
+            if (!heap_.isBlockStart(cur)) {
+                if (why)
+                    *why = "mod hashmap: chain names a non-node offset";
+                return false;
+            }
+            MapEntry e{};
+            ctx.load(cur, &e, sizeof(e));
+            if (e.checksum != entryChecksum(e.key, e.vals)) {
+                if (why)
+                    *why = "mod hashmap: entry checksum mismatch";
+                return false;
+            }
+            if (bucketOf(e.key) != b) {
+                if (why)
+                    *why = "mod hashmap: key in wrong bucket";
+                return false;
+            }
+            cur = e.next;
+        }
+    }
+    return true;
+}
+
+void
+ModHashmap::reachable(pm::PmContext &ctx, std::vector<Addr> &out)
+{
+    for (std::uint64_t b = 0; b < bucketCount_; b++) {
+        Addr cur = loadBucket(ctx, b);
+        std::uint64_t steps = 0;
+        while (cur != kNullAddr && heap_.isBlockStart(cur)) {
+            panic_if(++steps > kMaxChain, "mod hashmap: chain cycle");
+            out.push_back(cur);
+            MapEntry e{};
+            ctx.load(cur, &e, sizeof(e));
+            cur = e.next;
+        }
+    }
+}
+
+std::uint64_t
+ModHashmap::countReachable(pm::PmContext &ctx)
+{
+    std::vector<Addr> all;
+    reachable(ctx, all);
+    return all.size();
+}
+
+} // namespace whisper::mod

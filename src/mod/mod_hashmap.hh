@@ -1,0 +1,120 @@
+/**
+ * @file
+ * MOD persistent hashmap: functional (shadow-copied) bucket chains.
+ *
+ * Buckets are a flat table of chain-head pointers updated only by
+ * 8-byte atomic swaps. Entries are immutable checksummed nodes; a
+ * mutation builds the new chain prefix (shadow copies of the
+ * predecessors plus the inserted/updated node, sharing the untouched
+ * suffix), persists it behind a single ordering fence, and commits by
+ * swapping the bucket head — one ordering point per update, exactly
+ * the MOD discipline, against NVML's alternating undo-log epochs for
+ * the same workload.
+ *
+ * The key space is partitioned (key's top 16 bits select a bucket
+ * partition) so concurrent writers never shadow-copy each other's
+ * chains and per-thread traffic stays deterministic under any
+ * interleaving.
+ */
+
+#ifndef WHISPER_MOD_MOD_HASHMAP_HH
+#define WHISPER_MOD_MOD_HASHMAP_HH
+
+#include <mutex>
+#include <string>
+
+#include "mod/mod_heap.hh"
+
+namespace whisper::mod
+{
+
+/** One immutable chain node (a single cache line in the 64B slab). */
+struct MapEntry
+{
+    std::uint64_t checksum; //!< entryChecksum(key, vals)
+    std::uint64_t key;
+    Addr next;
+    std::uint64_t vals[3];  //!< inline 24-byte value payload
+};
+
+/**
+ * The persistent MOD hashmap.
+ *
+ * Table layout at @c table_off: {magic, bucketCount,
+ * buckets[bucketCount]}.
+ */
+class ModHashmap
+{
+  public:
+    static constexpr std::uint64_t kMagic = 0x4D4F444D41503031ull;
+    static constexpr std::uint64_t kValWords = 3;
+
+    static std::size_t
+    tableBytes(std::uint64_t bucket_count)
+    {
+        return 16 + bucket_count * 8;
+    }
+
+    /** Format (all buckets empty; durably fenced). */
+    ModHashmap(pm::PmContext &ctx, ModHeap &heap, Addr table_off,
+               std::uint64_t bucket_count, unsigned partitions);
+
+    /** Attach after a crash (no writes until recover()). */
+    ModHashmap(ModHeap &heap, Addr table_off,
+               std::uint64_t bucket_count, unsigned partitions);
+
+    /**
+     * Insert or update @p key with @p vals (kValWords words).
+     * @p inserted reports which happened. Returns false when the
+     * heap is exhausted.
+     */
+    bool put(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+             const std::uint64_t *vals, bool &inserted);
+
+    /** Remove @p key; false when absent. */
+    bool remove(pm::PmContext &ctx, ThreadId tid, std::uint64_t key);
+
+    /** Read @p key's value; false when absent. */
+    bool lookup(pm::PmContext &ctx, std::uint64_t key,
+                std::uint64_t *vals);
+
+    /**
+     * Structural invariants over every chain: nodes are live heap
+     * blocks, checksums hold, every key hashes to its bucket, no
+     * cycles. Fills @p why on violation.
+     */
+    bool check(pm::PmContext &ctx, std::string *why);
+
+    /** Reachable entries (recovery mark phase / size recount). */
+    void reachable(pm::PmContext &ctx, std::vector<Addr> &out);
+
+    std::uint64_t countReachable(pm::PmContext &ctx);
+
+    std::uint64_t bucketOf(std::uint64_t key) const;
+    Addr bucketOff(std::uint64_t bucket) const;
+    std::uint64_t bucketCount() const { return bucketCount_; }
+
+    static std::uint64_t entryChecksum(std::uint64_t key,
+                                       const std::uint64_t *vals);
+
+  private:
+    Addr loadBucket(pm::PmContext &ctx, std::uint64_t bucket);
+
+    /**
+     * Store one shadow node. @p fresh_payload marks key/vals as new
+     * user bytes; copied nodes count their payload as relocation
+     * (log-class) amplification.
+     */
+    void storeNode(pm::PmContext &ctx, Addr node,
+                   const MapEntry &entry, bool fresh_payload);
+
+    ModHeap &heap_;
+    Addr tableOff_;
+    std::uint64_t bucketCount_;
+    unsigned partitions_;
+    std::mutex mtx_;
+};
+
+} // namespace whisper::mod
+
+#endif // WHISPER_MOD_MOD_HASHMAP_HH

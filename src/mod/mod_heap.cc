@@ -1,0 +1,217 @@
+#include "mod/mod_heap.hh"
+
+#include "common/logging.hh"
+
+namespace whisper::mod
+{
+
+using pm::DataClass;
+using pm::FenceKind;
+
+// ------------------------------------------------------ ModAllocator
+
+void
+ModAllocator::persistBitmapWord(pm::PmContext &ctx, Addr word_off,
+                                std::uint64_t new_val)
+{
+    // MOD discipline: store + flush only. The flush drains at the
+    // owning update's single ordering fence; recovery tolerates a
+    // stale word because occupancy is rebuilt from reachability.
+    ctx.store(word_off, &new_val, 8, DataClass::AllocMeta);
+    ctx.flush(word_off, 8);
+}
+
+bool
+ModAllocator::isBlockStart(Addr off) const
+{
+    std::size_t cls = 0;
+    std::uint64_t bit = 0;
+    if (!locate(off, cls, bit))
+        return false;
+    return slabs_[cls].blocksBase + bit * slabs_[cls].blockSize == off;
+}
+
+void
+ModAllocator::rebuildOccupancy(pm::PmContext &ctx,
+                               const std::vector<Addr> &live)
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    stats_.bytesLive = 0;
+    for (auto &slab : slabs_) {
+        const std::uint64_t words = (slab.blockCount + 63) / 64;
+        slab.shadow.assign(words, 0);
+        slab.cursor = 0;
+    }
+    for (Addr payload : live) {
+        std::size_t cls = 0;
+        std::uint64_t bit = 0;
+        panic_if(!locate(payload, cls, bit),
+                 "mod rebuild: offset %llu is not a slab block",
+                 static_cast<unsigned long long>(payload));
+        slabs_[cls].shadow[bit / 64] |= 1ull << (bit % 64);
+        stats_.bytesLive += slabs_[cls].blockSize;
+    }
+    for (const auto &slab : slabs_) {
+        const std::uint64_t words = (slab.blockCount + 63) / 64;
+        for (std::uint64_t w = 0; w < words; w++) {
+            ctx.store(slab.bitmapBase + w * 8, &slab.shadow[w], 8,
+                      DataClass::AllocMeta);
+        }
+        ctx.flush(slab.bitmapBase, words * 8);
+    }
+}
+
+// ----------------------------------------------------------- ModHeap
+
+ModHeap::ModHeap(pm::PmContext &ctx, Addr base, std::size_t size,
+                 unsigned max_threads)
+    : base_(base), size_(size), maxThreads_(max_threads)
+{
+    layout();
+    ctx.store(base_, &kMagic, 8, DataClass::TxMeta);
+    ctx.flush(base_, 8);
+    for (ThreadId t = 0; t < maxThreads_; t++) {
+        const std::uint64_t zero = 0;
+        ctx.store(laneOff(t), &zero, 8, DataClass::TxMeta);
+        for (std::uint64_t s = 0; s < kGcEntries; s++)
+            ctx.store(laneEntryOff(t, s), &kNullAddr, 8,
+                      DataClass::TxMeta);
+        ctx.flush(laneOff(t), laneBytes());
+    }
+    // The allocator's formatting constructor ends with a durability
+    // fence, which also drains the header and lane flushes above.
+    alloc_ = std::make_unique<ModAllocator>(ctx, allocBase_,
+                                            allocBytes_);
+}
+
+ModHeap::ModHeap(Addr base, std::size_t size, unsigned max_threads)
+    : base_(base), size_(size), maxThreads_(max_threads)
+{
+    layout();
+    alloc_ = std::make_unique<ModAllocator>(allocBase_, allocBytes_);
+}
+
+void
+ModHeap::layout()
+{
+    lanes_.assign(maxThreads_, Lane{});
+    const Addr lanes_end =
+        base_ + kCacheLineSize + maxThreads_ * laneBytes();
+    allocBase_ = lineBase(lanes_end + kCacheLineSize - 1);
+    panic_if(allocBase_ >= base_ + size_, "mod heap region too small");
+    allocBytes_ = base_ + size_ - allocBase_;
+}
+
+Addr
+ModHeap::laneOff(ThreadId tid) const
+{
+    panic_if(tid >= maxThreads_, "mod heap: lane %u out of range", tid);
+    return base_ + kCacheLineSize + tid * laneBytes();
+}
+
+Addr
+ModHeap::laneEntryOff(ThreadId tid, std::uint64_t slot) const
+{
+    return laneOff(tid) + 8 + (slot % kGcEntries) * 8;
+}
+
+Addr
+ModHeap::alloc(pm::PmContext &ctx, std::size_t n)
+{
+    return alloc_->alloc(ctx, n);
+}
+
+void
+ModHeap::retire(pm::PmContext &ctx, ThreadId tid, Addr node)
+{
+    Lane &lane = lanes_.at(tid);
+    // Never overwrite a slot whose node is still awaiting reclaim.
+    if (lane.pending.size() >= kGcEntries)
+        durabilityPoint(ctx, tid);
+    ctx.store(laneEntryOff(tid, lane.count), &node, 8,
+              DataClass::TxMeta);
+    ctx.flush(laneEntryOff(tid, lane.count), 8);
+    lane.count++;
+    lane.pending.push_back(node);
+    gc_.retired++;
+}
+
+void
+ModHeap::durabilityPoint(pm::PmContext &ctx, ThreadId tid)
+{
+    Lane &lane = lanes_.at(tid);
+    // The dfence makes every swap this thread issued durable; only
+    // then are the superseded nodes unreachable from the durable
+    // image and safe to reclaim.
+    ctx.fence(FenceKind::Durability);
+    for (Addr node : lane.pending)
+        alloc_->free(ctx, node);
+    gc_.reclaimed += lane.pending.size();
+    lane.pending.clear();
+    ctx.store(laneOff(tid), &lane.count, 8, DataClass::TxMeta);
+    ctx.flush(laneOff(tid), 8);
+    gc_.durabilityPoints++;
+}
+
+void
+ModHeap::recover(pm::PmContext &ctx,
+                 const std::vector<Addr> &reachable)
+{
+    alloc_->rebuildOccupancy(ctx, reachable);
+    for (ThreadId t = 0; t < maxThreads_; t++) {
+        const std::uint64_t zero = 0;
+        ctx.store(laneOff(t), &zero, 8, DataClass::TxMeta);
+        for (std::uint64_t s = 0; s < kGcEntries; s++)
+            ctx.store(laneEntryOff(t, s), &kNullAddr, 8,
+                      DataClass::TxMeta);
+        ctx.flush(laneOff(t), laneBytes());
+        lanes_[t] = Lane{};
+    }
+    gc_ = ModGcStats{};
+    ctx.fence(FenceKind::Durability);
+}
+
+bool
+ModHeap::gcQuiescent(pm::PmContext &ctx, std::string *why) const
+{
+    for (ThreadId t = 0; t < maxThreads_; t++) {
+        if (!lanes_[t].pending.empty()) {
+            if (why)
+                *why = "gc lane has pending reclaims";
+            return false;
+        }
+        std::uint64_t watermark = ~std::uint64_t(0);
+        ctx.load(laneOff(t), &watermark, 8);
+        if (watermark != 0) {
+            if (why)
+                *why = "gc lane watermark not reset";
+            return false;
+        }
+        for (std::uint64_t s = 0; s < kGcEntries; s++) {
+            Addr entry = 0;
+            ctx.load(laneEntryOff(t, s), &entry, 8);
+            if (entry != kNullAddr) {
+                if (why)
+                    *why = "gc lane ring not cleared";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+ModHeap::isLiveNode(Addr off) const
+{
+    return alloc_->isBlockStart(off) && alloc_->isAllocated(off);
+}
+
+bool
+ModHeap::magicIntact(pm::PmContext &ctx) const
+{
+    std::uint64_t magic = 0;
+    ctx.load(base_, &magic, 8);
+    return magic == kMagic;
+}
+
+} // namespace whisper::mod

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Heap for minimally-ordered durable (MOD) data structures.
+ *
+ * The paper's Consequences 3 and 8 blame undo/redo logging for the
+ * suite's small epochs and write amplification; the authors'
+ * follow-up (MOD: Minimally Ordered Durable Datastructures) removes
+ * the log entirely: updates build a *shadow copy* of the changed
+ * nodes, persist them with ordinary flushes, and commit with a single
+ * 8-byte pointer swap after exactly one ordering fence. A durability
+ * fence is issued only at durability points, many updates apart.
+ *
+ * ModHeap supplies the two pieces every MOD structure needs:
+ *
+ *  - a node allocator with *relaxed metadata persistence*: the slab
+ *    bitmap word is written and flushed but never fenced on its own
+ *    (it rides the update's single ofence). A crash may therefore
+ *    tear or lose bitmap state — recovery rebuilds occupancy from the
+ *    structure's reachable node set (mark-and-sweep), so staleness is
+ *    harmless and allocation adds no ordering point;
+ *  - a per-thread *garbage lane*: a persistent ring of superseded
+ *    shadow nodes. A node is retired when the swap that supersedes it
+ *    is issued, and reclaimed at the thread's next durability point —
+ *    the dfence proves the swap durable, so the durable image can no
+ *    longer name the old node. GC therefore never reclaims anything
+ *    reachable from a durable root.
+ */
+
+#ifndef WHISPER_MOD_MOD_HEAP_HH
+#define WHISPER_MOD_MOD_HEAP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/slab_alloc.hh"
+
+namespace whisper::mod
+{
+
+/**
+ * Slab allocator whose bitmap writes are flushed but not fenced.
+ *
+ * MOD recovery derives occupancy from reachability, so the persistent
+ * bitmap is only a hint; deferring its fence to the structure's one
+ * ordering point is what keeps a MOD update at a single epoch where
+ * the NVML allocator pays one epoch per logged bitmap mutation.
+ */
+class ModAllocator : public alloc::SlabAllocator
+{
+  public:
+    ModAllocator(pm::PmContext &ctx, Addr base, std::size_t size)
+        : SlabAllocator(ctx, base, size)
+    {
+    }
+
+    ModAllocator(Addr base, std::size_t size)
+        : SlabAllocator(base, size)
+    {
+    }
+
+    /** True iff @p off is the first byte of some slab block. */
+    bool isBlockStart(Addr off) const;
+
+    /**
+     * Mark-and-sweep rebuild: occupancy becomes exactly @p live (every
+     * entry must be a block start). Bitmaps are rewritten persistently;
+     * the caller issues the closing durability fence.
+     */
+    void rebuildOccupancy(pm::PmContext &ctx,
+                          const std::vector<Addr> &live);
+
+  protected:
+    void persistBitmapWord(pm::PmContext &ctx, Addr word_off,
+                           std::uint64_t new_val) override;
+};
+
+/** GC counters a ModHeap exposes (volatile, for tests and benches). */
+struct ModGcStats
+{
+    std::uint64_t retired = 0;          //!< nodes pushed on a lane
+    std::uint64_t reclaimed = 0;        //!< nodes freed at dfences
+    std::uint64_t durabilityPoints = 0; //!< dfences issued
+};
+
+/**
+ * The MOD node heap: relaxed-persistence allocator + garbage lanes.
+ *
+ * Region layout starting at @c base:
+ *
+ *   [magic][per-thread GC lanes][ModAllocator slabs ............]
+ *
+ * A lane is {clearedTo, entries[kGcEntries]}: retire() publishes the
+ * superseded node's offset at slot count%kGcEntries (one 8-byte
+ * TxMeta store riding the update's epoch) and durabilityPoint()
+ * advances the persistent clearedTo watermark after reclaiming. The
+ * ring is sized so a durability interval never wraps it; retire()
+ * forces an early durability point if it would.
+ */
+class ModHeap
+{
+  public:
+    static constexpr std::uint64_t kMagic = 0x4D4F444845415031ull;
+    /** Ring slots per thread lane. */
+    static constexpr std::uint64_t kGcEntries = 64;
+
+    /** Format a heap over [base, base+size) (durably fenced). */
+    ModHeap(pm::PmContext &ctx, Addr base, std::size_t size,
+            unsigned max_threads);
+
+    /** Attach after a crash; call recover() before any mutation. */
+    ModHeap(Addr base, std::size_t size, unsigned max_threads);
+
+    /** Allocate a shadow node; adds no ordering point. */
+    Addr alloc(pm::PmContext &ctx, std::size_t n);
+
+    /**
+     * Publish @p node on @p tid's garbage lane: it is superseded by a
+     * swap issued in the current update and becomes reclaimable once
+     * that swap is provably durable.
+     */
+    void retire(pm::PmContext &ctx, ThreadId tid, Addr node);
+
+    /**
+     * Durability point: dfence, then free every node @p tid retired
+     * before the fence and advance the lane's persistent watermark.
+     */
+    void durabilityPoint(pm::PmContext &ctx, ThreadId tid);
+
+    /**
+     * Post-crash recovery: occupancy := @p reachable (the structure's
+     * mark phase), garbage lanes cleared, everything durably fenced.
+     */
+    void recover(pm::PmContext &ctx,
+                 const std::vector<Addr> &reachable);
+
+    /**
+     * Recovery invariant: every lane ring is cleared (entries null,
+     * watermark zero) and no reclaim is pending. Fills @p why on
+     * violation.
+     */
+    bool gcQuiescent(pm::PmContext &ctx, std::string *why) const;
+
+    /** True iff @p off is a block start currently marked allocated. */
+    bool isLiveNode(Addr off) const;
+
+    /** True iff @p off is the first byte of some slab block. */
+    bool isBlockStart(Addr off) const { return alloc_->isBlockStart(off); }
+
+    bool magicIntact(pm::PmContext &ctx) const;
+
+    const alloc::AllocStats &allocStats() const { return alloc_->stats(); }
+    const ModGcStats &gcStats() const { return gc_; }
+    unsigned maxThreads() const { return maxThreads_; }
+
+  private:
+    struct Lane
+    {
+        std::uint64_t count = 0;    //!< retires ever published
+        std::vector<Addr> pending;  //!< retired, not yet reclaimed
+    };
+
+    /** Bytes one persistent lane occupies (line-aligned). */
+    static constexpr std::size_t
+    laneBytes()
+    {
+        std::size_t raw = 8 + kGcEntries * 8;
+        return (raw + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+    }
+
+    Addr laneOff(ThreadId tid) const;
+    Addr laneEntryOff(ThreadId tid, std::uint64_t slot) const;
+    void layout();
+
+    Addr base_;
+    std::size_t size_;
+    unsigned maxThreads_;
+    Addr allocBase_;
+    std::size_t allocBytes_;
+    std::unique_ptr<ModAllocator> alloc_;
+    std::vector<Lane> lanes_;
+    ModGcStats gc_;
+};
+
+} // namespace whisper::mod
+
+#endif // WHISPER_MOD_MOD_HEAP_HH

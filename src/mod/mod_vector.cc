@@ -1,0 +1,190 @@
+#include "mod/mod_vector.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace whisper::mod
+{
+
+using pm::DataClass;
+using pm::FenceKind;
+
+std::uint64_t
+ModVector::chunkChecksum(std::uint64_t count,
+                         const std::uint64_t *elems)
+{
+    // splitmix64-style fold; position-sensitive so swapped elements
+    // do not cancel the way a plain XOR would.
+    std::uint64_t h = 0x564543u ^ (count * 0x9e3779b97f4a7c15ull);
+    for (std::uint64_t i = 0; i < kElems; i++) {
+        std::uint64_t x = elems[i] + 0x9e3779b97f4a7c15ull * (i + 1);
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 27;
+        h ^= x;
+        h *= 0x94d049bb133111ebull;
+    }
+    return h;
+}
+
+ModVector::ModVector(pm::PmContext &ctx, ModHeap &heap, Addr table_off,
+                     std::uint64_t slot_count)
+    : heap_(heap), tableOff_(table_off), slotCount_(slot_count)
+{
+    ctx.store(tableOff_, &kMagic, 8, DataClass::TxMeta);
+    ctx.store(tableOff_ + 8, &slotCount_, 8, DataClass::TxMeta);
+    for (std::uint64_t s = 0; s < slotCount_; s++)
+        ctx.store(slotOff(s), &kNullAddr, 8, DataClass::TxMeta);
+    ctx.flush(tableOff_, tableBytes(slotCount_));
+    ctx.fence(FenceKind::Durability);
+}
+
+ModVector::ModVector(ModHeap &heap, Addr table_off,
+                     std::uint64_t slot_count)
+    : heap_(heap), tableOff_(table_off), slotCount_(slot_count)
+{
+}
+
+Addr
+ModVector::slotOff(std::uint64_t slot) const
+{
+    panic_if(slot >= slotCount_, "mod vector: slot out of range");
+    return tableOff_ + 16 + slot * 8;
+}
+
+Addr
+ModVector::loadSlot(pm::PmContext &ctx, std::uint64_t slot)
+{
+    Addr off = kNullAddr;
+    ctx.load(slotOff(slot), &off, 8);
+    return off;
+}
+
+bool
+ModVector::write(pm::PmContext &ctx, ThreadId tid, std::uint64_t slot,
+                 std::uint64_t first, const std::uint64_t *vals,
+                 std::uint64_t k, std::uint64_t new_count)
+{
+    panic_if(k == 0 || first + k > kElems || new_count > kElems ||
+                 first + k > new_count,
+             "mod vector: bad write shape");
+    std::lock_guard<std::mutex> guard(mtx_);
+    const Addr old = loadSlot(ctx, slot);
+    VecChunk prev{};
+    if (old != kNullAddr)
+        ctx.load(old, &prev, sizeof(prev));
+
+    const TxId tx = ctx.txBegin();
+    const Addr node = heap_.alloc(ctx, sizeof(VecChunk));
+    if (node == kNullAddr) {
+        ctx.txAbort(tx);
+        return false;
+    }
+
+    // Assemble the shadow image, then store it with per-class
+    // attribution: fresh values are user bytes, carried-over values
+    // are shadow-copy relocation (counted as log-class amplification),
+    // and the header is transaction metadata.
+    std::uint64_t elems[kElems] = {};
+    for (std::uint64_t i = 0; i < new_count; i++)
+        elems[i] = i < prev.count ? prev.elems[i] : 0;
+    for (std::uint64_t i = 0; i < k; i++)
+        elems[first + i] = vals[i];
+    const std::uint64_t checksum = chunkChecksum(new_count, elems);
+
+    ctx.store(node + offsetof(VecChunk, checksum), &checksum, 8,
+              DataClass::TxMeta);
+    ctx.store(node + offsetof(VecChunk, count), &new_count, 8,
+              DataClass::TxMeta);
+    for (std::uint64_t i = 0; i < kElems; i++) {
+        const bool fresh = i >= first && i < first + k;
+        ctx.store(node + offsetof(VecChunk, elems) + i * 8, &elems[i],
+                  8, fresh ? DataClass::User : DataClass::Log);
+    }
+    ctx.flush(node, sizeof(VecChunk));
+
+    // The one ordering point: shadow chunk (and the allocator's
+    // bitmap word) durable before the commit swap can be observed.
+    ctx.fence(FenceKind::Ordering);
+
+    ctx.store(slotOff(slot), &node, 8, DataClass::TxMeta);
+    ctx.flush(slotOff(slot), 8);
+    if (old != kNullAddr)
+        heap_.retire(ctx, tid, old);
+    ctx.txEnd(tx);
+    return true;
+}
+
+std::uint64_t
+ModVector::chunkCount(pm::PmContext &ctx, std::uint64_t slot)
+{
+    const Addr off = loadSlot(ctx, slot);
+    if (off == kNullAddr)
+        return 0;
+    std::uint64_t count = 0;
+    ctx.load(off + offsetof(VecChunk, count), &count, 8);
+    return count;
+}
+
+bool
+ModVector::get(pm::PmContext &ctx, std::uint64_t slot,
+               std::uint64_t idx, std::uint64_t &out)
+{
+    const Addr off = loadSlot(ctx, slot);
+    if (off == kNullAddr || idx >= kElems)
+        return false;
+    VecChunk chunk{};
+    ctx.load(off, &chunk, sizeof(chunk));
+    if (idx >= chunk.count)
+        return false;
+    out = chunk.elems[idx];
+    return true;
+}
+
+bool
+ModVector::check(pm::PmContext &ctx, std::string *why)
+{
+    std::uint64_t magic = 0;
+    ctx.load(tableOff_, &magic, 8);
+    if (magic != kMagic) {
+        if (why)
+            *why = "mod vector: bad table magic";
+        return false;
+    }
+    for (std::uint64_t s = 0; s < slotCount_; s++) {
+        const Addr off = loadSlot(ctx, s);
+        if (off == kNullAddr)
+            continue;
+        if (!heap_.isBlockStart(off)) {
+            if (why)
+                *why = "mod vector: slot names a non-node offset";
+            return false;
+        }
+        VecChunk chunk{};
+        ctx.load(off, &chunk, sizeof(chunk));
+        if (chunk.count == 0 || chunk.count > kElems) {
+            if (why)
+                *why = "mod vector: chunk count out of range";
+            return false;
+        }
+        if (chunk.checksum != chunkChecksum(chunk.count, chunk.elems)) {
+            if (why)
+                *why = "mod vector: chunk checksum mismatch";
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+ModVector::reachable(pm::PmContext &ctx, std::vector<Addr> &out)
+{
+    for (std::uint64_t s = 0; s < slotCount_; s++) {
+        const Addr off = loadSlot(ctx, s);
+        if (off != kNullAddr && heap_.isBlockStart(off))
+            out.push_back(off);
+    }
+}
+
+} // namespace whisper::mod

@@ -30,12 +30,13 @@ smallConfig()
     return config;
 }
 
-TEST(AppRegistry, AllTenWorkloadsRegistered)
+TEST(AppRegistry, AllSuiteWorkloadsRegistered)
 {
     const auto names = core::registeredApps();
     const std::vector<std::string> expect = {
-        "ctree", "echo", "exim", "hashmap", "memcached", "mysql",
-        "nfs", "redis", "tpcc", "vacation", "ycsb"};
+        "ctree", "echo", "exim", "hashmap", "memcached",
+        "mod-hashmap", "mod-vector", "mysql", "nfs", "redis", "tpcc",
+        "vacation", "ycsb"};
     EXPECT_EQ(names, expect);
 }
 
@@ -74,7 +75,7 @@ INSTANTIATE_TEST_SUITE_P(
     Suite, AppRun,
     ::testing::Values("echo", "ycsb", "tpcc", "redis", "ctree",
                       "hashmap", "vacation", "memcached", "nfs",
-                      "exim", "mysql"));
+                      "exim", "mysql", "mod-hashmap", "mod-vector"));
 
 struct CrashCase
 {
@@ -110,7 +111,8 @@ crashCases()
     std::vector<CrashCase> cases;
     for (const char *app :
          {"echo", "ycsb", "tpcc", "redis", "ctree", "hashmap",
-          "vacation", "memcached", "nfs", "exim", "mysql"}) {
+          "vacation", "memcached", "nfs", "exim", "mysql",
+          "mod-hashmap", "mod-vector"}) {
         for (std::uint64_t seed : {1ull, 2ull, 3ull})
             cases.push_back({app, seed});
     }
@@ -120,8 +122,12 @@ crashCases()
 INSTANTIATE_TEST_SUITE_P(
     Sweep, AppCrashSweep, ::testing::ValuesIn(crashCases()),
     [](const ::testing::TestParamInfo<CrashCase> &info) {
-        return info.param.app + "_s" +
-               std::to_string(info.param.seed);
+        std::string name = info.param.app + "_s" +
+                           std::to_string(info.param.seed);
+        for (char &ch : name) // gtest names reject '-'
+            if (ch == '-')
+                ch = '_';
+        return name;
     });
 
 // --------------------------------------------- behavioural signatures

@@ -172,6 +172,7 @@ TEST(AccessLayerNames, AllDistinct)
     EXPECT_STREQ(accessLayerName(AccessLayer::LibMnemosyne),
                  "Library/Mnemosyne");
     EXPECT_STREQ(accessLayerName(AccessLayer::Filesystem), "FS/PMFS");
+    EXPECT_STREQ(accessLayerName(AccessLayer::LibMod), "Library/MOD");
 }
 
 } // namespace

@@ -103,6 +103,31 @@ TEST(CrashFuzz, SmokeSweepEachLayerHoldsInvariants)
     }
 }
 
+TEST(CrashFuzz, ModSmokeSweepHoldsInvariants)
+{
+    // The MOD layer's recovery contract under fuzzing: every root
+    // swap commits a fully-persisted structure and the garbage lanes
+    // never reclaim anything a durable root still reaches. At least
+    // 128 cases per MOD application, zero violations.
+    fuzz::SweepOptions options;
+    options.apps = {"mod-hashmap", "mod-vector"};
+    options.cases = 128;
+    options.config = tinyConfig();
+    options.maxReproducers = 1;
+
+    for (const auto &report : fuzz::sweep(options)) {
+        EXPECT_EQ(report.violations, 0u)
+            << report.app << ": "
+            << (report.reproducers.empty()
+                    ? "(no reproducer)"
+                    : report.reproducers[0].why + " => " +
+                          report.reproducers[0].command);
+        EXPECT_EQ(report.casesRun, options.cases);
+        EXPECT_GT(report.casesFired, 0u);
+        EXPECT_GT(report.totalPmOps, 0u);
+    }
+}
+
 TEST(CrashFuzz, FindsAndShrinksDeliberateViolation)
 {
     fuzz::registerFaultyApp();
