@@ -40,14 +40,18 @@ main(int argc, char **argv)
         }
         // Survival probability varies across the sweep, from "almost
         // nothing evicted in time" to "almost everything did".
-        const double survival = (i % 5) * 0.25;
-        if (core::crashAndVerify(result, config.seed * 7919 + i,
-                                 survival)) {
+        core::CrashOptions opts;
+        opts.seed = config.seed * 7919 + i;
+        opts.survival = (i % 5) * 0.25;
+        const core::VerifyReport report =
+            core::crashAndVerify(result, opts);
+        if (report.ok()) {
             survived++;
         } else {
             std::fprintf(stderr,
                          "run %d (survival %.2f): recovery check "
-                         "FAILED\n", i, survival);
+                         "FAILED\n%s\n", i, opts.survival,
+                         report.describe().c_str());
         }
     }
     std::printf("%s: %d/%d adversarial crashes recovered "

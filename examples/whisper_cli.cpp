@@ -47,9 +47,10 @@ usage()
         "  whisper_cli apps [--ops N] [--threads N]\n"
         "  whisper_cli crashfuzz [--cases N] [--jobs N] "
         "[--apps a,b] [--ops N] [--seed S] [--pool-mb M] "
-        "[--no-shrink]\n"
+        "[--threads N] [--no-shrink]\n"
         "  whisper_cli crashfuzz --replay <app>:<caseId> [--at K] "
-        "[--survivors csv|none] [--ops N] [--seed S] [--pool-mb M]\n"
+        "[--survivors csv|none] [--ops N] [--seed S] [--pool-mb M] "
+        "[--threads N] [--schedule S]\n"
         "  whisper_cli list\n"
         "models: x86-nvm x86-pwq hops-nvm hops-pwq dpo ideal\n",
         stderr);
@@ -72,7 +73,8 @@ cmdRecord(int argc, char **argv)
                 (unsigned long long)config.opsPerThread);
     core::RunResult result = core::runApp(argv[2], config);
     if (!result.verified) {
-        std::fputs("verification failed\n", stderr);
+        std::fprintf(stderr, "verification failed:\n%s\n",
+                     result.report.describe().c_str());
         return 1;
     }
     if (!trace::writeTraceFile(argv[3], result.runtime->traces())) {
@@ -235,8 +237,9 @@ cmdApps(int argc, char **argv)
     for (const auto &name : core::registeredApps()) {
         core::RunResult result = core::runApp(name, config);
         if (!result.verified) {
-            std::fprintf(stderr, "%s failed verification\n",
-                         name.c_str());
+            std::fprintf(stderr, "%s failed verification:\n%s\n",
+                         name.c_str(),
+                         result.report.describe().c_str());
             return 1;
         }
         const analysis::AnalysisResult a = core::analyzeRun(result);
@@ -300,6 +303,7 @@ cmdCrashfuzz(int argc, char **argv)
     fuzz::SweepOptions options;
     std::string replay;
     std::uint64_t at = ~std::uint64_t(0);
+    std::uint64_t schedule = ~std::uint64_t(0);
     bool have_survivors = false;
     std::vector<whisper::LineAddr> survivors;
 
@@ -331,6 +335,14 @@ cmdCrashfuzz(int argc, char **argv)
                    parseU64(val, n)) {
             options.config.poolBytes =
                 static_cast<std::size_t>(n) << 20;
+            i++;
+        } else if (std::strcmp(arg, "--threads") == 0 &&
+                   parseU64(val, n) && n >= 1) {
+            options.config.threads = static_cast<unsigned>(n);
+            i++;
+        } else if (std::strcmp(arg, "--schedule") == 0 &&
+                   parseU64(val, n)) {
+            schedule = n;
             i++;
         } else if (std::strcmp(arg, "--apps") == 0) {
             for (const char *p = val; *p;) {
@@ -378,15 +390,20 @@ cmdCrashfuzz(int argc, char **argv)
             fuzz::deriveCase(app, case_id, total, options.config);
         if (at != ~std::uint64_t(0))
             c.crashAt = at;
+        if (schedule != ~std::uint64_t(0))
+            c.crash.schedule = schedule;
         const fuzz::CaseOutcome out = fuzz::runCase(
             c, options.config,
             have_survivors ? &survivors : nullptr);
-        std::printf("case %s:%llu crashAt=%llu fired=%d "
-                    "survivors=%zu digest=%016llx\n",
+        std::printf("case %s:%llu crashAt=%llu threads=%u "
+                    "schedule=0x%llx fired=%d survivors=%zu "
+                    "digest=%016llx image=%016llx\n",
                     app.c_str(), (unsigned long long)case_id,
-                    (unsigned long long)c.crashAt, out.fired ? 1 : 0,
-                    out.survivors.size(),
-                    (unsigned long long)out.digest);
+                    (unsigned long long)c.crashAt, c.crash.threads,
+                    (unsigned long long)c.crash.schedule,
+                    out.fired ? 1 : 0, out.survivors.size(),
+                    (unsigned long long)out.digest,
+                    (unsigned long long)out.imageHash);
         if (!out.ok) {
             std::printf("VIOLATION reproduced: %s\n",
                         out.why.c_str());
@@ -398,6 +415,20 @@ cmdCrashfuzz(int argc, char **argv)
 
     if (options.apps.empty())
         options.apps = suite;
+    if (options.config.threads > 1) {
+        // Racing threads are only deterministic for the MOD layer;
+        // narrow the sweep to those apps instead of panicking.
+        std::vector<std::string> mod;
+        for (const auto &name : options.apps)
+            if (name.rfind("mod-", 0) == 0)
+                mod.push_back(name);
+        options.apps = std::move(mod);
+        if (options.apps.empty()) {
+            std::fputs("--threads > 1 needs MOD-layer apps "
+                       "(mod-hashmap, mod-vector)\n", stderr);
+            return 2;
+        }
+    }
     const auto reports = fuzz::sweep(options);
 
     TextTable table("crash-recovery fuzz sweep");

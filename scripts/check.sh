@@ -15,10 +15,12 @@ failures=0
 
 docs_only=0
 skip_asan=0
+skip_tsan=0
 for arg in "$@"; do
     case "$arg" in
         --docs-only) docs_only=1 ;;
         --no-asan) skip_asan=1 ;;
+        --no-tsan) skip_tsan=1 ;;
     esac
 done
 
@@ -47,15 +49,35 @@ if [[ "$docs_only" == 0 && "$skip_asan" == 0 ]]; then
 fi
 
 # ---------------------------------------------------------------
+# TSan: a separate build tree (TSan and ASan cannot coexist) running
+# the MOD concurrency stress tests and the multi-threaded crash-fuzz
+# replays — racing striped writers, lock-free readers, grace GC.
+# Skip with --no-tsan when iterating on docs.
+# ---------------------------------------------------------------
+if [[ "$docs_only" == 0 && "$skip_tsan" == 0 ]]; then
+    echo "== tsan: MOD concurrency stress =="
+    cmake -B build-tsan -S . -DWHISPER_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j "$(nproc)" --target whisper_tests
+    build-tsan/tests/whisper_tests \
+        --gtest_filter='ModConcurrency.*:ModHeap.*:CrashFuzz.MultiThread*'
+fi
+
+# ---------------------------------------------------------------
 # MOD recovery contract: a bounded crashfuzz sweep over the two MOD
 # applications (>=128 cases each) must report zero violations — the
 # root swap always commits a fully-persisted structure and the
-# garbage lanes never reclaim a reachable node.
+# garbage lanes never reclaim a reachable node. The second sweep is
+# the concurrent variant: >=256 cases per structure with three
+# racing writer threads pinned to each case's gate schedule (512+
+# multi-threaded cases total).
 # ---------------------------------------------------------------
 if [[ "$docs_only" == 0 ]]; then
     echo "== crashfuzz: MOD recovery sweep =="
     build/examples/whisper_cli crashfuzz --cases 128 \
         --jobs "$(nproc)" --apps mod-hashmap,mod-vector
+    echo "== crashfuzz: concurrent MOD recovery sweep =="
+    build/examples/whisper_cli crashfuzz --cases 256 --threads 3 \
+        --ops 12 --jobs "$(nproc)" --apps mod-hashmap,mod-vector
 fi
 
 # ---------------------------------------------------------------

@@ -109,7 +109,14 @@ class CtreeApp : public WhisperApp
         }
     }
 
-    bool verify(Runtime &rt) override { return checkTree(rt, nullptr); }
+    VerifyReport
+    verify(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(checkTree(rt, &why), "tree-intact", why);
+        return rep;
+    }
 
     void
     recover(Runtime &rt) override
@@ -117,20 +124,23 @@ class CtreeApp : public WhisperApp
         pool_->recover(rt.ctx(0));
     }
 
-    bool
+    VerifyReport
     verifyRecovered(Runtime &rt) override
     {
+        VerifyReport rep = report();
         std::string why;
-        const bool ok = checkTree(rt, &why);
-        if (!ok)
-            warn("ctree recovery check failed: %s", why.c_str());
-        return ok;
+        rep.check(checkTree(rt, &why), "tree-intact", why);
+        return rep;
     }
 
-    bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    VerifyReport
+    checkRecoveryInvariants(Runtime &rt) override
     {
-        return pool_->logsQuiescent(rt.ctx(0), why);
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(pool_->logsQuiescent(rt.ctx(0), &why),
+                  "logs-quiescent", why);
+        return rep;
     }
 
   private:

@@ -192,10 +192,13 @@ class EchoApp : public WhisperApp
         }
     }
 
-    bool
+    VerifyReport
     verify(Runtime &rt) override
     {
-        return checkStore(rt, nullptr);
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(checkStore(rt, &why), "store-intact", why);
+        return rep;
     }
 
     void
@@ -265,47 +268,45 @@ class EchoApp : public WhisperApp
         }
     }
 
-    bool
+    VerifyReport
     verifyRecovered(Runtime &rt) override
     {
+        VerifyReport rep = report();
         std::string why;
-        const bool ok = checkStore(rt, &why);
-        if (!ok)
-            warn("echo recovery check failed: %s", why.c_str());
-        return ok;
+        rep.check(checkStore(rt, &why), "store-intact", why);
+        return rep;
     }
 
-    bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    VerifyReport
+    checkRecoveryInvariants(Runtime &rt) override
     {
         // Descriptor/state protocol: after recovery every reachable
         // entry and version must have finished INPROGRESS -> CREATED
         // and VOLATILE -> PERSISTENT; recover() prunes stragglers.
         pm::PmContext &ctx = rt.ctx(0);
+        VerifyReport rep = report();
         EchoRoot *r = root(ctx);
         for (std::uint64_t b = 0; b < kBuckets; b++) {
             for (Addr cur = r->buckets[b].head; cur != kNullAddr;) {
                 const Entry *ent = ctx.pool().at<Entry>(cur);
-                if (ent->status != kCreated ||
-                    heap_->state(ctx, cur) !=
-                        alloc::BlockState::Persistent) {
-                    if (why)
-                        *why = "echo entry with unsettled descriptor";
-                    return false;
-                }
+                if (!rep.check(ent->status == kCreated &&
+                                   heap_->state(ctx, cur) ==
+                                       alloc::BlockState::Persistent,
+                               "descriptors-settled",
+                               "echo entry with unsettled descriptor"))
+                    return rep;
                 for (Addr v = ent->versions; v != kNullAddr;) {
-                    if (heap_->state(ctx, v) !=
-                        alloc::BlockState::Persistent) {
-                        if (why)
-                            *why = "echo version still VOLATILE";
-                        return false;
-                    }
+                    if (!rep.check(heap_->state(ctx, v) ==
+                                       alloc::BlockState::Persistent,
+                                   "versions-persistent",
+                                   "echo version still VOLATILE"))
+                        return rep;
                     v = ctx.pool().at<Version>(v)->next;
                 }
                 cur = ent->next;
             }
         }
-        return true;
+        return rep;
     }
 
   private:

@@ -104,55 +104,59 @@ class EximApp : public WhisperApp
         }
     }
 
-    bool
+    VerifyReport
     verify(Runtime &rt) override
     {
         pm::PmContext &ctx = rt.ctx(0);
+        VerifyReport rep = report();
         std::string why;
-        if (!fs_->fsck(ctx, &why)) {
-            warn("exim fsck failed: %s", why.c_str());
-            return false;
-        }
+        rep.check(fs_->fsck(ctx, &why), "fsck", why);
         // Every completed delivery is in its mailbox.
         for (unsigned m = 0; m < kMailboxes; m++) {
-            if (fs_->fileSize(ctx, mailboxIno_[m]) !=
-                delivered_[m].load()) {
-                warn("exim mailbox %u size mismatch", m);
-                return false;
-            }
+            if (!rep.check(fs_->fileSize(ctx, mailboxIno_[m]) ==
+                               delivered_[m].load(),
+                           "mailbox-sizes",
+                           "mailbox " + std::to_string(m) +
+                               " size mismatch"))
+                break;
         }
-        return true;
+        return rep;
     }
 
     void recover(Runtime &rt) override { fs_->mount(rt.ctx(0)); }
 
-    bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    VerifyReport
+    checkRecoveryInvariants(Runtime &rt) override
     {
         pm::PmContext &ctx = rt.ctx(0);
-        return fs_->journalQuiescent(ctx, why) && fs_->fsck(ctx, why);
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(fs_->journalQuiescent(ctx, &why),
+                  "journal-quiescent", why);
+        why.clear();
+        rep.check(fs_->fsck(ctx, &why), "fsck", why);
+        return rep;
     }
 
-    bool
+    VerifyReport
     verifyRecovered(Runtime &rt) override
     {
         pm::PmContext &ctx = rt.ctx(0);
+        VerifyReport rep = report();
         std::string why;
-        if (!fs_->fsck(ctx, &why)) {
-            warn("exim post-crash fsck failed: %s", why.c_str());
-            return false;
-        }
+        rep.check(fs_->fsck(ctx, &why), "fsck", why);
         // After a crash, a mailbox may have lost the last in-flight
         // delivery but can never exceed what was handed to the FS,
         // and sizes must still be block-map consistent (fsck above).
         for (unsigned m = 0; m < kMailboxes; m++) {
-            if (fs_->fileSize(ctx, mailboxIno_[m]) >
-                delivered_[m].load()) {
-                warn("exim mailbox %u grew beyond deliveries", m);
-                return false;
-            }
+            if (!rep.check(fs_->fileSize(ctx, mailboxIno_[m]) <=
+                               delivered_[m].load(),
+                           "mailbox-sizes",
+                           "mailbox " + std::to_string(m) +
+                               " grew beyond deliveries"))
+                break;
         }
-        return true;
+        return rep;
     }
 
   private:

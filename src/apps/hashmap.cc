@@ -112,24 +112,34 @@ class HashmapApp : public WhisperApp
         }
     }
 
-    bool verify(Runtime &rt) override { return checkMap(rt, nullptr); }
+    VerifyReport
+    verify(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(checkMap(rt, &why), "map-intact", why);
+        return rep;
+    }
 
     void recover(Runtime &rt) override { pool_->recover(rt.ctx(0)); }
 
-    bool
+    VerifyReport
     verifyRecovered(Runtime &rt) override
     {
+        VerifyReport rep = report();
         std::string why;
-        const bool ok = checkMap(rt, &why);
-        if (!ok)
-            warn("hashmap recovery check failed: %s", why.c_str());
-        return ok;
+        rep.check(checkMap(rt, &why), "map-intact", why);
+        return rep;
     }
 
-    bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    VerifyReport
+    checkRecoveryInvariants(Runtime &rt) override
     {
-        return pool_->logsQuiescent(rt.ctx(0), why);
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(pool_->logsQuiescent(rt.ctx(0), &why),
+                  "logs-quiescent", why);
+        return rep;
     }
 
   private:

@@ -135,24 +135,34 @@ class MemcachedApp : public WhisperApp
         }
     }
 
-    bool verify(Runtime &rt) override { return checkCache(rt, nullptr); }
+    VerifyReport
+    verify(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(checkCache(rt, &why), "cache-intact", why);
+        return rep;
+    }
 
     void recover(Runtime &rt) override { heap_->recover(rt.ctx(0)); }
 
-    bool
+    VerifyReport
     verifyRecovered(Runtime &rt) override
     {
+        VerifyReport rep = report();
         std::string why;
-        const bool ok = checkCache(rt, &why);
-        if (!ok)
-            warn("memcached recovery check failed: %s", why.c_str());
-        return ok;
+        rep.check(checkCache(rt, &why), "cache-intact", why);
+        return rep;
     }
 
-    bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    VerifyReport
+    checkRecoveryInvariants(Runtime &rt) override
     {
-        return heap_->logsQuiescent(rt.ctx(0), why);
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(heap_->logsQuiescent(rt.ctx(0), &why),
+                  "logs-quiescent", why);
+        return rep;
     }
 
   private:

@@ -117,18 +117,19 @@ class ModHashmapApp : public WhisperApp
             if ((op + 1) % kDurabilityInterval == 0)
                 heap_->durabilityPoint(ctx, tid);
         }
-        heap_->durabilityPoint(ctx, tid);
+        heap_->threadExit(ctx, tid);
     }
 
-    bool
+    VerifyReport
     verify(Runtime &rt) override
     {
+        VerifyReport rep = report();
+        rep.check(heap_->magicIntact(rt.ctx(0)), "heap-magic",
+                  "mod heap magic lost");
         std::string why;
-        const bool ok = heap_->magicIntact(rt.ctx(0)) &&
-                        map_->check(rt.ctx(0), &why);
-        if (!ok)
-            warn("mod-hashmap verify failed: %s", why.c_str());
-        return ok;
+        rep.check(map_->check(rt.ctx(0), &why), "structure-intact",
+                  why);
+        return rep;
     }
 
     void
@@ -147,40 +148,36 @@ class ModHashmapApp : public WhisperApp
         heap_->recover(ctx, live);
     }
 
-    bool
+    VerifyReport
     verifyRecovered(Runtime &rt) override
     {
+        VerifyReport rep = report();
         std::string why;
-        const bool ok = map_->check(rt.ctx(0), &why);
-        if (!ok)
-            warn("mod-hashmap recovery check failed: %s", why.c_str());
-        return ok;
+        rep.check(map_->check(rt.ctx(0), &why), "structure-intact",
+                  why);
+        return rep;
     }
 
-    bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    VerifyReport
+    checkRecoveryInvariants(Runtime &rt) override
     {
         pm::PmContext &ctx = rt.ctx(0);
-        if (!heap_->magicIntact(ctx)) {
-            if (why)
-                *why = "mod heap magic lost";
-            return false;
-        }
-        if (!heap_->gcQuiescent(ctx, why))
-            return false;
+        VerifyReport rep = report();
+        rep.check(heap_->magicIntact(ctx), "heap-magic",
+                  "mod heap magic lost");
+        std::string why;
+        rep.check(heap_->gcQuiescent(ctx, &why), "gc-quiescent", why);
         // The MOD commit contract: every root (bucket head) names a
         // fully-persisted, still-allocated node — GC must never have
         // reclaimed anything a durable root can reach.
         std::vector<Addr> live;
         map_->reachable(ctx, live);
         for (const Addr node : live) {
-            if (!heap_->isLiveNode(node)) {
-                if (why)
-                    *why = "reachable mod node not allocated";
-                return false;
-            }
+            if (!rep.check(heap_->isLiveNode(node), "roots-allocated",
+                           "reachable mod node not allocated"))
+                break;
         }
-        return true;
+        return rep;
     }
 
   private:
@@ -241,18 +238,19 @@ class ModVectorApp : public WhisperApp
             if ((op + 1) % kDurabilityInterval == 0)
                 heap_->durabilityPoint(ctx, tid);
         }
-        heap_->durabilityPoint(ctx, tid);
+        heap_->threadExit(ctx, tid);
     }
 
-    bool
+    VerifyReport
     verify(Runtime &rt) override
     {
+        VerifyReport rep = report();
+        rep.check(heap_->magicIntact(rt.ctx(0)), "heap-magic",
+                  "mod heap magic lost");
         std::string why;
-        const bool ok = heap_->magicIntact(rt.ctx(0)) &&
-                        vec_->check(rt.ctx(0), &why);
-        if (!ok)
-            warn("mod-vector verify failed: %s", why.c_str());
-        return ok;
+        rep.check(vec_->check(rt.ctx(0), &why), "structure-intact",
+                  why);
+        return rep;
     }
 
     void
@@ -268,37 +266,33 @@ class ModVectorApp : public WhisperApp
         heap_->recover(ctx, live);
     }
 
-    bool
+    VerifyReport
     verifyRecovered(Runtime &rt) override
     {
+        VerifyReport rep = report();
         std::string why;
-        const bool ok = vec_->check(rt.ctx(0), &why);
-        if (!ok)
-            warn("mod-vector recovery check failed: %s", why.c_str());
-        return ok;
+        rep.check(vec_->check(rt.ctx(0), &why), "structure-intact",
+                  why);
+        return rep;
     }
 
-    bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    VerifyReport
+    checkRecoveryInvariants(Runtime &rt) override
     {
         pm::PmContext &ctx = rt.ctx(0);
-        if (!heap_->magicIntact(ctx)) {
-            if (why)
-                *why = "mod heap magic lost";
-            return false;
-        }
-        if (!heap_->gcQuiescent(ctx, why))
-            return false;
+        VerifyReport rep = report();
+        rep.check(heap_->magicIntact(ctx), "heap-magic",
+                  "mod heap magic lost");
+        std::string why;
+        rep.check(heap_->gcQuiescent(ctx, &why), "gc-quiescent", why);
         std::vector<Addr> live;
         vec_->reachable(ctx, live);
         for (const Addr node : live) {
-            if (!heap_->isLiveNode(node)) {
-                if (why)
-                    *why = "reachable mod chunk not allocated";
-                return false;
-            }
+            if (!rep.check(heap_->isLiveNode(node), "roots-allocated",
+                           "reachable mod chunk not allocated"))
+                break;
         }
-        return true;
+        return rep;
     }
 
   private:

@@ -141,29 +141,37 @@ class MysqlApp : public WhisperApp
         }
     }
 
-    bool
+    VerifyReport
     verify(Runtime &rt) override
     {
-        return checkDb(rt, nullptr, false);
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(checkDb(rt, &why, false), "db-intact", why);
+        return rep;
     }
 
     void recover(Runtime &rt) override { fs_->mount(rt.ctx(0)); }
 
-    bool
+    VerifyReport
     verifyRecovered(Runtime &rt) override
     {
+        VerifyReport rep = report();
         std::string why;
-        const bool ok = checkDb(rt, &why, true);
-        if (!ok)
-            warn("mysql recovery check failed: %s", why.c_str());
-        return ok;
+        rep.check(checkDb(rt, &why, true), "db-intact", why);
+        return rep;
     }
 
-    bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    VerifyReport
+    checkRecoveryInvariants(Runtime &rt) override
     {
         pm::PmContext &ctx = rt.ctx(0);
-        return fs_->journalQuiescent(ctx, why) && fs_->fsck(ctx, why);
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(fs_->journalQuiescent(ctx, &why),
+                  "journal-quiescent", why);
+        why.clear();
+        rep.check(fs_->fsck(ctx, &why), "fsck", why);
+        return rep;
     }
 
   private:

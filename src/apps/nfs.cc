@@ -124,14 +124,13 @@ class NfsApp : public WhisperApp
         }
     }
 
-    bool
+    VerifyReport
     verify(Runtime &rt) override
     {
+        VerifyReport rep = report();
         std::string why;
-        const bool ok = fs_->fsck(rt.ctx(0), &why);
-        if (!ok)
-            warn("nfs fsck failed: %s", why.c_str());
-        return ok;
+        rep.check(fs_->fsck(rt.ctx(0), &why), "fsck", why);
+        return rep;
     }
 
     void
@@ -140,13 +139,23 @@ class NfsApp : public WhisperApp
         fs_->mount(rt.ctx(0));
     }
 
-    bool verifyRecovered(Runtime &rt) override { return verify(rt); }
+    VerifyReport
+    verifyRecovered(Runtime &rt) override
+    {
+        return verify(rt);
+    }
 
-    bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    VerifyReport
+    checkRecoveryInvariants(Runtime &rt) override
     {
         pm::PmContext &ctx = rt.ctx(0);
-        return fs_->journalQuiescent(ctx, why) && fs_->fsck(ctx, why);
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(fs_->journalQuiescent(ctx, &why),
+                  "journal-quiescent", why);
+        why.clear();
+        rep.check(fs_->fsck(ctx, &why), "fsck", why);
+        return rep;
     }
 
   private:

@@ -198,7 +198,14 @@ class NstoreApp : public WhisperApp
         }
     }
 
-    bool verify(Runtime &rt) override { return checkAll(rt, nullptr); }
+    VerifyReport
+    verify(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(checkAll(rt, &why), "tables-intact", why);
+        return rep;
+    }
 
     void
     recover(Runtime &rt) override
@@ -225,34 +232,32 @@ class NstoreApp : public WhisperApp
         heap_->recover(ctx);
     }
 
-    bool
+    VerifyReport
     verifyRecovered(Runtime &rt) override
     {
+        VerifyReport rep = report();
         std::string why;
-        const bool ok = checkAll(rt, &why);
-        if (!ok)
-            warn("nstore recovery check failed: %s", why.c_str());
-        return ok;
+        rep.check(checkAll(rt, &why), "tables-intact", why);
+        return rep;
     }
 
-    bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    VerifyReport
+    checkRecoveryInvariants(Runtime &rt) override
     {
         // OPTWAL descriptor state: recovery must retire every
         // partition's active undo log (the single pointer write that
         // commits or rolls back the in-flight transaction).
         pm::PmContext &ctx = rt.ctx(0);
+        VerifyReport rep = report();
         for (unsigned p = 0; p < config_.threads; p++) {
             const Partition *part = partition(ctx, p);
-            if (part->activeLog != kNullAddr) {
-                if (why) {
-                    *why = "nstore partition " + std::to_string(p) +
-                           " still publishes an active undo log";
-                }
-                return false;
-            }
+            if (!rep.check(part->activeLog == kNullAddr,
+                           "undo-retired",
+                           "partition " + std::to_string(p) +
+                               " still publishes an active undo log"))
+                break;
         }
-        return true;
+        return rep;
     }
 
   private:

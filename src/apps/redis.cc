@@ -157,7 +157,14 @@ class RedisApp : public WhisperApp
         }
     }
 
-    bool verify(Runtime &rt) override { return checkDict(rt, nullptr); }
+    VerifyReport
+    verify(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(checkDict(rt, &why), "dict-intact", why);
+        return rep;
+    }
 
     void
     recover(Runtime &rt) override
@@ -166,20 +173,23 @@ class RedisApp : public WhisperApp
         pool_->recover(ctx);
     }
 
-    bool
+    VerifyReport
     verifyRecovered(Runtime &rt) override
     {
+        VerifyReport rep = report();
         std::string why;
-        const bool ok = checkDict(rt, &why);
-        if (!ok)
-            warn("redis recovery check failed: %s", why.c_str());
-        return ok;
+        rep.check(checkDict(rt, &why), "dict-intact", why);
+        return rep;
     }
 
-    bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    VerifyReport
+    checkRecoveryInvariants(Runtime &rt) override
     {
-        return pool_->logsQuiescent(rt.ctx(0), why);
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(pool_->logsQuiescent(rt.ctx(0), &why),
+                  "logs-quiescent", why);
+        return rep;
     }
 
   private:

@@ -176,7 +176,14 @@ class VacationApp : public WhisperApp
         }
     }
 
-    bool verify(Runtime &rt) override { return checkAll(rt, nullptr); }
+    VerifyReport
+    verify(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(checkAll(rt, &why), "tables-intact", why);
+        return rep;
+    }
 
     void
     recover(Runtime &rt) override
@@ -184,20 +191,23 @@ class VacationApp : public WhisperApp
         heap_->recover(rt.ctx(0));
     }
 
-    bool
+    VerifyReport
     verifyRecovered(Runtime &rt) override
     {
+        VerifyReport rep = report();
         std::string why;
-        const bool ok = checkAll(rt, &why);
-        if (!ok)
-            warn("vacation recovery check failed: %s", why.c_str());
-        return ok;
+        rep.check(checkAll(rt, &why), "tables-intact", why);
+        return rep;
     }
 
-    bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    VerifyReport
+    checkRecoveryInvariants(Runtime &rt) override
     {
-        return heap_->logsQuiescent(rt.ctx(0), why);
+        VerifyReport rep = report();
+        std::string why;
+        rep.check(heap_->logsQuiescent(rt.ctx(0), &why),
+                  "logs-quiescent", why);
+        return rep;
     }
 
   private:

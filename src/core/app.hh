@@ -18,13 +18,16 @@
 #ifndef WHISPER_CORE_APP_HH
 #define WHISPER_CORE_APP_HH
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/runtime.hh"
+#include "core/verify_report.hh"
 
 namespace whisper::core
 {
@@ -38,7 +41,12 @@ struct AppConfig
     std::size_t poolBytes = 256 << 20;
     bool recordVolatile = false;
 
-    /** Scale every op count by @p f (benches use small smoke runs). */
+    /**
+     * Scale every op count by @p f (benches use small smoke runs).
+     * Threads scale down with @p f too (never up) and are clamped to
+     * the hardware concurrency, so smoke sweeps on small CI machines
+     * never oversubscribe the cores they have.
+     */
     AppConfig
     scaled(double f) const
     {
@@ -47,6 +55,13 @@ struct AppConfig
             std::max<std::uint64_t>(1,
                 static_cast<std::uint64_t>(
                     static_cast<double>(opsPerThread) * f));
+        const double tf = std::min(f, 1.0);
+        unsigned t = static_cast<unsigned>(
+            static_cast<double>(threads) * tf + 0.5);
+        const unsigned hw = std::thread::hardware_concurrency();
+        if (hw > 0)
+            t = std::min(t, hw);
+        c.threads = std::max(1u, t);
         return c;
     }
 };
@@ -85,8 +100,8 @@ class WhisperApp
     /** Per-thread measured workload body. */
     virtual void run(Runtime &rt, pm::PmContext &ctx, ThreadId tid) = 0;
 
-    /** Invariants after a clean run. Returns false on violation. */
-    virtual bool verify(Runtime &rt) = 0;
+    /** Invariants after a clean run. */
+    virtual VerifyReport verify(Runtime &rt) = 0;
 
     /** Re-mount and recover after a crash. */
     virtual void recover(Runtime &rt) = 0;
@@ -96,27 +111,34 @@ class WhisperApp
      * consistency, no torn committed data. (Uncommitted work may be
      * absent — that is the contract.)
      */
-    virtual bool verifyRecovered(Runtime &rt) = 0;
+    virtual VerifyReport verifyRecovered(Runtime &rt) = 0;
 
     /**
      * Access-layer recovery invariants, checked by the crash fuzzer
      * after recover() in addition to verifyRecovered(): redo logs
      * fully replayed and retired (Mnemosyne), undo logs rolled back
      * and descriptors NONE (NVML), journal FREE and fsck-clean (PMFS),
-     * descriptor/status protocols settled (native). Fills @p why on
-     * violation. Default: no layer-specific state to check.
+     * descriptor/status protocols settled (native), garbage lanes
+     * quiescent and reachable nodes allocated (MOD). Default: no
+     * layer-specific state to check.
      */
-    virtual bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why)
+    virtual VerifyReport
+    checkRecoveryInvariants(Runtime &rt)
     {
         (void)rt;
-        (void)why;
-        return true;
+        return report();
     }
 
     const AppConfig &config() const { return config_; }
 
   protected:
+    /** Empty report pre-stamped with this app's name and layer. */
+    VerifyReport
+    report() const
+    {
+        return VerifyReport(name(), accessLayerName(layer()));
+    }
+
     AppConfig config_;
 };
 

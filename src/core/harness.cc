@@ -24,7 +24,8 @@ runApp(const std::string &name, const AppConfig &config)
                       result.app->run(rt, ctx, tid);
                   });
 
-    result.verified = result.app->verify(rt);
+    result.report = result.app->verify(rt);
+    result.verified = result.report.ok();
     result.firstTick = rt.traces().firstTick();
     result.lastTick = rt.traces().lastTick();
     result.totalOps =
@@ -32,11 +33,11 @@ runApp(const std::string &name, const AppConfig &config)
     return result;
 }
 
-bool
-crashAndVerify(RunResult &result, std::uint64_t seed, double survival)
+VerifyReport
+crashAndVerify(RunResult &result, const CrashOptions &opts)
 {
     Runtime &rt = *result.runtime;
-    rt.crash(seed, survival);
+    rt.crash(opts.seed, opts.survival);
     result.app->recover(rt);
     return result.app->verifyRecovered(rt);
 }

@@ -20,7 +20,8 @@ struct RunResult
 {
     std::string appName;
     AccessLayer layer{};
-    bool verified = false;
+    bool verified = false;   //!< report.ok(), kept for convenience
+    VerifyReport report;     //!< structured verify() outcome
     Tick firstTick = 0;
     Tick lastTick = 0;
     std::uint64_t totalOps = 0;
@@ -36,13 +37,24 @@ struct RunResult
  */
 RunResult runApp(const std::string &name, const AppConfig &config);
 
+/** Parameters of one injected crash + recovery cycle. */
+struct CrashOptions
+{
+    std::uint64_t seed = 0;     //!< survivor-set RNG seed
+    double survival = 0.5;      //!< per-dirty-line survival chance
+    unsigned threads = 1;       //!< racing threads (crash fuzzer)
+    std::uint64_t schedule = 0; //!< deterministic PM-op schedule seed
+};
+
 /**
- * Crash-and-recover cycle on an already-run app: injects a crash with
- * @p seed and @p survival, re-mounts via app.recover() and returns
- * app.verifyRecovered(). Used by the property tests.
+ * Crash-and-recover cycle on an already-run app: injects a crash per
+ * @p opts (seed + survival), re-mounts via app.recover() and returns
+ * app.verifyRecovered(). The threads/schedule fields describe
+ * multi-threaded crash schedules and are consumed by the crash
+ * fuzzer, which arms its own crash plans before running.
  */
-bool crashAndVerify(RunResult &result, std::uint64_t seed,
-                    double survival = 0.5);
+VerifyReport crashAndVerify(RunResult &result,
+                            const CrashOptions &opts);
 
 /**
  * Run the full §5 analysis pipeline over a finished run's traces.

@@ -71,9 +71,20 @@ Runtime::crashWithSurvivors(const std::vector<LineAddr> &survivors)
 }
 
 pm::CrashPlan &
-Runtime::installCrashPlan()
+Runtime::installCrashPlan(unsigned gate_threads,
+                          std::uint64_t schedule_seed)
 {
     crashPlan_ = std::make_unique<pm::CrashPlan>();
+    if (gate_threads > 1) {
+        panic_if(gate_threads > contexts_.size(),
+                 "crash plan gates %u threads but runtime has %zu",
+                 gate_threads, contexts_.size());
+        schedGate_ =
+            std::make_unique<pm::SchedGate>(gate_threads, schedule_seed);
+        crashPlan_->gate = schedGate_.get();
+    } else {
+        schedGate_.reset();
+    }
     for (auto &ctx : contexts_)
         ctx->setCrashPlan(crashPlan_.get());
     return *crashPlan_;
@@ -87,6 +98,8 @@ Runtime::armCrashPoint(std::uint64_t op_index)
     plan.opsSeen.store(0, std::memory_order_relaxed);
     plan.fired.store(false, std::memory_order_relaxed);
     plan.crashAt = op_index;
+    if (plan.gate)
+        plan.gate->reset();
 }
 
 bool

@@ -69,11 +69,15 @@ class Runtime
      *
      * installCrashPlan() attaches a fresh op-counting CrashPlan to
      * every context (uninstalled runtimes pay no per-op overhead);
-     * armCrashPoint() schedules a CrashPointReached throw immediately
-     * before the PM op with global index @p op_index, counted from
-     * the install/arm point.
+     * with @p gate_threads > 1 the plan also carries a SchedGate that
+     * pins the interleaving of the racing threads' PM ops to the
+     * seeded @p schedule_seed, making global op indices — and thus
+     * crash points — deterministic. armCrashPoint() schedules a
+     * CrashPointReached throw immediately before the PM op with
+     * global index @p op_index, counted from the install/arm point.
      */
-    pm::CrashPlan &installCrashPlan();
+    pm::CrashPlan &installCrashPlan(unsigned gate_threads = 1,
+                                    std::uint64_t schedule_seed = 0);
     void armCrashPoint(std::uint64_t op_index);
     bool crashPointFired() const;
     std::uint64_t pmOpsSeen() const;
@@ -88,6 +92,7 @@ class Runtime
     trace::TraceSet traces_;
     std::vector<std::unique_ptr<pm::PmContext>> contexts_;
     std::unique_ptr<pm::CrashPlan> crashPlan_;
+    std::unique_ptr<pm::SchedGate> schedGate_;
 };
 
 } // namespace whisper::core

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Structured verification results.
+ *
+ * Every WhisperApp verification hook — verify(), verifyRecovered()
+ * and checkRecoveryInvariants() — returns a VerifyReport: an ok flag
+ * plus a list of named invariant violations. The harness, the crash
+ * fuzzer and whisper_cli all render the same named invariants, so a
+ * fuzzer reproducer log and a CLI verification failure read alike.
+ */
+
+#ifndef WHISPER_CORE_VERIFY_REPORT_HH
+#define WHISPER_CORE_VERIFY_REPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace whisper::core
+{
+
+/** One violated invariant, attributed to an app and access layer. */
+struct VerifyViolation
+{
+    std::string app;       //!< application name ("mod-hashmap", ...)
+    std::string layer;     //!< access-layer name ("lib-mod", ...)
+    std::string invariant; //!< short invariant name ("gc-quiescent")
+    std::string detail;    //!< free-form diagnosis, may be empty
+};
+
+/**
+ * Result of one verification pass. Default-constructed reports are
+ * ok; failures accumulate via fail()/check(). The app/layer seeds
+ * (set by WhisperApp::report()) are stamped onto every violation.
+ */
+class VerifyReport
+{
+  public:
+    VerifyReport() = default;
+    VerifyReport(std::string app, std::string layer)
+        : app_(std::move(app)), layer_(std::move(layer))
+    {
+    }
+
+    bool ok() const { return violations_.empty(); }
+
+    const std::vector<VerifyViolation> &
+    violations() const
+    {
+        return violations_;
+    }
+
+    /** Record a violation of @p invariant. */
+    void
+    fail(std::string invariant, std::string detail = "")
+    {
+        violations_.push_back(VerifyViolation{
+            app_, layer_, std::move(invariant), std::move(detail)});
+    }
+
+    /** fail() unless @p ok_cond holds; returns @p ok_cond. */
+    bool
+    check(bool ok_cond, const std::string &invariant,
+          const std::string &detail = "")
+    {
+        if (!ok_cond)
+            fail(invariant, detail);
+        return ok_cond;
+    }
+
+    /** Absorb another report's violations (e.g. sub-checks). */
+    void
+    merge(const VerifyReport &other)
+    {
+        violations_.insert(violations_.end(),
+                           other.violations_.begin(),
+                           other.violations_.end());
+    }
+
+    /**
+     * One-line summary of the first violation — "invariant: detail"
+     * — the crash fuzzer's deterministic `why` string. Empty when ok.
+     */
+    std::string
+    brief() const
+    {
+        if (violations_.empty())
+            return "";
+        const VerifyViolation &v = violations_.front();
+        return v.detail.empty() ? v.invariant
+                                : v.invariant + ": " + v.detail;
+    }
+
+    /** Multi-line rendering of every violation. Empty when ok. */
+    std::string
+    describe() const
+    {
+        std::string out;
+        for (const VerifyViolation &v : violations_) {
+            if (!out.empty())
+                out += "\n";
+            out += v.app + "/" + v.layer + ": " + v.invariant;
+            if (!v.detail.empty())
+                out += " (" + v.detail + ")";
+        }
+        return out;
+    }
+
+  private:
+    std::string app_;
+    std::string layer_;
+    std::vector<VerifyViolation> violations_;
+};
+
+} // namespace whisper::core
+
+#endif // WHISPER_CORE_VERIFY_REPORT_HH

@@ -46,7 +46,7 @@ core::AppConfig
 caseAppConfig(const FuzzConfig &config)
 {
     core::AppConfig cfg;
-    cfg.threads = 1; // deterministic PM-op order
+    cfg.threads = config.threads < 1 ? 1 : config.threads;
     cfg.opsPerThread = config.opsPerThread;
     cfg.seed = config.appSeed;
     cfg.poolBytes = config.poolBytes;
@@ -60,19 +60,79 @@ constexpr double kSurvivalClasses[] = {0.0, 0.1, 0.25, 0.5,
 constexpr std::size_t kSurvivalClassCount =
     sizeof(kSurvivalClasses) / sizeof(kSurvivalClasses[0]);
 
+/** Racing threads are only meaningful where disjoint updates commute. */
+void
+requireGateable(const core::WhisperApp &app, unsigned threads)
+{
+    panic_if(threads > 1 &&
+                 app.layer() != core::AccessLayer::LibMod,
+             "multi-threaded crash fuzzing needs the MOD layer, "
+             "not %s", app.name().c_str());
+}
+
+/**
+ * Run the (possibly armed) workload on every thread, gate-disciplined;
+ * reports whether the crash point fired and the cut's global op index.
+ * Threads that finish leave the gate's draw set so the others make
+ * progress; the firing thread's throw opens the gate for the rest.
+ */
+void
+runArmed(core::Runtime &rt, core::WhisperApp &app, unsigned threads,
+         bool &fired, std::uint64_t &op_index)
+{
+    std::atomic<bool> hit{false};
+    std::atomic<std::uint64_t> at{0};
+    rt.runThreads(threads, [&](pm::PmContext &ctx, ThreadId tid) {
+        try {
+            app.run(rt, ctx, tid);
+        } catch (const pm::CrashPointReached &cut) {
+            hit.store(true, std::memory_order_relaxed);
+            at.store(cut.opIndex, std::memory_order_relaxed);
+        }
+        if (pm::SchedGate *gate = ctx.schedGate())
+            gate->deactivate(tid);
+    });
+    fired = hit.load(std::memory_order_relaxed);
+    op_index = fired ? at.load(std::memory_order_relaxed)
+                     : rt.pmOpsSeen();
+}
+
+/** Post-recovery architectural-image fingerprint (replay identity). */
+std::uint64_t
+imageHash(const pm::PmPool &pool)
+{
+    const std::uint8_t *base = pool.archBase();
+    std::uint64_t h = 0x1316171ull;
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < pool.size(); i++) {
+        word = (word << 8) | base[i];
+        if ((i & 7) == 7) {
+            h = fold(h, word);
+            word = 0;
+        }
+    }
+    return fold(h, word);
+}
+
 } // namespace
 
 std::uint64_t
 profilePmOps(const std::string &app, const FuzzConfig &config)
 {
     const core::AppConfig cfg = caseAppConfig(config);
-    core::Runtime rt(cfg.poolBytes, 1, false);
+    core::Runtime rt(cfg.poolBytes, cfg.threads, false);
     std::unique_ptr<core::WhisperApp> a = core::createApp(app, cfg);
+    requireGateable(*a, cfg.threads);
     a->setup(rt);
     rt.clearTraces();
-    rt.installCrashPlan(); // counts; crashAt stays at "never"
-    a->run(rt, rt.ctx(0), 0);
-    return rt.pmOpsSeen();
+    // Counts only; crashAt stays at "never". The gate schedule is
+    // fixed per (sweep seed, app) so the profile is reproducible.
+    rt.installCrashPlan(cfg.threads,
+                        mix64(config.sweepSeed ^ hashName(app)));
+    bool fired = false;
+    std::uint64_t ops = 0;
+    runArmed(rt, *a, cfg.threads, fired, ops);
+    return ops;
 }
 
 FuzzCase
@@ -88,10 +148,12 @@ deriveCase(const std::string &app, std::uint64_t case_id,
     const std::uint64_t h2 = mix64(h1);
     const std::uint64_t h3 = mix64(h2);
     c.crashAt = total_pm_ops ? h1 % total_pm_ops : 0;
-    c.crashSeed = h2;
+    c.crash.seed = h2;
     const std::size_t cls = h3 % kSurvivalClassCount;
     c.hard = cls == 0;
-    c.survival = kSurvivalClasses[cls];
+    c.crash.survival = kSurvivalClasses[cls];
+    c.crash.threads = config.threads < 1 ? 1 : config.threads;
+    c.crash.schedule = mix64(h3);
     return c;
 }
 
@@ -101,35 +163,31 @@ runCase(const FuzzCase &c, const FuzzConfig &config,
         std::uint64_t crash_at_override)
 {
     const core::AppConfig cfg = caseAppConfig(config);
-    core::Runtime rt(cfg.poolBytes, 1, false);
+    const unsigned threads = c.crash.threads < 1 ? 1 : c.crash.threads;
+    core::Runtime rt(cfg.poolBytes, threads, false);
     std::unique_ptr<core::WhisperApp> app =
         core::createApp(c.app, cfg);
+    requireGateable(*app, threads);
     app->setup(rt);
     rt.clearTraces();
 
     const std::uint64_t crash_at =
         crash_at_override != ~std::uint64_t(0) ? crash_at_override
                                                : c.crashAt;
-    rt.installCrashPlan();
+    rt.installCrashPlan(threads, c.crash.schedule);
     rt.armCrashPoint(crash_at);
 
     CaseOutcome out;
-    try {
-        app->run(rt, rt.ctx(0), 0);
-        out.fired = false;
-        out.opIndex = rt.pmOpsSeen();
-    } catch (const pm::CrashPointReached &cut) {
-        out.fired = true;
-        out.opIndex = cut.opIndex;
-    }
+    runArmed(rt, *app, threads, out.fired, out.opIndex);
 
     // Resolve the power cut. The survivor set is either dictated (the
     // shrinker), seeded (the sweep), or empty (crashHard class).
     if (survivor_override) {
         out.survivors = *survivor_override;
     } else if (!c.hard) {
-        Rng rng(c.crashSeed);
-        out.survivors = rt.pool().pickSurvivors(rng, c.survival);
+        Rng rng(c.crash.seed);
+        out.survivors =
+            rt.pool().pickSurvivors(rng, c.crash.survival);
     }
     rt.crashWithSurvivors(out.survivors);
 
@@ -139,16 +197,22 @@ runCase(const FuzzCase &c, const FuzzConfig &config,
 
     app->recover(rt);
 
-    std::string why;
-    const bool invariants_ok = app->checkRecoveryInvariants(rt, &why);
-    const bool recovered_ok =
-        invariants_ok ? app->verifyRecovered(rt) : false;
-    out.ok = invariants_ok && recovered_ok;
-    if (!invariants_ok)
-        out.why = why.empty() ? "layer recovery invariant violated"
-                              : why;
-    else if (!recovered_ok)
-        out.why = "verifyRecovered failed";
+    const core::VerifyReport invariants =
+        app->checkRecoveryInvariants(rt);
+    out.ok = invariants.ok();
+    if (!invariants.ok()) {
+        out.why = invariants.brief().empty()
+                      ? "layer recovery invariant violated"
+                      : invariants.brief();
+    } else {
+        const core::VerifyReport recovered = app->verifyRecovered(rt);
+        out.ok = recovered.ok();
+        if (!recovered.ok())
+            out.why = recovered.brief().empty()
+                          ? "verifyRecovered failed"
+                          : recovered.brief();
+    }
+    out.imageHash = imageHash(rt.pool());
 
     std::uint64_t h = fold(hashName(c.app), c.caseId);
     h = fold(h, crash_at);
@@ -161,6 +225,7 @@ runCase(const FuzzCase &c, const FuzzConfig &config,
     h = fold(h, rt.pool().dirtyLineCount());
     h = fold(h, out.ok ? 1 : 0);
     h = fold(h, hashName(out.why));
+    h = fold(h, out.imageHash);
     out.digest = h;
     return out;
 }
@@ -183,13 +248,20 @@ replayCommand(const FuzzCase &c,
             cmd += std::to_string(survivors[i]);
         }
     }
-    char tail[96];
+    char tail[160];
     std::snprintf(tail, sizeof(tail),
                   " --ops %" PRIu64 " --seed 0x%" PRIx64
                   " --pool-mb %zu",
                   config.opsPerThread, config.sweepSeed,
                   config.poolBytes >> 20);
-    return cmd + tail;
+    cmd += tail;
+    if (c.crash.threads > 1) {
+        std::snprintf(tail, sizeof(tail),
+                      " --threads %u --schedule 0x%" PRIx64,
+                      c.crash.threads, c.crash.schedule);
+        cmd += tail;
+    }
+    return cmd;
 }
 
 Reproducer

@@ -3,16 +3,22 @@
  * Crash-recovery fuzzing over the WHISPER suite (DESIGN.md §6).
  *
  * The fuzzer sweeps (application x crash point x RNG seed x survival
- * rate): each case runs an application's workload single-threaded,
- * injects a simulated power cut immediately before one specific PM
- * operation (pm::CrashPlan), resolves the cut with a seeded survivor
- * set over the dirty lines (PmPool::crashWithSurvivors), re-mounts
- * through WhisperApp::recover() and then checks both the generic
- * post-crash contract (verifyRecovered) and the access layer's
- * recovery invariants (checkRecoveryInvariants): Mnemosyne redo logs
- * replayed and retired, NVML undo logs rolled back to TxState::None,
- * PMFS journal FREE plus fsck-clean, native descriptor/status
- * protocols settled.
+ * rate): each case runs an application's workload, injects a
+ * simulated power cut immediately before one specific PM operation
+ * (pm::CrashPlan), resolves the cut with a seeded survivor set over
+ * the dirty lines (PmPool::crashWithSurvivors), re-mounts through
+ * WhisperApp::recover() and then checks both the generic post-crash
+ * contract (verifyRecovered) and the access layer's recovery
+ * invariants (checkRecoveryInvariants): Mnemosyne redo logs replayed
+ * and retired, NVML undo logs rolled back to TxState::None, PMFS
+ * journal FREE plus fsck-clean, native descriptor/status protocols
+ * settled. Violations carry the VerifyReport's named invariant.
+ *
+ * With FuzzConfig::threads > 1 (MOD-layer apps only) the workload
+ * races real threads whose PM-op interleaving is pinned by a seeded
+ * SchedGate schedule, so the global op index — and therefore the
+ * crash point and the post-crash image — stays deterministic and a
+ * --replay with the same schedule is bit-identical.
  *
  * Every case is derived deterministically from (sweep seed, app name,
  * case id), runs in its own Runtime, and folds its outcome into a
@@ -31,6 +37,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "core/harness.hh"
 
 namespace whisper::fuzz
 {
@@ -38,10 +45,11 @@ namespace whisper::fuzz
 /** Workload shape shared by every case of a sweep. */
 struct FuzzConfig
 {
-    std::uint64_t opsPerThread = 24; //!< single worker thread
+    std::uint64_t opsPerThread = 24; //!< per worker thread
     std::size_t poolBytes = 48 << 20;
     std::uint64_t appSeed = 7;       //!< AppConfig::seed for every case
     std::uint64_t sweepSeed = 0x5eedF00d; //!< derives per-case params
+    unsigned threads = 1; //!< racing workload threads (>1: MOD only)
 };
 
 /** One fully-resolved fuzz case (derivable from its id alone). */
@@ -49,10 +57,13 @@ struct FuzzCase
 {
     std::string app;
     std::uint64_t caseId = 0;
-    std::uint64_t crashAt = 0;   //!< global PM-op index the cut precedes
-    std::uint64_t crashSeed = 0; //!< seeds the survivor pick
-    double survival = 0.5;       //!< per-dirty-line survival probability
-    bool hard = false;           //!< crashHard(): nothing dirty survives
+    std::uint64_t crashAt = 0; //!< global PM-op index the cut precedes
+    /**
+     * How the cut resolves and how the racing threads interleave:
+     * seed picks the survivor set, schedule seeds the SchedGate.
+     */
+    core::CrashOptions crash;
+    bool hard = false; //!< crashHard(): nothing dirty survives
 };
 
 /** What one case did and found. */
@@ -61,8 +72,9 @@ struct CaseOutcome
     bool fired = false;        //!< crash point hit before workload end
     std::uint64_t opIndex = 0; //!< op cut short (ops seen when !fired)
     bool ok = true;            //!< invariants + verifyRecovered held
-    std::string why;           //!< first violated invariant
+    std::string why;           //!< first violated invariant (named)
     std::uint64_t digest = 0;  //!< deterministic outcome fingerprint
+    std::uint64_t imageHash = 0; //!< post-recovery arch-image hash
     std::vector<LineAddr> survivors; //!< dirty lines the crash kept
 };
 
@@ -101,7 +113,11 @@ struct SweepOptions
 /**
  * Profiling pass: run @p app's workload under a counting (never
  * firing) crash plan and return the total number of PM ops it issues.
- * Crash points are drawn from [0, total).
+ * Crash points are drawn from [0, total). With config.threads > 1 the
+ * profile runs under a sweep-seed-derived gate schedule; a case under
+ * its own schedule may issue slightly more or fewer ops (end-of-run
+ * grace residue), so a tail crash point occasionally fails to fire —
+ * that case simply counts as unfired.
  */
 std::uint64_t profilePmOps(const std::string &app,
                            const FuzzConfig &config);

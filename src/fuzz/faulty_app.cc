@@ -67,7 +67,7 @@ class FaultyApp : public WhisperApp
         }
     }
 
-    bool
+    VerifyReport
     verify(Runtime &rt) override
     {
         pm::PmContext &ctx = rt.ctx(0);
@@ -75,7 +75,12 @@ class FaultyApp : public WhisperApp
         std::uint64_t b = 0;
         ctx.load(kCounterA, &a, sizeof(a));
         ctx.load(kCounterB, &b, sizeof(b));
-        return a == b && a == config_.opsPerThread;
+        VerifyReport rep = report();
+        rep.check(a == b && a == config_.opsPerThread,
+                  "counters-complete",
+                  "a=" + std::to_string(a) +
+                      " b=" + std::to_string(b));
+        return rep;
     }
 
     void recover(Runtime &rt) override { (void)rt; }
@@ -83,28 +88,25 @@ class FaultyApp : public WhisperApp
     /** The post-crash contract itself is vacuous — the divergence is
      *  only visible to the invariant check, as with a real torn
      *  protocol whose application-level reads still "work". */
-    bool verifyRecovered(Runtime &rt) override
+    VerifyReport verifyRecovered(Runtime &rt) override
     {
         (void)rt;
-        return true;
+        return report();
     }
 
-    bool
-    checkRecoveryInvariants(Runtime &rt, std::string *why) override
+    VerifyReport
+    checkRecoveryInvariants(Runtime &rt) override
     {
         pm::PmContext &ctx = rt.ctx(0);
         std::uint64_t a = 0;
         std::uint64_t b = 0;
         ctx.load(kCounterA, &a, sizeof(a));
         ctx.load(kCounterB, &b, sizeof(b));
-        if (a == b)
-            return true;
-        if (why) {
-            *why = "faulty: counters diverged (a=" +
-                   std::to_string(a) + " b=" + std::to_string(b) +
-                   ")";
-        }
-        return false;
+        VerifyReport rep = report();
+        rep.check(a == b, "counters-equal",
+                  "a=" + std::to_string(a) +
+                      " b=" + std::to_string(b));
+        return rep;
     }
 };
 

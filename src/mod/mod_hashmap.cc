@@ -46,7 +46,9 @@ ModHashmap::ModHashmap(pm::PmContext &ctx, ModHeap &heap,
                        Addr table_off, std::uint64_t bucket_count,
                        unsigned partitions)
     : heap_(heap), tableOff_(table_off), bucketCount_(bucket_count),
-      partitions_(partitions)
+      partitions_(partitions),
+      stripes_(std::make_unique<std::mutex[]>(partitions *
+                                              kStripesPerPartition))
 {
     panic_if(partitions_ == 0 || bucketCount_ % partitions_ != 0,
              "mod hashmap: buckets must split evenly over partitions");
@@ -61,7 +63,9 @@ ModHashmap::ModHashmap(pm::PmContext &ctx, ModHeap &heap,
 ModHashmap::ModHashmap(ModHeap &heap, Addr table_off,
                        std::uint64_t bucket_count, unsigned partitions)
     : heap_(heap), tableOff_(table_off), bucketCount_(bucket_count),
-      partitions_(partitions)
+      partitions_(partitions),
+      stripes_(std::make_unique<std::mutex[]>(partitions *
+                                              kStripesPerPartition))
 {
     panic_if(partitions_ == 0 || bucketCount_ % partitions_ != 0,
              "mod hashmap: buckets must split evenly over partitions");
@@ -81,6 +85,18 @@ ModHashmap::bucketOff(std::uint64_t bucket) const
     panic_if(bucket >= bucketCount_,
              "mod hashmap: bucket out of range");
     return tableOff_ + 16 + bucket * 8;
+}
+
+std::uint64_t
+ModHashmap::stripeOf(std::uint64_t bucket) const
+{
+    // Partition-local: a bucket's stripe lives in its partition's own
+    // block of kStripesPerPartition locks, so writers in different
+    // partitions (== different threads under the partitioned
+    // workloads) can never contend, no matter how buckets hash.
+    const std::uint64_t per = bucketCount_ / partitions_;
+    return (bucket / per) * kStripesPerPartition +
+           (bucket % per) % kStripesPerPartition;
 }
 
 Addr
@@ -112,8 +128,11 @@ bool
 ModHashmap::put(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
                 const std::uint64_t *vals, bool &inserted)
 {
-    std::lock_guard<std::mutex> guard(mtx_);
     const std::uint64_t bucket = bucketOf(key);
+    // The stripe lock is taken before the head is read, so the head
+    // cannot move under this writer and the commit CAS below must
+    // succeed; its only job is to pin the expected value.
+    std::lock_guard<std::mutex> guard(stripes_[stripeOf(bucket)]);
     const Addr head = loadBucket(ctx, bucket);
 
     // Find the key; remember the chain prefix that must be
@@ -184,7 +203,9 @@ ModHashmap::put(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
     // their allocations dirtied) durable before the commit swap.
     ctx.fence(FenceKind::Ordering);
 
-    ctx.store(bucketOff(bucket), &shadows[0], 8, DataClass::TxMeta);
+    panic_if(!ctx.casStore(bucketOff(bucket), head, shadows[0],
+                           DataClass::TxMeta),
+             "mod hashmap: commit CAS lost despite stripe lock");
     ctx.flush(bucketOff(bucket), 8);
     if (found)
         for (std::size_t i = 0; i < fresh_count; i++)
@@ -196,8 +217,8 @@ ModHashmap::put(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
 bool
 ModHashmap::remove(pm::PmContext &ctx, ThreadId tid, std::uint64_t key)
 {
-    std::lock_guard<std::mutex> guard(mtx_);
     const std::uint64_t bucket = bucketOf(key);
+    std::lock_guard<std::mutex> guard(stripes_[stripeOf(bucket)]);
     const Addr head = loadBucket(ctx, bucket);
 
     std::vector<Addr> path;
@@ -245,7 +266,9 @@ ModHashmap::remove(pm::PmContext &ctx, ThreadId tid, std::uint64_t key)
     ctx.fence(FenceKind::Ordering);
 
     const Addr new_head = copies ? shadows[0] : nodes.back().next;
-    ctx.store(bucketOff(bucket), &new_head, 8, DataClass::TxMeta);
+    panic_if(!ctx.casStore(bucketOff(bucket), head, new_head,
+                           DataClass::TxMeta),
+             "mod hashmap: commit CAS lost despite stripe lock");
     ctx.flush(bucketOff(bucket), 8);
     for (Addr old : path)
         heap_.retire(ctx, tid, old);
@@ -257,7 +280,9 @@ bool
 ModHashmap::lookup(pm::PmContext &ctx, std::uint64_t key,
                    std::uint64_t *vals)
 {
-    std::lock_guard<std::mutex> guard(mtx_);
+    // Lock-free: the head is an atomic 8-byte slot and every node
+    // behind it is immutable; grace periods keep superseded nodes
+    // alive until all racing readers have quiesced.
     Addr cur = loadBucket(ctx, bucketOf(key));
     std::uint64_t steps = 0;
     while (cur != kNullAddr) {

@@ -6,20 +6,29 @@
  * 8-byte atomic swaps. Entries are immutable checksummed nodes; a
  * mutation builds the new chain prefix (shadow copies of the
  * predecessors plus the inserted/updated node, sharing the untouched
- * suffix), persists it behind a single ordering fence, and commits by
- * swapping the bucket head — one ordering point per update, exactly
- * the MOD discipline, against NVML's alternating undo-log epochs for
- * the same workload.
+ * suffix), persists it behind a single ordering fence, and commits
+ * with an 8-byte CAS on the bucket head — one ordering point per
+ * update, exactly the MOD discipline, against NVML's alternating
+ * undo-log epochs for the same workload.
+ *
+ * Concurrency: writers serialize per *stripe* (a partition-local
+ * slice of the bucket table), so updates to disjoint keys run truly
+ * in parallel and commit independently; the CAS is the commit point.
+ * Readers take no lock at all — they chase the immutable chain from
+ * whatever head the bucket publishes, relying on the heap's grace
+ * periods to keep superseded nodes valid until every racing reader
+ * has quiesced (ModHeap::readerQuiesce()/durabilityPoint()).
  *
  * The key space is partitioned (key's top 16 bits select a bucket
  * partition) so concurrent writers never shadow-copy each other's
- * chains and per-thread traffic stays deterministic under any
- * interleaving.
+ * chains, never meet on a stripe, and per-thread traffic stays
+ * deterministic under any interleaving.
  */
 
 #ifndef WHISPER_MOD_MOD_HASHMAP_HH
 #define WHISPER_MOD_MOD_HASHMAP_HH
 
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -48,6 +57,8 @@ class ModHashmap
   public:
     static constexpr std::uint64_t kMagic = 0x4D4F444D41503031ull;
     static constexpr std::uint64_t kValWords = 3;
+    /** Writer stripes per bucket partition. */
+    static constexpr std::uint64_t kStripesPerPartition = 8;
 
     static std::size_t
     tableBytes(std::uint64_t bucket_count)
@@ -74,7 +85,11 @@ class ModHashmap
     /** Remove @p key; false when absent. */
     bool remove(pm::PmContext &ctx, ThreadId tid, std::uint64_t key);
 
-    /** Read @p key's value; false when absent. */
+    /**
+     * Read @p key's value; false when absent. Lock-free: safe against
+     * concurrent put/remove (the caller's thread must quiesce
+     * periodically via the heap so grace periods can elapse).
+     */
     bool lookup(pm::PmContext &ctx, std::uint64_t key,
                 std::uint64_t *vals);
 
@@ -94,6 +109,9 @@ class ModHashmap
     Addr bucketOff(std::uint64_t bucket) const;
     std::uint64_t bucketCount() const { return bucketCount_; }
 
+    /** Writer stripe of @p bucket (partition-local; exposed for tests). */
+    std::uint64_t stripeOf(std::uint64_t bucket) const;
+
     static std::uint64_t entryChecksum(std::uint64_t key,
                                        const std::uint64_t *vals);
 
@@ -112,7 +130,13 @@ class ModHashmap
     Addr tableOff_;
     std::uint64_t bucketCount_;
     unsigned partitions_;
-    std::mutex mtx_;
+    /**
+     * Striped writer locks, kStripesPerPartition per partition. A
+     * stripe only serializes writers hashing into the same slice of
+     * one partition; cross-partition (i.e. cross-thread, for the
+     * partitioned workloads) updates never contend.
+     */
+    std::unique_ptr<std::mutex[]> stripes_;
 };
 
 } // namespace whisper::mod

@@ -78,28 +78,47 @@ ModHeap::ModHeap(pm::PmContext &ctx, Addr base, std::size_t size,
                       DataClass::TxMeta);
         ctx.flush(laneOff(t), laneBytes());
     }
-    // The allocator's formatting constructor ends with a durability
-    // fence, which also drains the header and lane flushes above.
-    alloc_ = std::make_unique<ModAllocator>(ctx, allocBase_,
-                                            allocBytes_);
+    // Each arena's formatting constructor ends with a durability
+    // fence; the last one also drains the header and lane flushes.
+    for (ThreadId t = 0; t < maxThreads_; t++) {
+        arenas_.push_back(std::make_unique<ModAllocator>(
+            ctx, allocBase_ + t * arenaShare_, arenaShare_));
+    }
 }
 
 ModHeap::ModHeap(Addr base, std::size_t size, unsigned max_threads)
     : base_(base), size_(size), maxThreads_(max_threads)
 {
     layout();
-    alloc_ = std::make_unique<ModAllocator>(allocBase_, allocBytes_);
+    for (ThreadId t = 0; t < maxThreads_; t++) {
+        arenas_.push_back(std::make_unique<ModAllocator>(
+            allocBase_ + t * arenaShare_, arenaShare_));
+    }
 }
 
 void
 ModHeap::layout()
 {
+    panic_if(maxThreads_ == 0, "mod heap needs at least one thread");
     lanes_.assign(maxThreads_, Lane{});
+    qcount_ = std::make_unique<std::atomic<std::uint64_t>[]>(maxThreads_);
+    online_ = std::make_unique<std::atomic<bool>[]>(maxThreads_);
+    for (unsigned t = 0; t < maxThreads_; t++) {
+        qcount_[t].store(0, std::memory_order_relaxed);
+        online_[t].store(true, std::memory_order_relaxed);
+    }
     const Addr lanes_end =
         base_ + kCacheLineSize + maxThreads_ * laneBytes();
     allocBase_ = lineBase(lanes_end + kCacheLineSize - 1);
     panic_if(allocBase_ >= base_ + size_, "mod heap region too small");
-    allocBytes_ = base_ + size_ - allocBase_;
+    // Equal line-aligned arena shares: a thread's allocations live in
+    // its own region, so no two threads ever share an allocator lock
+    // or a metadata cache line.
+    const std::size_t alloc_bytes = base_ + size_ - allocBase_;
+    arenaShare_ =
+        (alloc_bytes / maxThreads_) & ~(kCacheLineSize - 1);
+    panic_if(arenaShare_ == 0, "mod heap region too small for %u arenas",
+             maxThreads_);
 }
 
 Addr
@@ -115,49 +134,139 @@ ModHeap::laneEntryOff(ThreadId tid, std::uint64_t slot) const
     return laneOff(tid) + 8 + (slot % kGcEntries) * 8;
 }
 
+ModAllocator &
+ModHeap::arenaOf(Addr off) const
+{
+    panic_if(off < allocBase_ ||
+                 off >= allocBase_ + arenaShare_ * maxThreads_,
+             "offset %llu outside every mod arena",
+             static_cast<unsigned long long>(off));
+    return *arenas_[(off - allocBase_) / arenaShare_];
+}
+
 Addr
 ModHeap::alloc(pm::PmContext &ctx, std::size_t n)
 {
-    return alloc_->alloc(ctx, n);
+    const ThreadId tid = ctx.tid();
+    panic_if(tid >= maxThreads_, "mod alloc from tid %u beyond %u arenas",
+             tid, maxThreads_);
+    return arenas_[tid]->alloc(ctx, n);
 }
 
 void
 ModHeap::retire(pm::PmContext &ctx, ThreadId tid, Addr node)
 {
     Lane &lane = lanes_.at(tid);
-    // Never overwrite a slot whose node is still awaiting reclaim.
-    if (lane.pending.size() >= kGcEntries)
+    // Bound the un-reclaimed backlog: once a full ring's worth is
+    // outstanding, take a durability point first. (Grace may keep
+    // deferring the actual frees; the persistent ring then wraps
+    // over un-reclaimed entries, which costs post-mortem visibility
+    // only — recovery clears lanes wholesale and rebuilds occupancy
+    // from reachability.)
+    if (lane.pendingTotal >= kGcEntries)
         durabilityPoint(ctx, tid);
     ctx.store(laneEntryOff(tid, lane.count), &node, 8,
               DataClass::TxMeta);
     ctx.flush(laneEntryOff(tid, lane.count), 8);
     lane.count++;
-    lane.pending.push_back(node);
+    lane.fresh.push_back(node);
+    lane.pendingTotal++;
     gc_.retired++;
+}
+
+bool
+ModHeap::batchRipe(const GraceBatch &batch, ThreadId tid) const
+{
+    for (unsigned t = 0; t < maxThreads_; t++) {
+        if (t == tid)
+            continue;
+        if (!online_[t].load(std::memory_order_acquire))
+            continue;
+        if (qcount_[t].load(std::memory_order_acquire) <= batch.snap[t])
+            return false;
+    }
+    return true;
+}
+
+void
+ModHeap::reclaimRipe(pm::PmContext &ctx, ThreadId tid)
+{
+    Lane &lane = lanes_.at(tid);
+    while (!lane.grace.empty() && batchRipe(lane.grace.front(), tid)) {
+        GraceBatch &batch = lane.grace.front();
+        for (Addr node : batch.nodes)
+            arenaOf(node).free(ctx, node);
+        gc_.reclaimed += batch.nodes.size();
+        lane.pendingTotal -= batch.nodes.size();
+        lane.grace.pop_front();
+    }
 }
 
 void
 ModHeap::durabilityPoint(pm::PmContext &ctx, ThreadId tid)
 {
+    // One gate turn for the whole durability point: under a fuzzing
+    // schedule the fence, the grace arithmetic and any reclaim frees
+    // land at one deterministic position in the global op order.
+    pm::GateTurn turn(ctx.schedGate(), tid);
     Lane &lane = lanes_.at(tid);
-    // The dfence makes every swap this thread issued durable; only
-    // then are the superseded nodes unreachable from the durable
-    // image and safe to reclaim.
+    // The dfence makes every swap this thread issued durable; the
+    // durable image can no longer name the nodes retired before it.
     ctx.fence(FenceKind::Durability);
-    for (Addr node : lane.pending)
-        alloc_->free(ctx, node);
-    gc_.reclaimed += lane.pending.size();
-    lane.pending.clear();
+    if (!lane.fresh.empty()) {
+        GraceBatch batch;
+        batch.nodes = std::move(lane.fresh);
+        lane.fresh.clear();
+        batch.snap.resize(maxThreads_);
+        for (unsigned t = 0; t < maxThreads_; t++)
+            batch.snap[t] = qcount_[t].load(std::memory_order_acquire);
+        lane.grace.push_back(std::move(batch));
+    }
+    // Passing a durability point is also a quiescent point: this
+    // thread holds no references into any structure here. The release
+    // pairs with batchRipe()'s acquire, ordering our last reads
+    // before another thread's reuse of a block it then reclaims.
+    qcount_[tid].fetch_add(1, std::memory_order_release);
+    reclaimRipe(ctx, tid);
     ctx.store(laneOff(tid), &lane.count, 8, DataClass::TxMeta);
     ctx.flush(laneOff(tid), 8);
     gc_.durabilityPoints++;
 }
 
 void
+ModHeap::readerQuiesce(ThreadId tid)
+{
+    panic_if(tid >= maxThreads_, "mod heap: lane %u out of range", tid);
+    qcount_[tid].fetch_add(1, std::memory_order_release);
+}
+
+void
+ModHeap::threadExit(pm::PmContext &ctx, ThreadId tid)
+{
+    durabilityPoint(ctx, tid);
+    online_[tid].store(false, std::memory_order_release);
+    // Other threads may have quiesced since the durability point
+    // above; try once more so the last thread out reclaims its own
+    // backlog. Whatever stays is swept by the next recovery.
+    pm::GateTurn turn(ctx.schedGate(), tid);
+    reclaimRipe(ctx, tid);
+}
+
+void
 ModHeap::recover(pm::PmContext &ctx,
                  const std::vector<Addr> &reachable)
 {
-    alloc_->rebuildOccupancy(ctx, reachable);
+    // Route each live node to its owning arena for the mark phase.
+    std::vector<std::vector<Addr>> per_arena(maxThreads_);
+    for (Addr node : reachable) {
+        panic_if(node < allocBase_ ||
+                     node >= allocBase_ + arenaShare_ * maxThreads_,
+                 "reachable node %llu outside every mod arena",
+                 static_cast<unsigned long long>(node));
+        per_arena[(node - allocBase_) / arenaShare_].push_back(node);
+    }
+    for (ThreadId t = 0; t < maxThreads_; t++)
+        arenas_[t]->rebuildOccupancy(ctx, per_arena[t]);
     for (ThreadId t = 0; t < maxThreads_; t++) {
         const std::uint64_t zero = 0;
         ctx.store(laneOff(t), &zero, 8, DataClass::TxMeta);
@@ -166,8 +275,12 @@ ModHeap::recover(pm::PmContext &ctx,
                       DataClass::TxMeta);
         ctx.flush(laneOff(t), laneBytes());
         lanes_[t] = Lane{};
+        qcount_[t].store(0, std::memory_order_relaxed);
+        online_[t].store(true, std::memory_order_relaxed);
     }
-    gc_ = ModGcStats{};
+    gc_.retired = 0;
+    gc_.reclaimed = 0;
+    gc_.durabilityPoints = 0;
     ctx.fence(FenceKind::Durability);
 }
 
@@ -175,7 +288,7 @@ bool
 ModHeap::gcQuiescent(pm::PmContext &ctx, std::string *why) const
 {
     for (ThreadId t = 0; t < maxThreads_; t++) {
-        if (!lanes_[t].pending.empty()) {
+        if (lanes_[t].pendingTotal != 0) {
             if (why)
                 *why = "gc lane has pending reclaims";
             return false;
@@ -201,9 +314,36 @@ ModHeap::gcQuiescent(pm::PmContext &ctx, std::string *why) const
 }
 
 bool
+ModHeap::isBlockStart(Addr off) const
+{
+    if (off < allocBase_ || off >= allocBase_ + arenaShare_ * maxThreads_)
+        return false;
+    return arenaOf(off).isBlockStart(off);
+}
+
+bool
 ModHeap::isLiveNode(Addr off) const
 {
-    return alloc_->isBlockStart(off) && alloc_->isAllocated(off);
+    if (off < allocBase_ || off >= allocBase_ + arenaShare_ * maxThreads_)
+        return false;
+    const ModAllocator &arena = arenaOf(off);
+    return arena.isBlockStart(off) && arena.isAllocated(off);
+}
+
+alloc::AllocStats
+ModHeap::allocStats() const
+{
+    alloc::AllocStats sum;
+    for (const auto &arena : arenas_) {
+        const alloc::AllocStats &s = arena->stats();
+        sum.allocs += s.allocs;
+        sum.frees += s.frees;
+        sum.failedAllocs += s.failedAllocs;
+        sum.splits += s.splits;
+        sum.coalesces += s.coalesces;
+        sum.bytesLive += s.bytesLive;
+    }
+    return sum;
 }
 
 bool

@@ -10,25 +10,34 @@
  * 8-byte pointer swap after exactly one ordering fence. A durability
  * fence is issued only at durability points, many updates apart.
  *
- * ModHeap supplies the two pieces every MOD structure needs:
+ * ModHeap supplies the pieces every MOD structure needs, designed so
+ * disjoint updates can run truly in parallel:
  *
- *  - a node allocator with *relaxed metadata persistence*: the slab
- *    bitmap word is written and flushed but never fenced on its own
- *    (it rides the update's single ofence). A crash may therefore
- *    tear or lose bitmap state — recovery rebuilds occupancy from the
- *    structure's reachable node set (mark-and-sweep), so staleness is
- *    harmless and allocation adds no ordering point;
- *  - a per-thread *garbage lane*: a persistent ring of superseded
- *    shadow nodes. A node is retired when the swap that supersedes it
- *    is issued, and reclaimed at the thread's next durability point —
- *    the dfence proves the swap durable, so the durable image can no
- *    longer name the old node. GC therefore never reclaims anything
- *    reachable from a durable root.
+ *  - per-thread allocator *arenas* with relaxed metadata persistence:
+ *    each thread allocates shadow nodes from its own slab region, so
+ *    allocation never contends a shared lock (and a thread's
+ *    allocation addresses are independent of the interleaving — the
+ *    crash fuzzer's deterministic replays rely on this). Bitmap words
+ *    are written and flushed but never fenced on their own (they ride
+ *    the update's single ofence); recovery rebuilds occupancy from
+ *    the structure's reachable node set, so stale words are harmless;
+ *  - per-thread *garbage lanes* with epoch-style grace: a node is
+ *    retired when the swap that supersedes it is issued. At the
+ *    retiring thread's next durability point the dfence proves the
+ *    swap durable — the durable image can no longer name the node —
+ *    but concurrent readers may still be walking it, so the node
+ *    only becomes reclaimable once every other online thread has
+ *    passed a quiescent point (durability point or readerQuiesce())
+ *    after the retirement was batched. GC therefore never reclaims a
+ *    node that is reachable from a durable root *or* visible to a
+ *    racing reader.
  */
 
 #ifndef WHISPER_MOD_MOD_HEAP_HH
 #define WHISPER_MOD_MOD_HEAP_HH
 
+#include <atomic>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -75,27 +84,32 @@ class ModAllocator : public alloc::SlabAllocator
                            std::uint64_t new_val) override;
 };
 
-/** GC counters a ModHeap exposes (volatile, for tests and benches). */
+/**
+ * GC counters a ModHeap exposes (volatile, for tests and benches).
+ * Atomic because concurrent threads retire/reclaim in parallel; the
+ * fields read as plain integers.
+ */
 struct ModGcStats
 {
-    std::uint64_t retired = 0;          //!< nodes pushed on a lane
-    std::uint64_t reclaimed = 0;        //!< nodes freed at dfences
-    std::uint64_t durabilityPoints = 0; //!< dfences issued
+    std::atomic<std::uint64_t> retired{0};    //!< nodes pushed on a lane
+    std::atomic<std::uint64_t> reclaimed{0};  //!< nodes freed after grace
+    std::atomic<std::uint64_t> durabilityPoints{0}; //!< dfences issued
 };
 
 /**
- * The MOD node heap: relaxed-persistence allocator + garbage lanes.
+ * The MOD node heap: relaxed-persistence arenas + garbage lanes.
  *
  * Region layout starting at @c base:
  *
- *   [magic][per-thread GC lanes][ModAllocator slabs ............]
+ *   [magic][per-thread GC lanes][arena 0][arena 1]...[arena N-1]
  *
- * A lane is {clearedTo, entries[kGcEntries]}: retire() publishes the
- * superseded node's offset at slot count%kGcEntries (one 8-byte
- * TxMeta store riding the update's epoch) and durabilityPoint()
- * advances the persistent clearedTo watermark after reclaiming. The
- * ring is sized so a durability interval never wraps it; retire()
- * forces an early durability point if it would.
+ * A persistent lane is {clearedTo, entries[kGcEntries]}: retire()
+ * publishes the superseded node's offset at slot count%kGcEntries
+ * (one 8-byte TxMeta store riding the update's epoch) and
+ * durabilityPoint() advances the persistent clearedTo watermark. The
+ * ring is diagnostic: recovery clears the lanes wholesale and derives
+ * occupancy from reachability, so a ring that wraps while grace
+ * defers reclaim loses post-mortem visibility, never safety.
  */
 class ModHeap
 {
@@ -111,21 +125,43 @@ class ModHeap
     /** Attach after a crash; call recover() before any mutation. */
     ModHeap(Addr base, std::size_t size, unsigned max_threads);
 
-    /** Allocate a shadow node; adds no ordering point. */
+    /**
+     * Allocate a shadow node from the calling thread's arena (the
+     * context's tid picks it); adds no ordering point and contends
+     * no cross-thread lock.
+     */
     Addr alloc(pm::PmContext &ctx, std::size_t n);
 
     /**
      * Publish @p node on @p tid's garbage lane: it is superseded by a
      * swap issued in the current update and becomes reclaimable once
-     * that swap is provably durable.
+     * that swap is provably durable and every concurrent reader has
+     * quiesced.
      */
     void retire(pm::PmContext &ctx, ThreadId tid, Addr node);
 
     /**
-     * Durability point: dfence, then free every node @p tid retired
-     * before the fence and advance the lane's persistent watermark.
+     * Durability point: dfence, then batch the nodes @p tid retired
+     * since its last durability point, reclaim every batch whose
+     * grace period has elapsed, and advance the lane's persistent
+     * watermark.
      */
     void durabilityPoint(pm::PmContext &ctx, ThreadId tid);
+
+    /**
+     * Reader-side quiescent point: a thread that only reads (and
+     * therefore never fences) still announces "I hold no references
+     * into the structures" so writers' grace periods can elapse.
+     */
+    void readerQuiesce(ThreadId tid);
+
+    /**
+     * @p tid's workload is done: final durability point, leave the
+     * grace protocol (so other threads stop waiting on this one), and
+     * reclaim whatever ripened. Batches still inside another thread's
+     * grace window stay unreclaimed — recovery sweeps them anyway.
+     */
+    void threadExit(pm::PmContext &ctx, ThreadId tid);
 
     /**
      * Post-crash recovery: occupancy := @p reachable (the structure's
@@ -145,19 +181,34 @@ class ModHeap
     bool isLiveNode(Addr off) const;
 
     /** True iff @p off is the first byte of some slab block. */
-    bool isBlockStart(Addr off) const { return alloc_->isBlockStart(off); }
+    bool isBlockStart(Addr off) const;
 
     bool magicIntact(pm::PmContext &ctx) const;
 
-    const alloc::AllocStats &allocStats() const { return alloc_->stats(); }
+    /** Aggregated allocator statistics over all arenas. */
+    alloc::AllocStats allocStats() const;
+
     const ModGcStats &gcStats() const { return gc_; }
     unsigned maxThreads() const { return maxThreads_; }
 
   private:
+    /**
+     * Nodes retired before one durability point, plus the grace
+     * snapshot: the batch is reclaimable once every other online
+     * thread's quiesce count exceeds its snapshotted value.
+     */
+    struct GraceBatch
+    {
+        std::vector<Addr> nodes;
+        std::vector<std::uint64_t> snap;
+    };
+
     struct Lane
     {
-        std::uint64_t count = 0;    //!< retires ever published
-        std::vector<Addr> pending;  //!< retired, not yet reclaimed
+        std::uint64_t count = 0;      //!< retires ever published
+        std::vector<Addr> fresh;      //!< retired since last dpoint
+        std::deque<GraceBatch> grace; //!< batches awaiting grace
+        std::uint64_t pendingTotal = 0; //!< fresh + batched nodes
     };
 
     /** Bytes one persistent lane occupies (line-aligned). */
@@ -171,14 +222,21 @@ class ModHeap
     Addr laneOff(ThreadId tid) const;
     Addr laneEntryOff(ThreadId tid, std::uint64_t slot) const;
     void layout();
+    ModAllocator &arenaOf(Addr off) const;
+    bool batchRipe(const GraceBatch &batch, ThreadId tid) const;
+    void reclaimRipe(pm::PmContext &ctx, ThreadId tid);
 
     Addr base_;
     std::size_t size_;
     unsigned maxThreads_;
     Addr allocBase_;
-    std::size_t allocBytes_;
-    std::unique_ptr<ModAllocator> alloc_;
+    std::size_t arenaShare_; //!< line-aligned bytes per arena
+    std::vector<std::unique_ptr<ModAllocator>> arenas_;
     std::vector<Lane> lanes_;
+    /** Per-thread quiescent-point counters (the grace clock). */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> qcount_;
+    /** Threads still participating in the grace protocol. */
+    std::unique_ptr<std::atomic<bool>[]> online_;
     ModGcStats gc_;
 };
 

@@ -30,7 +30,11 @@ ModVector::chunkChecksum(std::uint64_t count,
 
 ModVector::ModVector(pm::PmContext &ctx, ModHeap &heap, Addr table_off,
                      std::uint64_t slot_count)
-    : heap_(heap), tableOff_(table_off), slotCount_(slot_count)
+    : heap_(heap), tableOff_(table_off), slotCount_(slot_count),
+      stripeCount_((slot_count + kSlotsPerStripe - 1) /
+                       kSlotsPerStripe +
+                   1),
+      stripes_(std::make_unique<std::mutex[]>(stripeCount_))
 {
     ctx.store(tableOff_, &kMagic, 8, DataClass::TxMeta);
     ctx.store(tableOff_ + 8, &slotCount_, 8, DataClass::TxMeta);
@@ -42,8 +46,22 @@ ModVector::ModVector(pm::PmContext &ctx, ModHeap &heap, Addr table_off,
 
 ModVector::ModVector(ModHeap &heap, Addr table_off,
                      std::uint64_t slot_count)
-    : heap_(heap), tableOff_(table_off), slotCount_(slot_count)
+    : heap_(heap), tableOff_(table_off), slotCount_(slot_count),
+      stripeCount_((slot_count + kSlotsPerStripe - 1) /
+                       kSlotsPerStripe +
+                   1),
+      stripes_(std::make_unique<std::mutex[]>(stripeCount_))
 {
+}
+
+std::uint64_t
+ModVector::stripeOf(std::uint64_t slot) const
+{
+    // Range stripes: a block of kSlotsPerStripe consecutive slots
+    // shares one lock, so threads working disjoint spine regions
+    // (the partitioned workloads give each thread its own block of
+    // slots) never contend.
+    return slot / kSlotsPerStripe;
 }
 
 Addr
@@ -69,7 +87,9 @@ ModVector::write(pm::PmContext &ctx, ThreadId tid, std::uint64_t slot,
     panic_if(k == 0 || first + k > kElems || new_count > kElems ||
                  first + k > new_count,
              "mod vector: bad write shape");
-    std::lock_guard<std::mutex> guard(mtx_);
+    // Stripe taken before the slot is read: the slot cannot move under
+    // this writer, so the commit CAS below must succeed.
+    std::lock_guard<std::mutex> guard(stripes_[stripeOf(slot)]);
     const Addr old = loadSlot(ctx, slot);
     VecChunk prev{};
     if (old != kNullAddr)
@@ -108,7 +128,9 @@ ModVector::write(pm::PmContext &ctx, ThreadId tid, std::uint64_t slot,
     // bitmap word) durable before the commit swap can be observed.
     ctx.fence(FenceKind::Ordering);
 
-    ctx.store(slotOff(slot), &node, 8, DataClass::TxMeta);
+    panic_if(!ctx.casStore(slotOff(slot), old, node,
+                           DataClass::TxMeta),
+             "mod vector: commit CAS lost despite stripe lock");
     ctx.flush(slotOff(slot), 8);
     if (old != kNullAddr)
         heap_.retire(ctx, tid, old);

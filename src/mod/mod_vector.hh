@@ -5,9 +5,17 @@
  * The vector is a flat table of chunk pointers (the spine, updated
  * only by 8-byte atomic swaps) over checksummed chunks of eight
  * 64-bit elements. An update shadow-copies the one affected chunk,
- * persists it behind a single ordering fence, and commits by swapping
- * the chunk's spine slot — the MOD pattern: one ordering point per
- * update, durability deferred to the heap's durability points.
+ * persists it behind a single ordering fence, and commits with an
+ * 8-byte CAS on the chunk's spine slot — the MOD pattern: one
+ * ordering point per update, durability deferred to the heap's
+ * durability points.
+ *
+ * Concurrency: writers serialize per spine *range* (kSlotsPerStripe
+ * consecutive slots share a stripe lock), so updates to different
+ * regions of the spine run in parallel and commit independently;
+ * reads (get/chunkCount) are lock-free, relying on the heap's grace
+ * periods to keep superseded chunks valid until racing readers
+ * quiesce.
  *
  * Crash contract: every spine slot always names either the old or the
  * new fully-persisted chunk (the swap is a single in-line 8-byte
@@ -20,6 +28,7 @@
 #ifndef WHISPER_MOD_MOD_VECTOR_HH
 #define WHISPER_MOD_MOD_VECTOR_HH
 
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -49,6 +58,8 @@ class ModVector
   public:
     static constexpr std::uint64_t kMagic = 0x4D4F445645433031ull;
     static constexpr std::uint64_t kElems = 8;
+    /** Consecutive spine slots sharing one writer stripe. */
+    static constexpr std::uint64_t kSlotsPerStripe = 64;
 
     /** Bytes the table occupies for @p slot_count slots. */
     static std::size_t
@@ -75,10 +86,10 @@ class ModVector
                std::uint64_t first, const std::uint64_t *vals,
                std::uint64_t k, std::uint64_t new_count);
 
-    /** Element count of @p slot (0 when the slot is null). */
+    /** Element count of @p slot (0 when the slot is null). Lock-free. */
     std::uint64_t chunkCount(pm::PmContext &ctx, std::uint64_t slot);
 
-    /** Read one element; false when absent. */
+    /** Read one element; false when absent. Lock-free. */
     bool get(pm::PmContext &ctx, std::uint64_t slot,
              std::uint64_t idx, std::uint64_t &out);
 
@@ -98,6 +109,9 @@ class ModVector
 
     std::uint64_t slotCount() const { return slotCount_; }
 
+    /** Writer stripe of @p slot (slot / kSlotsPerStripe). */
+    std::uint64_t stripeOf(std::uint64_t slot) const;
+
     static std::uint64_t chunkChecksum(std::uint64_t count,
                                        const std::uint64_t *elems);
 
@@ -107,7 +121,9 @@ class ModVector
     ModHeap &heap_;
     Addr tableOff_;
     std::uint64_t slotCount_;
-    std::mutex mtx_;
+    std::uint64_t stripeCount_;
+    /** Range-striped writer locks over the spine. */
+    std::unique_ptr<std::mutex[]> stripes_;
 };
 
 } // namespace whisper::mod

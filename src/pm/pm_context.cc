@@ -27,6 +27,7 @@ PmContext::emit(EventKind kind, Addr addr, std::uint32_t size,
 void
 PmContext::store(Addr off, const void *src, std::size_t n, DataClass cls)
 {
+    GateTurn turn(schedGate(), tid_);
     if (!admitPmOp())
         return;
     pool_.applyStore(off, src, n);
@@ -34,9 +35,22 @@ PmContext::store(Addr off, const void *src, std::size_t n, DataClass cls)
          LogicalClock::kStoreCost);
 }
 
+bool
+PmContext::casStore(Addr off, std::uint64_t expected,
+                    std::uint64_t desired, DataClass cls)
+{
+    GateTurn turn(schedGate(), tid_);
+    if (!admitPmOp())
+        return true;
+    const bool swapped = pool_.applyCas64(off, expected, desired);
+    emit(EventKind::PmStore, off, 8, cls, 0, LogicalClock::kStoreCost);
+    return swapped;
+}
+
 void
 PmContext::ntStore(Addr off, const void *src, std::size_t n, DataClass cls)
 {
+    GateTurn turn(schedGate(), tid_);
     if (!admitPmOp())
         return;
     pool_.applyStore(off, src, n);
@@ -54,7 +68,10 @@ PmContext::strcpyPm(Addr off, const char *s, DataClass cls)
 void
 PmContext::flush(Addr off, std::size_t n)
 {
-    if (n == 0 || !admitPmOp())
+    if (n == 0)
+        return;
+    GateTurn turn(schedGate(), tid_);
+    if (!admitPmOp())
         return;
     const LineAddr first = lineOf(off);
     const LineAddr last = lineOf(off + n - 1);
@@ -68,6 +85,7 @@ PmContext::flush(Addr off, std::size_t n)
 void
 PmContext::fence(FenceKind kind)
 {
+    GateTurn turn(schedGate(), tid_);
     if (!admitPmOp())
         return;
     // sfence semantics: all of this thread's outstanding clwbs and
@@ -93,7 +111,10 @@ PmContext::persist(Addr off, std::size_t n)
 void
 PmContext::load(Addr off, void *dst, std::size_t n)
 {
-    std::memcpy(dst, pool_.archBase() + off, n);
+    // Loads are not counted against crash plans (reads cannot lose
+    // data), but they do go through the pool's line shards so a
+    // lock-free reader never observes a torn 8-byte commit.
+    pool_.applyLoad(off, dst, n);
     emit(EventKind::PmLoad, off, static_cast<std::uint32_t>(n),
          DataClass::None, 0, LogicalClock::kLoadCost);
 }

@@ -32,6 +32,7 @@
 #include "common/logical_clock.hh"
 #include "pm/poff.hh"
 #include "pm/pm_pool.hh"
+#include "pm/sched_gate.hh"
 #include "trace/trace_buffer.hh"
 
 namespace whisper::pm
@@ -52,8 +53,10 @@ using trace::FenceKind;
  * at that instant. With crashAt left at its default the plan only
  * counts (the fuzzer's profiling pass).
  *
- * Deterministic op indices require a deterministic op order, so fuzz
- * cases run their workload single-threaded.
+ * Deterministic op indices require a deterministic op order. Fuzz
+ * cases either run their workload single-threaded, or attach a
+ * SchedGate that pins the interleaving of N racing threads to a
+ * seeded schedule (every PM op runs inside a gate turn).
  */
 struct CrashPlan
 {
@@ -63,6 +66,12 @@ struct CrashPlan
     std::atomic<std::uint64_t> opsSeen{0};
     /** Set once the crash point was hit; poisons later PM mutations. */
     std::atomic<bool> fired{false};
+    /**
+     * Deterministic multi-thread schedule (owned by the Runtime);
+     * nullptr when the run is single-threaded. Opened on fire so
+     * racing threads drain without further serialization.
+     */
+    SchedGate *gate = nullptr;
 };
 
 /**
@@ -104,6 +113,18 @@ class PmContext
     {
         store(pool_.offsetOf(&dst_in_pool), &value, sizeof(T), cls);
     }
+
+    /**
+     * Atomic 8-byte compare-and-swap commit (the MOD structures'
+     * bucket/root-slot install). Counts as one PM store against the
+     * crash plan and dirties the line like a store. Returns false iff
+     * the current value was not @p expected; after a fired crash
+     * plan the op is dropped and reports success (the machine is off
+     * — unwinding code must not act on a fake CAS loss).
+     */
+    bool casStore(Addr off, std::uint64_t expected,
+                  std::uint64_t desired,
+                  DataClass cls = DataClass::User);
 
     /** Non-temporal store (paper: PM_MOVNTI / memcpy_nt). */
     void ntStore(Addr off, const void *src, std::size_t n,
@@ -195,6 +216,13 @@ class PmContext
 
     CrashPlan *crashPlan() { return plan_; }
 
+    /** The attached plan's schedule gate, or nullptr when ungated. */
+    SchedGate *
+    schedGate()
+    {
+        return plan_ ? plan_->gate : nullptr;
+    }
+
     /**
      * True once the attached plan fired: the simulated machine is off,
      * so persistent mutations are dropped and transaction objects
@@ -229,6 +257,8 @@ class PmContext
             plan_->opsSeen.fetch_add(1, std::memory_order_relaxed);
         if (idx >= plan_->crashAt) {
             plan_->fired.store(true, std::memory_order_relaxed);
+            if (plan_->gate)
+                plan_->gate->open();
             throw CrashPointReached{idx};
         }
         return true;

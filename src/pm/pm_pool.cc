@@ -41,15 +41,74 @@ PmPool::contains(const void *p) const
     return bytes >= arch_.data() && bytes < arch_.data() + size_;
 }
 
+PmPool::ShardGuard::ShardGuard(const PmPool &pool, LineAddr first,
+                               LineAddr last)
+    : pool_(pool)
+{
+    // Collect the distinct shards of [first, last] and lock them in
+    // ascending index order — the global lock order that keeps
+    // concurrent multi-line stores deadlock-free.
+    bool want[kLineShards] = {};
+    if (last - first + 1 >= kLineShards) {
+        for (std::size_t s = 0; s < kLineShards; s++)
+            want[s] = true;
+    } else {
+        for (LineAddr line = first; line <= last; line++)
+            want[pool.shardOf(line)] = true;
+    }
+    for (std::size_t s = 0; s < kLineShards; s++) {
+        if (!want[s])
+            continue;
+        pool_.lineShards_[s].lock();
+        shards_[count_++] = static_cast<std::uint8_t>(s);
+    }
+}
+
+PmPool::ShardGuard::~ShardGuard()
+{
+    for (std::size_t i = count_; i-- > 0;)
+        pool_.lineShards_[shards_[i]].unlock();
+}
+
 void
 PmPool::applyStore(Addr off, const void *src, std::size_t n)
 {
     boundsCheck(off, n);
-    std::memcpy(arch_.data() + off, src, n);
+    if (n == 0)
+        return;
     const LineAddr first = lineOf(off);
-    const LineAddr last = lineOf(off + (n ? n - 1 : 0));
+    const LineAddr last = lineOf(off + n - 1);
+    ShardGuard guard(*this, first, last);
+    std::memcpy(arch_.data() + off, src, n);
     for (LineAddr line = first; line <= last; line++)
         lineStates_[line].store(1, std::memory_order_relaxed);
+}
+
+bool
+PmPool::applyCas64(Addr off, std::uint64_t expected, std::uint64_t desired)
+{
+    boundsCheck(off, 8);
+    panic_if(off % 8 != 0, "unaligned 8-byte CAS at %llu",
+             static_cast<unsigned long long>(off));
+    const LineAddr line = lineOf(off);
+    ShardGuard guard(*this, line, line);
+    std::uint64_t cur;
+    std::memcpy(&cur, arch_.data() + off, 8);
+    if (cur != expected)
+        return false;
+    std::memcpy(arch_.data() + off, &desired, 8);
+    lineStates_[line].store(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+PmPool::applyLoad(Addr off, void *dst, std::size_t n) const
+{
+    boundsCheck(off, n);
+    if (n == 0)
+        return;
+    ShardGuard guard(*this, lineOf(off), lineOf(off + n - 1));
+    std::memcpy(dst, arch_.data() + off, n);
 }
 
 void
@@ -57,6 +116,13 @@ PmPool::persistLine(LineAddr line)
 {
     panic_if(line >= lineStates_.size(), "persist of line %llu beyond pool",
              static_cast<unsigned long long>(line));
+    ShardGuard guard(*this, line, line);
+    persistLineLocked(line);
+}
+
+void
+PmPool::persistLineLocked(LineAddr line)
+{
     const Addr base = line << kCacheLineBits;
     const std::size_t n = std::min(kCacheLineSize, size_ - base);
     std::memcpy(durable_.data() + base, arch_.data() + base, n);

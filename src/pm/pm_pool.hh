@@ -25,8 +25,10 @@
 #ifndef WHISPER_PM_PM_POOL_HH
 #define WHISPER_PM_PM_POOL_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.hh"
@@ -35,13 +37,17 @@
 namespace whisper::pm
 {
 
-/** Statistics a pool keeps about persist traffic. */
+/**
+ * Statistics a pool keeps about persist traffic. Counters are atomic
+ * because concurrent app threads persist lines in parallel; they read
+ * as plain integers.
+ */
 struct PoolStats
 {
-    std::uint64_t linesPersisted = 0;     //!< flush/NT drains to durable
-    std::uint64_t linesEvicted = 0;       //!< random evictions
-    std::uint64_t linesSurvivedCrash = 0; //!< dirty lines a crash kept
-    std::uint64_t crashes = 0;            //!< crash() invocations
+    std::atomic<std::uint64_t> linesPersisted{0};     //!< drains to durable
+    std::atomic<std::uint64_t> linesEvicted{0};       //!< random evictions
+    std::atomic<std::uint64_t> linesSurvivedCrash{0}; //!< kept by a crash
+    std::atomic<std::uint64_t> crashes{0};            //!< crash() calls
 };
 
 /**
@@ -102,6 +108,21 @@ class PmPool
     /** Apply a store to the architectural image; marks lines dirty. */
     void applyStore(Addr off, const void *src, std::size_t n);
 
+    /**
+     * Atomic 8-byte compare-and-swap on the architectural image: the
+     * MOD structures' bucket/root-slot commit point. Succeeds (and
+     * marks the line dirty) iff the current value equals @p expected.
+     */
+    bool applyCas64(Addr off, std::uint64_t expected,
+                    std::uint64_t desired);
+
+    /**
+     * Read @p n bytes of the architectural image into @p dst, atomically
+     * with respect to concurrent applyStore/applyCas64 on the same
+     * lines (a reader never observes a torn 8-byte commit).
+     */
+    void applyLoad(Addr off, void *dst, std::size_t n) const;
+
     /** Copy one line arch -> durable and mark it clean. */
     void persistLine(LineAddr line);
 
@@ -160,14 +181,41 @@ class PmPool
     const PoolStats &stats() const { return stats_; }
 
   private:
+    /**
+     * Line-granular synchronization: every image access (applyStore,
+     * applyCas64, applyLoad, persistLine) holds the shard lock(s) of
+     * the lines it touches, so a concurrent 8-byte CAS commit and a
+     * reader's load of the same slot never tear, and a fence draining
+     * one thread's flush queue never races another thread's store to
+     * a neighboring word in the same line.
+     */
+    static constexpr std::size_t kLineShards = 64;
+
+    std::size_t shardOf(LineAddr line) const { return line % kLineShards; }
+
+    /** Lock the shards of lines [first, last], deadlock-free. */
+    class ShardGuard
+    {
+      public:
+        ShardGuard(const PmPool &pool, LineAddr first, LineAddr last);
+        ~ShardGuard();
+
+      private:
+        const PmPool &pool_;
+        std::array<std::uint8_t, kLineShards> shards_{};
+        std::size_t count_ = 0;
+    };
+
     void boundsCheck(Addr off, std::size_t n) const;
     void finishCrash();
+    void persistLineLocked(LineAddr line);
 
     std::size_t size_;
     std::vector<std::uint8_t> arch_;
     std::vector<std::uint8_t> durable_;
     /** 1 == dirty. Atomic so concurrent app threads may mark freely. */
     std::vector<std::atomic<std::uint8_t>> lineStates_;
+    mutable std::array<std::mutex, kLineShards> lineShards_;
     PoolStats stats_;
 };
 

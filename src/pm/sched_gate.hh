@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic PM-op schedule gate for multi-threaded crash fuzzing.
+ *
+ * A crash point is "the K-th persistent-memory operation the run
+ * issues". With several threads racing, that global index is only
+ * meaningful if the interleaving of PM ops is pinned. SchedGate pins
+ * it: every PM op runs inside a gate *turn*, and turns are handed to
+ * threads in a sequence derived purely from a seed — so the same
+ * (case, schedule) pair always produces the same global op order, the
+ * same crash prefix, and the same post-crash image. `crashfuzz
+ * --replay ... --schedule 0x...` reproduces an interleaving exactly.
+ *
+ * Properties that keep the sequence deterministic regardless of
+ * wall-clock timing:
+ *  - The owner of turn k is draw(seed, slot) for an increasing slot
+ *    counter, skipping threads that have left the schedule. A thread
+ *    that was drawn and then found to have exited consumes exactly
+ *    the slot a skip would have consumed, so arrival order of
+ *    deactivate() calls cannot perturb the sequence.
+ *  - Turns are reentrant (a durability point may span many PM ops as
+ *    one turn).
+ *  - Once the crash fires, open() turns the gate into a pass-through:
+ *    the machine is off, remaining ops are dropped anyway.
+ *
+ * The gate deadlocks if a thread blocks on an application lock held
+ * by a thread that is waiting for its turn; gated workloads must
+ * therefore be partitioned (disjoint stripes, per-thread arenas).
+ * A watchdog panics with a diagnosis instead of hanging forever.
+ */
+
+#ifndef WHISPER_PM_SCHED_GATE_HH
+#define WHISPER_PM_SCHED_GATE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace whisper::pm
+{
+
+class SchedGate
+{
+  public:
+    SchedGate(unsigned threads, std::uint64_t seed);
+
+    /** Back to the initial schedule (all threads active, slot 0). */
+    void reset();
+
+    /** Block until it is @p tid's turn. Reentrant. */
+    void acquire(ThreadId tid);
+
+    /** End @p tid's turn (outermost release picks the next owner). */
+    void release(ThreadId tid);
+
+    /** @p tid leaves the schedule (its workload is done). */
+    void deactivate(ThreadId tid);
+
+    /** Pass-through mode: every acquire returns immediately. */
+    void open();
+
+    unsigned threads() const { return threads_; }
+
+  private:
+    void pickLocked();
+
+    const unsigned threads_;
+    const std::uint64_t seed_;
+
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::uint64_t slot_ = 0;
+    int owner_ = -1;
+    unsigned depth_ = 0;
+    std::vector<char> active_;
+    bool open_ = false;
+};
+
+/**
+ * RAII gate turn. Null-gate tolerant, so call sites can pass the gate
+ * pointer straight from the crash plan (nullptr when ungated).
+ */
+class GateTurn
+{
+  public:
+    GateTurn(SchedGate *gate, ThreadId tid) : gate_(gate), tid_(tid)
+    {
+        if (gate_)
+            gate_->acquire(tid_);
+    }
+
+    ~GateTurn()
+    {
+        if (gate_)
+            gate_->release(tid_);
+    }
+
+    GateTurn(const GateTurn &) = delete;
+    GateTurn &operator=(const GateTurn &) = delete;
+
+  private:
+    SchedGate *gate_;
+    ThreadId tid_;
+};
+
+} // namespace whisper::pm
+
+#endif // WHISPER_PM_SCHED_GATE_HH

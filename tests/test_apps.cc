@@ -63,12 +63,14 @@ TEST_P(AppRun, SurvivesHardCrash)
     ASSERT_TRUE(result.verified);
     result.runtime->crashHard();
     result.app->recover(*result.runtime);
-    std::string why;
-    EXPECT_TRUE(
-        result.app->checkRecoveryInvariants(*result.runtime, &why))
-        << GetParam() << ": " << why;
-    EXPECT_TRUE(result.app->verifyRecovered(*result.runtime))
-        << GetParam();
+    const core::VerifyReport invariants =
+        result.app->checkRecoveryInvariants(*result.runtime);
+    EXPECT_TRUE(invariants.ok())
+        << GetParam() << ": " << invariants.describe();
+    const core::VerifyReport recovered =
+        result.app->verifyRecovered(*result.runtime);
+    EXPECT_TRUE(recovered.ok())
+        << GetParam() << ": " << recovered.describe();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -95,14 +97,21 @@ TEST_P(AppCrashSweep, AdversarialCrashRecovery)
     config.seed = cc.seed;
     RunResult result = core::runApp(cc.app, config);
     ASSERT_TRUE(result.verified);
-    EXPECT_TRUE(core::crashAndVerify(result, cc.seed * 1337 + 1, 0.5))
-        << cc.app << " seed " << cc.seed;
+    core::CrashOptions opts;
+    opts.seed = cc.seed * 1337 + 1;
+    opts.survival = 0.5;
+    const core::VerifyReport recovered =
+        core::crashAndVerify(result, opts);
+    EXPECT_TRUE(recovered.ok())
+        << cc.app << " seed " << cc.seed << ": "
+        << recovered.describe();
     // After recovery the access layer must be quiescent again: logs
     // retired, journal FREE, descriptor protocols settled.
-    std::string why;
-    EXPECT_TRUE(
-        result.app->checkRecoveryInvariants(*result.runtime, &why))
-        << cc.app << " seed " << cc.seed << ": " << why;
+    const core::VerifyReport invariants =
+        result.app->checkRecoveryInvariants(*result.runtime);
+    EXPECT_TRUE(invariants.ok())
+        << cc.app << " seed " << cc.seed << ": "
+        << invariants.describe();
 }
 
 std::vector<CrashCase>

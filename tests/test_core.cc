@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <thread>
 
 #include "core/harness.hh"
 #include "core/hops.hh"
@@ -142,7 +144,11 @@ TEST(Harness, CrashAndVerifyCycle)
     config.poolBytes = 96 << 20;
     RunResult result = runApp("ctree", config);
     ASSERT_TRUE(result.verified);
-    EXPECT_TRUE(crashAndVerify(result, 99, 0.3));
+    CrashOptions opts;
+    opts.seed = 99;
+    opts.survival = 0.3;
+    const VerifyReport report = crashAndVerify(result, opts);
+    EXPECT_TRUE(report.ok()) << report.describe();
 }
 
 TEST(Harness, UnknownAppIsFatal)
@@ -162,6 +168,24 @@ TEST(AppConfigTest, ScaledRounding)
     config.opsPerThread = 1000;
     EXPECT_EQ(config.scaled(0.5).opsPerThread, 500u);
     EXPECT_EQ(config.scaled(0.0001).opsPerThread, 1u);
+}
+
+TEST(AppConfigTest, ScaledClampsThreads)
+{
+    AppConfig config;
+    config.opsPerThread = 1000;
+    config.threads = 8;
+    // Scaling down shrinks the thread count too (never below one);
+    // scaling up leaves it alone — threads never exceed the request.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned half = hw > 0 ? std::min(4u, hw) : 4u;
+    EXPECT_EQ(config.scaled(0.5).threads, half);
+    EXPECT_EQ(config.scaled(0.0001).threads, 1u);
+    EXPECT_LE(config.scaled(4.0).threads, 8u);
+    // Whatever the factor, the result fits the machine.
+    if (hw > 0) {
+        EXPECT_LE(config.scaled(1.0).threads, hw);
+    }
 }
 
 TEST(AccessLayerNames, AllDistinct)

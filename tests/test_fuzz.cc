@@ -32,14 +32,16 @@ TEST(CrashFuzz, CaseDerivationIsPure)
     const fuzz::FuzzCase b = fuzz::deriveCase("hashmap", 11, 452,
                                               config);
     EXPECT_EQ(a.crashAt, b.crashAt);
-    EXPECT_EQ(a.crashSeed, b.crashSeed);
-    EXPECT_EQ(a.survival, b.survival);
+    EXPECT_EQ(a.crash.seed, b.crash.seed);
+    EXPECT_EQ(a.crash.survival, b.crash.survival);
+    EXPECT_EQ(a.crash.schedule, b.crash.schedule);
     EXPECT_EQ(a.hard, b.hard);
     EXPECT_LT(a.crashAt, 452u);
     // A different id perturbs the parameters.
     const fuzz::FuzzCase c = fuzz::deriveCase("hashmap", 12, 452,
                                               config);
-    EXPECT_NE(a.crashSeed, c.crashSeed);
+    EXPECT_NE(a.crash.seed, c.crash.seed);
+    EXPECT_NE(a.crash.schedule, c.crash.schedule);
 }
 
 TEST(CrashFuzz, CaseReplayIsBitIdentical)
@@ -55,6 +57,63 @@ TEST(CrashFuzz, CaseReplayIsBitIdentical)
     EXPECT_EQ(first.fired, second.fired);
     EXPECT_EQ(first.opIndex, second.opIndex);
     EXPECT_EQ(first.survivors, second.survivors);
+    EXPECT_EQ(first.imageHash, second.imageHash);
+}
+
+TEST(CrashFuzz, MultiThreadReplayIsBitIdentical)
+{
+    // The tentpole determinism claim: with racing threads pinned to a
+    // case's gate schedule, a replay reproduces not just the digest
+    // but the exact post-recovery PM image.
+    for (const char *app : {"mod-hashmap", "mod-vector"}) {
+        fuzz::FuzzConfig config = tinyConfig();
+        config.threads = 3;
+        const std::uint64_t total = fuzz::profilePmOps(app, config);
+        ASSERT_GT(total, 0u) << app;
+        const fuzz::FuzzCase c =
+            fuzz::deriveCase(app, 9, total, config);
+        const fuzz::CaseOutcome first = fuzz::runCase(c, config);
+        const fuzz::CaseOutcome second = fuzz::runCase(c, config);
+        EXPECT_EQ(first.fired, second.fired) << app;
+        EXPECT_EQ(first.opIndex, second.opIndex) << app;
+        EXPECT_EQ(first.survivors, second.survivors) << app;
+        EXPECT_EQ(first.imageHash, second.imageHash) << app;
+        EXPECT_EQ(first.digest, second.digest) << app;
+        // A different schedule is a genuinely different interleaving:
+        // the same crash point usually cuts a different image. (Not
+        // asserted — schedules may coincide — but the replay command
+        // must pin the one that ran.)
+        EXPECT_NE(
+            fuzz::replayCommand(c, first.survivors, config)
+                .find("--schedule"),
+            std::string::npos)
+            << app;
+    }
+}
+
+TEST(CrashFuzz, MultiThreadModSweepHoldsInvariants)
+{
+    // Concurrent MOD crash fuzzing: racing writers, a seeded gate
+    // schedule per case, and the same zero-violation bar as the
+    // single-threaded sweep.
+    fuzz::SweepOptions options;
+    options.apps = {"mod-hashmap", "mod-vector"};
+    options.cases = 48;
+    options.config = tinyConfig();
+    options.config.threads = 3;
+    options.maxReproducers = 1;
+
+    for (const auto &report : fuzz::sweep(options)) {
+        EXPECT_EQ(report.violations, 0u)
+            << report.app << ": "
+            << (report.reproducers.empty()
+                    ? "(no reproducer)"
+                    : report.reproducers[0].why + " => " +
+                          report.reproducers[0].command);
+        EXPECT_EQ(report.casesRun, options.cases);
+        EXPECT_GT(report.casesFired, 0u);
+        EXPECT_GT(report.totalPmOps, 0u);
+    }
 }
 
 TEST(CrashFuzz, SweepDigestIdenticalAtAnyJobs)

@@ -183,6 +183,188 @@ TEST(ModHeap, RecoveryRebuildsOccupancyFromReachability)
     EXPECT_TRUE(recovered.magicIntact(ctx));
 }
 
+TEST(ModHeap, GraceDefersReclaimUntilPeersQuiesce)
+{
+    core::Runtime rt(kPool, 2);
+    pm::PmContext &ctx = rt.ctx(0);
+    mod::ModHeap heap(ctx, kHeapBase, kPool - kHeapBase, 2);
+
+    const Addr a = heap.alloc(ctx, 64);
+    ASSERT_NE(a, kNullAddr);
+    heap.retire(ctx, 0, a);
+    heap.durabilityPoint(ctx, 0);
+    // The superseding swap is durable, but thread 1 may still be
+    // reading the old node: the batch stays unreclaimed until thread 1
+    // passes a quiescent point after the retirement was batched.
+    EXPECT_EQ(heap.gcStats().reclaimed, 0u);
+    EXPECT_TRUE(heap.isLiveNode(a)) << "grace must defer reclaim";
+
+    heap.readerQuiesce(1);
+    heap.durabilityPoint(ctx, 0);
+    EXPECT_EQ(heap.gcStats().reclaimed, 1u);
+    EXPECT_FALSE(heap.isLiveNode(a));
+}
+
+// ------------------------------------------------------- concurrency
+
+TEST(ModConcurrency, DisjointKeyWritersScaleAcrossStripes)
+{
+    // The tentpole claim at structure level: four writers on disjoint
+    // key partitions never share a stripe, every commit CAS succeeds,
+    // and the final structure carries all four threads' updates.
+    constexpr unsigned kThreads = 4;
+    constexpr std::uint64_t kPerThread = 160;
+    core::Runtime rt(kPool, kThreads);
+    mod::ModHeap heap(rt.ctx(0), kHeapBase, kPool - kHeapBase,
+                      kThreads);
+    mod::ModHashmap map(rt.ctx(0), heap, 0, 64 * kThreads, kThreads);
+
+    rt.runThreads(kThreads, [&](pm::PmContext &ctx, ThreadId tid) {
+        for (std::uint64_t i = 0; i < kPerThread; i++) {
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(tid) << 48) | (i % 64);
+            const std::uint64_t vals[3] = {tid, i, tid ^ i};
+            bool inserted = false;
+            ASSERT_TRUE(map.put(ctx, tid, key, vals, inserted));
+            std::uint64_t out[3] = {};
+            ASSERT_TRUE(map.lookup(ctx, key, out));
+            EXPECT_EQ(out[0], tid);
+            EXPECT_EQ(out[1], i);
+        }
+        heap.threadExit(ctx, tid);
+    });
+
+    pm::PmContext &ctx = rt.ctx(0);
+    EXPECT_EQ(map.countReachable(ctx), kThreads * 64u);
+    std::string why;
+    EXPECT_TRUE(map.check(ctx, &why)) << why;
+    EXPECT_GT(heap.gcStats().retired, 0u) << "updates must retire";
+    EXPECT_GT(heap.gcStats().reclaimed, 0u) << "grace must elapse";
+}
+
+TEST(ModConcurrency, CollidingWritersSerializeOnTheStripe)
+{
+    // The adversarial case: every thread hammers the same 16 keys, so
+    // updates contend the same buckets and stripes. The stripe lock is
+    // taken before the head is read, so the commit CAS must always
+    // succeed (a lost CAS panics) and chains stay intact.
+    constexpr unsigned kThreads = 4;
+    core::Runtime rt(kPool, kThreads);
+    mod::ModHeap heap(rt.ctx(0), kHeapBase, kPool - kHeapBase,
+                      kThreads);
+    mod::ModHashmap map(rt.ctx(0), heap, 0, 64, 1);
+
+    rt.runThreads(kThreads, [&](pm::PmContext &ctx, ThreadId tid) {
+        for (std::uint64_t i = 0; i < 120; i++) {
+            const std::uint64_t key = i % 16;
+            const std::uint64_t vals[3] = {tid, i, key};
+            bool inserted = false;
+            ASSERT_TRUE(map.put(ctx, tid, key, vals, inserted));
+            if (i % 7 == tid)
+                map.remove(ctx, tid, key);
+        }
+        heap.threadExit(ctx, tid);
+    });
+
+    pm::PmContext &ctx = rt.ctx(0);
+    std::string why;
+    EXPECT_TRUE(map.check(ctx, &why)) << why;
+    EXPECT_GT(heap.gcStats().retired, 0u);
+    // Whichever writer won each key, its value is whole: no torn or
+    // mixed payloads survive the race.
+    for (std::uint64_t key = 0; key < 16; key++) {
+        std::uint64_t out[3] = {};
+        if (map.lookup(ctx, key, out)) {
+            EXPECT_LT(out[0], kThreads) << "key " << key;
+            EXPECT_EQ(out[2], key);
+        }
+    }
+}
+
+TEST(ModConcurrency, VectorWritersRaceDisjointAndSharedStripes)
+{
+    // Range stripes on the spine: each thread mostly writes its own
+    // kSlotsPerStripe-aligned region (own stripe, no contention) and
+    // every ninth update hits the shared first stripe.
+    constexpr unsigned kThreads = 4;
+    core::Runtime rt(kPool, kThreads);
+    mod::ModHeap heap(rt.ctx(0), kHeapBase, kPool - kHeapBase,
+                      kThreads);
+    mod::ModVector vec(rt.ctx(0), heap, 0,
+                       kThreads * mod::ModVector::kSlotsPerStripe);
+
+    rt.runThreads(kThreads, [&](pm::PmContext &ctx, ThreadId tid) {
+        const std::uint64_t base =
+            tid * mod::ModVector::kSlotsPerStripe;
+        for (std::uint64_t i = 0; i < 200; i++) {
+            const std::uint64_t slot =
+                i % 9 == 0 ? i % 8 : base + i % 32;
+            const std::uint64_t vals[4] = {tid, i, slot, tid + i};
+            ASSERT_TRUE(vec.write(ctx, tid, slot, 0, vals, 4, 4));
+        }
+        heap.threadExit(ctx, tid);
+    });
+
+    pm::PmContext &ctx = rt.ctx(0);
+    std::string why;
+    EXPECT_TRUE(vec.check(ctx, &why)) << why;
+    // Every written slot holds a whole chunk from exactly one of the
+    // racing writes (vals[2] always names the slot).
+    for (unsigned t = 0; t < kThreads; t++) {
+        const std::uint64_t slot =
+            t * mod::ModVector::kSlotsPerStripe + 9;
+        EXPECT_EQ(vec.chunkCount(ctx, slot), 4u);
+        std::uint64_t out = 0;
+        ASSERT_TRUE(vec.get(ctx, slot, 2, out));
+        EXPECT_EQ(out, slot);
+    }
+    EXPECT_GT(heap.gcStats().reclaimed, 0u);
+}
+
+TEST(ModConcurrency, LockFreeReadersSurviveConcurrentUpdates)
+{
+    // Two writers churn their partitions while two lock-free readers
+    // chase chains, quiescing periodically so grace periods elapse.
+    // A reader must only ever observe whole entries from one put.
+    constexpr unsigned kThreads = 4;
+    core::Runtime rt(kPool, kThreads);
+    mod::ModHeap heap(rt.ctx(0), kHeapBase, kPool - kHeapBase,
+                      kThreads);
+    mod::ModHashmap map(rt.ctx(0), heap, 0, 64, 2);
+
+    rt.runThreads(kThreads, [&](pm::PmContext &ctx, ThreadId tid) {
+        if (tid < 2) {
+            for (std::uint64_t i = 0; i < 240; i++) {
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(tid) << 48) |
+                    (i % 24);
+                const std::uint64_t vals[3] = {tid, i, tid ^ i};
+                bool inserted = false;
+                ASSERT_TRUE(map.put(ctx, tid, key, vals, inserted));
+                if (i % 5 == 0)
+                    map.remove(ctx, tid, key);
+            }
+        } else {
+            const std::uint64_t writer = tid - 2;
+            for (std::uint64_t i = 0; i < 400; i++) {
+                const std::uint64_t key = (writer << 48) | (i % 24);
+                std::uint64_t out[3] = {};
+                if (map.lookup(ctx, key, out)) {
+                    EXPECT_EQ(out[0], writer)
+                        << "reader saw a torn entry";
+                }
+                if (i % 16 == 0)
+                    heap.readerQuiesce(tid);
+            }
+        }
+        heap.threadExit(ctx, tid);
+    });
+
+    pm::PmContext &ctx = rt.ctx(0);
+    std::string why;
+    EXPECT_TRUE(map.check(ctx, &why)) << why;
+}
+
 // ------------------------------------------------- golden regressions
 
 TEST(ModGolden, AmplificationBandsAndOrdering)
