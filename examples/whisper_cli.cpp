@@ -47,10 +47,11 @@ usage()
         "  whisper_cli apps [--ops N] [--threads N]\n"
         "  whisper_cli crashfuzz [--cases N] [--jobs N] "
         "[--apps a,b] [--ops N] [--seed S] [--pool-mb M] "
-        "[--threads N] [--no-shrink]\n"
+        "[--threads N] [--no-shrink] [--faults] [--json]\n"
         "  whisper_cli crashfuzz --replay <app>:<caseId> [--at K] "
         "[--survivors csv|none] [--ops N] [--seed S] [--pool-mb M] "
-        "[--threads N] [--schedule S]\n"
+        "[--threads N] [--schedule S] "
+        "[--fault-plan seed:poison:tear%:transient]\n"
         "  whisper_cli list\n"
         "models: x86-nvm x86-pwq hops-nvm hops-pwq dpo ideal\n",
         stderr);
@@ -305,6 +306,9 @@ cmdCrashfuzz(int argc, char **argv)
     std::uint64_t at = ~std::uint64_t(0);
     std::uint64_t schedule = ~std::uint64_t(0);
     bool have_survivors = false;
+    bool json = false;
+    bool have_fault_plan = false;
+    pm::FaultPlan fault_plan;
     std::vector<whisper::LineAddr> survivors;
 
     for (int i = 2; i < argc; i++) {
@@ -313,6 +317,11 @@ cmdCrashfuzz(int argc, char **argv)
         std::uint64_t n = 0;
         if (std::strcmp(arg, "--no-shrink") == 0) {
             options.shrinkViolations = false;
+        } else if (std::strcmp(arg, "--faults") == 0) {
+            options.config.faults = true;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            json = true;
+            options.keepReports = true;
         } else if (!val) {
             return usage();
         } else if (std::strcmp(arg, "--cases") == 0 &&
@@ -371,6 +380,29 @@ cmdCrashfuzz(int argc, char **argv)
                 }
             }
             i++;
+        } else if (std::strcmp(arg, "--fault-plan") == 0) {
+            // seed:poisonCount:tearPercent:transientEvery, as emitted
+            // by fuzz::replayCommand.
+            char *end = nullptr;
+            fault_plan.seed = std::strtoull(val, &end, 0);
+            unsigned fields[3] = {0, 0, 0};
+            for (int f = 0; f < 3; f++) {
+                if (*end != ':')
+                    return usage();
+                const char *p = end + 1;
+                fields[f] = static_cast<unsigned>(
+                    std::strtoul(p, &end, 0));
+                if (end == p)
+                    return usage();
+            }
+            if (*end != '\0')
+                return usage();
+            fault_plan.poisonCount = fields[0];
+            fault_plan.tearProb =
+                static_cast<double>(fields[1]) / 100.0;
+            fault_plan.transientEvery = fields[2];
+            have_fault_plan = true;
+            i++;
         } else {
             return usage();
         }
@@ -392,24 +424,43 @@ cmdCrashfuzz(int argc, char **argv)
             c.crashAt = at;
         if (schedule != ~std::uint64_t(0))
             c.crash.schedule = schedule;
+        if (have_fault_plan)
+            c.fault = fault_plan;
         const fuzz::CaseOutcome out = fuzz::runCase(
             c, options.config,
             have_survivors ? &survivors : nullptr);
-        std::printf("case %s:%llu crashAt=%llu threads=%u "
-                    "schedule=0x%llx fired=%d survivors=%zu "
-                    "digest=%016llx image=%016llx\n",
-                    app.c_str(), (unsigned long long)case_id,
-                    (unsigned long long)c.crashAt, c.crash.threads,
-                    (unsigned long long)c.crash.schedule,
-                    out.fired ? 1 : 0, out.survivors.size(),
-                    (unsigned long long)out.digest,
-                    (unsigned long long)out.imageHash);
+        if (json) {
+            std::printf("%s\n",
+                        core::toJson(out.report).c_str());
+        } else {
+            std::printf("case %s:%llu crashAt=%llu threads=%u "
+                        "schedule=0x%llx fired=%d survivors=%zu "
+                        "digest=%016llx image=%016llx\n",
+                        app.c_str(), (unsigned long long)case_id,
+                        (unsigned long long)c.crashAt, c.crash.threads,
+                        (unsigned long long)c.crash.schedule,
+                        out.fired ? 1 : 0, out.survivors.size(),
+                        (unsigned long long)out.digest,
+                        (unsigned long long)out.imageHash);
+            if (!c.fault.none()) {
+                std::printf("faults: torn=%llu poisoned=%llu "
+                            "transient=%llu degraded=%d\n",
+                            (unsigned long long)out.linesTorn,
+                            (unsigned long long)out.linesPoisoned,
+                            (unsigned long long)out.transientFaults,
+                            out.degraded ? 1 : 0);
+            }
+        }
         if (!out.ok) {
-            std::printf("VIOLATION reproduced: %s\n",
-                        out.why.c_str());
+            if (!json)
+                std::printf("VIOLATION reproduced: %s\n",
+                            out.why.c_str());
             return 1;
         }
-        std::printf("recovery invariants held\n");
+        if (!json)
+            std::printf("recovery invariants held%s\n",
+                        out.degraded ? " (degraded: named media loss)"
+                                     : "");
         return 0;
     }
 
@@ -431,10 +482,21 @@ cmdCrashfuzz(int argc, char **argv)
     }
     const auto reports = fuzz::sweep(options);
 
+    std::uint64_t violations = 0;
+    if (json) {
+        // Line-delimited JSON: one VerifyReport per case, in (app,
+        // case id) order — Degraded entries included.
+        for (const auto &r : reports) {
+            for (const auto &rep : r.caseReports)
+                std::printf("%s\n", core::toJson(rep).c_str());
+            violations += r.violations;
+        }
+        return violations ? 1 : 0;
+    }
+
     TextTable table("crash-recovery fuzz sweep");
     table.header({"app", "pm ops", "cases", "fired", "violations",
-                  "digest"});
-    std::uint64_t violations = 0;
+                  "degraded", "digest"});
     for (const auto &r : reports) {
         char digest[24];
         std::snprintf(digest, sizeof(digest), "%016llx",
@@ -442,7 +504,8 @@ cmdCrashfuzz(int argc, char **argv)
         table.row({r.app, TextTable::num(r.totalPmOps),
                    TextTable::num(r.casesRun),
                    TextTable::num(r.casesFired),
-                   TextTable::num(r.violations), digest});
+                   TextTable::num(r.violations),
+                   TextTable::num(r.casesDegraded), digest});
         violations += r.violations;
     }
     table.print();

@@ -13,6 +13,23 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 failures=0
 
+# Per-leg timeout (seconds): a hung fuzz or sanitizer leg must fail
+# CI, not stall it. Override with CHECK_LEG_TIMEOUT; the `timeout`
+# binary is coreutils, so fall back to no wrapper where it's absent.
+leg_timeout="${CHECK_LEG_TIMEOUT:-1800}"
+run_leg() {
+    local rc=0
+    if command -v timeout >/dev/null 2>&1; then
+        timeout --kill-after=30 "$leg_timeout" "$@" || rc=$?
+        if [[ $rc == 124 || $rc == 137 ]]; then
+            echo "FAIL: leg timed out after ${leg_timeout}s: $*"
+        fi
+    else
+        "$@" || rc=$?
+    fi
+    return $rc
+}
+
 docs_only=0
 skip_asan=0
 skip_tsan=0
@@ -31,7 +48,7 @@ if [[ "$docs_only" == 0 ]]; then
     echo "== tier-1: build + tests =="
     cmake -B build -S . >/dev/null
     cmake --build build -j "$(nproc)" --
-    (cd build && ctest --output-on-failure -j "$(nproc)")
+    (cd build && run_leg ctest --output-on-failure -j "$(nproc)")
 fi
 
 # ---------------------------------------------------------------
@@ -44,8 +61,17 @@ if [[ "$docs_only" == 0 && "$skip_asan" == 0 ]]; then
     echo "== asan+ubsan: fuzz/pm/txlib tests =="
     cmake -B build-asan -S . -DWHISPER_SANITIZE=ON >/dev/null
     cmake --build build-asan -j "$(nproc)" --target whisper_tests
-    build-asan/tests/whisper_tests \
+    run_leg build-asan/tests/whisper_tests \
         --gtest_filter='CrashFuzz.*:PmPool.*:PmContext.*:Bloom.*:Mnemosyne*:Nvml*:Mod*'
+
+    # Media-fault smoke sweep, one app per access layer, under ASan:
+    # 256 (crash point x fault plan) cases each must end scrubbed or
+    # named Degraded — zero violations, zero recovery-path panics.
+    echo "== asan: media-fault sweep (one app per layer) =="
+    cmake --build build-asan -j "$(nproc)" --target whisper_cli
+    run_leg build-asan/examples/whisper_cli crashfuzz --cases 256 \
+        --jobs "$(nproc)" --faults \
+        --apps echo,vacation,hashmap,nfs,mod-hashmap
 fi
 
 # ---------------------------------------------------------------
@@ -58,7 +84,7 @@ if [[ "$docs_only" == 0 && "$skip_tsan" == 0 ]]; then
     echo "== tsan: MOD concurrency stress =="
     cmake -B build-tsan -S . -DWHISPER_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$(nproc)" --target whisper_tests
-    build-tsan/tests/whisper_tests \
+    run_leg build-tsan/tests/whisper_tests \
         --gtest_filter='ModConcurrency.*:ModHeap.*:CrashFuzz.MultiThread*'
 fi
 
@@ -73,11 +99,12 @@ fi
 # ---------------------------------------------------------------
 if [[ "$docs_only" == 0 ]]; then
     echo "== crashfuzz: MOD recovery sweep =="
-    build/examples/whisper_cli crashfuzz --cases 128 \
+    run_leg build/examples/whisper_cli crashfuzz --cases 128 \
         --jobs "$(nproc)" --apps mod-hashmap,mod-vector
     echo "== crashfuzz: concurrent MOD recovery sweep =="
-    build/examples/whisper_cli crashfuzz --cases 256 --threads 3 \
-        --ops 12 --jobs "$(nproc)" --apps mod-hashmap,mod-vector
+    run_leg build/examples/whisper_cli crashfuzz --cases 256 \
+        --threads 3 --ops 12 --jobs "$(nproc)" \
+        --apps mod-hashmap,mod-vector
 fi
 
 # ---------------------------------------------------------------

@@ -189,14 +189,18 @@ BuddyAllocator::recover(pm::PmContext &ctx)
 
     Addr block = base_;
     const Addr end = base_ + size_;
+    std::uint64_t reformatted = 0;
+    Addr first_bad = 0;
     while (block < end) {
         BuddyHeader *hdr = header(ctx, block);
         if (hdr->magic != BuddyHeader::kMagic) {
-            // Unreachable garbage (e.g. torn split); treat the rest of
-            // the max-order region as free. This mirrors a fsck-style
-            // conservative scan.
-            warn("buddy recovery: bad header at %llu; reformatting block",
-                 static_cast<unsigned long long>(block));
+            // Unreachable garbage (e.g. torn split, or a header line
+            // zero-filled by the media-fault scrub); treat the region
+            // as free. This mirrors a fsck-style conservative scan.
+            // One summary warn per recovery: fault sweeps reformat
+            // thousands of blocks and must not flood the log.
+            if (reformatted++ == 0)
+                first_bad = block;
             writeHeader(ctx, block, 0, BlockState::Free, true);
             pushFree(block, 0);
             block += kMinBlock;
@@ -218,6 +222,12 @@ BuddyAllocator::recover(pm::PmContext &ctx)
         }
         block += bytes;
     }
+    if (reformatted > 0) {
+        warn("buddy recovery: %llu bad header(s) reformatted "
+             "(first at %llu)",
+             static_cast<unsigned long long>(reformatted),
+             static_cast<unsigned long long>(first_bad));
+    }
 }
 
 void
@@ -236,8 +246,20 @@ BuddyAllocator::setState(pm::PmContext &ctx, Addr payload, BlockState st)
 BlockState
 BuddyAllocator::state(pm::PmContext &ctx, Addr payload) const
 {
+    // Recovery walks hand this pointers read back from PM; after a
+    // media fault a zero-filled line can yield an address outside the
+    // heap (0 most commonly). Answer Free — "not a persisted block" —
+    // instead of dereferencing a wild header, so recovery prunes the
+    // referrer rather than panicking.
+    if (payload < base_ + sizeof(BuddyHeader) ||
+        payload >= base_ + size_) {
+        return BlockState::Free;
+    }
     const Addr block = payload - sizeof(BuddyHeader);
-    return static_cast<BlockState>(header(ctx, block)->state);
+    const BuddyHeader *hdr = header(ctx, block);
+    if (hdr->magic != BuddyHeader::kMagic)
+        return BlockState::Free;
+    return static_cast<BlockState>(hdr->state);
 }
 
 std::uint64_t

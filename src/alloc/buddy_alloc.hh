@@ -79,7 +79,12 @@ class BuddyAllocator : public PmAllocator
      */
     void setState(pm::PmContext &ctx, Addr payload, BlockState st);
 
-    /** Read a block's state (from the architectural image). */
+    /**
+     * Read a block's state (from the architectural image). A payload
+     * address outside the heap, or one whose header magic is gone
+     * (media loss), answers Free — recovery walks treat that as "not
+     * a persisted block" and prune the referrer.
+     */
     BlockState state(pm::PmContext &ctx, Addr payload) const;
 
     std::size_t heapSize() const { return size_; }

@@ -143,6 +143,14 @@ class CtreeApp : public WhisperApp
         return rep;
     }
 
+  protected:
+    void
+    scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
+               VerifyReport &rep) override
+    {
+        pool_->scrub(rt.ctx(0), lines, rep);
+    }
+
   private:
     CtRoot *root(pm::PmContext &ctx) { return ctx.pool().at<CtRoot>(
         rootOff_); }

@@ -24,6 +24,7 @@
  *    per-version timestamps).
  */
 
+#include <algorithm>
 #include <mutex>
 #include <unordered_map>
 
@@ -126,10 +127,9 @@ class EchoApp : public WhisperApp
         const std::size_t logs_bytes = config_.threads *
                                        kLogEntriesPerClient *
                                        sizeof(LogEntry);
-        const Addr heap_off = lineBase(logs_off + logs_bytes +
-                                       kCacheLineSize);
+        heapOff_ = lineBase(logs_off + logs_bytes + kCacheLineSize);
         heap_ = std::make_unique<alloc::BuddyAllocator>(
-            ctx, heap_off, config_.poolBytes - heap_off);
+            ctx, heapOff_, config_.poolBytes - heapOff_);
 
         EchoRoot root{};
         root.magic = EchoRoot::kMagic;
@@ -307,6 +307,146 @@ class EchoApp : public WhisperApp
             }
         }
         return rep;
+    }
+
+  protected:
+    /**
+     * Media scrub (WhisperApp::scrubRecovered). Poisoned lines arrive
+     * zero-filled, and 0 is not kNullAddr: a zeroed bucket head or
+     * chain pointer would send recovery's walks to offset 0 and from
+     * there out of the heap. Repair what the layout makes
+     * reconstructible — the magic, pointer nulls, nextTs from the
+     * surviving versions — truncate chains at lost nodes, and declare
+     * everything cut as a named Degraded loss. Heap lines need no
+     * repair of their own: BuddyAllocator::recover reformats any
+     * block whose header was zeroed.
+     */
+    void
+    scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
+               VerifyReport &rep) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        const Addr logs_end =
+            logsOff_ + static_cast<Addr>(config_.threads) *
+                           kLogEntriesPerClient * sizeof(LogEntry);
+        std::vector<LineAddr> root_lines, log_lines, heap_lines, rest;
+        for (const LineAddr line : lines) {
+            const Addr off = static_cast<Addr>(line) << kCacheLineBits;
+            if (off < rootOff_ + sizeof(EchoRoot))
+                root_lines.push_back(line);
+            else if (off >= logsOff_ && off < logs_end)
+                log_lines.push_back(line);
+            else if (off >= heapOff_ &&
+                     off < heapOff_ + heap_->heapSize())
+                heap_lines.push_back(line);
+            else
+                rest.push_back(line);
+        }
+
+        // Root lines: every word is the magic, the timestamp or a
+        // bucket head. Re-null the heads (their chains are gone) and
+        // restore the magic; nextTs is recomputed from the walk below.
+        bool ts_lost = false;
+        for (const LineAddr line : root_lines) {
+            const Addr lo = static_cast<Addr>(line) << kCacheLineBits;
+            const Addr hi = std::min<Addr>(
+                lo + kCacheLineSize, rootOff_ + sizeof(EchoRoot));
+            for (Addr w = lo; w < hi; w += 8) {
+                if (w == rootOff_ + offsetof(EchoRoot, magic)) {
+                    const std::uint64_t magic = EchoRoot::kMagic;
+                    ctx.store(w, &magic, 8, DataClass::User);
+                } else if (w ==
+                           rootOff_ + offsetof(EchoRoot, nextTs)) {
+                    ts_lost = true;
+                } else {
+                    const Addr null = kNullAddr;
+                    ctx.store(w, &null, 8, DataClass::User);
+                }
+            }
+            ctx.persist(lo, hi - lo);
+        }
+
+        // Chain truncation: a node is lost when any of its lines was
+        // poisoned or its address no longer lands inside the heap
+        // (the referrer's pointer word itself was zeroed).
+        const auto node_lost = [&](Addr off, std::size_t n) {
+            if (off < heapOff_ + sizeof(alloc::BuddyHeader) ||
+                off + n > heapOff_ + heap_->heapSize())
+                return true;
+            for (LineAddr l = lineOf(off); l <= lineOf(off + n - 1);
+                 l++) {
+                if (std::find(heap_lines.begin(), heap_lines.end(),
+                              l) != heap_lines.end())
+                    return true;
+            }
+            return false;
+        };
+        const auto cut = [&](Addr slot) {
+            const Addr null = kNullAddr;
+            ctx.store(slot, &null, 8, DataClass::User);
+            ctx.persist(slot, 8);
+        };
+        std::uint64_t chains_cut = 0;
+        std::uint64_t max_ts = 0;
+        for (std::uint64_t b = 0; b < kBuckets; b++) {
+            Addr slot = rootOff_ + offsetof(EchoRoot, buckets) +
+                        b * sizeof(Bucket);
+            Addr cur = 0;
+            ctx.load(slot, &cur, 8);
+            while (cur != kNullAddr) {
+                if (node_lost(cur, sizeof(Entry))) {
+                    cut(slot);
+                    chains_cut++;
+                    break;
+                }
+                const Entry *ent = ctx.pool().at<Entry>(cur);
+                Addr vslot = cur + offsetof(Entry, versions);
+                Addr v = ent->versions;
+                while (v != kNullAddr) {
+                    if (node_lost(v, sizeof(Version))) {
+                        cut(vslot);
+                        chains_cut++;
+                        break;
+                    }
+                    const Version *ver =
+                        ctx.pool().at<Version>(v);
+                    max_ts = std::max(max_ts, ver->ts);
+                    vslot = v + offsetof(Version, next);
+                    v = ver->next;
+                }
+                slot = cur + offsetof(Entry, next);
+                cur = ent->next;
+            }
+        }
+        if (ts_lost) {
+            const std::uint64_t next_ts = max_ts + 1;
+            ctx.store(rootOff_ + offsetof(EchoRoot, nextTs), &next_ts,
+                      8, DataClass::User);
+            ctx.persist(rootOff_ + offsetof(EchoRoot, nextTs), 8);
+        }
+
+        if (!root_lines.empty()) {
+            rep.degrade("echo-root-lost",
+                        "bucket heads re-nulled on zero-filled root "
+                        "lines; their chains are unreachable",
+                        root_lines);
+        }
+        if (chains_cut > 0) {
+            rep.degrade("echo-chain-lost",
+                        std::to_string(chains_cut) +
+                            " entry/version chain(s) truncated at "
+                            "media-lost nodes",
+                        heap_lines);
+        }
+        if (!log_lines.empty()) {
+            // A zeroed LogEntry reads ts == 0 and recovery skips the
+            // slot; the batch it held can no longer be re-applied.
+            rep.degrade("echo-log-lost",
+                        "client log slots zero-filled; their batches "
+                        "cannot be re-applied",
+                        log_lines);
+        }
+        lines = std::move(rest);
     }
 
   private:
@@ -499,6 +639,7 @@ class EchoApp : public WhisperApp
 
     Addr rootOff_ = 0;
     Addr logsOff_ = 0;
+    Addr heapOff_ = 0;
     std::unique_ptr<alloc::BuddyAllocator> heap_;
     std::mutex masterLock_;
 };

@@ -159,6 +159,14 @@ class EximApp : public WhisperApp
         return rep;
     }
 
+  protected:
+    void
+    scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
+               VerifyReport &rep) override
+    {
+        fs_->scrub(rt.ctx(0), lines, rep);
+    }
+
   private:
     static constexpr unsigned kMailboxes = 32;
 

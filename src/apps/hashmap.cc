@@ -142,6 +142,14 @@ class HashmapApp : public WhisperApp
         return rep;
     }
 
+  protected:
+    void
+    scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
+               VerifyReport &rep) override
+    {
+        pool_->scrub(rt.ctx(0), lines, rep);
+    }
+
   private:
     MapRoot *root(pm::PmContext &ctx) { return ctx.pool().at<MapRoot>(
         rootOff_); }

@@ -165,6 +165,14 @@ class MemcachedApp : public WhisperApp
         return rep;
     }
 
+  protected:
+    void
+    scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
+               VerifyReport &rep) override
+    {
+        heap_->scrub(rt.ctx(0), lines, rep);
+    }
+
   private:
     std::uint64_t
     keySpace() const

@@ -180,6 +180,19 @@ class ModHashmapApp : public WhisperApp
         return rep;
     }
 
+  protected:
+    void
+    scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
+               VerifyReport &rep) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        // Structure first (bucket table repair + chain truncation
+        // needs to see which node lines were hit), then the heap
+        // claims the remaining arena/lane lines.
+        map_->scrub(ctx, lines, rep);
+        heap_->scrub(ctx, lines);
+    }
+
   private:
     std::unique_ptr<mod::ModHeap> heap_;
     std::unique_ptr<mod::ModHashmap> map_;
@@ -293,6 +306,16 @@ class ModVectorApp : public WhisperApp
                 break;
         }
         return rep;
+    }
+
+  protected:
+    void
+    scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
+               VerifyReport &rep) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        vec_->scrub(ctx, lines, rep);
+        heap_->scrub(ctx, lines);
     }
 
   private:

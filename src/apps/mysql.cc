@@ -174,6 +174,14 @@ class MysqlApp : public WhisperApp
         return rep;
     }
 
+  protected:
+    void
+    scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
+               VerifyReport &rep) override
+    {
+        fs_->scrub(rt.ctx(0), lines, rep);
+    }
+
   private:
     void
     readRow(pm::PmContext &ctx, std::uint64_t id, Row &row)

@@ -158,6 +158,14 @@ class NfsApp : public WhisperApp
         return rep;
     }
 
+  protected:
+    void
+    scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
+               VerifyReport &rep) override
+    {
+        fs_->scrub(rt.ctx(0), lines, rep);
+    }
+
   private:
     static constexpr unsigned kDirs = 8;
     static constexpr unsigned kInitialFilesPerDir = 8;

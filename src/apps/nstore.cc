@@ -25,6 +25,7 @@
  * payment, and order-status transactions at 40% writes overall.
  */
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "alloc/buddy_alloc.hh"
@@ -145,11 +146,11 @@ class NstoreApp : public WhisperApp
         partitionsOff_ = 0;
         undoOff_ = partitionsOff_ +
                    static_cast<Addr>(config_.threads) * part_bytes;
-        const Addr heap_off = lineBase(
+        heapOff_ = lineBase(
             undoOff_ + static_cast<Addr>(config_.threads) *
                            kUndoLogBytes + kCacheLineSize);
         heap_ = std::make_unique<alloc::BuddyAllocator>(
-            ctx, heap_off, config_.poolBytes - heap_off);
+            ctx, heapOff_, config_.poolBytes - heapOff_);
 
         for (unsigned p = 0; p < config_.threads; p++) {
             Partition hdr{};
@@ -258,6 +259,158 @@ class NstoreApp : public WhisperApp
                 break;
         }
         return rep;
+    }
+
+  protected:
+    /**
+     * Media scrub (WhisperApp::scrubRecovered). Partition headers are
+     * all reconstructible words (magic, counters, pointer slots): a
+     * zero-filled line gets its magic back, its index slots re-nulled
+     * (0 is not kNullAddr and recovery would chase it) and a lost
+     * activeLog descriptor retired — the in-flight transaction can no
+     * longer roll back, which the tuple checksums then surface under
+     * this Degraded marker. Index chains are truncated at tuples with
+     * lost lines, and tupleCount is recounted when its word was hit.
+     */
+    void
+    scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
+               VerifyReport &rep) override
+    {
+        pm::PmContext &ctx = rt.ctx(0);
+        const Addr undo_end = undoOff_ +
+                              static_cast<Addr>(config_.threads) *
+                                  kUndoLogBytes;
+        std::vector<LineAddr> part_lines, undo_lines, heap_lines,
+            rest;
+        for (const LineAddr line : lines) {
+            const Addr off = static_cast<Addr>(line) << kCacheLineBits;
+            if (off >= partitionsOff_ && off < undoOff_)
+                part_lines.push_back(line);
+            else if (off >= undoOff_ && off < undo_end)
+                undo_lines.push_back(line);
+            else if (off >= heapOff_ &&
+                     off < heapOff_ + heap_->heapSize())
+                heap_lines.push_back(line);
+            else
+                rest.push_back(line);
+        }
+
+        std::vector<bool> recount(config_.threads, false);
+        bool undo_lost = false;
+        for (const LineAddr line : part_lines) {
+            const Addr lo = static_cast<Addr>(line) << kCacheLineBits;
+            const unsigned p = static_cast<unsigned>(
+                (lo - partitionsOff_) / partitionBytes_);
+            const Addr base = partOff(p);
+            const Addr hi =
+                std::min<Addr>(lo + kCacheLineSize,
+                               base + sizeof(Partition));
+            for (Addr w = lo; w < hi; w += 8) {
+                const Addr rel = w - base;
+                if (rel == offsetof(Partition, magic)) {
+                    const std::uint64_t magic = Partition::kMagic;
+                    ctx.store(w, &magic, 8, DataClass::User);
+                } else if (rel == offsetof(Partition, tupleCount)) {
+                    recount[p] = true;
+                } else if (rel == offsetof(Partition, activeLog)) {
+                    const Addr null = kNullAddr;
+                    ctx.store(w, &null, 8, DataClass::TxMeta);
+                    undo_lost = true;
+                } else if (rel == offsetof(Partition, activeSeq)) {
+                    // Zero is fine once activeLog is retired.
+                } else if (rel >= offsetof(Partition, index)) {
+                    const Addr null = kNullAddr;
+                    ctx.store(w, &null, 8, DataClass::User);
+                }
+            }
+            if (hi > lo)
+                ctx.persist(lo, hi - lo);
+        }
+
+        // Undo records matter only inside a published segment; a
+        // zero-filled record there stops rollback's walk early and
+        // later in-flight updates may persist torn (the checksums
+        // report it, covered by the Degraded entry below).
+        std::vector<LineAddr> active_lost;
+        for (const LineAddr line : undo_lines) {
+            const Addr off = static_cast<Addr>(line) << kCacheLineBits;
+            const unsigned p = static_cast<unsigned>(
+                (off - undoOff_) / kUndoLogBytes);
+            const Addr seg = partition(ctx, p)->activeLog;
+            if (seg != kNullAddr && off >= seg &&
+                off < seg + kUndoSegmentBytes) {
+                active_lost.push_back(line);
+            }
+        }
+
+        const auto node_lost = [&](Addr off, std::size_t n) {
+            if (off < heapOff_ + sizeof(alloc::BuddyHeader) ||
+                off + n > heapOff_ + heap_->heapSize())
+                return true;
+            for (LineAddr l = lineOf(off); l <= lineOf(off + n - 1);
+                 l++) {
+                if (std::find(heap_lines.begin(), heap_lines.end(),
+                              l) != heap_lines.end())
+                    return true;
+            }
+            return false;
+        };
+        std::uint64_t chains_cut = 0;
+        for (unsigned p = 0; p < config_.threads; p++) {
+            std::uint64_t reachable = 0;
+            for (std::uint64_t b = 0; b < kIndexBuckets; b++) {
+                Addr slot = partOff(p) + offsetof(Partition, index) +
+                            b * sizeof(Addr);
+                Addr cur = 0;
+                ctx.load(slot, &cur, 8);
+                while (cur != kNullAddr) {
+                    if (node_lost(cur, sizeof(Tuple))) {
+                        const Addr null = kNullAddr;
+                        ctx.store(slot, &null, 8, DataClass::User);
+                        ctx.persist(slot, 8);
+                        chains_cut++;
+                        break;
+                    }
+                    reachable++;
+                    const Tuple *t = ctx.pool().at<Tuple>(cur);
+                    slot = cur + offsetof(Tuple, next);
+                    cur = t->next;
+                }
+            }
+            if (recount[p]) {
+                const Addr w =
+                    partOff(p) + offsetof(Partition, tupleCount);
+                ctx.store(w, &reachable, 8, DataClass::User);
+                ctx.persist(w, 8);
+            }
+        }
+
+        if (!part_lines.empty()) {
+            rep.degrade(
+                "nstore-partition-lost",
+                undo_lost
+                    ? "partition header repaired; a published undo "
+                      "descriptor was lost, so the in-flight "
+                      "transaction cannot roll back"
+                    : "partition header words repaired on "
+                      "zero-filled lines",
+                part_lines);
+        }
+        if (!active_lost.empty()) {
+            rep.degrade("nstore-undo-record-lost",
+                        "records in a published undo segment "
+                        "zero-filled; rollback stops at the first "
+                        "lost record",
+                        active_lost);
+        }
+        if (chains_cut > 0) {
+            rep.degrade("nstore-chain-lost",
+                        std::to_string(chains_cut) +
+                            " index chain(s) truncated at "
+                            "media-lost tuples",
+                        heap_lines);
+        }
+        lines = std::move(rest);
     }
 
   private:
@@ -637,6 +790,7 @@ class NstoreApp : public WhisperApp
     Addr partitionsOff_ = 0;
     std::size_t partitionBytes_ = 0;
     Addr undoOff_ = 0;
+    Addr heapOff_ = 0;
     std::vector<std::uint32_t> segCursor_;
     std::vector<std::uint64_t> txSeq_;
     std::unique_ptr<alloc::BuddyAllocator> heap_;

@@ -192,6 +192,14 @@ class RedisApp : public WhisperApp
         return rep;
     }
 
+  protected:
+    void
+    scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
+               VerifyReport &rep) override
+    {
+        pool_->scrub(rt.ctx(0), lines, rep);
+    }
+
   private:
     DictRoot *dict(pm::PmContext &ctx) { return ctx.pool().at<DictRoot>(
         dictOff_); }

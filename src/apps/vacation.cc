@@ -210,6 +210,14 @@ class VacationApp : public WhisperApp
         return rep;
     }
 
+  protected:
+    void
+    scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
+               VerifyReport &rep) override
+    {
+        heap_->scrub(rt.ctx(0), lines, rep);
+    }
+
   private:
     VacationRoot *root(pm::PmContext &ctx) { return ctx.pool()
         .at<VacationRoot>(rootOff_); }

@@ -1,0 +1,37 @@
+#include "common/crc32.hh"
+
+#include <array>
+
+namespace whisper
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; i++) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; k++)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t crc, const void *data, std::size_t n)
+{
+    static const std::array<std::uint32_t, 256> table = makeTable();
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    crc ^= 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; i++)
+        crc = table[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace whisper

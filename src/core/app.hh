@@ -107,6 +107,38 @@ class WhisperApp
     virtual void recover(Runtime &rt) = 0;
 
     /**
+     * Media-fault scrub, run after a crash and BEFORE recover(): every
+     * poisoned line is first zero-filled and un-poisoned at the device
+     * (so no later read can take a PmMediaError), then the layer's
+     * scrubLayer() hook repairs what its redundancy allows — rewrite a
+     * CRC-protected root from attach parameters, drop a torn log tail,
+     * truncate a chain at the first corrupt node — and degrades the
+     * rest. Lines no layer claims are reported as "pm-line-lost"
+     * (content irrecoverably gone, loss named). Returns the scrub
+     * report; Degraded entries license matching verifyRecovered()
+     * losses, Violations mean the scrub itself found corruption it
+     * cannot even name.
+     */
+    VerifyReport
+    scrubRecovered(Runtime &rt)
+    {
+        VerifyReport rep = report();
+        std::vector<LineAddr> lines = rt.pool().poisonedLines();
+        for (const LineAddr line : lines)
+            rt.pool().scrubLine(line);
+        if (!lines.empty())
+            scrubLayer(rt, lines, rep);
+        if (!lines.empty()) {
+            rep.degrade("pm-line-lost",
+                        std::to_string(lines.size()) +
+                            " poisoned line(s) outside any scrubbed "
+                            "structure; content lost",
+                        lines);
+        }
+        return rep;
+    }
+
+    /**
      * Invariants that must hold after crash + recover: structural
      * consistency, no torn committed data. (Uncommitted work may be
      * absent — that is the contract.)
@@ -132,6 +164,20 @@ class WhisperApp
     const AppConfig &config() const { return config_; }
 
   protected:
+    /**
+     * Layer hook under scrubRecovered(): repair or degrade the
+     * poisoned @p lines (already zero-filled and readable) and erase
+     * every line handled from @p lines. Default: claim nothing.
+     */
+    virtual void
+    scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
+               VerifyReport &report)
+    {
+        (void)rt;
+        (void)lines;
+        (void)report;
+    }
+
     /** Empty report pre-stamped with this app's name and layer. */
     VerifyReport
     report() const

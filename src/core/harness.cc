@@ -38,8 +38,13 @@ crashAndVerify(RunResult &result, const CrashOptions &opts)
 {
     Runtime &rt = *result.runtime;
     rt.crash(opts.seed, opts.survival);
+    // Media scrub before recovery: a no-op unless a fault plan
+    // poisoned lines, in which case recovery must never read them raw.
+    VerifyReport scrub = result.app->scrubRecovered(rt);
     result.app->recover(rt);
-    return result.app->verifyRecovered(rt);
+    VerifyReport verdict = result.app->verifyRecovered(rt);
+    scrub.merge(verdict);
+    return scrub;
 }
 
 analysis::AnalysisResult

@@ -70,6 +70,15 @@ Runtime::crashWithSurvivors(const std::vector<LineAddr> &survivors)
         ctx->resetPendingState();
 }
 
+void
+Runtime::crashWithFaults(const std::vector<LineAddr> &survivors,
+                         const pm::FaultResolution &faults)
+{
+    pool_->crashWithFaults(survivors, faults);
+    for (auto &ctx : contexts_)
+        ctx->resetPendingState();
+}
+
 pm::CrashPlan &
 Runtime::installCrashPlan(unsigned gate_threads,
                           std::uint64_t schedule_seed)

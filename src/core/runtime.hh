@@ -65,6 +65,15 @@ class Runtime
     /** Crash where exactly @p survivors persist (crash fuzzer). */
     void crashWithSurvivors(const std::vector<LineAddr> &survivors);
 
+    /**
+     * Crash with media faults: @p survivors persist except as
+     * @p faults dictates — torn lines keep only their masked 8-byte
+     * words, poisoned lines are lost outright and must be scrubbed
+     * before recovery reads them (see PmPool::crashWithFaults).
+     */
+    void crashWithFaults(const std::vector<LineAddr> &survivors,
+                         const pm::FaultResolution &faults);
+
     /** @{ \name Crash-point injection (crash fuzzer)
      *
      * installCrashPlan() attaches a fresh op-counting CrashPlan to

@@ -1,0 +1,294 @@
+#include "core/verify_report.hh"
+
+#include <cctype>
+#include <cstdint>
+
+namespace whisper::core
+{
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char *hex = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** Minimal recursive-descent parser over exactly what toJson emits. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    bool
+    literal(const char *lit)
+    {
+        skipWs();
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return false;
+        pos_++;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                return false;
+            const char esc = s_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'u': {
+                if (pos_ + 4 > s_.size())
+                    return false;
+                unsigned v = 0;
+                for (int i = 0; i < 4; i++) {
+                    const char h = s_[pos_++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        v |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        v |= h - 'A' + 10;
+                    else
+                        return false;
+                }
+                if (v > 0x7f)
+                    return false; // toJson only escapes control chars
+                out += static_cast<char>(v);
+                break;
+            }
+            default:
+                return false;
+            }
+        }
+        if (pos_ >= s_.size())
+            return false;
+        pos_++; // closing quote
+        return true;
+    }
+
+    bool
+    number(std::uint64_t &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size() || !std::isdigit(
+                static_cast<unsigned char>(s_[pos_])))
+            return false;
+        out = 0;
+        while (pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_])))
+            out = out * 10 + (s_[pos_++] - '0');
+        return true;
+    }
+
+    bool
+    boolean(bool &out)
+    {
+        if (literal("true")) {
+            out = true;
+            return true;
+        }
+        if (literal("false")) {
+            out = false;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    peek(char c)
+    {
+        skipWs();
+        return pos_ < s_.size() && s_[pos_] == c;
+    }
+
+    bool
+    done()
+    {
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            pos_++;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+toJson(const VerifyReport &report)
+{
+    std::string out = "{\"app\":";
+    appendEscaped(out, report.app());
+    out += ",\"layer\":";
+    appendEscaped(out, report.layer());
+    out += ",\"ok\":";
+    out += report.ok() ? "true" : "false";
+    out += ",\"degraded\":";
+    out += report.degraded() ? "true" : "false";
+    out += ",\"violations\":[";
+    bool first = true;
+    for (const VerifyViolation &v : report.violations()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"app\":";
+        appendEscaped(out, v.app);
+        out += ",\"layer\":";
+        appendEscaped(out, v.layer);
+        out += ",\"invariant\":";
+        appendEscaped(out, v.invariant);
+        out += ",\"detail\":";
+        appendEscaped(out, v.detail);
+        out += ",\"severity\":";
+        out += v.severity == Severity::Degraded ? "\"degraded\""
+                                                : "\"violation\"";
+        out += ",\"lines\":[";
+        bool lfirst = true;
+        for (const LineAddr line : v.lines) {
+            if (!lfirst)
+                out += ',';
+            lfirst = false;
+            out += std::to_string(line);
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+fromJson(const std::string &text, VerifyReport &out)
+{
+    Parser p(text);
+    std::string app, layer;
+    bool ok_flag = false, degraded_flag = false;
+    if (!p.literal("{") || !p.literal("\"app\"") || !p.literal(":") ||
+        !p.string(app) || !p.literal(",") || !p.literal("\"layer\"") ||
+        !p.literal(":") || !p.string(layer) || !p.literal(",") ||
+        !p.literal("\"ok\"") || !p.literal(":") ||
+        !p.boolean(ok_flag) || !p.literal(",") ||
+        !p.literal("\"degraded\"") || !p.literal(":") ||
+        !p.boolean(degraded_flag) || !p.literal(",") ||
+        !p.literal("\"violations\"") || !p.literal(":") ||
+        !p.literal("["))
+        return false;
+
+    VerifyReport parsed(app, layer);
+    if (!p.peek(']')) {
+        for (;;) {
+            VerifyViolation v;
+            std::string severity;
+            if (!p.literal("{") || !p.literal("\"app\"") ||
+                !p.literal(":") || !p.string(v.app) ||
+                !p.literal(",") || !p.literal("\"layer\"") ||
+                !p.literal(":") || !p.string(v.layer) ||
+                !p.literal(",") || !p.literal("\"invariant\"") ||
+                !p.literal(":") || !p.string(v.invariant) ||
+                !p.literal(",") || !p.literal("\"detail\"") ||
+                !p.literal(":") || !p.string(v.detail) ||
+                !p.literal(",") || !p.literal("\"severity\"") ||
+                !p.literal(":") || !p.string(severity) ||
+                !p.literal(",") || !p.literal("\"lines\"") ||
+                !p.literal(":") || !p.literal("["))
+                return false;
+            if (severity == "degraded")
+                v.severity = Severity::Degraded;
+            else if (severity == "violation")
+                v.severity = Severity::Violation;
+            else
+                return false;
+            if (!p.peek(']')) {
+                for (;;) {
+                    std::uint64_t line = 0;
+                    if (!p.number(line))
+                        return false;
+                    v.lines.push_back(line);
+                    if (p.literal(","))
+                        continue;
+                    break;
+                }
+            }
+            if (!p.literal("]") || !p.literal("}"))
+                return false;
+            // Re-inject with the violation's own stamping (merge()d
+            // entries keep foreign app/layer through the round-trip).
+            VerifyReport one(v.app, v.layer);
+            if (v.severity == Severity::Degraded)
+                one.degrade(v.invariant, v.detail, v.lines);
+            else
+                one.fail(v.invariant, v.detail, v.lines);
+            parsed.merge(one);
+            if (p.literal(","))
+                continue;
+            break;
+        }
+    }
+    if (!p.literal("]") || !p.literal("}") || !p.done())
+        return false;
+    // Consistency: the flags must match the reconstructed entries.
+    if (parsed.ok() != ok_flag || parsed.degraded() != degraded_flag)
+        return false;
+    out = std::move(parsed);
+    return true;
+}
+
+} // namespace whisper::core

@@ -7,6 +7,13 @@
  * plus a list of named invariant violations. The harness, the crash
  * fuzzer and whisper_cli all render the same named invariants, so a
  * fuzzer reproducer log and a CLI verification failure read alike.
+ *
+ * Media faults add a second severity: a *Degraded* entry records data
+ * the scrub pass could not repair but did contain (a dropped torn log
+ * record, an emptied hashmap bucket). Degraded entries carry the
+ * poisoned line set, do not fail ok(), and license the follow-up
+ * verifyRecovered() violations they explain — recovery never panics
+ * on media loss, it names it.
  */
 
 #ifndef WHISPER_CORE_VERIFY_REPORT_HH
@@ -16,8 +23,17 @@
 #include <utility>
 #include <vector>
 
+#include "common/types.hh"
+
 namespace whisper::core
 {
+
+/** How bad one report entry is. */
+enum class Severity
+{
+    Violation, //!< invariant broken: recovery is wrong
+    Degraded,  //!< data lost to media faults, loss contained and named
+};
 
 /** One violated invariant, attributed to an app and access layer. */
 struct VerifyViolation
@@ -26,6 +42,9 @@ struct VerifyViolation
     std::string layer;     //!< access-layer name ("lib-mod", ...)
     std::string invariant; //!< short invariant name ("gc-quiescent")
     std::string detail;    //!< free-form diagnosis, may be empty
+    Severity severity = Severity::Violation;
+    /** PM lines implicated (poisoned line set for Degraded entries). */
+    std::vector<LineAddr> lines;
 };
 
 /**
@@ -42,7 +61,25 @@ class VerifyReport
     {
     }
 
-    bool ok() const { return violations_.empty(); }
+    /** True when no entry has Violation severity (Degraded is ok). */
+    bool
+    ok() const
+    {
+        for (const VerifyViolation &v : violations_)
+            if (v.severity == Severity::Violation)
+                return false;
+        return true;
+    }
+
+    /** True when any entry has Degraded severity. */
+    bool
+    degraded() const
+    {
+        for (const VerifyViolation &v : violations_)
+            if (v.severity == Severity::Degraded)
+                return true;
+        return false;
+    }
 
     const std::vector<VerifyViolation> &
     violations() const
@@ -50,12 +87,30 @@ class VerifyReport
         return violations_;
     }
 
+    const std::string &app() const { return app_; }
+    const std::string &layer() const { return layer_; }
+
     /** Record a violation of @p invariant. */
     void
-    fail(std::string invariant, std::string detail = "")
+    fail(std::string invariant, std::string detail = "",
+         std::vector<LineAddr> lines = {})
     {
         violations_.push_back(VerifyViolation{
-            app_, layer_, std::move(invariant), std::move(detail)});
+            app_, layer_, std::move(invariant), std::move(detail),
+            Severity::Violation, std::move(lines)});
+    }
+
+    /**
+     * Record contained media loss under @p invariant: the scrub could
+     * not repair @p lines but bounded the damage. Does not fail ok().
+     */
+    void
+    degrade(std::string invariant, std::string detail,
+            std::vector<LineAddr> lines = {})
+    {
+        violations_.push_back(VerifyViolation{
+            app_, layer_, std::move(invariant), std::move(detail),
+            Severity::Degraded, std::move(lines)});
     }
 
     /** fail() unless @p ok_cond holds; returns @p ok_cond. */
@@ -78,17 +133,30 @@ class VerifyReport
     }
 
     /**
-     * One-line summary of the first violation — "invariant: detail"
-     * — the crash fuzzer's deterministic `why` string. Empty when ok.
+     * One-line summary of the most severe entry — "invariant: detail"
+     * — the crash fuzzer's deterministic `why` string. Violations win
+     * over Degraded entries; empty when the report has no entries.
      */
     std::string
     brief() const
     {
-        if (violations_.empty())
+        const VerifyViolation *pick = nullptr;
+        for (const VerifyViolation &v : violations_) {
+            if (v.severity == Severity::Violation) {
+                pick = &v;
+                break;
+            }
+            if (!pick)
+                pick = &v;
+        }
+        if (!pick)
             return "";
-        const VerifyViolation &v = violations_.front();
-        return v.detail.empty() ? v.invariant
-                                : v.invariant + ": " + v.detail;
+        std::string out = pick->severity == Severity::Degraded
+                              ? "degraded " + pick->invariant
+                              : pick->invariant;
+        if (!pick->detail.empty())
+            out += ": " + pick->detail;
+        return out;
     }
 
     /** Multi-line rendering of every violation. Empty when ok. */
@@ -99,7 +167,10 @@ class VerifyReport
         for (const VerifyViolation &v : violations_) {
             if (!out.empty())
                 out += "\n";
-            out += v.app + "/" + v.layer + ": " + v.invariant;
+            out += v.app + "/" + v.layer + ": ";
+            if (v.severity == Severity::Degraded)
+                out += "degraded ";
+            out += v.invariant;
             if (!v.detail.empty())
                 out += " (" + v.detail + ")";
         }
@@ -111,6 +182,22 @@ class VerifyReport
     std::string layer_;
     std::vector<VerifyViolation> violations_;
 };
+
+/**
+ * Render @p report as one line of JSON:
+ * {"app":...,"layer":...,"ok":...,"degraded":...,"violations":[
+ *   {"invariant":...,"detail":...,"severity":"violation"|"degraded",
+ *    "lines":[...]},...]}
+ * Stable field order; strings escaped per RFC 8259.
+ */
+std::string toJson(const VerifyReport &report);
+
+/**
+ * Parse a line produced by toJson() back into a report (round-trip
+ * for tooling that consumes `crashfuzz --json` streams). Returns
+ * false (leaving @p out default) on malformed input.
+ */
+bool fromJson(const std::string &text, VerifyReport &out);
 
 } // namespace whisper::core
 

@@ -60,6 +60,13 @@ constexpr double kSurvivalClasses[] = {0.0, 0.1, 0.25, 0.5,
 constexpr std::size_t kSurvivalClassCount =
     sizeof(kSurvivalClasses) / sizeof(kSurvivalClasses[0]);
 
+/** Fault-dimension grids (FuzzConfig::faults). All-zero combinations
+ *  degenerate to plain crash cases, keeping a control group inside
+ *  every fault sweep. */
+constexpr std::uint32_t kPoisonClasses[] = {0, 1, 2, 4};
+constexpr double kTearClasses[] = {0.0, 0.25, 0.5};
+constexpr std::uint32_t kTransientClasses[] = {0, 7, 31};
+
 /** Racing threads are only meaningful where disjoint updates commute. */
 void
 requireGateable(const core::WhisperApp &app, unsigned threads)
@@ -154,6 +161,22 @@ deriveCase(const std::string &app, std::uint64_t case_id,
     c.crash.survival = kSurvivalClasses[cls];
     c.crash.threads = config.threads < 1 ? 1 : config.threads;
     c.crash.schedule = mix64(h3);
+    if (config.faults) {
+        // Extend the hash chain; the pre-fault parameters above are
+        // untouched, so case K of a fault sweep crashes at the same
+        // op as case K of the plain sweep.
+        const std::uint64_t h4 = mix64(h3 ^ 0xFA017ull);
+        const std::uint64_t h5 = mix64(h4);
+        const std::uint64_t h6 = mix64(h5);
+        const std::uint64_t h7 = mix64(h6);
+        c.fault.seed = h4;
+        c.fault.poisonCount =
+            kPoisonClasses[h5 % (sizeof(kPoisonClasses) / 4)];
+        c.fault.tearProb =
+            kTearClasses[h6 % (sizeof(kTearClasses) / 8)];
+        c.fault.transientEvery =
+            kTransientClasses[h7 % (sizeof(kTransientClasses) / 4)];
+    }
     return c;
 }
 
@@ -176,6 +199,8 @@ runCase(const FuzzCase &c, const FuzzConfig &config,
                                                : c.crashAt;
     rt.installCrashPlan(threads, c.crash.schedule);
     rt.armCrashPoint(crash_at);
+    if (!c.fault.none())
+        rt.pool().setFaultPlan(c.fault);
 
     CaseOutcome out;
     runArmed(rt, *app, threads, out.fired, out.opIndex);
@@ -189,30 +214,41 @@ runCase(const FuzzCase &c, const FuzzConfig &config,
         out.survivors =
             rt.pool().pickSurvivors(rng, c.crash.survival);
     }
-    rt.crashWithSurvivors(out.survivors);
+    pm::FaultResolution faults;
+    if (!c.fault.none())
+        faults = rt.pool().resolveFaults(c.fault, out.survivors);
+    if (faults.none())
+        rt.crashWithSurvivors(out.survivors);
+    else
+        rt.crashWithFaults(out.survivors, faults);
 
-    // The machine is back on: recovery runs un-counted and un-poisoned.
+    // The machine is back on: recovery runs un-counted. Crash plans
+    // must be detached BEFORE the scrub — a fired plan keeps dropping
+    // PM mutations, which would silently discard the scrub's repairs.
     for (ThreadId tid = 0; tid < rt.maxThreads(); tid++)
         rt.ctx(tid).setCrashPlan(nullptr);
 
+    core::VerifyReport verdict = app->scrubRecovered(rt);
     app->recover(rt);
 
     const core::VerifyReport invariants =
         app->checkRecoveryInvariants(rt);
-    out.ok = invariants.ok();
-    if (!invariants.ok()) {
-        out.why = invariants.brief().empty()
-                      ? "layer recovery invariant violated"
-                      : invariants.brief();
-    } else {
-        const core::VerifyReport recovered = app->verifyRecovered(rt);
-        out.ok = recovered.ok();
-        if (!recovered.ok())
-            out.why = recovered.brief().empty()
-                          ? "verifyRecovered failed"
-                          : recovered.brief();
+    verdict.merge(invariants);
+    if (invariants.ok())
+        verdict.merge(app->verifyRecovered(rt));
+    out.degraded = verdict.degraded();
+    // A Violation is a finding unless the scrub declared a named loss
+    // that explains it; silent corruption (violation with no Degraded
+    // entry) always counts.
+    out.ok = verdict.ok() || out.degraded;
+    if (!verdict.ok()) {
+        out.why = verdict.brief().empty() ? "recovery check failed"
+                                          : verdict.brief();
     }
     out.imageHash = imageHash(rt.pool());
+    out.linesTorn = rt.pool().stats().linesTorn;
+    out.linesPoisoned = rt.pool().stats().linesPoisoned;
+    out.transientFaults = rt.pool().stats().transientFaults;
 
     std::uint64_t h = fold(hashName(c.app), c.caseId);
     h = fold(h, crash_at);
@@ -223,10 +259,30 @@ runCase(const FuzzCase &c, const FuzzConfig &config,
         h = fold(h, line);
     h = fold(h, rt.pool().stats().linesSurvivedCrash);
     h = fold(h, rt.pool().dirtyLineCount());
-    h = fold(h, out.ok ? 1 : 0);
+    h = fold(h, verdict.ok() ? 1 : 0);
     h = fold(h, hashName(out.why));
     h = fold(h, out.imageHash);
+    if (!c.fault.none()) {
+        // Fold the plan and its resolution: a replay that tears or
+        // poisons different lines is a different case.
+        h = fold(h, c.fault.seed);
+        h = fold(h, c.fault.poisonCount);
+        h = fold(h, static_cast<std::uint64_t>(
+                        c.fault.tearProb * 256.0));
+        h = fold(h, c.fault.transientEvery);
+        h = fold(h, faults.torn.size());
+        for (const pm::TornLine &t : faults.torn) {
+            h = fold(h, t.line);
+            h = fold(h, t.mask);
+        }
+        h = fold(h, faults.poisoned.size());
+        for (const LineAddr line : faults.poisoned)
+            h = fold(h, line);
+        h = fold(h, out.transientFaults);
+        h = fold(h, out.degraded ? 1 : 0);
+    }
     out.digest = h;
+    out.report = std::move(verdict);
     return out;
 }
 
@@ -259,6 +315,15 @@ replayCommand(const FuzzCase &c,
         std::snprintf(tail, sizeof(tail),
                       " --threads %u --schedule 0x%" PRIx64,
                       c.crash.threads, c.crash.schedule);
+        cmd += tail;
+    }
+    if (!c.fault.none()) {
+        std::snprintf(tail, sizeof(tail),
+                      " --fault-plan 0x%" PRIx64 ":%u:%u:%u",
+                      c.fault.seed, c.fault.poisonCount,
+                      static_cast<unsigned>(c.fault.tearProb * 100.0 +
+                                            0.5),
+                      c.fault.transientEvery);
         cmd += tail;
     }
     return cmd;
@@ -380,7 +445,10 @@ sweep(const SweepOptions &options)
             const CaseOutcome &out = outcomes[i];
             report.casesRun++;
             report.casesFired += out.fired ? 1 : 0;
+            report.casesDegraded += out.degraded ? 1 : 0;
             digest = fold(digest, out.digest);
+            if (options.keepReports)
+                report.caseReports.push_back(out.report);
             if (out.ok)
                 continue;
             report.violations++;

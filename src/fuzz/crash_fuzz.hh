@@ -38,6 +38,7 @@
 
 #include "common/types.hh"
 #include "core/harness.hh"
+#include "pm/fault_plan.hh"
 
 namespace whisper::fuzz
 {
@@ -50,6 +51,14 @@ struct FuzzConfig
     std::uint64_t appSeed = 7;       //!< AppConfig::seed for every case
     std::uint64_t sweepSeed = 0x5eedF00d; //!< derives per-case params
     unsigned threads = 1; //!< racing workload threads (>1: MOD only)
+    /**
+     * Media-fault dimension: each case additionally draws a seeded
+     * pm::FaultPlan (poison count x tear probability x transient read
+     * faults) resolved against the crash's dirty-line set. Recovery
+     * then runs scrub-first; losses must surface as Degraded entries,
+     * never as silent corruption or panics.
+     */
+    bool faults = false;
 };
 
 /** One fully-resolved fuzz case (derivable from its id alone). */
@@ -64,6 +73,8 @@ struct FuzzCase
      */
     core::CrashOptions crash;
     bool hard = false; //!< crashHard(): nothing dirty survives
+    /** Media faults riding the cut (none() unless FuzzConfig::faults). */
+    pm::FaultPlan fault;
 };
 
 /** What one case did and found. */
@@ -76,6 +87,13 @@ struct CaseOutcome
     std::uint64_t digest = 0;  //!< deterministic outcome fingerprint
     std::uint64_t imageHash = 0; //!< post-recovery arch-image hash
     std::vector<LineAddr> survivors; //!< dirty lines the crash kept
+    /** Scrub declared a named, tolerated loss (fault cases only). */
+    bool degraded = false;
+    std::uint64_t linesTorn = 0;      //!< word-torn survivor lines
+    std::uint64_t linesPoisoned = 0;  //!< lines lost to media
+    std::uint64_t transientFaults = 0; //!< retried reads (counted only)
+    /** Merged scrub + invariant + recovery report (for --json). */
+    core::VerifyReport report;
 };
 
 /** A shrunk, replayable violation. */
@@ -95,8 +113,11 @@ struct AppSweepReport
     std::uint64_t casesRun = 0;
     std::uint64_t casesFired = 0; //!< crash point inside the workload
     std::uint64_t violations = 0;
+    std::uint64_t casesDegraded = 0; //!< named media loss, tolerated
     std::uint64_t digest = 0; //!< fold of case digests in id order
     std::vector<Reproducer> reproducers; //!< shrunk, capped
+    /** Per-case merged reports in id order (SweepOptions::keepReports). */
+    std::vector<core::VerifyReport> caseReports;
 };
 
 /** Sweep shape. */
@@ -108,6 +129,7 @@ struct SweepOptions
     FuzzConfig config;
     bool shrinkViolations = true;
     std::uint64_t maxReproducers = 4; //!< shrink at most this many
+    bool keepReports = false; //!< retain per-case VerifyReports (--json)
 };
 
 /**

@@ -1,8 +1,11 @@
 #include "mod/mod_hashmap.hh"
 
+#include <algorithm>
 #include <cstddef>
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
+#include "core/verify_report.hh"
 
 namespace whisper::mod
 {
@@ -33,13 +36,24 @@ mix64(std::uint64_t x)
 std::uint64_t
 ModHashmap::entryChecksum(std::uint64_t key, const std::uint64_t *vals)
 {
-    // Position-sensitive fold over key and payload. The next pointer
-    // is deliberately excluded: a shadow path-copy rewrites next but
-    // must not have to re-derive payload checksums.
-    std::uint64_t h = 0x4D4150u ^ mix64(key);
+    // Two chained CRC32 passes over key and payload fill the 64-bit
+    // field; a zero-filled (scrubbed) node can never validate. The
+    // next pointer is deliberately excluded: a shadow path-copy
+    // rewrites next but must not have to re-derive payload checksums.
+    std::uint64_t buf[1 + kValWords];
+    buf[0] = key;
     for (std::uint64_t i = 0; i < kValWords; i++)
-        h = mix64(h ^ (vals[i] + i + 1));
-    return h;
+        buf[1 + i] = vals[i];
+    const std::uint32_t lo = crc32(buf, sizeof(buf));
+    const std::uint32_t hi = crc32Update(lo, buf, sizeof(buf));
+    return static_cast<std::uint64_t>(hi) << 32 | lo;
+}
+
+std::uint64_t
+ModHashmap::headerCrc(std::uint64_t bucket_count)
+{
+    const std::uint64_t hdr[2] = {kMagic, bucket_count};
+    return crc32(hdr, sizeof(hdr));
 }
 
 ModHashmap::ModHashmap(pm::PmContext &ctx, ModHeap &heap,
@@ -54,6 +68,8 @@ ModHashmap::ModHashmap(pm::PmContext &ctx, ModHeap &heap,
              "mod hashmap: buckets must split evenly over partitions");
     ctx.store(tableOff_, &kMagic, 8, DataClass::TxMeta);
     ctx.store(tableOff_ + 8, &bucketCount_, 8, DataClass::TxMeta);
+    const std::uint64_t crc = headerCrc(bucketCount_);
+    ctx.store(tableOff_ + 16, &crc, 8, DataClass::TxMeta);
     for (std::uint64_t b = 0; b < bucketCount_; b++)
         ctx.store(bucketOff(b), &kNullAddr, 8, DataClass::TxMeta);
     ctx.flush(tableOff_, tableBytes(bucketCount_));
@@ -84,7 +100,7 @@ ModHashmap::bucketOff(std::uint64_t bucket) const
 {
     panic_if(bucket >= bucketCount_,
              "mod hashmap: bucket out of range");
-    return tableOff_ + 16 + bucket * 8;
+    return tableOff_ + kHeaderBytes + bucket * 8;
 }
 
 std::uint64_t
@@ -302,11 +318,16 @@ ModHashmap::lookup(pm::PmContext &ctx, std::uint64_t key,
 bool
 ModHashmap::check(pm::PmContext &ctx, std::string *why)
 {
-    std::uint64_t magic = 0;
-    ctx.load(tableOff_, &magic, 8);
-    if (magic != kMagic) {
+    std::uint64_t hdr[3] = {};
+    ctx.load(tableOff_, hdr, sizeof(hdr));
+    if (hdr[0] != kMagic) {
         if (why)
             *why = "mod hashmap: bad table magic";
+        return false;
+    }
+    if (hdr[1] != bucketCount_ || hdr[2] != headerCrc(bucketCount_)) {
+        if (why)
+            *why = "mod hashmap: table header CRC mismatch";
         return false;
     }
     for (std::uint64_t b = 0; b < bucketCount_; b++) {
@@ -363,6 +384,100 @@ ModHashmap::countReachable(pm::PmContext &ctx)
     std::vector<Addr> all;
     reachable(ctx, all);
     return all.size();
+}
+
+void
+ModHashmap::scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines,
+                  core::VerifyReport &report)
+{
+    if (lines.empty())
+        return;
+    const Addr table_end = tableOff_ + tableBytes(bucketCount_);
+    const LineAddr t_first = lineOf(tableOff_);
+    const LineAddr t_last = lineOf(table_end - 1);
+
+    // Phase 1 — table lines. The header is fully redundant (attach
+    // parameters), so it is rewritten silently; bucket slots have no
+    // second copy, so a lost slot becomes an empty bucket and the
+    // chain behind it bounded, *declared* data loss.
+    std::vector<LineAddr> table_lines;
+    std::vector<LineAddr> node_lines;
+    for (const LineAddr line : lines) {
+        (line >= t_first && line <= t_last ? table_lines : node_lines)
+            .push_back(line);
+    }
+    std::vector<LineAddr> root_lost;
+    for (const LineAddr line : table_lines) {
+        const Addr lo = std::max<Addr>(line << kCacheLineBits,
+                                       tableOff_);
+        const Addr hi = std::min<Addr>((line + 1) << kCacheLineBits,
+                                       table_end);
+        for (Addr off = lo; off < hi; off += 8) {
+            if (off == tableOff_) {
+                ctx.store(off, &kMagic, 8, DataClass::TxMeta);
+            } else if (off == tableOff_ + 8) {
+                ctx.store(off, &bucketCount_, 8, DataClass::TxMeta);
+            } else if (off == tableOff_ + 16) {
+                const std::uint64_t crc = headerCrc(bucketCount_);
+                ctx.store(off, &crc, 8, DataClass::TxMeta);
+            } else {
+                ctx.store(off, &kNullAddr, 8, DataClass::TxMeta);
+                if (root_lost.empty() || root_lost.back() != line)
+                    root_lost.push_back(line);
+            }
+        }
+        ctx.persist(lo, hi - lo);
+    }
+    if (!root_lost.empty()) {
+        report.degrade("mod-root-lost",
+                       std::to_string(root_lost.size()) +
+                           " bucket line(s) lost to media faults; "
+                           "affected buckets emptied",
+                       root_lost);
+    }
+
+    // Phase 2 — chain nodes. Any poisoned heap line was zero-filled,
+    // so a corrupted node fails its entry CRC; truncate each chain at
+    // the first such node by nulling the predecessor link (next is
+    // excluded from the entry checksum, so the rewrite is safe).
+    if (!node_lines.empty()) {
+        std::uint64_t cut = 0;
+        std::vector<LineAddr> cut_lines;
+        for (std::uint64_t b = 0; b < bucketCount_; b++) {
+            Addr prev_link = bucketOff(b);
+            Addr cur = loadBucket(ctx, b);
+            std::uint64_t steps = 0;
+            while (cur != kNullAddr) {
+                panic_if(++steps > kMaxChain,
+                         "mod hashmap: chain cycle during scrub");
+                MapEntry e{};
+                bool ok = heap_.isBlockStart(cur);
+                if (ok) {
+                    ctx.load(cur, &e, sizeof(e));
+                    ok = e.checksum == entryChecksum(e.key, e.vals);
+                }
+                if (!ok) {
+                    ctx.store(prev_link, &kNullAddr, 8,
+                              DataClass::TxMeta);
+                    ctx.persist(prev_link, 8);
+                    cut++;
+                    cut_lines.push_back(lineOf(cur));
+                    break;
+                }
+                prev_link = cur + offsetof(MapEntry, next);
+                cur = e.next;
+            }
+        }
+        if (cut) {
+            report.degrade("mod-chain-corrupt",
+                           std::to_string(cut) +
+                               " chain(s) truncated at a corrupt node",
+                           cut_lines);
+        }
+    }
+    // Table lines are fully handled here; node-region lines are left
+    // for the heap scrub (occupancy is rebuilt from reachability).
+    lines = std::move(node_lines);
 }
 
 } // namespace whisper::mod

@@ -34,6 +34,11 @@
 
 #include "mod/mod_heap.hh"
 
+namespace whisper::core
+{
+class VerifyReport;
+}
+
 namespace whisper::mod
 {
 
@@ -49,8 +54,10 @@ struct MapEntry
 /**
  * The persistent MOD hashmap.
  *
- * Table layout at @c table_off: {magic, bucketCount,
- * buckets[bucketCount]}.
+ * Table layout at @c table_off: {magic, bucketCount, headerCrc,
+ * buckets[bucketCount]}. The CRC word protects the root metadata
+ * against media corruption; a scrub pass rebuilds the header (and
+ * nulls any bucket slots the media lost) from the attach parameters.
  */
 class ModHashmap
 {
@@ -59,12 +66,17 @@ class ModHashmap
     static constexpr std::uint64_t kValWords = 3;
     /** Writer stripes per bucket partition. */
     static constexpr std::uint64_t kStripesPerPartition = 8;
+    /** Bytes of {magic, bucketCount, headerCrc} before the buckets. */
+    static constexpr std::size_t kHeaderBytes = 24;
 
     static std::size_t
     tableBytes(std::uint64_t bucket_count)
     {
-        return 16 + bucket_count * 8;
+        return kHeaderBytes + bucket_count * 8;
     }
+
+    /** CRC32 (widened) of the {magic, bucketCount} header words. */
+    static std::uint64_t headerCrc(std::uint64_t bucket_count);
 
     /** Format (all buckets empty; durably fenced). */
     ModHashmap(pm::PmContext &ctx, ModHeap &heap, Addr table_off,
@@ -102,6 +114,18 @@ class ModHashmap
 
     /** Reachable entries (recovery mark phase / size recount). */
     void reachable(pm::PmContext &ctx, std::vector<Addr> &out);
+
+    /**
+     * Media-fault scrub (runs before recover()): repair what the
+     * table's redundancy allows and degrade the rest. Lines in
+     * @p lines were poisoned (and zero-filled); the scrub rewrites
+     * the header from the attach parameters, nulls bucket slots the
+     * media lost (degrading "mod-root-lost"), truncates chains at the
+     * first corrupt node (degrading "mod-chain-corrupt") and erases
+     * every line it handled from @p lines.
+     */
+    void scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines,
+               core::VerifyReport &report);
 
     std::uint64_t countReachable(pm::PmContext &ctx);
 

@@ -354,4 +354,28 @@ ModHeap::magicIntact(pm::PmContext &ctx) const
     return magic == kMagic;
 }
 
+void
+ModHeap::scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines)
+{
+    if (lines.empty())
+        return;
+    const LineAddr first = lineOf(base_);
+    const LineAddr last = lineOf(base_ + size_ - 1);
+    std::vector<LineAddr> rest;
+    for (const LineAddr line : lines) {
+        if (line < first || line > last) {
+            rest.push_back(line);
+            continue;
+        }
+        if (line == first) {
+            const std::uint64_t magic = kMagic;
+            ctx.store(base_, &magic, 8, pm::DataClass::TxMeta);
+            ctx.persist(base_, 8);
+        }
+        // Lanes, bitmap words and unreachable nodes are rebuilt or
+        // discarded by recover(); nothing else needs rewriting.
+    }
+    lines = std::move(rest);
+}
+
 } // namespace whisper::mod

@@ -185,6 +185,17 @@ class ModHeap
 
     bool magicIntact(pm::PmContext &ctx) const;
 
+    /**
+     * Media-fault scrub (runs before recover()): claims every poisoned
+     * line inside the heap region and rewrites the magic word if its
+     * line was hit. All other heap damage is silently repairable —
+     * lanes are cleared wholesale by recover(), bitmap words are
+     * rebuilt from reachability, and a corrupted *reachable* node is
+     * the structure scrub's problem (chain truncation), not the
+     * heap's. Erases every heap-range line from @p lines.
+     */
+    void scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines);
+
     /** Aggregated allocator statistics over all arenas. */
     alloc::AllocStats allocStats() const;
 

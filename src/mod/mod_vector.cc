@@ -1,8 +1,11 @@
 #include "mod/mod_vector.hh"
 
+#include <algorithm>
 #include <cstring>
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
+#include "core/verify_report.hh"
 
 namespace whisper::mod
 {
@@ -14,18 +17,23 @@ std::uint64_t
 ModVector::chunkChecksum(std::uint64_t count,
                          const std::uint64_t *elems)
 {
-    // splitmix64-style fold; position-sensitive so swapped elements
-    // do not cancel the way a plain XOR would.
-    std::uint64_t h = 0x564543u ^ (count * 0x9e3779b97f4a7c15ull);
-    for (std::uint64_t i = 0; i < kElems; i++) {
-        std::uint64_t x = elems[i] + 0x9e3779b97f4a7c15ull * (i + 1);
-        x ^= x >> 30;
-        x *= 0xbf58476d1ce4e5b9ull;
-        x ^= x >> 27;
-        h ^= x;
-        h *= 0x94d049bb133111ebull;
-    }
-    return h;
+    // Two chained CRC32 passes over count and the full element array
+    // fill the 64-bit field; a zero-filled (scrubbed) chunk can never
+    // validate, so media loss is always detected.
+    std::uint64_t buf[1 + kElems];
+    buf[0] = count;
+    for (std::uint64_t i = 0; i < kElems; i++)
+        buf[1 + i] = elems[i];
+    const std::uint32_t lo = crc32(buf, sizeof(buf));
+    const std::uint32_t hi = crc32Update(lo, buf, sizeof(buf));
+    return static_cast<std::uint64_t>(hi) << 32 | lo;
+}
+
+std::uint64_t
+ModVector::headerCrc(std::uint64_t slot_count)
+{
+    const std::uint64_t hdr[2] = {kMagic, slot_count};
+    return crc32(hdr, sizeof(hdr));
 }
 
 ModVector::ModVector(pm::PmContext &ctx, ModHeap &heap, Addr table_off,
@@ -38,6 +46,8 @@ ModVector::ModVector(pm::PmContext &ctx, ModHeap &heap, Addr table_off,
 {
     ctx.store(tableOff_, &kMagic, 8, DataClass::TxMeta);
     ctx.store(tableOff_ + 8, &slotCount_, 8, DataClass::TxMeta);
+    const std::uint64_t crc = headerCrc(slotCount_);
+    ctx.store(tableOff_ + 16, &crc, 8, DataClass::TxMeta);
     for (std::uint64_t s = 0; s < slotCount_; s++)
         ctx.store(slotOff(s), &kNullAddr, 8, DataClass::TxMeta);
     ctx.flush(tableOff_, tableBytes(slotCount_));
@@ -68,7 +78,7 @@ Addr
 ModVector::slotOff(std::uint64_t slot) const
 {
     panic_if(slot >= slotCount_, "mod vector: slot out of range");
-    return tableOff_ + 16 + slot * 8;
+    return tableOff_ + kHeaderBytes + slot * 8;
 }
 
 Addr
@@ -167,11 +177,16 @@ ModVector::get(pm::PmContext &ctx, std::uint64_t slot,
 bool
 ModVector::check(pm::PmContext &ctx, std::string *why)
 {
-    std::uint64_t magic = 0;
-    ctx.load(tableOff_, &magic, 8);
-    if (magic != kMagic) {
+    std::uint64_t hdr[3] = {};
+    ctx.load(tableOff_, hdr, sizeof(hdr));
+    if (hdr[0] != kMagic) {
         if (why)
             *why = "mod vector: bad table magic";
+        return false;
+    }
+    if (hdr[1] != slotCount_ || hdr[2] != headerCrc(slotCount_)) {
+        if (why)
+            *why = "mod vector: table header CRC mismatch";
         return false;
     }
     for (std::uint64_t s = 0; s < slotCount_; s++) {
@@ -207,6 +222,94 @@ ModVector::reachable(pm::PmContext &ctx, std::vector<Addr> &out)
         if (off != kNullAddr && heap_.isBlockStart(off))
             out.push_back(off);
     }
+}
+
+void
+ModVector::scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines,
+                 core::VerifyReport &report)
+{
+    if (lines.empty())
+        return;
+    const Addr table_end = tableOff_ + tableBytes(slotCount_);
+    const LineAddr t_first = lineOf(tableOff_);
+    const LineAddr t_last = lineOf(table_end - 1);
+
+    // Phase 1 — table lines. The header is fully redundant (attach
+    // parameters) and repairs silently; a lost spine slot becomes a
+    // null slot, *declared* data loss.
+    std::vector<LineAddr> table_lines;
+    std::vector<LineAddr> chunk_lines;
+    for (const LineAddr line : lines) {
+        (line >= t_first && line <= t_last ? table_lines : chunk_lines)
+            .push_back(line);
+    }
+    std::vector<LineAddr> root_lost;
+    for (const LineAddr line : table_lines) {
+        const Addr lo = std::max<Addr>(line << kCacheLineBits,
+                                       tableOff_);
+        const Addr hi = std::min<Addr>((line + 1) << kCacheLineBits,
+                                       table_end);
+        for (Addr off = lo; off < hi; off += 8) {
+            if (off == tableOff_) {
+                ctx.store(off, &kMagic, 8, DataClass::TxMeta);
+            } else if (off == tableOff_ + 8) {
+                ctx.store(off, &slotCount_, 8, DataClass::TxMeta);
+            } else if (off == tableOff_ + 16) {
+                const std::uint64_t crc = headerCrc(slotCount_);
+                ctx.store(off, &crc, 8, DataClass::TxMeta);
+            } else {
+                ctx.store(off, &kNullAddr, 8, DataClass::TxMeta);
+                if (root_lost.empty() || root_lost.back() != line)
+                    root_lost.push_back(line);
+            }
+        }
+        ctx.persist(lo, hi - lo);
+    }
+    if (!root_lost.empty()) {
+        report.degrade("mod-root-lost",
+                       std::to_string(root_lost.size()) +
+                           " spine line(s) lost to media faults; "
+                           "affected slots nulled",
+                       root_lost);
+    }
+
+    // Phase 2 — chunks. A poisoned chunk line was zero-filled, so the
+    // chunk fails its CRC; null the referencing slot (the chunk block
+    // itself is reclaimed when recovery rebuilds occupancy).
+    if (!chunk_lines.empty()) {
+        std::uint64_t cut = 0;
+        std::vector<LineAddr> cut_lines;
+        for (std::uint64_t s = 0; s < slotCount_; s++) {
+            const Addr off = loadSlot(ctx, s);
+            if (off == kNullAddr)
+                continue;
+            bool ok = heap_.isBlockStart(off);
+            if (ok) {
+                VecChunk chunk{};
+                ctx.load(off, &chunk, sizeof(chunk));
+                ok = chunk.count >= 1 && chunk.count <= kElems &&
+                     chunk.checksum ==
+                         chunkChecksum(chunk.count, chunk.elems);
+            }
+            if (!ok) {
+                ctx.store(slotOff(s), &kNullAddr, 8,
+                          DataClass::TxMeta);
+                ctx.persist(slotOff(s), 8);
+                cut++;
+                cut_lines.push_back(lineOf(off));
+            }
+        }
+        if (cut) {
+            report.degrade("mod-chunk-corrupt",
+                           std::to_string(cut) +
+                               " chunk(s) failed their CRC; "
+                               "referencing slots nulled",
+                           cut_lines);
+        }
+    }
+    // Table lines are fully handled here; chunk-region lines are left
+    // for the heap scrub (occupancy is rebuilt from reachability).
+    lines = std::move(chunk_lines);
 }
 
 } // namespace whisper::mod

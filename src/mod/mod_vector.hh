@@ -34,6 +34,11 @@
 
 #include "mod/mod_heap.hh"
 
+namespace whisper::core
+{
+class VerifyReport;
+}
+
 namespace whisper::mod
 {
 
@@ -48,10 +53,13 @@ struct VecChunk
 /**
  * The persistent COW vector.
  *
- * Table layout at @c table_off: {magic, slotCount, slots[slotCount]}.
- * Slots are grouped into fixed-size regions so concurrent writers can
- * partition the spine; the structure itself only validates per-chunk
- * invariants and leaves region discipline to the caller.
+ * Table layout at @c table_off: {magic, slotCount, headerCrc,
+ * slots[slotCount]}. The CRC word protects the root metadata against
+ * media corruption; a scrub pass rebuilds the header (and nulls any
+ * spine slots the media lost) from the attach parameters. Slots are
+ * grouped into fixed-size regions so concurrent writers can partition
+ * the spine; the structure itself only validates per-chunk invariants
+ * and leaves region discipline to the caller.
  */
 class ModVector
 {
@@ -60,13 +68,18 @@ class ModVector
     static constexpr std::uint64_t kElems = 8;
     /** Consecutive spine slots sharing one writer stripe. */
     static constexpr std::uint64_t kSlotsPerStripe = 64;
+    /** Bytes of {magic, slotCount, headerCrc} before the slots. */
+    static constexpr std::size_t kHeaderBytes = 24;
 
     /** Bytes the table occupies for @p slot_count slots. */
     static std::size_t
     tableBytes(std::uint64_t slot_count)
     {
-        return 16 + slot_count * 8;
+        return kHeaderBytes + slot_count * 8;
     }
+
+    /** CRC32 (widened) of the {magic, slotCount} header words. */
+    static std::uint64_t headerCrc(std::uint64_t slot_count);
 
     /** Format a vector (all slots null; durably fenced). */
     ModVector(pm::PmContext &ctx, ModHeap &heap, Addr table_off,
@@ -103,6 +116,16 @@ class ModVector
 
     /** Append every referenced chunk offset (recovery mark phase). */
     void reachable(pm::PmContext &ctx, std::vector<Addr> &out);
+
+    /**
+     * Media-fault scrub (runs before recover()): rewrites the header
+     * from the attach parameters, nulls spine slots the media lost
+     * (degrading "mod-root-lost"), nulls slots whose chunk fails its
+     * CRC (degrading "mod-chunk-corrupt") and erases every line it
+     * handled from @p lines.
+     */
+    void scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines,
+               core::VerifyReport &report);
 
     /** Pool offset of a slot's pointer cell. */
     Addr slotOff(std::uint64_t slot) const;

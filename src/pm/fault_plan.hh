@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic PM media-fault model.
+ *
+ * Real PM devices fail below the crash-consistency layer: a line can
+ * come back unreadable after power loss (an uncorrectable media error
+ * — the DIMM poisons the line and loads take a machine check), a line
+ * caught mid-write can tear at the device's write granularity (8-byte
+ * words on the platforms the paper measures, not whole cache lines),
+ * and marginal cells produce transient read faults that succeed on
+ * retry. A FaultPlan scripts all three from one seed so a crash-fuzz
+ * case — (crash point x fault plan) — replays bit-identically.
+ *
+ * The model deliberately binds media damage to the crash: poison and
+ * tearing are drawn from the *dirty* line set at crash time (lines
+ * with writes in flight are the ones a power cut catches mid-program),
+ * so the traced fast path sees no new PM operations and the paper's
+ * fence/epoch counts are untouched. Transient read faults are the one
+ * runtime effect: an occasional load retries internally, visible only
+ * in the pool's fault counters.
+ */
+
+#ifndef WHISPER_PM_FAULT_PLAN_HH
+#define WHISPER_PM_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace whisper::pm
+{
+
+/**
+ * A poisoned line was read: the simulated DIMM raised an
+ * uncorrectable media error. Recoverable — the scrub pass catches it,
+ * clears the poison and repairs or degrades; nothing on the recovery
+ * path may let it propagate as a panic.
+ */
+class PmMediaError : public std::runtime_error
+{
+  public:
+    PmMediaError(Addr off, LineAddr line)
+        : std::runtime_error("uncorrectable PM media error at offset " +
+                             std::to_string(off) + " (line " +
+                             std::to_string(line) + ")"),
+          off(off), line(line)
+    {
+    }
+
+    Addr off;      //!< faulting byte offset
+    LineAddr line; //!< faulting cache line
+};
+
+/**
+ * Seeded script of media faults, the fault-dimension analogue of
+ * CrashPlan. Default-constructed plans inject nothing.
+ */
+struct FaultPlan
+{
+    std::uint64_t seed = 0;
+
+    /** Lines lost outright at the crash (uncorrectable, poisoned). */
+    std::uint32_t poisonCount = 0;
+
+    /**
+     * Probability that a surviving dirty line tears at 8-byte-word
+     * granularity instead of persisting whole.
+     */
+    double tearProb = 0.0;
+
+    /**
+     * Every @c transientEvery-th load takes a transient (retryable)
+     * read fault; 0 disables. Retries always succeed within
+     * @c transientRetries attempts, so transients are invisible
+     * outside the fault counters.
+     */
+    std::uint32_t transientEvery = 0;
+    std::uint32_t transientRetries = 2;
+
+    bool
+    none() const
+    {
+        return poisonCount == 0 && tearProb == 0.0 &&
+               transientEvery == 0;
+    }
+};
+
+/** One torn line: only the masked 8-byte words reached the media. */
+struct TornLine
+{
+    LineAddr line;
+    std::uint8_t mask; //!< bit i set => word i (bytes [8i, 8i+8)) persisted
+};
+
+/**
+ * A FaultPlan resolved against a concrete crash: which lines tear
+ * (with their word masks) and which are poisoned. Deterministic in
+ * (plan.seed, survivors, dirty set) — fold into fuzz digests and
+ * replay verbatim.
+ */
+struct FaultResolution
+{
+    std::vector<TornLine> torn;
+    std::vector<LineAddr> poisoned;
+
+    bool
+    none() const
+    {
+        return torn.empty() && poisoned.empty();
+    }
+};
+
+} // namespace whisper::pm
+
+#endif // WHISPER_PM_FAULT_PLAN_HH

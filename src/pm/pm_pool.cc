@@ -1,5 +1,6 @@
 #include "pm/pm_pool.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -11,11 +12,14 @@ PmPool::PmPool(std::size_t size)
     : size_(size),
       arch_(size, 0),
       durable_(size, 0),
-      lineStates_((size + kCacheLineSize - 1) / kCacheLineSize)
+      lineStates_((size + kCacheLineSize - 1) / kCacheLineSize),
+      poisoned_((size + kCacheLineSize - 1) / kCacheLineSize)
 {
     panic_if(size == 0, "empty PmPool");
     for (auto &st : lineStates_)
         st.store(0, std::memory_order_relaxed);
+    for (auto &p : poisoned_)
+        p.store(0, std::memory_order_relaxed);
 }
 
 void
@@ -80,8 +84,13 @@ PmPool::applyStore(Addr off, const void *src, std::size_t n)
     const LineAddr last = lineOf(off + n - 1);
     ShardGuard guard(*this, first, last);
     std::memcpy(arch_.data() + off, src, n);
-    for (LineAddr line = first; line <= last; line++)
+    for (LineAddr line = first; line <= last; line++) {
         lineStates_[line].store(1, std::memory_order_relaxed);
+        // Writing a poisoned line re-programs the failed cells (the
+        // device remaps on write); the line is readable again.
+        if (poisoned_[line].exchange(0, std::memory_order_relaxed))
+            stats_.poisonCleared++;
+    }
 }
 
 bool
@@ -98,6 +107,8 @@ PmPool::applyCas64(Addr off, std::uint64_t expected, std::uint64_t desired)
         return false;
     std::memcpy(arch_.data() + off, &desired, 8);
     lineStates_[line].store(1, std::memory_order_relaxed);
+    if (poisoned_[line].exchange(0, std::memory_order_relaxed))
+        stats_.poisonCleared++;
     return true;
 }
 
@@ -107,7 +118,30 @@ PmPool::applyLoad(Addr off, void *dst, std::size_t n) const
     boundsCheck(off, n);
     if (n == 0)
         return;
-    ShardGuard guard(*this, lineOf(off), lineOf(off + n - 1));
+    const LineAddr first = lineOf(off);
+    const LineAddr last = lineOf(off + n - 1);
+    // Transient read fault: a marginal cell makes the load fail, the
+    // (simulated) retry loop re-reads and succeeds within the plan's
+    // retry bound. Visible only in the fault counters — no PM op is
+    // emitted, so traced op counts and crash-point indices are
+    // unaffected.
+    if (faultPlan_.transientEvery != 0) {
+        const std::uint64_t idx =
+            loadIndex_.fetch_add(1, std::memory_order_relaxed);
+        if (idx % faultPlan_.transientEvery ==
+            faultPlan_.transientEvery - 1)
+            stats_.transientFaults++;
+    }
+    ShardGuard guard(*this, first, last);
+    for (LineAddr line = first; line <= last; line++) {
+        if (poisoned_[line].load(std::memory_order_relaxed)) {
+            // Uncorrectable: retries cannot help, the media lost the
+            // line. Recoverable by scrubLine(); never a panic.
+            stats_.mediaErrors++;
+            const Addr base = line << kCacheLineBits;
+            throw PmMediaError(base > off ? base : off, line);
+        }
+    }
     std::memcpy(dst, arch_.data() + off, n);
 }
 
@@ -217,6 +251,145 @@ PmPool::finishCrash()
     for (auto &st : lineStates_)
         st.store(0, std::memory_order_relaxed);
     stats_.crashes++;
+}
+
+FaultResolution
+PmPool::resolveFaults(const FaultPlan &plan,
+                      const std::vector<LineAddr> &survivors) const
+{
+    FaultResolution out;
+    if (plan.none())
+        return out;
+    Rng rng(plan.seed);
+
+    // Poison: up to poisonCount distinct dirty lines are lost
+    // outright — drawn from the full dirty set (a write in flight is
+    // exactly what a power cut catches mid-program on the media).
+    if (plan.poisonCount != 0) {
+        std::vector<LineAddr> dirty = dirtyLines();
+        for (std::uint32_t i = 0;
+             i < plan.poisonCount && !dirty.empty(); i++) {
+            const std::size_t pick = rng.next(dirty.size());
+            out.poisoned.push_back(dirty[pick]);
+            dirty.erase(dirty.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+        }
+        std::sort(out.poisoned.begin(), out.poisoned.end());
+    }
+
+    // Tearing: each surviving, non-poisoned line persists only a
+    // proper subset of its 8-byte words with probability tearProb.
+    if (plan.tearProb > 0.0) {
+        for (const LineAddr line : survivors) {
+            if (std::find(out.poisoned.begin(), out.poisoned.end(),
+                          line) != out.poisoned.end())
+                continue;
+            if (!rng.chance(plan.tearProb))
+                continue;
+            // Masks 1..254: at least one word persists, at least one
+            // is lost (0 == vanished, 255 == survived whole — both
+            // already covered by the survivor dimension).
+            out.torn.push_back(TornLine{
+                line, static_cast<std::uint8_t>(rng.range(1, 254))});
+        }
+    }
+    return out;
+}
+
+void
+PmPool::crashWithFaults(const std::vector<LineAddr> &survivors,
+                        const FaultResolution &faults)
+{
+    for (const LineAddr line : survivors) {
+        if (!lineDirty(line))
+            continue;
+        if (std::find(faults.poisoned.begin(), faults.poisoned.end(),
+                      line) != faults.poisoned.end())
+            continue; // lost outright below
+        const TornLine *torn = nullptr;
+        for (const TornLine &t : faults.torn) {
+            if (t.line == line) {
+                torn = &t;
+                break;
+            }
+        }
+        if (!torn) {
+            persistLine(line);
+            stats_.linesSurvivedCrash++;
+            continue;
+        }
+        // Torn: only the masked 8-byte words reached the media; the
+        // rest keep their previous durable value.
+        ShardGuard guard(*this, line, line);
+        const Addr base = line << kCacheLineBits;
+        for (unsigned w = 0; w < 8; w++) {
+            if (!(torn->mask & (1u << w)))
+                continue;
+            const Addr word = base + w * 8;
+            if (word + 8 > size_)
+                break;
+            std::memcpy(durable_.data() + word, arch_.data() + word,
+                        8);
+        }
+        lineStates_[line].store(0, std::memory_order_relaxed);
+        stats_.linesTorn++;
+    }
+    for (const LineAddr line : faults.poisoned) {
+        panic_if(line >= lineStates_.size(),
+                 "poison of line %llu beyond pool",
+                 static_cast<unsigned long long>(line));
+        ShardGuard guard(*this, line, line);
+        const Addr base = line << kCacheLineBits;
+        const std::size_t n = std::min(kCacheLineSize, size_ - base);
+        std::memset(durable_.data() + base, 0, n);
+        poisoned_[line].store(1, std::memory_order_relaxed);
+        stats_.linesPoisoned++;
+    }
+    finishCrash();
+}
+
+void
+PmPool::scrubLine(LineAddr line)
+{
+    panic_if(line >= lineStates_.size(), "scrub of line %llu beyond pool",
+             static_cast<unsigned long long>(line));
+    ShardGuard guard(*this, line, line);
+    const Addr base = line << kCacheLineBits;
+    const std::size_t n = std::min(kCacheLineSize, size_ - base);
+    std::memset(arch_.data() + base, 0, n);
+    std::memset(durable_.data() + base, 0, n);
+    lineStates_[line].store(0, std::memory_order_relaxed);
+    poisoned_[line].store(0, std::memory_order_relaxed);
+    stats_.linesScrubbed++;
+}
+
+void
+PmPool::poisonLine(LineAddr line)
+{
+    panic_if(line >= lineStates_.size(),
+             "poison of line %llu beyond pool",
+             static_cast<unsigned long long>(line));
+    poisoned_[line].store(1, std::memory_order_relaxed);
+    stats_.linesPoisoned++;
+}
+
+bool
+PmPool::linePoisoned(LineAddr line) const
+{
+    panic_if(line >= lineStates_.size(), "line %llu beyond pool",
+             static_cast<unsigned long long>(line));
+    return poisoned_[line].load(std::memory_order_relaxed) != 0;
+}
+
+std::vector<LineAddr>
+PmPool::poisonedLines() const
+{
+    std::vector<LineAddr> lines;
+    for (LineAddr line = 0; line < poisoned_.size(); line++) {
+        if (poisoned_[line].load(std::memory_order_relaxed))
+            lines.push_back(line);
+    }
+    return lines;
 }
 
 void

@@ -33,6 +33,7 @@
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "pm/fault_plan.hh"
 
 namespace whisper::pm
 {
@@ -48,6 +49,12 @@ struct PoolStats
     std::atomic<std::uint64_t> linesEvicted{0};       //!< random evictions
     std::atomic<std::uint64_t> linesSurvivedCrash{0}; //!< kept by a crash
     std::atomic<std::uint64_t> crashes{0};            //!< crash() calls
+    std::atomic<std::uint64_t> linesTorn{0};          //!< word-torn at crash
+    std::atomic<std::uint64_t> linesPoisoned{0};      //!< lost to media
+    std::atomic<std::uint64_t> poisonCleared{0};      //!< re-programmed
+    std::atomic<std::uint64_t> linesScrubbed{0};      //!< scrubLine() calls
+    std::atomic<std::uint64_t> transientFaults{0};    //!< retried reads
+    std::atomic<std::uint64_t> mediaErrors{0};        //!< PmMediaError raised
 };
 
 /**
@@ -178,6 +185,56 @@ class PmPool
     /** Randomly evict (persist) up to @p n dirty lines, like a cache. */
     void evictRandomLines(Rng &rng, std::uint64_t n);
 
+    /** @{ Media-fault model (see fault_plan.hh). */
+
+    /**
+     * Install the fault plan for subsequent loads and crashes. The
+     * default (empty) plan injects nothing; installing a plan never
+     * emits PM operations, so traced op counts are unaffected.
+     */
+    void setFaultPlan(const FaultPlan &plan) { faultPlan_ = plan; }
+    const FaultPlan &faultPlan() const { return faultPlan_; }
+
+    /**
+     * Resolve @p plan against the current dirty set and @p survivors
+     * without crashing: up to plan.poisonCount dirty lines are
+     * poisoned (lost outright) and each remaining survivor tears with
+     * plan.tearProb. Deterministic in (plan.seed, dirty set,
+     * @p survivors); feed the result to crashWithFaults() and fold it
+     * into fuzz digests.
+     */
+    FaultResolution resolveFaults(const FaultPlan &plan,
+                                  const std::vector<LineAddr> &survivors)
+        const;
+
+    /**
+     * Crash with media faults: survivors persist as usual except that
+     * lines named in @p faults.torn persist only their masked 8-byte
+     * words, and lines in @p faults.poisoned are lost outright — the
+     * durable image forgets them (zero-filled) and reads of the line
+     * raise PmMediaError until it is scrubbed or re-programmed.
+     */
+    void crashWithFaults(const std::vector<LineAddr> &survivors,
+                         const FaultResolution &faults);
+
+    /**
+     * Repair one media-lost line: zero-fill both images (its content
+     * is gone; the scrub's caller restores what redundancy allows)
+     * and clear the poison so subsequent loads succeed.
+     */
+    void scrubLine(LineAddr line);
+
+    /** Poison one line directly (unit-test hook). */
+    void poisonLine(LineAddr line);
+
+    /** True if reads of @p line currently raise PmMediaError. */
+    bool linePoisoned(LineAddr line) const;
+
+    /** All currently poisoned lines, ascending (scrub work list). */
+    std::vector<LineAddr> poisonedLines() const;
+
+    /** @} */
+
     const PoolStats &stats() const { return stats_; }
 
   private:
@@ -215,8 +272,14 @@ class PmPool
     std::vector<std::uint8_t> durable_;
     /** 1 == dirty. Atomic so concurrent app threads may mark freely. */
     std::vector<std::atomic<std::uint8_t>> lineStates_;
+    /** 1 == poisoned: loads raise PmMediaError until scrubbed. */
+    std::vector<std::atomic<std::uint8_t>> poisoned_;
     mutable std::array<std::mutex, kLineShards> lineShards_;
-    PoolStats stats_;
+    FaultPlan faultPlan_;
+    /** Global load index driving transient-fault injection. */
+    mutable std::atomic<std::uint64_t> loadIndex_{0};
+    /** Mutable: applyLoad() is const but counts faults it injects. */
+    mutable PoolStats stats_;
 };
 
 } // namespace whisper::pm

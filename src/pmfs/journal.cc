@@ -1,14 +1,31 @@
 #include "pmfs/journal.hh"
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
-#include "txlib/mnemosyne.hh" // foldChecksum
+#include "core/verify_report.hh"
 
 namespace whisper::pmfs
 {
 
 using pm::DataClass;
 using pm::FenceKind;
-using mne::foldChecksum;
+
+namespace
+{
+
+/** CRC32 of @p rec (checksum zeroed) extended over the payload. */
+std::uint32_t
+recordCrc(const JournalRecord &rec, const void *payload, std::size_t n)
+{
+    JournalRecord r = rec;
+    r.checksum = 0;
+    std::uint32_t crc = crc32Update(0, &r, sizeof(r));
+    if (n)
+        crc = crc32Update(crc, payload, n);
+    return crc;
+}
+
+} // namespace
 
 MetaJournal::MetaJournal(pm::PmContext &ctx, Addr base)
     : base_(base)
@@ -65,8 +82,8 @@ MetaJournal::logOld(pm::PmContext &ctx, Addr off, std::size_t n)
     std::vector<std::uint8_t> old(n);
     ctx.load(off, old.data(), n);
     JournalRecord rec{JournalRecord::kMagic,
-                      static_cast<std::uint32_t>(n), off,
-                      foldChecksum(old.data(), n), 0};
+                      static_cast<std::uint32_t>(n), off, 0, 0};
+    rec.checksum = recordCrc(rec, old.data(), n);
     ctx.store(head_, &rec, sizeof(rec), DataClass::Log);
     ctx.store(head_ + sizeof(rec), old.data(), n, DataClass::Log);
     ctx.flush(head_, sizeof(rec) + n);
@@ -134,9 +151,9 @@ MetaJournal::recover(pm::PmContext &ctx)
                 break;
             const Addr payload = cursor + sizeof(rec);
             if (payload + rec.size > limit ||
-                foldChecksum(ctx.pool().at<std::uint8_t>(payload),
-                             rec.size) != rec.checksum) {
-                break; // torn tail: its range was never mutated
+                recordCrc(rec, ctx.pool().at<std::uint8_t>(payload),
+                          rec.size) != rec.checksum) {
+                break; // torn/corrupt tail: its range never mutated
             }
             recs.push_back({rec.addr, rec.size, payload});
             cursor = lineBase(payload + rec.size + kCacheLineSize - 1);
@@ -164,6 +181,70 @@ MetaJournal::recover(pm::PmContext &ctx)
     ctx.fence(FenceKind::Durability);
     head_ = entriesOff();
     inTx_ = false;
+}
+
+void
+MetaJournal::scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines,
+                   core::VerifyReport &report)
+{
+    if (lines.empty())
+        return;
+    const LineAddr state_line = lineOf(stateOff());
+    const Addr entries = entriesOff();
+    const Addr entries_end =
+        entries + static_cast<Addr>(kSegments) * segmentBytes();
+
+    std::vector<LineAddr> state_lost, record_lost, rest;
+    // Descriptor first: a forced-UNCOMMITTED journal makes the entry
+    // damage below count as live.
+    bool forced = false;
+    for (const LineAddr line : lines) {
+        if (line != state_line)
+            continue;
+        // Zero-filled reads as FREE, silently skipping a pending
+        // rollback. Force UNCOMMITTED: if the crash was really
+        // mid-commit-cleanup the re-rollback restores pre-transaction
+        // metadata from surviving records — declared loss, not silent.
+        const auto unc =
+            static_cast<std::uint64_t>(JournalState::Uncommitted);
+        ctx.store(stateOff(), &unc, 8, DataClass::TxMeta);
+        ctx.persist(stateOff(), 8);
+        state_lost.push_back(line);
+        forced = true;
+    }
+    std::uint64_t st = 0;
+    ctx.load(stateOff(), &st, 8);
+    const bool live =
+        forced ||
+        st == static_cast<std::uint64_t>(JournalState::Uncommitted);
+    for (const LineAddr line : lines) {
+        if (line == state_line)
+            continue;
+        const Addr off = static_cast<Addr>(line) << kCacheLineBits;
+        if (off >= entries && off < entries_end) {
+            if (live)
+                record_lost.push_back(line);
+            // COMMITTED/FREE journals hold only dead entry bytes.
+        } else {
+            rest.push_back(line);
+        }
+    }
+
+    if (!state_lost.empty()) {
+        report.degrade("pmfs-journal-state-lost",
+                       "journal descriptor lost; forced UNCOMMITTED "
+                       "for conservative rollback",
+                       state_lost);
+    }
+    if (!record_lost.empty()) {
+        report.degrade("pmfs-journal-record-lost",
+                       std::to_string(record_lost.size()) +
+                           " undo journal line(s) lost while a "
+                           "transaction was in flight; rollback stops "
+                           "at the hole",
+                       record_lost);
+    }
+    lines = std::move(rest);
 }
 
 bool

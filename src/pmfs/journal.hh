@@ -23,6 +23,11 @@
 
 #include "pm/pm_context.hh"
 
+namespace whisper::core
+{
+class VerifyReport;
+}
+
 namespace whisper::pmfs
 {
 
@@ -95,6 +100,21 @@ class MetaJournal
      * violation.
      */
     bool quiescent(pm::PmContext &ctx, std::string *why) const;
+
+    /**
+     * Media-fault scrub (runs before recover()): a poisoned
+     * descriptor line is rewritten UNCOMMITTED — zero-filled it would
+     * read FREE and silently skip a pending rollback, so the scrub
+     * forces the conservative path and degrades
+     * "pmfs-journal-state-lost" (a transaction that was actually
+     * mid-commit-cleanup gets re-rolled-back from already-cleared
+     * segments, a no-op). Poisoned entry lines degrade
+     * "pmfs-journal-record-lost" when the descriptor is UNCOMMITTED
+     * (the CRC walk stops at the hole); otherwise they are claimed
+     * silently. Erases every journal-range line from @p lines.
+     */
+    void scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines,
+               core::VerifyReport &report);
 
   private:
     void setState(pm::PmContext &ctx, JournalState st, bool fence_now);

@@ -100,6 +100,21 @@ Pmfs::Pmfs(Addr base, std::size_t size)
 }
 
 void
+Pmfs::scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines,
+            core::VerifyReport &report)
+{
+    // Pre-mount: the journal's offset is a pure function of the
+    // attach parameters, so no superblock read is needed (the
+    // superblock line is only ever dirty during mkfs and cannot be
+    // poisoned by a steady-state crash).
+    if (!journal_) {
+        journal_ = std::make_unique<MetaJournal>(base_ + kBlockSize);
+        tree_ = std::make_unique<BlockTree>(*journal_, *this);
+    }
+    journal_->scrub(ctx, lines, report);
+}
+
+void
 Pmfs::mount(pm::PmContext &ctx)
 {
     ctx.load(base_, &sb_, sizeof(sb_));

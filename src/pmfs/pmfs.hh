@@ -34,6 +34,11 @@
 
 #include "pmfs/block_tree.hh"
 
+namespace whisper::core
+{
+class VerifyReport;
+}
+
 namespace whisper::pmfs
 {
 
@@ -127,6 +132,18 @@ class Pmfs : public BtNodeAllocator
     /** Post-mount recovery invariant: journal FREE and cleared. */
     bool journalQuiescent(pm::PmContext &ctx,
                           std::string *why = nullptr) const;
+
+    /**
+     * Media-fault scrub, run before mount(): forwards the journal
+     * region to MetaJournal::scrub (descriptor forced UNCOMMITTED,
+     * live entry damage degraded). Other filesystem lines — inode
+     * table, bitmaps, dirents, data blocks — carry no redundancy
+     * beyond the journal, so they are left for the generic
+     * "pm-line-lost" degradation; mount-time rollback and fsck decide
+     * what the loss means.
+     */
+    void scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines,
+               core::VerifyReport &report);
 
     const FsStats &stats() const { return stats_; }
     std::uint64_t freeBlockCount() const;

@@ -22,6 +22,19 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 } // namespace
 
+const char *
+traceReadErrorName(TraceReadError err)
+{
+    switch (err) {
+    case TraceReadError::None: return "none";
+    case TraceReadError::Io: return "io";
+    case TraceReadError::BadHeader: return "bad-header";
+    case TraceReadError::Truncated: return "truncated";
+    case TraceReadError::ShortRead: return "short-read";
+    }
+    return "unknown";
+}
+
 std::uint64_t
 TraceFileReader::totalEvents() const
 {
@@ -36,37 +49,68 @@ TraceFileReader::open(const std::string &path)
 {
     path_.clear();
     sections_.clear();
+    lastError_ = TraceReadError::None;
 
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f) {
         warn("cannot open trace file %s for reading", path.c_str());
+        lastError_ = TraceReadError::Io;
         return false;
     }
+    if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+        lastError_ = TraceReadError::Io;
+        return false;
+    }
+    const long end = std::ftell(f.get());
+    if (end < 0 || std::fseek(f.get(), 0, SEEK_SET) != 0) {
+        lastError_ = TraceReadError::Io;
+        return false;
+    }
+    const auto file_size = static_cast<std::uint64_t>(end);
+
     TraceFileHeader hdr{};
-    if (std::fread(&hdr, sizeof(hdr), 1, f.get()) != 1 ||
-        hdr.magic != kTraceMagic || hdr.version != kTraceVersion) {
-        warn("bad trace header in %s", path.c_str());
+    if (std::fread(&hdr, sizeof(hdr), 1, f.get()) != 1) {
+        warn("truncated trace header in %s", path.c_str());
+        lastError_ = TraceReadError::Truncated;
         return false;
     }
+    if (hdr.magic != kTraceMagic || hdr.version != kTraceVersion) {
+        warn("bad trace header in %s", path.c_str());
+        lastError_ = TraceReadError::BadHeader;
+        return false;
+    }
+    // Walk the headers, bounding every section against the real file
+    // size — a byte-truncated trace fails here, up front, instead of
+    // aborting an analysis stream halfway through with a short read.
+    std::uint64_t off = sizeof(TraceFileHeader);
     for (std::uint32_t i = 0; i < hdr.threadCount; i++) {
-        TraceSectionHeader sec{};
-        if (std::fread(&sec, sizeof(sec), 1, f.get()) != 1) {
+        if (off + sizeof(TraceSectionHeader) > file_size) {
             warn("truncated section header in %s", path.c_str());
+            sections_.clear();
+            lastError_ = TraceReadError::Truncated;
             return false;
         }
-        const long offset = std::ftell(f.get());
-        if (offset < 0)
-            return false;
-        sections_.push_back({sec.tid, sec.eventCount,
-                             static_cast<std::uint64_t>(offset)});
-        // Seek over the payload; only the headers are read here.
-        if (std::fseek(f.get(),
-                       static_cast<long>(sec.eventCount *
-                                         sizeof(TraceEvent)),
-                       SEEK_CUR) != 0) {
-            warn("truncated section payload in %s", path.c_str());
+        TraceSectionHeader sec{};
+        if (std::fseek(f.get(), static_cast<long>(off), SEEK_SET) !=
+                0 ||
+            std::fread(&sec, sizeof(sec), 1, f.get()) != 1) {
+            sections_.clear();
+            lastError_ = TraceReadError::Io;
             return false;
         }
+        off += sizeof(TraceSectionHeader);
+        if (sec.eventCount > file_size / sizeof(TraceEvent) ||
+            off + sec.eventCount * sizeof(TraceEvent) > file_size) {
+            warn("truncated section payload in %s (section %u claims "
+                 "%llu events)",
+                 path.c_str(), i,
+                 static_cast<unsigned long long>(sec.eventCount));
+            sections_.clear();
+            lastError_ = TraceReadError::Truncated;
+            return false;
+        }
+        sections_.push_back({sec.tid, sec.eventCount, off});
+        off += sec.eventCount * sizeof(TraceEvent);
     }
     path_ = path;
     return true;
@@ -75,21 +119,29 @@ TraceFileReader::open(const std::string &path)
 bool
 TraceFileReader::streamSection(std::size_t index,
                                const EventChunkSink &sink,
-                               std::size_t chunkEvents) const
+                               std::size_t chunkEvents,
+                               TraceReadError *err) const
 {
-    if (index >= sections_.size() || chunkEvents == 0)
+    const auto fail = [&](TraceReadError e) {
+        if (err)
+            *err = e;
         return false;
+    };
+    if (err)
+        *err = TraceReadError::None;
+    if (index >= sections_.size() || chunkEvents == 0)
+        return fail(TraceReadError::Io);
     const TraceSectionInfo &sec = sections_[index];
 
     // A private handle per stream keeps concurrent shards independent.
     FilePtr f(std::fopen(path_.c_str(), "rb"));
     if (!f) {
         warn("cannot reopen trace file %s", path_.c_str());
-        return false;
+        return fail(TraceReadError::Io);
     }
     if (std::fseek(f.get(), static_cast<long>(sec.fileOffset),
                    SEEK_SET) != 0) {
-        return false;
+        return fail(TraceReadError::Io);
     }
 
     std::vector<TraceEvent> chunk(
@@ -103,7 +155,7 @@ TraceFileReader::streamSection(std::size_t index,
                        f.get()) != want) {
             warn("short read in section %zu of %s", index,
                  path_.c_str());
-            return false;
+            return fail(TraceReadError::ShortRead);
         }
         sink(chunk.data(), want);
         remaining -= want;

@@ -31,6 +31,24 @@ struct TraceSectionInfo
     std::uint64_t fileOffset = 0; //!< byte offset of the event array
 };
 
+/**
+ * Why a reader call failed. open() validates every section's extent
+ * against the real file size, so a byte-truncated trace is rejected
+ * up front as Truncated instead of failing with a short read halfway
+ * through an analysis stream.
+ */
+enum class TraceReadError
+{
+    None,      //!< the call succeeded
+    Io,        //!< cannot open/seek the file
+    BadHeader, //!< wrong magic or unsupported version
+    Truncated, //!< headers claim more bytes than the file holds
+    ShortRead, //!< payload vanished between open() and streaming
+};
+
+/** Stable lowercase name for @p err ("none", "io", ...). */
+const char *traceReadErrorName(TraceReadError err);
+
 /** Callback receiving one chunk of events in program order. */
 using EventChunkSink =
     std::function<void(const TraceEvent *events, std::size_t count)>;
@@ -53,9 +71,14 @@ class TraceFileReader
 
     /**
      * Index @p path. Returns false (and leaves the reader empty) on
-     * I/O failure, bad magic, or an unsupported version.
+     * I/O failure, bad magic, an unsupported version, or a file too
+     * short for the sections its headers describe; lastError() then
+     * says which.
      */
     bool open(const std::string &path);
+
+    /** Outcome of the last open() call. */
+    TraceReadError lastError() const { return lastError_; }
 
     const std::string &path() const { return path_; }
 
@@ -74,15 +97,19 @@ class TraceFileReader
      * Stream section @p index through @p sink in program order,
      * @p chunkEvents events at a time. Thread-safe against concurrent
      * streamSection() calls on the same reader. Returns false on I/O
-     * failure (a short read mid-section aborts the stream).
+     * failure, reporting the cause through @p err when given (the
+     * per-call out-param keeps concurrent shards race-free; open()
+     * already bounds every section, so ShortRead here means the file
+     * shrank after indexing).
      */
     bool streamSection(std::size_t index, const EventChunkSink &sink,
-                       std::size_t chunkEvents =
-                           kDefaultChunkEvents) const;
+                       std::size_t chunkEvents = kDefaultChunkEvents,
+                       TraceReadError *err = nullptr) const;
 
   private:
     std::string path_;
     std::vector<TraceSectionInfo> sections_;
+    TraceReadError lastError_ = TraceReadError::None;
 };
 
 } // namespace whisper::trace

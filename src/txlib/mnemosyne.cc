@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
+#include "core/verify_report.hh"
 
 namespace whisper::mne
 {
@@ -13,11 +15,18 @@ using pm::FenceKind;
 std::uint32_t
 foldChecksum(const void *data, std::size_t n)
 {
-    const auto *bytes = static_cast<const std::uint8_t *>(data);
-    std::uint32_t acc = 0x9e3779b9u;
-    for (std::size_t i = 0; i < n; i++)
-        acc = (acc << 5 | acc >> 27) ^ bytes[i];
-    return acc;
+    return crc32(data, n);
+}
+
+std::uint32_t
+redoCrc(const RedoHeader &hdr, const void *payload, std::size_t n)
+{
+    RedoHeader h = hdr;
+    h.checksum = 0;
+    std::uint32_t crc = crc32Update(0, &h, sizeof(h));
+    if (n)
+        crc = crc32Update(crc, payload, n);
+    return crc;
 }
 
 MnemosyneHeap::MnemosyneHeap(pm::PmContext &ctx, Addr base,
@@ -110,15 +119,16 @@ MnemosyneHeap::recover(pm::PmContext &ctx)
                 break; // stale record from the segment's previous use
             }
             if (hdr.kind == RedoKind::Commit) {
-                committed = true;
+                // A torn or corrupted commit record never committed.
+                committed = redoCrc(hdr, nullptr, 0) == hdr.checksum;
                 break;
             }
-            // Validate the payload against the checksum; a torn tail
+            // Validate header + payload against the CRC; a torn tail
             // record means the transaction never committed.
             const Addr payload = cursor + sizeof(RedoHeader);
             if (payload + hdr.size > limit ||
-                foldChecksum(ctx.pool().at<std::uint8_t>(payload),
-                             hdr.size) != hdr.checksum) {
+                redoCrc(hdr, ctx.pool().at<std::uint8_t>(payload),
+                        hdr.size) != hdr.checksum) {
                 break;
             }
             updates.emplace_back(cursor, hdr.size);
@@ -162,6 +172,79 @@ MnemosyneHeap::logsQuiescent(pm::PmContext &ctx, std::string *why) const
         }
     }
     return true;
+}
+
+void
+MnemosyneHeap::scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines,
+                     core::VerifyReport &report)
+{
+    if (lines.empty())
+        return;
+    const Addr cells_end = base_ + kCacheLineSize * maxThreads_;
+    const Addr logs_end = rootOff_;
+    const LineAddr root_line = lineOf(rootOff_);
+
+    std::vector<LineAddr> cell_lost, log_lost, root_lost, rest;
+    // Cells first: a re-nulled cell un-publishes its segment, so log
+    // lines of the same slot are then dead and claimed silently.
+    for (const LineAddr line : lines) {
+        const Addr off = static_cast<Addr>(line) << kCacheLineBits;
+        if (off >= base_ && off < cells_end) {
+            // The zero-filled cell would read as {base=0, seq=0} —
+            // a bogus published segment. Re-null it; the in-flight
+            // transaction (committed or not) is gone.
+            const struct { Addr base; std::uint64_t seq; } none{
+                kNullAddr, 0};
+            ctx.store(off, &none, sizeof(none), pm::DataClass::TxMeta);
+            ctx.persist(off, sizeof(none));
+            cell_lost.push_back(line);
+        }
+    }
+    for (const LineAddr line : lines) {
+        const Addr off = static_cast<Addr>(line) << kCacheLineBits;
+        if (off >= base_ && off < cells_end)
+            continue; // handled above
+        if (off >= cells_end && off < logs_end) {
+            const unsigned slot = static_cast<unsigned>(
+                (off - cells_end) / kLogBytes);
+            struct { Addr base; std::uint64_t seq; } cell{};
+            ctx.load(activeCellOff(slot), &cell, sizeof(cell));
+            if (cell.base != kNullAddr && off >= cell.base &&
+                off < cell.base + segmentBytes()) {
+                // Published segment damaged: the CRC walk in
+                // recover() stops at the zeroed record, so the
+                // transaction behind it (even a committed one whose
+                // marker sits past the hole) is discarded.
+                log_lost.push_back(line);
+            }
+            // Unpublished log content is dead either way: claimed.
+        } else if (line == root_line) {
+            root_lost.push_back(line);
+        } else {
+            rest.push_back(line);
+        }
+    }
+
+    if (!cell_lost.empty()) {
+        report.degrade("mne-active-cell-lost",
+                       std::to_string(cell_lost.size()) +
+                           " active-log cell(s) lost; in-flight "
+                           "transactions discarded",
+                       cell_lost);
+    }
+    if (!log_lost.empty()) {
+        report.degrade("mne-log-record-lost",
+                       std::to_string(log_lost.size()) +
+                           " published redo-log line(s) lost; the "
+                           "owning transaction is discarded",
+                       log_lost);
+    }
+    if (!root_lost.empty()) {
+        report.degrade("mne-root-lost",
+                       "heap root pointer lost to media faults",
+                       root_lost);
+    }
+    lines = std::move(rest);
 }
 
 Addr
@@ -215,8 +298,8 @@ Transaction::appendRedo(RedoKind kind, Addr addr, const void *payload,
     panic_if(logHead_ + sizeof(RedoHeader) + size +
                      sizeof(RedoHeader) > limit,
              "Mnemosyne redo log overflow");
-    RedoHeader hdr{RedoHeader::kMagic, kind, addr, size,
-                   foldChecksum(payload, size), seq_};
+    RedoHeader hdr{RedoHeader::kMagic, kind, addr, size, 0, seq_};
+    hdr.checksum = redoCrc(hdr, payload, size);
     // Log writes bypass the cache (log data is only read on recovery)
     // and each record is an epoch of its own: NTI ... sfence. This is
     // the dominant source of Mnemosyne's 5-50 epochs per transaction.

@@ -33,6 +33,11 @@
 #include "alloc/slab_alloc.hh"
 #include "pm/pm_context.hh"
 
+namespace whisper::core
+{
+class VerifyReport;
+}
+
 namespace whisper::mne
 {
 
@@ -57,7 +62,13 @@ struct RedoHeader
     RedoKind kind;
     Addr addr;               //!< target offset (Update only)
     std::uint32_t size;      //!< payload bytes (Update only)
-    std::uint32_t checksum;  //!< XOR fold of the payload
+    /**
+     * CRC32 over the header (checksum field zeroed) plus the payload.
+     * Covering the header lets recovery distinguish a record that was
+     * never written from one the media tore or corrupted — the fault
+     * model's "never persisted" vs "corrupted" split (DESIGN.md §9).
+     */
+    std::uint32_t checksum;
     std::uint64_t seq;       //!< owning transaction's sequence
 
     static constexpr std::uint32_t kMagic = 0x4D4E4531u; // "MNE1"
@@ -131,6 +142,21 @@ class MnemosyneHeap
      * scanned the slot. Fills @p why on violation.
      */
     bool logsQuiescent(pm::PmContext &ctx, std::string *why) const;
+
+    /**
+     * Media-fault scrub (runs before recover()): poisoned active-log
+     * cells are re-nulled (the in-flight — possibly committed —
+     * transaction is discarded, degrading "mne-active-cell-lost"),
+     * poisoned lines inside a *published* log segment degrade
+     * "mne-log-record-lost" (recovery's CRC walk stops at the zeroed
+     * record, so a later commit marker is unreachable), a poisoned
+     * root line degrades "mne-root-lost", and unpublished log lines
+     * are claimed silently (their content was already dead). Erases
+     * every line handled from @p lines; heap lines are left for the
+     * caller.
+     */
+    void scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines,
+               core::VerifyReport &report);
 
     unsigned maxThreads() const { return maxThreads_; }
 
@@ -232,8 +258,16 @@ class Transaction
     std::vector<Addr> deferredFrees_;
 };
 
-/** XOR fold used by the redo/undo record checksums. */
+/**
+ * Payload checksum shared by the redo/undo/journal records — CRC32
+ * (common/crc32.hh) so torn words and scrubbed regions are detected,
+ * not just reordered bytes.
+ */
 std::uint32_t foldChecksum(const void *data, std::size_t n);
+
+/** CRC32 of @p hdr (checksum field zeroed) extended over the payload. */
+std::uint32_t redoCrc(const RedoHeader &hdr, const void *payload,
+                      std::size_t n);
 
 } // namespace whisper::mne
 

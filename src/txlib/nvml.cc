@@ -3,15 +3,41 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
-#include "txlib/mnemosyne.hh" // foldChecksum
+#include "core/verify_report.hh"
 
 namespace whisper::nvml
 {
 
 using pm::DataClass;
 using pm::FenceKind;
-using mne::foldChecksum;
+
+namespace
+{
+
+/** CRC32 of @p hdr (checksum zeroed) extended over the payload. */
+std::uint32_t
+undoCrc(const UndoHeader &hdr, const void *payload, std::size_t n)
+{
+    UndoHeader h = hdr;
+    h.checksum = 0;
+    std::uint32_t crc = crc32Update(0, &h, sizeof(h));
+    if (n)
+        crc = crc32Update(crc, payload, n);
+    return crc;
+}
+
+/** Terminating sentinel record, CRC-stamped like any other. */
+UndoHeader
+endRecord()
+{
+    UndoHeader end{UndoHeader::kMagic, UndoKind::End, 0, 0, 0};
+    end.checksum = undoCrc(end, nullptr, 0);
+    return end;
+}
+
+} // namespace
 
 NvmlPool::NvmlPool(pm::PmContext &ctx, Addr base, std::size_t size,
                    unsigned max_threads)
@@ -26,7 +52,7 @@ NvmlPool::NvmlPool(pm::PmContext &ctx, Addr base, std::size_t size,
         for (unsigned seg = 0; seg < kLogSegments; seg++) {
             const Addr seg_base =
                 logBase(slot) + seg * segmentBytes();
-            UndoHeader end{UndoHeader::kMagic, UndoKind::End, 0, 0, 0};
+            const UndoHeader end = endRecord();
             ctx.store(seg_base, &end, sizeof(end), DataClass::Log);
             ctx.flush(seg_base, sizeof(end));
         }
@@ -116,10 +142,11 @@ NvmlPool::recover(pm::PmContext &ctx)
             }
             const Addr payload = cursor + sizeof(UndoHeader);
             if (payload + hdr.size > limit ||
-                foldChecksum(ctx.pool().at<std::uint8_t>(payload),
-                             hdr.size) != hdr.checksum) {
-                // Torn tail record: its data range was never modified
-                // (records are fenced before data writes), so skip.
+                undoCrc(hdr, ctx.pool().at<std::uint8_t>(payload),
+                        hdr.size) != hdr.checksum) {
+                // Torn or corrupted tail record: its data range was
+                // never modified (records are fenced before data
+                // writes), so skip.
                 break;
             }
             recs.push_back({hdr.kind, hdr.addr, hdr.size, payload});
@@ -150,7 +177,7 @@ NvmlPool::recover(pm::PmContext &ctx)
         // Clear the logs and descriptor either way.
         for (unsigned seg = 0; seg < kLogSegments; seg++) {
             const Addr seg_base = logBase(slot) + seg * segmentBytes();
-            UndoHeader end{UndoHeader::kMagic, UndoKind::End, 0, 0, 0};
+            const UndoHeader end = endRecord();
             ctx.store(seg_base, &end, sizeof(end), DataClass::Log);
             ctx.flush(seg_base, sizeof(end));
         }
@@ -159,6 +186,86 @@ NvmlPool::recover(pm::PmContext &ctx)
         ctx.flush(stateOff(slot), 8);
         ctx.fence(FenceKind::Durability);
     }
+}
+
+void
+NvmlPool::scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines,
+                core::VerifyReport &report)
+{
+    if (lines.empty())
+        return;
+    const Addr states_end = base_ + kCacheLineSize * maxThreads_;
+    const Addr logs_end = rootOff_;
+    const LineAddr root_line = lineOf(rootOff_);
+    const Addr alloc_log = heapBase_;
+    const Addr alloc_log_end =
+        heapBase_ + alloc::NvmlAllocator::logBytes();
+
+    std::vector<LineAddr> desc_lost, log_lost, root_lost, alloc_lost,
+        rest;
+    // Descriptors first: a slot forced ACTIVE here makes its log
+    // lines (scanned below) count as live damage.
+    for (const LineAddr line : lines) {
+        const Addr off = static_cast<Addr>(line) << kCacheLineBits;
+        if (off >= base_ && off < states_end) {
+            // Zero-filled reads as NONE, which would silently skip a
+            // pending rollback. Force the conservative path: ACTIVE,
+            // so recover() rolls back whatever valid records remain.
+            const auto active =
+                static_cast<std::uint64_t>(TxState::Active);
+            ctx.store(off, &active, 8, DataClass::TxMeta);
+            ctx.persist(off, 8);
+            desc_lost.push_back(line);
+        }
+    }
+    for (const LineAddr line : lines) {
+        const Addr off = static_cast<Addr>(line) << kCacheLineBits;
+        if (off >= base_ && off < states_end)
+            continue; // handled above
+        if (off >= states_end && off < logs_end) {
+            const unsigned slot = static_cast<unsigned>(
+                (off - states_end) / kLogBytes);
+            std::uint64_t st = 0;
+            ctx.load(stateOff(slot), &st, 8);
+            if (st == static_cast<std::uint64_t>(TxState::Active))
+                log_lost.push_back(line);
+            // Retired/cleared log content is dead either way.
+        } else if (line == root_line) {
+            root_lost.push_back(line);
+        } else if (off >= alloc_log && off < alloc_log_end) {
+            alloc_lost.push_back(line);
+        } else {
+            rest.push_back(line);
+        }
+    }
+
+    if (!desc_lost.empty()) {
+        report.degrade("nvml-descriptor-lost",
+                       std::to_string(desc_lost.size()) +
+                           " tx descriptor(s) lost; forced ACTIVE for "
+                           "conservative rollback",
+                       desc_lost);
+    }
+    if (!log_lost.empty()) {
+        report.degrade("nvml-undo-record-lost",
+                       std::to_string(log_lost.size()) +
+                           " undo-log line(s) of an ACTIVE slot lost; "
+                           "rollback stops at the hole",
+                       log_lost);
+    }
+    if (!root_lost.empty()) {
+        report.degrade("nvml-root-lost",
+                       "pool root slot lost to media faults",
+                       root_lost);
+    }
+    if (!alloc_lost.empty()) {
+        report.degrade("nvml-alloc-log-lost",
+                       std::to_string(alloc_lost.size()) +
+                           " allocator redo-log line(s) lost; pending "
+                           "bitmap mutations dropped",
+                       alloc_lost);
+    }
+    lines = std::move(rest);
 }
 
 bool
@@ -229,8 +336,8 @@ TxContext::appendUndo(UndoKind kind, Addr addr, const void *payload,
     const Addr limit = logStart_ + NvmlPool::segmentBytes();
     panic_if(logHead_ + 2 * sizeof(UndoHeader) + size > limit,
              "NVML undo log overflow");
-    UndoHeader hdr{UndoHeader::kMagic, kind, addr, size,
-                   foldChecksum(payload, size)};
+    UndoHeader hdr{UndoHeader::kMagic, kind, addr, size, 0};
+    hdr.checksum = undoCrc(hdr, payload, size);
     // Undo records use cacheable stores + flush (NVML executes "all
     // log and data updates" with cacheable stores), and must be
     // durable before the data range may change: fence now. These
@@ -357,7 +464,7 @@ TxContext::clearLog()
     while (cursor < logHead_) {
         UndoHeader hdr{};
         ctx_.load(cursor, &hdr, sizeof(hdr));
-        UndoHeader end{UndoHeader::kMagic, UndoKind::End, 0, 0, 0};
+        const UndoHeader end = endRecord();
         ctx_.store(cursor, &end, sizeof(end), DataClass::Log);
         ctx_.flush(cursor, sizeof(end));
         ctx_.fence(FenceKind::Ordering);

@@ -35,6 +35,11 @@
 #include "alloc/nvml_alloc.hh"
 #include "pm/pm_context.hh"
 
+namespace whisper::core
+{
+class VerifyReport;
+}
+
 namespace whisper::nvml
 {
 
@@ -111,6 +116,21 @@ class NvmlPool
      * complete it. Fills @p why on violation.
      */
     bool logsQuiescent(pm::PmContext &ctx, std::string *why) const;
+
+    /**
+     * Media-fault scrub (runs before recover()): a poisoned
+     * descriptor is rewritten ACTIVE — the zero-filled line would
+     * read NONE and silently skip a pending rollback, so the scrub
+     * forces the conservative path and degrades
+     * "nvml-descriptor-lost". Poisoned lines in the log of an ACTIVE
+     * slot degrade "nvml-undo-record-lost" (the CRC walk stops at the
+     * hole; records past it are not rolled back); other log lines are
+     * claimed silently. A poisoned root line degrades
+     * "nvml-root-lost"; poisoned allocator-log lines degrade
+     * "nvml-alloc-log-lost". Erases every line handled from @p lines.
+     */
+    void scrub(pm::PmContext &ctx, std::vector<LineAddr> &lines,
+               core::VerifyReport &report);
 
   private:
     friend class TxContext;

@@ -12,6 +12,7 @@
 
 #include "core/harness.hh"
 #include "core/hops.hh"
+#include "core/verify_report.hh"
 
 namespace whisper::core
 {
@@ -197,6 +198,75 @@ TEST(AccessLayerNames, AllDistinct)
                  "Library/Mnemosyne");
     EXPECT_STREQ(accessLayerName(AccessLayer::Filesystem), "FS/PMFS");
     EXPECT_STREQ(accessLayerName(AccessLayer::LibMod), "Library/MOD");
+}
+
+TEST(VerifyReport, JsonRoundTripPreservesAllSeverities)
+{
+    VerifyReport rep("echo", "native");
+    rep.fail("chain-broken", "bucket 17 cycle",
+             {LineAddr{64}, LineAddr{128}});
+    rep.degrade("echo-log-lost", "2 poisoned log lines dropped",
+                {LineAddr{4096}});
+    rep.degrade("pm-line-lost", "");
+    ASSERT_FALSE(rep.ok());
+    ASSERT_TRUE(rep.degraded());
+
+    VerifyReport back;
+    ASSERT_TRUE(fromJson(toJson(rep), back));
+    EXPECT_EQ(back.app(), "echo");
+    EXPECT_EQ(back.layer(), "native");
+    EXPECT_EQ(back.ok(), rep.ok());
+    EXPECT_EQ(back.degraded(), rep.degraded());
+    ASSERT_EQ(back.violations().size(), rep.violations().size());
+    for (std::size_t i = 0; i < rep.violations().size(); i++) {
+        const VerifyViolation &a = rep.violations()[i];
+        const VerifyViolation &b = back.violations()[i];
+        EXPECT_EQ(b.invariant, a.invariant);
+        EXPECT_EQ(b.detail, a.detail);
+        EXPECT_EQ(b.severity, a.severity);
+        EXPECT_EQ(b.lines, a.lines);
+    }
+    // A second trip through the encoder is bit-identical: tooling can
+    // canonicalize a --json stream by re-emitting it.
+    EXPECT_EQ(toJson(back), toJson(rep));
+}
+
+TEST(VerifyReport, JsonRoundTripDegradedOnlyStaysOk)
+{
+    VerifyReport rep("nstore", "native");
+    rep.degrade("nstore-undo-record-lost",
+                "active undo segment poisoned", {LineAddr{192}});
+    ASSERT_TRUE(rep.ok());
+
+    VerifyReport back;
+    ASSERT_TRUE(fromJson(toJson(rep), back));
+    EXPECT_TRUE(back.ok());
+    EXPECT_TRUE(back.degraded());
+    ASSERT_EQ(back.violations().size(), 1u);
+    EXPECT_EQ(back.violations()[0].severity, Severity::Degraded);
+    EXPECT_EQ(back.violations()[0].lines,
+              (std::vector<LineAddr>{LineAddr{192}}));
+}
+
+TEST(VerifyReport, JsonEscapesAndRejectsMalformedInput)
+{
+    VerifyReport rep("q\"app", "l\\ayer");
+    rep.fail("inv", "tab\there \"quoted\" back\\slash");
+    VerifyReport back;
+    ASSERT_TRUE(fromJson(toJson(rep), back));
+    EXPECT_EQ(back.app(), "q\"app");
+    EXPECT_EQ(back.layer(), "l\\ayer");
+    ASSERT_EQ(back.violations().size(), 1u);
+    EXPECT_EQ(back.violations()[0].detail,
+              "tab\there \"quoted\" back\\slash");
+
+    for (const char *bad :
+         {"", "not json", "{\"app\":\"x\"", "[1,2,3]",
+          "{\"app\":1,\"layer\":\"l\",\"ok\":true,"
+          "\"degraded\":false,\"violations\":[]}"}) {
+        VerifyReport out;
+        EXPECT_FALSE(fromJson(bad, out)) << bad;
+    }
 }
 
 } // namespace

@@ -219,5 +219,138 @@ TEST(CrashFuzz, FindsAndShrinksDeliberateViolation)
     EXPECT_EQ(replay.why, rep.why);
 }
 
+TEST(CrashFuzz, ShrinkIsDeterministic)
+{
+    // Same seed + same violation => byte-identical reproducer. The
+    // ddmin pass and the crash-point probe draw only on the case's
+    // seeds, so a reproducer pasted into a bug report stays valid.
+    fuzz::registerFaultyApp();
+    fuzz::FuzzConfig config;
+    config.opsPerThread = 8;
+    config.poolBytes = 1 << 20;
+
+    const std::uint64_t total = fuzz::profilePmOps("faulty", config);
+    ASSERT_GT(total, 0u);
+    fuzz::FuzzCase failing;
+    fuzz::CaseOutcome outcome;
+    bool found = false;
+    for (std::uint64_t id = 0; id < 64 && !found; id++) {
+        const fuzz::FuzzCase c =
+            fuzz::deriveCase("faulty", id, total, config);
+        const fuzz::CaseOutcome out = fuzz::runCase(c, config);
+        if (!out.ok) {
+            failing = c;
+            outcome = out;
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found) << "faulty app never violated in 64 cases";
+
+    const fuzz::Reproducer a =
+        fuzz::shrink(failing, outcome, config);
+    const fuzz::Reproducer b =
+        fuzz::shrink(failing, outcome, config);
+    EXPECT_EQ(a.c.crashAt, b.c.crashAt);
+    EXPECT_EQ(a.survivors, b.survivors);
+    EXPECT_EQ(a.why, b.why);
+    EXPECT_EQ(a.command, b.command);
+    // And the shrunk case still reproduces its own `why`.
+    const fuzz::CaseOutcome replay =
+        fuzz::runCase(a.c, config, &a.survivors);
+    EXPECT_FALSE(replay.ok);
+    EXPECT_EQ(replay.why, a.why);
+}
+
+TEST(CrashFuzz, FaultCaseReplayIsBitIdentical)
+{
+    // The fault dimension folds into the same determinism contract:
+    // a case that tore and poisoned lines replays to the same digest
+    // and post-recovery image hash, and its replay command pins the
+    // fault plan.
+    fuzz::FuzzConfig config = tinyConfig();
+    config.faults = true;
+    const std::uint64_t total = fuzz::profilePmOps("echo", config);
+    ASSERT_GT(total, 0u);
+
+    bool found = false;
+    for (std::uint64_t id = 0; id < 64 && !found; id++) {
+        const fuzz::FuzzCase c =
+            fuzz::deriveCase("echo", id, total, config);
+        if (c.fault.none())
+            continue;
+        found = true;
+        const fuzz::CaseOutcome first = fuzz::runCase(c, config);
+        const fuzz::CaseOutcome second = fuzz::runCase(c, config);
+        EXPECT_EQ(first.digest, second.digest);
+        EXPECT_EQ(first.imageHash, second.imageHash);
+        EXPECT_EQ(first.degraded, second.degraded);
+        EXPECT_EQ(first.linesTorn, second.linesTorn);
+        EXPECT_EQ(first.linesPoisoned, second.linesPoisoned);
+        EXPECT_EQ(first.survivors, second.survivors);
+        EXPECT_NE(fuzz::replayCommand(c, first.survivors, config)
+                      .find("--fault-plan"),
+                  std::string::npos);
+    }
+    ASSERT_TRUE(found) << "no derived case carried a fault plan";
+}
+
+TEST(CrashFuzz, FaultSweepEachLayerScrubsOrDegrades)
+{
+    // Bounded fault smoke sweep, one application per access layer:
+    // media loss must end scrubbed or named Degraded — never a
+    // violation, never a recovery-path panic.
+    fuzz::SweepOptions options;
+    options.apps = {"echo", "hashmap", "vacation", "nfs",
+                    "mod-hashmap"};
+    options.cases = 48;
+    options.config = tinyConfig();
+    options.config.faults = true;
+    options.maxReproducers = 1;
+
+    std::uint64_t degraded_total = 0;
+    for (const auto &report : fuzz::sweep(options)) {
+        EXPECT_EQ(report.violations, 0u)
+            << report.app << ": "
+            << (report.reproducers.empty()
+                    ? "(no reproducer)"
+                    : report.reproducers[0].why + " => " +
+                          report.reproducers[0].command);
+        EXPECT_EQ(report.casesRun, options.cases);
+        degraded_total += report.casesDegraded;
+    }
+    // The fault grids guarantee poisoned cases in every sweep; at
+    // least some must have surfaced as named, tolerated degradation.
+    EXPECT_GT(degraded_total, 0u);
+}
+
+TEST(CrashFuzz, SweepKeepsPerCaseReportsForJsonStream)
+{
+    // --json consumes SweepOptions::keepReports: one VerifyReport per
+    // case in id order, each of which must round-trip through the
+    // line-JSON codec (the CLI emits exactly toJson(report) lines).
+    fuzz::SweepOptions options;
+    options.apps = {"echo"};
+    options.cases = 24;
+    options.config = tinyConfig();
+    options.config.faults = true;
+    options.keepReports = true;
+    options.maxReproducers = 1;
+
+    const auto reports = fuzz::sweep(options);
+    ASSERT_EQ(reports.size(), 1u);
+    const auto &report = reports[0];
+    ASSERT_EQ(report.caseReports.size(), options.cases);
+    std::uint64_t degraded_seen = 0;
+    for (const auto &rep : report.caseReports) {
+        core::VerifyReport back;
+        const std::string line = core::toJson(rep);
+        ASSERT_TRUE(core::fromJson(line, back)) << line;
+        EXPECT_EQ(core::toJson(back), line);
+        if (back.degraded())
+            degraded_seen++;
+    }
+    EXPECT_EQ(degraded_seen, report.casesDegraded);
+}
+
 } // namespace
 } // namespace whisper

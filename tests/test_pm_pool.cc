@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/logical_clock.hh"
 #include "pm/pm_context.hh"
 #include "pm/pm_pool.hh"
@@ -281,6 +283,146 @@ TEST(PmPool, BoundsViolationPanics)
 {
     pm::PmPool pool(4096);
     EXPECT_DEATH(pool.at<std::uint64_t>(4095), "outside pool");
+}
+
+TEST(PmPool, PoisonedLineRaisesMediaErrorUntilScrubbed)
+{
+    PoolWorld w;
+    const std::uint64_t v = 9;
+    w.ctx.store(256, &v, 8);
+    w.ctx.flush(256, 8);
+    w.ctx.fence();
+
+    w.pool.poisonLine(lineOf(256));
+    EXPECT_TRUE(w.pool.linePoisoned(lineOf(256)));
+    std::uint64_t out = 0;
+    EXPECT_THROW(w.ctx.load(256, &out, 8), pm::PmMediaError);
+    EXPECT_GE(w.pool.stats().mediaErrors.load(), 1u);
+
+    w.pool.scrubLine(lineOf(256));
+    EXPECT_FALSE(w.pool.linePoisoned(lineOf(256)));
+    EXPECT_GE(w.pool.stats().linesScrubbed.load(), 1u);
+    // A scrubbed line reads zero from both images: content is gone.
+    out = ~std::uint64_t(0);
+    w.ctx.load(256, &out, 8);
+    EXPECT_EQ(out, 0u);
+    EXPECT_EQ(*w.pool.durableAt<std::uint64_t>(256), 0u);
+}
+
+TEST(PmPool, StoreReprogramsPoisonedLine)
+{
+    PoolWorld w;
+    w.pool.poisonLine(lineOf(512));
+    const std::uint64_t v = 0xABCD;
+    w.ctx.store(512, &v, 8);
+    EXPECT_FALSE(w.pool.linePoisoned(lineOf(512)));
+    EXPECT_GE(w.pool.stats().poisonCleared.load(), 1u);
+    std::uint64_t out = 0;
+    w.ctx.load(512, &out, 8); // no throw: the line was re-programmed
+    EXPECT_EQ(out, v);
+}
+
+TEST(PmPool, CrashWithFaultsTearsAtWordGranularity)
+{
+    PoolWorld w;
+    std::uint64_t words[8];
+    for (std::uint64_t i = 0; i < 8; i++)
+        words[i] = 100 + i;
+    w.ctx.store(0, words, sizeof(words));
+
+    // Persist only words 0, 2 and 7 of the surviving line.
+    pm::FaultResolution faults;
+    faults.torn.push_back({0, 0b10000101});
+    w.pool.crashWithFaults({0}, faults);
+
+    for (std::uint64_t i = 0; i < 8; i++) {
+        const std::uint64_t expect =
+            (i == 0 || i == 2 || i == 7) ? 100 + i : 0;
+        EXPECT_EQ(*w.pool.at<std::uint64_t>(i * 8), expect) << i;
+    }
+    EXPECT_EQ(w.pool.stats().linesTorn.load(), 1u);
+}
+
+TEST(PmPool, CrashWithFaultsPoisonsLinesOutright)
+{
+    PoolWorld w;
+    const std::uint64_t v = 41;
+    w.ctx.store(64, &v, 8);
+
+    pm::FaultResolution faults;
+    faults.poisoned.push_back(lineOf(64));
+    w.pool.crashWithFaults({lineOf(64)}, faults);
+
+    EXPECT_TRUE(w.pool.linePoisoned(lineOf(64)));
+    EXPECT_EQ(w.pool.poisonedLines(),
+              std::vector<LineAddr>{lineOf(64)});
+    std::uint64_t out = 0;
+    EXPECT_THROW(w.ctx.load(64, &out, 8), pm::PmMediaError);
+    EXPECT_EQ(w.pool.stats().linesPoisoned.load(), 1u);
+}
+
+TEST(PmPool, ResolveFaultsIsDeterministicAndBounded)
+{
+    PoolWorld w;
+    std::vector<LineAddr> survivors;
+    for (Addr off = 0; off < 64 * 64; off += 64) {
+        const std::uint64_t v = off + 1;
+        w.ctx.store(off, &v, 8);
+        if ((off / 64) % 2 == 0)
+            survivors.push_back(lineOf(off));
+    }
+    pm::FaultPlan plan;
+    plan.seed = 0x5eed;
+    plan.poisonCount = 3;
+    plan.tearProb = 0.5;
+
+    const pm::FaultResolution a = w.pool.resolveFaults(plan, survivors);
+    const pm::FaultResolution b = w.pool.resolveFaults(plan, survivors);
+    ASSERT_EQ(a.poisoned.size(), b.poisoned.size());
+    EXPECT_EQ(a.poisoned, b.poisoned);
+    ASSERT_EQ(a.torn.size(), b.torn.size());
+    for (std::size_t i = 0; i < a.torn.size(); i++) {
+        EXPECT_EQ(a.torn[i].line, b.torn[i].line);
+        EXPECT_EQ(a.torn[i].mask, b.torn[i].mask);
+    }
+
+    // Bounds: at most poisonCount poisoned lines, all from the dirty
+    // set; torn lines are survivors not also poisoned, with masks
+    // that neither persist nor drop the whole line.
+    EXPECT_LE(a.poisoned.size(), plan.poisonCount);
+    for (const pm::TornLine &t : a.torn) {
+        EXPECT_NE(t.mask, 0u);
+        EXPECT_NE(t.mask, 0xFFu);
+        EXPECT_TRUE(std::find(survivors.begin(), survivors.end(),
+                              t.line) != survivors.end());
+        EXPECT_TRUE(std::find(a.poisoned.begin(), a.poisoned.end(),
+                              t.line) == a.poisoned.end());
+    }
+    // A different seed resolves differently (overwhelmingly likely
+    // with 32 survivors at 50% tear).
+    plan.seed = 0x5eee;
+    const pm::FaultResolution c = w.pool.resolveFaults(plan, survivors);
+    EXPECT_TRUE(c.poisoned != a.poisoned || c.torn.size() !=
+                a.torn.size());
+}
+
+TEST(PmPool, TransientFaultsRetryInvisibly)
+{
+    PoolWorld w;
+    const std::uint64_t v = 77;
+    w.ctx.store(128, &v, 8);
+    pm::FaultPlan plan;
+    plan.seed = 1;
+    plan.transientEvery = 3;
+    w.pool.setFaultPlan(plan);
+
+    std::uint64_t out = 0;
+    for (int i = 0; i < 12; i++) {
+        w.ctx.load(128, &out, 8); // never throws: retries succeed
+        EXPECT_EQ(out, v);
+    }
+    EXPECT_GE(w.pool.stats().transientFaults.load(), 3u);
+    EXPECT_EQ(w.pool.stats().mediaErrors.load(), 0u);
 }
 
 } // namespace

@@ -219,6 +219,7 @@ TEST(TraceReader, RejectsGarbageAndMissing)
 {
     TraceFileReader reader;
     EXPECT_FALSE(reader.open("/tmp/definitely_missing_whisper"));
+    EXPECT_EQ(reader.lastError(), TraceReadError::Io);
 
     const std::string path = "/tmp/whisper_reader_garbage.bin";
     std::FILE *f = std::fopen(path.c_str(), "wb");
@@ -226,6 +227,88 @@ TEST(TraceReader, RejectsGarbageAndMissing)
     std::fclose(f);
     EXPECT_FALSE(reader.open(path));
     EXPECT_EQ(reader.threadCount(), 0u);
+    EXPECT_EQ(reader.lastError(), TraceReadError::Truncated);
+    std::remove(path.c_str());
+}
+
+TEST(TraceReader, RejectsByteTruncatedTrace)
+{
+    TraceSet set;
+    TraceBuffer *b = set.createBuffer(0);
+    for (Tick t = 1; t <= 50; t++)
+        b->push(ev(t, EventKind::PmStore, t * 8, 8));
+
+    const std::string path = "/tmp/whisper_reader_truncated.bin";
+    ASSERT_TRUE(writeTraceFile(path, set));
+
+    // Chop bytes off the last event: the headers now promise more
+    // payload than the file holds, and open() must reject the file
+    // up front rather than hand a stream that dies mid-analysis.
+    std::vector<char> bytes;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        int c = 0;
+        while ((c = std::fgetc(f)) != EOF)
+            bytes.push_back(static_cast<char>(c));
+        std::fclose(f);
+    }
+    ASSERT_GT(bytes.size(), 17u);
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fwrite(bytes.data(), 1, bytes.size() - 17, f);
+        std::fclose(f);
+    }
+
+    TraceFileReader reader;
+    EXPECT_FALSE(reader.open(path));
+    EXPECT_EQ(reader.lastError(), TraceReadError::Truncated);
+    EXPECT_EQ(reader.threadCount(), 0u);
+    EXPECT_STREQ(traceReadErrorName(reader.lastError()), "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(TraceReader, ReportsShortReadWhenFileShrinksAfterOpen)
+{
+    TraceSet set;
+    TraceBuffer *b = set.createBuffer(0);
+    for (Tick t = 1; t <= 50; t++)
+        b->push(ev(t, EventKind::PmStore, t * 8, 8));
+
+    const std::string path = "/tmp/whisper_reader_shrunk.bin";
+    ASSERT_TRUE(writeTraceFile(path, set));
+
+    TraceFileReader reader;
+    ASSERT_TRUE(reader.open(path));
+    EXPECT_EQ(reader.lastError(), TraceReadError::None);
+
+    // Shrink the file after indexing: streaming must fail with a
+    // structured ShortRead, not abort or report success.
+    std::vector<char> bytes;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        int c = 0;
+        while ((c = std::fgetc(f)) != EOF)
+            bytes.push_back(static_cast<char>(c));
+        std::fclose(f);
+    }
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fwrite(bytes.data(), 1, bytes.size() / 2, f);
+        std::fclose(f);
+    }
+
+    TraceReadError err = TraceReadError::None;
+    std::size_t seen = 0;
+    EXPECT_FALSE(reader.streamSection(
+        0,
+        [&](const TraceEvent *, std::size_t count) { seen += count; },
+        TraceFileReader::kDefaultChunkEvents, &err));
+    EXPECT_EQ(err, TraceReadError::ShortRead);
+    EXPECT_LT(seen, 50u);
     std::remove(path.c_str());
 }
 

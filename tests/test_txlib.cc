@@ -129,12 +129,13 @@ TEST(Mnemosyne, CrashDuringApplyReplays)
     w.ctx.flush(fresh.activeCellOff(0), sizeof(cell));
     const std::uint64_t newv = 77;
     mne::RedoHeader upd{mne::RedoHeader::kMagic, mne::RedoKind::Update,
-                        target, 8, mne::foldChecksum(&newv, 8), seq};
+                        target, 8, 0, seq};
+    upd.checksum = mne::redoCrc(upd, &newv, 8);
     w.ctx.ntStore(log, &upd, sizeof(upd), pm::DataClass::Log);
     w.ctx.ntStore(log + sizeof(upd), &newv, 8, pm::DataClass::Log);
     mne::RedoHeader commit{mne::RedoHeader::kMagic,
-                           mne::RedoKind::Commit, 0, 0,
-                           mne::foldChecksum(nullptr, 0), seq};
+                           mne::RedoKind::Commit, 0, 0, 0, seq};
+    commit.checksum = mne::redoCrc(commit, nullptr, 0);
     // Records are cache-line aligned: the commit record starts on
     // the next line boundary after the update record.
     w.ctx.ntStore(lineBase(log + sizeof(upd) + 8 + kCacheLineSize - 1),
