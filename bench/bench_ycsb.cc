@@ -1,0 +1,91 @@
+/**
+ * @file
+ * YCSB mixes across the five PM access layers.
+ *
+ * Sweeps one representative application per access layer — ycsb
+ * (native), hashmap (NVML), memcached (Mnemosyne), nfs (PMFS) and
+ * mod-hashmap (MOD) — through mixes A (update-heavy), B (read-heavy)
+ * and F (read-modify-write), reporting throughput and tail latency
+ * from the simulated logical clock. The paper's §5 story retold as
+ * service levels: the logging layers pay their write amplification as
+ * p99 latency, the MOD layer trades median for tail, and the
+ * filesystem's journal batching shows up as the widest p50/p999
+ * spread.
+ *
+ * All numbers are deterministic (fixed seed, partitioned clients,
+ * mergeable histograms) — two runs of this binary print identical
+ * tables. Scale op counts with WHISPER_OPS (default 2000 per
+ * thread). Exit status enforces only sanity: every cell must verify
+ * its post-run invariants.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "workload/workload.hh"
+
+using namespace whisper;
+
+namespace
+{
+
+std::uint64_t
+opsPerThread()
+{
+    if (const char *env = std::getenv("WHISPER_OPS")) {
+        const double scale = std::max(0.01, std::atof(env));
+        return static_cast<std::uint64_t>(2000 * scale);
+    }
+    return 2000;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::string> apps = {
+        "ycsb", "hashmap", "memcached", "nfs", "mod-hashmap"};
+    const std::vector<char> mixes = {'A', 'B', 'F'};
+
+    TextTable table("YCSB mixes across access layers "
+                    "(zipfian, 4 threads, ticks = ns)");
+    table.header({"layer", "app", "mix", "ops", "kops/s", "p50",
+                  "p99", "p999", "verified"});
+
+    int failures = 0;
+    for (const std::string &app : apps) {
+        for (const char mix : mixes) {
+            workload::WorkloadOptions opts;
+            opts.app = app;
+            opts.mix = workload::MixSpec::ycsb(mix);
+            opts.dist = workload::KeyDist::Zipfian;
+            opts.keys = 20000;
+            opts.threads = 4;
+            opts.opsPerThread = opsPerThread();
+            const workload::WorkloadResult r =
+                workload::runWorkload(opts);
+            if (!r.verified) {
+                std::fprintf(stderr, "%s mix %c failed:\n%s\n",
+                             app.c_str(), mix,
+                             r.check.describe().c_str());
+                failures++;
+            }
+            table.row({r.layerName, app, std::string(1, mix),
+                       TextTable::num(r.ops.total()),
+                       TextTable::fixed(
+                           r.throughputOpsPerSec() / 1000.0, 1),
+                       TextTable::num(r.latency.quantile(0.50)),
+                       TextTable::num(r.latency.quantile(0.99)),
+                       TextTable::num(r.latency.quantile(0.999)),
+                       r.verified ? "yes" : "NO"});
+        }
+    }
+    table.print();
+    std::printf("all cells verified -- %s\n",
+                failures ? "FAIL" : "PASS");
+    return failures ? 1 : 0;
+}

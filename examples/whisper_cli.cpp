@@ -11,9 +11,11 @@
  *   whisper_cli analyze <trace.bin> [--jobs N]
  *   whisper_cli simulate <trace.bin> [model...]
  *   whisper_cli apps [--ops N] [--threads N]
+ *   whisper_cli workload --app <name> [--mix A..F] [--dist d] ...
  *   whisper_cli crashfuzz [--cases N] [--jobs N] [--apps a,b] ...
  *   whisper_cli crashfuzz --replay <app>:<caseId> [--at K] ...
  *   whisper_cli list
+ *   whisper_cli help
  *
  * Models: x86-nvm x86-pwq hops-nvm hops-pwq dpo ideal (default: all).
  * All subcommands are documented in docs/CLI.md.
@@ -30,14 +32,20 @@
 #include "fuzz/crash_fuzz.hh"
 #include "sim/simulator.hh"
 #include "trace/trace_io.hh"
+#include "workload/workload.hh"
 
 using namespace whisper;
 
 namespace
 {
 
-int
-usage()
+/**
+ * The usage text, shared by `help` (stdout, exit 0) and error paths
+ * (stderr, exit 2). scripts/check.sh diffs this text against
+ * docs/CLI.md, so keep the two in sync.
+ */
+void
+printUsage(std::FILE *to)
 {
     std::fputs(
         "usage:\n"
@@ -45,6 +53,10 @@ usage()
         "  whisper_cli analyze <trace.bin> [--jobs N]\n"
         "  whisper_cli simulate <trace.bin> [model...]\n"
         "  whisper_cli apps [--ops N] [--threads N]\n"
+        "  whisper_cli workload --app <name> [--mix A..F|r:u:i:m:s] "
+        "[--dist uniform|zipfian|latest] [--keys N] [--threads N] "
+        "[--ops N] [--seed S] [--pool-mb M] [--theta T] "
+        "[--trace <out.bin>] [--json]\n"
         "  whisper_cli crashfuzz [--cases N] [--jobs N] "
         "[--apps a,b] [--ops N] [--seed S] [--pool-mb M] "
         "[--threads N] [--no-shrink] [--faults] [--json]\n"
@@ -53,8 +65,15 @@ usage()
         "[--threads N] [--schedule S] "
         "[--fault-plan seed:poison:tear%:transient]\n"
         "  whisper_cli list\n"
+        "  whisper_cli help\n"
         "models: x86-nvm x86-pwq hops-nvm hops-pwq dpo ideal\n",
-        stderr);
+        to);
+}
+
+int
+usage()
+{
+    printUsage(stderr);
     return 2;
 }
 
@@ -290,6 +309,144 @@ parseU64(const char *s, std::uint64_t &out)
     char *end = nullptr;
     out = std::strtoull(s, &end, 0);
     return end != s && *end == '\0';
+}
+
+/**
+ * Run one generated YCSB-style workload and print throughput plus the
+ * latency percentiles (simulated logical-clock ticks, 1 tick = 1 ns).
+ * `--json` emits the docs/WORKLOADS.md JSON object instead; `--trace`
+ * additionally writes the run's trace for `analyze` / `simulate`.
+ */
+int
+cmdWorkload(int argc, char **argv)
+{
+    workload::WorkloadOptions opts;
+    bool json = false;
+    const char *trace_path = nullptr;
+
+    for (int i = 2; i < argc; i++) {
+        const char *arg = argv[i];
+        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
+        std::uint64_t n = 0;
+        if (std::strcmp(arg, "--json") == 0) {
+            json = true;
+        } else if (!val) {
+            return usage();
+        } else if (std::strcmp(arg, "--app") == 0) {
+            opts.app = val;
+            i++;
+        } else if (std::strcmp(arg, "--mix") == 0) {
+            if (!workload::MixSpec::parse(val, opts.mix)) {
+                std::fprintf(stderr,
+                             "bad --mix '%s' (A..F or r:u:i:m:s)\n",
+                             val);
+                return 2;
+            }
+            i++;
+        } else if (std::strcmp(arg, "--dist") == 0) {
+            if (!workload::parseKeyDist(val, opts.dist)) {
+                std::fprintf(
+                    stderr,
+                    "bad --dist '%s' (uniform|zipfian|latest)\n",
+                    val);
+                return 2;
+            }
+            i++;
+        } else if (std::strcmp(arg, "--keys") == 0 &&
+                   parseU64(val, n) && n >= 1) {
+            opts.keys = n;
+            i++;
+        } else if (std::strcmp(arg, "--threads") == 0 &&
+                   parseU64(val, n) && n >= 1) {
+            opts.threads = static_cast<unsigned>(n);
+            i++;
+        } else if (std::strcmp(arg, "--ops") == 0 &&
+                   parseU64(val, n)) {
+            opts.opsPerThread = n;
+            i++;
+        } else if (std::strcmp(arg, "--seed") == 0 &&
+                   parseU64(val, n)) {
+            opts.seed = n;
+            i++;
+        } else if (std::strcmp(arg, "--pool-mb") == 0 &&
+                   parseU64(val, n) && n >= 1) {
+            opts.poolBytes = static_cast<std::size_t>(n) << 20;
+            i++;
+        } else if (std::strcmp(arg, "--theta") == 0) {
+            char *end = nullptr;
+            opts.zipfTheta = std::strtod(val, &end);
+            if (end == val || *end != '\0' || opts.zipfTheta <= 0.0 ||
+                opts.zipfTheta >= 1.0) {
+                std::fprintf(stderr,
+                             "bad --theta '%s' (need 0 < t < 1)\n",
+                             val);
+                return 2;
+            }
+            i++;
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            trace_path = val;
+            i++;
+        } else {
+            return usage();
+        }
+    }
+    if (opts.app.empty())
+        return usage();
+
+    const workload::WorkloadResult result =
+        workload::runWorkload(opts);
+
+    if (trace_path &&
+        !trace::writeTraceFile(trace_path,
+                               result.runtime->traces())) {
+        std::fputs("trace write failed\n", stderr);
+        return 1;
+    }
+
+    if (json) {
+        std::printf("%s\n", result.json().c_str());
+    } else {
+        char digest[24];
+        std::snprintf(digest, sizeof(digest), "%016llx",
+                      (unsigned long long)result.digest());
+        TextTable table("workload " + opts.app + " mix " +
+                        opts.mix.name + " / " +
+                        workload::keyDistName(opts.dist));
+        table.header({"metric", "value"});
+        table.row({"layer", result.layerName});
+        table.row({"threads", TextTable::num(opts.threads)});
+        table.row({"keys", TextTable::num(opts.keys)});
+        table.row({"ops", TextTable::num(result.ops.total())});
+        table.row({"throughput (ops/s)",
+                   TextTable::fixed(result.throughputOpsPerSec(), 0)});
+        table.row({"p50 (ns)",
+                   TextTable::num(result.latency.quantile(0.50))});
+        table.row({"p90 (ns)",
+                   TextTable::num(result.latency.quantile(0.90))});
+        table.row({"p99 (ns)",
+                   TextTable::num(result.latency.quantile(0.99))});
+        table.row({"p999 (ns)",
+                   TextTable::num(result.latency.quantile(0.999))});
+        table.row({"min (ns)",
+                   TextTable::num(result.latency.minValue())});
+        table.row({"max (ns)",
+                   TextTable::num(result.latency.maxValue())});
+        table.row({"mean (ns)",
+                   TextTable::fixed(result.latency.mean(), 1)});
+        table.row({"digest", digest});
+        table.row({"verified", result.verified ? "yes" : "NO"});
+        table.print();
+        if (trace_path)
+            std::printf("wrote %zu events to %s\n",
+                        result.runtime->traces().totalEvents(),
+                        trace_path);
+    }
+    if (!result.verified) {
+        std::fprintf(stderr, "verification failed:\n%s\n",
+                     result.check.describe().c_str());
+        return 1;
+    }
+    return 0;
 }
 
 int
@@ -538,7 +695,14 @@ main(int argc, char **argv)
         return cmdSimulate(argc, argv);
     if (std::strcmp(argv[1], "apps") == 0)
         return cmdApps(argc, argv);
+    if (std::strcmp(argv[1], "workload") == 0)
+        return cmdWorkload(argc, argv);
     if (std::strcmp(argv[1], "crashfuzz") == 0)
         return cmdCrashfuzz(argc, argv);
+    if (std::strcmp(argv[1], "help") == 0 ||
+        std::strcmp(argv[1], "--help") == 0) {
+        printUsage(stdout);
+        return 0;
+    }
     return usage();
 }

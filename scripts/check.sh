@@ -108,6 +108,31 @@ if [[ "$docs_only" == 0 ]]; then
 fi
 
 # ---------------------------------------------------------------
+# Workload smoke: one YCSB mix on two access layers. Each run must
+# verify its invariants, and two runs at the same seed must print an
+# identical JSON object — the determinism contract the latency
+# numbers in docs/WORKLOADS.md rest on.
+# ---------------------------------------------------------------
+if [[ "$docs_only" == 0 ]]; then
+    echo "== workload: YCSB digest-stability smoke =="
+    for app in hashmap mod-hashmap; do
+        a=$(run_leg build/examples/whisper_cli workload --app "$app" \
+            --mix B --keys 2000 --threads 2 --ops 200 --json)
+        b=$(run_leg build/examples/whisper_cli workload --app "$app" \
+            --mix B --keys 2000 --threads 2 --ops 200 --json)
+        if [[ "$a" != "$b" ]]; then
+            echo "FAIL: workload JSON unstable across runs for $app"
+            failures=$((failures + 1))
+        elif ! grep -q '"verified":true' <<<"$a"; then
+            echo "FAIL: workload verification failed for $app"
+            failures=$((failures + 1))
+        else
+            echo "ok: $app mix B deterministic and verified"
+        fi
+    done
+fi
+
+# ---------------------------------------------------------------
 # Docs check 1: doxygen must run warning-clean.
 # ---------------------------------------------------------------
 echo "== docs: doxygen =="
@@ -151,6 +176,47 @@ if [[ "$dead" == 0 ]]; then
     echo "ok: all relative markdown links resolve"
 else
     failures=$((failures + 1))
+fi
+
+# ---------------------------------------------------------------
+# Docs check 3: docs/CLI.md must not drift from the binary's help.
+# Every subcommand in `whisper_cli help` must be documented, every
+# `whisper_cli <sub>` the docs mention must exist, and every flag the
+# help advertises must appear in the docs.
+# ---------------------------------------------------------------
+echo "== docs: CLI drift (help vs docs/CLI.md) =="
+if [[ -x build/examples/whisper_cli ]]; then
+    drift=0
+    help_out=$(build/examples/whisper_cli help)
+    help_subs=$(awk '/^  whisper_cli /{print $2}' <<<"$help_out" |
+                grep -v '^--' | sort -u)
+    doc_subs=$(grep -oE 'whisper_cli (record|analyze|simulate|apps|workload|crashfuzz|list|help)\b' \
+               docs/CLI.md | awk '{print $2}' | sort -u)
+    for sub in $help_subs; do
+        if ! grep -qx "$sub" <<<"$doc_subs"; then
+            echo "FAIL: subcommand '$sub' in help but not docs/CLI.md"
+            drift=$((drift + 1))
+        fi
+    done
+    for sub in $doc_subs; do
+        if ! grep -qx "$sub" <<<"$help_subs"; then
+            echo "FAIL: docs/CLI.md documents unknown subcommand '$sub'"
+            drift=$((drift + 1))
+        fi
+    done
+    while IFS= read -r flag; do
+        if ! grep -q -- "$flag" docs/CLI.md; then
+            echo "FAIL: flag '$flag' in help but not docs/CLI.md"
+            drift=$((drift + 1))
+        fi
+    done < <(grep -oE '\-\-[a-z-]+' <<<"$help_out" | sort -u)
+    if [[ "$drift" == 0 ]]; then
+        echo "ok: docs/CLI.md matches whisper_cli help"
+    else
+        failures=$((failures + 1))
+    fi
+else
+    echo "skip: build/examples/whisper_cli not built"
 fi
 
 if [[ "$failures" != 0 ]]; then

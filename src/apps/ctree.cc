@@ -151,15 +151,142 @@ class CtreeApp : public WhisperApp
         pool_->scrub(rt.ctx(0), lines, rep);
     }
 
+    /** @{ \name Generated-workload surface
+     *
+     * One private crit-bit tree + NvmlPool per worker thread over a
+     * disjoint device slice (tree depth — and so per-op latency — is
+     * then a pure function of the thread's own key set). Scans follow
+     * the suite convention for the generated workloads: consecutive
+     * key ids, one point lookup each.
+     */
+
+    bool supportsWorkload() const override { return true; }
+
+    void
+    workloadSetup(Runtime &rt, const WorkloadKeymap &map) override
+    {
+        wlMap_ = map;
+        wlShards_.clear();
+        const std::size_t region =
+            lineBase(config_.poolBytes / config_.threads);
+        panic_if(region <= sizeof(CtRoot) + (2u << 20),
+                 "ctree: pool too small for per-thread workload "
+                 "shards");
+        for (unsigned t = 0; t < map.threads; t++) {
+            pm::PmContext &ctx = rt.ctx(t);
+            WlShard shard;
+            shard.rootOff = static_cast<Addr>(t) * region;
+            const Addr pool_base = lineBase(
+                shard.rootOff + sizeof(CtRoot) + kCacheLineSize);
+            shard.pool = std::make_unique<nvml::NvmlPool>(
+                ctx, pool_base,
+                shard.rootOff + region - pool_base, 1);
+            CtRoot root{CtRoot::kMagic, kNullAddr, 0};
+            ctx.store(shard.rootOff, &root, sizeof(root),
+                      DataClass::User);
+            ctx.flush(shard.rootOff, sizeof(root));
+            ctx.fence(FenceKind::Durability);
+            wlShards_.push_back(std::move(shard));
+            const ThreadId tid = static_cast<ThreadId>(t);
+            for (std::uint64_t i = 0; i < map.perThread(); i++) {
+                const std::uint64_t key = map.lo(tid) + i;
+                insertAt(ctx, *wlShards_[t].pool,
+                         wlShards_[t].rootOff, key,
+                         key * 0x9e3779b97f4a7c15ull);
+            }
+        }
+    }
+
+    bool
+    workloadGet(pm::PmContext &ctx, ThreadId tid,
+                std::uint64_t key) override
+    {
+        pad(ctx);
+        std::uint64_t value = 0;
+        return findAt(ctx, wlShards_[tid].rootOff, key, value) !=
+               kNullAddr;
+    }
+
+    void
+    workloadPut(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t value) override
+    {
+        pad(ctx);
+        insertAt(ctx, *wlShards_[tid].pool, wlShards_[tid].rootOff,
+                 key, value);
+    }
+
+    bool
+    workloadRmw(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t delta) override
+    {
+        pad(ctx);
+        std::uint64_t value = 0;
+        const bool found =
+            findAt(ctx, wlShards_[tid].rootOff, key, value) !=
+            kNullAddr;
+        insertAt(ctx, *wlShards_[tid].pool, wlShards_[tid].rootOff,
+                 key, value + delta);
+        return found;
+    }
+
+    std::uint64_t
+    workloadScan(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                 std::uint64_t len) override
+    {
+        pad(ctx);
+        std::uint64_t found = 0;
+        std::uint64_t value = 0;
+        for (std::uint64_t j = 0; j < len; j++)
+            if (findAt(ctx, wlShards_[tid].rootOff,
+                       wlMap_.scanKey(tid, key, j), value) !=
+                kNullAddr)
+                found++;
+        return found;
+    }
+
+    VerifyReport
+    workloadCheck(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        for (unsigned t = 0; t < wlShards_.size(); t++) {
+            std::string why;
+            rep.check(checkTreeAt(rt, wlShards_[t].rootOff, &why),
+                      "tree-intact",
+                      "shard " + std::to_string(t) + ": " + why);
+            rep.check(wlShards_[t].pool->logsQuiescent(rt.ctx(0),
+                                                       &why),
+                      "logs-quiescent", why);
+        }
+        return rep;
+    }
+
+    /** @} */
+
   private:
+    struct WlShard
+    {
+        Addr rootOff = 0;
+        std::unique_ptr<nvml::NvmlPool> pool;
+    };
+
     CtRoot *root(pm::PmContext &ctx) { return ctx.pool().at<CtRoot>(
         rootOff_); }
 
-    bool
-    lookup(pm::PmContext &ctx, std::uint64_t key)
+    /** run()'s client-side DRAM padding (paper Fig. 6 proportions). */
+    void
+    pad(pm::PmContext &ctx)
     {
-        std::lock_guard<std::mutex> guard(treeLock_);
-        Addr cur = root(ctx)->top;
+        ctx.vBurst(this, 1 << 14, 520, 220);
+        ctx.compute(11000);
+    }
+
+    /** Descend to @p key's leaf; its offset (value out) or null. */
+    Addr
+    findAt(pm::PmContext &ctx, Addr root_off, std::uint64_t key,
+           std::uint64_t &value)
+    {
+        Addr cur = ctx.pool().at<CtRoot>(root_off)->top;
         while (isInternal(cur)) {
             const CtInternal *node =
                 ctx.pool().at<CtInternal>(untag(cur));
@@ -168,20 +295,38 @@ class CtreeApp : public WhisperApp
             cur = node->child[(key >> node->bit) & 1];
         }
         if (cur == kNullAddr)
-            return false;
+            return kNullAddr;
         CtLeaf leaf{};
         ctx.load(cur, &leaf, sizeof(leaf));
-        return leaf.key == key;
+        if (leaf.key != key)
+            return kNullAddr;
+        value = leaf.value;
+        return cur;
+    }
+
+    bool
+    lookup(pm::PmContext &ctx, std::uint64_t key)
+    {
+        std::lock_guard<std::mutex> guard(treeLock_);
+        std::uint64_t value = 0;
+        return findAt(ctx, rootOff_, key, value) != kNullAddr;
     }
 
     void
     insert(pm::PmContext &ctx, std::uint64_t key, std::uint64_t value)
     {
         std::lock_guard<std::mutex> guard(treeLock_);
-        CtRoot *r = root(ctx);
+        insertAt(ctx, *pool_, rootOff_, key, value);
+    }
+
+    void
+    insertAt(pm::PmContext &ctx, nvml::NvmlPool &pool, Addr root_off,
+             std::uint64_t key, std::uint64_t value)
+    {
+        CtRoot *r = ctx.pool().at<CtRoot>(root_off);
 
         if (r->top == kNullAddr) {
-            nvml::TxContext tx(*pool_, ctx);
+            nvml::TxContext tx(pool, ctx);
             const Addr leaf_off = tx.txAlloc(sizeof(CtLeaf));
             if (leaf_off == kNullAddr) {
                 tx.abort();
@@ -208,7 +353,7 @@ class CtreeApp : public WhisperApp
         const std::uint64_t diff = other->key ^ key;
         if (diff == 0) {
             // Key exists: update the value in place (logged).
-            nvml::TxContext tx(*pool_, ctx);
+            nvml::TxContext tx(pool, ctx);
             tx.set(ctx.pool().at<CtLeaf>(cur)->value, value,
                    DataClass::User);
             const std::uint64_t sum = key ^ value ^ CtLeaf::kSalt;
@@ -220,7 +365,7 @@ class CtreeApp : public WhisperApp
         const std::uint32_t crit =
             63 - static_cast<std::uint32_t>(__builtin_clzll(diff));
 
-        nvml::TxContext tx(*pool_, ctx);
+        nvml::TxContext tx(pool, ctx);
         const Addr leaf_off = tx.txAlloc(sizeof(CtLeaf));
         if (leaf_off == kNullAddr) {
             tx.abort();
@@ -239,7 +384,7 @@ class CtreeApp : public WhisperApp
         // Walk again to the splice point: the first link whose
         // subtree's critical bit is below ours.
         Addr *link = &r->top;
-        Addr link_holder = rootOff_ + offsetof(CtRoot, top);
+        Addr link_holder = root_off + offsetof(CtRoot, top);
         while (isInternal(*link)) {
             CtInternal *node = ctx.pool().at<CtInternal>(untag(*link));
             if (node->bit < crit)
@@ -270,8 +415,14 @@ class CtreeApp : public WhisperApp
     bool
     checkTree(Runtime &rt, std::string *why)
     {
+        return checkTreeAt(rt, rootOff_, why);
+    }
+
+    bool
+    checkTreeAt(Runtime &rt, Addr root_off, std::string *why)
+    {
         pm::PmContext &ctx = rt.ctx(0);
-        CtRoot *r = root(ctx);
+        CtRoot *r = ctx.pool().at<CtRoot>(root_off);
         if (r->magic != CtRoot::kMagic) {
             if (why)
                 *why = "bad root magic";
@@ -326,6 +477,8 @@ class CtreeApp : public WhisperApp
     std::unique_ptr<nvml::NvmlPool> pool_;
     Addr rootOff_ = 0;
     std::mutex treeLock_;
+    WorkloadKeymap wlMap_;
+    std::vector<WlShard> wlShards_;
 };
 
 } // namespace

@@ -466,7 +466,16 @@ class EchoApp : public WhisperApp
     findOrCreateEntry(Runtime &rt, pm::PmContext &ctx,
                       std::uint64_t key)
     {
-        EchoRoot *r = root(ctx);
+        (void)rt;
+        return findOrCreateEntryAt(ctx, *heap_, rootOff_, key);
+    }
+
+    Addr
+    findOrCreateEntryAt(pm::PmContext &ctx,
+                        alloc::BuddyAllocator &heap, Addr root_off,
+                        std::uint64_t key)
+    {
+        EchoRoot *r = ctx.pool().at<EchoRoot>(root_off);
         Bucket &bucket = r->buckets[hashKey(key) % kBuckets];
         Addr cur = ctx.loadField(bucket.head);
         while (cur != kNullAddr) {
@@ -478,7 +487,7 @@ class EchoApp : public WhisperApp
         // Create: buddy alloc (VOLATILE) -> init with descriptor
         // INPROGRESS -> link -> CREATED -> PERSISTENT. The status
         // double-write on one line is the paper's Echo self-dep.
-        const Addr off = heap_->alloc(ctx, sizeof(Entry));
+        const Addr off = heap.alloc(ctx, sizeof(Entry));
         panic_if(off == kNullAddr, "echo heap exhausted");
         Entry ent{key, kInProgress, kNullAddr,
                   ctx.loadField(bucket.head)};
@@ -493,17 +502,42 @@ class EchoApp : public WhisperApp
         ctx.storeField(pent->status, created, DataClass::User);
         ctx.flush(off + offsetof(Entry, status), 8);
         ctx.fence(FenceKind::Ordering);
-        heap_->setState(ctx, off, alloc::BlockState::Persistent);
-        (void)rt;
+        heap.setState(ctx, off, alloc::BlockState::Persistent);
         return off;
+    }
+
+    /** Read-only bucket walk: Entry for @p key or kNullAddr. */
+    Addr
+    findEntryAt(pm::PmContext &ctx, Addr root_off, std::uint64_t key)
+    {
+        const EchoRoot *r = ctx.pool().at<EchoRoot>(root_off);
+        Addr cur = r->buckets[hashKey(key) % kBuckets].head;
+        while (cur != kNullAddr) {
+            std::uint64_t probe = 0;
+            ctx.load(cur + offsetof(Entry, key), &probe, 8);
+            if (probe == key)
+                return cur;
+            cur = ctx.pool().at<Entry>(cur)->next;
+        }
+        return kNullAddr;
     }
 
     void
     applyUpdate(Runtime &rt, pm::PmContext &ctx, std::uint64_t key,
                 std::uint64_t value, std::uint64_t ts)
     {
-        const Addr entry_off = findOrCreateEntry(rt, ctx, key);
-        const Addr voff = heap_->alloc(ctx, sizeof(Version));
+        (void)rt;
+        applyUpdateAt(ctx, *heap_, rootOff_, key, value, ts);
+    }
+
+    void
+    applyUpdateAt(pm::PmContext &ctx, alloc::BuddyAllocator &heap,
+                  Addr root_off, std::uint64_t key,
+                  std::uint64_t value, std::uint64_t ts)
+    {
+        const Addr entry_off =
+            findOrCreateEntryAt(ctx, heap, root_off, key);
+        const Addr voff = heap.alloc(ctx, sizeof(Version));
         panic_if(voff == kNullAddr, "echo heap exhausted");
         Entry *ent = ctx.pool().at<Entry>(entry_off);
         Version ver{value, ts, value ^ ts ^ key,
@@ -515,7 +549,7 @@ class EchoApp : public WhisperApp
         ctx.storeField(ent->versions, voff, DataClass::User);
         ctx.flush(entry_off + offsetof(Entry, versions), 8);
         ctx.fence(FenceKind::Ordering);
-        heap_->setState(ctx, voff, alloc::BlockState::Persistent);
+        heap.setState(ctx, voff, alloc::BlockState::Persistent);
     }
 
     bool
@@ -586,8 +620,13 @@ class EchoApp : public WhisperApp
     bool
     checkStore(Runtime &rt, std::string *why)
     {
-        pm::PmContext &ctx = rt.ctx(0);
-        EchoRoot *r = root(ctx);
+        return checkStoreAt(rt.ctx(0), rootOff_, why);
+    }
+
+    bool
+    checkStoreAt(pm::PmContext &ctx, Addr root_off, std::string *why)
+    {
+        EchoRoot *r = ctx.pool().at<EchoRoot>(root_off);
         if (r->magic != EchoRoot::kMagic) {
             if (why)
                 *why = "bad root magic";
@@ -637,11 +676,194 @@ class EchoApp : public WhisperApp
         return true;
     }
 
+    // ---- Unified workload driver surface ------------------------------
+    //
+    // Echo's client/master split maps naturally onto partitioned
+    // workload threads: each thread is a client *and* the master for
+    // its own key range, with a private root, client log, and buddy
+    // heap over a disjoint pool slice. Every put keeps Echo's
+    // log-then-apply shape (persist the update into a log slot, apply
+    // it as a new version, mark the slot applied), so the access mix
+    // matches run()'s single-update granularity.
+
+    /** Client-side staging work, matching run()'s per-op shape. */
+    void
+    wlPad(pm::PmContext &ctx, std::uint64_t key)
+    {
+        std::uint64_t probe = key;
+        ctx.vStore(&probe, 8);
+        for (int r = 0; r < 6; r++)
+            ctx.vLoad(&probe, 8);
+        ctx.vBurst(&probe, 1 << 16, 160, 70);
+        ctx.compute(3200);
+    }
+
+  public:
+    bool supportsWorkload() const override { return true; }
+
+    void
+    workloadSetup(Runtime &rt, const core::WorkloadKeymap &map) override
+    {
+        wlMap_ = map;
+        wlShards_.clear();
+        wlShards_.resize(map.threads);
+        const Addr region = lineBase(config_.poolBytes / map.threads);
+        const Addr logs_bytes =
+            kLogEntriesPerClient * sizeof(LogEntry);
+        panic_if(region <= sizeof(EchoRoot) + logs_bytes + (4u << 20),
+                 "echo workload: pool too small for %u shards",
+                 map.threads);
+        for (unsigned t = 0; t < map.threads; t++) {
+            pm::PmContext &ctx = rt.ctx(t);
+            WlShard &sh = wlShards_[t];
+            sh.rootOff = static_cast<Addr>(t) * region;
+            sh.logsOff =
+                lineBase(sh.rootOff + sizeof(EchoRoot) + kCacheLineSize);
+            const Addr heap_off =
+                lineBase(sh.logsOff + logs_bytes + kCacheLineSize);
+            sh.heap = std::make_unique<alloc::BuddyAllocator>(
+                ctx, heap_off, sh.rootOff + region - heap_off);
+
+            EchoRoot root{};
+            root.magic = EchoRoot::kMagic;
+            root.nextTs = 1;
+            for (auto &bucket : root.buckets)
+                bucket.head = kNullAddr;
+            ctx.store(sh.rootOff, &root, sizeof(root), DataClass::User);
+            ctx.flush(sh.rootOff, sizeof(root));
+            LogEntry empty{0, 0, 0, 1};
+            for (std::uint64_t i = 0; i < kLogEntriesPerClient; i++) {
+                ctx.store(sh.logsOff + i * sizeof(LogEntry), &empty,
+                          sizeof(empty), DataClass::Log);
+            }
+            ctx.flush(sh.logsOff, logs_bytes);
+            ctx.fence(FenceKind::Durability);
+
+            for (std::uint64_t i = 0; i < map.perThread(); i++) {
+                const std::uint64_t key = map.lo(t) + i;
+                applyUpdateAt(ctx, *sh.heap, sh.rootOff, key,
+                              key * 0x9e3779b97f4a7c15ull, 1);
+            }
+        }
+    }
+
+    bool
+    workloadGet(pm::PmContext &ctx, ThreadId tid,
+                std::uint64_t key) override
+    {
+        WlShard &sh = wlShards_[tid];
+        wlPad(ctx, key);
+        const Addr ent = findEntryAt(ctx, sh.rootOff, key);
+        if (ent == kNullAddr)
+            return false;
+        Addr voff = 0;
+        ctx.load(ent + offsetof(Entry, versions), &voff, 8);
+        if (voff != kNullAddr) {
+            Version ver{};
+            ctx.load(voff, &ver, sizeof(ver));
+        }
+        return true;
+    }
+
+    void
+    workloadPut(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t value) override
+    {
+        WlShard &sh = wlShards_[tid];
+        wlPad(ctx, key);
+        EchoRoot *r = ctx.pool().at<EchoRoot>(sh.rootOff);
+        const std::uint64_t ts = ctx.loadField(r->nextTs);
+        ctx.storeField(r->nextTs, ts + 1, DataClass::User);
+        ctx.flush(sh.rootOff + offsetof(EchoRoot, nextTs), 8);
+        ctx.fence(FenceKind::Ordering);
+
+        // Log-then-apply, a one-update batch in run()'s terms.
+        const Addr slot_off =
+            sh.logsOff + (sh.logCursor++ % kLogEntriesPerClient) *
+                             sizeof(LogEntry);
+        LogEntry ent{key, value, ts, 0};
+        ctx.ntStore(slot_off, &ent, sizeof(ent), DataClass::Log);
+        ctx.fence(FenceKind::Ordering);
+        applyUpdateAt(ctx, *sh.heap, sh.rootOff, key, value, ts);
+        const std::uint64_t one = 1;
+        auto *slot = ctx.pool().at<LogEntry>(slot_off);
+        ctx.storeField(slot->applied, one, DataClass::Log);
+        ctx.flush(slot_off + offsetof(LogEntry, applied), 8);
+        ctx.fence(FenceKind::Durability);
+    }
+
+    bool
+    workloadRmw(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t delta) override
+    {
+        WlShard &sh = wlShards_[tid];
+        const Addr ent = findEntryAt(ctx, sh.rootOff, key);
+        std::uint64_t value = 0;
+        bool found = false;
+        if (ent != kNullAddr) {
+            Addr voff = 0;
+            ctx.load(ent + offsetof(Entry, versions), &voff, 8);
+            if (voff != kNullAddr) {
+                ctx.load(voff + offsetof(Version, value), &value, 8);
+                found = true;
+            }
+        }
+        workloadPut(ctx, tid, key, value + delta);
+        return found;
+    }
+
+    std::uint64_t
+    workloadScan(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                 std::uint64_t len) override
+    {
+        WlShard &sh = wlShards_[tid];
+        wlPad(ctx, key);
+        std::uint64_t found = 0;
+        for (std::uint64_t j = 0; j < len; j++) {
+            const Addr ent = findEntryAt(
+                ctx, sh.rootOff, wlMap_.scanKey(tid, key, j));
+            if (ent == kNullAddr)
+                continue;
+            Addr voff = 0;
+            ctx.load(ent + offsetof(Entry, versions), &voff, 8);
+            if (voff != kNullAddr) {
+                Version ver{};
+                ctx.load(voff, &ver, sizeof(ver));
+            }
+            found++;
+        }
+        return found;
+    }
+
+    VerifyReport
+    workloadCheck(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        for (unsigned t = 0; t < wlMap_.threads; t++) {
+            std::string why;
+            rep.check(checkStoreAt(rt.ctx(t), wlShards_[t].rootOff,
+                                   &why),
+                      "store-intact", why);
+        }
+        return rep;
+    }
+
+  private:
+    struct WlShard
+    {
+        Addr rootOff = 0;
+        Addr logsOff = 0;
+        std::uint64_t logCursor = 0;
+        std::unique_ptr<alloc::BuddyAllocator> heap;
+    };
+
     Addr rootOff_ = 0;
     Addr logsOff_ = 0;
     Addr heapOff_ = 0;
     std::unique_ptr<alloc::BuddyAllocator> heap_;
     std::mutex masterLock_;
+    core::WorkloadKeymap wlMap_;
+    std::vector<WlShard> wlShards_;
 };
 
 } // namespace

@@ -142,6 +142,125 @@ class HashmapApp : public WhisperApp
         return rep;
     }
 
+    /** @{ \name Generated-workload surface
+     *
+     * One private NvmlPool + bucket array per worker thread over a
+     * disjoint slice of the device — the YCSB one-client-per-thread
+     * model. Partitioning keeps chain walks (and thus latencies)
+     * independent of scheduling; the undo-log discipline per op is
+     * identical to run()'s.
+     */
+
+    bool supportsWorkload() const override { return true; }
+
+    void
+    workloadSetup(Runtime &rt, const WorkloadKeymap &map) override
+    {
+        wlMap_ = map;
+        wlShards_.clear();
+        scratch_.assign(config_.threads,
+                        std::vector<std::uint64_t>(2048));
+        const std::size_t region =
+            lineBase(config_.poolBytes / config_.threads);
+        panic_if(region <= sizeof(MapRoot) + (2u << 20),
+                 "hashmap: pool too small for per-thread workload "
+                 "shards");
+        for (unsigned t = 0; t < map.threads; t++) {
+            pm::PmContext &ctx = rt.ctx(t);
+            WlShard shard;
+            shard.rootOff = static_cast<Addr>(t) * region;
+            const Addr pool_base = lineBase(
+                shard.rootOff + sizeof(MapRoot) + kCacheLineSize);
+            shard.pool = std::make_unique<nvml::NvmlPool>(
+                ctx, pool_base,
+                shard.rootOff + region - pool_base, 1);
+            MapRoot root{};
+            root.magic = MapRoot::kMagic;
+            for (auto &b : root.buckets)
+                b = kNullAddr;
+            ctx.store(shard.rootOff, &root, sizeof(root),
+                      DataClass::User);
+            ctx.flush(shard.rootOff, sizeof(root));
+            ctx.fence(FenceKind::Durability);
+            wlShards_.push_back(std::move(shard));
+            const ThreadId tid = static_cast<ThreadId>(t);
+            for (std::uint64_t i = 0; i < map.perThread(); i++) {
+                const std::uint64_t key = map.lo(tid) + i;
+                wlPut(ctx, tid, key, key * 0x9e3779b97f4a7c15ull);
+            }
+        }
+    }
+
+    bool
+    workloadGet(pm::PmContext &ctx, ThreadId tid,
+                std::uint64_t key) override
+    {
+        pad(ctx, tid);
+        std::uint64_t value = 0;
+        return wlFind(ctx, tid, key, value) != kNullAddr;
+    }
+
+    void
+    workloadPut(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t value) override
+    {
+        pad(ctx, tid);
+        wlPut(ctx, tid, key, value);
+    }
+
+    bool
+    workloadRmw(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t delta) override
+    {
+        pad(ctx, tid);
+        std::uint64_t value = 0;
+        const Addr off = wlFind(ctx, tid, key, value);
+        if (off == kNullAddr) {
+            wlPut(ctx, tid, key, delta);
+            return false;
+        }
+        nvml::TxContext tx(*wlShards_[tid].pool, ctx);
+        MapEntry *e = ctx.pool().at<MapEntry>(off);
+        const std::uint64_t nv = value + delta;
+        tx.set(e->value, nv, DataClass::User);
+        const std::uint64_t sum = key ^ nv ^ MapEntry::kSalt;
+        tx.set(e->checksum, sum, DataClass::User);
+        tx.commit();
+        return true;
+    }
+
+    std::uint64_t
+    workloadScan(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                 std::uint64_t len) override
+    {
+        pad(ctx, tid);
+        std::uint64_t found = 0;
+        std::uint64_t value = 0;
+        for (std::uint64_t j = 0; j < len; j++)
+            if (wlFind(ctx, tid, wlMap_.scanKey(tid, key, j),
+                       value) != kNullAddr)
+                found++;
+        return found;
+    }
+
+    VerifyReport
+    workloadCheck(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        for (unsigned t = 0; t < wlShards_.size(); t++) {
+            std::string why;
+            rep.check(checkMapAt(rt, wlShards_[t].rootOff, &why),
+                      "map-intact",
+                      "shard " + std::to_string(t) + ": " + why);
+            rep.check(wlShards_[t].pool->logsQuiescent(rt.ctx(0),
+                                                       &why),
+                      "logs-quiescent", why);
+        }
+        return rep;
+    }
+
+    /** @} */
+
   protected:
     void
     scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
@@ -151,6 +270,71 @@ class HashmapApp : public WhisperApp
     }
 
   private:
+    /** Per-worker workload shard: private root + private pool. */
+    struct WlShard
+    {
+        Addr rootOff = 0;
+        std::unique_ptr<nvml::NvmlPool> pool;
+    };
+
+    void
+    pad(pm::PmContext &ctx, ThreadId tid)
+    {
+        ctx.vBurst(scratch_[tid].data(), 1 << 14, 560, 240);
+        ctx.compute(6500);
+    }
+
+    /** Chain walk in @p tid's shard; entry offset or kNullAddr. */
+    Addr
+    wlFind(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+           std::uint64_t &value)
+    {
+        const MapRoot *r =
+            ctx.pool().at<MapRoot>(wlShards_[tid].rootOff);
+        Addr cur = r->buckets[hashKey(key) % kBuckets];
+        while (cur != kNullAddr) {
+            MapEntry probe{};
+            ctx.load(cur, &probe, sizeof(probe));
+            if (probe.key == key) {
+                value = probe.value;
+                return cur;
+            }
+            cur = probe.next;
+        }
+        return kNullAddr;
+    }
+
+    /** Insert-or-update in @p tid's shard (run()'s insert(), minus
+     *  the shared-map lock the partitioning makes unnecessary). */
+    void
+    wlPut(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+          std::uint64_t value)
+    {
+        WlShard &shard = wlShards_[tid];
+        MapRoot *r = ctx.pool().at<MapRoot>(shard.rootOff);
+        Addr &bucket = r->buckets[hashKey(key) % kBuckets];
+        std::uint64_t old = 0;
+        const Addr existing = wlFind(ctx, tid, key, old);
+        if (existing != kNullAddr) {
+            nvml::TxContext tx(*shard.pool, ctx);
+            MapEntry *e = ctx.pool().at<MapEntry>(existing);
+            tx.set(e->value, value, DataClass::User);
+            const std::uint64_t sum = key ^ value ^ MapEntry::kSalt;
+            tx.set(e->checksum, sum, DataClass::User);
+            tx.commit();
+            return;
+        }
+        nvml::TxContext tx(*shard.pool, ctx);
+        const Addr off = tx.txAlloc(sizeof(MapEntry));
+        panic_if(off == kNullAddr, "hashmap: workload shard full");
+        MapEntry e{key, value, key ^ value ^ MapEntry::kSalt, bucket};
+        tx.directStore(off, &e, sizeof(e), DataClass::User);
+        tx.set(bucket, off, DataClass::User);
+        const std::uint64_t n = r->count + 1;
+        tx.set(r->count, n, DataClass::User);
+        tx.commit();
+    }
+
     MapRoot *root(pm::PmContext &ctx) { return ctx.pool().at<MapRoot>(
         rootOff_); }
 
@@ -223,8 +407,14 @@ class HashmapApp : public WhisperApp
     bool
     checkMap(Runtime &rt, std::string *why)
     {
+        return checkMapAt(rt, rootOff_, why);
+    }
+
+    bool
+    checkMapAt(Runtime &rt, Addr root_off, std::string *why)
+    {
         pm::PmContext &ctx = rt.ctx(0);
-        MapRoot *r = root(ctx);
+        MapRoot *r = ctx.pool().at<MapRoot>(root_off);
         if (r->magic != MapRoot::kMagic) {
             if (why)
                 *why = "bad root magic";
@@ -267,6 +457,9 @@ class HashmapApp : public WhisperApp
     std::unique_ptr<nvml::NvmlPool> pool_;
     Addr rootOff_ = 0;
     std::mutex mapLock_;
+    WorkloadKeymap wlMap_;
+    std::vector<WlShard> wlShards_;
+    std::vector<std::vector<std::uint64_t>> scratch_;
 };
 
 } // namespace

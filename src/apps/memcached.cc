@@ -186,7 +186,14 @@ class MemcachedApp : public WhisperApp
     Addr
     find(pm::PmContext &ctx, std::uint64_t key)
     {
-        Addr cur = root(ctx)->buckets[hashKey(key) % kBuckets];
+        return findAt(ctx, rootOff_, key);
+    }
+
+    Addr
+    findAt(pm::PmContext &ctx, Addr root_off, std::uint64_t key)
+    {
+        Addr cur = ctx.pool().at<CacheRoot>(root_off)
+                       ->buckets[hashKey(key) % kBuckets];
         while (cur != kNullAddr) {
             std::uint64_t probe = 0;
             ctx.load(cur + offsetof(CacheItem, key), &probe, 8);
@@ -199,9 +206,10 @@ class MemcachedApp : public WhisperApp
 
     /** Unlink @p off from the LRU list inside @p tx. */
     void
-    lruUnlink(pm::PmContext &ctx, mne::Transaction &tx, Addr off)
+    lruUnlink(pm::PmContext &ctx, mne::Transaction &tx, Addr root_off,
+              Addr off)
     {
-        CacheRoot *r = root(ctx);
+        CacheRoot *r = ctx.pool().at<CacheRoot>(root_off);
         const CacheItem *it = ctx.pool().at<CacheItem>(off);
         const Addr prev = tx.get(it->prev);
         const Addr next = tx.get(it->next);
@@ -221,9 +229,10 @@ class MemcachedApp : public WhisperApp
 
     /** Push @p off onto the LRU head inside @p tx. */
     void
-    lruPushFront(pm::PmContext &ctx, mne::Transaction &tx, Addr off)
+    lruPushFront(pm::PmContext &ctx, mne::Transaction &tx,
+                 Addr root_off, Addr off)
     {
-        CacheRoot *r = root(ctx);
+        CacheRoot *r = ctx.pool().at<CacheRoot>(root_off);
         const Addr old_head = tx.get(r->lruHead);
         const Addr links[2] = {kNullAddr, old_head}; // prev, next
         tx.update(off + offsetof(CacheItem, prev), links,
@@ -241,56 +250,71 @@ class MemcachedApp : public WhisperApp
     getOp(pm::PmContext &ctx, std::uint64_t key)
     {
         std::lock_guard<std::mutex> guard(cacheLock_);
-        const Addr off = find(ctx, key);
+        getOpAt(ctx, *heap_, rootOff_, key);
+    }
+
+    bool
+    getOpAt(pm::PmContext &ctx, mne::MnemosyneHeap &heap,
+            Addr root_off, std::uint64_t key)
+    {
+        const Addr off = findAt(ctx, root_off, key);
         if (off == kNullAddr) {
             ctx.compute(60); // miss path: reply formatting only
-            return;
+            return false;
         }
         CacheItem copy{};
         ctx.load(off, &copy, sizeof(copy));
         // LRU bump: a persistent mutation, hence a transaction.
-        mne::Transaction tx(*heap_, ctx);
-        lruUnlink(ctx, tx, off);
-        lruPushFront(ctx, tx, off);
+        mne::Transaction tx(heap, ctx);
+        lruUnlink(ctx, tx, root_off, off);
+        lruPushFront(ctx, tx, root_off, off);
         tx.commit();
+        return true;
     }
 
     void
     setOp(pm::PmContext &ctx, std::uint64_t key, Rng &rng)
     {
         std::lock_guard<std::mutex> guard(cacheLock_);
-        CacheRoot *r = root(ctx);
-        const Addr existing = find(ctx, key);
-
         std::uint8_t value[kValueBytes];
         for (auto &b : value)
             b = static_cast<std::uint8_t>(rng());
+        setOpAt(ctx, *heap_, rootOff_, key, value);
+    }
+
+    void
+    setOpAt(pm::PmContext &ctx, mne::MnemosyneHeap &heap,
+            Addr root_off, std::uint64_t key,
+            const std::uint8_t value[kValueBytes])
+    {
+        CacheRoot *r = ctx.pool().at<CacheRoot>(root_off);
+        const Addr existing = findAt(ctx, root_off, key);
 
         if (existing != kNullAddr) {
-            mne::Transaction tx(*heap_, ctx);
+            mne::Transaction tx(heap, ctx);
             CacheItem *it = ctx.pool().at<CacheItem>(existing);
             tx.update(existing + offsetof(CacheItem, value), value,
-                      sizeof(value), DataClass::User);
+                      kValueBytes, DataClass::User);
             CacheItem staged{};
             tx.read(existing, &staged, sizeof(staged));
             const std::uint64_t sum = itemChecksum(staged);
             tx.set(it->checksum, sum, DataClass::User);
-            lruUnlink(ctx, tx, existing);
-            lruPushFront(ctx, tx, existing);
+            lruUnlink(ctx, tx, root_off, existing);
+            lruPushFront(ctx, tx, root_off, existing);
             tx.commit();
             return;
         }
 
-        mne::Transaction tx(*heap_, ctx);
+        mne::Transaction tx(heap, ctx);
         // Evict from the tail when full.
         if (tx.get(r->count) >= tx.get(r->capacity)) {
             const Addr victim = tx.get(r->lruTail);
             if (victim != kNullAddr) {
-                lruUnlink(ctx, tx, victim);
+                lruUnlink(ctx, tx, root_off, victim);
                 // Remove from its hash chain.
                 const CacheItem *v = ctx.pool().at<CacheItem>(victim);
                 const std::uint64_t vkey = v->key;
-                Addr holder = rootOff_ + offsetof(CacheRoot, buckets) +
+                Addr holder = root_off + offsetof(CacheRoot, buckets) +
                               (hashKey(vkey) % kBuckets) * sizeof(Addr);
                 Addr cur = tx.get(*ctx.pool().at<Addr>(holder));
                 while (cur != kNullAddr && cur != victim) {
@@ -316,13 +340,13 @@ class MemcachedApp : public WhisperApp
         Addr &bucket = r->buckets[hashKey(key) % kBuckets];
         CacheItem it{};
         it.key = key;
-        std::memcpy(it.value, value, sizeof(value));
+        std::memcpy(it.value, value, kValueBytes);
         it.checksum = itemChecksum(it);
         it.hnext = tx.get(bucket);
         it.prev = it.next = kNullAddr;
         tx.update(off, &it, sizeof(it), DataClass::User);
         tx.set(bucket, off, DataClass::User);
-        lruPushFront(ctx, tx, off);
+        lruPushFront(ctx, tx, root_off, off);
         const std::uint64_t n = tx.get(r->count) + 1;
         tx.set(r->count, n, DataClass::User);
         tx.commit();
@@ -331,8 +355,14 @@ class MemcachedApp : public WhisperApp
     bool
     checkCache(Runtime &rt, std::string *why)
     {
+        return checkCacheAt(rt, rootOff_, why);
+    }
+
+    bool
+    checkCacheAt(Runtime &rt, Addr root_off, std::string *why)
+    {
         pm::PmContext &ctx = rt.ctx(0);
-        CacheRoot *r = root(ctx);
+        CacheRoot *r = ctx.pool().at<CacheRoot>(root_off);
         if (r->magic != CacheRoot::kMagic) {
             if (why)
                 *why = "bad root magic";
@@ -400,9 +430,169 @@ class MemcachedApp : public WhisperApp
         return true;
     }
 
+    // ---- Unified workload driver surface ------------------------------
+    //
+    // Each workload thread gets its own cache shard (root + Mnemosyne
+    // heap over a disjoint pool slice), mirroring memcached deployments
+    // that run one worker per core with partitioned key ownership. The
+    // per-shard capacity exceeds the keymap's slot count so workload-
+    // owned keys are never evicted: a GET on a loaded or inserted key
+    // must always hit.
+
+    /** Deterministic 48-byte value from a 64-bit seed (splitmix64). */
+    static void
+    expandValue(std::uint64_t seed, std::uint8_t out[kValueBytes])
+    {
+        for (std::size_t i = 0; i < kValueBytes; i += 8) {
+            seed += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            z ^= z >> 31;
+            std::memcpy(out + i, &z, 8);
+        }
+    }
+
+    /** DRAM-side request handling, matching run()'s per-op shape. */
+    void
+    wlPad(pm::PmContext &ctx, std::uint64_t key)
+    {
+        char reqbuf[64];
+        std::snprintf(reqbuf, sizeof(reqbuf), "get k%llu",
+                      static_cast<unsigned long long>(key));
+        ctx.vStore(reqbuf, sizeof(reqbuf));
+        ctx.vLoad(reqbuf, 16);
+        ctx.vBurst(reqbuf, 1 << 13, 160, 70);
+        ctx.compute(5500);
+    }
+
+  public:
+    bool supportsWorkload() const override { return true; }
+
+    void
+    workloadSetup(Runtime &rt, const core::WorkloadKeymap &map) override
+    {
+        wlMap_ = map;
+        wlShards_.clear();
+        wlShards_.resize(map.threads);
+        const Addr region = lineBase(config_.poolBytes / map.threads);
+        panic_if(region <= sizeof(CacheRoot) + (2u << 20),
+                 "memcached workload: pool too small for %u shards",
+                 map.threads);
+        for (unsigned t = 0; t < map.threads; t++) {
+            pm::PmContext &ctx = rt.ctx(t);
+            WlShard &sh = wlShards_[t];
+            sh.rootOff = static_cast<Addr>(t) * region;
+            const Addr heap_base =
+                lineBase(sh.rootOff + sizeof(CacheRoot) + kCacheLineSize);
+            sh.heap = std::make_unique<mne::MnemosyneHeap>(
+                ctx, heap_base, sh.rootOff + region - heap_base, 1);
+
+            CacheRoot root{};
+            root.magic = CacheRoot::kMagic;
+            root.capacity = map.slotsPerThread() + 64;
+            root.lruHead = root.lruTail = kNullAddr;
+            for (auto &b : root.buckets)
+                b = kNullAddr;
+            ctx.store(sh.rootOff, &root, sizeof(root), DataClass::User);
+            ctx.flush(sh.rootOff, sizeof(root));
+            ctx.fence(FenceKind::Durability);
+
+            for (std::uint64_t i = 0; i < map.perThread(); i++) {
+                const std::uint64_t key = map.lo(t) + i;
+                std::uint8_t value[kValueBytes];
+                expandValue(key * 0x9e3779b97f4a7c15ull, value);
+                setOpAt(ctx, *sh.heap, sh.rootOff, key, value);
+            }
+        }
+    }
+
+    bool
+    workloadGet(pm::PmContext &ctx, ThreadId tid,
+                std::uint64_t key) override
+    {
+        WlShard &sh = wlShards_[tid];
+        wlPad(ctx, key);
+        return getOpAt(ctx, *sh.heap, sh.rootOff, key);
+    }
+
+    void
+    workloadPut(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t value) override
+    {
+        WlShard &sh = wlShards_[tid];
+        wlPad(ctx, key);
+        std::uint8_t bytes[kValueBytes];
+        expandValue(value, bytes);
+        setOpAt(ctx, *sh.heap, sh.rootOff, key, bytes);
+    }
+
+    bool
+    workloadRmw(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t delta) override
+    {
+        WlShard &sh = wlShards_[tid];
+        wlPad(ctx, key);
+        const Addr off = findAt(ctx, sh.rootOff, key);
+        std::uint64_t seed = delta;
+        if (off != kNullAddr) {
+            std::uint8_t old[kValueBytes];
+            ctx.load(off + offsetof(CacheItem, value), old, kValueBytes);
+            seed += mne::foldChecksum(old, kValueBytes);
+        }
+        std::uint8_t bytes[kValueBytes];
+        expandValue(seed, bytes);
+        setOpAt(ctx, *sh.heap, sh.rootOff, key, bytes);
+        return off != kNullAddr;
+    }
+
+    std::uint64_t
+    workloadScan(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                 std::uint64_t len) override
+    {
+        // Multi-get: point lookups without LRU bumps, like a batched
+        // read-only pipeline.
+        WlShard &sh = wlShards_[tid];
+        wlPad(ctx, key);
+        std::uint64_t found = 0;
+        for (std::uint64_t j = 0; j < len; j++) {
+            const Addr off = findAt(
+                ctx, sh.rootOff, wlMap_.scanKey(tid, key, j));
+            if (off == kNullAddr)
+                continue;
+            CacheItem copy{};
+            ctx.load(off, &copy, sizeof(copy));
+            found++;
+        }
+        return found;
+    }
+
+    VerifyReport
+    workloadCheck(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        for (unsigned t = 0; t < wlMap_.threads; t++) {
+            std::string why;
+            rep.check(checkCacheAt(rt, wlShards_[t].rootOff, &why),
+                      "cache-intact", why);
+            rep.check(wlShards_[t].heap->logsQuiescent(rt.ctx(t), &why),
+                      "logs-quiescent", why);
+        }
+        return rep;
+    }
+
+  private:
+    struct WlShard
+    {
+        Addr rootOff = 0;
+        std::unique_ptr<mne::MnemosyneHeap> heap;
+    };
+
     std::unique_ptr<mne::MnemosyneHeap> heap_;
     Addr rootOff_ = 0;
     std::mutex cacheLock_;
+    core::WorkloadKeymap wlMap_;
+    std::vector<WlShard> wlShards_;
 };
 
 } // namespace

@@ -20,6 +20,8 @@
  * per-thread byte counts are independent of interleaving.
  */
 
+#include <algorithm>
+
 #include "apps/apps.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -180,6 +182,127 @@ class ModHashmapApp : public WhisperApp
         return rep;
     }
 
+    /** @{ \name Generated-workload surface
+     *
+     * The MOD key convention carries over unchanged: thread @p tid
+     * owns every key whose top 16 bits equal tid, so the striped
+     * writer locks and per-thread garbage lanes see exactly the
+     * partitioned traffic run() produces. Durability points keep the
+     * run() cadence (every kDurabilityInterval ops).
+     */
+
+    bool supportsWorkload() const override { return true; }
+
+    void
+    workloadSetup(Runtime &rt, const WorkloadKeymap &map) override
+    {
+        wlMap_ = map;
+        // One chain bucket per potential key keeps lookups O(1) even
+        // at millions of keys (partition size must be a power of 2).
+        std::uint64_t per = kBucketsPerPartition;
+        while (per < map.slotsPerThread())
+            per <<= 1;
+        buckets_ = per * config_.threads;
+        heapBase_ = heapBase(mod::ModHashmap::tableBytes(buckets_));
+        panic_if(heapBase_ >= config_.poolBytes,
+                 "mod-hashmap: pool too small for workload table");
+        heap_ = std::make_unique<mod::ModHeap>(
+            rt.ctx(0), heapBase_, config_.poolBytes - heapBase_,
+            config_.threads);
+        map_ = std::make_unique<mod::ModHashmap>(
+            rt.ctx(0), *heap_, kTableOff, buckets_, config_.threads);
+        scratch_.assign(config_.threads,
+                        std::vector<std::uint64_t>(2048));
+        wlOps_.assign(config_.threads, 0);
+        for (unsigned t = 0; t < map.threads; t++) {
+            pm::PmContext &ctx = rt.ctx(t);
+            const ThreadId tid = static_cast<ThreadId>(t);
+            for (std::uint64_t i = 0; i < map.perThread(); i++) {
+                const std::uint64_t key = map.lo(tid) + i;
+                std::uint64_t vals[mod::ModHashmap::kValWords] = {
+                    key * 0x9e3779b97f4a7c15ull, key, tid};
+                bool inserted = false;
+                panic_if(!map_->put(ctx, tid, modKey(tid, key), vals,
+                                    inserted),
+                         "mod-hashmap: heap exhausted during preload");
+                if ((i + 1) % kDurabilityInterval == 0)
+                    heap_->durabilityPoint(ctx, tid);
+            }
+            heap_->durabilityPoint(ctx, tid);
+        }
+    }
+
+    bool
+    workloadGet(pm::PmContext &ctx, ThreadId tid,
+                std::uint64_t key) override
+    {
+        pad(ctx, tid);
+        std::uint64_t vals[mod::ModHashmap::kValWords];
+        const bool found = map_->lookup(ctx, modKey(tid, key), vals);
+        opDone(ctx, tid);
+        return found;
+    }
+
+    void
+    workloadPut(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t value) override
+    {
+        pad(ctx, tid);
+        std::uint64_t vals[mod::ModHashmap::kValWords] = {value, key,
+                                                          tid};
+        bool inserted = false;
+        panic_if(!map_->put(ctx, tid, modKey(tid, key), vals,
+                            inserted),
+                 "mod-hashmap: heap exhausted");
+        opDone(ctx, tid);
+    }
+
+    bool
+    workloadRmw(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t delta) override
+    {
+        pad(ctx, tid);
+        std::uint64_t vals[mod::ModHashmap::kValWords] = {0, key, tid};
+        const bool found = map_->lookup(ctx, modKey(tid, key), vals);
+        vals[0] += delta;
+        bool inserted = false;
+        panic_if(!map_->put(ctx, tid, modKey(tid, key), vals,
+                            inserted),
+                 "mod-hashmap: heap exhausted");
+        opDone(ctx, tid);
+        return found;
+    }
+
+    std::uint64_t
+    workloadScan(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                 std::uint64_t len) override
+    {
+        pad(ctx, tid);
+        std::uint64_t found = 0;
+        std::uint64_t vals[mod::ModHashmap::kValWords];
+        for (std::uint64_t j = 0; j < len; j++) {
+            const std::uint64_t k = wlMap_.scanKey(tid, key, j);
+            if (map_->lookup(ctx, modKey(tid, k), vals))
+                found++;
+        }
+        opDone(ctx, tid);
+        return found;
+    }
+
+    void
+    workloadThreadDone(pm::PmContext &ctx, ThreadId tid) override
+    {
+        heap_->threadExit(ctx, tid);
+    }
+
+    VerifyReport
+    workloadCheck(Runtime &rt) override
+    {
+        return verify(rt);
+    }
+
+    /** @} */
+
   protected:
     void
     scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
@@ -194,10 +317,34 @@ class ModHashmapApp : public WhisperApp
     }
 
   private:
+    static std::uint64_t
+    modKey(ThreadId tid, std::uint64_t key)
+    {
+        return (static_cast<std::uint64_t>(tid) << 48) | key;
+    }
+
+    /** run()'s per-op DRAM padding (paper Fig. 6 proportions). */
+    void
+    pad(pm::PmContext &ctx, ThreadId tid)
+    {
+        ctx.vBurst(scratch_[tid].data(), 1 << 14, 560, 240);
+        ctx.compute(6500);
+    }
+
+    void
+    opDone(pm::PmContext &ctx, ThreadId tid)
+    {
+        if (++wlOps_[tid] % kDurabilityInterval == 0)
+            heap_->durabilityPoint(ctx, tid);
+    }
+
     std::unique_ptr<mod::ModHeap> heap_;
     std::unique_ptr<mod::ModHashmap> map_;
     std::uint64_t buckets_ = 0;
     Addr heapBase_ = 0;
+    WorkloadKeymap wlMap_;
+    std::vector<std::vector<std::uint64_t>> scratch_;
+    std::vector<std::uint64_t> wlOps_;
 };
 
 class ModVectorApp : public WhisperApp
@@ -308,6 +455,126 @@ class ModVectorApp : public WhisperApp
         return rep;
     }
 
+    /** @{ \name Generated-workload surface
+     *
+     * The vector is presented as a dense KV array: thread @p tid's
+     * key with local index l lives in chunk tid*slotsPT + l/kElems at
+     * element l%kElems — each thread owns a contiguous spine region
+     * exactly as in run(), so shadow copies and garbage lanes stay
+     * per-thread. Every key maps to a distinct element (no aliasing);
+     * preloading fills whole chunks, one shadow write per chunk.
+     */
+
+    bool supportsWorkload() const override { return true; }
+
+    void
+    workloadSetup(Runtime &rt, const WorkloadKeymap &map) override
+    {
+        wlMap_ = map;
+        slotsPT_ = (map.slotsPerThread() + mod::ModVector::kElems - 1) /
+                   mod::ModVector::kElems;
+        slotsPT_ = std::max<std::uint64_t>(slotsPT_, 1);
+        slots_ = slotsPT_ * config_.threads;
+        heapBase_ = heapBase(mod::ModVector::tableBytes(slots_));
+        panic_if(heapBase_ >= config_.poolBytes,
+                 "mod-vector: pool too small for workload spine");
+        heap_ = std::make_unique<mod::ModHeap>(
+            rt.ctx(0), heapBase_, config_.poolBytes - heapBase_,
+            config_.threads);
+        vec_ = std::make_unique<mod::ModVector>(rt.ctx(0), *heap_,
+                                                kTableOff, slots_);
+        scratch_.assign(config_.threads,
+                        std::vector<std::uint64_t>(2048));
+        wlOps_.assign(config_.threads, 0);
+        for (unsigned t = 0; t < map.threads; t++) {
+            pm::PmContext &ctx = rt.ctx(t);
+            const ThreadId tid = static_cast<ThreadId>(t);
+            std::uint64_t written = 0;
+            std::uint64_t chunk = 0;
+            while (written < map.perThread()) {
+                const std::uint64_t k = std::min<std::uint64_t>(
+                    mod::ModVector::kElems, map.perThread() - written);
+                std::uint64_t vals[mod::ModVector::kElems];
+                for (std::uint64_t e = 0; e < k; e++)
+                    vals[e] = (map.lo(tid) + written + e) *
+                              0x9e3779b97f4a7c15ull;
+                panic_if(!vec_->write(ctx, tid,
+                                      tid * slotsPT_ + chunk, 0, vals,
+                                      k, k),
+                         "mod-vector: heap exhausted during preload");
+                written += k;
+                chunk++;
+                if (chunk % kDurabilityInterval == 0)
+                    heap_->durabilityPoint(ctx, tid);
+            }
+            heap_->durabilityPoint(ctx, tid);
+        }
+    }
+
+    bool
+    workloadGet(pm::PmContext &ctx, ThreadId tid,
+                std::uint64_t key) override
+    {
+        pad(ctx, tid);
+        std::uint64_t out = 0;
+        const bool found = vec_->get(ctx, slotOf(tid, key),
+                                     idxOf(tid, key), out);
+        opDone(ctx, tid);
+        return found;
+    }
+
+    void
+    workloadPut(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t value) override
+    {
+        pad(ctx, tid);
+        writeElem(ctx, tid, key, value);
+        opDone(ctx, tid);
+    }
+
+    bool
+    workloadRmw(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t delta) override
+    {
+        pad(ctx, tid);
+        std::uint64_t out = 0;
+        const bool found = vec_->get(ctx, slotOf(tid, key),
+                                     idxOf(tid, key), out);
+        writeElem(ctx, tid, key, out + delta);
+        opDone(ctx, tid);
+        return found;
+    }
+
+    std::uint64_t
+    workloadScan(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                 std::uint64_t len) override
+    {
+        pad(ctx, tid);
+        std::uint64_t found = 0;
+        std::uint64_t out = 0;
+        for (std::uint64_t j = 0; j < len; j++) {
+            const std::uint64_t k = wlMap_.scanKey(tid, key, j);
+            if (vec_->get(ctx, slotOf(tid, k), idxOf(tid, k), out))
+                found++;
+        }
+        opDone(ctx, tid);
+        return found;
+    }
+
+    void
+    workloadThreadDone(pm::PmContext &ctx, ThreadId tid) override
+    {
+        heap_->threadExit(ctx, tid);
+    }
+
+    VerifyReport
+    workloadCheck(Runtime &rt) override
+    {
+        return verify(rt);
+    }
+
+    /** @} */
+
   protected:
     void
     scrubLayer(Runtime &rt, std::vector<LineAddr> &lines,
@@ -319,10 +586,54 @@ class ModVectorApp : public WhisperApp
     }
 
   private:
+    std::uint64_t
+    slotOf(ThreadId tid, std::uint64_t key) const
+    {
+        return tid * slotsPT_ +
+               wlMap_.localIndex(tid, key) / mod::ModVector::kElems;
+    }
+
+    std::uint64_t
+    idxOf(ThreadId tid, std::uint64_t key) const
+    {
+        return wlMap_.localIndex(tid, key) % mod::ModVector::kElems;
+    }
+
+    void
+    writeElem(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+              std::uint64_t value)
+    {
+        const std::uint64_t slot = slotOf(tid, key);
+        const std::uint64_t idx = idxOf(tid, key);
+        const std::uint64_t count =
+            std::max<std::uint64_t>(vec_->chunkCount(ctx, slot),
+                                    idx + 1);
+        panic_if(!vec_->write(ctx, tid, slot, idx, &value, 1, count),
+                 "mod-vector: heap exhausted");
+    }
+
+    void
+    pad(pm::PmContext &ctx, ThreadId tid)
+    {
+        ctx.vBurst(scratch_[tid].data(), 1 << 14, 560, 240);
+        ctx.compute(6500);
+    }
+
+    void
+    opDone(pm::PmContext &ctx, ThreadId tid)
+    {
+        if (++wlOps_[tid] % kDurabilityInterval == 0)
+            heap_->durabilityPoint(ctx, tid);
+    }
+
     std::unique_ptr<mod::ModHeap> heap_;
     std::unique_ptr<mod::ModVector> vec_;
     std::uint64_t slots_ = 0;
     Addr heapBase_ = 0;
+    WorkloadKeymap wlMap_;
+    std::uint64_t slotsPT_ = 0;
+    std::vector<std::vector<std::uint64_t>> scratch_;
+    std::vector<std::uint64_t> wlOps_;
 };
 
 } // namespace

@@ -13,6 +13,7 @@
  */
 
 #include <atomic>
+#include <cstring>
 
 #include "apps/apps.hh"
 #include "common/logging.hh"
@@ -201,8 +202,221 @@ class NfsApp : public WhisperApp
         return fs_->lookup(ctx, dirPath(d) + "/" + name);
     }
 
+    // ---- Unified workload driver surface ------------------------------
+    //
+    // Each workload thread exports its own PMFS volume over a disjoint
+    // pool slice (one server instance per client, as a scaled-out
+    // filer would shard exports). Keys map to fixed-size 512-byte
+    // records striped across one extent file per directory; every
+    // write is a journaled syscall into the volume, preserving the
+    // filesystem layer's access shape at KV-op granularity.
+
+    static constexpr std::size_t kWlRecordBytes = 512;
+
+    struct WlVolume
+    {
+        std::unique_ptr<pmfs::Pmfs> fs;
+        pmfs::Ino files[kDirs] = {};
+    };
+
+    /** RPC round trip + request handling, matching run()'s shape. */
+    void
+    wlPad(pm::PmContext &ctx, std::uint64_t key)
+    {
+        std::uint8_t buf[64] = {};
+        std::memcpy(buf, &key, 8);
+        ctx.vStore(buf, sizeof(buf));
+        ctx.vBurst(buf, 1 << 14, 200, 80);
+        ctx.compute(60'000);
+    }
+
+    /** Deterministic record image for (key, value). */
+    static void
+    wlFillRecord(std::uint64_t key, std::uint64_t value,
+                 std::uint8_t out[kWlRecordBytes])
+    {
+        std::uint64_t words[kWlRecordBytes / 8];
+        words[0] = key;
+        words[1] = value;
+        words[2] = key ^ value;
+        std::uint64_t seed = value;
+        for (std::size_t i = 3; i < kWlRecordBytes / 8; i++) {
+            seed += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            words[i] = z ^ (z >> 31);
+        }
+        std::memcpy(out, words, kWlRecordBytes);
+    }
+
+    /** localIndex -> (extent file, record slot) striping. */
+    static void
+    wlSlot(std::uint64_t local_index, unsigned &file,
+           std::uint64_t &slot)
+    {
+        file = static_cast<unsigned>(local_index % kDirs);
+        slot = local_index / kDirs;
+    }
+
+  public:
+    bool supportsWorkload() const override { return true; }
+
+    void
+    workloadSetup(Runtime &rt, const core::WorkloadKeymap &map) override
+    {
+        wlMap_ = map;
+        wlVols_.clear();
+        wlVols_.resize(map.threads);
+        const Addr region = lineBase(config_.poolBytes / map.threads);
+        panic_if(region <= (8u << 20),
+                 "nfs workload: pool too small for %u volumes",
+                 map.threads);
+        for (unsigned t = 0; t < map.threads; t++) {
+            pm::PmContext &ctx = rt.ctx(t);
+            WlVolume &vol = wlVols_[t];
+            vol.fs = std::make_unique<pmfs::Pmfs>(
+                ctx, static_cast<Addr>(t) * region, region);
+            vol.fs->mkdir(ctx, "/export");
+            for (unsigned d = 0; d < kDirs; d++) {
+                vol.fs->mkdir(ctx, dirPath(d));
+                vol.files[d] =
+                    vol.fs->create(ctx, dirPath(d) + "/data");
+                panic_if(vol.files[d] == pmfs::kInvalidIno,
+                         "nfs workload create failed");
+            }
+            // Preload each extent file in bounded syscalls: every
+            // write is one journal transaction, and each appended
+            // block journals allocator/block-map metadata, so a
+            // whole-file write at large key counts would overflow a
+            // journal segment. 128 KiB per call stays well inside it.
+            constexpr std::uint64_t kPreloadChunkBytes = 128u << 10;
+            std::vector<std::uint8_t> buf;
+            for (unsigned d = 0; d < kDirs; d++) {
+                const std::uint64_t recs =
+                    map.perThread() / kDirs +
+                    (d < map.perThread() % kDirs ? 1 : 0);
+                if (recs == 0)
+                    continue;
+                buf.resize(recs * kWlRecordBytes);
+                for (std::uint64_t s = 0; s < recs; s++) {
+                    const std::uint64_t key =
+                        map.lo(t) + s * kDirs + d;
+                    wlFillRecord(key, key * 0x9e3779b97f4a7c15ull,
+                                 buf.data() + s * kWlRecordBytes);
+                }
+                for (std::uint64_t off = 0; off < buf.size();
+                     off += kPreloadChunkBytes) {
+                    const std::uint64_t n = std::min<std::uint64_t>(
+                        kPreloadChunkBytes, buf.size() - off);
+                    vol.fs->write(ctx, vol.files[d], off,
+                                  buf.data() + off, n);
+                }
+            }
+        }
+    }
+
+    bool
+    workloadGet(pm::PmContext &ctx, ThreadId tid,
+                std::uint64_t key) override
+    {
+        WlVolume &vol = wlVols_[tid];
+        wlPad(ctx, key);
+        unsigned file = 0;
+        std::uint64_t slot = 0;
+        wlSlot(wlMap_.localIndex(tid, key), file, slot);
+        std::uint8_t rec[kWlRecordBytes];
+        vol.fs->read(ctx, vol.files[file], slot * kWlRecordBytes, rec,
+                     sizeof(rec));
+        std::uint64_t stored = 0;
+        std::memcpy(&stored, rec, 8);
+        return stored == key;
+    }
+
+    void
+    workloadPut(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t value) override
+    {
+        WlVolume &vol = wlVols_[tid];
+        wlPad(ctx, key);
+        unsigned file = 0;
+        std::uint64_t slot = 0;
+        wlSlot(wlMap_.localIndex(tid, key), file, slot);
+        std::uint8_t rec[kWlRecordBytes];
+        wlFillRecord(key, value, rec);
+        vol.fs->write(ctx, vol.files[file], slot * kWlRecordBytes, rec,
+                      sizeof(rec));
+    }
+
+    bool
+    workloadRmw(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t delta) override
+    {
+        WlVolume &vol = wlVols_[tid];
+        wlPad(ctx, key);
+        unsigned file = 0;
+        std::uint64_t slot = 0;
+        wlSlot(wlMap_.localIndex(tid, key), file, slot);
+        std::uint8_t rec[kWlRecordBytes];
+        vol.fs->read(ctx, vol.files[file], slot * kWlRecordBytes, rec,
+                     sizeof(rec));
+        std::uint64_t stored = 0, value = 0;
+        std::memcpy(&stored, rec, 8);
+        std::memcpy(&value, rec + 8, 8);
+        const bool found = stored == key;
+        wlFillRecord(key, (found ? value : 0) + delta, rec);
+        vol.fs->write(ctx, vol.files[file], slot * kWlRecordBytes, rec,
+                      sizeof(rec));
+        return found;
+    }
+
+    std::uint64_t
+    workloadScan(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                 std::uint64_t len) override
+    {
+        WlVolume &vol = wlVols_[tid];
+        wlPad(ctx, key);
+        std::uint64_t found = 0;
+        for (std::uint64_t j = 0; j < len; j++) {
+            const std::uint64_t k = wlMap_.scanKey(tid, key, j);
+            unsigned file = 0;
+            std::uint64_t slot = 0;
+            wlSlot(wlMap_.localIndex(tid, k), file, slot);
+            std::uint8_t rec[kWlRecordBytes];
+            vol.fs->read(ctx, vol.files[file], slot * kWlRecordBytes,
+                         rec, sizeof(rec));
+            std::uint64_t stored = 0;
+            std::memcpy(&stored, rec, 8);
+            if (stored == k)
+                found++;
+        }
+        return found;
+    }
+
+    VerifyReport
+    workloadCheck(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        for (unsigned t = 0; t < wlMap_.threads; t++) {
+            // A clean run leaves the descriptor COMMITTED (commit is
+            // lazy about the FREE transition); mount-time recovery
+            // retires it, exactly like the run path's recover().
+            wlVols_[t].fs->mount(rt.ctx(t));
+            std::string why;
+            rep.check(wlVols_[t].fs->journalQuiescent(rt.ctx(t), &why),
+                      "journal-quiescent", why);
+            why.clear();
+            rep.check(wlVols_[t].fs->fsck(rt.ctx(t), &why), "fsck",
+                      why);
+        }
+        return rep;
+    }
+
+  private:
     std::unique_ptr<pmfs::Pmfs> fs_;
     std::atomic<std::uint64_t> nextFile_{0};
+    core::WorkloadKeymap wlMap_;
+    std::vector<WlVolume> wlVols_;
 };
 
 } // namespace

@@ -175,7 +175,7 @@ class NstoreApp : public WhisperApp
             pm::PmContext &pctx = rt.ctx(0);
             Rng rng(config_.seed + p);
             for (std::uint64_t k = 0; k < rows; k++)
-                insertTuple(pctx, p, k, rng, nullptr);
+                insertTuple(pctx, partRef(p), k, rng, nullptr);
         }
     }
 
@@ -216,7 +216,7 @@ class NstoreApp : public WhisperApp
         // prune half-inserted (VOLATILE) tuples, then let the heap
         // reclaim.
         for (unsigned p = 0; p < config_.threads; p++)
-            rollbackUndo(ctx, p);
+            rollbackUndo(ctx, partRef(p));
         for (unsigned p = 0; p < config_.threads; p++) {
             Partition *part = partition(ctx, p);
             for (auto &slot : part->index) {
@@ -433,13 +433,34 @@ class NstoreApp : public WhisperApp
         return undoOff_ + static_cast<Addr>(p) * kUndoLogBytes;
     }
 
+    /**
+     * Everything an OPTWAL partition operation needs: the header and
+     * undo-log offsets, the backing allocator and the volatile per-
+     * partition cursors. The run path wires these to the global layout
+     * via partRef(); workload shards supply fully private instances.
+     */
+    struct PartRef
+    {
+        Addr part;
+        Addr undo;
+        alloc::BuddyAllocator *heap;
+        std::uint32_t *segCursor;
+        std::uint64_t *txSeq;
+    };
+
+    PartRef
+    partRef(unsigned p)
+    {
+        return {partOff(p), undoLogOff(p), heap_.get(),
+                &segCursor_[p], &txSeq_[p]};
+    }
+
     /** Rotating log segment for this partition's next transaction. */
     Addr
-    acquireUndoSegment(unsigned p)
+    acquireUndoSegment(const PartRef &pr)
     {
-        const unsigned seg = segCursor_[p]++ % kUndoSegments;
-        return undoLogOff(p) + static_cast<Addr>(seg) *
-                                   kUndoSegmentBytes;
+        const unsigned seg = (*pr.segCursor)++ % kUndoSegments;
+        return pr.undo + static_cast<Addr>(seg) * kUndoSegmentBytes;
     }
 
     Partition *
@@ -448,16 +469,21 @@ class NstoreApp : public WhisperApp
         return ctx.pool().at<Partition>(partOff(p));
     }
 
+    Partition *
+    partitionAt(pm::PmContext &ctx, const PartRef &pr)
+    {
+        return ctx.pool().at<Partition>(pr.part);
+    }
+
     /** @{ \name OPTWAL undo logging (per partition) */
 
     void
-    undoAppend(pm::PmContext &ctx, unsigned p, Addr &head, Addr addr,
-               std::uint32_t size, std::uint64_t seq)
+    undoAppend(pm::PmContext &ctx, const PartRef &pr, Addr &head,
+               Addr addr, std::uint32_t size, std::uint64_t seq)
     {
         const Addr seg_base =
-            undoLogOff(p) +
-            (head - undoLogOff(p)) / kUndoSegmentBytes *
-                kUndoSegmentBytes;
+            pr.undo +
+            (head - pr.undo) / kUndoSegmentBytes * kUndoSegmentBytes;
         panic_if(head + sizeof(UndoRec) + size >
                          seg_base + kUndoSegmentBytes,
                  "OPTWAL undo log overflow");
@@ -476,10 +502,10 @@ class NstoreApp : public WhisperApp
 
     /** Publish the in-flight transaction's log segment + sequence. */
     std::uint64_t
-    undoActivate(pm::PmContext &ctx, unsigned p, Addr seg_base)
+    undoActivate(pm::PmContext &ctx, const PartRef &pr, Addr seg_base)
     {
-        Partition *part = partition(ctx, p);
-        const std::uint64_t seq = txSeq_[p]++;
+        Partition *part = partitionAt(ctx, pr);
+        const std::uint64_t seq = (*pr.txSeq)++;
         const struct { Addr log; std::uint64_t seq; } cell{seg_base,
                                                            seq};
         ctx.store(ctx.pool().offsetOf(&part->activeLog), &cell,
@@ -491,9 +517,9 @@ class NstoreApp : public WhisperApp
 
     /** Retire the whole log with one pointer write (OPTWAL). */
     void
-    undoRetire(pm::PmContext &ctx, unsigned p)
+    undoRetire(pm::PmContext &ctx, const PartRef &pr)
     {
-        Partition *part = partition(ctx, p);
+        Partition *part = partitionAt(ctx, pr);
         const Addr none = kNullAddr;
         ctx.storeField(part->activeLog, none, DataClass::TxMeta);
         ctx.flush(ctx.pool().offsetOf(&part->activeLog), 8);
@@ -501,11 +527,11 @@ class NstoreApp : public WhisperApp
     }
 
     void
-    rollbackUndo(pm::PmContext &ctx, unsigned p)
+    rollbackUndo(pm::PmContext &ctx, const PartRef &pr)
     {
         // Only the published segment (if any) is live, and only
         // records tagged with the published sequence belong to it.
-        Partition *part = partition(ctx, p);
+        Partition *part = partitionAt(ctx, pr);
         const Addr seg_base = part->activeLog;
         const std::uint64_t seq = part->activeSeq;
         if (seg_base == kNullAddr)
@@ -539,16 +565,16 @@ class NstoreApp : public WhisperApp
             ctx.flush(it->addr, it->size);
             ctx.fence(FenceKind::Ordering);
         }
-        undoRetire(ctx, p);
+        undoRetire(ctx, pr);
         ctx.fence(FenceKind::Durability);
     }
 
     /** @} */
 
     Addr
-    findTuple(pm::PmContext &ctx, unsigned p, std::uint64_t key)
+    findTuple(pm::PmContext &ctx, const PartRef &pr, std::uint64_t key)
     {
-        Partition *part = partition(ctx, p);
+        Partition *part = partitionAt(ctx, pr);
         Addr cur = part->index[hashKey(key) % kIndexBuckets];
         while (cur != kNullAddr) {
             std::uint64_t probe_key = 0;
@@ -566,12 +592,13 @@ class NstoreApp : public WhisperApp
      * load phase it is null and only the allocator's protocol runs.
      */
     Addr
-    insertTuple(pm::PmContext &ctx, unsigned p, std::uint64_t key,
-                Rng &rng, Addr *undo_head, std::uint64_t seq = 0)
+    insertTuple(pm::PmContext &ctx, const PartRef &pr,
+                std::uint64_t key, Rng &rng, Addr *undo_head,
+                std::uint64_t seq = 0)
     {
-        const Addr off = heap_->alloc(ctx, sizeof(Tuple));
+        const Addr off = pr.heap->alloc(ctx, sizeof(Tuple));
         panic_if(off == kNullAddr, "nstore heap exhausted");
-        Partition *part = partition(ctx, p);
+        Partition *part = partitionAt(ctx, pr);
         Addr &slot = part->index[hashKey(key) % kIndexBuckets];
 
         Tuple t{};
@@ -586,17 +613,17 @@ class NstoreApp : public WhisperApp
         ctx.fence(FenceKind::Ordering);
 
         if (undo_head) {
-            undoAppend(ctx, p, *undo_head,
+            undoAppend(ctx, pr, *undo_head,
                        ctx.pool().offsetOf(&slot), 8, seq);
         }
         ctx.storeField(slot, off, DataClass::User);
         ctx.flush(ctx.pool().offsetOf(&slot), 8);
         ctx.fence(FenceKind::Ordering);
-        heap_->setState(ctx, off, alloc::BlockState::Persistent);
+        pr.heap->setState(ctx, off, alloc::BlockState::Persistent);
 
         const std::uint64_t n = ctx.loadField(part->tupleCount) + 1;
         if (undo_head) {
-            undoAppend(ctx, p, *undo_head,
+            undoAppend(ctx, pr, *undo_head,
                        ctx.pool().offsetOf(&part->tupleCount), 8,
                        seq);
         }
@@ -613,8 +640,9 @@ class NstoreApp : public WhisperApp
      * alternating-epoch pattern the paper attributes to undo logging.
      */
     void
-    updateTuple(pm::PmContext &ctx, unsigned p, Addr off, Rng &rng,
-                Addr &undo_head, std::uint64_t seq, unsigned cols,
+    updateTuple(pm::PmContext &ctx, const PartRef &pr, Addr off,
+                Rng &rng, Addr &undo_head, std::uint64_t seq,
+                unsigned cols,
                 std::vector<std::pair<Addr, std::uint32_t>> &dirty)
     {
         Tuple *t = ctx.pool().at<Tuple>(off);
@@ -623,7 +651,7 @@ class NstoreApp : public WhisperApp
                 rng.next(kTupleValueBytes / 10);
             const Addr field_off =
                 off + offsetof(Tuple, value) + field * 10;
-            undoAppend(ctx, p, undo_head, field_off, 10, seq);
+            undoAppend(ctx, pr, undo_head, field_off, 10, seq);
             std::uint8_t bytes[10];
             for (auto &b : bytes)
                 b = static_cast<std::uint8_t>(rng());
@@ -632,7 +660,7 @@ class NstoreApp : public WhisperApp
             dirty.emplace_back(field_off, 10);
         }
         // Header (seq + checksum) under one more record.
-        undoAppend(ctx, p, undo_head, off + offsetof(Tuple, seq), 16,
+        undoAppend(ctx, pr, undo_head, off + offsetof(Tuple, seq), 16,
                    seq);
         const std::uint64_t tuple_seq = t->seq + 1;
         ctx.storeField(t->seq, tuple_seq, DataClass::User);
@@ -645,21 +673,22 @@ class NstoreApp : public WhisperApp
     ycsbTx(pm::PmContext &ctx, unsigned p, Rng &rng,
            const ZipfianGenerator &zipf)
     {
+        const PartRef pr = partRef(p);
         const TxId tx = ctx.txBegin();
-        const Addr undo_seg = acquireUndoSegment(p);
-        const std::uint64_t undo_seq = undoActivate(ctx, p, undo_seg);
+        const Addr undo_seg = acquireUndoSegment(pr);
+        const std::uint64_t undo_seq = undoActivate(ctx, pr, undo_seg);
         Addr undo_head = undo_seg;
         std::vector<std::pair<Addr, std::uint32_t>> dirty;
 
         // Four YCSB operations per transaction, 80% writes.
         for (int op = 0; op < 4; op++) {
             const std::uint64_t key = zipf.next(rng);
-            const Addr off = findTuple(ctx, p, key);
+            const Addr off = findTuple(ctx, pr, key);
             if (off == kNullAddr)
                 continue;
             if (rng.chance(0.8)) {
                 // A YCSB update rewrites the whole 10-field value.
-                updateTuple(ctx, p, off, rng, undo_head, undo_seq, 9,
+                updateTuple(ctx, pr, off, rng, undo_head, undo_seq, 9,
                             dirty);
             } else {
                 Tuple t{};
@@ -672,7 +701,7 @@ class NstoreApp : public WhisperApp
         for (const auto &[off, n] : dirty)
             ctx.flush(off, n);
         ctx.fence(FenceKind::Durability);
-        undoRetire(ctx, p);
+        undoRetire(ctx, pr);
         ctx.txEnd(tx);
     }
 
@@ -680,57 +709,58 @@ class NstoreApp : public WhisperApp
     tpccTx(pm::PmContext &ctx, unsigned p, Rng &rng,
            const ZipfianGenerator &zipf, std::uint64_t op)
     {
+        const PartRef pr = partRef(p);
         const double pick = rng.nextDouble();
         if (pick < 0.6) {
             // New-order: insert an order tuple plus 5..15 order
             // lines, update 5..15 stock rows.
             const TxId tx = ctx.txBegin();
-            const Addr undo_seg = acquireUndoSegment(p);
+            const Addr undo_seg = acquireUndoSegment(pr);
             const std::uint64_t undo_seq =
-                undoActivate(ctx, p, undo_seg);
+                undoActivate(ctx, pr, undo_seg);
             Addr undo_head = undo_seg;
             std::vector<std::pair<Addr, std::uint32_t>> dirty;
 
             const std::uint64_t lines = rng.range(5, 15);
-            insertTuple(ctx, p, 1'000'000 + op * 16, rng, &undo_head,
+            insertTuple(ctx, pr, 1'000'000 + op * 16, rng, &undo_head,
                         undo_seq);
             for (std::uint64_t l = 0; l < lines; l++) {
-                insertTuple(ctx, p, 1'000'000 + op * 16 + 1 + l, rng,
+                insertTuple(ctx, pr, 1'000'000 + op * 16 + 1 + l, rng,
                             &undo_head, undo_seq);
-                const Addr stock = findTuple(ctx, p, zipf.next(rng));
+                const Addr stock = findTuple(ctx, pr, zipf.next(rng));
                 if (stock != kNullAddr) {
-                    updateTuple(ctx, p, stock, rng, undo_head,
+                    updateTuple(ctx, pr, stock, rng, undo_head,
                                 undo_seq, 8, dirty);
                 }
             }
             for (const auto &[off, n] : dirty)
                 ctx.flush(off, n);
             ctx.fence(FenceKind::Durability);
-            undoRetire(ctx, p);
+            undoRetire(ctx, pr);
             ctx.txEnd(tx);
         } else if (pick < 0.85) {
             // Payment: update three hot rows.
             const TxId tx = ctx.txBegin();
-            const Addr undo_seg = acquireUndoSegment(p);
+            const Addr undo_seg = acquireUndoSegment(pr);
             const std::uint64_t undo_seq =
-                undoActivate(ctx, p, undo_seg);
+                undoActivate(ctx, pr, undo_seg);
             Addr undo_head = undo_seg;
             std::vector<std::pair<Addr, std::uint32_t>> dirty;
             for (int i = 0; i < 3; i++) {
-                const Addr off = findTuple(ctx, p, zipf.next(rng));
+                const Addr off = findTuple(ctx, pr, zipf.next(rng));
                 if (off != kNullAddr)
-                    updateTuple(ctx, p, off, rng, undo_head, undo_seq, 6,
-                                dirty);
+                    updateTuple(ctx, pr, off, rng, undo_head,
+                                undo_seq, 6, dirty);
             }
             for (const auto &[off, n] : dirty)
                 ctx.flush(off, n);
             ctx.fence(FenceKind::Durability);
-            undoRetire(ctx, p);
+            undoRetire(ctx, pr);
             ctx.txEnd(tx);
         } else {
             // Order-status: read-only.
             for (int i = 0; i < 8; i++) {
-                const Addr off = findTuple(ctx, p, zipf.next(rng));
+                const Addr off = findTuple(ctx, pr, zipf.next(rng));
                 if (off != kNullAddr) {
                     Tuple t{};
                     ctx.load(off, &t, sizeof(t));
@@ -745,46 +775,250 @@ class NstoreApp : public WhisperApp
     {
         pm::PmContext &ctx = rt.ctx(0);
         for (unsigned p = 0; p < config_.threads; p++) {
-            Partition *part = partition(ctx, p);
-            if (part->magic != Partition::kMagic) {
-                if (why)
-                    *why = "bad partition magic";
+            if (!checkPartitionAt(ctx, partOff(p), why))
                 return false;
-            }
-            std::uint64_t seen = 0;
-            for (std::uint64_t b = 0; b < kIndexBuckets; b++) {
-                Addr cur = part->index[b];
-                std::uint64_t guard = 0;
-                while (cur != kNullAddr) {
-                    if (++guard > 10'000'000) {
-                        if (why)
-                            *why = "index chain cycle";
-                        return false;
-                    }
-                    const Tuple *t = ctx.pool().at<Tuple>(cur);
-                    if (t->checksum != tupleChecksum(*t)) {
-                        if (why)
-                            *why = "tuple checksum mismatch (torn "
-                                   "update survived recovery)";
-                        return false;
-                    }
-                    if (hashKey(t->key) % kIndexBuckets != b) {
-                        if (why)
-                            *why = "tuple in wrong bucket";
-                        return false;
-                    }
-                    seen++;
-                    cur = t->next;
-                }
-            }
-            if (seen > part->tupleCount + 1) {
-                if (why)
-                    *why = "tupleCount below reachable tuples";
-                return false;
-            }
         }
         return true;
     }
+
+    bool
+    checkPartitionAt(pm::PmContext &ctx, Addr part_off,
+                     std::string *why)
+    {
+        Partition *part = ctx.pool().at<Partition>(part_off);
+        if (part->magic != Partition::kMagic) {
+            if (why)
+                *why = "bad partition magic";
+            return false;
+        }
+        std::uint64_t seen = 0;
+        for (std::uint64_t b = 0; b < kIndexBuckets; b++) {
+            Addr cur = part->index[b];
+            std::uint64_t guard = 0;
+            while (cur != kNullAddr) {
+                if (++guard > 10'000'000) {
+                    if (why)
+                        *why = "index chain cycle";
+                    return false;
+                }
+                const Tuple *t = ctx.pool().at<Tuple>(cur);
+                if (t->checksum != tupleChecksum(*t)) {
+                    if (why)
+                        *why = "tuple checksum mismatch (torn "
+                               "update survived recovery)";
+                    return false;
+                }
+                if (hashKey(t->key) % kIndexBuckets != b) {
+                    if (why)
+                        *why = "tuple in wrong bucket";
+                    return false;
+                }
+                seen++;
+                cur = t->next;
+            }
+        }
+        if (seen > part->tupleCount + 1) {
+            if (why)
+                *why = "tupleCount below reachable tuples";
+            return false;
+        }
+        return true;
+    }
+
+    // ---- Unified workload driver surface ------------------------------
+    //
+    // N-store is partitioned by design; the workload keeps that shape
+    // but gives every thread a fully private shard: partition header,
+    // undo log *and* buddy heap over a disjoint pool slice (run()
+    // shares one global heap, whose allocation cost depends on cross-
+    // thread interleaving and would break digest determinism). Each
+    // put/rmw runs as a one-operation OPTWAL transaction: publish an
+    // undo segment, journal the old images, update in place, flush,
+    // fence, retire the log with one pointer write.
+
+    /** Query parsing / plan caching, matching run()'s per-op shape. */
+    void
+    wlPad(pm::PmContext &ctx, std::uint64_t key)
+    {
+        ctx.vBurst(&key, 1 << 16, 1000, 420);
+        ctx.compute(2500);
+    }
+
+    PartRef
+    wlRef(ThreadId tid)
+    {
+        WlShard &sh = wlShards_[tid];
+        return {sh.part, sh.undo, sh.heap.get(), &sh.segCursor,
+                &sh.txSeq};
+    }
+
+  public:
+    bool supportsWorkload() const override { return true; }
+
+    void
+    workloadSetup(Runtime &rt, const core::WorkloadKeymap &map) override
+    {
+        wlMap_ = map;
+        wlShards_.clear();
+        wlShards_.resize(map.threads);
+        const Addr region = lineBase(config_.poolBytes / map.threads);
+        const Addr part_bytes =
+            lineBase(sizeof(Partition) + kCacheLineSize);
+        panic_if(region <=
+                     part_bytes + kUndoLogBytes + (4u << 20),
+                 "nstore workload: pool too small for %u shards",
+                 map.threads);
+        for (unsigned t = 0; t < map.threads; t++) {
+            pm::PmContext &ctx = rt.ctx(t);
+            WlShard &sh = wlShards_[t];
+            sh.part = static_cast<Addr>(t) * region;
+            sh.undo = sh.part + part_bytes;
+            const Addr heap_off =
+                lineBase(sh.undo + kUndoLogBytes + kCacheLineSize);
+            sh.heap = std::make_unique<alloc::BuddyAllocator>(
+                ctx, heap_off, sh.part + region - heap_off);
+
+            Partition hdr{};
+            hdr.magic = Partition::kMagic;
+            hdr.activeLog = kNullAddr;
+            for (auto &slot : hdr.index)
+                slot = kNullAddr;
+            ctx.store(sh.part, &hdr, sizeof(hdr), DataClass::User);
+            ctx.flush(sh.part, sizeof(hdr));
+            UndoRec end{UndoRec::kMagic, 0, 0, 0, 0, 0};
+            ctx.store(sh.undo, &end, sizeof(end), DataClass::Log);
+            ctx.flush(sh.undo, sizeof(end));
+            ctx.fence(FenceKind::Durability);
+
+            const PartRef pr = wlRef(t);
+            Rng rng(config_.seed + t);
+            for (std::uint64_t i = 0; i < map.perThread(); i++)
+                insertTuple(ctx, pr, map.lo(t) + i, rng, nullptr);
+        }
+    }
+
+    bool
+    workloadGet(pm::PmContext &ctx, ThreadId tid,
+                std::uint64_t key) override
+    {
+        wlPad(ctx, key);
+        const Addr off = findTuple(ctx, wlRef(tid), key);
+        if (off == kNullAddr)
+            return false;
+        Tuple t{};
+        ctx.load(off, &t, sizeof(t));
+        ctx.compute(40);
+        return true;
+    }
+
+    void
+    workloadPut(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t value) override
+    {
+        wlPad(ctx, key);
+        const PartRef pr = wlRef(tid);
+        const TxId tx = ctx.txBegin();
+        const Addr undo_seg = acquireUndoSegment(pr);
+        const std::uint64_t undo_seq = undoActivate(ctx, pr, undo_seg);
+        Addr undo_head = undo_seg;
+        std::vector<std::pair<Addr, std::uint32_t>> dirty;
+
+        const Addr off = findTuple(ctx, pr, key);
+        Rng vrng(value ^ key);
+        if (off != kNullAddr)
+            updateTuple(ctx, pr, off, vrng, undo_head, undo_seq, 9,
+                        dirty);
+        else
+            insertTuple(ctx, pr, key, vrng, &undo_head, undo_seq);
+
+        for (const auto &[doff, n] : dirty)
+            ctx.flush(doff, n);
+        ctx.fence(FenceKind::Durability);
+        undoRetire(ctx, pr);
+        ctx.txEnd(tx);
+    }
+
+    bool
+    workloadRmw(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t delta) override
+    {
+        wlPad(ctx, key);
+        const PartRef pr = wlRef(tid);
+        const Addr off = findTuple(ctx, pr, key);
+        if (off == kNullAddr) {
+            workloadPut(ctx, tid, key, delta);
+            return false;
+        }
+        Tuple t{};
+        ctx.load(off, &t, sizeof(t));
+
+        const TxId tx = ctx.txBegin();
+        const Addr undo_seg = acquireUndoSegment(pr);
+        const std::uint64_t undo_seq = undoActivate(ctx, pr, undo_seg);
+        Addr undo_head = undo_seg;
+        std::vector<std::pair<Addr, std::uint32_t>> dirty;
+        Rng vrng(delta ^ t.seq);
+        updateTuple(ctx, pr, off, vrng, undo_head, undo_seq, 3, dirty);
+        for (const auto &[doff, n] : dirty)
+            ctx.flush(doff, n);
+        ctx.fence(FenceKind::Durability);
+        undoRetire(ctx, pr);
+        ctx.txEnd(tx);
+        return true;
+    }
+
+    std::uint64_t
+    workloadScan(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                 std::uint64_t len) override
+    {
+        wlPad(ctx, key);
+        const PartRef pr = wlRef(tid);
+        std::uint64_t found = 0;
+        for (std::uint64_t j = 0; j < len; j++) {
+            const Addr off =
+                findTuple(ctx, pr, wlMap_.scanKey(tid, key, j));
+            if (off == kNullAddr)
+                continue;
+            Tuple t{};
+            ctx.load(off, &t, sizeof(t));
+            found++;
+        }
+        return found;
+    }
+
+    VerifyReport
+    workloadCheck(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        for (unsigned t = 0; t < wlMap_.threads; t++) {
+            std::string why;
+            rep.check(checkPartitionAt(rt.ctx(t), wlShards_[t].part,
+                                       &why),
+                      "tables-intact", why);
+            rep.check(ctx_activeLogRetired(rt.ctx(t), wlShards_[t].part),
+                      "undo-retired", "workload shard " +
+                          std::to_string(t) +
+                          " still publishes an active undo log");
+        }
+        return rep;
+    }
+
+  private:
+    bool
+    ctx_activeLogRetired(pm::PmContext &ctx, Addr part_off)
+    {
+        return ctx.pool().at<Partition>(part_off)->activeLog ==
+               kNullAddr;
+    }
+
+    struct WlShard
+    {
+        Addr part = 0;
+        Addr undo = 0;
+        std::uint32_t segCursor = 0;
+        std::uint64_t txSeq = 1;
+        std::unique_ptr<alloc::BuddyAllocator> heap;
+    };
 
     NstoreWorkload workload_;
     Addr partitionsOff_ = 0;
@@ -794,6 +1028,8 @@ class NstoreApp : public WhisperApp
     std::vector<std::uint32_t> segCursor_;
     std::vector<std::uint64_t> txSeq_;
     std::unique_ptr<alloc::BuddyAllocator> heap_;
+    core::WorkloadKeymap wlMap_;
+    std::vector<WlShard> wlShards_;
 };
 
 } // namespace

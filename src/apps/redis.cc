@@ -200,14 +200,192 @@ class RedisApp : public WhisperApp
         pool_->scrub(rt.ctx(0), lines, rep);
     }
 
+    /** @{ \name Generated-workload surface
+     *
+     * Real deployments scale single-threaded Redis by running one
+     * server instance per core (redis-cluster); the generated
+     * workload models exactly that: every worker thread is its own
+     * server shard — private dict + private NvmlPool over a disjoint
+     * device slice — executing its clients' commands inline with the
+     * run() event-loop padding per command.
+     */
+
+    bool supportsWorkload() const override { return true; }
+
+    void
+    workloadSetup(Runtime &rt, const WorkloadKeymap &map) override
+    {
+        wlMap_ = map;
+        wlShards_.clear();
+        const std::size_t region =
+            lineBase(config_.poolBytes / config_.threads);
+        panic_if(region <= sizeof(DictRoot) + (2u << 20),
+                 "redis: pool too small for per-thread workload "
+                 "shards");
+        for (unsigned t = 0; t < map.threads; t++) {
+            pm::PmContext &ctx = rt.ctx(t);
+            WlShard shard;
+            shard.dictOff = static_cast<Addr>(t) * region;
+            const Addr pool_base = lineBase(
+                shard.dictOff + sizeof(DictRoot) + kCacheLineSize);
+            shard.pool = std::make_unique<nvml::NvmlPool>(
+                ctx, pool_base,
+                shard.dictOff + region - pool_base, 1);
+            DictRoot root{};
+            root.magic = DictRoot::kMagic;
+            for (auto &b : root.buckets)
+                b = kNullAddr;
+            ctx.store(shard.dictOff, &root, sizeof(root),
+                      DataClass::User);
+            ctx.flush(shard.dictOff, sizeof(root));
+            ctx.fence(FenceKind::Durability);
+            wlShards_.push_back(std::move(shard));
+            const ThreadId tid = static_cast<ThreadId>(t);
+            for (std::uint64_t i = 0; i < map.perThread(); i++) {
+                const std::uint64_t k = map.lo(tid) + i;
+                char key[kKeyBytes], val[kValBytes];
+                const int klen = formatKey(key, k);
+                const int vlen = formatVal(
+                    val, k * 0x9e3779b97f4a7c15ull);
+                setCmdAt(ctx, *wlShards_[t].pool,
+                         wlShards_[t].dictOff, key, klen, val, vlen);
+            }
+        }
+    }
+
+    bool
+    workloadGet(pm::PmContext &ctx, ThreadId tid,
+                std::uint64_t key) override
+    {
+        char kbuf[kKeyBytes];
+        const int klen = formatKey(kbuf, key);
+        pad(ctx, kbuf);
+        const Addr off =
+            findAt(ctx, wlShards_[tid].dictOff, kbuf, klen);
+        if (off != kNullAddr) {
+            DictEntry e{};
+            ctx.load(off, &e, sizeof(e));
+        }
+        ctx.compute(80); // reply formatting
+        return off != kNullAddr;
+    }
+
+    void
+    workloadPut(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t value) override
+    {
+        char kbuf[kKeyBytes], vbuf[kValBytes];
+        const int klen = formatKey(kbuf, key);
+        const int vlen = formatVal(vbuf, value);
+        pad(ctx, kbuf);
+        setCmdAt(ctx, *wlShards_[tid].pool, wlShards_[tid].dictOff,
+                 kbuf, klen, vbuf, vlen);
+    }
+
+    bool
+    workloadRmw(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t delta) override
+    {
+        char kbuf[kKeyBytes], vbuf[kValBytes];
+        const int klen = formatKey(kbuf, key);
+        pad(ctx, kbuf);
+        const Addr off =
+            findAt(ctx, wlShards_[tid].dictOff, kbuf, klen);
+        std::uint64_t fold = delta;
+        if (off != kNullAddr) {
+            DictEntry e{};
+            ctx.load(off, &e, sizeof(e));
+            fold += mne::foldChecksum(e.val, e.valLen);
+        }
+        const int vlen = formatVal(vbuf, fold);
+        setCmdAt(ctx, *wlShards_[tid].pool, wlShards_[tid].dictOff,
+                 kbuf, klen, vbuf, vlen);
+        return off != kNullAddr;
+    }
+
+    std::uint64_t
+    workloadScan(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                 std::uint64_t len) override
+    {
+        char kbuf[kKeyBytes];
+        pad(ctx, kbuf);
+        std::uint64_t found = 0;
+        for (std::uint64_t j = 0; j < len; j++) {
+            const int klen =
+                formatKey(kbuf, wlMap_.scanKey(tid, key, j));
+            const Addr off =
+                findAt(ctx, wlShards_[tid].dictOff, kbuf, klen);
+            if (off != kNullAddr) {
+                DictEntry e{};
+                ctx.load(off, &e, sizeof(e));
+                found++;
+            }
+        }
+        ctx.compute(80);
+        return found;
+    }
+
+    VerifyReport
+    workloadCheck(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        for (unsigned t = 0; t < wlShards_.size(); t++) {
+            std::string why;
+            rep.check(checkDictAt(rt, wlShards_[t].dictOff, &why),
+                      "dict-intact",
+                      "shard " + std::to_string(t) + ": " + why);
+            rep.check(wlShards_[t].pool->logsQuiescent(rt.ctx(0),
+                                                       &why),
+                      "logs-quiescent", why);
+        }
+        return rep;
+    }
+
+    /** @} */
+
   private:
+    struct WlShard
+    {
+        Addr dictOff = 0;
+        std::unique_ptr<nvml::NvmlPool> pool;
+    };
+
+    static int
+    formatKey(char *buf, std::uint64_t key)
+    {
+        return std::snprintf(buf, kKeyBytes, "key:%llu",
+                             static_cast<unsigned long long>(key));
+    }
+
+    static int
+    formatVal(char *buf, std::uint64_t v)
+    {
+        return std::snprintf(buf, kValBytes, "value-%016llx",
+                             static_cast<unsigned long long>(v));
+    }
+
+    /** run()'s per-command event-loop padding (Fig. 6 proportions). */
+    void
+    pad(pm::PmContext &ctx, const void *base)
+    {
+        ctx.vBurst(base, 1 << 14, 500, 250);
+        ctx.compute(3500);
+    }
+
     DictRoot *dict(pm::PmContext &ctx) { return ctx.pool().at<DictRoot>(
         dictOff_); }
 
     Addr
     find(pm::PmContext &ctx, const char *key, std::size_t klen)
     {
-        DictRoot *d = dict(ctx);
+        return findAt(ctx, dictOff_, key, klen);
+    }
+
+    Addr
+    findAt(pm::PmContext &ctx, Addr dict_off, const char *key,
+           std::size_t klen)
+    {
+        DictRoot *d = ctx.pool().at<DictRoot>(dict_off);
         Addr cur = d->buckets[hashBytes(key, klen) % kBuckets];
         while (cur != kNullAddr) {
             DictEntry probe{};
@@ -226,8 +404,16 @@ class RedisApp : public WhisperApp
     setCmd(pm::PmContext &ctx, const char *key, std::size_t klen,
            const char *val, std::size_t vlen)
     {
-        const Addr existing = find(ctx, key, klen);
-        nvml::TxContext tx(*pool_, ctx);
+        setCmdAt(ctx, *pool_, dictOff_, key, klen, val, vlen);
+    }
+
+    void
+    setCmdAt(pm::PmContext &ctx, nvml::NvmlPool &pool, Addr dict_off,
+             const char *key, std::size_t klen, const char *val,
+             std::size_t vlen)
+    {
+        const Addr existing = findAt(ctx, dict_off, key, klen);
+        nvml::TxContext tx(pool, ctx);
         if (existing != kNullAddr) {
             // Overwrite in place: snapshot the value region, store.
             DictEntry *e = ctx.pool().at<DictEntry>(existing);
@@ -256,7 +442,7 @@ class RedisApp : public WhisperApp
         e.keyLen = static_cast<std::uint32_t>(klen);
         e.valLen = static_cast<std::uint32_t>(vlen);
         e.checksum = entryChecksum(e);
-        DictRoot *d = dict(ctx);
+        DictRoot *d = ctx.pool().at<DictRoot>(dict_off);
         Addr &bucket = d->buckets[hashBytes(key, klen) % kBuckets];
         e.next = bucket;
         tx.directStore(off, &e, sizeof(e), DataClass::User);
@@ -279,8 +465,14 @@ class RedisApp : public WhisperApp
     bool
     checkDict(Runtime &rt, std::string *why)
     {
+        return checkDictAt(rt, dictOff_, why);
+    }
+
+    bool
+    checkDictAt(Runtime &rt, Addr dict_off, std::string *why)
+    {
         pm::PmContext &ctx = rt.ctx(0);
-        DictRoot *d = dict(ctx);
+        DictRoot *d = ctx.pool().at<DictRoot>(dict_off);
         if (d->magic != DictRoot::kMagic) {
             if (why)
                 *why = "bad dict magic";
@@ -321,6 +513,8 @@ class RedisApp : public WhisperApp
     std::unique_ptr<nvml::NvmlPool> pool_;
     Addr rootOff_ = kNullAddr;
     Addr dictOff_ = 0;
+    WorkloadKeymap wlMap_;
+    std::vector<WlShard> wlShards_;
 };
 
 } // namespace

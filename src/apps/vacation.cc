@@ -463,11 +463,295 @@ class VacationApp : public WhisperApp
         return true;
     }
 
+    // ---- Unified workload driver surface ------------------------------
+    //
+    // The KV workload maps onto the item tables: a key is an item id in
+    // a per-thread car tree, the value is its price. Each workload
+    // thread owns a private root + Mnemosyne heap over a disjoint pool
+    // slice (the STAMP suite's data-partitioned client mode), so op
+    // costs do not depend on cross-thread interleaving. Customers and
+    // the global counters stay a run()-only feature; the workload check
+    // validates tree shape and checksums instead.
+
+    /** DRAM-side query planning, matching run()'s per-op shape. */
+    void
+    wlPad(pm::PmContext &ctx, std::uint64_t key)
+    {
+        ctx.vBurst(&key, 1 << 15, 2100, 900);
+        ctx.compute(9000);
+    }
+
+    Addr
+    findItemAt(pm::PmContext &ctx, Addr root_off, std::uint64_t id)
+    {
+        Addr cur = ctx.pool().at<VacationRoot>(root_off)
+                       ->itemTrees[kCar];
+        while (cur != kNullAddr) {
+            Item probe{};
+            ctx.load(cur, &probe, sizeof(probe));
+            if (probe.id == id)
+                return cur;
+            cur = id < probe.id ? probe.left : probe.right;
+        }
+        return kNullAddr;
+    }
+
+    /** Preload-phase insert into a shard tree (plain persists). */
+    void
+    insertItemSetupAt(pm::PmContext &ctx, mne::MnemosyneHeap &heap,
+                      Addr root_off, std::uint64_t id,
+                      std::uint64_t price)
+    {
+        const Addr off = heap.pmalloc(ctx, sizeof(Item));
+        panic_if(off == kNullAddr, "vacation workload heap exhausted");
+        Item it{};
+        it.id = id;
+        it.numFree = 4;
+        it.numTotal = 4;
+        it.price = price;
+        it.left = it.right = kNullAddr;
+        it.checksum = itemChecksum(it);
+        ctx.store(off, &it, sizeof(it), DataClass::User);
+        ctx.flush(off, sizeof(it));
+        ctx.fence(FenceKind::Ordering);
+
+        Addr link_off = root_off + offsetof(VacationRoot, itemTrees) +
+                        kCar * sizeof(Addr);
+        Addr cur = *ctx.pool().at<Addr>(link_off);
+        while (cur != kNullAddr) {
+            const Item *node = ctx.pool().at<Item>(cur);
+            link_off = cur + (id < node->id ? offsetof(Item, left)
+                                            : offsetof(Item, right));
+            cur = *ctx.pool().at<Addr>(link_off);
+        }
+        ctx.store(link_off, &off, 8, DataClass::User);
+        ctx.flush(link_off, 8);
+        ctx.fence(FenceKind::Ordering);
+    }
+
+    /** Durable-transaction insert used for workload inserts. */
+    void
+    insertItemTx(pm::PmContext &ctx, mne::MnemosyneHeap &heap,
+                 Addr root_off, std::uint64_t id, std::uint64_t price)
+    {
+        mne::Transaction tx(heap, ctx);
+        const Addr off = tx.pmalloc(sizeof(Item));
+        if (off == kNullAddr) {
+            tx.abort();
+            panic("vacation workload heap exhausted");
+        }
+        Item it{};
+        it.id = id;
+        it.numFree = 4;
+        it.numTotal = 4;
+        it.price = price;
+        it.left = it.right = kNullAddr;
+        it.checksum = itemChecksum(it);
+        tx.update(off, &it, sizeof(it), DataClass::User);
+
+        Addr link_off = root_off + offsetof(VacationRoot, itemTrees) +
+                        kCar * sizeof(Addr);
+        Addr cur = tx.get(*ctx.pool().at<Addr>(link_off));
+        while (cur != kNullAddr) {
+            const Item *node = ctx.pool().at<Item>(cur);
+            link_off = cur + (id < node->id ? offsetof(Item, left)
+                                            : offsetof(Item, right));
+            cur = tx.get(*ctx.pool().at<Addr>(link_off));
+        }
+        tx.update(link_off, &off, 8, DataClass::User);
+        tx.commit();
+    }
+
+    /** Durable-transaction price update (existing item). */
+    void
+    updatePriceTx(pm::PmContext &ctx, mne::MnemosyneHeap &heap,
+                  Addr item_off, std::uint64_t price)
+    {
+        mne::Transaction tx(heap, ctx);
+        Item staged{};
+        tx.read(item_off, &staged, sizeof(staged));
+        staged.price = price;
+        staged.checksum = itemChecksum(staged);
+        tx.update(item_off + offsetof(Item, price), &staged.price, 8,
+                  DataClass::User);
+        tx.set(ctx.pool().at<Item>(item_off)->checksum,
+               staged.checksum, DataClass::User);
+        tx.commit();
+    }
+
+  public:
+    bool supportsWorkload() const override { return true; }
+
+    void
+    workloadSetup(Runtime &rt, const core::WorkloadKeymap &map) override
+    {
+        wlMap_ = map;
+        wlShards_.clear();
+        wlShards_.resize(map.threads);
+        const Addr region = lineBase(config_.poolBytes / map.threads);
+        panic_if(region <= sizeof(VacationRoot) + (2u << 20),
+                 "vacation workload: pool too small for %u shards",
+                 map.threads);
+        for (unsigned t = 0; t < map.threads; t++) {
+            pm::PmContext &ctx = rt.ctx(t);
+            WlShard &sh = wlShards_[t];
+            sh.rootOff = static_cast<Addr>(t) * region;
+            const Addr heap_base = lineBase(
+                sh.rootOff + sizeof(VacationRoot) + kCacheLineSize);
+            sh.heap = std::make_unique<mne::MnemosyneHeap>(
+                ctx, heap_base, sh.rootOff + region - heap_base, 1);
+
+            VacationRoot root{};
+            root.magic = VacationRoot::kMagic;
+            for (auto &tree : root.itemTrees)
+                tree = kNullAddr;
+            root.customersOff = kNullAddr;
+            ctx.store(sh.rootOff, &root, sizeof(root), DataClass::User);
+            ctx.flush(sh.rootOff, sizeof(root));
+            ctx.fence(FenceKind::Durability);
+
+            // Midpoint-first insertion order builds a perfectly
+            // balanced BST (sequential order would degrade it to a
+            // linked list; ScrambledSequence repeats values for
+            // non-power-of-two sizes, and a duplicate id breaks the
+            // strict BST invariant the check walks).
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> order;
+            order.push_back({0, map.perThread()});
+            while (!order.empty()) {
+                const auto [lo, hi] = order.back();
+                order.pop_back();
+                if (lo >= hi)
+                    continue;
+                const std::uint64_t mid = lo + (hi - lo) / 2;
+                const std::uint64_t key = map.lo(t) + mid;
+                insertItemSetupAt(ctx, *sh.heap, sh.rootOff, key,
+                                  key * 0x9e3779b97f4a7c15ull);
+                order.push_back({lo, mid});
+                order.push_back({mid + 1, hi});
+            }
+        }
+    }
+
+    bool
+    workloadGet(pm::PmContext &ctx, ThreadId tid,
+                std::uint64_t key) override
+    {
+        WlShard &sh = wlShards_[tid];
+        wlPad(ctx, key);
+        return findItemAt(ctx, sh.rootOff, key) != kNullAddr;
+    }
+
+    void
+    workloadPut(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t value) override
+    {
+        WlShard &sh = wlShards_[tid];
+        wlPad(ctx, key);
+        const Addr off = findItemAt(ctx, sh.rootOff, key);
+        if (off != kNullAddr)
+            updatePriceTx(ctx, *sh.heap, off, value);
+        else
+            insertItemTx(ctx, *sh.heap, sh.rootOff, key, value);
+    }
+
+    bool
+    workloadRmw(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                std::uint64_t delta) override
+    {
+        WlShard &sh = wlShards_[tid];
+        wlPad(ctx, key);
+        const Addr off = findItemAt(ctx, sh.rootOff, key);
+        if (off == kNullAddr) {
+            insertItemTx(ctx, *sh.heap, sh.rootOff, key, delta);
+            return false;
+        }
+        std::uint64_t price = 0;
+        ctx.load(off + offsetof(Item, price), &price, 8);
+        updatePriceTx(ctx, *sh.heap, off, price + delta);
+        return true;
+    }
+
+    std::uint64_t
+    workloadScan(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                 std::uint64_t len) override
+    {
+        WlShard &sh = wlShards_[tid];
+        wlPad(ctx, key);
+        std::uint64_t found = 0;
+        for (std::uint64_t j = 0; j < len; j++) {
+            if (findItemAt(ctx, sh.rootOff,
+                           wlMap_.scanKey(tid, key, j)) != kNullAddr)
+                found++;
+        }
+        return found;
+    }
+
+    VerifyReport
+    workloadCheck(Runtime &rt) override
+    {
+        VerifyReport rep = report();
+        for (unsigned t = 0; t < wlMap_.threads; t++) {
+            std::string why;
+            rep.check(checkShardTree(rt.ctx(t), wlShards_[t].rootOff,
+                                     &why),
+                      "tree-intact", why);
+            rep.check(wlShards_[t].heap->logsQuiescent(rt.ctx(t), &why),
+                      "logs-quiescent", why);
+        }
+        return rep;
+    }
+
+  private:
+    /** Shard tree walk: BST order + checksums. */
+    bool
+    checkShardTree(pm::PmContext &ctx, Addr root_off, std::string *why)
+    {
+        const VacationRoot *r = ctx.pool().at<VacationRoot>(root_off);
+        if (r->magic != VacationRoot::kMagic) {
+            if (why)
+                *why = "bad root magic";
+            return false;
+        }
+        std::vector<std::pair<Addr, std::pair<std::uint64_t,
+                                              std::uint64_t>>>
+            stack;
+        if (r->itemTrees[kCar] != kNullAddr)
+            stack.push_back({r->itemTrees[kCar], {0, ~std::uint64_t(0)}});
+        while (!stack.empty()) {
+            auto [off, range] = stack.back();
+            stack.pop_back();
+            const Item *it = ctx.pool().at<Item>(off);
+            if (it->checksum != itemChecksum(*it)) {
+                if (why)
+                    *why = "item checksum mismatch";
+                return false;
+            }
+            if (it->id < range.first || it->id > range.second) {
+                if (why)
+                    *why = "BST order violated";
+                return false;
+            }
+            if (it->left != kNullAddr)
+                stack.push_back({it->left, {range.first, it->id - 1}});
+            if (it->right != kNullAddr)
+                stack.push_back({it->right, {it->id + 1, range.second}});
+        }
+        return true;
+    }
+
+    struct WlShard
+    {
+        Addr rootOff = 0;
+        std::unique_ptr<mne::MnemosyneHeap> heap;
+    };
+
     std::unique_ptr<mne::MnemosyneHeap> heap_;
     Addr rootOff_ = 0;
     std::uint64_t itemCount_ = 0;
     std::uint64_t customerCount_ = 0;
     std::mutex tableLock_;
+    core::WorkloadKeymap wlMap_;
+    std::vector<WlShard> wlShards_;
 };
 
 } // namespace

@@ -20,6 +20,61 @@ accessLayerName(AccessLayer layer)
     return "?";
 }
 
+// Default workload surface: opting in requires overriding all five
+// entry points, so reaching one of these bodies is a harness bug
+// (the driver refuses apps whose supportsWorkload() is false).
+void
+WhisperApp::workloadSetup(Runtime &rt, const WorkloadKeymap &map)
+{
+    (void)rt;
+    (void)map;
+    fatal("app '%s' does not implement the workload surface",
+          name().c_str());
+}
+
+bool
+WhisperApp::workloadGet(pm::PmContext &ctx, ThreadId tid,
+                        std::uint64_t key)
+{
+    (void)ctx;
+    (void)tid;
+    (void)key;
+    fatal("app '%s' does not implement workloadGet", name().c_str());
+}
+
+void
+WhisperApp::workloadPut(pm::PmContext &ctx, ThreadId tid,
+                        std::uint64_t key, std::uint64_t value)
+{
+    (void)ctx;
+    (void)tid;
+    (void)key;
+    (void)value;
+    fatal("app '%s' does not implement workloadPut", name().c_str());
+}
+
+bool
+WhisperApp::workloadRmw(pm::PmContext &ctx, ThreadId tid,
+                        std::uint64_t key, std::uint64_t delta)
+{
+    (void)ctx;
+    (void)tid;
+    (void)key;
+    (void)delta;
+    fatal("app '%s' does not implement workloadRmw", name().c_str());
+}
+
+std::uint64_t
+WhisperApp::workloadScan(pm::PmContext &ctx, ThreadId tid,
+                         std::uint64_t key, std::uint64_t len)
+{
+    (void)ctx;
+    (void)tid;
+    (void)key;
+    (void)len;
+    fatal("app '%s' does not implement workloadScan", name().c_str());
+}
+
 namespace
 {
 std::map<std::string, AppFactory> &

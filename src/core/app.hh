@@ -83,6 +83,73 @@ enum class AccessLayer
 const char *accessLayerName(AccessLayer layer);
 
 /**
+ * Key-space partition convention shared by the workload driver
+ * (src/workload/) and the per-app workload adapters.
+ *
+ * Determinism contract: at a fixed seed and thread count, a workload
+ * run must produce bit-identical latency digests regardless of how
+ * the OS interleaves the threads. Shared structures cannot give that
+ * (chain lengths and allocator state would depend on insert order),
+ * so the driver partitions the key space and every adapter backs each
+ * thread's slice with *private* structure instances over disjoint
+ * pool regions. This mirrors YCSB's one-client-per-thread model: a
+ * thread only ever touches keys it owns.
+ *
+ *  - loaded keys:   thread t owns [lo(t), lo(t) + perThread())
+ *  - inserted keys: the j-th key thread t inserts during the run is
+ *    insertKey(t, j), disjoint from every loaded key and from every
+ *    other thread's inserts.
+ *
+ * localIndex() folds any owned key (loaded or inserted) back to a
+ * dense per-thread index in [0, perThread() + insertsPerThread), which
+ * adapters use to address fixed-size per-thread slots.
+ */
+struct WorkloadKeymap
+{
+    std::uint64_t keys = 0;        //!< loaded keys, total
+    unsigned threads = 1;          //!< worker threads (= partitions)
+    std::uint64_t insertsPerThread = 0; //!< upper bound on run inserts
+
+    std::uint64_t perThread() const { return keys / threads; }
+    std::uint64_t lo(ThreadId tid) const
+    {
+        return static_cast<std::uint64_t>(tid) * perThread();
+    }
+    /** Globally unique id of thread @p tid's @p j-th inserted key. */
+    std::uint64_t insertKey(ThreadId tid, std::uint64_t j) const
+    {
+        return keys + static_cast<std::uint64_t>(tid) *
+                          insertsPerThread + j;
+    }
+    /** Dense per-thread slot index of an owned key. */
+    std::uint64_t localIndex(ThreadId tid, std::uint64_t key) const
+    {
+        if (key < keys)
+            return key - lo(tid);
+        return perThread() +
+               (key - keys -
+                static_cast<std::uint64_t>(tid) * insertsPerThread);
+    }
+    /** Max slots any one thread can ever address. */
+    std::uint64_t slotsPerThread() const
+    {
+        return perThread() + insertsPerThread;
+    }
+    /**
+     * The @p j-th key of a scan starting at @p start_key: consecutive
+     * key ids wrapping inside the thread's *loaded* slice (inserted
+     * keys fold back onto it), so every adapter iterates ranges the
+     * same way and scans never leave the partition.
+     */
+    std::uint64_t scanKey(ThreadId tid, std::uint64_t start_key,
+                          std::uint64_t j) const
+    {
+        return lo(tid) +
+               (localIndex(tid, start_key) + j) % perThread();
+    }
+};
+
+/**
  * One WHISPER application.
  */
 class WhisperApp
@@ -160,6 +227,67 @@ class WhisperApp
         (void)rt;
         return report();
     }
+
+    /** @{ \name Generated-workload surface (src/workload/ driver)
+     *
+     * Applications that opt in (supportsWorkload()) expose per-op
+     * get/put/rmw/scan entry points so the YCSB-style driver can run
+     * generated key-value mixes against them. The driver calls
+     * workloadSetup() once (single-threaded) with the key partition
+     * plan; the adapter builds *per-thread* structure instances over
+     * disjoint pool regions and preloads each thread's slice (see
+     * WorkloadKeymap for why sharing would break determinism). The
+     * per-op calls then run concurrently, thread @p tid only ever
+     * receiving keys it owns. workloadThreadDone() is the per-thread
+     * epilogue (e.g. MOD's threadExit); workloadCheck() validates
+     * structural invariants after the run.
+     */
+
+    /** Whether this app implements the per-op workload surface. */
+    virtual bool supportsWorkload() const { return false; }
+
+    /** Build per-thread structures and preload every partition. */
+    virtual void workloadSetup(Runtime &rt, const WorkloadKeymap &map);
+
+    /** Point lookup; returns whether @p key was found. */
+    virtual bool workloadGet(pm::PmContext &ctx, ThreadId tid,
+                             std::uint64_t key);
+
+    /** Insert-or-update @p key := @p value (durably). */
+    virtual void workloadPut(pm::PmContext &ctx, ThreadId tid,
+                             std::uint64_t key, std::uint64_t value);
+
+    /** Read-modify-write: value += @p delta. Returns found. */
+    virtual bool workloadRmw(pm::PmContext &ctx, ThreadId tid,
+                             std::uint64_t key, std::uint64_t delta);
+
+    /**
+     * Range scan of up to @p len consecutive key ids starting at
+     * @p key (wrapping inside the thread's partition); returns the
+     * number of keys found. Hash-layer apps emulate it as YCSB does
+     * on non-ordered stores: @p len point lookups.
+     */
+    virtual std::uint64_t workloadScan(pm::PmContext &ctx, ThreadId tid,
+                                       std::uint64_t key,
+                                       std::uint64_t len);
+
+    /** Per-thread epilogue after its last generated op. */
+    virtual void
+    workloadThreadDone(pm::PmContext &ctx, ThreadId tid)
+    {
+        (void)ctx;
+        (void)tid;
+    }
+
+    /** Structural invariants after a generated-workload run. */
+    virtual VerifyReport
+    workloadCheck(Runtime &rt)
+    {
+        (void)rt;
+        return report();
+    }
+
+    /** @} */
 
     const AppConfig &config() const { return config_; }
 

@@ -198,6 +198,15 @@ class PmContext
     /** Current logical time (does not advance the clock). */
     Tick now() const { return clock_.now(); }
 
+    /**
+     * Ticks this context has contributed to the global clock. Unlike
+     * now(), deltas of this counter are interleaving-independent: they
+     * sum only the costs of *this thread's* operations, so per-op
+     * latencies derived from them are deterministic for any schedule
+     * of the other threads (the workload driver's latency source).
+     */
+    Tick localTicks() const { return localTicks_; }
+
     /** @} */
 
     /** Pending (unfenced) flushed lines — exposed for tests. */
@@ -270,6 +279,7 @@ class PmContext
     trace::TraceBuffer *tb_;
     CrashPlan *plan_ = nullptr;
 
+    Tick localTicks_ = 0;
     std::vector<LineAddr> pendingFlush_;
     /** WC buffer contents: byte ranges written by NT stores. */
     std::vector<std::pair<Addr, std::uint32_t>> pendingNt_;

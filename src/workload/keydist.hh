@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic YCSB-style key distributions over one thread's
+ * partition of the workload key space.
+ *
+ * Each worker thread owns a KeyChooser seeded from (seed, tid); all
+ * randomness flows through the thread's private Rng stream, so the
+ * key sequence depends only on the seed and thread count — never on
+ * scheduling. Three request distributions are provided:
+ *
+ *  - uniform: every currently existing key (loaded + this thread's
+ *    inserts so far) is equally likely;
+ *  - zipfian: Gray et al. rejection-free zipfian (theta = 0.99) over
+ *    the loaded partition, with the popularity ranks scattered across
+ *    the key space by an FNV-1a scramble — YCSB's
+ *    ScrambledZipfianGenerator. The domain stays fixed at the loaded
+ *    size (inserted keys join the uniform/latest domains only), which
+ *    keeps the zeta normalization constant O(1) per draw;
+ *  - latest: zipfian over recency rank — rank-0 is the most recently
+ *    inserted key (or the last loaded key before any insert), YCSB's
+ *    SkewedLatestGenerator for mix D.
+ */
+
+#ifndef WHISPER_WORKLOAD_KEYDIST_HH
+#define WHISPER_WORKLOAD_KEYDIST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "core/app.hh"
+
+namespace whisper::workload
+{
+
+/** Request distribution for choosing existing keys. */
+enum class KeyDist
+{
+    Uniform,
+    Zipfian,
+    Latest,
+};
+
+const char *keyDistName(KeyDist dist);
+
+/** Parse "uniform" / "zipfian" / "latest"; false on anything else. */
+bool parseKeyDist(const std::string &s, KeyDist &out);
+
+/**
+ * One thread's key chooser. Draws existing keys (for reads, updates,
+ * RMWs and scan starts) from the thread's partition; the driver
+ * reports inserts via noteInsert() so uniform/latest cover them.
+ */
+class KeyChooser
+{
+  public:
+    KeyChooser(KeyDist dist, const core::WorkloadKeymap &map,
+               ThreadId tid, double zipf_theta = 0.99);
+
+    /** Draw one existing key owned by this thread. */
+    std::uint64_t next(Rng &rng);
+
+    /** The thread inserted a new key (its id came from the keymap). */
+    void noteInsert() { inserted_++; }
+
+    std::uint64_t insertedCount() const { return inserted_; }
+
+    /** FNV-1a scramble used to scatter zipfian ranks (exposed for
+     *  tests asserting the skew shape). */
+    static std::uint64_t scramble(std::uint64_t x);
+
+  private:
+    std::uint64_t indexToKey(std::uint64_t i) const;
+
+    KeyDist dist_;
+    core::WorkloadKeymap map_;
+    ThreadId tid_;
+    std::uint64_t loaded_;   //!< keys in this thread's loaded slice
+    std::uint64_t inserted_ = 0;
+    ZipfianGenerator zipf_;
+};
+
+} // namespace whisper::workload
+
+#endif // WHISPER_WORKLOAD_KEYDIST_HH

@@ -1,0 +1,55 @@
+#include "workload/latency_histogram.hh"
+
+#include <cmath>
+
+namespace whisper::workload
+{
+
+Tick
+LatencyHistogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBuckets; i++) {
+        seen += counts_[i];
+        if (seen >= rank)
+            return bucketLowerBound(i);
+    }
+    return bucketLowerBound(kBuckets - 1);
+}
+
+std::uint64_t
+LatencyHistogram::digest() const
+{
+    constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+    constexpr std::uint64_t kPrime = 0x100000001b3ull;
+    std::uint64_t h = kOffset;
+    auto mix = [&h](std::uint64_t v) {
+        for (unsigned b = 0; b < 8; b++) {
+            h ^= (v >> (b * 8)) & 0xff;
+            h *= kPrime;
+        }
+    };
+    mix(count_);
+    mix(sum_);
+    mix(minValue());
+    mix(maxValue());
+    for (unsigned i = 0; i < kBuckets; i++) {
+        if (counts_[i] == 0)
+            continue;
+        mix(i);
+        mix(counts_[i]);
+    }
+    return h;
+}
+
+} // namespace whisper::workload
