@@ -9,6 +9,7 @@
  *
  *   whisper_cli record  <app> <trace.bin> [ops] [threads]
  *   whisper_cli analyze <trace.bin> [--jobs N]
+ *   whisper_cli optimize <trace.bin> [--jobs N] [--json]
  *   whisper_cli simulate <trace.bin> [model...]
  *   whisper_cli apps [--ops N] [--threads N]
  *   whisper_cli workload --app <name> [--mix A..F] [--dist d] ...
@@ -26,6 +27,7 @@
 #include <cstring>
 #include <map>
 
+#include "analysis/optimize.hh"
 #include "analysis/pipeline.hh"
 #include "common/table.hh"
 #include "core/harness.hh"
@@ -51,6 +53,7 @@ printUsage(std::FILE *to)
         "usage:\n"
         "  whisper_cli record  <app> <trace.bin> [ops] [threads]\n"
         "  whisper_cli analyze <trace.bin> [--jobs N]\n"
+        "  whisper_cli optimize <trace.bin> [--jobs N] [--json]\n"
         "  whisper_cli simulate <trace.bin> [model...]\n"
         "  whisper_cli apps [--ops N] [--threads N]\n"
         "  whisper_cli workload --app <name> [--mix A..F|r:u:i:m:s] "
@@ -59,10 +62,10 @@ printUsage(std::FILE *to)
         "[--trace <out.bin>] [--json]\n"
         "  whisper_cli crashfuzz [--cases N] [--jobs N] "
         "[--apps a,b] [--ops N] [--seed S] [--pool-mb M] "
-        "[--threads N] [--no-shrink] [--faults] [--json]\n"
+        "[--threads N] [--no-shrink] [--faults] [--elide] [--json]\n"
         "  whisper_cli crashfuzz --replay <app>:<caseId> [--at K] "
         "[--survivors csv|none] [--ops N] [--seed S] [--pool-mb M] "
-        "[--threads N] [--schedule S] "
+        "[--threads N] [--schedule S] [--elide] "
         "[--fault-plan seed:poison:tear%:transient]\n"
         "  whisper_cli list\n"
         "  whisper_cli help\n"
@@ -165,6 +168,164 @@ cmdAnalyze(int argc, char **argv)
                TextTable::fixed(result.amplification.ratio(), 2) +
                    "x"});
     table.print();
+    return 0;
+}
+
+int
+cmdOptimize(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    analysis::OptimizeOptions options;
+    const char *path = nullptr;
+    bool json = false;
+    for (int i = 2; i < argc; i++) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            char *end = nullptr;
+            unsigned long jobs = std::strtoul(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr, "bad --jobs value: %s\n", argv[i]);
+                return usage();
+            }
+            options.jobs = static_cast<unsigned>(jobs);
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (!path) {
+            path = argv[i];
+        } else {
+            return usage();
+        }
+    }
+    if (!path)
+        return usage();
+
+    // Same section-streaming driver discipline as analyze: the
+    // summary adds up per thread, so output is byte-identical at any
+    // --jobs value (scripts/check.sh diffs --jobs 1 against N).
+    analysis::OptimizeResult result;
+    if (!analysis::optimizeTraceFile(path, result, options)) {
+        std::fputs("trace read failed\n", stderr);
+        return 1;
+    }
+    const analysis::OptimizeSummary &s = result.summary;
+    const auto suggestions = analysis::suggestElisions(s);
+
+    if (json) {
+        std::printf(
+            "{\"threads\":%zu,\"events\":%llu,"
+            "\"flushes\":{\"total\":%llu,\"redirtied\":%llu,"
+            "\"clean\":%llu,\"redundant\":%llu},"
+            "\"fences\":{\"total\":%llu,\"no_conflict\":%llu,"
+            "\"coalescible\":%llu,\"redundant\":%llu},"
+            "\"origins\":[",
+            result.threadCount,
+            (unsigned long long)result.totalEvents,
+            (unsigned long long)s.totalFlushes,
+            (unsigned long long)s.flushRedirtied,
+            (unsigned long long)s.flushClean,
+            (unsigned long long)s.redundantFlushes(),
+            (unsigned long long)s.totalFences,
+            (unsigned long long)s.fenceNoConflict,
+            (unsigned long long)s.fenceCoalescible,
+            (unsigned long long)s.redundantFences());
+        bool first = true;
+        for (std::size_t i = 0; i < trace::kOriginCount; i++) {
+            const analysis::OriginCounts &c = s.byOrigin[i];
+            if (!c.flushes && !c.fences)
+                continue;
+            std::printf(
+                "%s{\"origin\":\"%s\",\"flushes\":%llu,"
+                "\"redundant_flushes\":%llu,\"fences\":%llu,"
+                "\"redundant_fences\":%llu}",
+                first ? "" : ",",
+                trace::originName(static_cast<trace::Origin>(i)),
+                (unsigned long long)c.flushes,
+                (unsigned long long)c.redundantFlushes,
+                (unsigned long long)c.fences,
+                (unsigned long long)c.redundantFences);
+            first = false;
+        }
+        std::printf("],\"suggestions\":[");
+        first = true;
+        for (const auto &sug : suggestions) {
+            std::printf(
+                "%s{\"origin\":\"%s\",\"policy\":\"%s\","
+                "\"redundant_flushes\":%llu,"
+                "\"redundant_fences\":%llu}",
+                first ? "" : ",", trace::originName(sug.origin),
+                sug.policy,
+                (unsigned long long)sug.counts.redundantFlushes,
+                (unsigned long long)sug.counts.redundantFences);
+            first = false;
+        }
+        std::printf("]}\n");
+        return 0;
+    }
+
+    const auto pct = [](std::uint64_t part, std::uint64_t whole) {
+        return TextTable::percent(
+            whole ? static_cast<double>(part) /
+                        static_cast<double>(whole)
+                  : 0.0,
+            1);
+    };
+    TextTable table(std::string("fence/flush redundancy in ") + path);
+    table.header({"metric", "count", "share"});
+    table.row({"threads", TextTable::num(result.threadCount), ""});
+    table.row({"events", TextTable::num(result.totalEvents), ""});
+    table.row({"flushes", TextTable::num(s.totalFlushes), ""});
+    table.row({"  (a) re-dirtied", TextTable::num(s.flushRedirtied),
+               pct(s.flushRedirtied, s.totalFlushes)});
+    table.row({"  (b) clean line", TextTable::num(s.flushClean),
+               pct(s.flushClean, s.totalFlushes)});
+    table.row({"redundant flushes",
+               TextTable::num(s.redundantFlushes()),
+               pct(s.redundantFlushes(), s.totalFlushes)});
+    table.row({"fences", TextTable::num(s.totalFences), ""});
+    table.row({"  (c) no conflict", TextTable::num(s.fenceNoConflict),
+               pct(s.fenceNoConflict, s.totalFences)});
+    table.row({"  (d) coalescible",
+               TextTable::num(s.fenceCoalescible),
+               pct(s.fenceCoalescible, s.totalFences)});
+    table.row({"redundant fences", TextTable::num(s.redundantFences()),
+               pct(s.redundantFences(), s.totalFences)});
+    table.print();
+
+    TextTable origins("by origin site");
+    origins.header({"origin", "flushes", "redundant", "fences",
+                    "redundant"});
+    for (std::size_t i = 0; i < trace::kOriginCount; i++) {
+        const analysis::OriginCounts &c = s.byOrigin[i];
+        if (!c.flushes && !c.fences)
+            continue;
+        origins.row(
+            {trace::originName(static_cast<trace::Origin>(i)),
+             TextTable::num(c.flushes),
+             TextTable::num(c.redundantFlushes),
+             TextTable::num(c.fences),
+             TextTable::num(c.redundantFences)});
+    }
+    origins.print();
+
+    for (const auto &sug : suggestions) {
+        if (sug.policy[0] != '\0')
+            std::printf("suggest: %s -> elision policy %s "
+                        "(%llu flushes, %llu fences removable)\n",
+                        trace::originName(sug.origin), sug.policy,
+                        (unsigned long long)
+                            sug.counts.redundantFlushes,
+                        (unsigned long long)
+                            sug.counts.redundantFences);
+        else
+            std::printf("measured: %s has %llu/%llu redundant ops "
+                        "but no mechanically-safe policy\n",
+                        trace::originName(sug.origin),
+                        (unsigned long long)(
+                            sug.counts.redundantFlushes +
+                            sug.counts.redundantFences),
+                        (unsigned long long)(sug.counts.flushes +
+                                             sug.counts.fences));
+    }
     return 0;
 }
 
@@ -476,6 +637,8 @@ cmdCrashfuzz(int argc, char **argv)
             options.shrinkViolations = false;
         } else if (std::strcmp(arg, "--faults") == 0) {
             options.config.faults = true;
+        } else if (std::strcmp(arg, "--elide") == 0) {
+            options.config.elide = true;
         } else if (std::strcmp(arg, "--json") == 0) {
             json = true;
             options.keepReports = true;
@@ -691,6 +854,8 @@ main(int argc, char **argv)
         return cmdRecord(argc, argv);
     if (std::strcmp(argv[1], "analyze") == 0)
         return cmdAnalyze(argc, argv);
+    if (std::strcmp(argv[1], "optimize") == 0)
+        return cmdOptimize(argc, argv);
     if (std::strcmp(argv[1], "simulate") == 0)
         return cmdSimulate(argc, argv);
     if (std::strcmp(argv[1], "apps") == 0)

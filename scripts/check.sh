@@ -133,6 +133,67 @@ if [[ "$docs_only" == 0 ]]; then
 fi
 
 # ---------------------------------------------------------------
+# Elision equivalence: the same media-fault sweep with and without
+# the txlib elision policy must produce identical per-case
+# VerifyReport verdicts. Crash images, digests and the set of cases
+# that end Degraded legitimately differ — elision changes the PM-op
+# schedule, so case K cuts a different op and the fault plan lands
+# on a different dirty-line set — but the contract verdict (held,
+# possibly degraded, vs violated) may not: every elided operation
+# was provably redundant.
+# ---------------------------------------------------------------
+if [[ "$docs_only" == 0 ]]; then
+    echo "== crashfuzz: elision-on/off fault-sweep equivalence =="
+    verdicts() {
+        run_leg build/examples/whisper_cli crashfuzz --cases 64 \
+            --jobs "$(nproc)" --faults --no-shrink --json \
+            --apps vacation,hashmap "$@" |
+            grep -oE '"ok":(true|false),"degraded":(true|false)' |
+            awk -F'[:,]' '{print ($2 == "true" || $4 == "true") \
+                           ? "held" : "VIOLATED"}'
+    }
+    base=$(verdicts)
+    elided=$(verdicts --elide)
+    if [[ -z "$base" || "$base" != "$elided" ]]; then
+        echo "FAIL: elision changed per-case recovery verdicts"
+        failures=$((failures + 1))
+    elif grep -q VIOLATED <<<"$base"; then
+        echo "FAIL: fault sweep violated recovery invariants"
+        failures=$((failures + 1))
+    else
+        echo "ok: elided sweep matches baseline verdict for verdict"
+    fi
+fi
+
+# ---------------------------------------------------------------
+# Optimizer determinism: the redundancy report is a commutative fold
+# of per-thread summaries, so `optimize` output (table and JSON)
+# must be bit-identical at any --jobs value.
+# ---------------------------------------------------------------
+if [[ "$docs_only" == 0 ]]; then
+    echo "== optimize: --jobs determinism =="
+    opt_trace=$(mktemp /tmp/whisper-optimize-XXXXXX.bin)
+    run_leg build/examples/whisper_cli record vacation \
+        "$opt_trace" 120 4 >/dev/null
+    one=$(run_leg build/examples/whisper_cli optimize "$opt_trace" \
+        --jobs 1; run_leg build/examples/whisper_cli optimize \
+        "$opt_trace" --jobs 1 --json)
+    many=$(run_leg build/examples/whisper_cli optimize "$opt_trace" \
+        --jobs "$(nproc)"; run_leg build/examples/whisper_cli \
+        optimize "$opt_trace" --jobs "$(nproc)" --json)
+    rm -f "$opt_trace"
+    if [[ -z "$one" || "$one" != "$many" ]]; then
+        echo "FAIL: optimize output varies with --jobs"
+        failures=$((failures + 1))
+    elif ! grep -qE '"redundant":[1-9]' <<<"$one"; then
+        echo "FAIL: optimize found no redundancy on a vacation trace"
+        failures=$((failures + 1))
+    else
+        echo "ok: optimize bit-identical at --jobs 1 and $(nproc)"
+    fi
+fi
+
+# ---------------------------------------------------------------
 # Docs check 1: doxygen must run warning-clean.
 # ---------------------------------------------------------------
 echo "== docs: doxygen =="
@@ -190,7 +251,7 @@ if [[ -x build/examples/whisper_cli ]]; then
     help_out=$(build/examples/whisper_cli help)
     help_subs=$(awk '/^  whisper_cli /{print $2}' <<<"$help_out" |
                 grep -v '^--' | sort -u)
-    doc_subs=$(grep -oE 'whisper_cli (record|analyze|simulate|apps|workload|crashfuzz|list|help)\b' \
+    doc_subs=$(grep -oE 'whisper_cli (record|analyze|optimize|simulate|apps|workload|crashfuzz|list|help)\b' \
                docs/CLI.md | awk '{print $2}' | sort -u)
     for sub in $help_subs; do
         if ! grep -qx "$sub" <<<"$doc_subs"; then

@@ -610,24 +610,14 @@ class VacationApp : public WhisperApp
             ctx.flush(sh.rootOff, sizeof(root));
             ctx.fence(FenceKind::Durability);
 
-            // Midpoint-first insertion order builds a perfectly
-            // balanced BST (sequential order would degrade it to a
-            // linked list; ScrambledSequence repeats values for
-            // non-power-of-two sizes, and a duplicate id breaks the
-            // strict BST invariant the check walks).
-            std::vector<std::pair<std::uint64_t, std::uint64_t>> order;
-            order.push_back({0, map.perThread()});
-            while (!order.empty()) {
-                const auto [lo, hi] = order.back();
-                order.pop_back();
-                if (lo >= hi)
-                    continue;
-                const std::uint64_t mid = lo + (hi - lo) / 2;
-                const std::uint64_t key = map.lo(t) + mid;
+            // Scrambled insertion order keeps the BST shallow
+            // (sequential order would degrade it to a linked list).
+            Rng order_rng(config_.seed ^ (0xace1ull + t));
+            ScrambledSequence order(map.perThread(), order_rng);
+            for (std::uint64_t i = 0; i < map.perThread(); i++) {
+                const std::uint64_t key = map.lo(t) + order.at(i);
                 insertItemSetupAt(ctx, *sh.heap, sh.rootOff, key,
                                   key * 0x9e3779b97f4a7c15ull);
-                order.push_back({lo, mid});
-                order.push_back({mid + 1, hi});
             }
         }
     }

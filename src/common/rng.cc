@@ -132,16 +132,38 @@ ScrambledSequence::ScrambledSequence(std::uint64_t n, Rng &rng)
     : n_(n)
 {
     panic_if(n == 0, "ScrambledSequence over empty domain");
-    // Odd multiplier gives a bijection modulo 2^64; modulo n it is a
-    // well-scattered (if not perfectly uniform) visit order.
+    bits_ = 1;
+    while (bits_ < 64 && (std::uint64_t(1) << bits_) < n)
+        bits_++;
+    mask_ = bits_ == 64 ? ~std::uint64_t(0)
+                        : (std::uint64_t(1) << bits_) - 1;
     mult_ = rng() | 1;
     add_ = rng();
 }
 
 std::uint64_t
+ScrambledSequence::permute(std::uint64_t x) const
+{
+    // Each step is invertible on the low bits_ bits: odd multiply and
+    // add modulo 2^bits_, xor with a right shift of at least one.
+    x = (x * mult_) & mask_;
+    x ^= x >> (bits_ / 2 + 1);
+    x = (x + add_) & mask_;
+    x = (x * mult_) & mask_;
+    x ^= x >> (bits_ / 3 + 1);
+    return x;
+}
+
+std::uint64_t
 ScrambledSequence::at(std::uint64_t i) const
 {
-    return (i * mult_ + add_) % n_;
+    // Cycle-walk the keyed permutation of [0, 2^bits_) until it lands
+    // inside [0, n): the first-return map is a bijection of [0, n).
+    std::uint64_t x = i;
+    do {
+        x = permute(x);
+    } while (x >= n_);
+    return x;
 }
 
 } // namespace whisper

@@ -88,21 +88,30 @@ class ZipfianGenerator
  * Counter with a random starting point: generates each value in
  * [0, n) exactly once, in a scrambled order (for loads).
  *
- * @warning the visit order is a bijection only when @p n is a power
- * of two (odd multiplier modulo 2^k); other sizes repeat values.
+ * The visit order is a true bijection for every domain size: a keyed
+ * mix (odd multiply, xor-shift, add — each invertible modulo the next
+ * power of two above @p n) is cycle-walked until it lands inside
+ * [0, n). Since [0, n) covers at least half of the walked domain, the
+ * walk takes two steps in expectation and always terminates (the
+ * cycle containing a start below @p n re-enters [0, n) at the start
+ * itself, at the latest).
  */
 class ScrambledSequence
 {
   public:
     ScrambledSequence(std::uint64_t n, Rng &rng);
 
-    /** i-th element of the permutation-ish sequence. */
+    /** i-th element of the permutation; @p i must be below n. */
     std::uint64_t at(std::uint64_t i) const;
 
   private:
+    std::uint64_t permute(std::uint64_t x) const;
+
     std::uint64_t n_;
+    std::uint64_t mask_;
     std::uint64_t mult_;
     std::uint64_t add_;
+    unsigned bits_;
 };
 
 } // namespace whisper

@@ -9,6 +9,7 @@
 #include "common/thread_pool.hh"
 #include "core/app.hh"
 #include "core/runtime.hh"
+#include "txlib/elision.hh"
 
 namespace whisper::fuzz
 {
@@ -126,6 +127,10 @@ imageHash(const pm::PmPool &pool)
 std::uint64_t
 profilePmOps(const std::string &app, const FuzzConfig &config)
 {
+    // Racing pool workers store the same value, so the relaxed
+    // atomic policy write is race-free across a sweep.
+    txlib::setElisionPolicy(config.elide ? txlib::kElideAll
+                                         : txlib::kElideNone);
     const core::AppConfig cfg = caseAppConfig(config);
     core::Runtime rt(cfg.poolBytes, cfg.threads, false);
     std::unique_ptr<core::WhisperApp> a = core::createApp(app, cfg);
@@ -185,6 +190,8 @@ runCase(const FuzzCase &c, const FuzzConfig &config,
         const std::vector<LineAddr> *survivor_override,
         std::uint64_t crash_at_override)
 {
+    txlib::setElisionPolicy(config.elide ? txlib::kElideAll
+                                         : txlib::kElideNone);
     const core::AppConfig cfg = caseAppConfig(config);
     const unsigned threads = c.crash.threads < 1 ? 1 : c.crash.threads;
     core::Runtime rt(cfg.poolBytes, threads, false);
@@ -326,6 +333,8 @@ replayCommand(const FuzzCase &c,
                       c.fault.transientEvery);
         cmd += tail;
     }
+    if (config.elide)
+        cmd += " --elide";
     return cmd;
 }
 

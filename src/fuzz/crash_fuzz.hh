@@ -59,6 +59,13 @@ struct FuzzConfig
      * never as silent corruption or panics.
      */
     bool faults = false;
+    /**
+     * Run every case (and the profile pass) with the full txlib
+     * elision policy enabled (txlib/elision.hh): the sweep then
+     * proves the elided fences/flushes were really redundant — same
+     * zero-violation contract over a different (smaller) op schedule.
+     */
+    bool elide = false;
 };
 
 /** One fully-resolved fuzz case (derivable from its id alone). */

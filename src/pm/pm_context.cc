@@ -22,7 +22,7 @@ PmContext::emit(EventKind kind, Addr addr, std::uint32_t size,
     localTicks_ += cost;
     const Tick now = clock_.advance(cost);
     if (tb_)
-        tb_->push({now, addr, size, kind, cls, aux, 0});
+        tb_->push({now, addr, size, kind, cls, aux, origin_});
 }
 
 void
@@ -77,6 +77,12 @@ PmContext::flush(Addr off, std::size_t n)
     const LineAddr first = lineOf(off);
     const LineAddr last = lineOf(off + n - 1);
     for (LineAddr line = first; line <= last; line++) {
+        // clwb of a line already queued on this thread's pending set is
+        // absorbed: hardware writes the line back once per drain, so
+        // the stats and the trace cost count one writeback per line per
+        // fence interval.
+        if (!pendingFlushSet_.insert(line).second)
+            continue;
         pendingFlush_.push_back(line);
         emit(EventKind::PmFlush, line << kCacheLineBits, kCacheLineSize,
              DataClass::None, 0, LogicalClock::kFlushCost);
@@ -95,6 +101,7 @@ PmContext::fence(FenceKind kind)
     for (const LineAddr line : pendingFlush_)
         pool_.persistLine(line);
     pendingFlush_.clear();
+    pendingFlushSet_.clear();
     for (const auto &[off, n] : pendingNt_)
         pool_.persistRange(off, n);
     pendingNt_.clear();
@@ -192,6 +199,7 @@ void
 PmContext::resetPendingState()
 {
     pendingFlush_.clear();
+    pendingFlushSet_.clear();
     pendingNt_.clear();
 }
 

@@ -27,6 +27,7 @@
 #include <atomic>
 #include <cstring>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/logical_clock.hh"
@@ -215,6 +216,25 @@ class PmContext
         return pendingFlush_;
     }
 
+    /**
+     * Origin tag stamped on every event this context emits until the
+     * next setOrigin(). The txlib layers scope their log-management
+     * code with OriginScope so the optimizer can attribute redundant
+     * flushes/fences to a named site; application code leaves the
+     * default (Origin::None).
+     */
+    void
+    setOrigin(trace::Origin origin)
+    {
+        origin_ = static_cast<std::uint8_t>(origin);
+    }
+
+    trace::Origin
+    origin() const
+    {
+        return static_cast<trace::Origin>(origin_);
+    }
+
     /** Drop pending state without persisting (used after crash()). */
     void resetPendingState();
 
@@ -280,10 +300,38 @@ class PmContext
     CrashPlan *plan_ = nullptr;
 
     Tick localTicks_ = 0;
+    std::uint8_t origin_ = 0;
     std::vector<LineAddr> pendingFlush_;
+    /** Mirror of pendingFlush_ for O(1) duplicate suppression. */
+    std::unordered_set<LineAddr> pendingFlushSet_;
     /** WC buffer contents: byte ranges written by NT stores. */
     std::vector<std::pair<Addr, std::uint32_t>> pendingNt_;
     TxId nextTx_;
+};
+
+/**
+ * RAII origin tag: stamps every event the context emits inside the
+ * scope with @p origin, restoring the previous tag on exit (scopes
+ * nest — recovery code calling into append paths keeps its own tag
+ * only where it emits directly).
+ */
+class OriginScope
+{
+  public:
+    OriginScope(PmContext &ctx, trace::Origin origin)
+        : ctx_(ctx), prev_(ctx.origin())
+    {
+        ctx_.setOrigin(origin);
+    }
+
+    ~OriginScope() { ctx_.setOrigin(prev_); }
+
+    OriginScope(const OriginScope &) = delete;
+    OriginScope &operator=(const OriginScope &) = delete;
+
+  private:
+    PmContext &ctx_;
+    trace::Origin prev_;
 };
 
 } // namespace whisper::pm

@@ -35,4 +35,24 @@ dataClassName(DataClass cls)
     return "?";
 }
 
+const char *
+originName(Origin origin)
+{
+    switch (origin) {
+      case Origin::None:            return "app";
+      case Origin::MneLogAppend:    return "mne-log-append";
+      case Origin::MneCellPublish:  return "mne-cell-publish";
+      case Origin::MneCommitApply:  return "mne-commit-apply";
+      case Origin::MneTruncate:     return "mne-truncate";
+      case Origin::MneRecovery:     return "mne-recovery";
+      case Origin::NvmlUndoAppend:  return "nvml-undo-append";
+      case Origin::NvmlTxState:     return "nvml-tx-state";
+      case Origin::NvmlCommitFlush: return "nvml-commit-flush";
+      case Origin::NvmlClearLog:    return "nvml-clear-log";
+      case Origin::NvmlRecovery:    return "nvml-recovery";
+      case Origin::kCount:          break;
+    }
+    return "?";
+}
+
 } // namespace whisper::trace

@@ -12,6 +12,7 @@
 #ifndef WHISPER_TRACE_EVENT_HH
 #define WHISPER_TRACE_EVENT_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/types.hh"
@@ -57,6 +58,34 @@ enum class FenceKind : std::uint8_t
 };
 
 /**
+ * Which instrumented code site emitted an event. The txlib layers tag
+ * their log-management and commit paths so the fence/flush optimizer
+ * can key its per-site elision suggestions to something a human (or an
+ * ElisionPolicy bit) can act on. Application code and traces recorded
+ * before this field existed carry None — the byte holding it was
+ * always written as zero.
+ */
+enum class Origin : std::uint8_t
+{
+    None,            //!< application code or legacy trace
+    MneLogAppend,    //!< mnemosyne: redo-record append epoch
+    MneCellPublish,  //!< mnemosyne: active-cell publish at tx begin
+    MneCommitApply,  //!< mnemosyne: write-set application at commit
+    MneTruncate,     //!< mnemosyne: log retirement (cell clear)
+    MneRecovery,     //!< mnemosyne: redo replay during recover()
+    NvmlUndoAppend,  //!< nvml: undo-record append epoch
+    NvmlTxState,     //!< nvml: descriptor state transition
+    NvmlCommitFlush, //!< nvml: modified-range flushes at commit
+    NvmlClearLog,    //!< nvml: per-record log clear epochs
+    NvmlRecovery,    //!< nvml: rollback during recover()
+    kCount,          //!< number of origins (array sizing)
+};
+
+/** Number of distinct trace origins. */
+inline constexpr std::size_t kOriginCount =
+    static_cast<std::size_t>(Origin::kCount);
+
+/**
  * One instrumented operation. 24 bytes, trivially copyable; the owning
  * thread is implied by the buffer the event sits in.
  */
@@ -68,7 +97,7 @@ struct TraceEvent
     EventKind kind;
     DataClass cls;
     std::uint8_t aux;   //!< FenceKind for Fence events
-    std::uint8_t pad = 0;
+    std::uint8_t origin = 0; //!< Origin of the emitting code site
 
     bool
     isPmWrite() const
@@ -87,6 +116,14 @@ struct TraceEvent
     {
         return static_cast<FenceKind>(aux);
     }
+
+    /** Origin tag, clamped to None for out-of-range bytes. */
+    Origin
+    originTag() const
+    {
+        return origin < kOriginCount ? static_cast<Origin>(origin)
+                                     : Origin::None;
+    }
 };
 
 static_assert(sizeof(TraceEvent) == 24, "TraceEvent layout drifted");
@@ -96,6 +133,9 @@ const char *eventKindName(EventKind kind);
 
 /** Human-readable name of a data class. */
 const char *dataClassName(DataClass cls);
+
+/** Human-readable name of a trace origin. */
+const char *originName(Origin origin);
 
 } // namespace whisper::trace
 

@@ -1,0 +1,42 @@
+#include "txlib/elision.hh"
+
+#include <atomic>
+
+namespace whisper::txlib
+{
+
+namespace
+{
+std::atomic<ElisionPolicy> g_policy{kElideNone};
+} // namespace
+
+ElisionPolicy
+elisionPolicy()
+{
+    return g_policy.load(std::memory_order_relaxed);
+}
+
+void
+setElisionPolicy(ElisionPolicy policy)
+{
+    g_policy.store(policy, std::memory_order_relaxed);
+}
+
+bool
+elisionEnabled(ElisionPolicy bits)
+{
+    return (elisionPolicy() & bits) == bits;
+}
+
+const char *
+elisionPolicyName(ElisionPolicy bit)
+{
+    switch (bit) {
+      case kElideMneCommitApply:  return "mne-commit-apply";
+      case kElideNvmlClearLog:    return "nvml-clear-log";
+      case kElideNvmlCommitFence: return "nvml-commit-fence";
+      default:                    return "?";
+    }
+}
+
+} // namespace whisper::txlib

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Elision policy for the txlib layers' redundant persistence work.
+ *
+ * The trace optimizer (analysis/optimize.hh) classifies flushes and
+ * fences as redundant; this header names the subset of those findings
+ * the runtime can act on safely. Each policy bit gates one origin
+ * site whose elision has a layer-specific recovery argument
+ * (DESIGN.md §11), proven by rerunning the crashfuzz and media-fault
+ * sweeps with the bit set:
+ *
+ *  - kElideMneCommitApply — Mnemosyne applies its write set in one
+ *    coalesced epoch (all stores, then deduped flushes, then a single
+ *    durability fence) instead of a (store, flush, fence) epoch per
+ *    staged write. Safe: the redo log and commit record are already
+ *    durable when application starts, and replay is idempotent — a
+ *    crash anywhere inside the apply re-applies the whole write set.
+ *  - kElideNvmlClearLog — NVML retires its undo log in one epoch
+ *    (all end-record stores, then flushes, then one fence) instead of
+ *    a singleton epoch per record. Safe: the descriptor is already
+ *    COMMITTED, and recover() clears logs and descriptors regardless
+ *    of how many records a crash left un-retired.
+ *  - kElideNvmlCommitFence — NVML skips the commit durability fence
+ *    when the transaction modified no range (the fence pairs with the
+ *    preceding one across an empty epoch — the optimizer's category
+ *    (d)). Safe: with nothing staged there is nothing the fence could
+ *    drain before the COMMITTED state write, which carries its own
+ *    fence.
+ *
+ * What is deliberately NOT elidable: log-append ordering fences (a
+ * record must be durable before the data it protects changes) and the
+ * data-durable-before-COMMITTED fence in a non-empty NVML commit
+ * (eliding it could mark torn data committed). The optimizer reports
+ * those sites with an empty policy name.
+ *
+ * The policy is a process-global atomic bitmask: the fuzz harness and
+ * benches flip it per run, and racing contexts only ever read it.
+ */
+
+#ifndef WHISPER_TXLIB_ELISION_HH
+#define WHISPER_TXLIB_ELISION_HH
+
+#include <cstdint>
+
+namespace whisper::txlib
+{
+
+/** Bitmask of elision sites. */
+using ElisionPolicy = std::uint32_t;
+
+enum : ElisionPolicy
+{
+    kElideNone = 0,
+    /** Mnemosyne: coalesce the commit-time write-set application. */
+    kElideMneCommitApply = 1u << 0,
+    /** NVML: batch the per-record undo-log clears into one epoch. */
+    kElideNvmlClearLog = 1u << 1,
+    /** NVML: drop the commit durability fence of empty write sets. */
+    kElideNvmlCommitFence = 1u << 2,
+    /** Every proven-safe elision. */
+    kElideAll = kElideMneCommitApply | kElideNvmlClearLog |
+                kElideNvmlCommitFence,
+};
+
+/** Current process-global policy. */
+ElisionPolicy elisionPolicy();
+
+/** Replace the process-global policy (atomic; takes effect at once). */
+void setElisionPolicy(ElisionPolicy policy);
+
+/** True when every bit of @p bits is enabled. */
+bool elisionEnabled(ElisionPolicy bits);
+
+/** Short name of a single policy bit (CLI/report labels). */
+const char *elisionPolicyName(ElisionPolicy bit);
+
+/** RAII policy override, restoring the previous mask (tests/benches). */
+class ScopedElisionPolicy
+{
+  public:
+    explicit ScopedElisionPolicy(ElisionPolicy policy)
+        : prev_(elisionPolicy())
+    {
+        setElisionPolicy(policy);
+    }
+
+    ~ScopedElisionPolicy() { setElisionPolicy(prev_); }
+
+    ScopedElisionPolicy(const ScopedElisionPolicy &) = delete;
+    ScopedElisionPolicy &operator=(const ScopedElisionPolicy &) = delete;
+
+  private:
+    ElisionPolicy prev_;
+};
+
+} // namespace whisper::txlib
+
+#endif // WHISPER_TXLIB_ELISION_HH

@@ -5,6 +5,7 @@
 #include "common/crc32.hh"
 #include "common/logging.hh"
 #include "core/verify_report.hh"
+#include "txlib/elision.hh"
 
 namespace whisper::mne
 {
@@ -98,6 +99,7 @@ MnemosyneHeap::acquireLogSegment(unsigned slot)
 void
 MnemosyneHeap::recover(pm::PmContext &ctx)
 {
+    pm::OriginScope origin(ctx, trace::Origin::MneRecovery);
     for (unsigned slot = 0; slot < maxThreads_; slot++) {
         // Only a published (active) segment can hold an in-flight
         // transaction; everything else was retired by its commit's
@@ -273,6 +275,7 @@ Transaction::Transaction(MnemosyneHeap &heap, pm::PmContext &ctx)
     // re-termination is needed.
     const struct { Addr base; std::uint64_t seq; } cell{logStart_,
                                                         seq_};
+    pm::OriginScope origin(ctx_, trace::Origin::MneCellPublish);
     ctx_.store(heap_.activeCellOff(slot), &cell, sizeof(cell),
                DataClass::TxMeta);
     ctx_.flush(heap_.activeCellOff(slot), sizeof(cell));
@@ -292,7 +295,7 @@ Transaction::~Transaction()
 
 void
 Transaction::appendRedo(RedoKind kind, Addr addr, const void *payload,
-                        std::uint32_t size)
+                        std::uint32_t size, pm::FenceKind fence)
 {
     const Addr limit = logStart_ + MnemosyneHeap::segmentBytes();
     panic_if(logHead_ + sizeof(RedoHeader) + size +
@@ -303,6 +306,7 @@ Transaction::appendRedo(RedoKind kind, Addr addr, const void *payload,
     // Log writes bypass the cache (log data is only read on recovery)
     // and each record is an epoch of its own: NTI ... sfence. This is
     // the dominant source of Mnemosyne's 5-50 epochs per transaction.
+    pm::OriginScope origin(ctx_, trace::Origin::MneLogAppend);
     ctx_.ntStore(logHead_, &hdr, sizeof(hdr), DataClass::Log);
     if (size) {
         ctx_.ntStore(logHead_ + sizeof(RedoHeader), payload, size,
@@ -312,7 +316,7 @@ Transaction::appendRedo(RedoKind kind, Addr addr, const void *payload,
     // share a line.
     logHead_ = lineBase(logHead_ + sizeof(RedoHeader) + size +
                         kCacheLineSize - 1);
-    ctx_.fence(FenceKind::Ordering);
+    ctx_.fence(fence);
 }
 
 void
@@ -367,23 +371,47 @@ Transaction::commit()
 {
     panic_if(state_ != State::Active, "double commit");
 
-    // Commit record makes the transaction durable: after this fence a
-    // crash replays the log.
-    appendRedo(RedoKind::Commit, 0, nullptr, 0);
+    const bool elide = txlib::elisionEnabled(txlib::kElideMneCommitApply);
 
-    // Apply the write set in place with cacheable stores. Each log
-    // entry is processed in its own epoch (the paper's observation
-    // about Mnemosyne's log processing), with the final fence as the
-    // transaction's durability point.
-    for (std::size_t i = 0; i < writes_.size(); i++) {
-        const StagedWrite &w = writes_[i];
-        ctx_.store(w.off, w.bytes.data(), w.bytes.size(), w.cls);
-        ctx_.flush(w.off, w.bytes.size());
-        ctx_.fence(i + 1 < writes_.size() ? pm::FenceKind::Ordering
-                                          : pm::FenceKind::Durability);
+    // Commit record makes the transaction durable: after this fence a
+    // crash replays the log. Under elision an empty write set takes
+    // its durability point here instead of paying a separate fence
+    // over an empty epoch (the optimizer's coalescible pair (d)).
+    appendRedo(RedoKind::Commit, 0, nullptr, 0,
+               elide && writes_.empty() ? pm::FenceKind::Durability
+                                        : pm::FenceKind::Ordering);
+
+    pm::OriginScope origin(ctx_, trace::Origin::MneCommitApply);
+    if (elide) {
+        // Coalesced application: the per-write ordering fences are the
+        // optimizer's category (c) — consecutive apply epochs touch
+        // the lines of unrelated staged writes. Dropping them is safe
+        // because the redo log and commit record are already durable
+        // and replay re-applies the whole write set idempotently; one
+        // durability fence at the end is the transaction's commit
+        // point.
+        for (const StagedWrite &w : writes_)
+            ctx_.store(w.off, w.bytes.data(), w.bytes.size(), w.cls);
+        for (const StagedWrite &w : writes_)
+            ctx_.flush(w.off, w.bytes.size());
+        if (!writes_.empty())
+            ctx_.fence(pm::FenceKind::Durability);
+    } else {
+        // Apply the write set in place with cacheable stores. Each log
+        // entry is processed in its own epoch (the paper's observation
+        // about Mnemosyne's log processing), with the final fence as
+        // the transaction's durability point.
+        for (std::size_t i = 0; i < writes_.size(); i++) {
+            const StagedWrite &w = writes_[i];
+            ctx_.store(w.off, w.bytes.data(), w.bytes.size(), w.cls);
+            ctx_.flush(w.off, w.bytes.size());
+            ctx_.fence(i + 1 < writes_.size()
+                           ? pm::FenceKind::Ordering
+                           : pm::FenceKind::Durability);
+        }
+        if (writes_.empty())
+            ctx_.fence(pm::FenceKind::Durability);
     }
-    if (writes_.empty())
-        ctx_.fence(pm::FenceKind::Durability);
 
     truncateLog();
 
@@ -412,6 +440,7 @@ Transaction::truncateLog()
 {
     // Retire the whole segment with one cell write (Mnemosyne
     // advances its log head rather than rewriting entries).
+    pm::OriginScope origin(ctx_, trace::Origin::MneTruncate);
     const unsigned slot = ctx_.tid() % heap_.maxThreads();
     const Addr none = kNullAddr;
     ctx_.storeField(*ctx_.pool().at<Addr>(heap_.activeCellOff(slot)),

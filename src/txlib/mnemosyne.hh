@@ -243,7 +243,8 @@ class Transaction
     };
 
     void appendRedo(RedoKind kind, Addr addr, const void *payload,
-                    std::uint32_t size);
+                    std::uint32_t size,
+                    pm::FenceKind fence = pm::FenceKind::Ordering);
     void truncateLog();
 
     MnemosyneHeap &heap_;

@@ -6,6 +6,7 @@
 #include "common/crc32.hh"
 #include "common/logging.hh"
 #include "core/verify_report.hh"
+#include "txlib/elision.hh"
 
 namespace whisper::nvml
 {
@@ -115,6 +116,7 @@ NvmlPool::acquireLogSegment(unsigned slot)
 void
 NvmlPool::recover(pm::PmContext &ctx)
 {
+    pm::OriginScope origin(ctx, trace::Origin::NvmlRecovery);
     // The allocator first: its redo log may carry bitmap mutations the
     // undo rollback below relies on (freeing needs a valid bitmap).
     alloc_->recover(ctx);
@@ -323,6 +325,7 @@ TxContext::~TxContext()
 void
 TxContext::setTxState(TxState st)
 {
+    pm::OriginScope origin(ctx_, trace::Origin::NvmlTxState);
     const auto val = static_cast<std::uint64_t>(st);
     ctx_.store(pool_.stateOff(slot_), &val, 8, DataClass::TxMeta);
     ctx_.flush(pool_.stateOff(slot_), 8);
@@ -342,6 +345,7 @@ TxContext::appendUndo(UndoKind kind, Addr addr, const void *payload,
     // log and data updates" with cacheable stores), and must be
     // durable before the data range may change: fence now. These
     // alternating record/data epochs are NVML's signature behaviour.
+    pm::OriginScope origin(ctx_, trace::Origin::NvmlUndoAppend);
     ctx_.store(logHead_, &hdr, sizeof(hdr), DataClass::Log);
     if (size) {
         ctx_.store(logHead_ + sizeof(UndoHeader), payload, size,
@@ -407,9 +411,20 @@ TxContext::commit()
     panic_if(state_ != State::Active, "double commit");
 
     // Flush every modified range, one durability point for the tx.
-    for (const auto &[off, n] : modified_)
-        ctx_.flush(off, n);
-    ctx_.fence(FenceKind::Durability);
+    // The data-durable-before-COMMITTED fence is never elidable for a
+    // non-empty write set (a crash between COMMITTED and durable data
+    // would keep torn rows); with nothing modified there is nothing
+    // to drain, and the COMMITTED state write below carries its own
+    // fence — the optimizer's coalescible pair (d).
+    {
+        pm::OriginScope origin(ctx_, trace::Origin::NvmlCommitFlush);
+        for (const auto &[off, n] : modified_)
+            ctx_.flush(off, n);
+        if (!modified_.empty() ||
+            !txlib::elisionEnabled(txlib::kElideNvmlCommitFence)) {
+            ctx_.fence(FenceKind::Durability);
+        }
+    }
 
     setTxState(TxState::Committed);
     clearLog();
@@ -458,6 +473,32 @@ TxContext::abort()
 void
 TxContext::clearLog()
 {
+    pm::OriginScope origin(ctx_, trace::Origin::NvmlClearLog);
+    if (txlib::elisionEnabled(txlib::kElideNvmlClearLog)) {
+        // Batched retirement: every end record stored, every record
+        // line flushed, one fence. The per-record fences are the
+        // optimizer's category (c) — consecutive clear epochs touch
+        // different record lines — and dropping them is safe because
+        // recover() clears logs and descriptors for any state a crash
+        // leaves behind, however many records were already retired.
+        std::vector<Addr> recs;
+        Addr cursor = logStart_;
+        while (cursor < logHead_) {
+            UndoHeader hdr{};
+            ctx_.load(cursor, &hdr, sizeof(hdr));
+            recs.push_back(cursor);
+            const UndoHeader end = endRecord();
+            ctx_.store(cursor, &end, sizeof(end), DataClass::Log);
+            cursor = lineBase(cursor + sizeof(UndoHeader) + hdr.size +
+                              kCacheLineSize - 1);
+        }
+        for (const Addr rec : recs)
+            ctx_.flush(rec, sizeof(UndoHeader));
+        if (!recs.empty())
+            ctx_.fence(FenceKind::Ordering);
+        logHead_ = logStart_;
+        return;
+    }
     // NVML "sets and clears its log entries" one at a time; each clear
     // is a singleton epoch.
     Addr cursor = logStart_;

@@ -122,6 +122,38 @@ TEST(ScrambledSequence, CoversWithoutEarlyRepeat)
     EXPECT_EQ(seen.size(), 1024u);
 }
 
+TEST(ScrambledSequence, BijectionAtAnySize)
+{
+    // Cycle-walking makes the map a true permutation of [0, n) for
+    // every n, not just powers of two — the former weak spot that
+    // forced vacation.cc to special-case its insertion order.
+    for (std::uint64_t n :
+         {1ull, 2ull, 3ull, 5ull, 7ull, 10ull, 100ull, 733ull,
+          1000ull, 1023ull, 1025ull}) {
+        Rng rng(29 + n);
+        ScrambledSequence seq(n, rng);
+        std::set<std::uint64_t> seen;
+        for (std::uint64_t i = 0; i < n; i++) {
+            const std::uint64_t v = seq.at(i);
+            ASSERT_LT(v, n) << "n=" << n << " i=" << i;
+            seen.insert(v);
+        }
+        EXPECT_EQ(seen.size(), n) << "n=" << n;
+    }
+}
+
+TEST(ScrambledSequence, DeterministicPerSeed)
+{
+    Rng a(77), b(77), c(78);
+    ScrambledSequence s1(500, a), s2(500, b), s3(500, c);
+    bool any_diff = false;
+    for (std::uint64_t i = 0; i < 500; i++) {
+        EXPECT_EQ(s1.at(i), s2.at(i));
+        any_diff |= s1.at(i) != s3.at(i);
+    }
+    EXPECT_TRUE(any_diff); // different seed, different permutation
+}
+
 TEST(Histogram, BasicStats)
 {
     Histogram h;

@@ -61,6 +61,26 @@ TEST(Runtime, CrashClearsPendingState)
     EXPECT_EQ(*rt.pool().at<std::uint64_t>(0), 0u);
 }
 
+TEST(Runtime, DuplicateFlushesCoalescePerFenceInterval)
+{
+    // Regression: flushing the same line twice before a fence used to
+    // queue (and trace) two writebacks; hardware writes the line back
+    // once per drain, so the second flush must be absorbed.
+    Runtime rt(1 << 20, 1);
+    pm::PmContext &ctx = rt.ctx(0);
+    const std::uint64_t v = 5;
+    ctx.store(0, &v, 8);
+    ctx.flush(0, 8);
+    ctx.flush(0, 8);
+    ctx.flush(16, 8); // same line: absorbed too
+    EXPECT_EQ(ctx.pendingFlushes().size(), 1u);
+    ctx.fence(pm::FenceKind::Durability);
+    // The next interval flushes the line afresh.
+    ctx.store(0, &v, 8);
+    ctx.flush(0, 8);
+    EXPECT_EQ(ctx.pendingFlushes().size(), 1u);
+}
+
 TEST(Hops, DfenceMakesTrackedStoresDurable)
 {
     Runtime rt(1 << 20, 1);

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <string>
 #include <vector>
@@ -57,6 +58,27 @@ TEST(LatencyHistogram, QuantileBounds)
     EXPECT_LE(p99, 990u);
     EXPECT_GE(p99, 990u - 990u / 16);
     EXPECT_LE(h.quantile(0.0), h.quantile(1.0));
+    EXPECT_EQ(LatencyHistogram::bucketIndex(h.quantile(1.0)),
+              LatencyHistogram::bucketIndex(1000u));
+}
+
+TEST(LatencyHistogram, QuantileRankIsIntegerExact)
+{
+    // The rank is ceil(q * count) computed in integer arithmetic: a
+    // q infinitesimally above k/count must select sample k+1, with no
+    // double-rounding drift. With two samples, anything in (0, 0.5]
+    // is the first and anything in (0.5, 1] the second.
+    LatencyHistogram h;
+    h.record(1);
+    h.record(1000);
+    EXPECT_EQ(LatencyHistogram::bucketIndex(h.quantile(0.5)),
+              LatencyHistogram::bucketIndex(1u));
+    EXPECT_EQ(LatencyHistogram::bucketIndex(
+                  h.quantile(std::nextafter(0.5, 1.0))),
+              LatencyHistogram::bucketIndex(1000u));
+    // Degenerate q values stay in range.
+    EXPECT_EQ(LatencyHistogram::bucketIndex(h.quantile(1e-300)),
+              LatencyHistogram::bucketIndex(1u));
     EXPECT_EQ(LatencyHistogram::bucketIndex(h.quantile(1.0)),
               LatencyHistogram::bucketIndex(1000u));
 }
