@@ -8,6 +8,7 @@
  * N-store 2-14x depending on workload.
  */
 
+#include <algorithm>
 #include <map>
 
 #include "bench/bench_util.hh"
@@ -28,6 +29,9 @@ const std::map<std::string, const char *> kPaperAmp = {
     // claim is simply "below both logging libraries".
     {"mod-hashmap", "n/a (< Mnemosyne)"},
     {"mod-vector", "n/a (< Mnemosyne)"},
+    // Post-paper Hybrid layer: DRAM index, PM data only — the claim
+    // is strictly below even MOD (the suite's previous floor).
+    {"halo-hashmap", "n/a (< MOD)"},
 };
 } // namespace
 
@@ -42,10 +46,20 @@ main()
 
     std::vector<std::string> names = suiteOrder();
     names.insert(names.end(), modOrder().begin(), modOrder().end());
+    names.insert(names.end(), haloOrder().begin(), haloOrder().end());
+    double mod_floor = 1e9;
+    double halo_amp = -1.0;
     for (const auto &name : names) {
         core::RunResult result = runForAnalysis(name, config);
         const auto amp =
             analysis::computeAmplification(result.runtime->traces());
+        const bool is_mod =
+            std::find(modOrder().begin(), modOrder().end(), name) !=
+            modOrder().end();
+        if (is_mod)
+            mod_floor = std::min(mod_floor, amp.ratio());
+        if (name == "halo-hashmap")
+            halo_amp = amp.ratio();
         table.row({name,
                    TextTable::num(amp.userBytes),
                    TextTable::num(amp.logBytes),
@@ -58,6 +72,20 @@ main()
     table.print();
     std::puts("\nShape check: NVML >> Mnemosyne; the filesystem's "
               "unjournaled 4 KB user blocks keep PMFS near 0.1x; the "
-              "log-free MOD structures land below both libraries.");
+              "log-free MOD structures land below both libraries; the "
+              "hybrid halo store lands below MOD.");
+    // Enforced ceiling: the Hybrid layer's whole reason to exist is
+    // the lowest amplification in the suite — strictly below every
+    // measured MOD ratio and below the MOD band floor (1.2x).
+    if (halo_amp < 0.0 || halo_amp >= mod_floor || halo_amp >= 1.2) {
+        std::fprintf(stderr,
+                     "FAIL: halo amplification %.3fx must be strictly "
+                     "below MOD's measured %.3fx and the 1.2x band "
+                     "floor\n",
+                     halo_amp, mod_floor);
+        return 1;
+    }
+    std::printf("halo ceiling enforced: %.2fx < MOD %.2fx -- PASS\n",
+                halo_amp, mod_floor);
     return 0;
 }

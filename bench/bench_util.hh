@@ -46,6 +46,18 @@ modOrder()
     return order;
 }
 
+/**
+ * The post-paper Hybrid workloads (src/halo): DRAM index over PM data
+ * segments. Separate from modOrder() for the same reason that list is
+ * separate from suiteOrder().
+ */
+inline const std::vector<std::string> &
+haloOrder()
+{
+    static const std::vector<std::string> order = {"halo-hashmap"};
+    return order;
+}
+
 /** The subset that runs under the timing simulator (Figures 6/10). */
 inline const std::vector<std::string> &
 simSubset()

@@ -1,12 +1,12 @@
 /**
  * @file
- * YCSB mixes across the five PM access layers.
+ * YCSB mixes across the six PM access layers.
  *
  * Sweeps one representative application per access layer — ycsb
- * (native), hashmap (NVML), memcached (Mnemosyne), nfs (PMFS) and
- * mod-hashmap (MOD) — through mixes A (update-heavy), B (read-heavy)
- * and F (read-modify-write), reporting throughput and tail latency
- * from the simulated logical clock. The paper's §5 story retold as
+ * (native), hashmap (NVML), memcached (Mnemosyne), nfs (PMFS),
+ * mod-hashmap (MOD) and halo-hashmap (Hybrid) — through mixes A
+ * (update-heavy), B (read-heavy) and F (read-modify-write), reporting
+ * throughput and tail latency from the simulated logical clock. The paper's §5 story retold as
  * service levels: the logging layers pay their write amplification as
  * p99 latency, the MOD layer trades median for tail, and the
  * filesystem's journal batching shows up as the widest p50/p999
@@ -15,8 +15,10 @@
  * All numbers are deterministic (fixed seed, partitioned clients,
  * mergeable histograms) — two runs of this binary print identical
  * tables. Scale op counts with WHISPER_OPS (default 2000 per
- * thread). Exit status enforces only sanity: every cell must verify
- * its post-run invariants.
+ * thread). Exit status enforces sanity — every cell must verify its
+ * post-run invariants — plus one service-level floor: the Hybrid
+ * layer, paying almost no PM metadata, must match or beat the NVML
+ * hashmap's mix-A throughput at 4 threads.
  */
 
 #include <cstdio>
@@ -48,7 +50,8 @@ int
 main()
 {
     const std::vector<std::string> apps = {
-        "ycsb", "hashmap", "memcached", "nfs", "mod-hashmap"};
+        "ycsb",        "hashmap",     "memcached",
+        "nfs",         "mod-hashmap", "halo-hashmap"};
     const std::vector<char> mixes = {'A', 'B', 'F'};
 
     TextTable table("YCSB mixes across access layers "
@@ -57,6 +60,8 @@ main()
                   "p99", "p999", "verified"});
 
     int failures = 0;
+    double nvml_mix_a = 0.0;
+    double halo_mix_a = 0.0;
     for (const std::string &app : apps) {
         for (const char mix : mixes) {
             workload::WorkloadOptions opts;
@@ -74,6 +79,10 @@ main()
                              r.check.describe().c_str());
                 failures++;
             }
+            if (mix == 'A' && app == "hashmap")
+                nvml_mix_a = r.throughputOpsPerSec();
+            if (mix == 'A' && app == "halo-hashmap")
+                halo_mix_a = r.throughputOpsPerSec();
             table.row({r.layerName, app, std::string(1, mix),
                        TextTable::num(r.ops.total()),
                        TextTable::fixed(
@@ -85,6 +94,17 @@ main()
         }
     }
     table.print();
+    if (halo_mix_a < nvml_mix_a) {
+        std::fprintf(stderr,
+                     "FAIL: halo mix A %.0f ops/s must be >= the "
+                     "NVML hashmap's %.0f ops/s\n",
+                     halo_mix_a, nvml_mix_a);
+        failures++;
+    } else {
+        std::printf("halo mix A floor enforced: %.0f >= NVML %.0f "
+                    "ops/s\n",
+                    halo_mix_a, nvml_mix_a);
+    }
     std::printf("all cells verified -- %s\n",
                 failures ? "FAIL" : "PASS");
     return failures ? 1 : 0;

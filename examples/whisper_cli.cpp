@@ -614,8 +614,8 @@ int
 cmdCrashfuzz(int argc, char **argv)
 {
     // The suite list is captured before the demo app registers, so a
-    // default sweep covers exactly the ten WHISPER applications while
-    // `--apps faulty` still resolves.
+    // default sweep covers exactly the fourteen registered
+    // applications while `--apps faulty` still resolves.
     const std::vector<std::string> suite = core::registeredApps();
     fuzz::registerFaultyApp();
 
@@ -787,16 +787,19 @@ cmdCrashfuzz(int argc, char **argv)
     if (options.apps.empty())
         options.apps = suite;
     if (options.config.threads > 1) {
-        // Racing threads are only deterministic for the MOD layer;
-        // narrow the sweep to those apps instead of panicking.
-        std::vector<std::string> mod;
+        // Racing threads are only deterministic for the MOD and
+        // Hybrid layers; narrow the sweep to those apps instead of
+        // panicking.
+        std::vector<std::string> gateable;
         for (const auto &name : options.apps)
-            if (name.rfind("mod-", 0) == 0)
-                mod.push_back(name);
-        options.apps = std::move(mod);
+            if (name.rfind("mod-", 0) == 0 ||
+                name.rfind("halo-", 0) == 0)
+                gateable.push_back(name);
+        options.apps = std::move(gateable);
         if (options.apps.empty()) {
-            std::fputs("--threads > 1 needs MOD-layer apps "
-                       "(mod-hashmap, mod-vector)\n", stderr);
+            std::fputs("--threads > 1 needs MOD- or Hybrid-layer "
+                       "apps (mod-hashmap, mod-vector, "
+                       "halo-hashmap)\n", stderr);
             return 2;
         }
     }

@@ -71,7 +71,7 @@ if [[ "$docs_only" == 0 && "$skip_asan" == 0 ]]; then
     cmake --build build-asan -j "$(nproc)" --target whisper_cli
     run_leg build-asan/examples/whisper_cli crashfuzz --cases 256 \
         --jobs "$(nproc)" --faults \
-        --apps echo,vacation,hashmap,nfs,mod-hashmap
+        --apps echo,vacation,hashmap,nfs,mod-hashmap,halo-hashmap
 fi
 
 # ---------------------------------------------------------------
@@ -81,11 +81,11 @@ fi
 # Skip with --no-tsan when iterating on docs.
 # ---------------------------------------------------------------
 if [[ "$docs_only" == 0 && "$skip_tsan" == 0 ]]; then
-    echo "== tsan: MOD concurrency stress =="
+    echo "== tsan: MOD + halo concurrency stress =="
     cmake -B build-tsan -S . -DWHISPER_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$(nproc)" --target whisper_tests
     run_leg build-tsan/tests/whisper_tests \
-        --gtest_filter='ModConcurrency.*:ModHeap.*:CrashFuzz.MultiThread*'
+        --gtest_filter='ModConcurrency.*:ModHeap.*:CrashFuzz.MultiThread*:HaloDirectory.ReadersStayConsistentThroughDoubling:HaloFuzz.*'
 fi
 
 # ---------------------------------------------------------------
@@ -105,6 +105,38 @@ if [[ "$docs_only" == 0 ]]; then
     run_leg build/examples/whisper_cli crashfuzz --cases 256 \
         --threads 3 --ops 12 --jobs "$(nproc)" \
         --apps mod-hashmap,mod-vector
+fi
+
+# ---------------------------------------------------------------
+# Halo (Hybrid layer) recovery contract. The DRAM index is rebuilt
+# by segment scan, so the sweep stresses the reconstruct-not-replay
+# path: 256 multi-threaded crash+fault cases must hold the
+# committed-reachable / uncommitted-invisible invariant, and the
+# whole sweep run twice must print bit-identical per-app digests —
+# the digest folds recovery images, fault outcomes and transient
+# read counts, so any scheduling leak into the durable state or the
+# verification oracle shows up here. A gtest leg then asserts the
+# recovery scan itself is job-count-invariant: rebuildDigest() at
+# --jobs 1 must equal --jobs $(nproc).
+# ---------------------------------------------------------------
+if [[ "$docs_only" == 0 ]]; then
+    echo "== crashfuzz: halo crash+fault sweep (rerun digest stability) =="
+    halo_sweep() {
+        run_leg build/examples/whisper_cli crashfuzz --cases 256 \
+            --threads 3 --ops 12 --jobs "$(nproc)" --faults \
+            --no-shrink --apps halo-hashmap
+    }
+    halo_a=$(halo_sweep) || failures=$((failures + 1))
+    halo_b=$(halo_sweep) || failures=$((failures + 1))
+    if [[ -z "$halo_a" || "$halo_a" != "$halo_b" ]]; then
+        echo "FAIL: halo sweep digests differ between reruns"
+        failures=$((failures + 1))
+    else
+        echo "ok: halo 256-case crash+fault sweep digest stable"
+    fi
+    echo "== halo: recovery-scan --jobs rebuild-digest equality =="
+    run_leg build/tests/whisper_tests \
+        --gtest_filter='HaloStore.RebuildDigestIdenticalAtAnyJobCount'
 fi
 
 # ---------------------------------------------------------------
@@ -271,6 +303,17 @@ if [[ -x build/examples/whisper_cli ]]; then
             drift=$((drift + 1))
         fi
     done < <(grep -oE '\-\-[a-z-]+' <<<"$help_out" | sort -u)
+    # Access-layer drift: every layer name `whisper_cli apps` groups
+    # by (Native, Library/*, FS/PMFS, Hybrid/Halo, ...) must appear
+    # in docs/CLI.md, so a new layer cannot land without its docs row.
+    while IFS= read -r layer; do
+        if ! grep -q -- "$layer" docs/CLI.md; then
+            echo "FAIL: layer '$layer' in apps output but not docs/CLI.md"
+            drift=$((drift + 1))
+        fi
+    done < <(build/examples/whisper_cli apps --ops 8 --threads 2 |
+             awk '$1 ~ /^([A-Za-z]+\/[A-Za-z]+|Native)$/ {print $1}' |
+             sort -u)
     if [[ "$drift" == 0 ]]; then
         echo "ok: docs/CLI.md matches whisper_cli help"
     else

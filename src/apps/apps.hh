@@ -11,6 +11,7 @@
  *   vacation, memcached       — Library/Mnemosyne
  *   nfs, exim, mysql          — FS/PMFS
  *   mod-hashmap, mod-vector   — Library/MOD (post-paper layer)
+ *   halo-hashmap              — Hybrid/Halo (post-paper layer)
  */
 
 #ifndef WHISPER_APPS_APPS_HH
@@ -40,6 +41,8 @@ std::unique_ptr<core::WhisperApp>
 makeModHashmapApp(const core::AppConfig &);
 std::unique_ptr<core::WhisperApp>
 makeModVectorApp(const core::AppConfig &);
+std::unique_ptr<core::WhisperApp>
+makeHaloHashmapApp(const core::AppConfig &);
 
 } // namespace whisper::apps
 

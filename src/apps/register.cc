@@ -21,6 +21,7 @@ registerSuiteApps()
         registerApp("mysql", makeMysqlApp);
         registerApp("mod-hashmap", makeModHashmapApp);
         registerApp("mod-vector", makeModVectorApp);
+        registerApp("halo-hashmap", makeHaloHashmapApp);
         return true;
     }();
     (void)once;

@@ -16,6 +16,7 @@ accessLayerName(AccessLayer layer)
       case AccessLayer::LibMnemosyne: return "Library/Mnemosyne";
       case AccessLayer::Filesystem:   return "FS/PMFS";
       case AccessLayer::LibMod:       return "Library/MOD";
+      case AccessLayer::Hybrid:       return "Hybrid/Halo";
     }
     return "?";
 }

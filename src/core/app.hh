@@ -68,8 +68,10 @@ struct AppConfig
 
 /**
  * Paper access-layer taxonomy (Table 1 "Access Layer" column), plus
- * the post-paper MOD layer (minimally ordered durable datastructures)
- * the suite grows to quantify the paper's Consequence 3/8 fixes.
+ * the post-paper layers the suite grows to quantify the paper's
+ * Consequence 3/8 fixes: MOD (minimally ordered durable
+ * datastructures) and Hybrid (DRAM index over PM data segments,
+ * recovery by scan — src/halo/).
  */
 enum class AccessLayer
 {
@@ -78,6 +80,7 @@ enum class AccessLayer
     LibMnemosyne,
     Filesystem,
     LibMod,
+    Hybrid,
 };
 
 const char *accessLayerName(AccessLayer layer);

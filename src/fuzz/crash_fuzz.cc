@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -73,9 +74,10 @@ void
 requireGateable(const core::WhisperApp &app, unsigned threads)
 {
     panic_if(threads > 1 &&
-                 app.layer() != core::AccessLayer::LibMod,
-             "multi-threaded crash fuzzing needs the MOD layer, "
-             "not %s", app.name().c_str());
+                 app.layer() != core::AccessLayer::LibMod &&
+                 app.layer() != core::AccessLayer::Hybrid,
+             "multi-threaded crash fuzzing needs the MOD or Hybrid "
+             "layer, not %s", app.name().c_str());
 }
 
 /**
@@ -289,6 +291,21 @@ runCase(const FuzzCase &c, const FuzzConfig &config,
         h = fold(h, out.degraded ? 1 : 0);
     }
     out.digest = h;
+    if (std::getenv("WHISPER_FUZZ_DEBUG")) {
+        std::fprintf(stderr,
+                     "case %llu at=%llu op=%llu surv=%zu dirty=%llu "
+                     "img=%016llx torn=%zu pois=%zu trans=%llu "
+                     "digest=%016llx\n",
+                     (unsigned long long)c.caseId,
+                     (unsigned long long)crash_at,
+                     (unsigned long long)out.opIndex,
+                     out.survivors.size(),
+                     (unsigned long long)rt.pool().dirtyLineCount(),
+                     (unsigned long long)out.imageHash,
+                     faults.torn.size(), faults.poisoned.size(),
+                     (unsigned long long)out.transientFaults,
+                     (unsigned long long)out.digest);
+    }
     out.report = std::move(verdict);
     return out;
 }

@@ -14,7 +14,7 @@
  * journal FREE plus fsck-clean, native descriptor/status protocols
  * settled. Violations carry the VerifyReport's named invariant.
  *
- * With FuzzConfig::threads > 1 (MOD-layer apps only) the workload
+ * With FuzzConfig::threads > 1 (MOD- and Hybrid-layer apps only) the workload
  * races real threads whose PM-op interleaving is pinned by a seeded
  * SchedGate schedule, so the global op index — and therefore the
  * crash point and the post-crash image — stays deterministic and a
@@ -50,7 +50,7 @@ struct FuzzConfig
     std::size_t poolBytes = 48 << 20;
     std::uint64_t appSeed = 7;       //!< AppConfig::seed for every case
     std::uint64_t sweepSeed = 0x5eedF00d; //!< derives per-case params
-    unsigned threads = 1; //!< racing workload threads (>1: MOD only)
+    unsigned threads = 1; //!< racing threads (>1: MOD/Hybrid only)
     /**
      * Media-fault dimension: each case additionally draws a seeded
      * pm::FaultPlan (poison count x tear probability x transient read

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Volatile extendible-hashing directory with bucket fingerprints.
+ *
+ * This is the Halo store's entire index: a classic extendible-hash
+ * directory (2^globalDepth bucket pointers, buckets split on
+ * overflow, the directory doubles when a splitting bucket is already
+ * at global depth) mapping keys to PM record addresses. It lives
+ * purely in DRAM and is *never* persisted — after a crash it is
+ * rebuilt from a segment scan (HaloStore::recoverScan), which is why
+ * losing it can never be a correctness loss (DESIGN.md §12).
+ *
+ * Each bucket keeps a one-byte fingerprint per slot (the top byte of
+ * the key hash, independent of the directory index bits, which are
+ * the low bits): a lookup compares fingerprints first and touches the
+ * full key only on a fingerprint hit, the cache-friendly probe of the
+ * HLSH/HESH designs. False fingerprint hits are correct (the key
+ * compare rejects them) and counted, so tests can pin the path.
+ *
+ * Concurrency: one writer (the owning partition's thread) and any
+ * number of concurrent readers, synchronized by a shared_mutex —
+ * readers proceed in parallel and observe a consistent directory even
+ * mid-doubling. Index operations touch no PM and therefore never
+ * perturb trace or crash-op determinism.
+ */
+
+#ifndef WHISPER_HALO_HALO_DIRECTORY_HH
+#define WHISPER_HALO_HALO_DIRECTORY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace whisper::halo
+{
+
+/**
+ * Extendible-hash directory: key -> PM record address.
+ */
+class HaloDirectory
+{
+  public:
+    /** Entries per bucket before it must split. */
+    static constexpr unsigned kBucketSlots = 14;
+
+    /** Hard depth ceiling (2^28 directory slots ~ safety net). */
+    static constexpr unsigned kMaxDepth = 28;
+
+    explicit HaloDirectory(unsigned initial_depth = 2);
+
+    /** Insert or update @p key -> @p addr. */
+    void upsert(std::uint64_t key, Addr addr);
+
+    /** Remove @p key; returns whether it was present. */
+    bool erase(std::uint64_t key);
+
+    /** Point lookup; fills @p addr on hit. Safe from any thread. */
+    bool lookup(std::uint64_t key, Addr &addr) const;
+
+    /** Drop every entry, reset to @p initial depth. */
+    void clear(unsigned initial_depth = 2);
+
+    std::uint64_t size() const { return size_; }
+    unsigned globalDepth() const { return globalDepth_; }
+    std::uint64_t doubles() const { return doubles_; }
+    std::uint64_t splits() const { return splits_; }
+
+    /** Fingerprint matches rejected by the full-key compare. */
+    std::uint64_t
+    falseFingerprintHits() const
+    {
+        return fpFalseHits_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Visit every (key, addr) entry. Unordered; callers that need a
+     * deterministic order sort. Takes the reader lock.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        for (const std::unique_ptr<Bucket> &b : pool_) {
+            for (unsigned i = 0; i < b->count; i++)
+                fn(b->keys[i], b->addrs[i]);
+        }
+    }
+
+    /** Key hash (splitmix64 finalizer — low bits index, top byte fp). */
+    static std::uint64_t hashKey(std::uint64_t key);
+    static std::uint8_t
+    fingerprintOf(std::uint64_t key)
+    {
+        return static_cast<std::uint8_t>(hashKey(key) >> 56);
+    }
+
+  private:
+    struct Bucket
+    {
+        std::uint8_t localDepth = 0;
+        std::uint8_t count = 0;
+        std::uint8_t fps[kBucketSlots] = {};
+        std::uint64_t keys[kBucketSlots] = {};
+        Addr addrs[kBucketSlots] = {};
+    };
+
+    Bucket *bucketFor(std::uint64_t hash) const;
+    Bucket *newBucket(unsigned depth);
+    void splitBucket(std::uint64_t hash);
+
+    mutable std::shared_mutex mu_;
+    std::vector<Bucket *> dir_;   //!< 2^globalDepth_ slots
+    std::vector<std::unique_ptr<Bucket>> pool_;
+    unsigned globalDepth_ = 0;
+    std::uint64_t size_ = 0;
+    std::uint64_t doubles_ = 0;
+    std::uint64_t splits_ = 0;
+    mutable std::atomic<std::uint64_t> fpFalseHits_{0};
+};
+
+} // namespace whisper::halo
+
+#endif // WHISPER_HALO_HALO_DIRECTORY_HH

@@ -1,0 +1,190 @@
+#include "halo/halo_segment.hh"
+
+#include <algorithm>
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+
+namespace whisper::halo
+{
+
+using pm::DataClass;
+using pm::FenceKind;
+
+std::uint32_t
+HaloRecord::computeCrc() const
+{
+    // Covered region: flags through vals ([4, 48)); the reserved tail
+    // may hold stale bytes in a reused slot and is excluded.
+    const std::uint8_t *bytes =
+        reinterpret_cast<const std::uint8_t *>(this);
+    return crc32(bytes + 4, kRecHeaderBytes - 4 + kRecPayloadBytes);
+}
+
+bool
+HaloRecord::valid() const
+{
+    if (flags != kRecFlagPut && flags != kRecFlagTombstone)
+        return false;
+    if (ownerOfSeq(seq) != owner)
+        return false;
+    return crc == computeCrc();
+}
+
+std::uint32_t
+HaloSegmentHeader::computeCrc() const
+{
+    const std::uint8_t *bytes =
+        reinterpret_cast<const std::uint8_t *>(this);
+    return crc32(bytes + 4, sizeof(*this) - 4);
+}
+
+bool
+HaloSegmentHeader::valid(std::uint64_t expect_index) const
+{
+    return magic == kSegMagic && segIndex == expect_index &&
+           crc == computeCrc();
+}
+
+HaloSegmentAllocator::HaloSegmentAllocator(const Config &config)
+    : config_(config)
+{
+    panic_if(config.threads < 1, "halo: at least one thread");
+    panic_if(config.base % kCacheLineSize != 0,
+             "halo: segment area must be line-aligned");
+    segments_ = config.bytes / kSegmentBytes;
+    perThread_ = segments_ / config.threads;
+    panic_if(perThread_ < 1,
+             "halo: segment area too small for %u threads",
+             config.threads);
+    segments_ = perThread_ * config.threads; // drop the remainder
+    threads_.resize(config.threads);
+    for (unsigned t = 0; t < config.threads; t++)
+        threads_[t].next = static_cast<std::uint64_t>(t) * perThread_;
+    bitmap_.assign(segments_, 0);
+}
+
+std::uint64_t
+HaloSegmentAllocator::segmentOf(Addr addr) const
+{
+    if (addr < config_.base)
+        return ~std::uint64_t(0);
+    const std::uint64_t seg = (addr - config_.base) / kSegmentBytes;
+    return seg < segments_ ? seg : ~std::uint64_t(0);
+}
+
+void
+HaloSegmentAllocator::openSegment(pm::PmContext &ctx, ThreadId tid,
+                                  std::uint64_t seg,
+                                  std::uint64_t open_seq)
+{
+    pm::OriginScope origin(ctx, trace::Origin::HaloSegOpen);
+    HaloSegmentHeader hdr{};
+    hdr.magic = kSegMagic;
+    hdr.segIndex = seg;
+    hdr.openSeq = open_seq;
+    hdr.owner = tid;
+    hdr.crc = hdr.computeCrc();
+    const Addr off = segmentAddr(seg);
+    ctx.store(off, &hdr, sizeof(hdr), DataClass::AllocMeta);
+    ctx.flush(off, sizeof(hdr));
+    bitmap_[seg] = 1;
+    PerThread &pt = threads_[tid];
+    pt.active = seg;
+    pt.slot = 0;
+    pt.opened++;
+}
+
+Addr
+HaloSegmentAllocator::append(pm::PmContext &ctx, ThreadId tid,
+                             std::uint64_t open_seq, bool &sealed)
+{
+    panic_if(tid >= threads_.size(), "halo: tid out of range");
+    sealed = false;
+    PerThread &pt = threads_[tid];
+    if (pt.active != ~std::uint64_t(0) &&
+        pt.slot >= kRecordsPerSegment) {
+        // Active segment full: the one fence that commits its batch.
+        sealed = seal(ctx, tid);
+        pt.active = ~std::uint64_t(0);
+    }
+    if (pt.active == ~std::uint64_t(0)) {
+        const std::uint64_t limit =
+            (static_cast<std::uint64_t>(tid) + 1) * perThread_;
+        if (pt.next >= limit)
+            return kNullAddr; // thread's segment range exhausted
+        openSegment(ctx, tid, pt.next++, open_seq);
+    }
+    pt.appended++;
+    return slotAddr(pt.active, pt.slot++);
+}
+
+bool
+HaloSegmentAllocator::seal(pm::PmContext &ctx, ThreadId tid)
+{
+    panic_if(tid >= threads_.size(), "halo: tid out of range");
+    pm::OriginScope origin(ctx, trace::Origin::HaloSeal);
+    const bool retired = ctx.fence(FenceKind::Durability);
+    threads_[tid].sealFences++;
+    return retired;
+}
+
+bool
+HaloSegmentAllocator::segmentUsed(std::uint64_t seg) const
+{
+    return seg < segments_ && bitmap_[seg] != 0;
+}
+
+void
+HaloSegmentAllocator::resetFromScan(const std::vector<bool> &used)
+{
+    panic_if(used.size() != segments_,
+             "halo: scan flag count mismatch");
+    bitmap_.assign(segments_, 0);
+    for (std::uint64_t seg = 0; seg < segments_; seg++)
+        bitmap_[seg] = used[seg] ? 1 : 0;
+    for (unsigned t = 0; t < threads_.size(); t++) {
+        PerThread &pt = threads_[t];
+        pt.active = ~std::uint64_t(0);
+        pt.slot = 0;
+        // Resume after the highest segment the scan saw in use;
+        // a partially filled survivor is abandoned, never reused
+        // (wasted slots, but no way to mix live and stale records).
+        std::uint64_t next = static_cast<std::uint64_t>(t) * perThread_;
+        const std::uint64_t limit = next + perThread_;
+        for (std::uint64_t seg = next; seg < limit; seg++) {
+            if (bitmap_[seg])
+                next = seg + 1;
+        }
+        pt.next = next;
+    }
+}
+
+std::uint64_t
+HaloSegmentAllocator::sealFences() const
+{
+    std::uint64_t n = 0;
+    for (const PerThread &pt : threads_)
+        n += pt.sealFences;
+    return n;
+}
+
+std::uint64_t
+HaloSegmentAllocator::segmentsOpened() const
+{
+    std::uint64_t n = 0;
+    for (const PerThread &pt : threads_)
+        n += pt.opened;
+    return n;
+}
+
+std::uint64_t
+HaloSegmentAllocator::recordsAppended() const
+{
+    std::uint64_t n = 0;
+    for (const PerThread &pt : threads_)
+        n += pt.appended;
+    return n;
+}
+
+} // namespace whisper::halo

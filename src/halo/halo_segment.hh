@@ -1,0 +1,260 @@
+/**
+ * @file
+ * PM segment and record layout of the Halo hybrid store, plus the
+ * batching per-thread segment allocator.
+ *
+ * The Halo layer (DESIGN.md §12) keeps *all* index state in DRAM and
+ * writes persistent memory only for the KV payload itself: the pool
+ * is carved into fixed-size segments, each thread owns a static range
+ * of them, and appends fill one "active" segment at a time. A record
+ * occupies exactly one cache line and carries a sequence-stamped,
+ * CRC32-protected header, so recovery can tell a committed (or at
+ * least fully-written) record from a torn one without any PM log:
+ * a record is visible after a crash iff its line survived whole and
+ * its CRC matches — there is no in-place update, no link word, and no
+ * persistent allocator metadata beyond one advisory header line per
+ * segment.
+ *
+ * Durability is batched: record stores queue a clwb each, and a
+ * single durability fence — one per segment *seal* (or explicit
+ * durability point) — commits the whole batch. This is the "minimize
+ * flushes and fences" discipline of the HLSH/HESH line of work the
+ * roadmap names, and it is why the layer posts the lowest write
+ * amplification in the suite: 16 header bytes per 32 payload bytes,
+ * plus one 64-byte segment header per 63 records.
+ */
+
+#ifndef WHISPER_HALO_HALO_SEGMENT_HH
+#define WHISPER_HALO_HALO_SEGMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "pm/pm_context.hh"
+
+namespace whisper::halo
+{
+
+/** One record per cache line: the crash-survival unit. */
+constexpr std::size_t kRecordBytes = kCacheLineSize;
+
+/** Fixed segment size (header line + kRecordsPerSegment records). */
+constexpr std::size_t kSegmentBytes = 4096;
+
+/** Record slots per segment (line 0 is the segment header). */
+constexpr std::size_t kRecordsPerSegment =
+    kSegmentBytes / kRecordBytes - 1;
+
+/** Payload words per record. */
+constexpr std::size_t kValWords = 3;
+
+/** Record flags (a zero flags word marks a never-written slot). */
+constexpr std::uint16_t kRecFlagPut = 0x1;
+constexpr std::uint16_t kRecFlagTombstone = 0x2;
+
+/** Segment-header magic ("HALO"). */
+constexpr std::uint32_t kSegMagic = 0x484C4F31;
+
+/**
+ * One KV record. The CRC covers bytes [4, 48) — flags through vals —
+ * so a torn 8-byte word anywhere in the written region is detected;
+ * the reserved tail is never written and never covered (a recycled
+ * slot may keep stale bytes there).
+ *
+ * seq encodes the owning thread in its top 16 bits and a per-thread
+ * monotonic counter below, so sequence comparison is a total order
+ * within a key's single-writer partition and record images stay
+ * bit-identical under any thread interleaving.
+ */
+struct HaloRecord
+{
+    std::uint32_t crc;
+    std::uint16_t flags;
+    std::uint16_t owner;             //!< writing thread (diagnostics)
+    std::uint64_t seq;               //!< (tid << 48) | counter
+    std::uint64_t key;
+    std::uint64_t vals[kValWords];   //!< zero for tombstones
+    std::uint64_t rsvd[2];           //!< never written, never CRCed
+
+    /** CRC32 over the covered region of this in-DRAM image. */
+    std::uint32_t computeCrc() const;
+
+    /** Flags valid, owner/seq consistent, CRC matches. */
+    bool valid() const;
+
+    bool tombstone() const { return flags == kRecFlagTombstone; }
+
+    static ThreadId ownerOfSeq(std::uint64_t seq)
+    {
+        return static_cast<ThreadId>(seq >> 48);
+    }
+    static std::uint64_t counterOfSeq(std::uint64_t seq)
+    {
+        return seq & ((std::uint64_t(1) << 48) - 1);
+    }
+    static std::uint64_t makeSeq(ThreadId tid, std::uint64_t counter)
+    {
+        return (static_cast<std::uint64_t>(tid) << 48) | counter;
+    }
+};
+
+static_assert(sizeof(HaloRecord) == kRecordBytes,
+              "halo record must be exactly one cache line");
+
+/** Bytes of a record store that are header (recovery metadata). */
+constexpr std::size_t kRecHeaderBytes = 16;
+/** Bytes of a record store that are payload (key + vals). */
+constexpr std::size_t kRecPayloadBytes = 8 + kValWords * 8;
+
+/**
+ * Advisory per-segment header (line 0). Recovery never *depends* on
+ * it — records self-validate — but it lets the scrub attribute a
+ * poisoned line to a segment in use and gives the allocator a
+ * cross-check that scan-rebuilt occupancy matches what was opened.
+ */
+struct HaloSegmentHeader
+{
+    std::uint32_t crc;
+    std::uint32_t magic;
+    std::uint64_t segIndex;   //!< global segment number
+    std::uint64_t openSeq;    //!< owner's seq counter at open
+    std::uint32_t owner;      //!< opening thread
+    std::uint32_t rsvd0;
+    std::uint64_t rsvd[4];
+
+    std::uint32_t computeCrc() const;
+    bool valid(std::uint64_t expect_index) const;
+};
+
+static_assert(sizeof(HaloSegmentHeader) == kCacheLineSize,
+              "halo segment header must be exactly one cache line");
+
+/**
+ * Batching segment allocator with static per-thread ownership.
+ *
+ * Thread t owns segments [t*perThread, (t+1)*perThread) of the area —
+ * acquisition order, record addresses and therefore the durable image
+ * never depend on how threads interleave. All bookkeeping (the
+ * allocation bitmap, cursors, the active segment) is DRAM-only;
+ * the single persistent artifact is the advisory header line written
+ * when a segment is opened.
+ *
+ * Fence discipline: appends only queue clwbs; seal() issues the one
+ * durability fence that commits every record appended since the
+ * previous seal. append() seals automatically when the active segment
+ * fills — one fence per segment — and callers add explicit seals at
+ * durability points and thread exit.
+ */
+class HaloSegmentAllocator
+{
+  public:
+    struct Config
+    {
+        Addr base = 0;           //!< segment area base (line-aligned)
+        std::size_t bytes = 0;   //!< area size (multiple of segment)
+        unsigned threads = 1;
+    };
+
+    explicit HaloSegmentAllocator(const Config &config);
+
+    std::size_t segmentCount() const { return segments_; }
+    std::size_t segmentsPerThread() const { return perThread_; }
+    Addr base() const { return config_.base; }
+    std::size_t bytes() const
+    {
+        return segments_ * kSegmentBytes;
+    }
+
+    /** First byte of segment @p seg. */
+    Addr segmentAddr(std::uint64_t seg) const
+    {
+        return config_.base + seg * kSegmentBytes;
+    }
+
+    /** Record-slot address (slot < kRecordsPerSegment). */
+    Addr slotAddr(std::uint64_t seg, std::uint64_t slot) const
+    {
+        return segmentAddr(seg) + (slot + 1) * kRecordBytes;
+    }
+
+    /** Segment containing @p addr, or ~0 if outside the area. */
+    std::uint64_t segmentOf(Addr addr) const;
+
+    /**
+     * Reserve the next record slot for @p tid, sealing the full
+     * active segment (one durability fence) and opening a fresh one
+     * (header line written + queued for flush) as needed. Returns
+     * kNullAddr when the thread's segment range is exhausted — the
+     * active segment, if any, stays sealed-on-demand and intact.
+     * @p sealed reports whether a seal fence was issued AND retired
+     * against the crash plan, so the store can promote its batched
+     * commit state (a dropped fence persisted nothing).
+     */
+    Addr append(pm::PmContext &ctx, ThreadId tid,
+                std::uint64_t open_seq, bool &sealed);
+
+    /**
+     * Durability point: drain this thread's queued clwbs with a
+     * single durability fence. Idempotent when nothing is pending
+     * (the fence is still issued and counted — the caller batches).
+     *
+     * @return the fence's retired status (PmContext::fence): callers
+     *   must promote batched commit state off this value, never off a
+     *   later crashInjected() read, which races with another thread
+     *   firing the crash and breaks digest determinism.
+     */
+    bool seal(pm::PmContext &ctx, ThreadId tid);
+
+    /** True iff segment @p seg is marked used in the DRAM bitmap. */
+    bool segmentUsed(std::uint64_t seg) const;
+
+    /** Owning thread of segment @p seg (by static range). */
+    ThreadId ownerOf(std::uint64_t seg) const
+    {
+        return static_cast<ThreadId>(seg / perThread_);
+    }
+
+    /**
+     * Reset DRAM state from a recovery scan: @p used flags one bit
+     * per segment. Cursors resume after the highest used segment of
+     * each thread's range; there is no active segment until the next
+     * append opens one.
+     */
+    void resetFromScan(const std::vector<bool> &used);
+
+    /** @{ \name Counters (test goldens; sum of per-thread counts,
+     *  read them only with the worker threads joined) */
+    std::uint64_t sealFences() const;
+    std::uint64_t segmentsOpened() const;
+    std::uint64_t recordsAppended() const;
+    /** @} */
+
+  private:
+    void openSegment(pm::PmContext &ctx, ThreadId tid,
+                     std::uint64_t seg, std::uint64_t open_seq);
+
+    struct PerThread
+    {
+        std::uint64_t next = 0;      //!< next never-opened segment
+        std::uint64_t active = ~std::uint64_t(0);
+        std::uint64_t slot = 0;      //!< next free slot in active
+        std::uint64_t sealFences = 0;
+        std::uint64_t opened = 0;
+        std::uint64_t appended = 0;
+    };
+
+    Config config_;
+    std::size_t segments_ = 0;
+    std::size_t perThread_ = 0;
+    std::vector<PerThread> threads_;
+    /**
+     * DRAM allocation map, one byte per segment (byte-granular so
+     * concurrent owning threads never share a memory word).
+     */
+    std::vector<std::uint8_t> bitmap_;
+};
+
+} // namespace whisper::halo
+
+#endif // WHISPER_HALO_HALO_SEGMENT_HH

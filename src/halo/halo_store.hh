@@ -1,0 +1,260 @@
+/**
+ * @file
+ * HaloStore: hybrid DRAM-index / PM-data hash store.
+ *
+ * The fifth access layer of the suite (AccessLayer::Hybrid). Every
+ * index structure — the extendible-hash directories, their bucket
+ * fingerprint arrays, the segment allocation map — is volatile; the
+ * only persistent bytes are append-only KV records in fixed-size
+ * segments (halo_segment.hh). Updates never touch PM in place:
+ * a put/remove appends one sequence-stamped, CRC32-protected record
+ * and points the DRAM index at it, and durability is batched behind
+ * one fence per segment seal (plus explicit durability points).
+ *
+ * Recovery (recoverScan) is a parallel segment scan: shard the
+ * segment space, parse the CRC-valid records of each shard, then
+ * replay them in address order — which per partition is sequence
+ * order, because allocation is a per-thread monotone bump — applying
+ * last-writer-wins with tombstones honored. The result is bit-
+ * identical at any scan job count (shards merge in index order).
+ *
+ * Keys encode their owning thread in the top 16 bits (the MOD
+ * layer's convention): mutations are single-writer per partition,
+ * which keeps record images, sequence numbers and the rebuilt index
+ * independent of thread interleaving; lookups may come from any
+ * thread (reader-writer locked directories).
+ *
+ * The store also keeps a *volatile verification oracle* — per-thread
+ * journals of every record written and of the batch promoted at each
+ * successful fence — that survives the simulated crash (the process
+ * lives on) and lets the crash fuzzer check the layer's recovery
+ * invariant: every committed pair reachable after the index rebuild,
+ * and nothing visible that was not genuinely written (no torn or
+ * fabricated record). The oracle is test instrumentation, not
+ * implementation state: recovery itself reads only PM.
+ */
+
+#ifndef WHISPER_HALO_HALO_STORE_HH
+#define WHISPER_HALO_HALO_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "halo/halo_directory.hh"
+#include "halo/halo_segment.hh"
+#include "pm/pm_pool.hh"
+
+namespace whisper::halo
+{
+
+class HaloStore
+{
+  public:
+    struct Config
+    {
+        Addr base = 0;          //!< segment area base (line-aligned)
+        std::size_t bytes = 0;  //!< segment area size
+        unsigned threads = 1;   //!< partitions (= writer threads)
+    };
+
+    /** Last op accepted for a key at a durability fence. */
+    struct CommitState
+    {
+        std::uint64_t seq = 0;
+        bool tombstone = false;
+        std::uint64_t vals[kValWords] = {};
+        Addr addr = kNullAddr;
+    };
+
+    /** One journaled write (committed or not): the genuineness oracle. */
+    struct WrittenOp
+    {
+        std::uint64_t key = 0;
+        bool tombstone = false;
+        std::uint64_t vals[kValWords] = {};
+    };
+
+    explicit HaloStore(const Config &config);
+
+    /** Owning partition of @p key (top 16 bits). */
+    static ThreadId
+    partitionOf(std::uint64_t key)
+    {
+        return static_cast<ThreadId>(key >> 48);
+    }
+
+    /** Compose a key owned by @p tid. */
+    static std::uint64_t
+    makeKey(ThreadId tid, std::uint64_t k)
+    {
+        return (static_cast<std::uint64_t>(tid) << 48) | k;
+    }
+
+    /** @{ \name Mutations (owning thread only) */
+
+    /**
+     * Insert-or-update @p key := @p vals: append one record, update
+     * the DRAM index. Durable only at the next seal/durability point.
+     * Returns false when the thread's segment range is exhausted.
+     */
+    bool put(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+             const std::uint64_t vals[kValWords]);
+
+    /** Append a tombstone and unlink @p key from the index. */
+    bool remove(pm::PmContext &ctx, ThreadId tid, std::uint64_t key);
+
+    /** Batched commit: one durability fence for everything pending. */
+    void durabilityPoint(pm::PmContext &ctx, ThreadId tid);
+
+    /** Per-thread epilogue (final durability point). */
+    void
+    threadExit(pm::PmContext &ctx, ThreadId tid)
+    {
+        durabilityPoint(ctx, tid);
+    }
+
+    /** @} */
+
+    /** Point lookup (any thread): DRAM index probe + one PM load. */
+    bool get(pm::PmContext &ctx, std::uint64_t key,
+             std::uint64_t vals[kValWords]) const;
+
+    /** @{ \name Recovery */
+
+    /**
+     * Rebuild every DRAM structure from a parallel scan of the
+     * segment area with @p jobs workers (0 = hardware, 1 = inline
+     * sequential). Pending (unfenced) batch state is discarded — the
+     * power cut took it. The verification oracle is preserved.
+     */
+    void recoverScan(pm::PmPool &pool, unsigned jobs);
+
+    /**
+     * Deterministic fingerprint of the state recoverScan() rebuilt:
+     * a fold over the sorted recovered entries (key, seq, vals,
+     * addr), the used-segment map and the surviving tombstone
+     * high-water marks. Bit-identical at any job count.
+     */
+    std::uint64_t rebuildDigest() const { return rebuildDigest_; }
+
+    /** @} */
+    /** @{ \name Verification surface (apps, tests, the fuzzer) */
+
+    const std::unordered_map<std::uint64_t, CommitState> &
+    committed(ThreadId tid) const
+    {
+        return threads_[tid].committed;
+    }
+
+    /** Journal lookup: the op @p tid wrote with seq counter @p ctr. */
+    bool writtenOp(ThreadId tid, std::uint64_t ctr,
+                   WrittenOp &out) const;
+
+    /** Highest tombstone sequence the last scan applied, per key. */
+    const std::unordered_map<std::uint64_t, std::uint64_t> &
+    recoveredTombstones(ThreadId tid) const
+    {
+        return threads_[tid].recoveredTombs;
+    }
+
+    /** Load + validate the record at @p addr (CRC, flags, owner). */
+    bool recordAt(const pm::PmPool &pool, Addr addr,
+                  HaloRecord &out) const;
+
+    /** Index probe without the PM load. */
+    bool indexLookup(std::uint64_t key, Addr &addr) const;
+
+    /**
+     * Visit every recovered index entry as (key, addr). Partitions
+     * are visited in thread order; order within one is unordered.
+     */
+    template <typename Fn>
+    void
+    forEachIndexed(Fn &&fn) const
+    {
+        for (const auto &dir : dirs_)
+            dir->forEach(fn);
+    }
+
+    /**
+     * Record media-lost lines (scrub hook): committed records on
+     * these lines are excused from reachability, their loss having
+     * been degraded by name. Returns how many *record slots* the
+     * lines held (header lines cost no records).
+     */
+    std::size_t noteLostLines(const std::vector<LineAddr> &lines);
+
+    bool
+    lineLost(LineAddr line) const
+    {
+        return lostLines_.count(line) != 0;
+    }
+
+    /** Next unissued seq counter of @p tid (monotonicity checks). */
+    std::uint64_t
+    nextCounter(ThreadId tid) const
+    {
+        return threads_[tid].nextCounter;
+    }
+
+    /** Highest seq counter the last scan recovered for @p tid. */
+    std::uint64_t
+    maxRecoveredCounter(ThreadId tid) const
+    {
+        return threads_[tid].maxRecoveredCounter;
+    }
+
+    const HaloSegmentAllocator &allocator() const { return alloc_; }
+    const HaloDirectory &directory(ThreadId tid) const
+    {
+        return *dirs_[tid];
+    }
+
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** @} */
+
+  private:
+    struct Pending
+    {
+        std::uint64_t key;
+        std::uint64_t seq;
+        bool tombstone;
+        std::uint64_t vals[kValWords];
+        Addr addr;
+    };
+
+    struct PerThread
+    {
+        std::uint64_t nextCounter = 1;
+        std::uint64_t maxRecoveredCounter = 0;
+        std::vector<Pending> pending;
+        std::unordered_map<std::uint64_t, CommitState> committed;
+        std::unordered_map<std::uint64_t, WrittenOp> written;
+        std::unordered_map<std::uint64_t, std::uint64_t> recoveredTombs;
+    };
+
+    bool appendRecord(pm::PmContext &ctx, ThreadId tid,
+                      std::uint64_t key,
+                      const std::uint64_t *vals, bool tombstone);
+
+    /** Fence succeeded: everything pending is now durable. */
+    void promote(ThreadId tid);
+
+    Config config_;
+    HaloSegmentAllocator alloc_;
+    std::vector<std::unique_ptr<HaloDirectory>> dirs_;
+    std::vector<PerThread> threads_;
+    std::unordered_set<LineAddr> lostLines_;
+    std::uint64_t rebuildDigest_ = 0;
+};
+
+} // namespace whisper::halo
+
+#endif // WHISPER_HALO_HALO_STORE_HH

@@ -89,12 +89,12 @@ PmContext::flush(Addr off, std::size_t n)
     }
 }
 
-void
+bool
 PmContext::fence(FenceKind kind)
 {
     GateTurn turn(schedGate(), tid_);
     if (!admitPmOp())
-        return;
+        return false;
     // sfence semantics: all of this thread's outstanding clwbs and
     // write-combining traffic reach the durable image before the fence
     // retires.
@@ -107,6 +107,7 @@ PmContext::fence(FenceKind kind)
     pendingNt_.clear();
     emit(EventKind::Fence, 0, 0, DataClass::None,
          static_cast<std::uint8_t>(kind), LogicalClock::kFenceCost);
+    return true;
 }
 
 void

@@ -141,8 +141,18 @@ class PmContext
     /** clwb every line overlapping [off, off+n). */
     void flush(Addr off, std::size_t n);
 
-    /** sfence; drains this thread's flushes and WC buffer. */
-    void fence(FenceKind kind = FenceKind::Ordering);
+    /**
+     * sfence; drains this thread's flushes and WC buffer.
+     *
+     * @return true when the fence retired (was admitted against the
+     *   crash plan, or no plan is attached); false when a fired plan
+     *   dropped it. Callers batching commit state must key promotion
+     *   off this value — it is decided inside the gated op, so it is
+     *   deterministic under seeded schedules, unlike a later
+     *   crashInjected() read which races with another thread firing
+     *   the crash.
+     */
+    bool fence(FenceKind kind = FenceKind::Ordering);
 
     /** Convenience: flush + durability fence (native-style persist). */
     void persist(Addr off, std::size_t n);

@@ -50,6 +50,9 @@ originName(Origin origin)
       case Origin::NvmlCommitFlush: return "nvml-commit-flush";
       case Origin::NvmlClearLog:    return "nvml-clear-log";
       case Origin::NvmlRecovery:    return "nvml-recovery";
+      case Origin::HaloSegOpen:     return "halo-seg-open";
+      case Origin::HaloAppend:      return "halo-append";
+      case Origin::HaloSeal:        return "halo-seal";
       case Origin::kCount:          break;
     }
     return "?";

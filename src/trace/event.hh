@@ -78,6 +78,9 @@ enum class Origin : std::uint8_t
     NvmlCommitFlush, //!< nvml: modified-range flushes at commit
     NvmlClearLog,    //!< nvml: per-record log clear epochs
     NvmlRecovery,    //!< nvml: rollback during recover()
+    HaloSegOpen,     //!< halo: advisory segment-header write at open
+    HaloAppend,      //!< halo: record header/payload stores + clwb
+    HaloSeal,        //!< halo: batched durability fence (seal)
     kCount,          //!< number of origins (array sizing)
 };
 

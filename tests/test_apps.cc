@@ -34,9 +34,9 @@ TEST(AppRegistry, AllSuiteWorkloadsRegistered)
 {
     const auto names = core::registeredApps();
     const std::vector<std::string> expect = {
-        "ctree", "echo", "exim", "hashmap", "memcached",
-        "mod-hashmap", "mod-vector", "mysql", "nfs", "redis", "tpcc",
-        "vacation", "ycsb"};
+        "ctree", "echo", "exim", "halo-hashmap", "hashmap",
+        "memcached", "mod-hashmap", "mod-vector", "mysql", "nfs",
+        "redis", "tpcc", "vacation", "ycsb"};
     EXPECT_EQ(names, expect);
 }
 
