@@ -28,7 +28,9 @@ main()
     table.header({"PB entries", "drain at", "cycles", "vs 32-entry",
                   "PB-full stall cyc", "epochs drained"});
 
-    // Baseline first so the comparison column is meaningful.
+    // Baseline first so the comparison column is meaningful. Every
+    // variant below is derived from this one base object so the sweep
+    // only varies the PB knobs, never the device configuration.
     sim::SimParams base;
     base.pbEntries = 32;
     base.pbDrainThreshold = 16;
@@ -36,7 +38,7 @@ main()
     const auto base_result = base_sim.run(traces);
 
     for (const std::uint32_t entries : {2u, 4u, 8u, 16u, 32u, 64u}) {
-        sim::SimParams params;
+        sim::SimParams params = base;
         params.pbEntries = entries;
         params.pbDrainThreshold = std::max(1u, entries / 2);
         sim::Simulator sim_run(params, sim::ModelKind::HopsNvm);

@@ -35,12 +35,15 @@ main()
     table.header({"Benchmark", "x86-64 (NVM)", "x86-64 (PWQ)",
                   "HOPS (NVM)", "HOPS (PWQ)", "IDEAL (NON-CC)"});
 
+    // Every model comparison below runs against this one params
+    // object so all rows share a single device configuration.
+    const sim::SimParams params;
+
     std::vector<double> sums(kinds.size(), 0.0);
     for (const auto &name : simSubset()) {
         core::RunResult result = runForAnalysis(name, config);
         const auto results =
-            sim::runModels(result.runtime->traces(), sim::SimParams{},
-                           kinds);
+            sim::runModels(result.runtime->traces(), params, kinds);
         const double base = static_cast<double>(results[0].cycles);
         std::vector<std::string> row = {name};
         for (std::size_t m = 0; m < results.size(); m++) {
@@ -64,8 +67,7 @@ main()
     for (const auto &name : modOrder()) {
         core::RunResult result = runForAnalysis(name, config);
         const auto results =
-            sim::runModels(result.runtime->traces(), sim::SimParams{},
-                           kinds);
+            sim::runModels(result.runtime->traces(), params, kinds);
         const double base = static_cast<double>(results[0].cycles);
         std::vector<std::string> row = {name};
         for (const auto &r : results) {

@@ -27,20 +27,25 @@ main()
                   "HOPS+coalesce", "PM write-backs", "with coalesce",
                   "saved"});
 
+    // One shared params object: every model in a comparison must see
+    // the same device configuration, so derive the coalescing variant
+    // from the base instead of default-constructing per model.
+    const sim::SimParams params;
+    sim::SimParams coal = params;
+    coal.pbCoalesce = true;
+
     std::vector<std::string> names = simSubset();
     names.insert(names.end(), modOrder().begin(), modOrder().end());
     for (const auto &name : names) {
         core::RunResult result = runForAnalysis(name, config);
         const trace::TraceSet &traces = result.runtime->traces();
 
-        sim::Simulator hops(sim::SimParams{}, sim::ModelKind::HopsNvm);
+        sim::Simulator hops(params, sim::ModelKind::HopsNvm);
         const auto r_hops = hops.run(traces);
 
-        sim::Simulator dpo(sim::SimParams{}, sim::ModelKind::Dpo);
+        sim::Simulator dpo(params, sim::ModelKind::Dpo);
         const auto r_dpo = dpo.run(traces);
 
-        sim::SimParams coal;
-        coal.pbCoalesce = true;
         sim::Simulator hops_c(coal, sim::ModelKind::HopsNvm);
         const auto r_coal = hops_c.run(traces);
 

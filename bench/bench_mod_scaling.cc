@@ -117,7 +117,10 @@ measure(const std::string &structure, unsigned threads,
         });
     }
 
-    sim::Simulator simulator(sim::SimParams{}, sim::ModelKind::X86Nvm);
+    // Shared across every (structure, threads) measurement so all
+    // scale points run against the identical device configuration.
+    static const sim::SimParams params;
+    sim::Simulator simulator(params, sim::ModelKind::X86Nvm);
     const sim::SimResult result = simulator.run(rt.traces());
     ScalePoint point;
     point.threads = threads;

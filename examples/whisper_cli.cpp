@@ -29,6 +29,7 @@
 
 #include "analysis/optimize.hh"
 #include "analysis/pipeline.hh"
+#include "common/flags.hh"
 #include "common/table.hh"
 #include "core/harness.hh"
 #include "fuzz/crash_fuzz.hh"
@@ -54,7 +55,8 @@ printUsage(std::FILE *to)
         "  whisper_cli record  <app> <trace.bin> [ops] [threads]\n"
         "  whisper_cli analyze <trace.bin> [--jobs N]\n"
         "  whisper_cli optimize <trace.bin> [--jobs N] [--json]\n"
-        "  whisper_cli simulate <trace.bin> [model...]\n"
+        "  whisper_cli simulate <trace.bin> "
+        "[--device table3|optane] [model...]\n"
         "  whisper_cli apps [--ops N] [--threads N]\n"
         "  whisper_cli workload --app <name> [--mix A..F|r:u:i:m:s] "
         "[--dist uniform|zipfian|latest] [--keys N] [--threads N] "
@@ -80,59 +82,67 @@ usage()
     return 2;
 }
 
+/** Report a FlagParser failure, then the usage text (exit 2). */
+int
+flagError(const FlagParser &fp)
+{
+    std::fprintf(stderr, "whisper_cli: %s\n", fp.error().c_str());
+    return usage();
+}
+
 int
 cmdRecord(int argc, char **argv)
 {
-    if (argc < 4)
+    FlagParser fp;
+    fp.maxPositionals(4);
+    if (!fp.parse(argc, argv))
+        return flagError(fp);
+    const auto &pos = fp.positionals();
+    if (pos.size() < 2)
         return usage();
     core::AppConfig config;
-    config.opsPerThread = argc > 4 ? std::atoll(argv[4]) : 200;
-    config.threads = argc > 5 ? std::atoi(argv[5]) : 4;
+    config.opsPerThread = 200;
+    config.threads = 4;
+    if (pos.size() > 2 && !parseU64(pos[2], config.opsPerThread))
+        return usage();
+    std::uint64_t threads = 0;
+    if (pos.size() > 3) {
+        if (!parseU64(pos[3], threads) || threads < 1)
+            return usage();
+        config.threads = static_cast<unsigned>(threads);
+    }
     config.poolBytes = 256 << 20;
     config.recordVolatile = true;
 
-    std::printf("recording %s (%u x %llu ops)...\n", argv[2],
+    std::printf("recording %s (%u x %llu ops)...\n", pos[0],
                 config.threads,
                 (unsigned long long)config.opsPerThread);
-    core::RunResult result = core::runApp(argv[2], config);
+    core::RunResult result = core::runApp(pos[0], config);
     if (!result.verified) {
         std::fprintf(stderr, "verification failed:\n%s\n",
                      result.report.describe().c_str());
         return 1;
     }
-    if (!trace::writeTraceFile(argv[3], result.runtime->traces())) {
+    if (!trace::writeTraceFile(pos[1], result.runtime->traces())) {
         std::fputs("trace write failed\n", stderr);
         return 1;
     }
     std::printf("wrote %zu events to %s\n",
-                result.runtime->traces().totalEvents(), argv[3]);
+                result.runtime->traces().totalEvents(), pos[1]);
     return 0;
 }
 
 int
 cmdAnalyze(int argc, char **argv)
 {
-    if (argc < 3)
-        return usage();
     analysis::AnalysisOptions options;
-    const char *path = nullptr;
-    for (int i = 2; i < argc; i++) {
-        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            char *end = nullptr;
-            unsigned long jobs = std::strtoul(argv[++i], &end, 10);
-            if (end == argv[i] || *end != '\0') {
-                std::fprintf(stderr, "bad --jobs value: %s\n", argv[i]);
-                return usage();
-            }
-            options.jobs = static_cast<unsigned>(jobs);
-        } else if (!path) {
-            path = argv[i];
-        } else {
-            return usage();
-        }
-    }
-    if (!path)
+    FlagParser fp;
+    fp.u32("--jobs", &options.jobs).maxPositionals(1);
+    if (!fp.parse(argc, argv))
+        return flagError(fp);
+    if (fp.positionals().empty())
         return usage();
+    const char *path = fp.positionals()[0];
 
     // Streams the file's per-thread sections across --jobs workers;
     // the printed table is byte-identical at any job count.
@@ -174,30 +184,17 @@ cmdAnalyze(int argc, char **argv)
 int
 cmdOptimize(int argc, char **argv)
 {
-    if (argc < 3)
-        return usage();
     analysis::OptimizeOptions options;
-    const char *path = nullptr;
     bool json = false;
-    for (int i = 2; i < argc; i++) {
-        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            char *end = nullptr;
-            unsigned long jobs = std::strtoul(argv[++i], &end, 10);
-            if (end == argv[i] || *end != '\0') {
-                std::fprintf(stderr, "bad --jobs value: %s\n", argv[i]);
-                return usage();
-            }
-            options.jobs = static_cast<unsigned>(jobs);
-        } else if (std::strcmp(argv[i], "--json") == 0) {
-            json = true;
-        } else if (!path) {
-            path = argv[i];
-        } else {
-            return usage();
-        }
-    }
-    if (!path)
+    FlagParser fp;
+    fp.u32("--jobs", &options.jobs)
+        .flag("--json", &json)
+        .maxPositionals(1);
+    if (!fp.parse(argc, argv))
+        return flagError(fp);
+    if (fp.positionals().empty())
         return usage();
+    const char *path = fp.positionals()[0];
 
     // Same section-streaming driver discipline as analyze: the
     // summary adds up per thread, so output is byte-identical at any
@@ -332,10 +329,26 @@ cmdOptimize(int argc, char **argv)
 int
 cmdSimulate(int argc, char **argv)
 {
-    if (argc < 3)
+    const char *device = "table3";
+    FlagParser fp;
+    fp.str("--device", &device);
+    if (!fp.parse(argc, argv))
+        return flagError(fp);
+    const auto &pos = fp.positionals();
+    if (pos.empty())
         return usage();
+
+    sim::SimParams params;
+    if (std::strcmp(device, "optane") == 0) {
+        params.device = sim::PmDeviceParams::optaneCalibrated();
+    } else if (std::strcmp(device, "table3") != 0) {
+        std::fprintf(stderr,
+                     "unknown device '%s' (table3|optane)\n", device);
+        return 2;
+    }
+
     trace::TraceSet traces;
-    if (!trace::readTraceFile(argv[2], traces)) {
+    if (!trace::readTraceFile(pos[0], traces)) {
         std::fputs("trace read failed\n", stderr);
         return 1;
     }
@@ -349,10 +362,10 @@ cmdSimulate(int argc, char **argv)
         {"ideal", sim::ModelKind::Ideal},
     };
     std::vector<sim::ModelKind> kinds;
-    for (int i = 3; i < argc; i++) {
-        auto it = by_name.find(argv[i]);
+    for (std::size_t i = 1; i < pos.size(); i++) {
+        auto it = by_name.find(pos[i]);
         if (it == by_name.end()) {
-            std::fprintf(stderr, "unknown model '%s'\n", argv[i]);
+            std::fprintf(stderr, "unknown model '%s'\n", pos[i]);
             return 2;
         }
         kinds.push_back(it->second);
@@ -362,11 +375,12 @@ cmdSimulate(int argc, char **argv)
             kinds.push_back(kind);
     }
 
-    TextTable table(std::string("simulation of ") + argv[2]);
+    const auto results = sim::runModels(traces, params, kinds);
+
+    TextTable table(std::string("simulation of ") + pos[0]);
     table.header({"model", "cycles", "fence stalls", "PB-full",
                   "L1 hit rate", "drained epochs"});
-    for (const auto &r : sim::runModels(traces, sim::SimParams{},
-                                        kinds)) {
+    for (const auto &r : results) {
         table.row({r.model, TextTable::num(r.cycles),
                    TextTable::num(r.persist.fenceStalls),
                    TextTable::num(r.persist.pbFullStalls),
@@ -374,6 +388,30 @@ cmdSimulate(int argc, char **argv)
                    TextTable::num(r.persist.epochsDrained)});
     }
     table.print();
+
+    if (params.device.calibrated()) {
+        // Per-DIMM device traffic: only the calibrated device has a
+        // multi-DIMM map, so the table would be all-zero noise under
+        // table3 (which must also stay byte-identical to the legacy
+        // output).
+        const unsigned dimms = params.device.dimmMap.dimms();
+        TextTable dev("PM device (per-DIMM line write-backs)");
+        std::vector<std::string> head = {"model", "wc hits",
+                                         "wc evicts", "queue wait"};
+        for (unsigned d = 0; d < dimms; d++)
+            head.push_back("dimm" + std::to_string(d));
+        dev.header(head);
+        for (const auto &r : results) {
+            std::vector<std::string> row = {
+                r.model, TextTable::num(r.device.wcHits),
+                TextTable::num(r.device.wcEvicts),
+                TextTable::num(r.device.queueWaitCycles)};
+            for (unsigned d = 0; d < dimms; d++)
+                row.push_back(TextTable::num(r.device.dimmWrites[d]));
+            dev.row(row);
+        }
+        dev.print();
+    }
     return 0;
 }
 
@@ -390,19 +428,12 @@ cmdApps(int argc, char **argv)
     config.opsPerThread = 200;
     config.threads = 4;
     config.poolBytes = 256 << 20;
-    for (int i = 2; i < argc; i++) {
-        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
-        if (std::strcmp(argv[i], "--ops") == 0 && val) {
-            config.opsPerThread = std::strtoull(val, nullptr, 0);
-            i++;
-        } else if (std::strcmp(argv[i], "--threads") == 0 && val) {
-            config.threads =
-                static_cast<unsigned>(std::strtoul(val, nullptr, 0));
-            i++;
-        } else {
-            return usage();
-        }
-    }
+    FlagParser fp;
+    fp.u64("--ops", &config.opsPerThread)
+        .u32("--threads", &config.threads, 1)
+        .maxPositionals(0);
+    if (!fp.parse(argc, argv))
+        return flagError(fp);
 
     struct Row
     {
@@ -464,14 +495,6 @@ cmdApps(int argc, char **argv)
     return 0;
 }
 
-bool
-parseU64(const char *s, std::uint64_t &out)
-{
-    char *end = nullptr;
-    out = std::strtoull(s, &end, 0);
-    return end != s && *end == '\0';
-}
-
 /**
  * Run one generated YCSB-style workload and print throughput plus the
  * latency percentiles (simulated logical-clock ticks, 1 tick = 1 ns).
@@ -484,75 +507,39 @@ cmdWorkload(int argc, char **argv)
     workload::WorkloadOptions opts;
     bool json = false;
     const char *trace_path = nullptr;
+    const char *app = nullptr;
 
-    for (int i = 2; i < argc; i++) {
-        const char *arg = argv[i];
-        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
-        std::uint64_t n = 0;
-        if (std::strcmp(arg, "--json") == 0) {
-            json = true;
-        } else if (!val) {
-            return usage();
-        } else if (std::strcmp(arg, "--app") == 0) {
-            opts.app = val;
-            i++;
-        } else if (std::strcmp(arg, "--mix") == 0) {
-            if (!workload::MixSpec::parse(val, opts.mix)) {
-                std::fprintf(stderr,
-                             "bad --mix '%s' (A..F or r:u:i:m:s)\n",
-                             val);
-                return 2;
-            }
-            i++;
-        } else if (std::strcmp(arg, "--dist") == 0) {
-            if (!workload::parseKeyDist(val, opts.dist)) {
-                std::fprintf(
-                    stderr,
-                    "bad --dist '%s' (uniform|zipfian|latest)\n",
-                    val);
-                return 2;
-            }
-            i++;
-        } else if (std::strcmp(arg, "--keys") == 0 &&
-                   parseU64(val, n) && n >= 1) {
-            opts.keys = n;
-            i++;
-        } else if (std::strcmp(arg, "--threads") == 0 &&
-                   parseU64(val, n) && n >= 1) {
-            opts.threads = static_cast<unsigned>(n);
-            i++;
-        } else if (std::strcmp(arg, "--ops") == 0 &&
-                   parseU64(val, n)) {
-            opts.opsPerThread = n;
-            i++;
-        } else if (std::strcmp(arg, "--seed") == 0 &&
-                   parseU64(val, n)) {
-            opts.seed = n;
-            i++;
-        } else if (std::strcmp(arg, "--pool-mb") == 0 &&
-                   parseU64(val, n) && n >= 1) {
-            opts.poolBytes = static_cast<std::size_t>(n) << 20;
-            i++;
-        } else if (std::strcmp(arg, "--theta") == 0) {
-            char *end = nullptr;
-            opts.zipfTheta = std::strtod(val, &end);
-            if (end == val || *end != '\0' || opts.zipfTheta <= 0.0 ||
-                opts.zipfTheta >= 1.0) {
-                std::fprintf(stderr,
-                             "bad --theta '%s' (need 0 < t < 1)\n",
-                             val);
-                return 2;
-            }
-            i++;
-        } else if (std::strcmp(arg, "--trace") == 0) {
-            trace_path = val;
-            i++;
-        } else {
-            return usage();
-        }
-    }
-    if (opts.app.empty())
+    FlagParser fp;
+    fp.flag("--json", &json)
+        .str("--app", &app)
+        .custom("--mix",
+                [&opts](const char *v) {
+                    return workload::MixSpec::parse(v, opts.mix);
+                })
+        .custom("--dist",
+                [&opts](const char *v) {
+                    return workload::parseKeyDist(v, opts.dist);
+                })
+        .u64("--keys", &opts.keys, 1)
+        .u32("--threads", &opts.threads, 1)
+        .u64("--ops", &opts.opsPerThread)
+        .u64("--seed", &opts.seed)
+        .megabytes("--pool-mb", &opts.poolBytes)
+        .custom("--theta",
+                [&opts](const char *v) {
+                    char *end = nullptr;
+                    opts.zipfTheta = std::strtod(v, &end);
+                    return end != v && *end == '\0' &&
+                           opts.zipfTheta > 0.0 &&
+                           opts.zipfTheta < 1.0;
+                })
+        .str("--trace", &trace_path)
+        .maxPositionals(0);
+    if (!fp.parse(argc, argv))
+        return flagError(fp);
+    if (!app)
         return usage();
+    opts.app = app;
 
     const workload::WorkloadResult result =
         workload::runWorkload(opts);
@@ -628,105 +615,84 @@ cmdCrashfuzz(int argc, char **argv)
     bool have_fault_plan = false;
     pm::FaultPlan fault_plan;
     std::vector<whisper::LineAddr> survivors;
+    bool no_shrink = false;
+    const char *replay_arg = nullptr;
 
-    for (int i = 2; i < argc; i++) {
-        const char *arg = argv[i];
-        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
-        std::uint64_t n = 0;
-        if (std::strcmp(arg, "--no-shrink") == 0) {
-            options.shrinkViolations = false;
-        } else if (std::strcmp(arg, "--faults") == 0) {
-            options.config.faults = true;
-        } else if (std::strcmp(arg, "--elide") == 0) {
-            options.config.elide = true;
-        } else if (std::strcmp(arg, "--json") == 0) {
-            json = true;
-            options.keepReports = true;
-        } else if (!val) {
-            return usage();
-        } else if (std::strcmp(arg, "--cases") == 0 &&
-                   parseU64(val, n)) {
-            options.cases = n;
-            i++;
-        } else if (std::strcmp(arg, "--jobs") == 0 &&
-                   parseU64(val, n)) {
-            options.jobs = static_cast<unsigned>(n);
-            i++;
-        } else if (std::strcmp(arg, "--ops") == 0 &&
-                   parseU64(val, n)) {
-            options.config.opsPerThread = n;
-            i++;
-        } else if (std::strcmp(arg, "--seed") == 0 &&
-                   parseU64(val, n)) {
-            options.config.sweepSeed = n;
-            i++;
-        } else if (std::strcmp(arg, "--pool-mb") == 0 &&
-                   parseU64(val, n)) {
-            options.config.poolBytes =
-                static_cast<std::size_t>(n) << 20;
-            i++;
-        } else if (std::strcmp(arg, "--threads") == 0 &&
-                   parseU64(val, n) && n >= 1) {
-            options.config.threads = static_cast<unsigned>(n);
-            i++;
-        } else if (std::strcmp(arg, "--schedule") == 0 &&
-                   parseU64(val, n)) {
-            schedule = n;
-            i++;
-        } else if (std::strcmp(arg, "--apps") == 0) {
-            for (const char *p = val; *p;) {
-                const char *comma = std::strchr(p, ',');
-                options.apps.emplace_back(
-                    p, comma ? comma - p : std::strlen(p));
-                p = comma ? comma + 1 : p + std::strlen(p);
-            }
-            i++;
-        } else if (std::strcmp(arg, "--replay") == 0) {
-            replay = val;
-            i++;
-        } else if (std::strcmp(arg, "--at") == 0 &&
-                   parseU64(val, n)) {
-            at = n;
-            i++;
-        } else if (std::strcmp(arg, "--survivors") == 0) {
-            have_survivors = true;
-            if (std::strcmp(val, "none") != 0) {
-                for (const char *p = val; *p;) {
+    FlagParser fp;
+    fp.flag("--no-shrink", &no_shrink)
+        .flag("--faults", &options.config.faults)
+        .flag("--elide", &options.config.elide)
+        .flag("--json", &json)
+        .u64("--cases", &options.cases)
+        .u32("--jobs", &options.jobs)
+        .u64("--ops", &options.config.opsPerThread)
+        .u64("--seed", &options.config.sweepSeed)
+        .megabytes("--pool-mb", &options.config.poolBytes)
+        .u32("--threads", &options.config.threads, 1)
+        .u64("--schedule", &schedule)
+        .custom("--apps",
+                [&options](const char *v) {
+                    for (const char *p = v; *p;) {
+                        const char *comma = std::strchr(p, ',');
+                        options.apps.emplace_back(
+                            p, comma ? comma - p : std::strlen(p));
+                        p = comma ? comma + 1 : p + std::strlen(p);
+                    }
+                    return true;
+                })
+        .str("--replay", &replay_arg)
+        .u64("--at", &at)
+        .custom("--survivors",
+                [&](const char *v) {
+                    have_survivors = true;
+                    if (std::strcmp(v, "none") == 0)
+                        return true;
+                    for (const char *p = v; *p;) {
+                        char *end = nullptr;
+                        survivors.push_back(
+                            std::strtoull(p, &end, 0));
+                        if (end == p)
+                            return false;
+                        p = *end == ',' ? end + 1 : end;
+                    }
+                    return true;
+                })
+        .custom("--fault-plan",
+                [&](const char *v) {
+                    // seed:poisonCount:tearPercent:transientEvery,
+                    // as emitted by fuzz::replayCommand.
                     char *end = nullptr;
-                    survivors.push_back(std::strtoull(p, &end, 0));
-                    if (end == p)
-                        return usage();
-                    p = *end == ',' ? end + 1 : end;
-                }
-            }
-            i++;
-        } else if (std::strcmp(arg, "--fault-plan") == 0) {
-            // seed:poisonCount:tearPercent:transientEvery, as emitted
-            // by fuzz::replayCommand.
-            char *end = nullptr;
-            fault_plan.seed = std::strtoull(val, &end, 0);
-            unsigned fields[3] = {0, 0, 0};
-            for (int f = 0; f < 3; f++) {
-                if (*end != ':')
-                    return usage();
-                const char *p = end + 1;
-                fields[f] = static_cast<unsigned>(
-                    std::strtoul(p, &end, 0));
-                if (end == p)
-                    return usage();
-            }
-            if (*end != '\0')
-                return usage();
-            fault_plan.poisonCount = fields[0];
-            fault_plan.tearProb =
-                static_cast<double>(fields[1]) / 100.0;
-            fault_plan.transientEvery = fields[2];
-            have_fault_plan = true;
-            i++;
-        } else {
-            return usage();
-        }
-    }
+                    fault_plan.seed = std::strtoull(v, &end, 0);
+                    if (end == v)
+                        return false;
+                    unsigned fields[3] = {0, 0, 0};
+                    for (int f = 0; f < 3; f++) {
+                        if (*end != ':')
+                            return false;
+                        const char *p = end + 1;
+                        fields[f] = static_cast<unsigned>(
+                            std::strtoul(p, &end, 0));
+                        if (end == p)
+                            return false;
+                    }
+                    if (*end != '\0')
+                        return false;
+                    fault_plan.poisonCount = fields[0];
+                    fault_plan.tearProb =
+                        static_cast<double>(fields[1]) / 100.0;
+                    fault_plan.transientEvery = fields[2];
+                    have_fault_plan = true;
+                    return true;
+                })
+        .maxPositionals(0);
+    if (!fp.parse(argc, argv))
+        return flagError(fp);
+    if (no_shrink)
+        options.shrinkViolations = false;
+    if (json)
+        options.keepReports = true;
+    if (replay_arg)
+        replay = replay_arg;
 
     if (!replay.empty()) {
         const std::size_t colon = replay.rfind(':');

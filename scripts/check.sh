@@ -226,6 +226,68 @@ if [[ "$docs_only" == 0 ]]; then
 fi
 
 # ---------------------------------------------------------------
+# PM device model (DESIGN.md §13): the default device must be the
+# paper's Table 3 machine, byte-identical whether the flag is given
+# or not; the calibrated (optane) model's cycle counts are pinned on
+# a deterministic workload trace and must not vary between runs; and
+# DIMM-balanced placement must beat naive next-fit under the
+# calibrated model (bench_dimm_balance enforces its own floor).
+# ---------------------------------------------------------------
+if [[ "$docs_only" == 0 ]]; then
+    echo "== device model: table3 identity + optane goldens =="
+    dev_trace=$(mktemp /tmp/whisper-device-XXXXXX.bin)
+    run_leg build/examples/whisper_cli workload --app hashmap \
+        --mix A --keys 1000 --threads 2 --ops 150 \
+        --trace "$dev_trace" >/dev/null
+    plain=$(run_leg build/examples/whisper_cli simulate "$dev_trace")
+    table3=$(run_leg build/examples/whisper_cli simulate \
+        "$dev_trace" --device table3)
+    optane=$(run_leg build/examples/whisper_cli simulate \
+        "$dev_trace" --device optane)
+    optane2=$(run_leg build/examples/whisper_cli simulate \
+        "$dev_trace" --device optane)
+    rm -f "$dev_trace"
+    device_ok=1
+    if [[ -z "$plain" || "$plain" != "$table3" ]]; then
+        echo "FAIL: simulate --device table3 differs from default"
+        device_ok=0
+    fi
+    if [[ "$optane" != "$optane2" ]]; then
+        echo "FAIL: calibrated simulate output varies between runs"
+        device_ok=0
+    fi
+    # Uniform goldens (pre-device-model numbers) and calibrated
+    # goldens on the deterministic hashmap/mix-A workload trace.
+    for want in \
+        'x86-64 \(NVM\)  *120590' 'HOPS \(NVM\)  *36095' \
+        'ideal.*24094'
+    do
+        if ! grep -qE "$want" <<<"$plain"; then
+            echo "FAIL: table3 golden '$want' missing from simulate"
+            device_ok=0
+        fi
+    done
+    for want in \
+        'x86-64 \(NVM\)  *109318' 'HOPS \(NVM\)  *34475' \
+        'ideal.*21550' 'PM device \(per-DIMM line write-backs\)'
+    do
+        if ! grep -qE "$want" <<<"$optane"; then
+            echo "FAIL: optane golden '$want' missing from simulate"
+            device_ok=0
+        fi
+    done
+    if ! run_leg build/bench/bench_dimm_balance >/dev/null; then
+        echo "FAIL: bench_dimm_balance (balanced must beat naive)"
+        device_ok=0
+    fi
+    if [[ "$device_ok" == 1 ]]; then
+        echo "ok: table3 identity, optane goldens, balance floor"
+    else
+        failures=$((failures + 1))
+    fi
+fi
+
+# ---------------------------------------------------------------
 # Docs check 1: doxygen must run warning-clean.
 # ---------------------------------------------------------------
 echo "== docs: doxygen =="

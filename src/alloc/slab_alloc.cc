@@ -91,6 +91,73 @@ SlabAllocator::persistBitmapWord(pm::PmContext &ctx, Addr word_off,
     ctx.fence(FenceKind::Ordering);
 }
 
+void
+SlabAllocator::enableDimmBalance(const DimmConfig &dimms)
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    dimmBalance_ = true;
+    dimms_ = dimms;
+    recountDimmLive();
+}
+
+unsigned
+SlabAllocator::dimmOfBlock(const Slab &slab, std::uint64_t bit) const
+{
+    return dimms_.dimmOf(lineOf(slab.blocksBase + bit * slab.blockSize));
+}
+
+std::uint64_t
+SlabAllocator::balancedPick(pm::PmContext &ctx, const Slab &slab) const
+{
+    // One pass recording the first free block per DIMM; once a DIMM
+    // has a candidate the scan jumps to the next interleave-chunk
+    // boundary (all blocks until then share that DIMM).
+    const unsigned dimm_count = dimms_.dimms();
+    const std::uint64_t chunk_bytes =
+        std::uint64_t(dimms_.interleaveLines ? dimms_.interleaveLines
+                                             : 1) *
+        kCacheLineSize;
+    std::array<std::uint64_t, kMaxDimms> first_free;
+    first_free.fill(slab.blockCount);
+    unsigned found = 0;
+    std::uint64_t last_word = ~std::uint64_t(0);
+    for (std::uint64_t bit = 0;
+         bit < slab.blockCount && found < dimm_count;) {
+        const unsigned d = dimmOfBlock(slab, bit);
+        if (first_free[d] < slab.blockCount) {
+            const Addr addr = slab.blocksBase + bit * slab.blockSize;
+            const Addr boundary =
+                (addr / chunk_bytes + 1) * chunk_bytes;
+            const std::uint64_t skip =
+                (boundary - slab.blocksBase + slab.blockSize - 1) /
+                slab.blockSize;
+            bit = skip > bit ? skip : bit + 1;
+            continue;
+        }
+        const std::uint64_t word = bit / 64;
+        if (word != last_word) {
+            ctx.vLoad(&slab.shadow[word], 8);
+            last_word = word;
+        }
+        if (!(slab.shadow[word] & (1ull << (bit % 64)))) {
+            first_free[d] = bit;
+            found++;
+        }
+        bit++;
+    }
+    std::uint64_t best = slab.blockCount;
+    std::uint64_t best_load = 0;
+    for (unsigned d = 0; d < dimm_count; d++) {
+        if (first_free[d] >= slab.blockCount)
+            continue;
+        if (best == slab.blockCount || dimmLive_[d] < best_load) {
+            best = first_free[d];
+            best_load = dimmLive_[d];
+        }
+    }
+    return best;
+}
+
 Addr
 SlabAllocator::alloc(pm::PmContext &ctx, std::size_t n)
 {
@@ -101,6 +168,23 @@ SlabAllocator::alloc(pm::PmContext &ctx, std::size_t n)
         return kNullAddr;
     }
     Slab &slab = slabs_[c];
+
+    if (dimmBalance_) {
+        const std::uint64_t bit = balancedPick(ctx, slab);
+        if (bit >= slab.blockCount) {
+            stats_.failedAllocs++;
+            return kNullAddr;
+        }
+        const std::uint64_t word = bit / 64;
+        slab.shadow[word] |= 1ull << (bit % 64);
+        ctx.vStore(&slab.shadow[word], 8);
+        persistBitmapWord(ctx, slab.bitmapBase + word * 8,
+                          slab.shadow[word]);
+        dimmLive_[dimmOfBlock(slab, bit)]++;
+        stats_.allocs++;
+        stats_.bytesLive += slab.blockSize;
+        return slab.blocksBase + bit * slab.blockSize;
+    }
 
     // Next-fit scan over the volatile shadow bitmap.
     for (std::uint64_t probe = 0; probe < slab.blockCount; probe++) {
@@ -139,6 +223,8 @@ SlabAllocator::free(pm::PmContext &ctx, Addr payload)
     slab.shadow[word] &= ~mask;
     ctx.vStore(&slab.shadow[word], 8);
     persistBitmapWord(ctx, slab.bitmapBase + word * 8, slab.shadow[word]);
+    if (dimmBalance_)
+        dimmLive_[dimmOfBlock(slab, bit)]--;
     stats_.frees++;
     stats_.bytesLive -= slab.blockSize;
 }
@@ -158,6 +244,20 @@ SlabAllocator::recover(pm::PmContext &ctx)
         for (std::uint64_t bit = 0; bit < slab.blockCount; bit++) {
             if (slab.shadow[bit / 64] & (1ull << (bit % 64)))
                 stats_.bytesLive += slab.blockSize;
+        }
+    }
+    if (dimmBalance_)
+        recountDimmLive();
+}
+
+void
+SlabAllocator::recountDimmLive()
+{
+    dimmLive_.fill(0);
+    for (const auto &slab : slabs_) {
+        for (std::uint64_t bit = 0; bit < slab.blockCount; bit++) {
+            if (slab.shadow[bit / 64] & (1ull << (bit % 64)))
+                dimmLive_[dimmOfBlock(slab, bit)]++;
         }
     }
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "alloc/allocator.hh"
+#include "common/dimm.hh"
 
 namespace whisper::alloc
 {
@@ -50,6 +51,23 @@ class SlabAllocator : public PmAllocator
     void free(pm::PmContext &ctx, Addr payload) override;
     void recover(pm::PmContext &ctx) override;
     const AllocStats &stats() const override { return stats_; }
+
+    /**
+     * Opt in to HESH-style DIMM-balanced placement: alloc() picks
+     * the first free block on the DIMM currently holding the fewest
+     * of this allocator's live blocks (ties to the lower DIMM),
+     * instead of plain next-fit order. Spreads consecutive
+     * allocations — and therefore one transaction's flush burst —
+     * across the DIMMs. Off by default; the default path stays
+     * byte-identical to the historical next-fit allocator.
+     */
+    void enableDimmBalance(const DimmConfig &dimms);
+
+    /** Live blocks per DIMM (all zero unless balance is enabled). */
+    const std::array<std::uint64_t, kMaxDimms> &dimmLiveBlocks() const
+    {
+        return dimmLive_;
+    }
 
     /** Number of allocated blocks in class @p cls (test helper). */
     std::uint64_t allocatedIn(std::size_t cls) const;
@@ -91,8 +109,22 @@ class SlabAllocator : public PmAllocator
 
     void layout(Addr base, std::size_t size);
 
+    /** Home DIMM of block @p bit of @p slab (balance mode). */
+    unsigned dimmOfBlock(const Slab &slab, std::uint64_t bit) const;
+
+    /** Balanced candidate: first free block on the least-loaded
+     *  DIMM, or blockCount when the slab is full. */
+    std::uint64_t balancedPick(pm::PmContext &ctx,
+                               const Slab &slab) const;
+
+    /** Recount dimmLive_ from the shadow bitmaps. */
+    void recountDimmLive();
+
     std::array<Slab, kClasses.size()> slabs_;
     AllocStats stats_;
+    bool dimmBalance_ = false;
+    DimmConfig dimms_{};
+    std::array<std::uint64_t, kMaxDimms> dimmLive_{};
 };
 
 } // namespace whisper::alloc

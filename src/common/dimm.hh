@@ -1,0 +1,57 @@
+/**
+ * @file
+ * DIMM interleaving geometry shared by the PM pool, the allocators
+ * and the timing simulator's device model.
+ *
+ * Real PM platforms interleave the physical address space across the
+ * DIMMs of a socket at a fixed granularity (4 KB on the Optane
+ * systems measured by van Renen et al., "Persistent Memory I/O
+ * Primitives", DaMoN'19 — but each DIMM internally operates on 256 B
+ * blocks). The mapping is a pure function of the address and the
+ * geometry, so every layer that needs it — pool traffic counters,
+ * DIMM-balanced placement, per-DIMM service queues in the simulator —
+ * can share this one struct without sharing any state.
+ */
+
+#ifndef WHISPER_COMMON_DIMM_HH
+#define WHISPER_COMMON_DIMM_HH
+
+#include "common/types.hh"
+
+namespace whisper
+{
+
+/** Upper bound on modeled DIMMs (fixed-size per-DIMM counter arrays). */
+constexpr unsigned kMaxDimms = 8;
+
+/**
+ * Address-to-DIMM mapping: @c count DIMMs, interleaved in runs of
+ * @c interleaveLines cache lines. The default (one DIMM) makes the
+ * mapping degenerate — everything lands on DIMM 0 — which keeps
+ * single-device behavior and legacy statistics unchanged.
+ */
+struct DimmConfig
+{
+    unsigned count = 1;             //!< DIMMs (clamped to kMaxDimms)
+    unsigned interleaveLines = 4;   //!< lines per interleave chunk
+
+    /** Effective DIMM count (never 0, never above kMaxDimms). */
+    unsigned
+    dimms() const
+    {
+        const unsigned n = count ? count : 1;
+        return n > kMaxDimms ? kMaxDimms : n;
+    }
+
+    /** Home DIMM of @p line: pure in (line, *this). */
+    unsigned
+    dimmOf(LineAddr line) const
+    {
+        const unsigned chunk = interleaveLines ? interleaveLines : 1;
+        return static_cast<unsigned>((line / chunk) % dimms());
+    }
+};
+
+} // namespace whisper
+
+#endif // WHISPER_COMMON_DIMM_HH

@@ -59,9 +59,68 @@ HaloSegmentAllocator::HaloSegmentAllocator(const Config &config)
              config.threads);
     segments_ = perThread_ * config.threads; // drop the remainder
     threads_.resize(config.threads);
-    for (unsigned t = 0; t < config.threads; t++)
-        threads_[t].next = static_cast<std::uint64_t>(t) * perThread_;
     bitmap_.assign(segments_, 0);
+    buildPlacement();
+}
+
+void
+HaloSegmentAllocator::buildPlacement()
+{
+    const unsigned T = config_.threads;
+    order_.assign(T, {});
+    ownerOf_.assign(segments_, 0);
+
+    if (config_.placement == Placement::Sequential) {
+        for (unsigned t = 0; t < T; t++) {
+            order_[t].reserve(perThread_);
+            const std::uint64_t base =
+                static_cast<std::uint64_t>(t) * perThread_;
+            for (std::uint64_t i = 0; i < perThread_; i++)
+                order_[t].push_back(base + i);
+        }
+    } else {
+        // DimmSpread: group segments by home DIMM, then deal them to
+        // the threads one position at a time. Thread t's preferred
+        // DIMM at position p is (t + p) % D — consecutive segments
+        // of one thread cycle the DIMMs (its drain bursts spread),
+        // and at any given position concurrent threads sit staggered
+        // on different DIMMs. When the preferred group is empty the
+        // deal falls through to the next DIMM, so every segment is
+        // assigned exactly once.
+        const unsigned D = config_.dimms.dimms();
+        std::vector<std::vector<std::uint64_t>> by_dimm(D);
+        for (std::uint64_t seg = 0; seg < segments_; seg++)
+            by_dimm[homeDimm(seg)].push_back(seg);
+        std::vector<std::size_t> cursor(D, 0);
+        for (std::uint64_t pos = 0; pos < perThread_; pos++) {
+            for (unsigned t = 0; t < T; t++) {
+                const unsigned want = (t + pos) % D;
+                for (unsigned k = 0; k < D; k++) {
+                    const unsigned d = (want + k) % D;
+                    if (cursor[d] < by_dimm[d].size()) {
+                        order_[t].push_back(by_dimm[d][cursor[d]++]);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    for (unsigned t = 0; t < T; t++) {
+        for (const std::uint64_t seg : order_[t])
+            ownerOf_[seg] = static_cast<ThreadId>(t);
+    }
+}
+
+std::vector<std::uint64_t>
+HaloSegmentAllocator::dimmUsage() const
+{
+    std::vector<std::uint64_t> used(config_.dimms.dimms(), 0);
+    for (std::uint64_t seg = 0; seg < segments_; seg++) {
+        if (bitmap_[seg])
+            used[homeDimm(seg)]++;
+    }
+    return used;
 }
 
 std::uint64_t
@@ -109,11 +168,9 @@ HaloSegmentAllocator::append(pm::PmContext &ctx, ThreadId tid,
         pt.active = ~std::uint64_t(0);
     }
     if (pt.active == ~std::uint64_t(0)) {
-        const std::uint64_t limit =
-            (static_cast<std::uint64_t>(tid) + 1) * perThread_;
-        if (pt.next >= limit)
-            return kNullAddr; // thread's segment range exhausted
-        openSegment(ctx, tid, pt.next++, open_seq);
+        if (pt.pos >= perThread_)
+            return kNullAddr; // thread's segment list exhausted
+        openSegment(ctx, tid, order_[tid][pt.pos++], open_seq);
     }
     pt.appended++;
     return slotAddr(pt.active, pt.slot++);
@@ -147,16 +204,16 @@ HaloSegmentAllocator::resetFromScan(const std::vector<bool> &used)
         PerThread &pt = threads_[t];
         pt.active = ~std::uint64_t(0);
         pt.slot = 0;
-        // Resume after the highest segment the scan saw in use;
-        // a partially filled survivor is abandoned, never reused
-        // (wasted slots, but no way to mix live and stale records).
-        std::uint64_t next = static_cast<std::uint64_t>(t) * perThread_;
-        const std::uint64_t limit = next + perThread_;
-        for (std::uint64_t seg = next; seg < limit; seg++) {
-            if (bitmap_[seg])
-                next = seg + 1;
+        // Resume after the latest position (in the thread's static
+        // acquisition order) the scan saw in use; a partially filled
+        // survivor is abandoned, never reused (wasted slots, but no
+        // way to mix live and stale records).
+        std::uint64_t pos = 0;
+        for (std::uint64_t p = 0; p < perThread_; p++) {
+            if (bitmap_[order_[t][p]])
+                pos = p + 1;
         }
-        pt.next = next;
+        pt.pos = pos;
     }
 }
 

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/dimm.hh"
 #include "common/types.hh"
 #include "pm/pm_context.hh"
 
@@ -133,12 +134,19 @@ static_assert(sizeof(HaloSegmentHeader) == kCacheLineSize,
 /**
  * Batching segment allocator with static per-thread ownership.
  *
- * Thread t owns segments [t*perThread, (t+1)*perThread) of the area —
- * acquisition order, record addresses and therefore the durable image
- * never depend on how threads interleave. All bookkeeping (the
- * allocation bitmap, cursors, the active segment) is DRAM-only;
- * the single persistent artifact is the advisory header line written
- * when a segment is opened.
+ * Each thread owns a statically computed list of segments and opens
+ * them in a fixed per-thread order — acquisition order, record
+ * addresses and therefore the durable image never depend on how
+ * threads interleave. Under Placement::Sequential (the default)
+ * thread t owns segments [t*perThread, (t+1)*perThread), exactly the
+ * historical layout; Placement::DimmSpread deals segments to threads
+ * round-robin by home DIMM (HESH-style balanced placement), so each
+ * thread's consecutive segments cycle the DIMMs and concurrent
+ * threads start staggered on different DIMMs. Both placements are
+ * pure functions of the configuration, so determinism guarantees are
+ * unchanged. All bookkeeping (the allocation bitmap, cursors, the
+ * active segment) is DRAM-only; the single persistent artifact is the
+ * advisory header line written when a segment is opened.
  *
  * Fence discipline: appends only queue clwbs; seal() issues the one
  * durability fence that commits every record appended since the
@@ -149,11 +157,21 @@ static_assert(sizeof(HaloSegmentHeader) == kCacheLineSize,
 class HaloSegmentAllocator
 {
   public:
+    /** Segment-to-thread placement policy. */
+    enum class Placement
+    {
+        Sequential, //!< thread t owns [t*perThread, (t+1)*perThread)
+        DimmSpread, //!< segments dealt round-robin by home DIMM
+    };
+
     struct Config
     {
         Addr base = 0;           //!< segment area base (line-aligned)
         std::size_t bytes = 0;   //!< area size (multiple of segment)
         unsigned threads = 1;
+        Placement placement = Placement::Sequential;
+        /** Pool DIMM geometry (consulted by DimmSpread only). */
+        DimmConfig dimms{};
     };
 
     explicit HaloSegmentAllocator(const Config &config);
@@ -209,11 +227,20 @@ class HaloSegmentAllocator
     /** True iff segment @p seg is marked used in the DRAM bitmap. */
     bool segmentUsed(std::uint64_t seg) const;
 
-    /** Owning thread of segment @p seg (by static range). */
+    /** Owning thread of segment @p seg (by static placement). */
     ThreadId ownerOf(std::uint64_t seg) const
     {
-        return static_cast<ThreadId>(seg / perThread_);
+        return ownerOf_[seg];
     }
+
+    /** Home DIMM of segment @p seg under the configured geometry. */
+    unsigned homeDimm(std::uint64_t seg) const
+    {
+        return config_.dimms.dimmOf(lineOf(segmentAddr(seg)));
+    }
+
+    /** Used-segment count per DIMM (placement diagnostics/goldens). */
+    std::vector<std::uint64_t> dimmUsage() const;
 
     /**
      * Reset DRAM state from a recovery scan: @p used flags one bit
@@ -234,9 +261,12 @@ class HaloSegmentAllocator
     void openSegment(pm::PmContext &ctx, ThreadId tid,
                      std::uint64_t seg, std::uint64_t open_seq);
 
+    /** Compute the static per-thread segment orders + owner map. */
+    void buildPlacement();
+
     struct PerThread
     {
-        std::uint64_t next = 0;      //!< next never-opened segment
+        std::uint64_t pos = 0;       //!< cursor into the order list
         std::uint64_t active = ~std::uint64_t(0);
         std::uint64_t slot = 0;      //!< next free slot in active
         std::uint64_t sealFences = 0;
@@ -248,6 +278,10 @@ class HaloSegmentAllocator
     std::size_t segments_ = 0;
     std::size_t perThread_ = 0;
     std::vector<PerThread> threads_;
+    /** Per-thread segment acquisition order (placement-defined). */
+    std::vector<std::vector<std::uint64_t>> order_;
+    /** Owning thread of every segment (inverse of order_). */
+    std::vector<ThreadId> ownerOf_;
     /**
      * DRAM allocation map, one byte per segment (byte-granular so
      * concurrent owning threads never share a memory word).

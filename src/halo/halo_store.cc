@@ -35,7 +35,9 @@ fold(std::uint64_t h, std::uint64_t v)
 HaloStore::HaloStore(const Config &config)
     : config_(config),
       alloc_(HaloSegmentAllocator::Config{config.base, config.bytes,
-                                          config.threads})
+                                          config.threads,
+                                          config.placement,
+                                          config.dimms})
 {
     dirs_.reserve(config.threads);
     for (unsigned t = 0; t < config.threads; t++)

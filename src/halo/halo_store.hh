@@ -58,6 +58,10 @@ class HaloStore
         Addr base = 0;          //!< segment area base (line-aligned)
         std::size_t bytes = 0;  //!< segment area size
         unsigned threads = 1;   //!< partitions (= writer threads)
+        /** Segment placement (forwarded to the allocator). */
+        HaloSegmentAllocator::Placement placement =
+            HaloSegmentAllocator::Placement::Sequential;
+        DimmConfig dimms{};     //!< pool geometry for DimmSpread
     };
 
     /** Last op accepted for a key at a durability fence. */

@@ -8,8 +8,9 @@
 namespace whisper::pm
 {
 
-PmPool::PmPool(std::size_t size)
+PmPool::PmPool(std::size_t size, const DimmConfig &dimms)
     : size_(size),
+      dimms_(dimms),
       arch_(size, 0),
       durable_(size, 0),
       lineStates_((size + kCacheLineSize - 1) / kCacheLineSize),
@@ -162,6 +163,7 @@ PmPool::persistLineLocked(LineAddr line)
     std::memcpy(durable_.data() + base, arch_.data() + base, n);
     lineStates_[line].store(0, std::memory_order_relaxed);
     stats_.linesPersisted++;
+    stats_.dimmLinesPersisted[dimms_.dimmOf(line)]++;
 }
 
 void

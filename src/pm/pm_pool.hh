@@ -31,6 +31,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/dimm.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "pm/fault_plan.hh"
@@ -55,6 +56,8 @@ struct PoolStats
     std::atomic<std::uint64_t> linesScrubbed{0};      //!< scrubLine() calls
     std::atomic<std::uint64_t> transientFaults{0};    //!< retried reads
     std::atomic<std::uint64_t> mediaErrors{0};        //!< PmMediaError raised
+    /** Per-DIMM persist traffic (indexed by PmPool::dimmOf). */
+    std::array<std::atomic<std::uint64_t>, kMaxDimms> dimmLinesPersisted{};
 };
 
 /**
@@ -63,11 +66,26 @@ struct PoolStats
 class PmPool
 {
   public:
-    /** Create a pool of @p size bytes, zero-filled and clean. */
-    explicit PmPool(std::size_t size);
+    /**
+     * Create a pool of @p size bytes, zero-filled and clean, spread
+     * across @p dimms (the default geometry matches the simulator's
+     * four-DIMM platform at 256 B interleaving; the mapping only
+     * affects per-DIMM statistics and placement advice, never data).
+     */
+    explicit PmPool(std::size_t size,
+                    const DimmConfig &dimms = DimmConfig{4, 4});
 
     std::size_t size() const { return size_; }
     std::size_t lineCount() const { return lineStates_.size(); }
+
+    /** DIMM interleaving geometry of this pool. */
+    const DimmConfig &dimmConfig() const { return dimms_; }
+
+    /** Home DIMM of @p off: pure in (off, dimmConfig()). */
+    unsigned dimmOf(Addr off) const
+    {
+        return dimms_.dimmOf(lineOf(off));
+    }
 
     /** @{ Raw image access (bounds-checked in at()/durableAt()). */
     std::uint8_t *archBase() { return arch_.data(); }
@@ -268,6 +286,7 @@ class PmPool
     void persistLineLocked(LineAddr line);
 
     std::size_t size_;
+    DimmConfig dimms_;
     std::vector<std::uint8_t> arch_;
     std::vector<std::uint8_t> durable_;
     /** 1 == dirty. Atomic so concurrent app threads may mark freely. */

@@ -199,14 +199,17 @@ class HopsModel : public PersistModel
 
     /** Cycles to write one epoch back. */
     std::uint64_t
-    epochDrainCost(std::uint64_t lines) const
+    epochDrainCost(const std::vector<LineAddr> &lines)
     {
         if (params_.dpoMode) {
             // BSP under x86-TSO: updates within an epoch flush
             // serially, and every write-back is broadcast.
-            return lines * (persistLatency() + kDpoBroadcastCost);
+            std::uint64_t cost = 0;
+            for (const LineAddr line : lines)
+                cost += device().persistCost(line) + kDpoBroadcastCost;
+            return cost;
         }
-        return drainCost(lines);
+        return device().drainLines(lines);
     }
 
     static constexpr std::uint64_t kDpoBroadcastCost = 8;
@@ -269,7 +272,7 @@ class HopsModel : public PersistModel
                 stall += drainOldest(src, on_critical_path);
         }
 
-        stall += epochDrainCost(epoch.lines.size());
+        stall += epochDrainCost(epoch.lines);
         stats_.linesDrained += epoch.lines.size();
         for (const LineAddr line : epoch.lines)
             t.bloom.remove(line);

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "sim/pm_device.hh"
 
 namespace whisper::sim
 {
@@ -36,18 +37,16 @@ struct SimParams
     std::uint32_t l1HitLat = 1;
     std::uint32_t llcHitLat = 20;
     std::uint32_t dramLat = 40;   //!< Table 3
-    std::uint32_t pmLat = 160;    //!< Table 3
     std::uint32_t coherenceLat = 30; //!< cross-core transfer
     /** @} */
 
-    /** @{ \name Memory controllers */
-    unsigned memControllers = 2;
-    /** PWQ accept cost: request queueing, the issuing core's
-     *  store-buffer drain at the sfence, and the clwb round trip
-     *  through the cache hierarchy to the MC. */
-    std::uint32_t mcQueueLat = 80;
-    std::uint32_t mcServiceGap = 20; //!< back-to-back service gap
-    /** @} */
+    /**
+     * The PM device cost surface: latencies, memory controllers,
+     * DIMM interleaving. The default (PmDeviceParams::paperTable3())
+     * is the uniform Table-3 machine; swap in
+     * PmDeviceParams::optaneCalibrated() for the asymmetric device.
+     */
+    PmDeviceParams device;
 
     /** @{ \name HOPS persist buffers (§6.4: 32 entries, drain at 16) */
     std::uint32_t pbEntries = 32;
@@ -72,8 +71,9 @@ struct SimParams
 
     /**
      * Durability point: false = at the NVM device (a persist costs
-     * pmLat), true = a persistent write queue at the MC (a persist
-     * costs mcQueueLat). The paper evaluates both for x86 and HOPS.
+     * device.pmLat), true = a persistent write queue at the MC (a
+     * persist costs device.mcQueueLat). The paper evaluates both for
+     * x86 and HOPS.
      */
     bool persistentWriteQueue = false;
 };

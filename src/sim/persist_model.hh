@@ -24,6 +24,7 @@
 #include <string>
 
 #include "sim/params.hh"
+#include "sim/pm_device.hh"
 #include "trace/event.hh"
 
 namespace whisper::sim
@@ -49,7 +50,12 @@ struct PersistStats
 class PersistModel
 {
   public:
-    explicit PersistModel(const SimParams &params) : params_(params) {}
+    explicit PersistModel(const SimParams &params)
+        : params_(params),
+          device_(std::make_unique<PmDeviceModel>(
+              params.device, params.persistentWriteQueue))
+    {
+    }
     virtual ~PersistModel() = default;
 
     virtual std::string name() const = 0;
@@ -91,28 +97,23 @@ class PersistModel
 
     const PersistStats &stats() const { return stats_; }
 
+    /** The PM device behind this model (the Simulator charges PM
+     *  line fills through it so device pressure reaches the MC
+     *  path too). */
+    PmDeviceModel &device() { return *device_; }
+    const PmDeviceModel &device() const { return *device_; }
+
   protected:
     /** Cycles until one line's write is durable. */
     std::uint64_t
     persistLatency() const
     {
-        return params_.persistentWriteQueue ? params_.mcQueueLat
-                                            : params_.pmLat;
-    }
-
-    /** Cycles to persist @p n lines streamed across the MCs. */
-    std::uint64_t
-    drainCost(std::uint64_t n) const
-    {
-        if (n == 0)
-            return 0;
-        const std::uint64_t gap =
-            params_.mcServiceGap / params_.memControllers;
-        return persistLatency() + (n - 1) * gap;
+        return device_->persistLatency();
     }
 
     SimParams params_;
     PersistStats stats_;
+    std::unique_ptr<PmDeviceModel> device_;
 };
 
 /** Factory helpers. */

@@ -1,0 +1,163 @@
+#include "sim/pm_device.hh"
+
+#include <algorithm>
+
+namespace whisper::sim
+{
+
+PmDeviceParams
+PmDeviceParams::paperTable3()
+{
+    return PmDeviceParams{};
+}
+
+PmDeviceParams
+PmDeviceParams::optaneCalibrated()
+{
+    PmDeviceParams p;
+    p.kind = Kind::Calibrated;
+    // DESIGN.md §13 derives these from van Renen et al. (DaMoN'19)
+    // at the repo's 1 cycle ~ 2.5 ns conversion.
+    p.readLat = 120;
+    p.readBufHitLat = 48;
+    p.writeAcceptLat = 100;
+    p.wcEvictLat = 180;
+    p.dimmReadGap = 16;
+    p.dimmWriteGap = 48;
+    p.wcBufferBlocks = 64;
+    p.dimmMap = DimmConfig{6, kInternalBlockLines};
+    return p;
+}
+
+PmDeviceModel::PmDeviceModel(const PmDeviceParams &params,
+                             bool persistent_write_queue)
+    : p_(params), pwq_(persistent_write_queue)
+{
+}
+
+std::uint64_t
+PmDeviceModel::persistLatency() const
+{
+    if (pwq_)
+        return p_.mcQueueLat;
+    return p_.calibrated() ? p_.writeAcceptLat : p_.pmLat;
+}
+
+std::uint64_t
+PmDeviceModel::takeBacklog(unsigned dimm)
+{
+    const std::uint64_t wait = queue_[dimm];
+    queue_[dimm] = 0;
+    stats_.queueWaitCycles += wait;
+    return wait;
+}
+
+std::uint64_t
+PmDeviceModel::readCost(LineAddr line)
+{
+    const unsigned dimm = dimmOf(line);
+    stats_.reads++;
+    stats_.dimmReads[dimm]++;
+    if (!p_.calibrated())
+        return p_.pmLat;
+
+    const std::uint64_t wait = takeBacklog(dimm);
+    queue_[dimm] += p_.dimmReadGap;
+    const std::uint64_t block = line / kInternalBlockLines;
+    if (wc_[dimm].index.count(block)) {
+        stats_.readBufHits++;
+        return p_.readBufHitLat + wait;
+    }
+    return p_.readLat + wait;
+}
+
+void
+PmDeviceModel::noteWrite(LineAddr line)
+{
+    stats_.writes++;
+    stats_.dimmWrites[dimmOf(line)]++;
+}
+
+void
+PmDeviceModel::wcInsert(LineAddr line)
+{
+    const unsigned dimm = dimmOf(line);
+    const std::uint64_t block = line / kInternalBlockLines;
+    WcBuffer &wc = wc_[dimm];
+
+    auto it = wc.index.find(block);
+    if (it != wc.index.end()) {
+        // The block is still being combined: no media work.
+        stats_.wcHits++;
+        wc.lru.splice(wc.lru.begin(), wc.lru, it->second);
+        return;
+    }
+    wc.lru.push_front(block);
+    wc.index[block] = wc.lru.begin();
+    if (wc.lru.size() <= p_.wcBufferBlocks)
+        return;
+    // Capacity eviction: one full 256 B internal write, performed in
+    // the background — it lands on the DIMM's backlog, to be paid by
+    // whatever touches this DIMM next.
+    wc.index.erase(wc.lru.back());
+    wc.lru.pop_back();
+    stats_.wcEvicts++;
+    queue_[dimm] += p_.wcEvictLat;
+}
+
+std::uint64_t
+PmDeviceModel::persistCost(LineAddr line)
+{
+    noteWrite(line);
+    if (!p_.calibrated())
+        return persistLatency();
+
+    const unsigned dimm = dimmOf(line);
+    const std::uint64_t wait = takeBacklog(dimm);
+    wcInsert(line);
+    queue_[dimm] += p_.dimmWriteGap;
+    return persistLatency() + wait;
+}
+
+std::uint64_t
+PmDeviceModel::drainLines(const std::vector<LineAddr> &lines)
+{
+    if (lines.empty())
+        return 0;
+    for (const LineAddr line : lines)
+        noteWrite(line);
+
+    if (!p_.calibrated()) {
+        // Legacy streaming drain across the memory controllers
+        // (bit-identical to the pre-device-model formula).
+        const std::uint64_t gap =
+            p_.mcServiceGap / p_.memControllers;
+        return persistLatency() + (lines.size() - 1) * gap;
+    }
+
+    // DIMMs serve the burst in parallel; lines homed on one DIMM
+    // serialize at its write gap behind that DIMM's backlog. The
+    // stall is the slowest DIMM's completion.
+    std::array<std::uint64_t, kMaxDimms> count{};
+    for (const LineAddr line : lines)
+        count[dimmOf(line)]++;
+    std::uint64_t worst = 0;
+    for (unsigned d = 0; d < kMaxDimms; d++) {
+        if (!count[d])
+            continue;
+        const std::uint64_t done =
+            takeBacklog(d) + (count[d] - 1) * p_.dimmWriteGap;
+        worst = std::max(worst, done);
+    }
+    // Write-combining happens as the burst retires; evictions land
+    // on the backlog behind the trailing service gap.
+    for (const LineAddr line : lines)
+        wcInsert(line);
+    for (unsigned d = 0; d < kMaxDimms; d++) {
+        if (count[d])
+            queue_[d] += p_.dimmWriteGap;
+    }
+    return persistLatency() + worst;
+}
+
+} // namespace whisper::sim

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * PM device model: the cost surface behind every persistency model.
+ *
+ * Two operating points, selected by PmDeviceParams::kind:
+ *
+ *  - Uniform (the default, preset paperTable3()): every PM access
+ *    costs the single Table-3 latency and drains stream across the
+ *    memory controllers — exactly the legacy formulas, bit-identical
+ *    to the pre-device-model simulator.
+ *
+ *  - Calibrated (preset optaneCalibrated()): read/write latency
+ *    asymmetry, a 256 B internal access granularity behind a small
+ *    per-DIMM write-combining buffer (hit = cheap, evict = a full
+ *    internal-block media write), and per-DIMM service queues over a
+ *    configurable address interleaving. Calibrated to van Renen et
+ *    al., "Persistent Memory I/O Primitives" (DaMoN'19); the cycle
+ *    conversion is documented in DESIGN.md §13.
+ *
+ * The model is deterministic: costs are a pure function of the
+ * parameters and the sequence of calls (trace order). Per-DIMM
+ * backlog queues are consumed-on-touch — an access pays the backlog
+ * its home DIMM has accumulated (eviction media writes, trailing
+ * service gaps) and resets it — so hot DIMMs penalize exactly the
+ * accesses that hit them.
+ */
+
+#ifndef WHISPER_SIM_PM_DEVICE_HH
+#define WHISPER_SIM_PM_DEVICE_HH
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dimm.hh"
+#include "common/types.hh"
+
+namespace whisper::sim
+{
+
+/** Cache lines per internal device block (256 B on Optane). */
+constexpr unsigned kInternalBlockLines = 4;
+
+/**
+ * The PM cost surface of SimParams. Benches and the CLI should use
+ * the named presets instead of poking individual fields.
+ */
+struct PmDeviceParams
+{
+    enum class Kind
+    {
+        Uniform,    //!< single latency (paper Table 3 machine)
+        Calibrated, //!< asymmetric + WC buffer + per-DIMM queues
+    };
+
+    Kind kind = Kind::Uniform;
+
+    /** @{ \name Uniform surface (paper Table 3) */
+    std::uint32_t pmLat = 160;       //!< Table 3 PM access latency
+    unsigned memControllers = 2;
+    /** PWQ accept cost: request queueing, the issuing core's
+     *  store-buffer drain at the sfence, and the clwb round trip
+     *  through the cache hierarchy to the MC. */
+    std::uint32_t mcQueueLat = 80;
+    std::uint32_t mcServiceGap = 20; //!< back-to-back service gap
+    /** @} */
+
+    /** @{ \name Calibrated surface (van Renen et al., DaMoN'19) */
+    std::uint32_t readLat = 120;        //!< media read (~305 ns)
+    std::uint32_t readBufHitLat = 48;   //!< 256 B block buffered
+    std::uint32_t writeAcceptLat = 100; //!< durability ack, no PWQ
+    std::uint32_t wcEvictLat = 180;     //!< 256 B media program
+    std::uint32_t dimmReadGap = 16;     //!< per-DIMM read service gap
+    std::uint32_t dimmWriteGap = 48;    //!< per-DIMM write service gap
+    std::uint32_t wcBufferBlocks = 64;  //!< WC capacity (16 KB/DIMM)
+    DimmConfig dimmMap{};               //!< address interleaving
+    /** @} */
+
+    bool calibrated() const { return kind == Kind::Calibrated; }
+
+    /** Legacy uniform machine (the default; golden-bench identical). */
+    static PmDeviceParams paperTable3();
+
+    /** Optane-like asymmetric device, six interleaved DIMMs. */
+    static PmDeviceParams optaneCalibrated();
+};
+
+/** Device-side traffic and contention counters. */
+struct PmDeviceStats
+{
+    std::uint64_t reads = 0;           //!< PM line fills (LLC misses)
+    std::uint64_t writes = 0;          //!< PM line write-backs
+    std::uint64_t wcHits = 0;          //!< write hit a buffered block
+    std::uint64_t wcEvicts = 0;        //!< full internal-block writes
+    std::uint64_t readBufHits = 0;     //!< read hit a buffered block
+    std::uint64_t queueWaitCycles = 0; //!< backlog paid by accesses
+    std::array<std::uint64_t, kMaxDimms> dimmReads{};
+    std::array<std::uint64_t, kMaxDimms> dimmWrites{};
+};
+
+/**
+ * One device instance (per simulation run; owned by the persistency
+ * model so WC-buffer and queue state stay per-model).
+ */
+class PmDeviceModel
+{
+  public:
+    PmDeviceModel(const PmDeviceParams &params,
+                  bool persistent_write_queue);
+
+    const PmDeviceParams &params() const { return p_; }
+    const PmDeviceStats &stats() const { return stats_; }
+    bool calibrated() const { return p_.calibrated(); }
+
+    /** Home DIMM of @p line: pure in (line, params). */
+    unsigned dimmOf(LineAddr line) const
+    {
+        return p_.dimmMap.dimmOf(line);
+    }
+
+    /** Cycles until one line's write is durable (legacy scalar). */
+    std::uint64_t persistLatency() const;
+
+    /** A PM line fill on an LLC miss. */
+    std::uint64_t readCost(LineAddr line);
+
+    /** One durable line write-back (serial paths, e.g. DPO/BSP). */
+    std::uint64_t persistCost(LineAddr line);
+
+    /** An epoch of line write-backs issued as one burst: DIMMs serve
+     *  in parallel, lines on one DIMM serialize at its write gap. */
+    std::uint64_t drainLines(const std::vector<LineAddr> &lines);
+
+  private:
+    void noteWrite(LineAddr line);
+    /** Insert @p line's internal block into its DIMM's WC buffer;
+     *  an eviction queues a media write on that DIMM. */
+    void wcInsert(LineAddr line);
+    /** Pay and consume @p dimm's backlog. */
+    std::uint64_t takeBacklog(unsigned dimm);
+
+    /** Per-DIMM write-combining buffer: LRU over internal blocks. */
+    struct WcBuffer
+    {
+        std::list<std::uint64_t> lru; //!< front = MRU
+        std::unordered_map<std::uint64_t,
+                           std::list<std::uint64_t>::iterator>
+            index;
+    };
+
+    PmDeviceParams p_;
+    bool pwq_ = false;
+    PmDeviceStats stats_;
+    std::array<std::uint64_t, kMaxDimms> queue_{}; //!< backlog cycles
+    std::array<WcBuffer, kMaxDimms> wc_;
+};
+
+} // namespace whisper::sim
+
+#endif // WHISPER_SIM_PM_DEVICE_HH

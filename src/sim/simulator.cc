@@ -110,7 +110,8 @@ Simulator::memAccess(unsigned core, Addr addr, std::uint32_t size,
             continue;
         }
         cycles += params_.l1HitLat + params_.llcHitLat +
-                  (is_pm ? params_.pmLat : params_.dramLat);
+                  (is_pm ? model_->device().readCost(line)
+                         : params_.dramLat);
         if (is_pm)
             cycles += model_->onLlcMiss(core, line);
     }
@@ -194,6 +195,7 @@ Simulator::run(const trace::TraceSet &traces)
     result.llcStats = llc_->stats();
     result.coherenceTransfers = coherenceTransfers_;
     result.persist = model_->stats();
+    result.device = model_->device().stats();
     return result;
 }
 

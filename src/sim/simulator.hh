@@ -55,6 +55,7 @@ struct SimResult
     CacheStats l1Stats;                  //!< aggregated over cores
     CacheStats llcStats;
     PersistStats persist;
+    PmDeviceStats device;                //!< PM device traffic
 };
 
 /**

@@ -4,6 +4,7 @@
  * (non-crash-consistent) model.
  */
 
+#include <algorithm>
 #include <unordered_set>
 #include <vector>
 
@@ -65,11 +66,16 @@ class X86Model : public PersistModel
     onFence(unsigned core, trace::FenceKind kind) override
     {
         (void)kind; // x86 has only sfence; both kinds stall fully
-        const std::uint64_t n = pending_[core].size();
+        // Canonicalize the pending set so device costs (WC-buffer
+        // evictions, per-DIMM queues) never depend on hash order.
+        std::vector<LineAddr> lines(pending_[core].begin(),
+                                    pending_[core].end());
+        std::sort(lines.begin(), lines.end());
         pending_[core].clear();
-        const std::uint64_t stall = n ? drainCost(n) : kEmptyFenceCost;
+        const std::uint64_t stall =
+            lines.empty() ? kEmptyFenceCost : device().drainLines(lines);
         stats_.fenceStalls += stall;
-        if (n)
+        if (!lines.empty())
             stats_.epochsDrained++;
         return stall;
     }

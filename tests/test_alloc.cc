@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "alloc/buddy_alloc.hh"
 #include "alloc/nvml_alloc.hh"
@@ -213,6 +214,69 @@ TEST(Slab, LeaksOnCrashBeforeLinking)
     SlabAllocator recovered(0, 8 << 20);
     recovered.recover(w.ctx);
     EXPECT_TRUE(recovered.isAllocated(leaked));
+}
+
+TEST(SlabDimmBalance, SpreadsAllocationsAcrossDimms)
+{
+    // Coarse interleave (64 KiB chunks over 4 DIMMs): next-fit would
+    // place consecutive 64 B blocks on one DIMM; balanced placement
+    // must deal them round-robin across the least-loaded DIMMs.
+    AllocWorld w;
+    SlabAllocator slab(w.ctx, 0, 16 << 20);
+    const DimmConfig dimms{4, 1024};
+    slab.enableDimmBalance(dimms);
+
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 16; i++) {
+        const Addr a = slab.alloc(w.ctx, 64);
+        ASSERT_NE(a, kNullAddr);
+        blocks.push_back(a);
+    }
+    const auto &live = slab.dimmLiveBlocks();
+    for (unsigned d = 0; d < dimms.dimms(); d++)
+        EXPECT_EQ(live[d], 4u) << "dimm " << d;
+
+    // free() keeps the per-DIMM live counts in step.
+    for (const Addr a : blocks)
+        slab.free(w.ctx, a);
+    for (unsigned d = 0; d < dimms.dimms(); d++)
+        EXPECT_EQ(live[d], 0u) << "dimm " << d;
+}
+
+TEST(SlabDimmBalance, DefaultPathKeepsNextFitOrder)
+{
+    // Without opting in, allocation order must stay the historical
+    // next-fit sequence (consecutive blocks) and the per-DIMM counts
+    // must stay untouched.
+    AllocWorld w;
+    SlabAllocator slab(w.ctx, 0, 8 << 20);
+    Addr prev = slab.alloc(w.ctx, 64);
+    ASSERT_NE(prev, kNullAddr);
+    for (int i = 0; i < 32; i++) {
+        const Addr a = slab.alloc(w.ctx, 64);
+        ASSERT_NE(a, kNullAddr);
+        EXPECT_EQ(a, prev + 64);
+        prev = a;
+    }
+    for (const std::uint64_t n : slab.dimmLiveBlocks())
+        EXPECT_EQ(n, 0u);
+}
+
+TEST(SlabDimmBalance, RecoveryRecountsDimmLive)
+{
+    AllocWorld w;
+    const DimmConfig dimms{4, 1024};
+    SlabAllocator slab(w.ctx, 0, 16 << 20);
+    slab.enableDimmBalance(dimms);
+    for (int i = 0; i < 8; i++)
+        ASSERT_NE(slab.alloc(w.ctx, 64), kNullAddr);
+
+    w.pool.crashHard();
+    w.ctx.resetPendingState();
+    SlabAllocator recovered(0, 16 << 20);
+    recovered.enableDimmBalance(dimms);
+    recovered.recover(w.ctx);
+    EXPECT_EQ(recovered.dimmLiveBlocks(), slab.dimmLiveBlocks());
 }
 
 TEST(Slab, ForEachAllocatedVisitsAll)

@@ -6,10 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <initializer_list>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "common/flags.hh"
 #include "common/histogram.hh"
 #include "common/logical_clock.hh"
 #include "common/rng.hh"
@@ -318,6 +323,107 @@ TEST(LogicalClock, AdvancesMonotonically)
     EXPECT_EQ(clock.now(), 8u);
     clock.reset();
     EXPECT_EQ(clock.now(), 0u);
+}
+
+// ----------------------------------------------------------- flags
+
+/** parse() on a literal argv, skipping the usual cmd+subcommand. */
+bool
+parseArgs(FlagParser &fp, std::initializer_list<const char *> args)
+{
+    std::vector<char *> argv = {
+        const_cast<char *>("whisper_cli"),
+        const_cast<char *>("sub"),
+    };
+    for (const char *a : args)
+        argv.push_back(const_cast<char *>(a));
+    return fp.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParseU64DecimalAndHex)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseU64("1234", v));
+    EXPECT_EQ(v, 1234u);
+    // Crashfuzz replay commands round-trip seeds in hex.
+    EXPECT_TRUE(parseU64("0x5eedF00d", v));
+    EXPECT_EQ(v, 0x5eedF00dull);
+    EXPECT_FALSE(parseU64("12x", v));
+    EXPECT_FALSE(parseU64("", v));
+    EXPECT_FALSE(parseU64(nullptr, v));
+}
+
+TEST(Flags, BindingsAndLastOneWins)
+{
+    std::uint64_t ops = 7;
+    unsigned threads = 1;
+    bool json = false;
+    std::size_t pool = 0;
+    const char *app = nullptr;
+    FlagParser fp;
+    fp.u64("--ops", &ops)
+        .u32("--threads", &threads, 1)
+        .flag("--json", &json)
+        .megabytes("--pool-mb", &pool)
+        .str("--app", &app);
+    EXPECT_TRUE(parseArgs(fp, {"--ops", "10", "--json", "--threads",
+                               "4", "--pool-mb", "2", "--app",
+                               "hashmap", "--ops", "20"}));
+    EXPECT_EQ(ops, 20u); // repeated flag: last one wins
+    EXPECT_EQ(threads, 4u);
+    EXPECT_TRUE(json);
+    EXPECT_EQ(pool, std::size_t(2) << 20);
+    EXPECT_STREQ(app, "hashmap");
+}
+
+TEST(Flags, MinimumEnforced)
+{
+    unsigned threads = 2;
+    FlagParser fp;
+    fp.u32("--threads", &threads, 1);
+    EXPECT_FALSE(parseArgs(fp, {"--threads", "0"}));
+    EXPECT_NE(fp.error().find("--threads"), std::string::npos);
+    EXPECT_EQ(threads, 2u) << "failed parse must not clobber";
+}
+
+TEST(Flags, UnknownFlagAndMissingValueFail)
+{
+    std::uint64_t ops = 0;
+    FlagParser fp;
+    fp.u64("--ops", &ops);
+    EXPECT_FALSE(parseArgs(fp, {"--bogus"}));
+    EXPECT_NE(fp.error().find("--bogus"), std::string::npos);
+    EXPECT_FALSE(parseArgs(fp, {"--ops"}));
+    EXPECT_NE(fp.error().find("missing value"), std::string::npos);
+}
+
+TEST(Flags, PositionalsInterleaveAndCap)
+{
+    bool json = false;
+    FlagParser fp;
+    fp.flag("--json", &json).maxPositionals(2);
+    EXPECT_TRUE(parseArgs(fp, {"a", "--json", "b"}));
+    ASSERT_EQ(fp.positionals().size(), 2u);
+    EXPECT_STREQ(fp.positionals()[0], "a");
+    EXPECT_STREQ(fp.positionals()[1], "b");
+
+    FlagParser capped;
+    capped.maxPositionals(1);
+    EXPECT_FALSE(parseArgs(capped, {"a", "b"}));
+}
+
+TEST(Flags, CustomHandlerValidates)
+{
+    double theta = 0.0;
+    FlagParser fp;
+    fp.custom("--theta", [&theta](const char *v) {
+        theta = std::atof(v);
+        return theta > 0.0 && theta < 1.0;
+    });
+    EXPECT_TRUE(parseArgs(fp, {"--theta", "0.75"}));
+    EXPECT_DOUBLE_EQ(theta, 0.75);
+    EXPECT_FALSE(parseArgs(fp, {"--theta", "1.5"}));
+    EXPECT_NE(fp.error().find("bad value"), std::string::npos);
 }
 
 } // namespace

@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -121,6 +123,116 @@ TEST(HaloAllocator, SealFenceCountGolden)
     // Trace-level cross-check: every fence in the trace is a seal.
     EXPECT_EQ(rt.traces().totalCounters().fences,
               store.allocator().sealFences());
+}
+
+halo::HaloSegmentAllocator::Config
+spreadConfig(halo::HaloSegmentAllocator::Placement placement)
+{
+    // 64 segments over 4 DIMMs at 64 KiB interleave: each chunk holds
+    // 16 segments, so two threads' sequential halves each sit on two
+    // DIMMs while DimmSpread cycles all four.
+    halo::HaloSegmentAllocator::Config config;
+    config.base = 0;
+    config.bytes = 64 * halo::kSegmentBytes;
+    config.threads = 2;
+    config.placement = placement;
+    config.dimms = DimmConfig{4, 1024};
+    return config;
+}
+
+/** Open @p segments segments for @p tid by appending records. */
+void
+openSegments(core::Runtime &rt, halo::HaloSegmentAllocator &alloc,
+             ThreadId tid, std::uint64_t segments)
+{
+    for (std::uint64_t i = 0;
+         i < segments * halo::kRecordsPerSegment; i++) {
+        bool sealed = false;
+        ASSERT_NE(alloc.append(rt.ctx(tid), tid, i, sealed),
+                  kNullAddr);
+    }
+}
+
+TEST(HaloDimmSpread, SequentialPlacementUnchanged)
+{
+    const auto config = spreadConfig(
+        halo::HaloSegmentAllocator::Placement::Sequential);
+    halo::HaloSegmentAllocator alloc(config);
+    ASSERT_EQ(alloc.segmentsPerThread(), 32u);
+    for (std::uint64_t seg = 0; seg < alloc.segmentCount(); seg++)
+        EXPECT_EQ(alloc.ownerOf(seg), seg / 32);
+}
+
+TEST(HaloDimmSpread, DealsSegmentsAcrossDimms)
+{
+    core::Runtime rt(kPool, 2);
+    const auto config = spreadConfig(
+        halo::HaloSegmentAllocator::Placement::DimmSpread);
+    halo::HaloSegmentAllocator alloc(config);
+
+    // Ownership is still an even partition.
+    std::array<std::uint64_t, 2> owned{};
+    for (std::uint64_t seg = 0; seg < alloc.segmentCount(); seg++)
+        owned[alloc.ownerOf(seg)]++;
+    EXPECT_EQ(owned[0], 32u);
+    EXPECT_EQ(owned[1], 32u);
+
+    // A thread's first four segments land on four distinct DIMMs.
+    openSegments(rt, alloc, 0, 4);
+    std::set<unsigned> dimms_hit;
+    for (std::uint64_t seg = 0; seg < alloc.segmentCount(); seg++) {
+        if (alloc.segmentUsed(seg)) {
+            EXPECT_EQ(alloc.ownerOf(seg), 0u);
+            dimms_hit.insert(alloc.homeDimm(seg));
+        }
+    }
+    EXPECT_EQ(dimms_hit.size(), 4u);
+}
+
+TEST(HaloDimmSpread, DimmUsageBalancedVsSequential)
+{
+    core::Runtime rt_seq(kPool, 2), rt_spread(kPool, 2);
+    halo::HaloSegmentAllocator seq(spreadConfig(
+        halo::HaloSegmentAllocator::Placement::Sequential));
+    halo::HaloSegmentAllocator spread(spreadConfig(
+        halo::HaloSegmentAllocator::Placement::DimmSpread));
+    for (ThreadId tid = 0; tid < 2; tid++) {
+        openSegments(rt_seq, seq, tid, 8);
+        openSegments(rt_spread, spread, tid, 8);
+    }
+    // Sequential parks each thread inside one 16-segment chunk...
+    EXPECT_EQ(seq.dimmUsage(), (std::vector<std::uint64_t>{8, 0, 8, 0}));
+    // ...DimmSpread cycles every DIMM per thread.
+    EXPECT_EQ(spread.dimmUsage(),
+              (std::vector<std::uint64_t>{4, 4, 4, 4}));
+}
+
+TEST(HaloDimmSpread, ResetFromScanResumesAfterUsed)
+{
+    core::Runtime rt(kPool, 2);
+    const auto config = spreadConfig(
+        halo::HaloSegmentAllocator::Placement::DimmSpread);
+    halo::HaloSegmentAllocator alloc(config);
+    openSegments(rt, alloc, 0, 3);
+
+    std::vector<bool> used(alloc.segmentCount());
+    std::set<std::uint64_t> before;
+    for (std::uint64_t seg = 0; seg < alloc.segmentCount(); seg++) {
+        used[seg] = alloc.segmentUsed(seg);
+        if (used[seg])
+            before.insert(seg);
+    }
+    ASSERT_EQ(before.size(), 3u);
+
+    halo::HaloSegmentAllocator recovered(config);
+    recovered.resetFromScan(used);
+    bool sealed = false;
+    const Addr slot = recovered.append(rt.ctx(0), 0, 99, sealed);
+    ASSERT_NE(slot, kNullAddr);
+    const std::uint64_t opened = recovered.segmentOf(slot);
+    EXPECT_EQ(recovered.ownerOf(opened), 0u);
+    EXPECT_FALSE(before.count(opened))
+        << "recovery must not reopen a used segment";
 }
 
 TEST(HaloDirectory, FingerprintFalseHitRejectedByKeyCompare)

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * PM device model tests: DIMM mapping purity, write-combining buffer
+ * hit/evict cost goldens, balanced-vs-skewed drain behaviour, the
+ * legacy uniform drain formula, and the preset-equivalence golden
+ * pinning SimParams{} == paperTable3() to the exact pre-device-model
+ * cycle counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/pm_device.hh"
+#include "sim/simulator.hh"
+
+namespace whisper::sim
+{
+namespace
+{
+
+using trace::DataClass;
+using trace::EventKind;
+using trace::FenceKind;
+using trace::TraceEvent;
+using trace::TraceSet;
+
+PmDeviceParams
+singleDimm()
+{
+    PmDeviceParams p = PmDeviceParams::optaneCalibrated();
+    p.dimmMap = DimmConfig{1, kInternalBlockLines};
+    return p;
+}
+
+// ------------------------------------------------------------- mapping
+
+TEST(PmDevice, DimmMappingPure)
+{
+    const DimmConfig map{6, 4};
+    PmDeviceParams params = PmDeviceParams::optaneCalibrated();
+    params.dimmMap = map;
+    PmDeviceModel model(params, false);
+    for (LineAddr line = 0; line < 4096; line++) {
+        const unsigned expect = (line / 4) % 6;
+        EXPECT_EQ(model.dimmOf(line), expect);
+        // Pure: unaffected by traffic on the model.
+        model.persistCost(line);
+        EXPECT_EQ(model.dimmOf(line), expect);
+    }
+}
+
+TEST(PmDevice, DimmCountClampsToMax)
+{
+    DimmConfig map{64, 1};
+    EXPECT_EQ(map.dimms(), kMaxDimms);
+    for (LineAddr line = 0; line < 256; line++)
+        EXPECT_LT(map.dimmOf(line), kMaxDimms);
+    // A zero count degrades to one DIMM rather than dividing by zero.
+    DimmConfig zero{0, 4};
+    EXPECT_EQ(zero.dimms(), 1u);
+    EXPECT_EQ(zero.dimmOf(123), 0u);
+}
+
+// ------------------------------------------------- WC buffer goldens
+
+TEST(PmDevice, WcBufferHitCostGolden)
+{
+    PmDeviceModel model(singleDimm(), false);
+    const PmDeviceParams &p = model.params();
+
+    // First write: empty backlog, pays only the durability ack.
+    EXPECT_EQ(model.persistCost(0), p.writeAcceptLat);
+    EXPECT_EQ(model.stats().wcHits, 0u);
+
+    // Same internal block: WC hit — no media work, but the access
+    // consumes the DIMM's trailing service gap.
+    EXPECT_EQ(model.persistCost(1), p.writeAcceptLat + p.dimmWriteGap);
+    EXPECT_EQ(model.stats().wcHits, 1u);
+    EXPECT_EQ(model.stats().wcEvicts, 0u);
+}
+
+TEST(PmDevice, WcBufferEvictCostGolden)
+{
+    PmDeviceModel model(singleDimm(), false);
+    const PmDeviceParams &p = model.params();
+
+    // Fill the buffer: wcBufferBlocks distinct internal blocks, then
+    // one more to force a capacity eviction (a full 256 B media
+    // program on the backlog).
+    for (std::uint64_t b = 0; b <= p.wcBufferBlocks; b++)
+        model.persistCost(b * kInternalBlockLines);
+    EXPECT_EQ(model.stats().wcEvicts, 1u);
+
+    // The next access pays the eviction plus the trailing gap.
+    EXPECT_EQ(model.persistCost((p.wcBufferBlocks + 1) *
+                                kInternalBlockLines),
+              p.writeAcceptLat + p.wcEvictLat + p.dimmWriteGap);
+}
+
+TEST(PmDevice, ReadCostsAndReadBufferHit)
+{
+    PmDeviceModel model(singleDimm(), false);
+    const PmDeviceParams &p = model.params();
+
+    // Cold read: full media latency.
+    EXPECT_EQ(model.readCost(100), p.readLat);
+    // Next read pays the read service gap behind it.
+    EXPECT_EQ(model.readCost(200), p.readLat + p.dimmReadGap);
+
+    // A write leaves its block in the WC buffer; a read of the same
+    // block is served from the buffer.
+    model.persistCost(0);
+    EXPECT_EQ(model.readCost(1), p.readBufHitLat + p.dimmWriteGap);
+    EXPECT_EQ(model.stats().readBufHits, 1u);
+}
+
+// ------------------------------------------------------------- drains
+
+TEST(PmDevice, BalancedDrainBeatsSkewed)
+{
+    PmDeviceParams params = PmDeviceParams::optaneCalibrated();
+    params.dimmMap = DimmConfig{4, 1};
+    const PmDeviceParams &p = params;
+
+    // Four lines on four DIMMs: fully parallel burst.
+    PmDeviceModel balanced(params, false);
+    EXPECT_EQ(balanced.drainLines({0, 1, 2, 3}), p.writeAcceptLat);
+
+    // Four lines on one DIMM: serialized at the write gap.
+    PmDeviceModel skewed(params, false);
+    EXPECT_EQ(skewed.drainLines({0, 4, 8, 12}),
+              p.writeAcceptLat + 3 * p.dimmWriteGap);
+}
+
+TEST(PmDevice, UniformDrainMatchesLegacyFormula)
+{
+    const PmDeviceParams p; // uniform Table 3 machine
+    const std::vector<LineAddr> lines{0, 1, 2, 3, 4, 5, 6, 7};
+    const std::uint64_t gap = p.mcServiceGap / p.memControllers;
+
+    PmDeviceModel nvm(p, false);
+    EXPECT_EQ(nvm.drainLines(lines),
+              p.pmLat + (lines.size() - 1) * gap);
+    PmDeviceModel pwq(p, true);
+    EXPECT_EQ(pwq.drainLines(lines),
+              p.mcQueueLat + (lines.size() - 1) * gap);
+    // Uniform reads ignore DIMM state entirely.
+    EXPECT_EQ(nvm.readCost(999), p.pmLat);
+}
+
+// ------------------------------------------- preset equivalence golden
+
+TraceEvent
+ev(Tick ts, EventKind kind, Addr addr = 0, std::uint32_t size = 8,
+   std::uint8_t aux = 0)
+{
+    return TraceEvent{ts, addr, size, kind, DataClass::User, aux, 0};
+}
+
+/** Two threads, 60 txs of 5 one-line epochs, 40 DRAM loads per tx. */
+TraceSet
+goldenTrace()
+{
+    TraceSet set(true);
+    for (unsigned t = 0; t < 2; t++) {
+        auto *b = set.createBuffer(t);
+        Tick ts = 1;
+        Addr addr = t * (1 << 20);
+        for (unsigned i = 0; i < 60; i++) {
+            b->push(ev(ts++, EventKind::TxBegin, i));
+            for (unsigned e = 0; e < 5; e++) {
+                b->push(ev(ts++, EventKind::PmStore, addr));
+                b->push(ev(ts++, EventKind::PmFlush, addr));
+                addr += 64;
+                const bool last = e + 1 == 5;
+                b->push(ev(ts++, EventKind::Fence, 0, 0,
+                           static_cast<std::uint8_t>(
+                               last ? FenceKind::Durability
+                                    : FenceKind::Ordering)));
+            }
+            for (int d = 0; d < 40; d++)
+                b->push(ev(ts++, EventKind::DramLoad, 4096 + d * 64));
+            b->push(ev(ts++, EventKind::TxEnd, i));
+        }
+    }
+    return set;
+}
+
+TEST(PmDevice, PaperTable3PresetKeepsGoldenCycles)
+{
+    const TraceSet traces = goldenTrace();
+    const std::vector<ModelKind> kinds = {
+        ModelKind::X86Nvm,  ModelKind::X86Pwq, ModelKind::HopsNvm,
+        ModelKind::HopsPwq, ModelKind::Dpo,    ModelKind::Ideal};
+    // Captured from the pre-device-model simulator: the default
+    // SimParams must reproduce these exactly.
+    const std::uint64_t golden[] = {108420, 84420, 69120,
+                                    64320,  69600, 59520};
+
+    const SimParams defaults;
+    SimParams explicit_preset;
+    explicit_preset.device = PmDeviceParams::paperTable3();
+
+    for (std::size_t m = 0; m < kinds.size(); m++) {
+        Simulator sim_default(defaults, kinds[m]);
+        Simulator sim_preset(explicit_preset, kinds[m]);
+        const std::uint64_t d = sim_default.run(traces).cycles;
+        const std::uint64_t p = sim_preset.run(traces).cycles;
+        EXPECT_EQ(d, golden[m]) << modelKindName(kinds[m]);
+        EXPECT_EQ(p, golden[m]) << modelKindName(kinds[m]);
+    }
+}
+
+TEST(PmDevice, CalibratedRunDeterministicAndCounted)
+{
+    const TraceSet traces = goldenTrace();
+    SimParams params;
+    params.device = PmDeviceParams::optaneCalibrated();
+    Simulator a(params, ModelKind::X86Nvm);
+    Simulator b(params, ModelKind::X86Nvm);
+    const SimResult ra = a.run(traces);
+    const SimResult rb = b.run(traces);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.device.writes, rb.device.writes);
+    EXPECT_GT(ra.device.writes, 0u);
+    // Per-DIMM counters partition the total write traffic.
+    std::uint64_t sum = 0;
+    for (const std::uint64_t w : ra.device.dimmWrites)
+        sum += w;
+    EXPECT_EQ(sum, ra.device.writes);
+}
+
+} // namespace
+} // namespace whisper::sim

@@ -204,8 +204,8 @@ TEST(SimModels, X86FenceStallsDominatedByPmLatency)
     Simulator pwq(params, ModelKind::X86Pwq);
     const auto r_nvm = nvm.run(traces);
     const auto r_pwq = pwq.run(traces);
-    EXPECT_GE(r_nvm.persist.fenceStalls, params.pmLat);
-    EXPECT_LT(r_pwq.persist.fenceStalls, params.pmLat);
+    EXPECT_GE(r_nvm.persist.fenceStalls, params.device.pmLat);
+    EXPECT_LT(r_pwq.persist.fenceStalls, params.device.pmLat);
 }
 
 TEST(SimModels, CrossThreadDependencyGleaned)
