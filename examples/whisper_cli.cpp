@@ -15,6 +15,7 @@
  *   whisper_cli workload --app <name> [--mix A..F] [--dist d] ...
  *   whisper_cli crashfuzz [--cases N] [--jobs N] [--apps a,b] ...
  *   whisper_cli crashfuzz --replay <app>:<caseId> [--at K] ...
+ *   whisper_cli lincheck <history.hist> [--budget N]
  *   whisper_cli list
  *   whisper_cli help
  *
@@ -33,6 +34,8 @@
 #include "common/table.hh"
 #include "core/harness.hh"
 #include "fuzz/crash_fuzz.hh"
+#include "lincheck/checker.hh"
+#include "lincheck/history_io.hh"
 #include "sim/simulator.hh"
 #include "trace/trace_io.hh"
 #include "workload/workload.hh"
@@ -61,14 +64,16 @@ printUsage(std::FILE *to)
         "  whisper_cli workload --app <name> [--mix A..F|r:u:i:m:s] "
         "[--dist uniform|zipfian|latest] [--keys N] [--threads N] "
         "[--ops N] [--seed S] [--pool-mb M] [--theta T] "
-        "[--trace <out.bin>] [--json]\n"
+        "[--trace <out.bin>] [--lincheck] [--json]\n"
         "  whisper_cli crashfuzz [--cases N] [--jobs N] "
         "[--apps a,b] [--ops N] [--seed S] [--pool-mb M] "
-        "[--threads N] [--no-shrink] [--faults] [--elide] [--json]\n"
+        "[--threads N] [--no-shrink] [--faults] [--elide] "
+        "[--lincheck] [--json]\n"
         "  whisper_cli crashfuzz --replay <app>:<caseId> [--at K] "
         "[--survivors csv|none] [--ops N] [--seed S] [--pool-mb M] "
-        "[--threads N] [--schedule S] [--elide] "
+        "[--threads N] [--schedule S] [--elide] [--lincheck] "
         "[--fault-plan seed:poison:tear%:transient]\n"
+        "  whisper_cli lincheck <history.hist> [--budget N]\n"
         "  whisper_cli list\n"
         "  whisper_cli help\n"
         "models: x86-nvm x86-pwq hops-nvm hops-pwq dpo ideal\n",
@@ -94,7 +99,7 @@ int
 cmdRecord(int argc, char **argv)
 {
     FlagParser fp;
-    fp.maxPositionals(4);
+    fp.command("record").maxPositionals(4);
     if (!fp.parse(argc, argv))
         return flagError(fp);
     const auto &pos = fp.positionals();
@@ -137,7 +142,9 @@ cmdAnalyze(int argc, char **argv)
 {
     analysis::AnalysisOptions options;
     FlagParser fp;
-    fp.u32("--jobs", &options.jobs).maxPositionals(1);
+    fp.command("analyze")
+        .u32("--jobs", &options.jobs)
+        .maxPositionals(1);
     if (!fp.parse(argc, argv))
         return flagError(fp);
     if (fp.positionals().empty())
@@ -187,7 +194,8 @@ cmdOptimize(int argc, char **argv)
     analysis::OptimizeOptions options;
     bool json = false;
     FlagParser fp;
-    fp.u32("--jobs", &options.jobs)
+    fp.command("optimize")
+        .u32("--jobs", &options.jobs)
         .flag("--json", &json)
         .maxPositionals(1);
     if (!fp.parse(argc, argv))
@@ -331,7 +339,7 @@ cmdSimulate(int argc, char **argv)
 {
     const char *device = "table3";
     FlagParser fp;
-    fp.str("--device", &device);
+    fp.command("simulate").str("--device", &device);
     if (!fp.parse(argc, argv))
         return flagError(fp);
     const auto &pos = fp.positionals();
@@ -429,7 +437,8 @@ cmdApps(int argc, char **argv)
     config.threads = 4;
     config.poolBytes = 256 << 20;
     FlagParser fp;
-    fp.u64("--ops", &config.opsPerThread)
+    fp.command("apps")
+        .u64("--ops", &config.opsPerThread)
         .u32("--threads", &config.threads, 1)
         .maxPositionals(0);
     if (!fp.parse(argc, argv))
@@ -510,7 +519,8 @@ cmdWorkload(int argc, char **argv)
     const char *app = nullptr;
 
     FlagParser fp;
-    fp.flag("--json", &json)
+    fp.command("workload")
+        .flag("--json", &json)
         .str("--app", &app)
         .custom("--mix",
                 [&opts](const char *v) {
@@ -534,6 +544,7 @@ cmdWorkload(int argc, char **argv)
                            opts.zipfTheta < 1.0;
                 })
         .str("--trace", &trace_path)
+        .flag("--lincheck", &opts.lincheck)
         .maxPositionals(0);
     if (!fp.parse(argc, argv))
         return flagError(fp);
@@ -582,6 +593,20 @@ cmdWorkload(int argc, char **argv)
         table.row({"mean (ns)",
                    TextTable::fixed(result.latency.mean(), 1)});
         table.row({"digest", digest});
+        if (result.lincheckRan) {
+            char lin[64];
+            std::snprintf(lin, sizeof(lin),
+                          "%s keys=%llu violations=%llu%s",
+                          result.lincheckViolations == 0
+                              ? "witness found"
+                              : "VIOLATION",
+                          (unsigned long long)result.lincheckKeys,
+                          (unsigned long long)
+                              result.lincheckViolations,
+                          result.lincheckBudget ? " (budget-degraded)"
+                                                : "");
+            table.row({"lincheck", lin});
+        }
         table.row({"verified", result.verified ? "yes" : "NO"});
         table.print();
         if (trace_path)
@@ -619,9 +644,11 @@ cmdCrashfuzz(int argc, char **argv)
     const char *replay_arg = nullptr;
 
     FlagParser fp;
-    fp.flag("--no-shrink", &no_shrink)
+    fp.command("crashfuzz")
+        .flag("--no-shrink", &no_shrink)
         .flag("--faults", &options.config.faults)
         .flag("--elide", &options.config.elide)
+        .flag("--lincheck", &options.config.lincheck)
         .flag("--json", &json)
         .u64("--cases", &options.cases)
         .u32("--jobs", &options.jobs)
@@ -736,6 +763,17 @@ cmdCrashfuzz(int argc, char **argv)
                             (unsigned long long)out.transientFaults,
                             out.degraded ? 1 : 0);
             }
+            if (out.lincheckRan) {
+                std::printf(
+                    "lincheck: %s keys=%llu violations=%llu%s\n",
+                    out.lincheckOk ? "witness found" : "VIOLATION",
+                    (unsigned long long)out.lincheckKeys,
+                    (unsigned long long)out.lincheckViolations,
+                    out.lincheckBudget ? " (budget-degraded)" : "");
+                if (!out.lincheckDump.empty())
+                    std::printf("lincheck history: %s\n",
+                                out.lincheckDump.c_str());
+            }
         }
         if (!out.ok) {
             if (!json)
@@ -752,10 +790,11 @@ cmdCrashfuzz(int argc, char **argv)
 
     if (options.apps.empty())
         options.apps = suite;
-    if (options.config.threads > 1) {
+    if (options.config.threads > 1 || options.config.lincheck) {
         // Racing threads are only deterministic for the MOD and
-        // Hybrid layers; narrow the sweep to those apps instead of
-        // panicking.
+        // Hybrid layers — and the same apps are the ones carrying
+        // the lincheck workload surface; narrow the sweep to those
+        // apps instead of panicking.
         std::vector<std::string> gateable;
         for (const auto &name : options.apps)
             if (name.rfind("mod-", 0) == 0 ||
@@ -763,8 +802,8 @@ cmdCrashfuzz(int argc, char **argv)
                 gateable.push_back(name);
         options.apps = std::move(gateable);
         if (options.apps.empty()) {
-            std::fputs("--threads > 1 needs MOD- or Hybrid-layer "
-                       "apps (mod-hashmap, mod-vector, "
+            std::fputs("--threads > 1 and --lincheck need MOD- or "
+                       "Hybrid-layer apps (mod-hashmap, mod-vector, "
                        "halo-hashmap)\n", stderr);
             return 2;
         }
@@ -798,6 +837,14 @@ cmdCrashfuzz(int argc, char **argv)
         violations += r.violations;
     }
     table.print();
+    if (options.config.lincheck) {
+        for (const auto &r : reports)
+            std::printf("lincheck %s: violations=%llu "
+                        "budget-degraded=%llu\n",
+                        r.app.c_str(),
+                        (unsigned long long)r.lincheckViolations,
+                        (unsigned long long)r.lincheckBudget);
+    }
     for (const auto &r : reports) {
         for (const auto &rep : r.reproducers) {
             std::printf("reproducer (%s): %s\n", rep.why.c_str(),
@@ -805,6 +852,50 @@ cmdCrashfuzz(int argc, char **argv)
         }
     }
     return violations ? 1 : 0;
+}
+
+/**
+ * Replay a dumped lincheck history through the checker alone —
+ * nothing re-executes, so a violation dump from a crashfuzz sweep can
+ * be inspected (and minimized dumps diffed) offline.
+ */
+int
+cmdLincheck(int argc, char **argv)
+{
+    lincheck::CheckOptions opts;
+    FlagParser fp;
+    fp.command("lincheck")
+        .u64("--budget", &opts.nodeBudget, 1)
+        .maxPositionals(1);
+    if (!fp.parse(argc, argv))
+        return flagError(fp);
+    if (fp.positionals().empty())
+        return usage();
+    const char *path = fp.positionals()[0];
+
+    lincheck::History history;
+    std::string error;
+    if (!lincheck::readHistoryFile(path, history, error)) {
+        std::fprintf(stderr, "whisper_cli: lincheck: %s\n",
+                     error.c_str());
+        return 2;
+    }
+
+    const lincheck::CheckResult result =
+        lincheck::check(history, opts);
+    std::printf("%s: %s ops=%zu keys=%zu nodes=%llu\n", path,
+                result.brief().c_str(), history.ops.size(),
+                result.keys.size(),
+                (unsigned long long)result.nodesVisited);
+    for (const auto &kv : result.keys) {
+        if (kv.ok && !kv.budgetExhausted)
+            continue;
+        std::printf("  key 0x%llx: %s\n",
+                    (unsigned long long)kv.key,
+                    kv.ok ? "budget exhausted (verdict incomplete)"
+                          : kv.why.c_str());
+    }
+    return result.ok ? 0 : 1;
 }
 
 } // namespace
@@ -833,6 +924,8 @@ main(int argc, char **argv)
         return cmdWorkload(argc, argv);
     if (std::strcmp(argv[1], "crashfuzz") == 0)
         return cmdCrashfuzz(argc, argv);
+    if (std::strcmp(argv[1], "lincheck") == 0)
+        return cmdLincheck(argc, argv);
     if (std::strcmp(argv[1], "help") == 0 ||
         std::strcmp(argv[1], "--help") == 0) {
         printUsage(stdout);

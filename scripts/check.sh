@@ -85,7 +85,7 @@ if [[ "$docs_only" == 0 && "$skip_tsan" == 0 ]]; then
     cmake -B build-tsan -S . -DWHISPER_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$(nproc)" --target whisper_tests
     run_leg build-tsan/tests/whisper_tests \
-        --gtest_filter='ModConcurrency.*:ModHeap.*:CrashFuzz.MultiThread*:HaloDirectory.ReadersStayConsistentThroughDoubling:HaloFuzz.*'
+        --gtest_filter='ModConcurrency.*:ModHeap.*:CrashFuzz.MultiThread*:HaloDirectory.ReadersStayConsistentThroughDoubling:HaloFuzz.*:Lincheck.*:LincheckWorkload.*:LincheckFuzz.CaseReplayIsBitIdentical'
 fi
 
 # ---------------------------------------------------------------
@@ -137,6 +137,34 @@ if [[ "$docs_only" == 0 ]]; then
     echo "== halo: recovery-scan --jobs rebuild-digest equality =="
     run_leg build/tests/whisper_tests \
         --gtest_filter='HaloStore.RebuildDigestIdenticalAtAnyJobCount'
+fi
+
+# ---------------------------------------------------------------
+# Durable linearizability (DESIGN.md §14): every concurrent layer
+# sweeps 256 crash+fault cases with the history checker on — three
+# racing writer threads per case, every key must find a witness
+# linearization explaining the recovered state. The sweep run twice
+# must be bit-identical (the lincheck verdicts fold into the case
+# digest), so a scheduling leak into the recorder or checker cannot
+# hide. A violation exits nonzero on its own; the rerun diff guards
+# determinism.
+# ---------------------------------------------------------------
+if [[ "$docs_only" == 0 ]]; then
+    echo "== crashfuzz: durable-linearizability sweep (rerun stability) =="
+    lincheck_sweep() {
+        run_leg build/examples/whisper_cli crashfuzz --cases 256 \
+            --threads 3 --ops 12 --jobs "$(nproc)" --faults \
+            --lincheck --no-shrink \
+            --apps mod-hashmap,mod-vector,halo-hashmap
+    }
+    lin_a=$(lincheck_sweep) || failures=$((failures + 1))
+    lin_b=$(lincheck_sweep) || failures=$((failures + 1))
+    if [[ -z "$lin_a" || "$lin_a" != "$lin_b" ]]; then
+        echo "FAIL: lincheck sweep output differs between reruns"
+        failures=$((failures + 1))
+    else
+        echo "ok: lincheck 256-case sweep stable across reruns"
+    fi
 fi
 
 # ---------------------------------------------------------------
@@ -345,7 +373,7 @@ if [[ -x build/examples/whisper_cli ]]; then
     help_out=$(build/examples/whisper_cli help)
     help_subs=$(awk '/^  whisper_cli /{print $2}' <<<"$help_out" |
                 grep -v '^--' | sort -u)
-    doc_subs=$(grep -oE 'whisper_cli (record|analyze|optimize|simulate|apps|workload|crashfuzz|list|help)\b' \
+    doc_subs=$(grep -oE 'whisper_cli (record|analyze|optimize|simulate|apps|workload|crashfuzz|lincheck|list|help)\b' \
                docs/CLI.md | awk '{print $2}' | sort -u)
     for sub in $help_subs; do
         if ! grep -qx "$sub" <<<"$doc_subs"; then

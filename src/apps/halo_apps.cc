@@ -334,6 +334,38 @@ class HaloHashmapApp : public WhisperApp
         return verify(rt);
     }
 
+    bool supportsLincheck() const override { return true; }
+
+    bool
+    workloadProbe(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                  std::uint64_t &value) override
+    {
+        std::uint64_t vals[halo::kValWords];
+        if (!store_->get(ctx, HaloStore::makeKey(tid, key), vals))
+            return false;
+        value = vals[0];
+        return true;
+    }
+
+    bool workloadHasRemove() const override { return true; }
+
+    bool
+    workloadRemove(pm::PmContext &ctx, ThreadId tid,
+                   std::uint64_t key) override
+    {
+        pad(ctx, tid);
+        // The store's remove() reports segment exhaustion, not
+        // presence (it always appends a tombstone); answer the
+        // KV-level "was it there" from the index first.
+        std::uint64_t vals[halo::kValWords];
+        const bool found =
+            store_->get(ctx, HaloStore::makeKey(tid, key), vals);
+        panic_if(!store_->remove(ctx, tid, HaloStore::makeKey(tid, key)),
+                 "halo-hashmap: segment area exhausted");
+        opDone(ctx, tid);
+        return found;
+    }
+
     /** @} */
 
     /** The store, for tests that inspect layer internals. */

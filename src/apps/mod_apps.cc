@@ -301,6 +301,31 @@ class ModHashmapApp : public WhisperApp
         return verify(rt);
     }
 
+    bool supportsLincheck() const override { return true; }
+
+    bool
+    workloadProbe(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                  std::uint64_t &value) override
+    {
+        std::uint64_t vals[mod::ModHashmap::kValWords];
+        if (!map_->lookup(ctx, modKey(tid, key), vals))
+            return false;
+        value = vals[0];
+        return true;
+    }
+
+    bool workloadHasRemove() const override { return true; }
+
+    bool
+    workloadRemove(pm::PmContext &ctx, ThreadId tid,
+                   std::uint64_t key) override
+    {
+        pad(ctx, tid);
+        const bool found = map_->remove(ctx, tid, modKey(tid, key));
+        opDone(ctx, tid);
+        return found;
+    }
+
     /** @} */
 
   protected:
@@ -474,6 +499,15 @@ class ModVectorApp : public WhisperApp
         slotsPT_ = (map.slotsPerThread() + mod::ModVector::kElems - 1) /
                    mod::ModVector::kElems;
         slotsPT_ = std::max<std::uint64_t>(slotsPT_, 1);
+        // Round each thread's chunk region up to a whole writer
+        // stripe. The stripe mutex is held across gated PM ops, so
+        // two threads sharing a stripe deadlock under a SchedGate
+        // schedule (owner blocked on the mutex, holder waiting for
+        // its turn) — run() keeps the same invariant by making
+        // kSlotsPerThread a stripe multiple.
+        slotsPT_ = (slotsPT_ + mod::ModVector::kSlotsPerStripe - 1) /
+                   mod::ModVector::kSlotsPerStripe *
+                   mod::ModVector::kSlotsPerStripe;
         slots_ = slotsPT_ * config_.threads;
         heapBase_ = heapBase(mod::ModVector::tableBytes(slots_));
         panic_if(heapBase_ >= config_.poolBytes,
@@ -572,6 +606,22 @@ class ModVectorApp : public WhisperApp
     {
         return verify(rt);
     }
+
+    bool supportsLincheck() const override { return true; }
+
+    bool
+    workloadProbe(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
+                  std::uint64_t &value) override
+    {
+        std::uint64_t out = 0;
+        if (!vec_->get(ctx, slotOf(tid, key), idxOf(tid, key), out))
+            return false;
+        value = out;
+        return true;
+    }
+
+    // No workloadRemove: a MOD vector has no deletion; the history
+    // workloads fold tombstone traffic into puts for this app.
 
     /** @} */
 

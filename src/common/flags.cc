@@ -99,10 +99,18 @@ FlagParser::maxPositionals(std::size_t n)
     return *this;
 }
 
+FlagParser &
+FlagParser::command(const char *name)
+{
+    command_ = name;
+    return *this;
+}
+
 bool
 FlagParser::fail(std::string msg)
 {
-    error_ = std::move(msg);
+    error_ = command_.empty() ? std::move(msg)
+                              : command_ + ": " + msg;
     return false;
 }
 
@@ -111,6 +119,8 @@ FlagParser::parse(int argc, char **argv, int start)
 {
     positionals_.clear();
     error_.clear();
+    for (Spec &s : specs_)
+        s.seen = false;
     for (int i = start; i < argc; i++) {
         const char *arg = argv[i];
         if (std::strncmp(arg, "--", 2) != 0) {
@@ -120,8 +130,8 @@ FlagParser::parse(int argc, char **argv, int start)
             positionals_.push_back(arg);
             continue;
         }
-        const Spec *spec = nullptr;
-        for (const Spec &s : specs_) {
+        Spec *spec = nullptr;
+        for (Spec &s : specs_) {
             if (s.name == arg) {
                 spec = &s;
                 break;
@@ -129,6 +139,10 @@ FlagParser::parse(int argc, char **argv, int start)
         }
         if (!spec)
             return fail(std::string("unknown flag '") + arg + "'");
+        if (spec->seen)
+            return fail(std::string("flag '") + arg +
+                        "' given twice");
+        spec->seen = true;
         if (!spec->takesValue) {
             spec->handler(nullptr);
             continue;

@@ -32,14 +32,21 @@ bool parseU64(const char *s, std::uint64_t &out);
  *   fp.u64("--ops", &ops, 1).flag("--json", &json);
  *   if (!fp.parse(argc, argv)) { print fp.error(); return usage(); }
  *
- * Flags may repeat (last one wins, as the historical loops did) and
- * may interleave with positionals.
+ * Flags may interleave with positionals but each may be given at most
+ * once — a repeated flag is an error, not a silent last-one-wins (a
+ * doubled flag in a pasted reproducer command is almost always an
+ * editing mistake worth hearing about). command() names the
+ * subcommand so every error message says which flag table rejected
+ * the input.
  */
 class FlagParser
 {
   public:
     /** Handler for custom(): parses the value, false = bad value. */
     using Handler = std::function<bool(const char *value)>;
+
+    /** Subcommand name prefixed onto every error() message. */
+    FlagParser &command(const char *name);
 
     /** Valueless switch: presence sets @p out to true. */
     FlagParser &flag(const char *name, bool *out);
@@ -84,6 +91,7 @@ class FlagParser
         std::string name;
         bool takesValue = true;
         Handler handler;
+        bool seen = false; //!< reset by parse(); repeats are errors
     };
 
     FlagParser &add(const char *name, bool takes_value, Handler fn);
@@ -92,6 +100,7 @@ class FlagParser
     std::vector<Spec> specs_;
     std::vector<const char *> positionals_;
     std::size_t maxPositionals_ = ~std::size_t(0);
+    std::string command_;
     std::string error_;
 };
 

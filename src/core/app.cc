@@ -76,6 +76,27 @@ WhisperApp::workloadScan(pm::PmContext &ctx, ThreadId tid,
     fatal("app '%s' does not implement workloadScan", name().c_str());
 }
 
+bool
+WhisperApp::workloadProbe(pm::PmContext &ctx, ThreadId tid,
+                          std::uint64_t key, std::uint64_t &value)
+{
+    (void)ctx;
+    (void)tid;
+    (void)key;
+    (void)value;
+    fatal("app '%s' does not implement workloadProbe", name().c_str());
+}
+
+bool
+WhisperApp::workloadRemove(pm::PmContext &ctx, ThreadId tid,
+                           std::uint64_t key)
+{
+    (void)ctx;
+    (void)tid;
+    (void)key;
+    fatal("app '%s' does not implement workloadRemove", name().c_str());
+}
+
 namespace
 {
 std::map<std::string, AppFactory> &

@@ -291,6 +291,35 @@ class WhisperApp
     }
 
     /** @} */
+    /** @{ \name Durable-linearizability surface (src/lincheck/)
+     *
+     * Apps that additionally opt in (supportsLincheck()) give the
+     * history checker two things the generated-workload surface does
+     * not: a pure state probe (value read with no padding work, no
+     * durability cadence — usable before the run and after recovery)
+     * and, where the structure has deletion, a tombstone op. The
+     * crash fuzzer's lincheck dimension and the workload driver's
+     * recording mode only accept apps with this surface.
+     */
+
+    /** Whether this app supports history recording + checking. */
+    virtual bool supportsLincheck() const { return false; }
+
+    /**
+     * Pure point read of @p key into @p value (untouched when
+     * absent); returns found. Must issue no gated PM ops.
+     */
+    virtual bool workloadProbe(pm::PmContext &ctx, ThreadId tid,
+                               std::uint64_t key, std::uint64_t &value);
+
+    /** Whether workloadRemove() is implemented. */
+    virtual bool workloadHasRemove() const { return false; }
+
+    /** Durable delete of @p key; returns whether it was present. */
+    virtual bool workloadRemove(pm::PmContext &ctx, ThreadId tid,
+                                std::uint64_t key);
+
+    /** @} */
 
     const AppConfig &config() const { return config_; }
 

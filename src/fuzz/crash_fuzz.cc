@@ -5,11 +5,16 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <atomic>
+
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "core/app.hh"
 #include "core/runtime.hh"
+#include "lincheck/checker.hh"
+#include "lincheck/history_io.hh"
+#include "lincheck/recorder.hh"
 #include "txlib/elision.hh"
 
 namespace whisper::fuzz
@@ -107,6 +112,192 @@ runArmed(core::Runtime &rt, core::WhisperApp &app, unsigned threads,
                      : rt.pmOpsSeen();
 }
 
+/** @{ \name Lincheck dimension (FuzzConfig::lincheck)
+ *
+ * The case runs a generated KV workload over the app's lincheck
+ * surface (per-thread key partitions, so per-key subhistories are
+ * single-writer and verdicts are schedule-deterministic), records
+ * every invoke/response plus fence coverage, and after recovery asks
+ * the checker for a witness linearization per key.
+ */
+
+/** Keys per thread: small enough that keys repeat across ops. */
+constexpr std::uint64_t kLcKeysPerThread = 12;
+
+struct LcOp {
+    lincheck::OpKind kind;
+    std::uint64_t key;
+    std::uint64_t arg;
+};
+
+core::WorkloadKeymap
+lincheckKeymap(const core::AppConfig &cfg)
+{
+    core::WorkloadKeymap map;
+    map.keys = kLcKeysPerThread * cfg.threads;
+    map.threads = cfg.threads;
+    map.insertsPerThread = 0;
+    return map;
+}
+
+void
+requireLincheckable(const core::WhisperApp &app)
+{
+    panic_if(!app.supportsLincheck(),
+             "lincheck fuzzing needs the lincheck workload surface, "
+             "which %s does not implement", app.name().c_str());
+}
+
+/**
+ * Per-thread op plans, fixed by (app seed, tid) alone: the same ops
+ * run in the profile pass and in every case regardless of schedule,
+ * so profiled PM-op totals match the cases' op streams.
+ */
+std::vector<std::vector<LcOp>>
+lincheckPlan(const core::WhisperApp &app, const core::AppConfig &cfg,
+             const core::WorkloadKeymap &map)
+{
+    std::vector<std::vector<LcOp>> plan(cfg.threads);
+    const bool removes = app.workloadHasRemove();
+    for (unsigned t = 0; t < cfg.threads; t++) {
+        const ThreadId tid = static_cast<ThreadId>(t);
+        Rng rng(mix64(cfg.seed ^ (0x11c0de00ull + tid)));
+        plan[t].reserve(cfg.opsPerThread);
+        for (std::uint64_t i = 0; i < cfg.opsPerThread; i++) {
+            LcOp op;
+            op.key = map.lo(tid) + rng.next(kLcKeysPerThread);
+            op.arg = 0;
+            const std::uint64_t roll = rng.next(100);
+            if (roll < 35) {
+                op.kind = lincheck::OpKind::Get;
+            } else if (roll < 70 || (roll >= 90 && !removes)) {
+                op.kind = lincheck::OpKind::Put;
+                op.arg = rng();
+            } else if (roll < 90) {
+                op.kind = lincheck::OpKind::Rmw;
+                op.arg = rng.next(1000) + 1;
+            } else {
+                op.kind = lincheck::OpKind::Remove;
+            }
+            plan[t].push_back(op);
+        }
+    }
+    return plan;
+}
+
+/**
+ * Gate-disciplined armed run of the lincheck op plans. Mirrors
+ * runArmed(); additionally records invoke/response events. A thread
+ * stops recording the moment one of its own PM ops is dropped (the
+ * machine is off; its later results never reached the pool) — the
+ * drop delta is this thread's own, so the taint point is
+ * schedule-deterministic, unlike a racy crashInjected() read. The
+ * first tainted op stays recorded as pending: the checker may include
+ * its (possibly partial) effect or drop it.
+ */
+void
+runLincheckOps(core::Runtime &rt, core::WhisperApp &app,
+               const std::vector<std::vector<LcOp>> &plan,
+               unsigned threads, lincheck::HistoryRecorder *rec,
+               bool &fired, std::uint64_t &op_index)
+{
+    std::atomic<bool> hit{false};
+    std::atomic<std::uint64_t> at{0};
+    rt.runThreads(threads, [&](pm::PmContext &ctx, ThreadId tid) {
+        bool tainted = false;
+        try {
+            for (const LcOp &op : plan[tid]) {
+                std::size_t handle = 0;
+                if (rec && !tainted) {
+                    handle =
+                        rec->invoke(tid, op.kind, op.key, op.arg);
+                }
+                const std::uint64_t dropped0 = ctx.droppedPmOps();
+                bool found = false;
+                std::uint64_t value = 0;
+                switch (op.kind) {
+                  case lincheck::OpKind::Get:
+                    found = app.workloadProbe(ctx, tid, op.key, value);
+                    break;
+                  case lincheck::OpKind::Put:
+                    app.workloadPut(ctx, tid, op.key, op.arg);
+                    break;
+                  case lincheck::OpKind::Rmw:
+                    found = app.workloadRmw(ctx, tid, op.key, op.arg);
+                    break;
+                  case lincheck::OpKind::Remove:
+                    found = app.workloadRemove(ctx, tid, op.key);
+                    break;
+                }
+                if (rec && !tainted) {
+                    if (ctx.droppedPmOps() != dropped0)
+                        tainted = true; // leave the op pending
+                    else
+                        rec->response(tid, handle, found, value);
+                }
+            }
+            // No workloadThreadDone() epilogue: the case power-cuts
+            // the pool right after this loop anyway, and the MOD
+            // epilogue flips the thread's GC online flag outside any
+            // gate turn — a wall-clock race that makes another
+            // thread's reclaim count (and so the global PM-op total)
+            // nondeterministic. Recovery sweeps the unreclaimed
+            // backlog, exactly as after any mid-run cut.
+        } catch (const pm::CrashPointReached &cut) {
+            hit.store(true, std::memory_order_relaxed);
+            at.store(cut.opIndex, std::memory_order_relaxed);
+        }
+        if (pm::SchedGate *gate = ctx.schedGate())
+            gate->deactivate(tid);
+    });
+    fired = hit.load(std::memory_order_relaxed);
+    op_index = fired ? at.load(std::memory_order_relaxed)
+                     : rt.pmOpsSeen();
+}
+
+/** Probe every key and report it to the recorder. */
+void
+probeKeys(core::Runtime &rt, core::WhisperApp &app,
+          const core::WorkloadKeymap &map,
+          lincheck::HistoryRecorder &rec, bool recovered)
+{
+    for (unsigned t = 0; t < map.threads; t++) {
+        const ThreadId tid = static_cast<ThreadId>(t);
+        for (std::uint64_t i = 0; i < map.perThread(); i++) {
+            const std::uint64_t key = map.lo(tid) + i;
+            std::uint64_t value = 0;
+            const bool found =
+                app.workloadProbe(rt.ctx(tid), tid, key, value);
+            if (recovered)
+                rec.noteRecovered(key, found, value);
+            else
+                rec.noteInitial(key, found, value);
+        }
+    }
+}
+
+/**
+ * Per-violation dump throttle (the buddy-recovery warn idiom): the
+ * first few violating cases each warn one line with the dump path,
+ * then a single suppression note — a 512-case sweep stays readable.
+ */
+std::atomic<unsigned> lincheckDumpWarns{0};
+constexpr unsigned kLincheckDumpWarnCap = 4;
+
+std::string
+lincheckDumpPath(const FuzzCase &c)
+{
+    const char *dir = std::getenv("TMPDIR");
+    std::string path = dir && *dir ? dir : "/tmp";
+    if (!path.empty() && path.back() == '/')
+        path.pop_back();
+    path += "/whisper-lincheck-" + c.app + "-" +
+            std::to_string(c.caseId) + ".hist";
+    return path;
+}
+
+/** @} */
+
 /** Post-recovery architectural-image fingerprint (replay identity). */
 std::uint64_t
 imageHash(const pm::PmPool &pool)
@@ -137,14 +328,27 @@ profilePmOps(const std::string &app, const FuzzConfig &config)
     core::Runtime rt(cfg.poolBytes, cfg.threads, false);
     std::unique_ptr<core::WhisperApp> a = core::createApp(app, cfg);
     requireGateable(*a, cfg.threads);
+    bool fired = false;
+    std::uint64_t ops = 0;
+    if (config.lincheck) {
+        requireLincheckable(*a);
+        const core::WorkloadKeymap map = lincheckKeymap(cfg);
+        a->workloadSetup(rt, map);
+        rt.clearTraces();
+        rt.installCrashPlan(cfg.threads,
+                            mix64(config.sweepSeed ^ hashName(app)));
+        const std::vector<std::vector<LcOp>> plan =
+            lincheckPlan(*a, cfg, map);
+        runLincheckOps(rt, *a, plan, cfg.threads, nullptr, fired,
+                       ops);
+        return ops;
+    }
     a->setup(rt);
     rt.clearTraces();
     // Counts only; crashAt stays at "never". The gate schedule is
     // fixed per (sweep seed, app) so the profile is reproducible.
     rt.installCrashPlan(cfg.threads,
                         mix64(config.sweepSeed ^ hashName(app)));
-    bool fired = false;
-    std::uint64_t ops = 0;
     runArmed(rt, *a, cfg.threads, fired, ops);
     return ops;
 }
@@ -200,7 +404,19 @@ runCase(const FuzzCase &c, const FuzzConfig &config,
     std::unique_ptr<core::WhisperApp> app =
         core::createApp(c.app, cfg);
     requireGateable(*app, threads);
-    app->setup(rt);
+    lincheck::HistoryRecorder rec;
+    core::WorkloadKeymap lcMap;
+    if (config.lincheck) {
+        requireLincheckable(*app);
+        lcMap = lincheckKeymap(cfg);
+        app->workloadSetup(rt, lcMap);
+        // Enable before the baseline probes: noteInitial() is a no-op
+        // on a disabled recorder.
+        rec.enable(threads);
+        probeKeys(rt, *app, lcMap, rec, false);
+    } else {
+        app->setup(rt);
+    }
     rt.clearTraces();
 
     const std::uint64_t crash_at =
@@ -212,7 +428,16 @@ runCase(const FuzzCase &c, const FuzzConfig &config,
         rt.pool().setFaultPlan(c.fault);
 
     CaseOutcome out;
-    runArmed(rt, *app, threads, out.fired, out.opIndex);
+    if (config.lincheck) {
+        const std::vector<std::vector<LcOp>> plan =
+            lincheckPlan(*app, cfg, lcMap);
+        for (ThreadId tid = 0; tid < rt.maxThreads(); tid++)
+            rt.ctx(tid).setFenceObserver(&rec);
+        runLincheckOps(rt, *app, plan, threads, &rec, out.fired,
+                       out.opIndex);
+    } else {
+        runArmed(rt, *app, threads, out.fired, out.opIndex);
+    }
 
     // Resolve the power cut. The survivor set is either dictated (the
     // shrinker), seeded (the sweep), or empty (crashHard class).
@@ -234,8 +459,12 @@ runCase(const FuzzCase &c, const FuzzConfig &config,
     // The machine is back on: recovery runs un-counted. Crash plans
     // must be detached BEFORE the scrub — a fired plan keeps dropping
     // PM mutations, which would silently discard the scrub's repairs.
-    for (ThreadId tid = 0; tid < rt.maxThreads(); tid++)
+    for (ThreadId tid = 0; tid < rt.maxThreads(); tid++) {
         rt.ctx(tid).setCrashPlan(nullptr);
+        // Likewise the fence observer: recovery's fences must not
+        // extend the recorded durability coverage.
+        rt.ctx(tid).setFenceObserver(nullptr);
+    }
 
     core::VerifyReport verdict = app->scrubRecovered(rt);
     app->recover(rt);
@@ -245,6 +474,54 @@ runCase(const FuzzCase &c, const FuzzConfig &config,
     verdict.merge(invariants);
     if (invariants.ok())
         verdict.merge(app->verifyRecovered(rt));
+
+    lincheck::CheckResult lc;
+    if (config.lincheck) {
+        // Every case crashes (at the armed point or at workload end),
+        // so the history is a crashed one either way.
+        rec.setCrashed(true);
+        probeKeys(rt, *app, lcMap, rec, true);
+        const lincheck::History hist = rec.finish();
+        lc = lincheck::check(hist);
+        out.lincheckRan = true;
+        out.lincheckOk = lc.ok;
+        out.lincheckBudget = lc.budgetExhausted;
+        out.lincheckKeys = lc.keys.size();
+        // A prior Degraded entry (scrub-named media loss) licenses a
+        // missing witness the same way it licenses a verifyRecovered
+        // violation: the data really is gone, and the scrub said so.
+        const bool excused = verdict.degraded();
+        for (const lincheck::KeyVerdict &kv : lc.keys) {
+            if (kv.ok)
+                continue;
+            out.lincheckViolations++;
+            char head[40];
+            std::snprintf(head, sizeof(head), "key 0x%llx: ",
+                          (unsigned long long)kv.key);
+            verdict.fail("lincheck", head + kv.why);
+        }
+        if (lc.budgetExhausted)
+            verdict.degrade("lincheck-budget",
+                            "witness search budget exhausted; "
+                            "verdict incomplete, not a violation");
+        if (!lc.ok && !excused) {
+            const std::string path = lincheckDumpPath(c);
+            if (lincheck::writeHistoryFile(
+                    path, lincheck::minimizeViolation(hist)))
+                out.lincheckDump = path;
+            const unsigned seen = lincheckDumpWarns.fetch_add(
+                1, std::memory_order_relaxed);
+            if (seen < kLincheckDumpWarnCap) {
+                warn("lincheck: %s case %llu: %s (history: %s)",
+                     c.app.c_str(), (unsigned long long)c.caseId,
+                     lc.brief().c_str(), path.c_str());
+            } else if (seen == kLincheckDumpWarnCap) {
+                warn("lincheck: more violations; further history "
+                     "dump notices suppressed");
+            }
+        }
+    }
+
     out.degraded = verdict.degraded();
     // A Violation is a finding unless the scrub declared a named loss
     // that explains it; silent corruption (violation with no Degraded
@@ -289,6 +566,15 @@ runCase(const FuzzCase &c, const FuzzConfig &config,
             h = fold(h, line);
         h = fold(h, out.transientFaults);
         h = fold(h, out.degraded ? 1 : 0);
+    }
+    if (config.lincheck) {
+        // Folded only in lincheck mode so plain sweeps stay
+        // bit-identical with pre-lincheck builds. Verdicts only, no
+        // timestamps: CheckResult::digest() is schedule-determined.
+        h = fold(h, out.lincheckOk ? 1 : 0);
+        h = fold(h, out.lincheckBudget ? 1 : 0);
+        h = fold(h, out.lincheckKeys);
+        h = fold(h, lc.digest());
     }
     out.digest = h;
     if (std::getenv("WHISPER_FUZZ_DEBUG")) {
@@ -352,6 +638,8 @@ replayCommand(const FuzzCase &c,
     }
     if (config.elide)
         cmd += " --elide";
+    if (config.lincheck)
+        cmd += " --lincheck";
     return cmd;
 }
 
@@ -472,6 +760,13 @@ sweep(const SweepOptions &options)
             report.casesRun++;
             report.casesFired += out.fired ? 1 : 0;
             report.casesDegraded += out.degraded ? 1 : 0;
+            if (out.lincheckRan) {
+                report.lincheckBudget += out.lincheckBudget ? 1 : 0;
+                // Count only unexcused misses: a witness lost to
+                // scrub-named media loss rides the degrade convention.
+                report.lincheckViolations +=
+                    (!out.lincheckOk && !out.ok) ? 1 : 0;
+            }
             digest = fold(digest, out.digest);
             if (options.keepReports)
                 report.caseReports.push_back(out.report);

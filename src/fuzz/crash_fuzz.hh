@@ -66,6 +66,18 @@ struct FuzzConfig
      * zero-violation contract over a different (smaller) op schedule.
      */
     bool elide = false;
+    /**
+     * Durable-linearizability dimension (src/lincheck/): the case runs
+     * a recorded KV workload over the app's lincheck surface instead
+     * of run(), probes every key after recovery and demands a witness
+     * linearization (completed ops + a subset of pending ops, every
+     * durability-fence-covered op inside the pre-crash prefix) per
+     * key. Violations become `lincheck` VerifyReport entries and a
+     * minimized history dump; an exhausted search budget degrades to
+     * `lincheck-budget`. Off by default — with lincheck false, every
+     * case and digest is bit-identical to a pre-lincheck build.
+     */
+    bool lincheck = false;
 };
 
 /** One fully-resolved fuzz case (derivable from its id alone). */
@@ -99,6 +111,14 @@ struct CaseOutcome
     std::uint64_t linesTorn = 0;      //!< word-torn survivor lines
     std::uint64_t linesPoisoned = 0;  //!< lines lost to media
     std::uint64_t transientFaults = 0; //!< retried reads (counted only)
+    /** @{ \name Lincheck dimension (FuzzConfig::lincheck only) */
+    bool lincheckRan = false;
+    bool lincheckOk = true;       //!< every key found a witness
+    bool lincheckBudget = false;  //!< some key degraded to lincheck-budget
+    std::uint64_t lincheckKeys = 0;       //!< keys checked
+    std::uint64_t lincheckViolations = 0; //!< keys without a witness
+    std::string lincheckDump; //!< minimized history file (violations)
+    /** @} */
     /** Merged scrub + invariant + recovery report (for --json). */
     core::VerifyReport report;
 };
@@ -121,6 +141,8 @@ struct AppSweepReport
     std::uint64_t casesFired = 0; //!< crash point inside the workload
     std::uint64_t violations = 0;
     std::uint64_t casesDegraded = 0; //!< named media loss, tolerated
+    std::uint64_t lincheckViolations = 0; //!< cases lacking a witness
+    std::uint64_t lincheckBudget = 0;     //!< cases budget-degraded
     std::uint64_t digest = 0; //!< fold of case digests in id order
     std::vector<Reproducer> reproducers; //!< shrunk, capped
     /** Per-case merged reports in id order (SweepOptions::keepReports). */

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Operation-history model for the durable-linearizability checker.
+ *
+ * A History is the complete record of one KV-shaped concurrent
+ * execution: per-thread invoke/response events with monotone
+ * timestamps, the per-key state probed right after setup (the
+ * baseline every linearization starts from), and the per-key state
+ * probed after crash + recovery (the state a witness linearization
+ * must explain). Ops marked `durable` were covered by an admitted
+ * durability fence on their own thread after their response and MUST
+ * appear in the pre-crash prefix of any witness; everything else MAY
+ * be reordered past the crash cut or, if still pending, dropped
+ * entirely.
+ */
+
+#ifndef WHISPER_LINCHECK_HISTORY_HH
+#define WHISPER_LINCHECK_HISTORY_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace whisper::lincheck
+{
+
+enum class OpKind : std::uint8_t { Get = 0, Put = 1, Rmw = 2, Remove = 3 };
+
+const char *opKindName(OpKind kind);
+
+/** One invoke/response event pair (response absent when pending). */
+struct Op {
+    ThreadId thread = 0;
+    OpKind kind = OpKind::Get;
+    std::uint64_t key = 0;
+    std::uint64_t arg = 0;       //!< put value / rmw delta
+    bool completed = false;      //!< response was recorded
+    bool found = false;          //!< get/rmw/remove result
+    std::uint64_t readValue = 0; //!< value observed by a get
+    std::uint64_t invokeTs = 0;
+    std::uint64_t responseTs = 0; //!< 0 when pending
+    bool durable = false;         //!< covered by a later admitted dfence
+};
+
+/** Sequential KV state for one key. */
+struct KeyState {
+    bool present = false;
+    std::uint64_t value = 0;
+
+    bool operator==(const KeyState &o) const
+    {
+        return present == o.present && (!present || value == o.value);
+    }
+    bool operator!=(const KeyState &o) const { return !(*this == o); }
+};
+
+/**
+ * A complete recorded execution. Keys missing from `initial` or
+ * `recovered` are treated as absent.
+ */
+struct History {
+    bool crashed = false; //!< false: plain linearizability, cut at end
+    std::uint32_t threads = 0;
+    std::vector<Op> ops;
+    std::map<std::uint64_t, KeyState> initial;
+    std::map<std::uint64_t, KeyState> recovered;
+};
+
+} // namespace whisper::lincheck
+
+#endif // WHISPER_LINCHECK_HISTORY_HH

@@ -1,0 +1,140 @@
+#include "lincheck/history_io.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace whisper::lincheck
+{
+
+namespace
+{
+
+int
+kindIndex(const char *name)
+{
+    for (int k = 0; k < 4; k++) {
+        if (std::strcmp(name, opKindName(static_cast<OpKind>(k))) == 0)
+            return k;
+    }
+    return -1;
+}
+
+} // namespace
+
+bool
+writeHistoryFile(const std::string &path, const History &history)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "whisper-lincheck-history v1\n");
+    std::fprintf(f, "crashed %d\n", history.crashed ? 1 : 0);
+    std::fprintf(f, "threads %" PRIu32 "\n", history.threads);
+    for (const auto &[key, st] : history.initial) {
+        std::fprintf(f, "initial %" PRIu64 " %d %" PRIu64 "\n", key,
+                     st.present ? 1 : 0, st.value);
+    }
+    for (const auto &[key, st] : history.recovered) {
+        std::fprintf(f, "recovered %" PRIu64 " %d %" PRIu64 "\n", key,
+                     st.present ? 1 : 0, st.value);
+    }
+    for (const Op &op : history.ops) {
+        std::fprintf(f,
+                     "op %" PRIu32 " %s %" PRIu64 " %" PRIu64
+                     " %d %d %" PRIu64 " %" PRIu64 " %" PRIu64 " %d\n",
+                     op.thread, opKindName(op.kind), op.key, op.arg,
+                     op.completed ? 1 : 0, op.found ? 1 : 0,
+                     op.readValue, op.invokeTs, op.responseTs,
+                     op.durable ? 1 : 0);
+    }
+    const bool ok = std::fclose(f) == 0;
+    return ok;
+}
+
+bool
+readHistoryFile(const std::string &path, History &out,
+                std::string &error)
+{
+    FILE *f = std::fopen(path.c_str(), "r");
+    if (!f) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    out = History{};
+    char line[512];
+    int lineno = 0;
+    bool sawMagic = false;
+    while (std::fgets(line, sizeof(line), f)) {
+        lineno++;
+        if (line[0] == '\n' || line[0] == '#')
+            continue;
+        if (!sawMagic) {
+            if (std::strncmp(line, "whisper-lincheck-history v1", 27) !=
+                0) {
+                error = "missing history magic on line 1";
+                std::fclose(f);
+                return false;
+            }
+            sawMagic = true;
+            continue;
+        }
+        int b0 = 0;
+        if (std::sscanf(line, "crashed %d", &b0) == 1) {
+            out.crashed = b0 != 0;
+            continue;
+        }
+        if (std::sscanf(line, "threads %" SCNu32, &out.threads) == 1)
+            continue;
+        std::uint64_t key = 0, value = 0;
+        int present = 0;
+        if (std::sscanf(line, "initial %" SCNu64 " %d %" SCNu64, &key,
+                        &present, &value) == 3) {
+            out.initial[key] = KeyState{present != 0, value};
+            continue;
+        }
+        if (std::sscanf(line, "recovered %" SCNu64 " %d %" SCNu64, &key,
+                        &present, &value) == 3) {
+            out.recovered[key] = KeyState{present != 0, value};
+            continue;
+        }
+        char kind[16];
+        Op op;
+        int completed = 0, found = 0, durable = 0;
+        if (std::sscanf(line,
+                        "op %" SCNu32 " %15s %" SCNu64 " %" SCNu64
+                        " %d %d %" SCNu64 " %" SCNu64 " %" SCNu64 " %d",
+                        &op.thread, kind, &op.key, &op.arg, &completed,
+                        &found, &op.readValue, &op.invokeTs,
+                        &op.responseTs, &durable) == 10) {
+            int k = kindIndex(kind);
+            if (k < 0) {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf),
+                              "unknown op kind on line %d", lineno);
+                error = buf;
+                std::fclose(f);
+                return false;
+            }
+            op.kind = static_cast<OpKind>(k);
+            op.completed = completed != 0;
+            op.found = found != 0;
+            op.durable = durable != 0;
+            out.ops.push_back(op);
+            continue;
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "unparseable line %d", lineno);
+        error = buf;
+        std::fclose(f);
+        return false;
+    }
+    std::fclose(f);
+    if (!sawMagic) {
+        error = "empty history file";
+        return false;
+    }
+    return true;
+}
+
+} // namespace whisper::lincheck

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text serialization of lincheck histories.
+ *
+ * The format is line-oriented and deterministic so dumped reproducers
+ * diff cleanly and replay bit-identically through
+ * `whisper_cli lincheck`:
+ *
+ *     whisper-lincheck-history v1
+ *     crashed <0|1>
+ *     threads <n>
+ *     initial <key> <present> <value>
+ *     recovered <key> <present> <value>
+ *     op <thread> <kind> <key> <arg> <completed> <found> <readValue>
+ *        <invokeTs> <responseTs> <durable>
+ *
+ * (each `op` record is one line; kind is get/put/rmw/remove).
+ */
+
+#ifndef WHISPER_LINCHECK_HISTORY_IO_HH
+#define WHISPER_LINCHECK_HISTORY_IO_HH
+
+#include <string>
+
+#include "lincheck/history.hh"
+
+namespace whisper::lincheck
+{
+
+/** Write @p history to @p path; returns false on I/O failure. */
+bool writeHistoryFile(const std::string &path, const History &history);
+
+/**
+ * Parse @p path into @p out. Returns false and sets @p error on I/O
+ * or syntax failure.
+ */
+bool readHistoryFile(const std::string &path, History &out,
+                     std::string &error);
+
+} // namespace whisper::lincheck
+
+#endif // WHISPER_LINCHECK_HISTORY_IO_HH

@@ -1,0 +1,99 @@
+#include "lincheck/recorder.hh"
+
+#include "common/logging.hh"
+
+namespace whisper::lincheck
+{
+
+void
+HistoryRecorder::enable(std::uint32_t threads)
+{
+    enabled_ = true;
+    crashed_ = false;
+    clock_.store(0);
+    threads_.assign(threads, PerThread{});
+    initial_.clear();
+    recovered_.clear();
+}
+
+std::size_t
+HistoryRecorder::invoke(ThreadId tid, OpKind kind, std::uint64_t key,
+                        std::uint64_t arg)
+{
+    if (!enabled_)
+        return 0;
+    panic_if(tid >= threads_.size(), "lincheck: tid out of range");
+    Op op;
+    op.thread = tid;
+    op.kind = kind;
+    op.key = key;
+    op.arg = arg;
+    op.invokeTs = tick();
+    PerThread &pt = threads_[tid];
+    pt.ops.push_back(op);
+    return pt.ops.size() - 1;
+}
+
+void
+HistoryRecorder::response(ThreadId tid, std::size_t idx, bool found,
+                          std::uint64_t readValue)
+{
+    if (!enabled_)
+        return;
+    panic_if(tid >= threads_.size() || idx >= threads_[tid].ops.size(),
+             "lincheck: bad response handle");
+    Op &op = threads_[tid].ops[idx];
+    op.completed = true;
+    op.found = found;
+    op.readValue = readValue;
+    op.responseTs = tick();
+}
+
+void
+HistoryRecorder::onFence(ThreadId tid, trace::FenceKind kind,
+                         bool admitted)
+{
+    if (!enabled_ || !admitted || kind != trace::FenceKind::Durability)
+        return;
+    if (tid >= threads_.size())
+        return;
+    threads_[tid].lastDurableFenceTs = tick();
+}
+
+void
+HistoryRecorder::noteInitial(std::uint64_t key, bool present,
+                             std::uint64_t value)
+{
+    if (!enabled_)
+        return;
+    initial_[key] = KeyState{present, present ? value : 0};
+}
+
+void
+HistoryRecorder::noteRecovered(std::uint64_t key, bool present,
+                               std::uint64_t value)
+{
+    if (!enabled_)
+        return;
+    recovered_[key] = KeyState{present, present ? value : 0};
+}
+
+History
+HistoryRecorder::finish()
+{
+    History h;
+    h.crashed = crashed_;
+    h.threads = static_cast<std::uint32_t>(threads_.size());
+    for (PerThread &pt : threads_) {
+        for (Op &op : pt.ops) {
+            op.durable = op.completed && op.kind != OpKind::Get &&
+                         op.responseTs < pt.lastDurableFenceTs;
+            h.ops.push_back(op);
+        }
+    }
+    h.initial = std::move(initial_);
+    h.recovered = std::move(recovered_);
+    return h;
+}
+
+} // namespace whisper::lincheck

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Invoke/response history recorder for KV-shaped workloads.
+ *
+ * One recorder serves all threads of a run: each thread appends to
+ * its own log (no locks on the op path), timestamps come from one
+ * monotone atomic counter, and fence coverage arrives through the
+ * PmContext FenceObserver hook. When disabled every entry point is an
+ * early-out, so the recorder costs nothing on un-instrumented runs.
+ *
+ * Durability classification (finish()): a completed mutation is
+ * `durable` iff an *admitted* durability fence on the same thread has
+ * a timestamp greater than the op's response. This under-approximates
+ * (a fence inside the op's own trailing durability point fires before
+ * the response is recorded, and any-kind fences also drain flushes in
+ * this simulation) — which is sound: fewer MUST ops can only make the
+ * checker accept more, never report a false violation. Gets are never
+ * durable: a fence only drains the *issuing* thread's flushes, so a
+ * read observing another thread's unfenced write must stay droppable.
+ */
+
+#ifndef WHISPER_LINCHECK_RECORDER_HH
+#define WHISPER_LINCHECK_RECORDER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "lincheck/history.hh"
+#include "pm/pm_context.hh"
+
+namespace whisper::lincheck
+{
+
+class HistoryRecorder : public pm::FenceObserver
+{
+  public:
+    HistoryRecorder() = default;
+
+    /** Arm the recorder for @p threads threads (clears prior state). */
+    void enable(std::uint32_t threads);
+
+    bool enabled() const { return enabled_; }
+
+    /** Record an op invocation; returns a handle for response(). */
+    std::size_t invoke(ThreadId tid, OpKind kind, std::uint64_t key,
+                       std::uint64_t arg);
+
+    /** Record the response of the op @p idx returned by invoke(). */
+    void response(ThreadId tid, std::size_t idx, bool found,
+                  std::uint64_t readValue);
+
+    void onFence(ThreadId tid, trace::FenceKind kind,
+                 bool admitted) override;
+
+    /** Baseline per-key state, probed after setup (main thread). */
+    void noteInitial(std::uint64_t key, bool present,
+                     std::uint64_t value);
+
+    /** Post-recovery per-key state (main thread). */
+    void noteRecovered(std::uint64_t key, bool present,
+                       std::uint64_t value);
+
+    void setCrashed(bool crashed) { crashed_ = crashed; }
+
+    /** Fold the per-thread logs into one classified History. */
+    History finish();
+
+  private:
+    std::uint64_t tick() { return clock_.fetch_add(1) + 1; }
+
+    struct alignas(64) PerThread {
+        std::vector<Op> ops;
+        std::uint64_t lastDurableFenceTs = 0;
+    };
+
+    bool enabled_ = false;
+    bool crashed_ = false;
+    std::atomic<std::uint64_t> clock_{0};
+    std::vector<PerThread> threads_;
+    std::map<std::uint64_t, KeyState> initial_;
+    std::map<std::uint64_t, KeyState> recovered_;
+};
+
+} // namespace whisper::lincheck
+
+#endif // WHISPER_LINCHECK_RECORDER_HH

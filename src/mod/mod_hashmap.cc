@@ -1,6 +1,7 @@
 #include "mod/mod_hashmap.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 
 #include "common/crc32.hh"
@@ -31,7 +32,28 @@ mix64(std::uint64_t x)
     return x;
 }
 
+/** Broken-commit switch (setBrokenCommitForTest). */
+std::atomic<bool> g_brokenCommit{false};
+constexpr std::uint64_t kBrokenSentinel = 0xdeadbeefdeadbeefull;
+
+/** The sentinel-payload twin of @p e, checksummed so it validates. */
+MapEntry
+brokenStale(const MapEntry &e)
+{
+    MapEntry s = e;
+    for (std::uint64_t i = 0; i < ModHashmap::kValWords; i++)
+        s.vals[i] = kBrokenSentinel ^ i;
+    s.checksum = ModHashmap::entryChecksum(s.key, s.vals);
+    return s;
+}
+
 } // namespace
+
+void
+setBrokenCommitForTest(bool broken)
+{
+    g_brokenCommit.store(broken, std::memory_order_relaxed);
+}
 
 std::uint64_t
 ModHashmap::entryChecksum(std::uint64_t key, const std::uint64_t *vals)
@@ -187,6 +209,8 @@ ModHashmap::put(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
         }
     }
 
+    const bool broken = g_brokenCommit.load(std::memory_order_relaxed);
+    MapEntry fresh_entry{};
     if (!found) {
         // Insert at head: one fresh node in front of the old chain.
         MapEntry e{};
@@ -195,7 +219,9 @@ ModHashmap::put(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
         for (std::uint64_t i = 0; i < kValWords; i++)
             e.vals[i] = vals[i];
         e.checksum = entryChecksum(e.key, e.vals);
-        storeNode(ctx, shadows[0], e, /*fresh_payload=*/true);
+        fresh_entry = e;
+        storeNode(ctx, shadows[0], broken ? brokenStale(e) : e,
+                  /*fresh_payload=*/true);
     } else {
         // Update: functional path copy. Build back-to-front so each
         // shadow can point at the next one; the replaced node's copy
@@ -209,8 +235,10 @@ ModHashmap::put(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
                 for (std::uint64_t v = 0; v < kValWords; v++)
                     e.vals[v] = vals[v];
                 e.checksum = entryChecksum(e.key, e.vals);
+                fresh_entry = e;
             }
-            storeNode(ctx, shadows[i], e, fresh);
+            storeNode(ctx, shadows[i],
+                      fresh && broken ? brokenStale(e) : e, fresh);
             below = shadows[i];
         }
     }
@@ -223,6 +251,18 @@ ModHashmap::put(pm::PmContext &ctx, ThreadId tid, std::uint64_t key,
                            DataClass::TxMeta),
              "mod hashmap: commit CAS lost despite stripe lock");
     ctx.flush(bucketOff(bucket), 8);
+    if (broken) {
+        // Injected broken commit: what just became durable behind the
+        // CAS is the sentinel twin; patch the real payload in without
+        // a flush so a power cut quietly reverts the node to a
+        // validating-but-never-written value.
+        const Addr node = shadows[fresh_count - 1];
+        for (std::uint64_t i = 0; i < kValWords; i++)
+            ctx.store(node + offsetof(MapEntry, vals) + i * 8,
+                      &fresh_entry.vals[i], 8, DataClass::User);
+        ctx.store(node + offsetof(MapEntry, checksum),
+                  &fresh_entry.checksum, 8, DataClass::TxMeta);
+    }
     if (found)
         for (std::size_t i = 0; i < fresh_count; i++)
             heap_.retire(ctx, tid, path[i]);

@@ -42,6 +42,19 @@ class VerifyReport;
 namespace whisper::mod
 {
 
+/**
+ * Test-only fault injection: when on, every ModHashmap::put() durably
+ * publishes a *sentinel* payload (with a checksum computed over that
+ * sentinel, so it validates) and then patches the real payload in
+ * place without flushing it. Reads are correct until a power cut,
+ * which reverts the node to the sentinel — every structural invariant
+ * still holds after recovery, but the recovered value is one no put
+ * ever wrote: exactly the class of commit bug only the
+ * durable-linearizability checker can catch. Global and sticky;
+ * tests must switch it back off.
+ */
+void setBrokenCommitForTest(bool broken);
+
 /** One immutable chain node (a single cache line in the 64B slab). */
 struct MapEntry
 {

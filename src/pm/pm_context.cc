@@ -93,8 +93,11 @@ bool
 PmContext::fence(FenceKind kind)
 {
     GateTurn turn(schedGate(), tid_);
-    if (!admitPmOp())
+    if (!admitPmOp()) {
+        if (fenceObs_)
+            fenceObs_->onFence(tid_, kind, false);
         return false;
+    }
     // sfence semantics: all of this thread's outstanding clwbs and
     // write-combining traffic reach the durable image before the fence
     // retires.
@@ -107,6 +110,10 @@ PmContext::fence(FenceKind kind)
     pendingNt_.clear();
     emit(EventKind::Fence, 0, 0, DataClass::None,
          static_cast<std::uint8_t>(kind), LogicalClock::kFenceCost);
+    // Notified inside the gate turn, after the drain: an observer's
+    // "covered by this fence" reasoning sees exactly what persisted.
+    if (fenceObs_)
+        fenceObs_->onFence(tid_, kind, true);
     return true;
 }
 

@@ -88,6 +88,20 @@ struct CrashPointReached
 };
 
 /**
+ * Observer notified of every fence this context issues, with the
+ * admitted/dropped verdict the caller saw. The durable-linearizability
+ * recorder uses it to learn which ops a durability fence covered; the
+ * pointer defaults to null so the hook costs one predicted-false
+ * branch per fence when unused. The verdict is decided inside the
+ * gated op, so notifications are deterministic under seeded schedules.
+ */
+struct FenceObserver
+{
+    virtual ~FenceObserver() = default;
+    virtual void onFence(ThreadId tid, FenceKind kind, bool admitted) = 0;
+};
+
+/**
  * One thread's view of the persistent memory system.
  */
 class PmContext
@@ -250,6 +264,9 @@ class PmContext
 
     /** @{ \name Crash-point injection (crash fuzzer) */
 
+    /** Attach a fence observer (nullptr detaches). */
+    void setFenceObserver(FenceObserver *obs) { fenceObs_ = obs; }
+
     /** Attach @p plan (nullptr detaches; no overhead when detached). */
     void setCrashPlan(CrashPlan *plan) { plan_ = plan; }
 
@@ -274,6 +291,16 @@ class PmContext
         return plan_ && plan_->fired.load(std::memory_order_relaxed);
     }
 
+    /**
+     * PM ops this context dropped because the plan had fired. Unlike
+     * crashInjected(), a delta of this counter around an operation is
+     * deterministic under a seeded schedule: it only counts *this
+     * thread's* drops, which the gate ordered. The lincheck workload
+     * uses it to stop recording a thread the moment its effects stop
+     * reaching the pool.
+     */
+    std::uint64_t droppedPmOps() const { return droppedPmOps_; }
+
     /** @} */
 
   private:
@@ -290,8 +317,10 @@ class PmContext
     {
         if (!plan_)
             return true;
-        if (plan_->fired.load(std::memory_order_relaxed))
+        if (plan_->fired.load(std::memory_order_relaxed)) {
+            droppedPmOps_++;
             return false;
+        }
         const std::uint64_t idx =
             plan_->opsSeen.fetch_add(1, std::memory_order_relaxed);
         if (idx >= plan_->crashAt) {
@@ -308,8 +337,10 @@ class PmContext
     ThreadId tid_;
     trace::TraceBuffer *tb_;
     CrashPlan *plan_ = nullptr;
+    FenceObserver *fenceObs_ = nullptr;
 
     Tick localTicks_ = 0;
+    std::uint64_t droppedPmOps_ = 0;
     std::uint8_t origin_ = 0;
     std::vector<LineAddr> pendingFlush_;
     /** Mirror of pendingFlush_ for O(1) duplicate suppression. */

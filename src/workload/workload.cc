@@ -8,6 +8,8 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "lincheck/checker.hh"
+#include "lincheck/recorder.hh"
 
 namespace whisper::workload
 {
@@ -174,6 +176,13 @@ WorkloadResult::json() const
     u64("max", latency.maxValue());
     dbl("mean", latency.mean(), false);
     out += "},";
+    if (lincheckRan) {
+        out += "\"lincheck\":{";
+        u64("keys", lincheckKeys);
+        u64("violations", lincheckViolations);
+        out += lincheckBudget ? "\"budgetDegraded\":true},"
+                              : "\"budgetDegraded\":false},";
+    }
     std::snprintf(buf, sizeof(buf), "\"digest\":\"0x%016llx\",",
                   static_cast<unsigned long long>(digest()));
     out += buf;
@@ -209,6 +218,11 @@ runWorkload(const WorkloadOptions &opts)
         fatal("app '%s' does not support generated workloads "
               "(see `whisper_cli apps`)",
               opts.app.c_str());
+    if (opts.lincheck && !app->supportsLincheck())
+        fatal("--lincheck needs the lincheck workload surface, which "
+              "app '%s' does not implement (use mod-hashmap, "
+              "mod-vector or halo-hashmap)",
+              opts.app.c_str());
 
     core::WorkloadKeymap map;
     map.keys = opts.keys;
@@ -218,6 +232,33 @@ runWorkload(const WorkloadOptions &opts)
 
     core::Runtime &rt = *result.runtime;
     app->workloadSetup(rt, map);
+
+    // Recording mode: an unarmed crash plan (crashAt stays "never")
+    // attaches a seeded SchedGate so every PM op runs under a
+    // deterministic cross-thread schedule, and the recorder captures
+    // each op's invoke/response plus fence coverage. The baseline
+    // probes must precede the run and follow enable() — noteInitial()
+    // is a no-op on a disabled recorder.
+    lincheck::HistoryRecorder rec;
+    if (opts.lincheck) {
+        if (opts.threads > 1) {
+            Rng gateRng(opts.seed ^ 0x11c0de5eedull);
+            rt.installCrashPlan(opts.threads, gateRng());
+        }
+        rec.enable(opts.threads);
+        for (unsigned t = 0; t < opts.threads; t++) {
+            const ThreadId tid = static_cast<ThreadId>(t);
+            for (std::uint64_t i = 0; i < map.perThread(); i++) {
+                const std::uint64_t key = map.lo(tid) + i;
+                std::uint64_t value = 0;
+                const bool found =
+                    app->workloadProbe(rt.ctx(tid), tid, key, value);
+                rec.noteInitial(key, found, value);
+            }
+        }
+        for (unsigned t = 0; t < opts.threads; t++)
+            rt.ctx(static_cast<ThreadId>(t)).setFenceObserver(&rec);
+    }
     rt.clearTraces();
 
     // Per-thread state, all derived on this thread in tid order so
@@ -253,25 +294,62 @@ runWorkload(const WorkloadOptions &opts)
             if (pick < cRead) {
                 const std::uint64_t key = chooser.next(rng);
                 c.reads++;
-                if (app->workloadGet(ctx, tid, key))
+                std::size_t h = 0;
+                if (opts.lincheck)
+                    h = rec.invoke(tid, lincheck::OpKind::Get, key, 0);
+                const bool found = app->workloadGet(ctx, tid, key);
+                if (found)
                     c.readsFound++;
+                if (opts.lincheck) {
+                    // The get answers presence only; re-probe for the
+                    // value. Keys are thread-partitioned, so nothing
+                    // wrote the key between the two reads.
+                    std::uint64_t value = 0;
+                    if (found)
+                        app->workloadProbe(ctx, tid, key, value);
+                    rec.response(tid, h, found, value);
+                }
             } else if (pick < cUpdate) {
                 const std::uint64_t key = chooser.next(rng);
+                const std::uint64_t val = rng();
                 c.updates++;
-                app->workloadPut(ctx, tid, key, rng());
+                std::size_t h = 0;
+                if (opts.lincheck)
+                    h = rec.invoke(tid, lincheck::OpKind::Put, key,
+                                   val);
+                app->workloadPut(ctx, tid, key, val);
+                if (opts.lincheck)
+                    rec.response(tid, h, false, 0);
             } else if (pick < cInsert) {
                 const std::uint64_t key =
                     map.insertKey(tid, chooser.insertedCount());
+                const std::uint64_t val = rng();
                 c.inserts++;
-                app->workloadPut(ctx, tid, key, rng());
+                std::size_t h = 0;
+                if (opts.lincheck)
+                    h = rec.invoke(tid, lincheck::OpKind::Put, key,
+                                   val);
+                app->workloadPut(ctx, tid, key, val);
+                if (opts.lincheck)
+                    rec.response(tid, h, false, 0);
                 chooser.noteInsert();
             } else if (pick < cRmw) {
                 const std::uint64_t key = chooser.next(rng);
+                const std::uint64_t delta = rng.next(1000) + 1;
                 c.rmws++;
-                if (app->workloadRmw(ctx, tid, key,
-                                     rng.next(1000) + 1))
+                std::size_t h = 0;
+                if (opts.lincheck)
+                    h = rec.invoke(tid, lincheck::OpKind::Rmw, key,
+                                   delta);
+                const bool found =
+                    app->workloadRmw(ctx, tid, key, delta);
+                if (found)
                     c.rmwsFound++;
+                if (opts.lincheck)
+                    rec.response(tid, h, found, 0);
             } else {
+                // Scans stay unrecorded: the history model is
+                // single-key, and a scan mutates nothing.
                 const std::uint64_t key = chooser.next(rng);
                 const std::uint64_t len =
                     rng.next(mix.scanLen ? mix.scanLen : 1) + 1;
@@ -282,6 +360,8 @@ runWorkload(const WorkloadOptions &opts)
             hist.record(ctx.localTicks() - t0);
         }
         app->workloadThreadDone(ctx, tid);
+        if (pm::SchedGate *gate = ctx.schedGate())
+            gate->deactivate(tid);
         ticks[tid] = ctx.localTicks() - start;
     });
 
@@ -300,6 +380,50 @@ runWorkload(const WorkloadOptions &opts)
     }
 
     result.check = app->workloadCheck(rt);
+
+    if (opts.lincheck) {
+        for (unsigned t = 0; t < opts.threads; t++)
+            rt.ctx(static_cast<ThreadId>(t)).setFenceObserver(nullptr);
+        // Final probes over every key the run could have touched: the
+        // loaded partitions plus each thread's actually-inserted keys
+        // (a key absent from the probes reads as absent to the
+        // checker, which would turn an unprobed put into a false
+        // violation).
+        for (unsigned t = 0; t < opts.threads; t++) {
+            const ThreadId tid = static_cast<ThreadId>(t);
+            auto probe = [&](std::uint64_t key) {
+                std::uint64_t value = 0;
+                const bool found =
+                    app->workloadProbe(rt.ctx(tid), tid, key, value);
+                rec.noteRecovered(key, found, value);
+            };
+            for (std::uint64_t i = 0; i < map.perThread(); i++)
+                probe(map.lo(tid) + i);
+            for (std::uint64_t j = 0; j < counts[t].inserts; j++)
+                probe(map.insertKey(tid, j));
+        }
+        // crashed stays false: the cut must sit at the end of the
+        // history, i.e. plain linearizability against the probes.
+        const lincheck::History recorded = rec.finish();
+        const lincheck::CheckResult lc = lincheck::check(recorded);
+        result.lincheckRan = true;
+        result.lincheckBudget = lc.budgetExhausted;
+        result.lincheckKeys = lc.keys.size();
+        for (const lincheck::KeyVerdict &kv : lc.keys) {
+            if (kv.ok)
+                continue;
+            result.lincheckViolations++;
+            char head[40];
+            std::snprintf(head, sizeof(head), "key 0x%llx: ",
+                          static_cast<unsigned long long>(kv.key));
+            result.check.fail("lincheck", head + kv.why);
+        }
+        if (lc.budgetExhausted)
+            result.check.degrade("lincheck-budget",
+                                 "witness search budget exhausted; "
+                                 "verdict incomplete, not a violation");
+    }
+
     result.verified = result.check.ok();
     return result;
 }

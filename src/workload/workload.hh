@@ -79,6 +79,15 @@ struct WorkloadOptions
     std::uint64_t seed = 42;
     std::size_t poolBytes = 256 << 20;
     double zipfTheta = 0.99;
+    /**
+     * Record the op stream through the durable-linearizability
+     * recorder and check it after the run (crash-free, so the check
+     * degenerates to plain linearizability against the final probes).
+     * Needs an app with the lincheck workload surface; installs a
+     * seeded SchedGate schedule when threads > 1. Off by default —
+     * a plain run's behavior and digest are untouched.
+     */
+    bool lincheck = false;
 };
 
 /** Per-op-type tallies (deterministic; part of the digest). */
@@ -113,6 +122,13 @@ struct WorkloadResult
     LatencyHistogram latency;     //!< merged over threads in tid order
     core::VerifyReport check;     //!< workloadCheck() outcome
     bool verified = false;
+
+    /** @{ Linearizability check outcome (options.lincheck runs). */
+    bool lincheckRan = false;
+    bool lincheckBudget = false;       //!< some key hit the node budget
+    std::uint64_t lincheckKeys = 0;    //!< keys with a checked verdict
+    std::uint64_t lincheckViolations = 0; //!< keys lacking a witness
+    /** @} */
 
     /** Keeps traces alive for the analysis pipeline. */
     std::shared_ptr<core::Runtime> runtime;

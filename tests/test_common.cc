@@ -353,7 +353,7 @@ TEST(Flags, ParseU64DecimalAndHex)
     EXPECT_FALSE(parseU64(nullptr, v));
 }
 
-TEST(Flags, BindingsAndLastOneWins)
+TEST(Flags, BindingsAndDuplicateRejected)
 {
     std::uint64_t ops = 7;
     unsigned threads = 1;
@@ -368,12 +368,43 @@ TEST(Flags, BindingsAndLastOneWins)
         .str("--app", &app);
     EXPECT_TRUE(parseArgs(fp, {"--ops", "10", "--json", "--threads",
                                "4", "--pool-mb", "2", "--app",
-                               "hashmap", "--ops", "20"}));
-    EXPECT_EQ(ops, 20u); // repeated flag: last one wins
+                               "hashmap"}));
+    EXPECT_EQ(ops, 10u);
     EXPECT_EQ(threads, 4u);
     EXPECT_TRUE(json);
     EXPECT_EQ(pool, std::size_t(2) << 20);
     EXPECT_STREQ(app, "hashmap");
+
+    // A doubled flag in a pasted reproducer command is an editing
+    // mistake, not a preference for the later value.
+    EXPECT_FALSE(parseArgs(fp, {"--ops", "10", "--ops", "20"}));
+    EXPECT_NE(fp.error().find("given twice"), std::string::npos);
+    EXPECT_NE(fp.error().find("--ops"), std::string::npos);
+    EXPECT_EQ(ops, 10u) << "failed parse must not clobber";
+
+    // Valueless switches count too, and parse() resets the
+    // seen-state: the same flag across two parses is fine.
+    EXPECT_FALSE(parseArgs(fp, {"--json", "--json"}));
+    EXPECT_NE(fp.error().find("--json"), std::string::npos);
+    EXPECT_TRUE(parseArgs(fp, {"--json"}));
+}
+
+TEST(Flags, CommandNamePrefixesErrors)
+{
+    std::uint64_t ops = 0;
+    FlagParser fp;
+    fp.command("crashfuzz").u64("--ops", &ops);
+    EXPECT_FALSE(parseArgs(fp, {"--bogus"}));
+    EXPECT_EQ(fp.error().rfind("crashfuzz: ", 0), 0u)
+        << fp.error();
+    EXPECT_FALSE(parseArgs(fp, {"--ops", "1", "--ops", "2"}));
+    EXPECT_EQ(fp.error().rfind("crashfuzz: flag '--ops' given twice",
+                               0),
+              0u)
+        << fp.error();
+    // Successful parses leave no stale error behind.
+    EXPECT_TRUE(parseArgs(fp, {"--ops", "3"}));
+    EXPECT_TRUE(fp.error().empty());
 }
 
 TEST(Flags, MinimumEnforced)
